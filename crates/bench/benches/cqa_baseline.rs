@@ -1,0 +1,33 @@
+//! B6 — peer consistent answering vs. the single-database CQA baseline on
+//! the same data and constraints.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdes_bench::runners::{run_asp, run_cqa_baseline};
+use std::time::Duration;
+use workload::{generate, TrustMix, WorkloadSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B6_cqa_baseline");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    for &n in &[10usize, 20, 40] {
+        let w = generate(&WorkloadSpec {
+            peers: 2,
+            tuples_per_relation: n,
+            violations_per_dec: 2,
+            trust_mix: TrustMix::AllLess,
+            ..WorkloadSpec::default()
+        });
+        group.bench_with_input(BenchmarkId::new("p2p_asp", n), &w, |b, w| {
+            b.iter(|| run_asp(w, "bench").unwrap().answers)
+        });
+        if n <= 20 {
+            group.bench_with_input(BenchmarkId::new("single_db_cqa", n), &w, |b, w| {
+                b.iter(|| run_cqa_baseline(w, "bench").unwrap().answers)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

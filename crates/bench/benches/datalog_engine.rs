@@ -1,0 +1,23 @@
+//! B7 — answer-set engine micro-benchmarks: grounding and solving of the
+//! generated specification programs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datalog::{solve, Grounder, SolverConfig};
+use pdes_bench::experiments::small_spec_program;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B7_datalog_engine");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    let program = small_spec_program();
+    group.bench_function("grounding", |b| {
+        b.iter(|| Grounder::new(&program).ground().unwrap().rule_count())
+    });
+    group.bench_function("solve_end_to_end", |b| {
+        b.iter(|| solve(&program, SolverConfig::default()).unwrap().answer_sets.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

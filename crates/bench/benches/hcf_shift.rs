@@ -1,0 +1,47 @@
+//! B4 — HCF shifting + normal solving vs. the generic disjunctive solver on
+//! the Section 3.1 specification program (the Section 4.1 optimization).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datalog::solve::{solve_ground, DisjunctiveSolver, SolverConfig};
+use datalog::Grounder;
+use pdes_core::asp::paper::section31_program;
+use relalg::Tuple;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B4_hcf_shift");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    for &witnesses in &[2usize, 4, 6] {
+        let s2: Vec<Tuple> = (0..witnesses)
+            .map(|i| Tuple::strs(["c", &format!("w{i}")]))
+            .collect();
+        let program = section31_program(
+            &[Tuple::strs(["a", "b"])],
+            &[],
+            &[Tuple::strs(["c", "b"])],
+            &s2,
+        );
+        let ground = Grounder::new(&program).ground().unwrap();
+        group.bench_with_input(BenchmarkId::new("hcf_shift", witnesses), &ground, |b, g| {
+            b.iter(|| {
+                solve_ground(g.clone(), SolverConfig::default())
+                    .unwrap()
+                    .answer_sets
+                    .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("disjunctive", witnesses), &ground, |b, g| {
+            b.iter(|| {
+                DisjunctiveSolver::new(g, SolverConfig::default())
+                    .answer_sets()
+                    .unwrap()
+                    .0
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

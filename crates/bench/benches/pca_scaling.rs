@@ -1,0 +1,36 @@
+//! B1 — peer consistent answering latency vs. instance size, for the three
+//! mechanisms (rewriting / ASP specification / naive solution enumeration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdes_bench::runners::{run_asp, run_naive, run_rewriting};
+use std::time::Duration;
+use workload::{generate, TrustMix, WorkloadSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B1_pca_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    for &n in &[10usize, 20, 40] {
+        let w = generate(&WorkloadSpec {
+            peers: 2,
+            tuples_per_relation: n,
+            violations_per_dec: 2,
+            trust_mix: TrustMix::AllLess,
+            ..WorkloadSpec::default()
+        });
+        group.bench_with_input(BenchmarkId::new("rewriting", n), &w, |b, w| {
+            b.iter(|| run_rewriting(w, "bench").unwrap().answers)
+        });
+        group.bench_with_input(BenchmarkId::new("asp", n), &w, |b, w| {
+            b.iter(|| run_asp(w, "bench").unwrap().answers)
+        });
+        if n <= 20 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &w, |b, w| {
+                b.iter(|| run_naive(w, "bench").unwrap().answers)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! B2 — peer consistent answering latency vs. number of peers (star topology).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdes_bench::runners::run_asp;
+use std::time::Duration;
+use workload::{generate, Topology, TrustMix, WorkloadSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B2_peer_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    for &peers in &[2usize, 4, 6] {
+        let w = generate(&WorkloadSpec {
+            peers,
+            tuples_per_relation: 10,
+            violations_per_dec: 1,
+            trust_mix: TrustMix::Mixed,
+            topology: Topology::Star,
+            ..WorkloadSpec::default()
+        });
+        group.bench_with_input(BenchmarkId::new("asp", peers), &w, |b, w| {
+            b.iter(|| run_asp(w, "bench").unwrap().answers)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! B5 — direct vs. transitive (Section 4.3) answering over chains of peers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdes_bench::runners::{run_asp, run_transitive_asp};
+use std::time::Duration;
+use workload::{generate, Topology, TrustMix, WorkloadSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B5_transitive_chain");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    for &len in &[2usize, 3, 4] {
+        let w = generate(&WorkloadSpec {
+            peers: len,
+            tuples_per_relation: 8,
+            violations_per_dec: 1,
+            trust_mix: TrustMix::AllLess,
+            topology: Topology::Chain,
+            ..WorkloadSpec::default()
+        });
+        group.bench_with_input(BenchmarkId::new("direct", len), &w, |b, w| {
+            b.iter(|| run_asp(w, "bench").unwrap().answers)
+        });
+        group.bench_with_input(BenchmarkId::new("transitive", len), &w, |b, w| {
+            b.iter(|| run_transitive_asp(w, "bench").unwrap().answers)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! B3 — peer consistent answering latency vs. the number of planted
+//! key-conflict violations (the number of solutions grows exponentially).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdes_bench::runners::{run_asp, run_naive};
+use std::time::Duration;
+use workload::{generate, TrustMix, WorkloadSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B3_violation_ratio");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    for &v in &[1usize, 2, 4] {
+        let w = generate(&WorkloadSpec {
+            peers: 2,
+            tuples_per_relation: 12,
+            violations_per_dec: v,
+            trust_mix: TrustMix::AllSame,
+            key_constraint_percent: 100,
+            ..WorkloadSpec::default()
+        });
+        group.bench_with_input(BenchmarkId::new("asp", v), &w, |b, w| {
+            b.iter(|| run_asp(w, "bench").unwrap().answers)
+        });
+        if v <= 2 {
+            group.bench_with_input(BenchmarkId::new("naive", v), &w, |b, w| {
+                b.iter(|| run_naive(w, "bench").unwrap().answers)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

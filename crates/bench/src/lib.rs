@@ -1,0 +1,16 @@
+//! # pdes-bench — benchmark harness
+//!
+//! Reproduction harness for the experiment tables B1–B7 listed in DESIGN.md.
+//! The paper contains no measurements of its own (it is a semantics paper),
+//! so these experiments characterize the behaviour of the mechanisms it
+//! defines: query rewriting vs. the answer-set specification vs. naive
+//! solution enumeration, the head-cycle-free shifting optimization, the
+//! transitive (global) semantics and the single-database CQA baseline.
+//!
+//! * `cargo run -p pdes-bench --release --bin harness` prints every table;
+//! * `cargo bench` runs the Criterion micro-benchmarks (one per table).
+
+pub mod experiments;
+pub mod runners;
+
+pub use runners::{render_table, Measurement};

@@ -1,0 +1,173 @@
+//! Shared runners: execute one answering mechanism on one workload and
+//! report wall-clock time plus basic statistics.
+
+use datalog::SolverConfig;
+use pdes_core::pca::peer_consistent_answers;
+use pdes_core::rewriting::answers_by_rewriting;
+use pdes_core::solution::SolutionOptions;
+use pdes_core::{answers_via_asp, answers_via_transitive_asp};
+use repair::{consistent_answers, RepairEngine};
+use std::time::Instant;
+use workload::generator::GeneratedWorkload;
+
+/// One measured data point.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// The mechanism that was exercised.
+    pub mechanism: &'static str,
+    /// Workload parameters, rendered for the table.
+    pub params: String,
+    /// Wall-clock time in milliseconds (one run; the Criterion benches do
+    /// the statistically careful repetitions).
+    pub millis: f64,
+    /// Number of peer consistent answers returned.
+    pub answers: usize,
+    /// Number of solutions / answer sets / repairs considered.
+    pub worlds: usize,
+}
+
+/// Run the first-order rewriting mechanism.
+pub fn run_rewriting(w: &GeneratedWorkload, params: &str) -> Option<Measurement> {
+    let start = Instant::now();
+    let result = answers_by_rewriting(&w.system, &w.queried_peer, &w.query, &w.free_vars).ok()?;
+    Some(Measurement {
+        mechanism: "rewriting",
+        params: params.to_string(),
+        millis: start.elapsed().as_secs_f64() * 1e3,
+        answers: result.answers.len(),
+        worlds: 1,
+    })
+}
+
+/// Run the (direct) answer-set specification mechanism.
+pub fn run_asp(w: &GeneratedWorkload, params: &str) -> Option<Measurement> {
+    let start = Instant::now();
+    let result = answers_via_asp(
+        &w.system,
+        &w.queried_peer,
+        &w.query,
+        &w.free_vars,
+        SolverConfig::default(),
+    )
+    .ok()?;
+    Some(Measurement {
+        mechanism: "asp",
+        params: params.to_string(),
+        millis: start.elapsed().as_secs_f64() * 1e3,
+        answers: result.answers.len(),
+        worlds: result.answer_set_count,
+    })
+}
+
+/// Run the transitive (global) answer-set mechanism.
+pub fn run_transitive_asp(w: &GeneratedWorkload, params: &str) -> Option<Measurement> {
+    let start = Instant::now();
+    let result = answers_via_transitive_asp(
+        &w.system,
+        &w.queried_peer,
+        &w.query,
+        &w.free_vars,
+        SolverConfig::default(),
+    )
+    .ok()?;
+    Some(Measurement {
+        mechanism: "asp-transitive",
+        params: params.to_string(),
+        millis: start.elapsed().as_secs_f64() * 1e3,
+        answers: result.answers.len(),
+        worlds: result.answer_set_count,
+    })
+}
+
+/// Run the naive solution-enumeration (Definition 4 / 5) mechanism.
+pub fn run_naive(w: &GeneratedWorkload, params: &str) -> Option<Measurement> {
+    let start = Instant::now();
+    let result = peer_consistent_answers(
+        &w.system,
+        &w.queried_peer,
+        &w.query,
+        &w.free_vars,
+        SolutionOptions::default(),
+    )
+    .ok()?;
+    Some(Measurement {
+        mechanism: "naive-solutions",
+        params: params.to_string(),
+        millis: start.elapsed().as_secs_f64() * 1e3,
+        answers: result.answers.len(),
+        worlds: result.solution_count,
+    })
+}
+
+/// Run the single-database CQA baseline: the same data and constraints, but
+/// treated as one inconsistent database repaired under the DECs with no peer
+/// or trust structure.
+pub fn run_cqa_baseline(w: &GeneratedWorkload, params: &str) -> Option<Measurement> {
+    let constraints: Vec<constraints::Constraint> = w
+        .system
+        .decs()
+        .iter()
+        .map(|d| d.constraint.clone())
+        .collect();
+    let db = w.system.global_instance().ok()?;
+    let engine = RepairEngine::new(constraints);
+    let start = Instant::now();
+    let result = consistent_answers(&engine, &db, &w.query, &w.free_vars).ok()?;
+    Some(Measurement {
+        mechanism: "cqa-baseline",
+        params: params.to_string(),
+        millis: start.elapsed().as_secs_f64() * 1e3,
+        answers: result.answers.len(),
+        worlds: result.repair_count,
+    })
+}
+
+/// Render a list of measurements as an aligned text table.
+pub fn render_table(title: &str, rows: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<34} {:<16} {:>12} {:>9} {:>8}\n",
+        "parameters", "mechanism", "time (ms)", "answers", "worlds"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<34} {:<16} {:>12.3} {:>9} {:>8}\n",
+            row.params, row.mechanism, row.millis, row.answers, row.worlds
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::{generate, WorkloadSpec};
+
+    #[test]
+    fn runners_produce_consistent_answers_on_tiny_workload() {
+        let w = generate(&WorkloadSpec::tiny());
+        let rewriting = run_rewriting(&w, "tiny").unwrap();
+        let asp = run_asp(&w, "tiny").unwrap();
+        let naive = run_naive(&w, "tiny").unwrap();
+        assert_eq!(rewriting.answers, asp.answers);
+        assert_eq!(asp.answers, naive.answers);
+        assert!(asp.millis >= 0.0);
+    }
+
+    #[test]
+    fn table_rendering_includes_rows() {
+        let w = generate(&WorkloadSpec::tiny());
+        let rows = vec![run_rewriting(&w, "tiny").unwrap()];
+        let table = render_table("B1", &rows);
+        assert!(table.contains("B1"));
+        assert!(table.contains("rewriting"));
+    }
+
+    #[test]
+    fn cqa_baseline_runs_on_tiny_workload() {
+        let w = generate(&WorkloadSpec::tiny());
+        let m = run_cqa_baseline(&w, "tiny").unwrap();
+        assert!(m.worlds >= 1);
+    }
+}

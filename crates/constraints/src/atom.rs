@@ -1,0 +1,127 @@
+//! Atom patterns: relational atoms with variables, the building block of
+//! constraint bodies and heads.
+
+use relalg::database::GroundAtom;
+use relalg::query::{Binding, Formula, Term};
+use relalg::{Tuple, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A relational atom `R(t1, …, tn)` whose terms may be variables or constants.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AtomPattern {
+    /// Relation name.
+    pub relation: String,
+    /// Terms, in positional order.
+    pub terms: Vec<Term>,
+}
+
+impl AtomPattern {
+    /// Construct an atom pattern from explicit terms.
+    pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        AtomPattern {
+            relation: relation.into(),
+            terms,
+        }
+    }
+
+    /// Construct an atom pattern using the [`Term::parse`] token convention
+    /// (uppercase-initial tokens are variables).
+    pub fn parse<S: AsRef<str>>(relation: impl Into<String>, tokens: &[S]) -> Self {
+        AtomPattern {
+            relation: relation.into(),
+            terms: tokens.iter().map(|t| Term::parse(t.as_ref())).collect(),
+        }
+    }
+
+    /// Arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The variables occurring in the atom.
+    pub fn variables(&self) -> BTreeSet<String> {
+        self.terms
+            .iter()
+            .filter_map(|t| t.as_var().map(str::to_string))
+            .collect()
+    }
+
+    /// Convert to a [`Formula`] atom.
+    pub fn to_formula(&self) -> Formula {
+        Formula::atom_terms(self.relation.clone(), self.terms.clone())
+    }
+
+    /// Instantiate the atom under a binding. Returns `None` if some variable
+    /// is unbound.
+    pub fn ground(&self, binding: &Binding) -> Option<GroundAtom> {
+        let mut values: Vec<Value> = Vec::with_capacity(self.terms.len());
+        for t in &self.terms {
+            values.push(t.resolve(binding)?.clone());
+        }
+        Some(GroundAtom::new(self.relation.clone(), Tuple::new(values)))
+    }
+
+    /// Rename the relation of this atom (used to re-target constraints at the
+    /// primed / annotated copies of relations).
+    pub fn with_relation(&self, relation: impl Into<String>) -> AtomPattern {
+        AtomPattern {
+            relation: relation.into(),
+            terms: self.terms.clone(),
+        }
+    }
+}
+
+impl fmt::Display for AtomPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_distinguishes_variables_and_constants() {
+        let a = AtomPattern::parse("R1", &["X", "b"]);
+        assert_eq!(a.terms[0], Term::var("X"));
+        assert_eq!(a.terms[1], Term::cnst("b"));
+        assert_eq!(a.arity(), 2);
+        assert_eq!(a.variables(), BTreeSet::from(["X".to_string()]));
+    }
+
+    #[test]
+    fn ground_requires_all_variables_bound() {
+        let a = AtomPattern::parse("R1", &["X", "Y"]);
+        let mut binding = Binding::new();
+        binding.insert("X".into(), Value::str("a"));
+        assert!(a.ground(&binding).is_none());
+        binding.insert("Y".into(), Value::str("b"));
+        let g = a.ground(&binding).unwrap();
+        assert_eq!(g, GroundAtom::new("R1", Tuple::strs(["a", "b"])));
+    }
+
+    #[test]
+    fn to_formula_and_display() {
+        let a = AtomPattern::parse("R2", &["X", "c"]);
+        assert_eq!(a.to_formula(), Formula::atom("R2", vec!["X", "c"]));
+        assert_eq!(a.to_string(), "R2(X, c)");
+    }
+
+    #[test]
+    fn with_relation_retargets_atom() {
+        let a = AtomPattern::parse("R1", &["X"]);
+        let b = a.with_relation("R1_prime");
+        assert_eq!(b.relation, "R1_prime");
+        assert_eq!(b.terms, a.terms);
+    }
+}

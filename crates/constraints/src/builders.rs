@@ -1,0 +1,196 @@
+//! Convenience constructors for the constraint shapes used throughout the
+//! paper: full inclusion dependencies, referential (foreign-key style)
+//! dependencies, functional dependencies / key constraints and denials.
+
+use crate::atom::AtomPattern;
+use crate::constraint::{Condition, Constraint, ConstraintHead};
+use crate::Result;
+use relalg::query::{CompareOp, Term};
+
+/// Fresh variable names `X0, X1, …` used by the positional builders.
+fn positional_vars(prefix: &str, arity: usize) -> Vec<Term> {
+    (0..arity).map(|i| Term::var(format!("{prefix}{i}"))).collect()
+}
+
+/// Full inclusion dependency `∀x̄ (source(x̄) → target(x̄))`
+/// — the shape of `Σ(P1, P2)` in Example 1.
+pub fn full_inclusion(name: impl Into<String>, source: &str, target: &str, arity: usize) -> Result<Constraint> {
+    let vars = positional_vars("X", arity);
+    Constraint::new(
+        name,
+        vec![AtomPattern::new(source, vars.clone())],
+        vec![],
+        ConstraintHead::Atoms(vec![AtomPattern::new(target, vars)]),
+    )
+}
+
+/// Projection inclusion dependency
+/// `∀x̄ ∃ȳ (source(x̄) → target(x̄[positions], ȳ))`:
+/// the listed source positions must appear (in order) as the first components
+/// of some target tuple; remaining target components are existential.
+/// This is the referential constraint shape (2) of Section 3.
+pub fn referential_inclusion(
+    name: impl Into<String>,
+    source: &str,
+    source_arity: usize,
+    key_positions: &[usize],
+    target: &str,
+    target_arity: usize,
+) -> Result<Constraint> {
+    let source_vars = positional_vars("X", source_arity);
+    let mut target_terms: Vec<Term> = key_positions
+        .iter()
+        .map(|&p| source_vars.get(p).cloned().unwrap_or_else(|| Term::var(format!("X{p}"))))
+        .collect();
+    let existential_count = target_arity.saturating_sub(target_terms.len());
+    target_terms.extend(positional_vars("W", existential_count));
+    Constraint::new(
+        name,
+        vec![AtomPattern::new(source, source_vars)],
+        vec![],
+        ConstraintHead::Atoms(vec![AtomPattern::new(target, target_terms)]),
+    )
+}
+
+/// Functional dependency expressed as an equality-generating constraint:
+/// two tuples of `relation` that agree on `key_positions` must agree on
+/// `value_position`.
+pub fn functional_dependency(
+    name: impl Into<String>,
+    relation: &str,
+    arity: usize,
+    key_positions: &[usize],
+    value_position: usize,
+) -> Result<Constraint> {
+    let left = positional_vars("X", arity);
+    let right: Vec<Term> = (0..arity)
+        .map(|i| {
+            if key_positions.contains(&i) {
+                left[i].clone()
+            } else {
+                Term::var(format!("Y{i}"))
+            }
+        })
+        .collect();
+    let head = ConstraintHead::Equality(left[value_position].clone(), right[value_position].clone());
+    Constraint::new(
+        name,
+        vec![
+            AtomPattern::new(relation, left),
+            AtomPattern::new(relation, right),
+        ],
+        vec![],
+        head,
+    )
+}
+
+/// Cross-relation key conflict
+/// `∀x y z (left(x, y) ∧ right(x, z) → y = z)` — the shape of `Σ(P1, P3)` in
+/// Example 1, generalized to arbitrary key/value positions of binary
+/// relations.
+pub fn key_agreement(name: impl Into<String>, left: &str, right: &str) -> Result<Constraint> {
+    Constraint::new(
+        name,
+        vec![
+            AtomPattern::parse(left, &["X", "Y"]),
+            AtomPattern::parse(right, &["X", "Z"]),
+        ],
+        vec![],
+        ConstraintHead::Equality(Term::var("Y"), Term::var("Z")),
+    )
+}
+
+/// Denial constraint forbidding two tuples of a binary relation to share a
+/// key with different values (the program-constraint form of a key FD used in
+/// Section 3.2).
+pub fn key_denial(name: impl Into<String>, relation: &str) -> Result<Constraint> {
+    Constraint::new(
+        name,
+        vec![
+            AtomPattern::parse(relation, &["X", "Y"]),
+            AtomPattern::parse(relation, &["X", "Z"]),
+        ],
+        vec![Condition::new(CompareOp::Neq, Term::var("Y"), Term::var("Z"))],
+        ConstraintHead::False,
+    )
+}
+
+/// The mixed referential constraint (3) of Section 3.1:
+/// `∀x y z ∃w (r1(x, y) ∧ s1(z, y) → r2(x, w) ∧ s2(z, w))`.
+pub fn mixed_referential(
+    name: impl Into<String>,
+    r1: &str,
+    s1: &str,
+    r2: &str,
+    s2: &str,
+) -> Result<Constraint> {
+    Constraint::new(
+        name,
+        vec![
+            AtomPattern::parse(r1, &["X", "Y"]),
+            AtomPattern::parse(s1, &["Z", "Y"]),
+        ],
+        vec![],
+        ConstraintHead::Atoms(vec![
+            AtomPattern::parse(r2, &["X", "W"]),
+            AtomPattern::parse(s2, &["Z", "W"]),
+        ]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintClass;
+
+    #[test]
+    fn full_inclusion_is_universal() {
+        let c = full_inclusion("d", "R2", "R1", 2).unwrap();
+        assert_eq!(c.class(), ConstraintClass::Universal);
+        assert_eq!(c.body_relations().len(), 1);
+        assert!(c.head_relations().contains("R1"));
+        assert!(c.existential_variables().is_empty());
+    }
+
+    #[test]
+    fn referential_inclusion_introduces_existentials() {
+        let c = referential_inclusion("d", "U", 2, &[0], "S1", 2).unwrap();
+        assert_eq!(c.class(), ConstraintClass::Referential);
+        assert_eq!(c.existential_variables().len(), 1);
+    }
+
+    #[test]
+    fn referential_inclusion_without_existentials_degenerates_to_universal() {
+        let c = referential_inclusion("d", "U", 2, &[0, 1], "S1", 2).unwrap();
+        assert_eq!(c.class(), ConstraintClass::Universal);
+    }
+
+    #[test]
+    fn functional_dependency_is_egd() {
+        let c = functional_dependency("fd", "R1", 2, &[0], 1).unwrap();
+        assert_eq!(c.class(), ConstraintClass::EqualityGenerating);
+        assert_eq!(c.body.len(), 2);
+    }
+
+    #[test]
+    fn key_agreement_matches_example1_shape() {
+        let c = key_agreement("dec", "R1", "R3").unwrap();
+        assert_eq!(c.class(), ConstraintClass::EqualityGenerating);
+        assert_eq!(c.to_string(), "dec: R1(X, Y) and R3(X, Z) -> Y = Z");
+    }
+
+    #[test]
+    fn key_denial_is_denial() {
+        let c = key_denial("ic", "R1").unwrap();
+        assert_eq!(c.class(), ConstraintClass::Denial);
+        assert_eq!(c.conditions.len(), 1);
+    }
+
+    #[test]
+    fn mixed_referential_matches_section31_shape() {
+        let c = mixed_referential("sigma", "R1", "S1", "R2", "S2").unwrap();
+        assert_eq!(c.class(), ConstraintClass::Referential);
+        assert_eq!(c.existential_variables().len(), 1);
+        assert_eq!(c.relations().len(), 4);
+    }
+}

@@ -1,0 +1,470 @@
+//! Constraint satisfaction checking and violation enumeration.
+
+use crate::constraint::{Constraint, ConstraintHead};
+use crate::Result;
+use relalg::database::{Database, GroundAtom};
+use relalg::query::{Binding, Formula, QueryEvaluator};
+use relalg::Value;
+use std::collections::BTreeSet;
+
+/// A single violation of a constraint: a binding of the constraint's
+/// universal variables under which the body holds but the head does not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Name of the violated constraint.
+    pub constraint: String,
+    /// Binding of the universal (body) variables witnessing the violation.
+    pub binding: Binding,
+}
+
+impl Violation {
+    /// The ground body atoms participating in the violation, in body order.
+    pub fn ground_body(&self, constraint: &Constraint) -> Vec<GroundAtom> {
+        constraint
+            .body
+            .iter()
+            .filter_map(|a| a.ground(&self.binding))
+            .collect()
+    }
+}
+
+/// Checks constraints against a fixed database instance.
+pub struct ConstraintChecker<'a> {
+    db: &'a Database,
+    evaluator: QueryEvaluator<'a>,
+}
+
+impl<'a> ConstraintChecker<'a> {
+    /// Create a checker for the given instance.
+    pub fn new(db: &'a Database) -> Self {
+        ConstraintChecker {
+            db,
+            evaluator: QueryEvaluator::new(db),
+        }
+    }
+
+    /// Create a checker whose quantifiers also range over additional domain
+    /// values (e.g. the active domain of a wider, multi-peer instance).
+    pub fn with_domain(db: &'a Database, domain: impl IntoIterator<Item = Value>) -> Self {
+        ConstraintChecker {
+            db,
+            evaluator: QueryEvaluator::with_domain(db, domain),
+        }
+    }
+
+    /// The underlying evaluator.
+    pub fn evaluator(&self) -> &QueryEvaluator<'a> {
+        &self.evaluator
+    }
+
+    /// Is the constraint satisfied by the instance?
+    pub fn satisfied(&self, constraint: &Constraint) -> Result<bool> {
+        Ok(self.violations(constraint)?.is_empty())
+    }
+
+    /// Are all constraints satisfied?
+    pub fn all_satisfied<'c, I: IntoIterator<Item = &'c Constraint>>(
+        &self,
+        constraints: I,
+    ) -> Result<bool> {
+        for c in constraints {
+            if !self.satisfied(c)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Enumerate every violation of the constraint: bindings of the body
+    /// variables for which the body is true and the head is false.
+    pub fn violations(&self, constraint: &Constraint) -> Result<Vec<Violation>> {
+        let body = constraint.body_formula();
+        let mut out = Vec::new();
+        for binding in self.evaluator.bindings(&body, &Binding::new())? {
+            if !self.head_satisfied(constraint, &binding)? {
+                out.push(Violation {
+                    constraint: constraint.name.clone(),
+                    binding,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Enumerate the violations of every constraint in a collection.
+    pub fn all_violations<'c, I: IntoIterator<Item = &'c Constraint>>(
+        &self,
+        constraints: I,
+    ) -> Result<Vec<(&'c Constraint, Violation)>> {
+        let mut out = Vec::new();
+        for c in constraints {
+            for v in self.violations(c)? {
+                out.push((c, v));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Is the constraint's head satisfied under the binding of its body
+    /// variables?
+    pub fn head_satisfied(&self, constraint: &Constraint, binding: &Binding) -> Result<bool> {
+        match &constraint.head {
+            ConstraintHead::False => Ok(false),
+            ConstraintHead::Equality(l, r) => {
+                let lv = l.resolve(binding);
+                let rv = r.resolve(binding);
+                match (lv, rv) {
+                    (Some(a), Some(b)) => Ok(a == b),
+                    _ => Ok(false),
+                }
+            }
+            ConstraintHead::Atoms(atoms) => {
+                let inner = Formula::and(atoms.iter().map(|a| a.to_formula()).collect());
+                let evars: Vec<String> = constraint.existential_variables().into_iter().collect();
+                let head = Formula::exists(evars, inner);
+                Ok(self.evaluator.holds(&head, binding)?)
+            }
+        }
+    }
+
+    /// The ways the head of a violated constraint can be *made* true by
+    /// inserting tuples, given which relations are flexible (changeable).
+    ///
+    /// Each returned option is a set of ground atoms to insert, all of them
+    /// over flexible relations. For referential constraints the existential
+    /// witnesses are drawn from the candidate values for which every head
+    /// atom over a *fixed* relation already holds — exactly the role the
+    /// `choice` operator plays in the paper's rule (9), where the witness `w`
+    /// must satisfy the fixed companion atom `S2(z, w)`. When no head atom is
+    /// over a fixed relation the witnesses range over the instance's active
+    /// domain.
+    ///
+    /// Returns an empty vector when the head cannot be satisfied by
+    /// insertions alone (equality and denial heads, or heads whose fixed
+    /// part cannot be witnessed).
+    pub fn head_insertion_options<F>(
+        &self,
+        constraint: &Constraint,
+        binding: &Binding,
+        is_flexible: F,
+    ) -> Result<Vec<Vec<GroundAtom>>>
+    where
+        F: Fn(&str) -> bool,
+    {
+        let atoms = match &constraint.head {
+            ConstraintHead::Atoms(atoms) => atoms,
+            _ => return Ok(vec![]),
+        };
+        let evars: Vec<String> = constraint.existential_variables().into_iter().collect();
+
+        // Enumerate witness bindings for the existential variables.
+        let witness_bindings: Vec<Binding> = if evars.is_empty() {
+            vec![binding.clone()]
+        } else {
+            // Constrain witnesses by the fixed head atoms when possible.
+            let fixed_atoms: Vec<Formula> = atoms
+                .iter()
+                .filter(|a| !is_flexible(&a.relation))
+                .map(|a| a.to_formula())
+                .collect();
+            if fixed_atoms.is_empty() {
+                // Cartesian product of the active domain over the witnesses.
+                let mut acc = vec![binding.clone()];
+                for v in &evars {
+                    let mut next = Vec::new();
+                    for b in &acc {
+                        for value in self.evaluator.domain() {
+                            let mut nb = b.clone();
+                            nb.insert(v.clone(), value.clone());
+                            next.push(nb);
+                        }
+                    }
+                    acc = next;
+                }
+                acc
+            } else {
+                self.evaluator
+                    .bindings(&Formula::and(fixed_atoms), binding)?
+            }
+        };
+
+        let mut options: Vec<Vec<GroundAtom>> = Vec::new();
+        let mut seen: BTreeSet<Vec<GroundAtom>> = BTreeSet::new();
+        'witness: for wb in witness_bindings {
+            let mut insertions = Vec::new();
+            for atom in atoms {
+                let ground = match atom.ground(&wb) {
+                    Some(g) => g,
+                    None => continue 'witness,
+                };
+                if is_flexible(&atom.relation) {
+                    if !self.db.holds(&ground.relation, &ground.tuple) {
+                        insertions.push(ground);
+                    }
+                } else if !self.db.holds(&ground.relation, &ground.tuple) {
+                    // A fixed head atom that does not hold cannot be inserted:
+                    // this witness choice is unusable.
+                    continue 'witness;
+                }
+            }
+            insertions.sort();
+            if seen.insert(insertions.clone()) {
+                options.push(insertions);
+            }
+        }
+        // Drop options that are supersets of other options: inserting less is
+        // always preferred by the minimality semantics.
+        options.retain(|opt| !opt.is_empty());
+        Ok(options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::AtomPattern;
+    use crate::constraint::{Condition, ConstraintHead};
+    use relalg::query::{CompareOp, Term};
+    use relalg::{Relation, RelationSchema, Tuple};
+
+    /// The Example 1 global instance.
+    fn example1_db() -> Database {
+        let mut db = Database::new();
+        for r in ["R1", "R2", "R3"] {
+            db.add_relation(Relation::new(RelationSchema::new(r, &["x", "y"])));
+        }
+        for (r, a, b) in [
+            ("R1", "a", "b"),
+            ("R1", "s", "t"),
+            ("R2", "c", "d"),
+            ("R2", "a", "e"),
+            ("R3", "a", "f"),
+            ("R3", "s", "u"),
+        ] {
+            db.insert(r, Tuple::strs([a, b])).unwrap();
+        }
+        db
+    }
+
+    fn full_inclusion() -> Constraint {
+        Constraint::new(
+            "dec_p1_p2",
+            vec![AtomPattern::parse("R2", &["X", "Y"])],
+            vec![],
+            ConstraintHead::Atoms(vec![AtomPattern::parse("R1", &["X", "Y"])]),
+        )
+        .unwrap()
+    }
+
+    fn key_conflict() -> Constraint {
+        Constraint::new(
+            "dec_p1_p3",
+            vec![
+                AtomPattern::parse("R1", &["X", "Y"]),
+                AtomPattern::parse("R3", &["X", "Z"]),
+            ],
+            vec![],
+            ConstraintHead::Equality(Term::var("Y"), Term::var("Z")),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn inclusion_violations_are_the_missing_r1_tuples() {
+        let db = example1_db();
+        let checker = ConstraintChecker::new(&db);
+        let c = full_inclusion();
+        assert!(!checker.satisfied(&c).unwrap());
+        let violations = checker.violations(&c).unwrap();
+        assert_eq!(violations.len(), 2);
+        let grounds: BTreeSet<GroundAtom> = violations
+            .iter()
+            .flat_map(|v| v.ground_body(&c))
+            .collect();
+        assert!(grounds.contains(&GroundAtom::new("R2", Tuple::strs(["c", "d"]))));
+        assert!(grounds.contains(&GroundAtom::new("R2", Tuple::strs(["a", "e"]))));
+    }
+
+    #[test]
+    fn key_conflict_violations_pair_r1_with_r3() {
+        let db = example1_db();
+        let checker = ConstraintChecker::new(&db);
+        let c = key_conflict();
+        let violations = checker.violations(&c).unwrap();
+        // (a,b)-(a,f) and (s,t)-(s,u).
+        assert_eq!(violations.len(), 2);
+        for v in &violations {
+            assert_eq!(v.ground_body(&c).len(), 2);
+        }
+    }
+
+    #[test]
+    fn satisfied_constraint_has_no_violations() {
+        let db = example1_db();
+        let checker = ConstraintChecker::new(&db);
+        let trivial = Constraint::new(
+            "trivial",
+            vec![AtomPattern::parse("R1", &["X", "Y"])],
+            vec![],
+            ConstraintHead::Atoms(vec![AtomPattern::parse("R1", &["X", "Y"])]),
+        )
+        .unwrap();
+        assert!(checker.satisfied(&trivial).unwrap());
+        assert!(checker
+            .all_satisfied([&trivial].into_iter())
+            .unwrap());
+        assert!(!checker
+            .all_satisfied([&trivial, &full_inclusion()].iter().copied())
+            .unwrap());
+    }
+
+    #[test]
+    fn insertion_options_for_universal_constraint() {
+        let db = example1_db();
+        let checker = ConstraintChecker::new(&db);
+        let c = full_inclusion();
+        let violations = checker.violations(&c).unwrap();
+        let opts = checker
+            .head_insertion_options(&c, &violations[0].binding, |r| r == "R1")
+            .unwrap();
+        assert_eq!(opts.len(), 1);
+        assert_eq!(opts[0].len(), 1);
+        assert_eq!(opts[0][0].relation, "R1");
+    }
+
+    #[test]
+    fn insertion_options_empty_when_head_relation_fixed() {
+        let db = example1_db();
+        let checker = ConstraintChecker::new(&db);
+        let c = full_inclusion();
+        let violations = checker.violations(&c).unwrap();
+        let opts = checker
+            .head_insertion_options(&c, &violations[0].binding, |_| false)
+            .unwrap();
+        assert!(opts.is_empty());
+    }
+
+    #[test]
+    fn equality_head_has_no_insertion_fix() {
+        let db = example1_db();
+        let checker = ConstraintChecker::new(&db);
+        let c = key_conflict();
+        let violations = checker.violations(&c).unwrap();
+        let opts = checker
+            .head_insertion_options(&c, &violations[0].binding, |_| true)
+            .unwrap();
+        assert!(opts.is_empty());
+    }
+
+    #[test]
+    fn referential_witnesses_come_from_fixed_companion() {
+        // Section 3.1 setting: R1(d, m), S1(a, m), S2 holds candidate
+        // witnesses; R2 is flexible, S2 is fixed.
+        let mut db = Database::new();
+        for (r, attrs) in [("R1", 2), ("R2", 2), ("S1", 2), ("S2", 2)] {
+            db.add_relation(Relation::new(RelationSchema::with_arity(r, attrs)));
+        }
+        db.insert("R1", Tuple::strs(["d", "m"])).unwrap();
+        db.insert("S1", Tuple::strs(["a", "m"])).unwrap();
+        db.insert("S2", Tuple::strs(["a", "t1"])).unwrap();
+        db.insert("S2", Tuple::strs(["a", "t2"])).unwrap();
+        let c = Constraint::new(
+            "sigma3",
+            vec![
+                AtomPattern::parse("R1", &["X", "Y"]),
+                AtomPattern::parse("S1", &["Z", "Y"]),
+            ],
+            vec![],
+            ConstraintHead::Atoms(vec![
+                AtomPattern::parse("R2", &["X", "W"]),
+                AtomPattern::parse("S2", &["Z", "W"]),
+            ]),
+        )
+        .unwrap();
+        let checker = ConstraintChecker::new(&db);
+        let violations = checker.violations(&c).unwrap();
+        assert_eq!(violations.len(), 1);
+        let opts = checker
+            .head_insertion_options(&c, &violations[0].binding, |r| r == "R1" || r == "R2")
+            .unwrap();
+        // Two witnesses t1, t2 → two insertion alternatives for R2(d, ·).
+        assert_eq!(opts.len(), 2);
+        for opt in &opts {
+            assert_eq!(opt.len(), 1);
+            assert_eq!(opt[0].relation, "R2");
+        }
+    }
+
+    #[test]
+    fn referential_without_witness_has_no_insertion_option() {
+        // Same as above but S2 has no tuple for the key `a`.
+        let mut db = Database::new();
+        for r in ["R1", "R2", "S1", "S2"] {
+            db.add_relation(Relation::new(RelationSchema::with_arity(r, 2)));
+        }
+        db.insert("R1", Tuple::strs(["d", "m"])).unwrap();
+        db.insert("S1", Tuple::strs(["a", "m"])).unwrap();
+        db.insert("S2", Tuple::strs(["b", "t1"])).unwrap();
+        let c = Constraint::new(
+            "sigma3",
+            vec![
+                AtomPattern::parse("R1", &["X", "Y"]),
+                AtomPattern::parse("S1", &["Z", "Y"]),
+            ],
+            vec![],
+            ConstraintHead::Atoms(vec![
+                AtomPattern::parse("R2", &["X", "W"]),
+                AtomPattern::parse("S2", &["Z", "W"]),
+            ]),
+        )
+        .unwrap();
+        let checker = ConstraintChecker::new(&db);
+        let violations = checker.violations(&c).unwrap();
+        assert_eq!(violations.len(), 1);
+        let opts = checker
+            .head_insertion_options(&c, &violations[0].binding, |r| r == "R1" || r == "R2")
+            .unwrap();
+        assert!(opts.is_empty());
+    }
+
+    #[test]
+    fn denial_constraint_violations() {
+        let db = example1_db();
+        let checker = ConstraintChecker::new(&db);
+        // FD on R2: same key, different values → violated? R2 = {(c,d),(a,e)}
+        // has distinct keys, so the FD holds.
+        let fd = Constraint::new(
+            "fd_r2",
+            vec![
+                AtomPattern::parse("R2", &["X", "Y"]),
+                AtomPattern::parse("R2", &["X", "Z"]),
+            ],
+            vec![Condition::new(CompareOp::Neq, Term::var("Y"), Term::var("Z"))],
+            ConstraintHead::False,
+        )
+        .unwrap();
+        assert!(checker.satisfied(&fd).unwrap());
+        // A denial over R1 keys with R3: violated twice (a and s).
+        let denial = Constraint::new(
+            "no_shared_keys",
+            vec![
+                AtomPattern::parse("R1", &["X", "Y"]),
+                AtomPattern::parse("R3", &["X", "Z"]),
+            ],
+            vec![],
+            ConstraintHead::False,
+        )
+        .unwrap();
+        let violations = checker.violations(&denial).unwrap();
+        assert_eq!(violations.len(), 2);
+    }
+
+    #[test]
+    fn all_violations_aggregates_across_constraints() {
+        let db = example1_db();
+        let checker = ConstraintChecker::new(&db);
+        let cs = [full_inclusion(), key_conflict()];
+        let all = checker.all_violations(cs.iter()).unwrap();
+        assert_eq!(all.len(), 4);
+    }
+}

@@ -1,0 +1,435 @@
+//! The [`Constraint`] type: universally quantified implications with an
+//! optional existential consequent, covering the paper's DEC and IC classes.
+
+use crate::atom::AtomPattern;
+use crate::error::ConstraintError;
+use crate::Result;
+use relalg::query::{CompareOp, Formula, Term};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A built-in comparison appearing in a constraint body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Condition {
+    /// Comparison operator.
+    pub op: CompareOp,
+    /// Left term.
+    pub left: Term,
+    /// Right term.
+    pub right: Term,
+}
+
+impl Condition {
+    /// Construct a condition.
+    pub fn new(op: CompareOp, left: Term, right: Term) -> Self {
+        Condition { op, left, right }
+    }
+
+    /// Convert to a formula.
+    pub fn to_formula(&self) -> Formula {
+        Formula::compare(self.op, self.left.clone(), self.right.clone())
+    }
+
+    /// Variables used by the condition.
+    pub fn variables(&self) -> BTreeSet<String> {
+        [&self.left, &self.right]
+            .iter()
+            .filter_map(|t| t.as_var().map(str::to_string))
+            .collect()
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+/// The consequent of a constraint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstraintHead {
+    /// A conjunction of relational atoms, possibly with existential
+    /// variables (variables not occurring in the body).
+    Atoms(Vec<AtomPattern>),
+    /// An equality between two terms (equality-generating dependency).
+    Equality(Term, Term),
+    /// `false` — a denial constraint.
+    False,
+}
+
+/// Syntactic class of a constraint, used to route it to the appropriate
+/// repair / rewriting / program-generation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstraintClass {
+    /// Tuple-generating, no existential variables (e.g. full inclusion).
+    Universal,
+    /// Tuple-generating with existential variables (referential, forms (2)/(3)).
+    Referential,
+    /// Equality-generating (functional dependencies, key conflicts).
+    EqualityGenerating,
+    /// Denial (`→ false`).
+    Denial,
+}
+
+/// A universally quantified implication
+/// `∀x̄ (body ∧ conditions → head)`, where `head` may introduce existential
+/// variables.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Identifier used in diagnostics, program generation and the DSL.
+    pub name: String,
+    /// Relational atoms of the antecedent.
+    pub body: Vec<AtomPattern>,
+    /// Built-in comparisons of the antecedent.
+    pub conditions: Vec<Condition>,
+    /// Consequent.
+    pub head: ConstraintHead,
+}
+
+impl Constraint {
+    /// Create a constraint and validate its shape.
+    pub fn new(
+        name: impl Into<String>,
+        body: Vec<AtomPattern>,
+        conditions: Vec<Condition>,
+        head: ConstraintHead,
+    ) -> Result<Self> {
+        let c = Constraint {
+            name: name.into(),
+            body,
+            conditions,
+            head,
+        };
+        c.validate()?;
+        Ok(c)
+    }
+
+    /// Validate safety: non-empty body; condition variables and equality-head
+    /// variables must occur in the body.
+    fn validate(&self) -> Result<()> {
+        if self.body.is_empty() {
+            return Err(ConstraintError::EmptyBody(self.name.clone()));
+        }
+        let body_vars = self.universal_variables();
+        for cond in &self.conditions {
+            for v in cond.variables() {
+                if !body_vars.contains(&v) {
+                    return Err(ConstraintError::UnsafeHeadVariable {
+                        constraint: self.name.clone(),
+                        variable: v,
+                    });
+                }
+            }
+        }
+        if let ConstraintHead::Equality(l, r) = &self.head {
+            for t in [l, r] {
+                if let Some(v) = t.as_var() {
+                    if !body_vars.contains(v) {
+                        return Err(ConstraintError::UnsafeHeadVariable {
+                            constraint: self.name.clone(),
+                            variable: v.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Variables of the antecedent (the universally quantified variables).
+    pub fn universal_variables(&self) -> BTreeSet<String> {
+        self.body.iter().flat_map(|a| a.variables()).collect()
+    }
+
+    /// Head variables not occurring in the body (the existential variables
+    /// `ȳ` of form (2)).
+    pub fn existential_variables(&self) -> BTreeSet<String> {
+        let body_vars = self.universal_variables();
+        match &self.head {
+            ConstraintHead::Atoms(atoms) => atoms
+                .iter()
+                .flat_map(|a| a.variables())
+                .filter(|v| !body_vars.contains(v))
+                .collect(),
+            _ => BTreeSet::new(),
+        }
+    }
+
+    /// Syntactic class of the constraint.
+    pub fn class(&self) -> ConstraintClass {
+        match &self.head {
+            ConstraintHead::False => ConstraintClass::Denial,
+            ConstraintHead::Equality(_, _) => ConstraintClass::EqualityGenerating,
+            ConstraintHead::Atoms(_) => {
+                if self.existential_variables().is_empty() {
+                    ConstraintClass::Universal
+                } else {
+                    ConstraintClass::Referential
+                }
+            }
+        }
+    }
+
+    /// Relation names of the antecedent.
+    pub fn body_relations(&self) -> BTreeSet<String> {
+        self.body.iter().map(|a| a.relation.clone()).collect()
+    }
+
+    /// Relation names of the consequent.
+    pub fn head_relations(&self) -> BTreeSet<String> {
+        match &self.head {
+            ConstraintHead::Atoms(atoms) => atoms.iter().map(|a| a.relation.clone()).collect(),
+            _ => BTreeSet::new(),
+        }
+    }
+
+    /// Head atoms, if the head is a conjunction of atoms.
+    pub fn head_atoms(&self) -> &[AtomPattern] {
+        match &self.head {
+            ConstraintHead::Atoms(atoms) => atoms,
+            _ => &[],
+        }
+    }
+
+    /// All relation names mentioned by the constraint.
+    pub fn relations(&self) -> BTreeSet<String> {
+        let mut out = self.body_relations();
+        out.extend(self.head_relations());
+        out
+    }
+
+    /// The antecedent as a formula (conjunction of atoms and conditions).
+    pub fn body_formula(&self) -> Formula {
+        let mut parts: Vec<Formula> = self.body.iter().map(AtomPattern::to_formula).collect();
+        parts.extend(self.conditions.iter().map(Condition::to_formula));
+        Formula::and(parts)
+    }
+
+    /// The consequent as a formula (existentially closing the head variables
+    /// that do not occur in the body).
+    pub fn head_formula(&self) -> Formula {
+        match &self.head {
+            ConstraintHead::False => Formula::False,
+            ConstraintHead::Equality(l, r) => Formula::eq(l.clone(), r.clone()),
+            ConstraintHead::Atoms(atoms) => {
+                let inner = Formula::and(atoms.iter().map(AtomPattern::to_formula).collect());
+                let evars: Vec<String> = self.existential_variables().into_iter().collect();
+                Formula::exists(evars, inner)
+            }
+        }
+    }
+
+    /// The full sentence `∀x̄ (body → head)`.
+    pub fn to_formula(&self) -> Formula {
+        let vars: Vec<String> = self.universal_variables().into_iter().collect();
+        Formula::forall(
+            vars,
+            Formula::implies(self.body_formula(), self.head_formula()),
+        )
+    }
+
+    /// Rename a relation everywhere in the constraint (body and head).
+    pub fn rename_relation(&self, from: &str, to: &str) -> Constraint {
+        let map_atom = |a: &AtomPattern| {
+            if a.relation == from {
+                a.with_relation(to)
+            } else {
+                a.clone()
+            }
+        };
+        Constraint {
+            name: self.name.clone(),
+            body: self.body.iter().map(map_atom).collect(),
+            conditions: self.conditions.clone(),
+            head: match &self.head {
+                ConstraintHead::Atoms(atoms) => {
+                    ConstraintHead::Atoms(atoms.iter().map(map_atom).collect())
+                }
+                other => other.clone(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.name)?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, " and ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        for c in &self.conditions {
+            write!(f, " and {c}")?;
+        }
+        write!(f, " -> ")?;
+        match &self.head {
+            ConstraintHead::False => write!(f, "false"),
+            ConstraintHead::Equality(l, r) => write!(f, "{l} = {r}"),
+            ConstraintHead::Atoms(atoms) => {
+                for (i, a) in atoms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " and ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Σ(P1, P2) of Example 1: ∀xy (R2(x, y) → R1(x, y)).
+    fn full_inclusion() -> Constraint {
+        Constraint::new(
+            "dec_p1_p2",
+            vec![AtomPattern::parse("R2", &["X", "Y"])],
+            vec![],
+            ConstraintHead::Atoms(vec![AtomPattern::parse("R1", &["X", "Y"])]),
+        )
+        .unwrap()
+    }
+
+    /// Σ(P1, P3) of Example 1: ∀xyz (R1(x, y) ∧ R3(x, z) → y = z).
+    fn key_conflict() -> Constraint {
+        Constraint::new(
+            "dec_p1_p3",
+            vec![
+                AtomPattern::parse("R1", &["X", "Y"]),
+                AtomPattern::parse("R3", &["X", "Z"]),
+            ],
+            vec![],
+            ConstraintHead::Equality(Term::var("Y"), Term::var("Z")),
+        )
+        .unwrap()
+    }
+
+    /// Constraint (3) of Section 3.1:
+    /// ∀xyz ∃w (R1(x, y) ∧ S1(z, y) → R2(x, w) ∧ S2(z, w)).
+    fn referential() -> Constraint {
+        Constraint::new(
+            "dec_p_q",
+            vec![
+                AtomPattern::parse("R1", &["X", "Y"]),
+                AtomPattern::parse("S1", &["Z", "Y"]),
+            ],
+            vec![],
+            ConstraintHead::Atoms(vec![
+                AtomPattern::parse("R2", &["X", "W"]),
+                AtomPattern::parse("S2", &["Z", "W"]),
+            ]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn classification_matches_paper_examples() {
+        assert_eq!(full_inclusion().class(), ConstraintClass::Universal);
+        assert_eq!(key_conflict().class(), ConstraintClass::EqualityGenerating);
+        assert_eq!(referential().class(), ConstraintClass::Referential);
+        let denial = Constraint::new(
+            "ic",
+            vec![
+                AtomPattern::parse("R1", &["X", "Y"]),
+                AtomPattern::parse("R1", &["X", "Z"]),
+            ],
+            vec![Condition::new(CompareOp::Neq, Term::var("Y"), Term::var("Z"))],
+            ConstraintHead::False,
+        )
+        .unwrap();
+        assert_eq!(denial.class(), ConstraintClass::Denial);
+    }
+
+    #[test]
+    fn existential_variables_are_head_only_vars() {
+        assert!(full_inclusion().existential_variables().is_empty());
+        assert_eq!(
+            referential().existential_variables(),
+            BTreeSet::from(["W".to_string()])
+        );
+    }
+
+    #[test]
+    fn relations_collects_body_and_head() {
+        let c = referential();
+        assert_eq!(
+            c.relations(),
+            BTreeSet::from([
+                "R1".to_string(),
+                "R2".to_string(),
+                "S1".to_string(),
+                "S2".to_string()
+            ])
+        );
+        assert_eq!(c.body_relations().len(), 2);
+        assert_eq!(c.head_relations().len(), 2);
+    }
+
+    #[test]
+    fn to_formula_builds_universal_implication() {
+        let f = full_inclusion().to_formula();
+        let txt = f.to_string();
+        assert!(txt.contains("forall"));
+        assert!(txt.contains("R2(X, Y)"));
+        assert!(txt.contains("R1(X, Y)"));
+        let rf = referential().to_formula().to_string();
+        assert!(rf.contains("exists W"));
+    }
+
+    #[test]
+    fn empty_body_is_rejected() {
+        let err = Constraint::new(
+            "bad",
+            vec![],
+            vec![],
+            ConstraintHead::Atoms(vec![AtomPattern::parse("R", &["X"])]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConstraintError::EmptyBody(_)));
+    }
+
+    #[test]
+    fn unsafe_condition_variable_is_rejected() {
+        let err = Constraint::new(
+            "bad",
+            vec![AtomPattern::parse("R", &["X"])],
+            vec![Condition::new(CompareOp::Eq, Term::var("Z"), Term::var("X"))],
+            ConstraintHead::False,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConstraintError::UnsafeHeadVariable { .. }));
+    }
+
+    #[test]
+    fn unsafe_equality_head_variable_is_rejected() {
+        let err = Constraint::new(
+            "bad",
+            vec![AtomPattern::parse("R", &["X"])],
+            vec![],
+            ConstraintHead::Equality(Term::var("X"), Term::var("Q")),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConstraintError::UnsafeHeadVariable { .. }));
+    }
+
+    #[test]
+    fn rename_relation_affects_both_sides() {
+        let c = full_inclusion().rename_relation("R1", "R1_v");
+        assert!(c.head_relations().contains("R1_v"));
+        assert!(!c.relations().contains("R1"));
+        let c2 = full_inclusion().rename_relation("R2", "R2_v");
+        assert!(c2.body_relations().contains("R2_v"));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = key_conflict().to_string();
+        assert!(s.contains("R1(X, Y) and R3(X, Z) -> Y = Z"));
+    }
+}

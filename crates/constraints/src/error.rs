@@ -1,0 +1,61 @@
+//! Errors raised by constraint construction and checking.
+
+use std::fmt;
+
+/// Errors raised by the constraints crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintError {
+    /// A constraint was declared with an empty antecedent, which makes the
+    /// universal closure unsafe to evaluate.
+    EmptyBody(String),
+    /// A constraint's consequent uses a variable that is neither universally
+    /// quantified (in the body) nor existential in a relational atom.
+    UnsafeHeadVariable { constraint: String, variable: String },
+    /// Propagated evaluation error from the relational layer.
+    Relalg(relalg::RelalgError),
+}
+
+impl fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintError::EmptyBody(name) => {
+                write!(f, "constraint `{name}` has an empty antecedent")
+            }
+            ConstraintError::UnsafeHeadVariable { constraint, variable } => write!(
+                f,
+                "constraint `{constraint}` uses head variable `{variable}` outside any relational atom"
+            ),
+            ConstraintError::Relalg(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConstraintError {}
+
+impl From<relalg::RelalgError> for ConstraintError {
+    fn from(e: relalg::RelalgError) -> Self {
+        ConstraintError::Relalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_constraint_names() {
+        let e = ConstraintError::EmptyBody("dec1".into());
+        assert!(e.to_string().contains("dec1"));
+        let e = ConstraintError::UnsafeHeadVariable {
+            constraint: "dec2".into(),
+            variable: "W".into(),
+        };
+        assert!(e.to_string().contains('W'));
+    }
+
+    #[test]
+    fn relalg_errors_convert() {
+        let e: ConstraintError = relalg::RelalgError::UnknownRelation("R".into()).into();
+        assert!(matches!(e, ConstraintError::Relalg(_)));
+    }
+}

@@ -1,0 +1,40 @@
+//! # constraints — integrity and data exchange constraints
+//!
+//! The paper's framework (Definition 2) attaches two kinds of sentences to a
+//! peer `P`:
+//!
+//! * local integrity constraints `IC(P)` over `P`'s own schema, and
+//! * data exchange constraints (DECs) `Σ(P, Q)` written over the union of the
+//!   schemas of `P` and another peer `Q`.
+//!
+//! Both are universally quantified implications, possibly with existential
+//! quantifiers in the consequent (the *referential* constraints of Section 3,
+//! forms (2) and (3)). This crate provides a single [`Constraint`]
+//! representation that covers the classes used throughout the paper:
+//!
+//! * **universal** constraints — every consequent variable occurs in the
+//!   antecedent (e.g. the full inclusion dependency `Σ(P1, P2)` of Example 1);
+//! * **referential** constraints — the consequent has existential variables
+//!   (e.g. constraint (3) of Section 3.1);
+//! * **equality-generating** constraints — the consequent is an equality
+//!   (e.g. `Σ(P1, P3)` of Example 1, or a functional dependency);
+//! * **denial** constraints — the consequent is `false` (used for local ICs).
+//!
+//! The crate knows nothing about peers or trust; it only checks sentences
+//! against [`relalg::Database`] instances and enumerates their violations,
+//! which is what both the repair engine and the specification-program
+//! generators consume.
+
+pub mod atom;
+pub mod builders;
+pub mod check;
+pub mod constraint;
+pub mod error;
+
+pub use atom::AtomPattern;
+pub use check::{ConstraintChecker, Violation};
+pub use constraint::{Constraint, ConstraintClass, ConstraintHead};
+pub use error::ConstraintError;
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, ConstraintError>;

@@ -1,0 +1,380 @@
+//! Peer consistent answers via the answer-set specification programs.
+//!
+//! "The peer consistent answers to a query posed to the peer can be obtained
+//! by running the query, expressed as a query program in terms of the
+//! virtually repaired tables, in combination with the specification program,
+//! … under the skeptical answer set semantics" (Section 3.2). This module
+//! does exactly that:
+//!
+//! 1. the query (a positive existential first-order formula over the peer's
+//!    relations) is compiled into one rule per disjunct of its disjunctive
+//!    normal form, with every relation atom re-targeted at the *solution*
+//!    predicate of the specification (`R__tss` for flexible relations);
+//! 2. the query rules are appended to the specification program
+//!    ([`crate::asp::annotated`] for the direct semantics, or
+//!    [`crate::asp::transitive`] for the global semantics of Section 4.3);
+//! 3. the cautious consequences of the answer predicate are decoded back
+//!    into tuples.
+
+use crate::asp::annotated::{annotated_program, convert_op, convert_term};
+use crate::asp::encode::{ValueDecoder, ANSWER_PREDICATE};
+use crate::asp::transitive::transitive_program;
+use crate::error::CoreError;
+use crate::system::{P2PSystem, PeerId};
+use crate::Result;
+use datalog::{AnswerSets, Atom, BodyItem, Builtin, Program, Rule, SolverConfig, Term};
+use relalg::query::{CompareOp, Formula, Term as RelTerm};
+use relalg::Tuple;
+use std::collections::BTreeSet;
+
+/// Result of an ASP-based peer-consistent-answer computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AspAnswer {
+    /// The peer consistent answers.
+    pub answers: BTreeSet<Tuple>,
+    /// Number of answer sets (solutions) of the specification program.
+    pub answer_set_count: usize,
+    /// Branch nodes explored by the answer-set solver.
+    pub branch_nodes: usize,
+    /// Whether the HCF shift was applied by the solver.
+    pub used_shift: bool,
+}
+
+/// One conjunct of a DNF query.
+enum Conjunct {
+    Atom { relation: String, terms: Vec<RelTerm> },
+    Compare { op: CompareOp, left: RelTerm, right: RelTerm },
+}
+
+/// Peer consistent answers via the (direct) annotated specification program.
+pub fn answers_via_asp(
+    system: &P2PSystem,
+    peer: &PeerId,
+    query: &Formula,
+    free_vars: &[String],
+    config: SolverConfig,
+) -> Result<AspAnswer> {
+    let spec = annotated_program(system, peer)?;
+    check_query_language(system, peer, query)?;
+    let mut program = spec.program.clone();
+    append_query_rules(&mut program, query, free_vars, &|relation| {
+        spec.solution_predicate(relation)
+    })?;
+    evaluate(&program, &spec.decoder, free_vars, config)
+}
+
+/// Peer consistent answers via the combined (transitive, Section 4.3)
+/// specification program.
+pub fn answers_via_transitive_asp(
+    system: &P2PSystem,
+    peer: &PeerId,
+    query: &Formula,
+    free_vars: &[String],
+    config: SolverConfig,
+) -> Result<AspAnswer> {
+    let spec = transitive_program(system, peer)?;
+    check_query_language(system, peer, query)?;
+    let mut program = spec.program.clone();
+    append_query_rules(&mut program, query, free_vars, &|relation| {
+        spec.solution_predicate(system, relation)
+    })?;
+    evaluate(&program, &spec.decoder, free_vars, config)
+}
+
+/// Verify the query is expressed in the peer's own language `L(P)`.
+fn check_query_language(system: &P2PSystem, peer: &PeerId, query: &Formula) -> Result<()> {
+    let peer_data = system.peer(peer)?;
+    for relation in query.relations() {
+        if !peer_data.schema.contains(&relation) {
+            return Err(CoreError::UnknownRelation {
+                peer: peer.to_string(),
+                relation,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Append the query rules (one per DNF disjunct) to the program.
+pub(crate) fn append_query_rules(
+    program: &mut Program,
+    query: &Formula,
+    free_vars: &[String],
+    solution_predicate: &dyn Fn(&str) -> String,
+) -> Result<()> {
+    let disjuncts = to_dnf(query)?;
+    if disjuncts.is_empty() {
+        // The query is equivalent to `false`; no rules, no answers.
+        return Ok(());
+    }
+    let head_terms: Vec<Term> = free_vars.iter().map(|v| Term::var(v.clone())).collect();
+    for conjuncts in disjuncts {
+        let mut body: Vec<BodyItem> = Vec::new();
+        let mut bound: BTreeSet<String> = BTreeSet::new();
+        for conjunct in &conjuncts {
+            match conjunct {
+                Conjunct::Atom { relation, terms } => {
+                    let mapped: Vec<Term> = terms.iter().map(convert_term).collect();
+                    for t in terms {
+                        if let Some(v) = t.as_var() {
+                            bound.insert(v.to_string());
+                        }
+                    }
+                    body.push(BodyItem::Pos(Atom::from_terms(
+                        solution_predicate(relation),
+                        mapped,
+                    )));
+                }
+                Conjunct::Compare { op, left, right } => {
+                    body.push(BodyItem::Builtin(Builtin::new(
+                        convert_op(*op),
+                        convert_term(left),
+                        convert_term(right),
+                    )));
+                }
+            }
+        }
+        for v in free_vars {
+            if !bound.contains(v) {
+                return Err(CoreError::Unsupported(format!(
+                    "answer variable `{v}` is not bound by a relational atom in every disjunct"
+                )));
+            }
+        }
+        program.add_rule(Rule::new(
+            vec![Atom::from_terms(ANSWER_PREDICATE, head_terms.clone())],
+            body,
+        ));
+    }
+    Ok(())
+}
+
+/// Solve and extract the cautious answers.
+fn evaluate(
+    program: &Program,
+    decoder: &ValueDecoder,
+    free_vars: &[String],
+    config: SolverConfig,
+) -> Result<AspAnswer> {
+    let sets = AnswerSets::compute(program, config)?;
+    let mut answers = BTreeSet::new();
+    for args in sets.cautious_tuples(ANSWER_PREDICATE) {
+        let tuple = decoder.decode_tuple(&args);
+        if tuple.arity() == free_vars.len() {
+            answers.insert(tuple);
+        }
+    }
+    Ok(AspAnswer {
+        answers,
+        answer_set_count: sets.len(),
+        branch_nodes: sets.branch_nodes,
+        used_shift: sets.used_shift,
+    })
+}
+
+/// Convert a positive existential formula into disjunctive normal form.
+fn to_dnf(query: &Formula) -> Result<Vec<Vec<Conjunct>>> {
+    match query {
+        Formula::True => Ok(vec![vec![]]),
+        Formula::False => Ok(vec![]),
+        Formula::Atom { relation, terms } => Ok(vec![vec![Conjunct::Atom {
+            relation: relation.clone(),
+            terms: terms.clone(),
+        }]]),
+        Formula::Compare { op, left, right } => Ok(vec![vec![Conjunct::Compare {
+            op: *op,
+            left: left.clone(),
+            right: right.clone(),
+        }]]),
+        Formula::And(parts) => {
+            let mut acc: Vec<Vec<Conjunct>> = vec![vec![]];
+            for part in parts {
+                let part_dnf = to_dnf(part)?;
+                let mut next = Vec::new();
+                for existing in &acc {
+                    for disjunct in &part_dnf {
+                        let mut merged: Vec<Conjunct> = existing
+                            .iter()
+                            .map(clone_conjunct)
+                            .collect();
+                        merged.extend(disjunct.iter().map(clone_conjunct));
+                        next.push(merged);
+                    }
+                }
+                acc = next;
+            }
+            Ok(acc)
+        }
+        Formula::Or(parts) => {
+            let mut out = Vec::new();
+            for part in parts {
+                out.extend(to_dnf(part)?);
+            }
+            Ok(out)
+        }
+        Formula::Exists(_, inner) => to_dnf(inner),
+        Formula::Not(_) | Formula::Implies(_, _) | Formula::Forall(_, _) => {
+            Err(CoreError::Unsupported(
+                "the ASP query translation supports positive existential queries only".to_string(),
+            ))
+        }
+    }
+}
+
+fn clone_conjunct(c: &Conjunct) -> Conjunct {
+    match c {
+        Conjunct::Atom { relation, terms } => Conjunct::Atom {
+            relation: relation.clone(),
+            terms: terms.clone(),
+        },
+        Conjunct::Compare { op, left, right } => Conjunct::Compare {
+            op: *op,
+            left: left.clone(),
+            right: right.clone(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pca::{peer_consistent_answers, vars};
+    use crate::solution::SolutionOptions;
+    use crate::system::example1_system;
+
+    #[test]
+    fn example2_answers_via_asp_match_the_paper() {
+        let sys = example1_system();
+        let p1 = PeerId::new("P1");
+        let q = Formula::atom("R1", vec!["X", "Y"]);
+        let result =
+            answers_via_asp(&sys, &p1, &q, &vars(&["X", "Y"]), SolverConfig::default()).unwrap();
+        assert_eq!(result.answer_set_count, 2);
+        assert_eq!(
+            result.answers,
+            BTreeSet::from([
+                Tuple::strs(["a", "b"]),
+                Tuple::strs(["c", "d"]),
+                Tuple::strs(["a", "e"]),
+            ])
+        );
+        assert!(result.used_shift);
+    }
+
+    #[test]
+    fn asp_and_semantic_routes_agree_on_example1() {
+        let sys = example1_system();
+        let p1 = PeerId::new("P1");
+        for (query, fv) in [
+            (Formula::atom("R1", vec!["X", "Y"]), vars(&["X", "Y"])),
+            (
+                Formula::exists(vec!["Y"], Formula::atom("R1", vec!["X", "Y"])),
+                vars(&["X"]),
+            ),
+        ] {
+            let semantic =
+                peer_consistent_answers(&sys, &p1, &query, &fv, SolutionOptions::default())
+                    .unwrap();
+            let asp = answers_via_asp(&sys, &p1, &query, &fv, SolverConfig::default()).unwrap();
+            assert_eq!(semantic.answers, asp.answers, "query {query}");
+        }
+    }
+
+    #[test]
+    fn conjunctive_join_query_via_asp() {
+        // ∃y (R1(x, y) ∧ R1(z, y)) — self-join on the second column of the
+        // peer's (virtually repaired) relation.
+        let sys = example1_system();
+        let p1 = PeerId::new("P1");
+        let q = Formula::exists(
+            vec!["Y"],
+            Formula::and(vec![
+                Formula::atom("R1", vec!["X", "Y"]),
+                Formula::atom("R1", vec!["Z", "Y"]),
+            ]),
+        );
+        let semantic =
+            peer_consistent_answers(&sys, &p1, &q, &vars(&["X", "Z"]), SolutionOptions::default())
+                .unwrap();
+        let asp =
+            answers_via_asp(&sys, &p1, &q, &vars(&["X", "Z"]), SolverConfig::default()).unwrap();
+        assert_eq!(semantic.answers, asp.answers);
+        assert!(asp.answers.contains(&Tuple::strs(["a", "a"])));
+    }
+
+    #[test]
+    fn union_queries_are_supported() {
+        let sys = example1_system();
+        let p1 = PeerId::new("P1");
+        let q = Formula::or(vec![
+            Formula::atom("R1", vec!["X", "X"]),
+            Formula::exists(vec!["Y"], Formula::atom("R1", vec!["X", "Y"])),
+        ]);
+        let asp = answers_via_asp(&sys, &p1, &q, &vars(&["X"]), SolverConfig::default()).unwrap();
+        assert!(asp.answers.contains(&Tuple::strs(["a"])));
+        assert!(asp.answers.contains(&Tuple::strs(["c"])));
+    }
+
+    #[test]
+    fn negated_queries_are_rejected() {
+        let sys = example1_system();
+        let p1 = PeerId::new("P1");
+        let q = Formula::not(Formula::atom("R1", vec!["X", "Y"]));
+        assert!(matches!(
+            answers_via_asp(&sys, &p1, &q, &vars(&["X", "Y"]), SolverConfig::default()),
+            Err(CoreError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn foreign_relations_are_rejected() {
+        let sys = example1_system();
+        let p1 = PeerId::new("P1");
+        let q = Formula::atom("R2", vec!["X", "Y"]);
+        assert!(matches!(
+            answers_via_asp(&sys, &p1, &q, &vars(&["X", "Y"]), SolverConfig::default()),
+            Err(CoreError::UnknownRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn unbound_answer_variable_is_rejected() {
+        let sys = example1_system();
+        let p1 = PeerId::new("P1");
+        let q = Formula::atom("R1", vec!["X", "Y"]);
+        assert!(matches!(
+            answers_via_asp(&sys, &p1, &q, &vars(&["Z"]), SolverConfig::default()),
+            Err(CoreError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn transitive_answers_include_transitively_imported_data() {
+        use constraints::builders::full_inclusion;
+        use crate::system::TrustLevel;
+        use relalg::RelationSchema;
+        let mut sys = P2PSystem::new();
+        for p in ["A", "B", "C"] {
+            sys.add_peer(p).unwrap();
+        }
+        let a = PeerId::new("A");
+        let b = PeerId::new("B");
+        let c = PeerId::new("C");
+        for (peer, rel) in [(&a, "RA"), (&b, "RB"), (&c, "RC")] {
+            sys.add_relation(peer, RelationSchema::new(rel, &["x"])).unwrap();
+        }
+        sys.insert(&c, "RC", Tuple::strs(["v"])).unwrap();
+        sys.add_dec(&a, &b, full_inclusion("dab", "RB", "RA", 1).unwrap()).unwrap();
+        sys.add_dec(&b, &c, full_inclusion("dbc", "RC", "RB", 1).unwrap()).unwrap();
+        sys.set_trust(&a, TrustLevel::Less, &b).unwrap();
+        sys.set_trust(&b, TrustLevel::Less, &c).unwrap();
+
+        let q = Formula::atom("RA", vec!["X"]);
+        let direct = answers_via_asp(&sys, &a, &q, &vars(&["X"]), SolverConfig::default()).unwrap();
+        assert!(direct.answers.is_empty());
+        let transitive =
+            answers_via_transitive_asp(&sys, &a, &q, &vars(&["X"]), SolverConfig::default())
+                .unwrap();
+        assert_eq!(transitive.answers, BTreeSet::from([Tuple::strs(["v"])]));
+    }
+}

@@ -1,0 +1,96 @@
+//! Errors raised by the peer-to-peer data exchange core.
+
+use std::fmt;
+
+/// Errors raised by system construction, solution computation and peer
+/// consistent query answering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A peer id was added twice.
+    DuplicatePeer(String),
+    /// A peer id was referenced but never added.
+    UnknownPeer(String),
+    /// A relation is owned by a different peer than expected.
+    RelationOwnedElsewhere { relation: String, owner: String },
+    /// A relation was referenced that the given peer does not declare.
+    UnknownRelation { peer: String, relation: String },
+    /// A query or DEC uses a feature outside the fragment supported by the
+    /// selected answering mechanism (e.g. FO rewriting on a referential DEC).
+    Unsupported(String),
+    /// Propagated relational-layer error.
+    Relalg(relalg::RelalgError),
+    /// Propagated constraint error.
+    Constraint(constraints::ConstraintError),
+    /// Propagated repair-engine error.
+    Repair(repair::RepairError),
+    /// Propagated answer-set engine error.
+    Datalog(datalog::DatalogError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DuplicatePeer(p) => write!(f, "peer `{p}` already exists"),
+            CoreError::UnknownPeer(p) => write!(f, "unknown peer `{p}`"),
+            CoreError::RelationOwnedElsewhere { relation, owner } => {
+                write!(f, "relation `{relation}` is owned by peer `{owner}`")
+            }
+            CoreError::UnknownRelation { peer, relation } => {
+                write!(f, "peer `{peer}` does not declare relation `{relation}`")
+            }
+            CoreError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            CoreError::Relalg(e) => write!(f, "{e}"),
+            CoreError::Constraint(e) => write!(f, "{e}"),
+            CoreError::Repair(e) => write!(f, "{e}"),
+            CoreError::Datalog(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<relalg::RelalgError> for CoreError {
+    fn from(e: relalg::RelalgError) -> Self {
+        CoreError::Relalg(e)
+    }
+}
+
+impl From<constraints::ConstraintError> for CoreError {
+    fn from(e: constraints::ConstraintError) -> Self {
+        CoreError::Constraint(e)
+    }
+}
+
+impl From<repair::RepairError> for CoreError {
+    fn from(e: repair::RepairError) -> Self {
+        CoreError::Repair(e)
+    }
+}
+
+impl From<datalog::DatalogError> for CoreError {
+    fn from(e: datalog::DatalogError) -> Self {
+        CoreError::Datalog(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offending_names() {
+        assert!(CoreError::DuplicatePeer("P1".into()).to_string().contains("P1"));
+        assert!(CoreError::UnknownPeer("P9".into()).to_string().contains("P9"));
+        assert!(CoreError::Unsupported("negated query atoms".into())
+            .to_string()
+            .contains("negated"));
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let e: CoreError = relalg::RelalgError::UnknownRelation("R".into()).into();
+        assert!(matches!(e, CoreError::Relalg(_)));
+        let e: CoreError = datalog::DatalogError::UnsafeRule("p(X).".into()).into();
+        assert!(matches!(e, CoreError::Datalog(_)));
+    }
+}

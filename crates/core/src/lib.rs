@@ -1,0 +1,60 @@
+//! # pdes-core — peer-to-peer data exchange systems
+//!
+//! A faithful implementation of *Bertossi & Bravo, "Query Answering in
+//! Peer-to-Peer Data Exchange Systems" (EDBT 2004 workshops)*:
+//!
+//! * [`system`] — the framework of Definition 2: peers, schemas, instances,
+//!   local integrity constraints, data exchange constraints (DECs) and the
+//!   trust relation;
+//! * [`solution`] — the solutions of a peer (Definition 4, direct case) as
+//!   two-stage minimal repairs of the global instance;
+//! * [`pca`] — peer consistent answers (Definition 5) by solution
+//!   enumeration (the semantic reference / naive baseline);
+//! * [`rewriting`] — the first-order query rewriting mechanism of Example 2
+//!   for inclusion + key-agreement DECs;
+//! * [`asp`] — answer-set-programming specifications of the solutions: the
+//!   annotation-based generator (Section 4.2 / appendix style), the paper's
+//!   verbatim programs, and the transitive composition of Section 4.3;
+//! * [`answer`] — peer consistent answers by cautious reasoning over the
+//!   specification programs (the paper's general mechanism).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pdes_core::system::example1_system;
+//! use pdes_core::system::PeerId;
+//! use pdes_core::answer::answers_via_asp;
+//! use pdes_core::pca::vars;
+//! use relalg::query::Formula;
+//! use datalog::SolverConfig;
+//!
+//! let system = example1_system();
+//! let query = Formula::atom("R1", vec!["X", "Y"]);
+//! let result = answers_via_asp(
+//!     &system,
+//!     &PeerId::new("P1"),
+//!     &query,
+//!     &vars(&["X", "Y"]),
+//!     SolverConfig::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(result.answers.len(), 3); // (a,b), (c,d), (a,e)
+//! ```
+
+pub mod answer;
+pub mod asp;
+pub mod error;
+pub mod pca;
+pub mod rewriting;
+pub mod solution;
+pub mod system;
+
+pub use answer::{answers_via_asp, answers_via_transitive_asp, AspAnswer};
+pub use error::CoreError;
+pub use pca::{peer_consistent_answers, PcaResult};
+pub use rewriting::{answers_by_rewriting, rewrite_query, RewritingAnswer};
+pub use solution::{solutions_for, Solution, SolutionOptions};
+pub use system::{example1_system, Dec, P2PSystem, Peer, PeerId, TrustLevel, TrustRelation};
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,202 @@
+//! Peer consistent answers (Definition 5) by solution enumeration.
+//!
+//! A ground tuple `t̄` is a *peer consistent answer* to a query `Q(x̄) ∈ L(P)`
+//! posed to peer `P` iff `r′|P |= Q(t̄)` for **every** solution `r′` for `P`.
+//! This module computes PCAs directly from the solutions of
+//! [`crate::solution`]; it is the semantic reference implementation that the
+//! first-order rewriting ([`crate::rewriting`]) and the logic-program
+//! approaches ([`crate::asp`], [`crate::answer`]) are validated against and
+//! benchmarked as the "naive" baseline.
+
+use crate::solution::{solutions_with_stats, SolutionOptions, SolutionStats};
+use crate::system::{P2PSystem, PeerId};
+use crate::Result;
+use relalg::query::{Formula, QueryEvaluator};
+use relalg::{Database, Tuple};
+use std::collections::BTreeSet;
+
+/// Result of a peer-consistent-answer computation via solutions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcaResult {
+    /// The peer consistent answers.
+    pub answers: BTreeSet<Tuple>,
+    /// Number of solutions that were enumerated.
+    pub solution_count: usize,
+    /// Search statistics.
+    pub stats: SolutionStats,
+}
+
+/// Compute the peer consistent answers of `query` (with answer variables
+/// `free_vars`) posed to `peer`, by enumerating the peer's solutions and
+/// intersecting the answers over the peer's portion of each solution.
+///
+/// When the peer has no solution at all the answer set is empty (there is no
+/// peer consistent way to read the data).
+pub fn peer_consistent_answers(
+    system: &P2PSystem,
+    peer: &PeerId,
+    query: &Formula,
+    free_vars: &[String],
+    options: SolutionOptions,
+) -> Result<PcaResult> {
+    // The query must be in the peer's own language L(P).
+    let peer_data = system.peer(peer)?;
+    for relation in query.relations() {
+        if !peer_data.schema.contains(&relation) {
+            return Err(crate::error::CoreError::UnknownRelation {
+                peer: peer.to_string(),
+                relation,
+            });
+        }
+    }
+
+    let (solutions, stats) = solutions_with_stats(system, peer, options)?;
+    let mut answers: Option<BTreeSet<Tuple>> = None;
+    for solution in &solutions {
+        let restricted: Database = system.restrict_to_peer(&solution.database, peer)?;
+        let evaluator = QueryEvaluator::new(&restricted);
+        let these = evaluator.answers(query, free_vars)?;
+        answers = Some(match answers {
+            None => these,
+            Some(acc) => acc.intersection(&these).cloned().collect(),
+        });
+    }
+    Ok(PcaResult {
+        answers: answers.unwrap_or_default(),
+        solution_count: solutions.len(),
+        stats,
+    })
+}
+
+/// Convenience helper: answer variables by name.
+pub fn vars(names: &[&str]) -> Vec<String> {
+    names.iter().map(|s| s.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{example1_system, TrustLevel};
+    use relalg::RelationSchema;
+
+    #[test]
+    fn example2_peer_consistent_answers() {
+        // Query Q: R1(x, y) posed to P1. The paper's PCAs are
+        // (a, b), (c, d), (a, e).
+        let sys = example1_system();
+        let p1 = PeerId::new("P1");
+        let q = Formula::atom("R1", vec!["X", "Y"]);
+        let result =
+            peer_consistent_answers(&sys, &p1, &q, &vars(&["X", "Y"]), SolutionOptions::default())
+                .unwrap();
+        assert_eq!(result.solution_count, 2);
+        assert_eq!(
+            result.answers,
+            BTreeSet::from([
+                Tuple::strs(["a", "b"]),
+                Tuple::strs(["c", "d"]),
+                Tuple::strs(["a", "e"]),
+            ])
+        );
+    }
+
+    #[test]
+    fn pca_can_return_answers_not_in_the_original_instance() {
+        // (c, d) and (a, e) are imported from P2 — they are PCAs even though
+        // they are not answers over P1's original instance (the paper notes
+        // this difference with classical CQA).
+        let sys = example1_system();
+        let p1 = PeerId::new("P1");
+        let original = sys.peer(&p1).unwrap().instance.clone();
+        assert!(!original.holds("R1", &Tuple::strs(["c", "d"])));
+        let q = Formula::atom("R1", vec!["X", "Y"]);
+        let result =
+            peer_consistent_answers(&sys, &p1, &q, &vars(&["X", "Y"]), SolutionOptions::default())
+                .unwrap();
+        assert!(result.answers.contains(&Tuple::strs(["c", "d"])));
+    }
+
+    #[test]
+    fn queries_must_use_the_peers_language() {
+        let sys = example1_system();
+        let p1 = PeerId::new("P1");
+        // R2 belongs to P2, not P1.
+        let q = Formula::atom("R2", vec!["X", "Y"]);
+        assert!(peer_consistent_answers(
+            &sys,
+            &p1,
+            &q,
+            &vars(&["X", "Y"]),
+            SolutionOptions::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn existential_queries_are_supported() {
+        let sys = example1_system();
+        let p1 = PeerId::new("P1");
+        // ∃y R1(x, y): keys surviving in every solution. Key `s` survives in
+        // only one of the two solutions, so it is not peer consistent.
+        let q = Formula::exists(vec!["Y"], Formula::atom("R1", vec!["X", "Y"]));
+        let result =
+            peer_consistent_answers(&sys, &p1, &q, &vars(&["X"]), SolutionOptions::default())
+                .unwrap();
+        assert_eq!(
+            result.answers,
+            BTreeSet::from([Tuple::strs(["a"]), Tuple::strs(["c"])])
+        );
+    }
+
+    #[test]
+    fn peer_without_constraints_gets_plain_answers() {
+        let mut sys = P2PSystem::new();
+        sys.add_peer("A").unwrap();
+        let a = PeerId::new("A");
+        sys.add_relation(&a, RelationSchema::new("R", &["x"])).unwrap();
+        sys.insert(&a, "R", Tuple::strs(["v"])).unwrap();
+        let q = Formula::atom("R", vec!["X"]);
+        let result =
+            peer_consistent_answers(&sys, &a, &q, &vars(&["X"]), SolutionOptions::default())
+                .unwrap();
+        assert_eq!(result.solution_count, 1);
+        assert_eq!(result.answers, BTreeSet::from([Tuple::strs(["v"])]));
+    }
+
+    #[test]
+    fn no_solutions_means_no_answers() {
+        let mut sys = P2PSystem::new();
+        sys.add_peer("A").unwrap();
+        sys.add_peer("B").unwrap();
+        let a = PeerId::new("A");
+        let b = PeerId::new("B");
+        sys.add_relation(&a, RelationSchema::new("RA", &["x"])).unwrap();
+        sys.add_relation(&b, RelationSchema::new("RB", &["x"])).unwrap();
+        sys.insert(&a, "RA", Tuple::strs(["w"])).unwrap();
+        sys.insert(&b, "RB", Tuple::strs(["v"])).unwrap();
+        sys.add_dec(
+            &a,
+            &b,
+            constraints::builders::full_inclusion("d", "RB", "RA", 1).unwrap(),
+        )
+        .unwrap();
+        sys.set_trust(&a, TrustLevel::Less, &b).unwrap();
+        sys.add_local_ic(
+            &a,
+            constraints::Constraint::new(
+                "empty_ra",
+                vec![constraints::AtomPattern::parse("RA", &["X"])],
+                vec![],
+                constraints::ConstraintHead::False,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let q = Formula::atom("RA", vec!["X"]);
+        let result =
+            peer_consistent_answers(&sys, &a, &q, &vars(&["X"]), SolutionOptions::default())
+                .unwrap();
+        assert_eq!(result.solution_count, 0);
+        assert!(result.answers.is_empty());
+    }
+}

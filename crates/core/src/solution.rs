@@ -1,0 +1,336 @@
+//! Solutions for a peer (Definition 4, direct case).
+//!
+//! Given a peer `P` of a P2P data exchange system and the global instance
+//! `r̄`, a *solution* for `P` is a global instance obtained by a two-stage
+//! minimal repair:
+//!
+//! 1. repair `r̄` w.r.t. the DECs towards peers that `P` trusts **more** than
+//!    itself, keeping every relation not owned by `P` fixed (only `P`'s data
+//!    accommodates to the more-trusted data);
+//! 2. repair the result w.r.t. the DECs towards peers that `P` trusts the
+//!    **same** as itself — now both `P`'s and those peers' relations may
+//!    change — while keeping the stage-1 DECs satisfied and the more-trusted
+//!    peers' relations fixed.
+//!
+//! Relations of peers not mentioned in `P`'s trusted DECs never change
+//! (condition (b) of Definition 4), and solutions must additionally satisfy
+//! `P`'s local integrity constraints `IC(P)` (condition (a)). We enforce the
+//! local ICs by adding them to the stage-2 repair — the paper's "more
+//! flexible alternative" of Section 3.2, where the solutions are additionally
+//! repaired w.r.t. the local ICs — and keep a final satisfaction filter as a
+//! safety net (the "program denial constraint" treatment).
+//!
+//! The solutions are a conceptual device: the crate exposes them primarily so
+//! that the peer-consistent-answer semantics ([`crate::pca`]) has a reference
+//! implementation against which the rewriting- and ASP-based mechanisms are
+//! validated.
+
+use crate::error::CoreError;
+use crate::system::{P2PSystem, PeerId};
+use crate::Result;
+use constraints::{Constraint, ConstraintChecker};
+use relalg::delta::Delta;
+use relalg::Database;
+use repair::{RepairEngine, RepairLimits};
+use std::collections::BTreeSet;
+
+/// A solution for a peer: the repaired global instance plus its delta from
+/// the original global instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    /// The repaired global instance.
+    pub database: Database,
+    /// Symmetric difference from the original global instance.
+    pub delta: Delta,
+}
+
+/// Options controlling the solution search.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolutionOptions {
+    /// Limits handed to the underlying repair engine.
+    pub limits: Option<RepairLimits>,
+}
+
+/// Statistics of a solution enumeration (used by the benchmark harness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolutionStats {
+    /// Number of stage-1 repairs.
+    pub stage1_repairs: usize,
+    /// Number of candidate solutions before the `IC(P)` filter.
+    pub stage2_candidates: usize,
+    /// Total repair-search states explored across both stages.
+    pub states_explored: usize,
+}
+
+/// Compute all solutions for `peer` (Definition 4).
+pub fn solutions_for(
+    system: &P2PSystem,
+    peer: &PeerId,
+    options: SolutionOptions,
+) -> Result<Vec<Solution>> {
+    let (solutions, _) = solutions_with_stats(system, peer, options)?;
+    Ok(solutions)
+}
+
+/// Compute the solutions together with search statistics.
+pub fn solutions_with_stats(
+    system: &P2PSystem,
+    peer: &PeerId,
+    options: SolutionOptions,
+) -> Result<(Vec<Solution>, SolutionStats)> {
+    let peer_data = system.peer(peer)?;
+    let global = system.global_instance()?;
+    let (less_decs, same_decs) = system.trusted_decs_of(peer);
+    let less_constraints: Vec<Constraint> =
+        less_decs.iter().map(|d| d.constraint.clone()).collect();
+    let same_constraints: Vec<Constraint> =
+        same_decs.iter().map(|d| d.constraint.clone()).collect();
+
+    let all_relations: BTreeSet<String> = global
+        .relation_names()
+        .map(str::to_string)
+        .collect();
+    let own_relations = peer_data.relation_names();
+    let same_relations = system.relations_same(peer);
+    let limits = options.limits.unwrap_or_default();
+    let domain: Vec<relalg::Value> = global.active_domain().into_iter().collect();
+
+    let mut stats = SolutionStats::default();
+
+    // Stage 1: only the peer's own relations may change.
+    let stage1_protected: Vec<String> = all_relations
+        .iter()
+        .filter(|r| !own_relations.contains(*r))
+        .cloned()
+        .collect();
+    let stage1 = RepairEngine::new(less_constraints.clone())
+        .with_protected(stage1_protected)
+        .with_limits(limits)
+        .with_domain(domain.iter().cloned());
+    let stage1_outcome = stage1.repairs(&global)?;
+    stats.stage1_repairs = stage1_outcome.repairs.len();
+    stats.states_explored += stage1_outcome.states_explored;
+
+    // Stage 2: the peer's and the same-trusted peers' relations may change;
+    // the stage-1 (more-trusted) DECs must stay satisfied.
+    let stage2_protected: Vec<String> = all_relations
+        .iter()
+        .filter(|r| !own_relations.contains(*r) && !same_relations.contains(*r))
+        .cloned()
+        .collect();
+    let mut stage2_constraints = same_constraints;
+    stage2_constraints.extend(less_constraints.iter().cloned());
+    stage2_constraints.extend(peer_data.local_ics.iter().cloned());
+    let stage2 = RepairEngine::new(stage2_constraints)
+        .with_protected(stage2_protected)
+        .with_limits(limits)
+        .with_domain(domain.iter().cloned());
+
+    let mut candidates: Vec<Solution> = Vec::new();
+    for r1 in &stage1_outcome.repairs {
+        let outcome = stage2.repairs(&r1.database)?;
+        stats.states_explored += outcome.states_explored;
+        for r2 in outcome.repairs {
+            stats.stage2_candidates += 1;
+            let delta = Delta::between(&global, &r2.database);
+            candidates.push(Solution {
+                database: r2.database,
+                delta,
+            });
+        }
+    }
+
+    // Filter by the peer's local integrity constraints (Section 3.2's denial
+    // treatment) and deduplicate.
+    let mut seen: BTreeSet<Vec<relalg::database::GroundAtom>> = BTreeSet::new();
+    let mut solutions = Vec::new();
+    for candidate in candidates {
+        let checker = ConstraintChecker::new(&candidate.database);
+        if !checker
+            .all_satisfied(peer_data.local_ics.iter())
+            .map_err(CoreError::from)?
+        {
+            continue;
+        }
+        let signature: Vec<relalg::database::GroundAtom> =
+            candidate.database.ground_atoms().into_iter().collect();
+        if seen.insert(signature) {
+            solutions.push(candidate);
+        }
+    }
+    Ok((solutions, stats))
+}
+
+/// Does the global instance already satisfy every trusted DEC of the peer
+/// (i.e. is the original instance itself the unique solution)?
+pub fn is_already_solution(system: &P2PSystem, peer: &PeerId) -> Result<bool> {
+    let global = system.global_instance()?;
+    let (less, same) = system.trusted_decs_of(peer);
+    let checker = ConstraintChecker::new(&global);
+    for dec in less.iter().chain(same.iter()) {
+        if !checker.satisfied(&dec.constraint).map_err(CoreError::from)? {
+            return Ok(false);
+        }
+    }
+    let peer_data = system.peer(peer)?;
+    Ok(checker
+        .all_satisfied(peer_data.local_ics.iter())
+        .map_err(CoreError::from)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{example1_system, TrustLevel};
+    use relalg::{RelationSchema, Tuple};
+
+    #[test]
+    fn example1_has_exactly_the_two_paper_solutions() {
+        let sys = example1_system();
+        let p1 = PeerId::new("P1");
+        let solutions = solutions_for(&sys, &p1, SolutionOptions::default()).unwrap();
+        assert_eq!(solutions.len(), 2, "paper lists exactly r' and r''");
+
+        // r' = {R1(a,b), R1(s,t), R1(c,d), R1(a,e), R2(c,d), R2(a,e)}  (R3 emptied)
+        // r'' = {R1(a,b), R1(c,d), R1(a,e), R2(c,d), R2(a,e), R3(s,u)}
+        let mut shapes: Vec<(usize, usize, usize)> = solutions
+            .iter()
+            .map(|s| {
+                (
+                    s.database.relation("R1").map(|r| r.len()).unwrap_or(0),
+                    s.database.relation("R2").map(|r| r.len()).unwrap_or(0),
+                    s.database.relation("R3").map(|r| r.len()).unwrap_or(0),
+                )
+            })
+            .collect();
+        shapes.sort();
+        assert_eq!(shapes, vec![(3, 2, 1), (4, 2, 0)]);
+
+        for s in &solutions {
+            // Imported more-trusted data is present in every solution.
+            assert!(s.database.holds("R1", &Tuple::strs(["c", "d"])));
+            assert!(s.database.holds("R1", &Tuple::strs(["a", "e"])));
+            // R2 (more trusted) is never touched.
+            assert_eq!(s.database.relation("R2").unwrap().len(), 2);
+            // R3(a, f) must be deleted in both solutions.
+            assert!(!s.database.holds("R3", &Tuple::strs(["a", "f"])));
+        }
+        // One solution keeps R1(s, t) and drops R3(s, u); the other does the
+        // opposite.
+        let keeps_st = solutions
+            .iter()
+            .filter(|s| s.database.holds("R1", &Tuple::strs(["s", "t"])))
+            .count();
+        assert_eq!(keeps_st, 1);
+    }
+
+    #[test]
+    fn stats_report_two_stages() {
+        let sys = example1_system();
+        let p1 = PeerId::new("P1");
+        let (_, stats) = solutions_with_stats(&sys, &p1, SolutionOptions::default()).unwrap();
+        assert_eq!(stats.stage1_repairs, 1);
+        assert_eq!(stats.stage2_candidates, 2);
+        assert!(stats.states_explored > 0);
+    }
+
+    #[test]
+    fn consistent_system_has_single_identity_solution() {
+        let mut sys = P2PSystem::new();
+        sys.add_peer("A").unwrap();
+        sys.add_peer("B").unwrap();
+        let a = PeerId::new("A");
+        let b = PeerId::new("B");
+        sys.add_relation(&a, RelationSchema::new("RA", &["x"])).unwrap();
+        sys.add_relation(&b, RelationSchema::new("RB", &["x"])).unwrap();
+        sys.insert(&a, "RA", Tuple::strs(["v"])).unwrap();
+        sys.insert(&b, "RB", Tuple::strs(["v"])).unwrap();
+        sys.add_dec(
+            &a,
+            &b,
+            constraints::builders::full_inclusion("d", "RB", "RA", 1).unwrap(),
+        )
+        .unwrap();
+        sys.set_trust(&a, TrustLevel::Less, &b).unwrap();
+        assert!(is_already_solution(&sys, &a).unwrap());
+        let solutions = solutions_for(&sys, &a, SolutionOptions::default()).unwrap();
+        assert_eq!(solutions.len(), 1);
+        assert!(solutions[0].delta.is_empty());
+    }
+
+    #[test]
+    fn example1_is_not_already_a_solution() {
+        let sys = example1_system();
+        assert!(!is_already_solution(&sys, &PeerId::new("P1")).unwrap());
+    }
+
+    #[test]
+    fn peers_outside_trusted_decs_are_untouched() {
+        let sys = example1_system();
+        let p1 = PeerId::new("P1");
+        let solutions = solutions_for(&sys, &p1, SolutionOptions::default()).unwrap();
+        for s in &solutions {
+            // P2 is more trusted: its relation can never change.
+            assert_eq!(s.database.relation("R2").unwrap().len(), 2);
+        }
+        // From P2's own point of view (no DECs, no trust entries), the system
+        // is already a solution.
+        let p2 = PeerId::new("P2");
+        let p2_solutions = solutions_for(&sys, &p2, SolutionOptions::default()).unwrap();
+        assert_eq!(p2_solutions.len(), 1);
+        assert!(p2_solutions[0].delta.is_empty());
+    }
+
+    #[test]
+    fn local_ics_filter_solutions() {
+        // Same as Example 1 but P1 additionally has a key FD on R1. Importing
+        // both (a, b) and (a, e) into R1 violates it, so solutions must drop
+        // one of them; since (a, e) is forced by the more-trusted DEC, (a, b)
+        // must go. (With the FD, keeping R1(a,b) is impossible.)
+        let mut sys = example1_system();
+        let p1 = PeerId::new("P1");
+        sys.add_local_ic(&p1, constraints::builders::key_denial("fd_r1", "R1").unwrap())
+            .unwrap();
+        let solutions = solutions_for(&sys, &p1, SolutionOptions::default()).unwrap();
+        assert!(!solutions.is_empty());
+        for s in &solutions {
+            assert!(!s.database.holds("R1", &Tuple::strs(["a", "b"])));
+            assert!(s.database.holds("R1", &Tuple::strs(["a", "e"])));
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_trusted_dec_yields_no_solution() {
+        // A more-trusted peer demands a tuple that the local peer can never
+        // have because a local denial IC forbids the relation entirely.
+        let mut sys = P2PSystem::new();
+        sys.add_peer("A").unwrap();
+        sys.add_peer("B").unwrap();
+        let a = PeerId::new("A");
+        let b = PeerId::new("B");
+        sys.add_relation(&a, RelationSchema::new("RA", &["x"])).unwrap();
+        sys.add_relation(&b, RelationSchema::new("RB", &["x"])).unwrap();
+        sys.insert(&b, "RB", Tuple::strs(["v"])).unwrap();
+        sys.add_dec(
+            &a,
+            &b,
+            constraints::builders::full_inclusion("d", "RB", "RA", 1).unwrap(),
+        )
+        .unwrap();
+        sys.set_trust(&a, TrustLevel::Less, &b).unwrap();
+        // Local IC: RA must be empty.
+        sys.add_local_ic(
+            &a,
+            constraints::Constraint::new(
+                "empty_ra",
+                vec![constraints::AtomPattern::parse("RA", &["X"])],
+                vec![],
+                constraints::ConstraintHead::False,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let solutions = solutions_for(&sys, &a, SolutionOptions::default()).unwrap();
+        assert!(solutions.is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Unfolding of the `choice` operator into its *stable version*.
+//!
+//! The paper uses `choice((x̄), (w))` in rule (9) to pick, for every violating
+//! combination `x̄`, exactly one witness `w` among the candidates admitted by
+//! the rest of the body. Section 3.2 notes that "the choice operator can be
+//! replaced by a predicate that can be defined by means of extra rules,
+//! producing the so-called stable version of the choice program", and the
+//! appendix shows that unfolding explicitly:
+//!
+//! ```text
+//! chosen(X, Z, W)     ← Body, not diffchoice(X, Z, W).
+//! diffchoice(X, Z, W) ← chosen(X, Z, U), Body[W/U-free], U ≠ W.
+//! ```
+//!
+//! [`unfold_choices`] performs exactly this transformation: every rule with a
+//! choice atom gets a fresh `chosen_<i>` / `diffchoice_<i>` predicate pair,
+//! the choice atom in the original body is replaced by `chosen_<i>(x̄, w̄)`,
+//! and the two defining rules are appended. The resulting program is a plain
+//! disjunctive program with default negation whose answer sets are in 1-1
+//! correspondence with the choice models of the original program.
+
+use crate::syntax::{Atom, BodyItem, Builtin, BuiltinOp, Program, Rule, Term};
+
+/// Replace every choice atom by its stable-version encoding.
+///
+/// Rules without choice atoms are copied unchanged. A rule with several
+/// choice atoms gets one `chosen`/`diffchoice` pair per choice atom.
+pub fn unfold_choices(program: &Program) -> Program {
+    let mut out = Program::new();
+    let mut counter = 0usize;
+    for rule in program.rules() {
+        if !rule.has_choice() {
+            out.add_rule(rule.clone());
+            continue;
+        }
+        let mut new_body: Vec<BodyItem> = Vec::new();
+        let mut pending: Vec<(usize, crate::syntax::ChoiceAtom)> = Vec::new();
+        for item in &rule.body {
+            match item {
+                BodyItem::Choice(c) => {
+                    let id = counter;
+                    counter += 1;
+                    let mut terms = c.group.clone();
+                    terms.extend(c.chosen.clone());
+                    new_body.push(BodyItem::Pos(Atom::from_terms(chosen_name(id), terms)));
+                    pending.push((id, c.clone()));
+                }
+                other => new_body.push(other.clone()),
+            }
+        }
+        // The context body: every non-choice item of the original rule.
+        let context: Vec<BodyItem> = rule
+            .body
+            .iter()
+            .filter(|b| !matches!(b, BodyItem::Choice(_)))
+            .cloned()
+            .collect();
+
+        out.add_rule(Rule::new(rule.head.clone(), new_body));
+
+        for (id, choice) in pending {
+            let mut chosen_terms = choice.group.clone();
+            chosen_terms.extend(choice.chosen.clone());
+            let chosen_head = Atom::from_terms(chosen_name(id), chosen_terms.clone());
+            let diff_atom = Atom::from_terms(diffchoice_name(id), chosen_terms.clone());
+
+            // chosen_i(x̄, w̄) ← context, not diffchoice_i(x̄, w̄).
+            let mut chosen_body = context.clone();
+            chosen_body.push(BodyItem::Naf(diff_atom.clone()));
+            out.add_rule(Rule::new(vec![chosen_head], chosen_body));
+
+            // diffchoice_i(x̄, w̄) ← context, chosen_i(x̄, ū), w̄ ≠ ū.
+            // Fresh variables ū replace the chosen terms in the companion
+            // `chosen` atom; the inequality is pointwise (disjunctive
+            // difference is expressed by one rule per chosen position).
+            for (pos, w_term) in choice.chosen.iter().enumerate() {
+                let fresh: Vec<Term> = choice
+                    .chosen
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| Term::var(format!("U_{id}_{i}")))
+                    .collect();
+                let mut companion_terms = choice.group.clone();
+                companion_terms.extend(fresh.clone());
+                let companion = Atom::from_terms(chosen_name(id), companion_terms);
+
+                let mut diff_body = context.clone();
+                diff_body.push(BodyItem::Pos(companion));
+                diff_body.push(BodyItem::Builtin(Builtin::new(
+                    BuiltinOp::Neq,
+                    fresh[pos].clone(),
+                    w_term.clone(),
+                )));
+                out.add_rule(Rule::new(vec![diff_atom.clone()], diff_body));
+            }
+        }
+    }
+    out
+}
+
+/// Name of the `chosen` predicate introduced for the `i`-th choice atom.
+pub fn chosen_name(i: usize) -> String {
+    format!("chosen_{i}")
+}
+
+/// Name of the `diffchoice` predicate introduced for the `i`-th choice atom.
+pub fn diffchoice_name(i: usize) -> String {
+    format!("diffchoice_{i}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::ChoiceAtom;
+
+    fn atom(p: &str, args: &[&str]) -> Atom {
+        Atom::new(p, args)
+    }
+
+    #[test]
+    fn program_without_choice_is_unchanged() {
+        let mut p = Program::new();
+        p.add_fact(atom("p", &["a"]));
+        p.add_rule(Rule::new(
+            vec![atom("q", &["X"])],
+            vec![BodyItem::Pos(atom("p", &["X"]))],
+        ));
+        let unfolded = unfold_choices(&p);
+        assert_eq!(&unfolded, &p);
+    }
+
+    #[test]
+    fn choice_rule_expands_to_stable_version() {
+        // r2p(X, W) :- s2(Z, W), body(X, Z), choice((X, Z), (W)).
+        let mut p = Program::new();
+        p.add_rule(Rule::new(
+            vec![atom("r2p", &["X", "W"])],
+            vec![
+                BodyItem::Pos(atom("s2", &["Z", "W"])),
+                BodyItem::Pos(atom("body", &["X", "Z"])),
+                BodyItem::Choice(ChoiceAtom::new(
+                    vec![Term::var("X"), Term::var("Z")],
+                    vec![Term::var("W")],
+                )),
+            ],
+        ));
+        let unfolded = unfold_choices(&p);
+        assert!(!unfolded.has_choice());
+        // Original rule (choice replaced by chosen_0) + chosen rule + one
+        // diffchoice rule (single chosen position).
+        assert_eq!(unfolded.len(), 3);
+        let text = unfolded.to_string();
+        assert!(text.contains("chosen_0(X, Z, W) :- s2(Z, W), body(X, Z), not diffchoice_0(X, Z, W)."));
+        assert!(text.contains("diffchoice_0(X, Z, W) :- s2(Z, W), body(X, Z), chosen_0(X, Z, U_0_0), U_0_0 != W."));
+        assert!(text.contains("r2p(X, W) :- s2(Z, W), body(X, Z), chosen_0(X, Z, W)."));
+        // All resulting rules are safe.
+        assert!(unfolded.unsafe_rules().is_empty());
+    }
+
+    #[test]
+    fn each_choice_atom_gets_its_own_predicates() {
+        let mut p = Program::new();
+        for rel in ["a", "b"] {
+            p.add_rule(Rule::new(
+                vec![atom("out", &["X", "W"])],
+                vec![
+                    BodyItem::Pos(atom(rel, &["X", "W"])),
+                    BodyItem::Choice(ChoiceAtom::new(vec![Term::var("X")], vec![Term::var("W")])),
+                ],
+            ));
+        }
+        let unfolded = unfold_choices(&p);
+        let preds = unfolded.predicates();
+        assert!(preds.contains("chosen_0"));
+        assert!(preds.contains("chosen_1"));
+        assert!(preds.contains("diffchoice_0"));
+        assert!(preds.contains("diffchoice_1"));
+    }
+
+    #[test]
+    fn multi_variable_choice_generates_one_diff_rule_per_position() {
+        let mut p = Program::new();
+        p.add_rule(Rule::new(
+            vec![atom("out", &["X", "W1", "W2"])],
+            vec![
+                BodyItem::Pos(atom("cand", &["X", "W1", "W2"])),
+                BodyItem::Choice(ChoiceAtom::new(
+                    vec![Term::var("X")],
+                    vec![Term::var("W1"), Term::var("W2")],
+                )),
+            ],
+        ));
+        let unfolded = unfold_choices(&p);
+        // 1 rewritten rule + 1 chosen rule + 2 diffchoice rules.
+        assert_eq!(unfolded.len(), 4);
+    }
+}

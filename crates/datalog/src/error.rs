@@ -1,0 +1,57 @@
+//! Errors raised by the datalog / answer-set engine.
+
+use std::fmt;
+
+/// Errors raised by grounding and solving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatalogError {
+    /// A rule uses a variable that no positive body atom binds.
+    UnsafeRule(String),
+    /// The solver exceeded its configured search limits.
+    SearchLimitExceeded {
+        /// Limit description (e.g. "branch nodes").
+        what: String,
+        /// The configured limit value.
+        limit: usize,
+    },
+    /// The program is inconsistent in the classical-negation sense:
+    /// a candidate answer set would contain both `p` and `¬p`.
+    Incoherent(String),
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::UnsafeRule(rule) => write!(f, "unsafe rule: {rule}"),
+            DatalogError::SearchLimitExceeded { what, limit } => {
+                write!(f, "answer-set search exceeded the {what} limit ({limit})")
+            }
+            DatalogError::Incoherent(atom) => {
+                write!(f, "incoherent model: both {atom} and its complement derived")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(DatalogError::UnsafeRule("p(X).".into())
+            .to_string()
+            .contains("unsafe"));
+        assert!(DatalogError::SearchLimitExceeded {
+            what: "branch nodes".into(),
+            limit: 10
+        }
+        .to_string()
+        .contains("10"));
+        assert!(DatalogError::Incoherent("p(a)".into())
+            .to_string()
+            .contains("p(a)"));
+    }
+}

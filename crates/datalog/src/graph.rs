@@ -1,0 +1,382 @@
+//! Dependency graphs: strongly connected components, head-cycle-freeness and
+//! stratification.
+//!
+//! Section 4.1 of the paper relies on the notion of *head-cycle-free* (HCF)
+//! disjunctive programs (Ben-Eliyahu & Dechter): a disjunctive program is HCF
+//! when no two atoms occurring in the same rule head share a cycle of the
+//! positive dependency graph. HCF programs can be *shifted* into equivalent
+//! non-disjunctive programs (see [`crate::shift`]), which is the optimization
+//! Example 3 illustrates.
+//!
+//! This module also provides predicate-level stratification checking, used by
+//! the solver to take a deterministic fixpoint fast path for stratified
+//! normal programs.
+
+use crate::ground::{AtomId, GroundProgram};
+use crate::syntax::{BodyItem, Program};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Strongly connected components of a directed graph given as adjacency
+/// lists over `0..n`. Returns, for each node, the index of its component;
+/// components are numbered in reverse topological order (Kosaraju).
+pub fn strongly_connected_components(n: usize, edges: &[Vec<usize>]) -> Vec<usize> {
+    // Kosaraju with explicit stacks (no recursion).
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        // Iterative post-order DFS.
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        visited[start] = true;
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            if *idx < edges[node].len() {
+                let next = edges[node][*idx];
+                *idx += 1;
+                if !visited[next] {
+                    visited[next] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                order.push(node);
+                stack.pop();
+            }
+        }
+    }
+
+    // Transpose.
+    let mut reverse: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (from, outs) in edges.iter().enumerate() {
+        for &to in outs {
+            reverse[to].push(from);
+        }
+    }
+
+    let mut component = vec![usize::MAX; n];
+    let mut current = 0;
+    for &node in order.iter().rev() {
+        if component[node] != usize::MAX {
+            continue;
+        }
+        // DFS over the transposed graph.
+        let mut stack = vec![node];
+        component[node] = current;
+        while let Some(v) = stack.pop() {
+            for &w in &reverse[v] {
+                if component[w] == usize::MAX {
+                    component[w] = current;
+                    stack.push(w);
+                }
+            }
+        }
+        current += 1;
+    }
+    component
+}
+
+/// The positive atom-dependency graph of a ground program: an edge from every
+/// positive body atom to every head atom of the same rule.
+pub fn positive_dependency_graph(program: &GroundProgram) -> Vec<Vec<AtomId>> {
+    let mut edges: Vec<BTreeSet<AtomId>> = vec![BTreeSet::new(); program.atom_count()];
+    for rule in program.rules() {
+        for &b in &rule.pos {
+            for &h in &rule.heads {
+                edges[b].insert(h);
+            }
+        }
+    }
+    edges.into_iter().map(|s| s.into_iter().collect()).collect()
+}
+
+/// Is the ground program head-cycle-free?
+///
+/// A program is HCF iff no rule has two distinct head atoms lying in the same
+/// strongly connected component of the positive dependency graph.
+pub fn is_head_cycle_free(program: &GroundProgram) -> bool {
+    if !program.is_disjunctive() {
+        return true;
+    }
+    let edges = positive_dependency_graph(program);
+    let component = strongly_connected_components(program.atom_count(), &edges);
+    for rule in program.rules() {
+        for (i, &a) in rule.heads.iter().enumerate() {
+            for &b in &rule.heads[i + 1..] {
+                if a != b && component[a] == component[b] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Predicate-level dependency information of a non-ground program.
+#[derive(Debug, Clone)]
+pub struct PredicateGraph {
+    predicates: Vec<String>,
+    index: BTreeMap<String, usize>,
+    /// Positive edges body → head.
+    positive: Vec<BTreeSet<usize>>,
+    /// Negative (default-negation) edges body → head.
+    negative: Vec<BTreeSet<usize>>,
+}
+
+impl PredicateGraph {
+    /// Build the predicate dependency graph of a program (signed predicates:
+    /// `p` and `-p` are distinct nodes).
+    pub fn new(program: &Program) -> Self {
+        let mut index = BTreeMap::new();
+        let mut predicates = Vec::new();
+        let intern = |name: String, predicates: &mut Vec<String>, index: &mut BTreeMap<String, usize>| {
+            *index.entry(name.clone()).or_insert_with(|| {
+                predicates.push(name);
+                predicates.len() - 1
+            })
+        };
+        for p in program.predicates() {
+            intern(p, &mut predicates, &mut index);
+        }
+        let mut positive = vec![BTreeSet::new(); predicates.len()];
+        let mut negative = vec![BTreeSet::new(); predicates.len()];
+        for rule in program.rules() {
+            let heads: Vec<usize> = rule
+                .head
+                .iter()
+                .map(|a| index[&a.signed_predicate()])
+                .collect();
+            for item in &rule.body {
+                match item {
+                    BodyItem::Pos(a) => {
+                        let b = index[&a.signed_predicate()];
+                        for &h in &heads {
+                            positive[b].insert(h);
+                        }
+                    }
+                    BodyItem::Naf(a) => {
+                        let b = index[&a.signed_predicate()];
+                        for &h in &heads {
+                            negative[b].insert(h);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        PredicateGraph {
+            predicates,
+            index,
+            positive,
+            negative,
+        }
+    }
+
+    /// Number of (signed) predicates.
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// True when the graph has no predicates.
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+
+    /// Is the program stratified (no cycle through a negative edge)?
+    pub fn is_stratified(&self) -> bool {
+        let n = self.len();
+        let mut all_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (from, outs) in self.positive.iter().enumerate() {
+            all_edges[from].extend(outs.iter().copied());
+        }
+        for (from, outs) in self.negative.iter().enumerate() {
+            all_edges[from].extend(outs.iter().copied());
+        }
+        let component = strongly_connected_components(n, &all_edges);
+        for (from, outs) in self.negative.iter().enumerate() {
+            for &to in outs {
+                if component[from] == component[to] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// A stratification: predicate name → stratum number (0-based), lowest
+    /// strata first. Returns `None` when the program is not stratified.
+    pub fn stratification(&self) -> Option<BTreeMap<String, usize>> {
+        if !self.is_stratified() {
+            return None;
+        }
+        let n = self.len();
+        // Longest-path layering over the condensation: iterate to fixpoint
+        // (n iterations suffice because the condensation is acyclic w.r.t.
+        // negative edges and positive cycles keep equal strata).
+        let mut stratum = vec![0usize; n];
+        let mut changed = true;
+        let mut guard = 0;
+        while changed && guard <= n + 1 {
+            changed = false;
+            guard += 1;
+            for (from, outs) in self.positive.iter().enumerate() {
+                for &to in outs {
+                    if stratum[to] < stratum[from] {
+                        stratum[to] = stratum[from];
+                        changed = true;
+                    }
+                }
+            }
+            for (from, outs) in self.negative.iter().enumerate() {
+                for &to in outs {
+                    if stratum[to] < stratum[from] + 1 {
+                        stratum[to] = stratum[from] + 1;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let mut out = BTreeMap::new();
+        for (name, &idx) in &self.index {
+            out.insert(name.clone(), stratum[idx]);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::Grounder;
+    use crate::syntax::{Atom, Rule};
+
+    fn atom(p: &str, args: &[&str]) -> Atom {
+        Atom::new(p, args)
+    }
+
+    #[test]
+    fn scc_identifies_cycles() {
+        // 0 -> 1 -> 2 -> 0 (one SCC), 3 -> 0 (own SCC).
+        let edges = vec![vec![1], vec![2], vec![0], vec![0]];
+        let comp = strongly_connected_components(4, &edges);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[3], comp[0]);
+    }
+
+    #[test]
+    fn scc_handles_disconnected_nodes() {
+        let edges = vec![vec![], vec![], vec![]];
+        let comp = strongly_connected_components(3, &edges);
+        let distinct: BTreeSet<usize> = comp.into_iter().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn non_disjunctive_programs_are_hcf() {
+        let mut p = Program::new();
+        p.add_fact(atom("a", &["x"]));
+        p.add_rule(Rule::new(
+            vec![atom("b", &["X"])],
+            vec![BodyItem::Pos(atom("a", &["X"]))],
+        ));
+        let g = Grounder::new(&p).ground().unwrap();
+        assert!(is_head_cycle_free(&g));
+    }
+
+    #[test]
+    fn disjunction_without_cycle_is_hcf() {
+        // a v b :- c.   (no positive path between a and b)
+        let mut p = Program::new();
+        p.add_fact(atom("c", &[] as &[&str]));
+        p.add_rule(Rule::new(
+            vec![atom("a", &[] as &[&str]), atom("b", &[] as &[&str])],
+            vec![BodyItem::Pos(atom("c", &[] as &[&str]))],
+        ));
+        let g = Grounder::new(&p).ground().unwrap();
+        assert!(is_head_cycle_free(&g));
+    }
+
+    #[test]
+    fn head_cycle_is_detected() {
+        // a v b :- c.   a :- b.   b :- a.   → a and b share an SCC.
+        let mut p = Program::new();
+        p.add_fact(atom("c", &[] as &[&str]));
+        p.add_rule(Rule::new(
+            vec![atom("a", &[] as &[&str]), atom("b", &[] as &[&str])],
+            vec![BodyItem::Pos(atom("c", &[] as &[&str]))],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("a", &[] as &[&str])],
+            vec![BodyItem::Pos(atom("b", &[] as &[&str]))],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("b", &[] as &[&str])],
+            vec![BodyItem::Pos(atom("a", &[] as &[&str]))],
+        ));
+        let g = Grounder::new(&p).ground().unwrap();
+        assert!(!is_head_cycle_free(&g));
+    }
+
+    #[test]
+    fn stratified_program_detected() {
+        // q(X) :- p(X), not r(X).   r(X) :- s(X).   — stratified.
+        let mut p = Program::new();
+        p.add_fact(atom("p", &["a"]));
+        p.add_fact(atom("s", &["a"]));
+        p.add_rule(Rule::new(
+            vec![atom("q", &["X"])],
+            vec![BodyItem::Pos(atom("p", &["X"])), BodyItem::Naf(atom("r", &["X"]))],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("r", &["X"])],
+            vec![BodyItem::Pos(atom("s", &["X"]))],
+        ));
+        let graph = PredicateGraph::new(&p);
+        assert!(graph.is_stratified());
+        let strata = graph.stratification().unwrap();
+        assert!(strata["r"] < strata["q"]);
+    }
+
+    #[test]
+    fn unstratified_program_detected() {
+        // p :- not q.  q :- not p.  — the classic even cycle through negation.
+        let mut p = Program::new();
+        p.add_fact(atom("dom", &["a"]));
+        p.add_rule(Rule::new(
+            vec![atom("p", &["X"])],
+            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("q", &["X"]))],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("q", &["X"])],
+            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("p", &["X"]))],
+        ));
+        let graph = PredicateGraph::new(&p);
+        assert!(!graph.is_stratified());
+        assert!(graph.stratification().is_none());
+    }
+
+    #[test]
+    fn paper_copy_rules_are_not_stratified() {
+        // Rules (4)/(6)-style: r1p(X,Y) :- r1(X,Y), not -r1p(X,Y).
+        // together with -r1p defined via r1p would be unstratified, but the
+        // copy rule alone (with -r1p defined independently) is stratified.
+        let mut p = Program::new();
+        p.add_fact(atom("r1", &["a", "b"]));
+        p.add_rule(Rule::new(
+            vec![atom("r1p", &["X", "Y"])],
+            vec![
+                BodyItem::Pos(atom("r1", &["X", "Y"])),
+                BodyItem::Naf(atom("r1p", &["X", "Y"]).strongly_negated()),
+            ],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("r1p", &["X", "Y"]).strongly_negated()],
+            vec![
+                BodyItem::Pos(atom("r1", &["X", "Y"])),
+                BodyItem::Naf(atom("r1p", &["X", "Y"])),
+            ],
+        ));
+        let graph = PredicateGraph::new(&p);
+        assert!(!graph.is_stratified());
+    }
+}

@@ -1,0 +1,661 @@
+//! Grounding: from programs with variables to propositional programs.
+//!
+//! The grounder performs *intelligent instantiation*: it first saturates the
+//! set of atoms that can possibly be derived (treating default negation
+//! optimistically and disjunctive heads as fully derivable), then instantiates
+//! every rule against that set. Default-negated literals whose atom can never
+//! be derived are dropped from the instantiated bodies; built-in comparisons
+//! are evaluated away during instantiation.
+
+use crate::choice::unfold_choices;
+use crate::error::DatalogError;
+use crate::syntax::{Atom, BodyItem, Builtin, Program, Rule, Term};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// A ground atom: signed predicate plus constant arguments.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroundAtom {
+    /// Predicate name.
+    pub predicate: String,
+    /// Classical negation flag.
+    pub strong_neg: bool,
+    /// Constant arguments.
+    pub args: Vec<Arc<str>>,
+}
+
+impl GroundAtom {
+    /// Construct a ground atom from string arguments.
+    pub fn new<S: AsRef<str>>(predicate: impl Into<String>, args: &[S]) -> Self {
+        GroundAtom {
+            predicate: predicate.into(),
+            strong_neg: false,
+            args: args.iter().map(|a| Arc::from(a.as_ref())).collect(),
+        }
+    }
+
+    /// The classically negated version of this ground atom.
+    pub fn strongly_negated(mut self) -> Self {
+        self.strong_neg = !self.strong_neg;
+        self
+    }
+
+    /// The complementary atom (`p` ↔ `¬p`).
+    pub fn complement(&self) -> Self {
+        self.clone().strongly_negated()
+    }
+}
+
+impl fmt::Display for GroundAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.strong_neg {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.predicate)?;
+        if !self.args.is_empty() {
+            write!(f, "(")?;
+            for (i, a) in self.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// Identifier of a ground atom inside a [`GroundProgram`].
+pub type AtomId = usize;
+
+/// A ground rule over atom identifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundRule {
+    /// Head atom ids (disjunction; empty = constraint).
+    pub heads: Vec<AtomId>,
+    /// Positive body atom ids.
+    pub pos: Vec<AtomId>,
+    /// Default-negated body atom ids.
+    pub neg: Vec<AtomId>,
+}
+
+impl GroundRule {
+    /// True when the rule has no body.
+    pub fn is_fact(&self) -> bool {
+        self.pos.is_empty() && self.neg.is_empty() && self.heads.len() == 1
+    }
+
+    /// True when the rule has an empty head.
+    pub fn is_constraint(&self) -> bool {
+        self.heads.is_empty()
+    }
+}
+
+/// A propositional (ground) program with interned atoms.
+#[derive(Debug, Clone, Default)]
+pub struct GroundProgram {
+    atoms: Vec<GroundAtom>,
+    index: BTreeMap<GroundAtom, AtomId>,
+    rules: Vec<GroundRule>,
+}
+
+impl GroundProgram {
+    /// Number of distinct ground atoms.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of ground rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// The ground rules.
+    pub fn rules(&self) -> &[GroundRule] {
+        &self.rules
+    }
+
+    /// Resolve an atom id.
+    pub fn atom(&self, id: AtomId) -> &GroundAtom {
+        &self.atoms[id]
+    }
+
+    /// Look up an atom's id, if it was interned.
+    pub fn atom_id(&self, atom: &GroundAtom) -> Option<AtomId> {
+        self.index.get(atom).copied()
+    }
+
+    /// Intern an atom, returning its id.
+    pub fn intern(&mut self, atom: GroundAtom) -> AtomId {
+        if let Some(&id) = self.index.get(&atom) {
+            return id;
+        }
+        let id = self.atoms.len();
+        self.atoms.push(atom.clone());
+        self.index.insert(atom, id);
+        id
+    }
+
+    /// Add a ground rule.
+    pub fn add_rule(&mut self, rule: GroundRule) {
+        self.rules.push(rule);
+    }
+
+    /// True when some ground rule has a disjunctive head.
+    pub fn is_disjunctive(&self) -> bool {
+        self.rules.iter().any(|r| r.heads.len() > 1)
+    }
+
+    /// Iterate over all interned atoms with their ids.
+    pub fn atoms(&self) -> impl Iterator<Item = (AtomId, &GroundAtom)> {
+        self.atoms.iter().enumerate()
+    }
+
+    /// Render a set of atom ids as ground atoms (sorted, for stable output).
+    pub fn decode(&self, ids: &BTreeSet<AtomId>) -> BTreeSet<GroundAtom> {
+        ids.iter().map(|&id| self.atoms[id].clone()).collect()
+    }
+}
+
+impl fmt::Display for GroundProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            for (i, h) in r.heads.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " v ")?;
+                }
+                write!(f, "{}", self.atoms[*h])?;
+            }
+            if !r.pos.is_empty() || !r.neg.is_empty() {
+                if !r.heads.is_empty() {
+                    write!(f, " ")?;
+                }
+                write!(f, ":- ")?;
+                let mut first = true;
+                for p in &r.pos {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", self.atoms[*p])?;
+                    first = false;
+                }
+                for n in &r.neg {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "not {}", self.atoms[*n])?;
+                    first = false;
+                }
+            }
+            writeln!(f, ".")?;
+        }
+        Ok(())
+    }
+}
+
+/// Partial substitution from variable names to constant symbols.
+type Subst = BTreeMap<String, Arc<str>>;
+
+/// The grounder.
+pub struct Grounder {
+    program: Program,
+}
+
+impl Grounder {
+    /// Create a grounder for a program. Choice atoms are automatically
+    /// unfolded into their stable version.
+    pub fn new(program: &Program) -> Self {
+        let program = if program.has_choice() {
+            unfold_choices(program)
+        } else {
+            program.clone()
+        };
+        Grounder { program }
+    }
+
+    /// The (choice-unfolded) program being grounded.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Ground the program.
+    pub fn ground(&self) -> Result<GroundProgram, DatalogError> {
+        // Safety check.
+        if let Some(rule) = self.program.unsafe_rules().first() {
+            return Err(DatalogError::UnsafeRule(rule.to_string()));
+        }
+
+        // Phase 1: saturate the possibly-derivable atoms.
+        let possible = self.saturate()?;
+
+        // Phase 2: instantiate rules against the saturated set.
+        let mut ground = GroundProgram::default();
+        for rule in self.program.rules() {
+            let substitutions = self.matches(rule, &possible);
+            'subst: for theta in substitutions {
+                let mut heads = Vec::with_capacity(rule.head.len());
+                for h in &rule.head {
+                    heads.push(ground.intern(apply(h, &theta)));
+                }
+                let mut pos = Vec::new();
+                let mut neg = Vec::new();
+                for item in &rule.body {
+                    match item {
+                        BodyItem::Pos(a) => {
+                            let g = apply(a, &theta);
+                            pos.push(ground.intern(g));
+                        }
+                        BodyItem::Naf(a) => {
+                            let g = apply(a, &theta);
+                            if contains(&possible, &g) {
+                                neg.push(ground.intern(g));
+                            }
+                            // Atom can never be derived: `not g` is true,
+                            // drop the literal.
+                        }
+                        BodyItem::Builtin(_) => {
+                            // Already checked during matching.
+                        }
+                        BodyItem::Choice(_) => {
+                            // Unfolded in the constructor; unreachable.
+                            continue 'subst;
+                        }
+                    }
+                }
+                // Drop tautologies: a head atom also in the positive body.
+                if heads.iter().any(|h| pos.contains(h)) {
+                    continue;
+                }
+                ground.add_rule(GroundRule { heads, pos, neg });
+            }
+        }
+        Ok(ground)
+    }
+
+    /// Fixpoint of possibly-derivable atoms.
+    fn saturate(&self) -> Result<BTreeMap<String, BTreeSet<GroundAtom>>, DatalogError> {
+        let mut possible: BTreeMap<String, BTreeSet<GroundAtom>> = BTreeMap::new();
+        loop {
+            let mut changed = false;
+            for rule in self.program.rules() {
+                for theta in self.matches(rule, &possible) {
+                    for h in &rule.head {
+                        let g = apply(h, &theta);
+                        let entry = possible.entry(g.predicate_key()).or_default();
+                        if entry.insert(g) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return Ok(possible);
+            }
+        }
+    }
+
+    /// All substitutions that satisfy the positive body atoms (against the
+    /// possible-atom sets) and the built-in comparisons. Default-negated
+    /// literals are ignored here (optimistic reading).
+    fn matches(
+        &self,
+        rule: &Rule,
+        possible: &BTreeMap<String, BTreeSet<GroundAtom>>,
+    ) -> Vec<Subst> {
+        let positives: Vec<&Atom> = rule
+            .body
+            .iter()
+            .filter_map(|b| match b {
+                BodyItem::Pos(a) => Some(a),
+                _ => None,
+            })
+            .collect();
+        let builtins: Vec<&Builtin> = rule
+            .body
+            .iter()
+            .filter_map(|b| match b {
+                BodyItem::Builtin(b) => Some(b),
+                _ => None,
+            })
+            .collect();
+
+        let mut results = Vec::new();
+        let mut current = Subst::new();
+        self.join(&positives, 0, possible, &mut current, &mut results);
+
+        // Filter by builtins (all their variables are bound by safety).
+        results.retain(|theta| {
+            builtins.iter().all(|b| {
+                let l = resolve(&b.left, theta);
+                let r = resolve(&b.right, theta);
+                match (l, r) {
+                    (Some(l), Some(r)) => b.op.eval(&l, &r),
+                    _ => false,
+                }
+            })
+        });
+        results
+    }
+
+    /// Backtracking join of positive body atoms against the possible sets.
+    fn join(
+        &self,
+        positives: &[&Atom],
+        idx: usize,
+        possible: &BTreeMap<String, BTreeSet<GroundAtom>>,
+        current: &mut Subst,
+        results: &mut Vec<Subst>,
+    ) {
+        if idx == positives.len() {
+            results.push(current.clone());
+            return;
+        }
+        let atom = positives[idx];
+        let key = signed_key(atom);
+        let empty = BTreeSet::new();
+        let candidates = possible.get(&key).unwrap_or(&empty);
+        for cand in candidates {
+            if cand.args.len() != atom.terms.len() {
+                continue;
+            }
+            let mut added: Vec<String> = Vec::new();
+            let mut ok = true;
+            for (term, value) in atom.terms.iter().zip(cand.args.iter()) {
+                match term {
+                    Term::Const(c) => {
+                        if c != value {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Term::Var(v) => match current.get(v) {
+                        Some(bound) if bound != value => {
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            current.insert(v.clone(), value.clone());
+                            added.push(v.clone());
+                        }
+                    },
+                }
+            }
+            if ok {
+                self.join(positives, idx + 1, possible, current, results);
+            }
+            for v in added {
+                current.remove(&v);
+            }
+        }
+    }
+}
+
+impl GroundAtom {
+    /// The signed-predicate key used to bucket atoms during grounding.
+    fn predicate_key(&self) -> String {
+        if self.strong_neg {
+            format!("-{}", self.predicate)
+        } else {
+            self.predicate.clone()
+        }
+    }
+}
+
+fn signed_key(atom: &Atom) -> String {
+    if atom.strong_neg {
+        format!("-{}", atom.predicate)
+    } else {
+        atom.predicate.clone()
+    }
+}
+
+fn contains(possible: &BTreeMap<String, BTreeSet<GroundAtom>>, atom: &GroundAtom) -> bool {
+    possible
+        .get(&atom.predicate_key())
+        .map(|set| set.contains(atom))
+        .unwrap_or(false)
+}
+
+fn apply(atom: &Atom, theta: &Subst) -> GroundAtom {
+    GroundAtom {
+        predicate: atom.predicate.clone(),
+        strong_neg: atom.strong_neg,
+        args: atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => c.clone(),
+                Term::Var(v) => theta
+                    .get(v)
+                    .cloned()
+                    .unwrap_or_else(|| Arc::from(format!("_unbound_{v}").as_str())),
+            })
+            .collect(),
+    }
+}
+
+fn resolve(term: &Term, theta: &Subst) -> Option<Arc<str>> {
+    match term {
+        Term::Const(c) => Some(c.clone()),
+        Term::Var(v) => theta.get(v).cloned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{BuiltinOp, ChoiceAtom};
+
+    fn atom(p: &str, args: &[&str]) -> Atom {
+        Atom::new(p, args)
+    }
+
+    #[test]
+    fn facts_ground_to_themselves() {
+        let mut p = Program::new();
+        p.add_fact(atom("r1", &["a", "b"]));
+        p.add_fact(atom("r1", &["c", "d"]));
+        let g = Grounder::new(&p).ground().unwrap();
+        assert_eq!(g.rule_count(), 2);
+        assert_eq!(g.atom_count(), 2);
+        assert!(g.rules().iter().all(GroundRule::is_fact));
+    }
+
+    #[test]
+    fn simple_rule_instantiates_once_per_matching_fact() {
+        let mut p = Program::new();
+        p.add_fact(atom("edge", &["a", "b"]));
+        p.add_fact(atom("edge", &["b", "c"]));
+        p.add_rule(Rule::new(
+            vec![atom("reach", &["X", "Y"])],
+            vec![BodyItem::Pos(atom("edge", &["X", "Y"]))],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("reach", &["X", "Z"])],
+            vec![
+                BodyItem::Pos(atom("reach", &["X", "Y"])),
+                BodyItem::Pos(atom("edge", &["Y", "Z"])),
+            ],
+        ));
+        let g = Grounder::new(&p).ground().unwrap();
+        // reach facts derivable: (a,b), (b,c), (a,c); transitive rule
+        // instantiates for every reach × edge join over the saturated set.
+        let preds: BTreeSet<String> = g
+            .atoms()
+            .map(|(_, a)| a.predicate.clone())
+            .collect();
+        assert!(preds.contains("reach"));
+        // 2 facts + 2 base-rule instances + 1 transitive instance (a→b→c).
+        assert_eq!(g.rule_count(), 5);
+        assert!(g
+            .atom_id(&GroundAtom::new("reach", &["a", "c"]))
+            .is_some());
+    }
+
+    #[test]
+    fn unsafe_rule_is_rejected() {
+        let mut p = Program::new();
+        p.add_rule(Rule::new(
+            vec![atom("p", &["X"])],
+            vec![BodyItem::Naf(atom("q", &["X"]))],
+        ));
+        assert!(matches!(
+            Grounder::new(&p).ground(),
+            Err(DatalogError::UnsafeRule(_))
+        ));
+    }
+
+    #[test]
+    fn naf_on_underivable_atom_is_dropped() {
+        let mut p = Program::new();
+        p.add_fact(atom("p", &["a"]));
+        p.add_rule(Rule::new(
+            vec![atom("q", &["X"])],
+            vec![
+                BodyItem::Pos(atom("p", &["X"])),
+                BodyItem::Naf(atom("never", &["X"])),
+            ],
+        ));
+        let g = Grounder::new(&p).ground().unwrap();
+        let rule = g
+            .rules()
+            .iter()
+            .find(|r| !r.is_fact())
+            .expect("instantiated rule");
+        assert!(rule.neg.is_empty(), "naf on impossible atom should vanish");
+    }
+
+    #[test]
+    fn naf_on_possible_atom_is_kept() {
+        let mut p = Program::new();
+        p.add_fact(atom("p", &["a"]));
+        p.add_rule(Rule::new(
+            vec![atom("q", &["X"])],
+            vec![
+                BodyItem::Pos(atom("p", &["X"])),
+                BodyItem::Naf(atom("r", &["X"])),
+            ],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("r", &["X"])],
+            vec![
+                BodyItem::Pos(atom("p", &["X"])),
+                BodyItem::Naf(atom("q", &["X"])),
+            ],
+        ));
+        let g = Grounder::new(&p).ground().unwrap();
+        let non_facts: Vec<&GroundRule> = g.rules().iter().filter(|r| !r.is_fact()).collect();
+        assert_eq!(non_facts.len(), 2);
+        assert!(non_facts.iter().all(|r| r.neg.len() == 1));
+    }
+
+    #[test]
+    fn builtins_are_evaluated_during_instantiation() {
+        let mut p = Program::new();
+        p.add_fact(atom("num", &["a"]));
+        p.add_fact(atom("num", &["b"]));
+        p.add_rule(Rule::new(
+            vec![atom("pair", &["X", "Y"])],
+            vec![
+                BodyItem::Pos(atom("num", &["X"])),
+                BodyItem::Pos(atom("num", &["Y"])),
+                BodyItem::Builtin(Builtin::new(BuiltinOp::Neq, Term::var("X"), Term::var("Y"))),
+            ],
+        ));
+        let g = Grounder::new(&p).ground().unwrap();
+        // Only (a,b) and (b,a) pairs survive the X != Y builtin.
+        let pair_rules = g
+            .rules()
+            .iter()
+            .filter(|r| !r.is_fact())
+            .count();
+        assert_eq!(pair_rules, 2);
+    }
+
+    #[test]
+    fn constants_in_rule_heads_and_bodies() {
+        let mut p = Program::new();
+        p.add_fact(atom("p", &["a"]));
+        p.add_rule(Rule::new(
+            vec![atom("q", &["a", "marker"])],
+            vec![BodyItem::Pos(atom("p", &["a"]))],
+        ));
+        let g = Grounder::new(&p).ground().unwrap();
+        assert!(g.atom_id(&GroundAtom::new("q", &["a", "marker"])).is_some());
+    }
+
+    #[test]
+    fn constraints_are_grounded() {
+        let mut p = Program::new();
+        p.add_fact(atom("p", &["a"]));
+        p.add_fact(atom("q", &["a"]));
+        p.add_constraint(vec![
+            BodyItem::Pos(atom("p", &["X"])),
+            BodyItem::Pos(atom("q", &["X"])),
+        ]);
+        let g = Grounder::new(&p).ground().unwrap();
+        assert!(g.rules().iter().any(GroundRule::is_constraint));
+    }
+
+    #[test]
+    fn strong_negation_keeps_predicates_apart() {
+        let mut p = Program::new();
+        p.add_fact(atom("p", &["a"]));
+        p.add_rule(Rule::new(
+            vec![atom("p", &["X"]).strongly_negated()],
+            vec![BodyItem::Pos(atom("p", &["X"]))],
+        ));
+        let g = Grounder::new(&p).ground().unwrap();
+        assert_eq!(g.atom_count(), 2);
+        assert!(g
+            .atom_id(&GroundAtom::new("p", &["a"]).strongly_negated())
+            .is_some());
+    }
+
+    #[test]
+    fn choice_rules_are_unfolded_before_grounding() {
+        let mut p = Program::new();
+        p.add_fact(atom("cand", &["k", "v1"]));
+        p.add_fact(atom("cand", &["k", "v2"]));
+        p.add_rule(Rule::new(
+            vec![atom("pick", &["X", "W"])],
+            vec![
+                BodyItem::Pos(atom("cand", &["X", "W"])),
+                BodyItem::Choice(ChoiceAtom::new(vec![Term::var("X")], vec![Term::var("W")])),
+            ],
+        ));
+        let g = Grounder::new(&p).ground().unwrap();
+        let preds: BTreeSet<String> = g.atoms().map(|(_, a)| a.predicate.clone()).collect();
+        assert!(preds.contains("chosen_0"));
+        assert!(preds.contains("diffchoice_0"));
+    }
+
+    #[test]
+    fn tautological_instances_are_dropped() {
+        let mut p = Program::new();
+        p.add_fact(atom("p", &["a"]));
+        p.add_rule(Rule::new(
+            vec![atom("p", &["X"])],
+            vec![BodyItem::Pos(atom("p", &["X"]))],
+        ));
+        let g = Grounder::new(&p).ground().unwrap();
+        assert_eq!(g.rule_count(), 1); // only the fact survives
+    }
+
+    #[test]
+    fn ground_program_display_is_parsable_text() {
+        let mut p = Program::new();
+        p.add_fact(atom("p", &["a"]));
+        p.add_rule(Rule::new(
+            vec![atom("q", &["X"])],
+            vec![BodyItem::Pos(atom("p", &["X"])), BodyItem::Naf(atom("q", &["X"]).strongly_negated())],
+        ));
+        let g = Grounder::new(&p).ground().unwrap();
+        let text = g.to_string();
+        assert!(text.contains("p(a)."));
+        assert!(text.contains("q(a) :- p(a)."));
+    }
+}

@@ -1,0 +1,203 @@
+//! Reasoning over answer sets: cautious (skeptical) and brave consequences,
+//! and predicate-level query answering.
+//!
+//! The paper computes peer consistent answers by "running the query …
+//! in combination with the specification program … under the skeptical
+//! answer set semantics" (Section 3.2). [`AnswerSets::cautious_tuples`] is
+//! exactly that operation: the tuples of a designated answer predicate that
+//! appear in *every* answer set.
+
+use crate::error::DatalogError;
+use crate::ground::GroundAtom;
+use crate::solve::{solve, SolveResult, SolverConfig};
+use crate::syntax::Program;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// The answer sets of a program, decoded into ground atoms.
+#[derive(Debug, Clone)]
+pub struct AnswerSets {
+    /// Decoded answer sets (each a set of ground atoms), in a deterministic
+    /// order.
+    pub sets: Vec<BTreeSet<GroundAtom>>,
+    /// Branch nodes explored by the solver (for benchmarking).
+    pub branch_nodes: usize,
+    /// Whether the HCF shift was applied.
+    pub used_shift: bool,
+}
+
+impl AnswerSets {
+    /// Compute the answer sets of a program.
+    pub fn compute(program: &Program, config: SolverConfig) -> Result<AnswerSets, DatalogError> {
+        let SolveResult {
+            ground,
+            answer_sets,
+            branch_nodes,
+            used_shift,
+        } = solve(program, config)?;
+        let sets = answer_sets.iter().map(|s| ground.decode(s)).collect();
+        Ok(AnswerSets {
+            sets,
+            branch_nodes,
+            used_shift,
+        })
+    }
+
+    /// Number of answer sets.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True when the program has no answer set.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Is the atom true in every answer set? (False when there are no answer
+    /// sets at all: skeptical reasoning over an inconsistent program is
+    /// trivially true in the logical sense, but for query answering the
+    /// paper's reading — "no solutions, no peer consistent answers" — is the
+    /// useful one, so we return `false`.)
+    pub fn holds_cautiously(&self, atom: &GroundAtom) -> bool {
+        !self.sets.is_empty() && self.sets.iter().all(|s| s.contains(atom))
+    }
+
+    /// Is the atom true in at least one answer set?
+    pub fn holds_bravely(&self, atom: &GroundAtom) -> bool {
+        self.sets.iter().any(|s| s.contains(atom))
+    }
+
+    /// Atoms true in every answer set (empty when there is no answer set).
+    pub fn cautious_consequences(&self) -> BTreeSet<GroundAtom> {
+        match self.sets.split_first() {
+            None => BTreeSet::new(),
+            Some((first, rest)) => rest.iter().fold(first.clone(), |acc, s| {
+                acc.intersection(s).cloned().collect()
+            }),
+        }
+    }
+
+    /// Atoms true in at least one answer set.
+    pub fn brave_consequences(&self) -> BTreeSet<GroundAtom> {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().cloned())
+            .collect()
+    }
+
+    /// The tuples of `predicate` (positive atoms only) that occur in every
+    /// answer set — the skeptical answers to a query predicate.
+    pub fn cautious_tuples(&self, predicate: &str) -> BTreeSet<Vec<Arc<str>>> {
+        self.tuples_of(self.cautious_consequences(), predicate)
+    }
+
+    /// The tuples of `predicate` that occur in at least one answer set.
+    pub fn brave_tuples(&self, predicate: &str) -> BTreeSet<Vec<Arc<str>>> {
+        self.tuples_of(self.brave_consequences(), predicate)
+    }
+
+    /// The tuples of `predicate` in a specific answer set.
+    pub fn tuples_in(&self, set_index: usize, predicate: &str) -> BTreeSet<Vec<Arc<str>>> {
+        self.sets
+            .get(set_index)
+            .map(|s| self.tuples_of(s.clone(), predicate))
+            .unwrap_or_default()
+    }
+
+    fn tuples_of(
+        &self,
+        atoms: BTreeSet<GroundAtom>,
+        predicate: &str,
+    ) -> BTreeSet<Vec<Arc<str>>> {
+        atoms
+            .into_iter()
+            .filter(|a| !a.strong_neg && a.predicate == predicate)
+            .map(|a| a.args)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{Atom, BodyItem, Rule};
+
+    fn atom(p: &str, args: &[&str]) -> Atom {
+        Atom::new(p, args)
+    }
+
+    fn two_world_program() -> Program {
+        // Two answer sets: {p(a), shared(a)} and {q(a), shared(a)}.
+        let mut prog = Program::new();
+        prog.add_fact(atom("dom", &["a"]));
+        prog.add_fact(atom("shared", &["a"]));
+        prog.add_rule(Rule::new(
+            vec![atom("p", &["X"])],
+            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("q", &["X"]))],
+        ));
+        prog.add_rule(Rule::new(
+            vec![atom("q", &["X"])],
+            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("p", &["X"]))],
+        ));
+        prog
+    }
+
+    #[test]
+    fn cautious_and_brave_consequences() {
+        let sets = AnswerSets::compute(&two_world_program(), SolverConfig::default()).unwrap();
+        assert_eq!(sets.len(), 2);
+        let shared = GroundAtom::new("shared", &["a"]);
+        let p = GroundAtom::new("p", &["a"]);
+        assert!(sets.holds_cautiously(&shared));
+        assert!(!sets.holds_cautiously(&p));
+        assert!(sets.holds_bravely(&p));
+        assert!(sets.cautious_consequences().contains(&shared));
+        assert!(sets.brave_consequences().contains(&p));
+    }
+
+    #[test]
+    fn cautious_tuples_project_predicate() {
+        let sets = AnswerSets::compute(&two_world_program(), SolverConfig::default()).unwrap();
+        let shared = sets.cautious_tuples("shared");
+        assert_eq!(shared.len(), 1);
+        assert!(shared.contains(&vec![Arc::from("a")]));
+        assert!(sets.cautious_tuples("p").is_empty());
+        assert_eq!(sets.brave_tuples("p").len(), 1);
+    }
+
+    #[test]
+    fn tuples_in_specific_answer_set() {
+        let sets = AnswerSets::compute(&two_world_program(), SolverConfig::default()).unwrap();
+        let total: usize = (0..sets.len())
+            .map(|i| sets.tuples_in(i, "p").len() + sets.tuples_in(i, "q").len())
+            .sum();
+        assert_eq!(total, 2);
+        assert!(sets.tuples_in(99, "p").is_empty());
+    }
+
+    #[test]
+    fn empty_answer_sets_are_handled() {
+        // p :- dom, not p.  has no answer set.
+        let mut prog = Program::new();
+        prog.add_fact(atom("dom", &["a"]));
+        prog.add_rule(Rule::new(
+            vec![atom("p", &["X"])],
+            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("p", &["X"]))],
+        ));
+        let sets = AnswerSets::compute(&prog, SolverConfig::default()).unwrap();
+        assert!(sets.is_empty());
+        assert!(sets.cautious_consequences().is_empty());
+        assert!(!sets.holds_cautiously(&GroundAtom::new("dom", &["a"])));
+    }
+
+    #[test]
+    fn strongly_negated_atoms_are_excluded_from_tuples() {
+        let mut prog = Program::new();
+        prog.add_fact(atom("p", &["a"]));
+        prog.add_fact(atom("p", &["b"]).strongly_negated());
+        let sets = AnswerSets::compute(&prog, SolverConfig::default()).unwrap();
+        let tuples = sets.cautious_tuples("p");
+        assert_eq!(tuples.len(), 1);
+        assert!(tuples.contains(&vec![Arc::from("a")]));
+    }
+}

@@ -1,0 +1,172 @@
+//! Shifting of head-cycle-free disjunctive programs into normal programs.
+//!
+//! Section 4.1 of the paper: "it is known that a disjunctive program can be
+//! transformed into a non disjunctive program if the program is head-cycle
+//! free" (Ben-Eliyahu & Dechter). The transformation replaces each rule
+//!
+//! ```text
+//! a1 ∨ … ∨ ak ← body
+//! ```
+//!
+//! by the k rules
+//!
+//! ```text
+//! ai ← body, not a1, …, not a{i-1}, not a{i+1}, …, not ak      (1 ≤ i ≤ k)
+//! ```
+//!
+//! For HCF programs the answer sets are preserved exactly; Example 3 shows
+//! the transformation applied to rule (9) of the Section 3.1 program.
+
+use crate::ground::{GroundProgram, GroundRule};
+use crate::syntax::{BodyItem, Program, Rule};
+
+/// Shift a ground disjunctive program into a ground normal program.
+///
+/// The caller is responsible for checking head-cycle-freeness (see
+/// [`crate::graph::is_head_cycle_free`]); applying the shift to a non-HCF
+/// program may lose answer sets.
+pub fn shift_ground(program: &GroundProgram) -> GroundProgram {
+    let mut out = program.clone_atoms();
+    for rule in program.rules() {
+        if rule.heads.len() <= 1 {
+            out.add_rule(rule.clone());
+            continue;
+        }
+        for (i, &head) in rule.heads.iter().enumerate() {
+            let mut neg = rule.neg.clone();
+            for (j, &other) in rule.heads.iter().enumerate() {
+                if i != j {
+                    neg.push(other);
+                }
+            }
+            out.add_rule(GroundRule {
+                heads: vec![head],
+                pos: rule.pos.clone(),
+                neg,
+            });
+        }
+    }
+    out
+}
+
+/// Shift a non-ground disjunctive program into a normal program
+/// (rule-by-rule, same construction as [`shift_ground`]).
+pub fn shift_program(program: &Program) -> Program {
+    let mut out = Program::new();
+    for rule in program.rules() {
+        if rule.head.len() <= 1 {
+            out.add_rule(rule.clone());
+            continue;
+        }
+        for (i, head) in rule.head.iter().enumerate() {
+            let mut body = rule.body.clone();
+            for (j, other) in rule.head.iter().enumerate() {
+                if i != j {
+                    body.push(BodyItem::Naf(other.clone()));
+                }
+            }
+            out.add_rule(Rule::new(vec![head.clone()], body));
+        }
+    }
+    out
+}
+
+impl GroundProgram {
+    /// A copy of this program's atom table with no rules — used by the
+    /// shifting transformation so atom ids remain stable.
+    pub(crate) fn clone_atoms(&self) -> GroundProgram {
+        let mut out = GroundProgram::default();
+        for (_, atom) in self.atoms() {
+            out.intern(atom.clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::Grounder;
+    use crate::syntax::Atom;
+
+    fn atom(p: &str, args: &[&str]) -> Atom {
+        Atom::new(p, args)
+    }
+
+    #[test]
+    fn normal_rules_pass_through() {
+        let mut p = Program::new();
+        p.add_fact(atom("a", &["x"]));
+        p.add_rule(Rule::new(
+            vec![atom("b", &["X"])],
+            vec![BodyItem::Pos(atom("a", &["X"]))],
+        ));
+        let shifted = shift_program(&p);
+        assert_eq!(shifted.len(), p.len());
+        assert!(!shifted.is_disjunctive());
+    }
+
+    #[test]
+    fn disjunctive_rule_becomes_k_normal_rules() {
+        let mut p = Program::new();
+        p.add_fact(atom("c", &["x"]));
+        p.add_rule(Rule::new(
+            vec![atom("a", &["X"]), atom("b", &["X"])],
+            vec![BodyItem::Pos(atom("c", &["X"]))],
+        ));
+        let shifted = shift_program(&p);
+        assert_eq!(shifted.len(), 3);
+        assert!(!shifted.is_disjunctive());
+        let text = shifted.to_string();
+        assert!(text.contains("a(X) :- c(X), not b(X)."));
+        assert!(text.contains("b(X) :- c(X), not a(X)."));
+    }
+
+    #[test]
+    fn example3_shape_shift_of_rule_9() {
+        // ¬r1p(X,Y) ∨ r2p(X,W) ← r1(X,Y), s1(Z,Y), not aux1(X,Z), s2(Z,W).
+        let mut p = Program::new();
+        p.add_rule(Rule::new(
+            vec![
+                atom("r1p", &["X", "Y"]).strongly_negated(),
+                atom("r2p", &["X", "W"]),
+            ],
+            vec![
+                BodyItem::Pos(atom("r1", &["X", "Y"])),
+                BodyItem::Pos(atom("s1", &["Z", "Y"])),
+                BodyItem::Naf(atom("aux1", &["X", "Z"])),
+                BodyItem::Pos(atom("s2", &["Z", "W"])),
+            ],
+        ));
+        let shifted = shift_program(&p);
+        assert_eq!(shifted.len(), 2);
+        let text = shifted.to_string();
+        // The two rules of Example 3 (modulo the choice literal, which the
+        // paper carries along unchanged).
+        assert!(text.contains(
+            "-r1p(X, Y) :- r1(X, Y), s1(Z, Y), not aux1(X, Z), s2(Z, W), not r2p(X, W)."
+        ));
+        assert!(text.contains(
+            "r2p(X, W) :- r1(X, Y), s1(Z, Y), not aux1(X, Z), s2(Z, W), not -r1p(X, Y)."
+        ));
+    }
+
+    #[test]
+    fn ground_shift_preserves_atom_table() {
+        let mut p = Program::new();
+        p.add_fact(atom("c", &["x"]));
+        p.add_rule(Rule::new(
+            vec![atom("a", &["X"]), atom("b", &["X"])],
+            vec![BodyItem::Pos(atom("c", &["X"]))],
+        ));
+        let ground = Grounder::new(&p).ground().unwrap();
+        let shifted = shift_ground(&ground);
+        assert_eq!(shifted.atom_count(), ground.atom_count());
+        assert!(!shifted.is_disjunctive());
+        // fact + two shifted rules
+        assert_eq!(shifted.rule_count(), 3);
+        for rule in shifted.rules() {
+            assert!(rule.heads.len() <= 1);
+        }
+    }
+}

@@ -1,0 +1,947 @@
+//! Stable-model (answer-set) computation for ground programs.
+//!
+//! The solver has three layers:
+//!
+//! * [`NormalSolver`] — stable models of ground *normal* programs (single-atom
+//!   heads) by DPLL-style search: unit/forward propagation, unsupported-atom
+//!   and unfounded-set pruning, branching on undetermined atoms, and a final
+//!   Gelfond–Lifschitz reduct check on every complete candidate.
+//! * [`DisjunctiveSolver`] — answer sets of arbitrary ground disjunctive
+//!   programs by candidate-model enumeration plus a reduct-minimality check.
+//!   This is only used for programs that are *not* head-cycle-free; the
+//!   paper's specification programs are HCF (Section 4.1), so the common path
+//!   is shifting + [`NormalSolver`].
+//! * [`solve`] — the front door: unfolds choices, grounds, picks the
+//!   appropriate solver (normal / shifted-HCF / generic disjunctive) and
+//!   enforces coherence of classical negation.
+
+use crate::error::DatalogError;
+use crate::graph::is_head_cycle_free;
+use crate::ground::{AtomId, GroundProgram, GroundRule, Grounder};
+use crate::shift::shift_ground;
+use crate::syntax::Program;
+use std::collections::BTreeSet;
+
+/// Search limits and options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Stop after this many answer sets (`usize::MAX` = all).
+    pub max_answer_sets: usize,
+    /// Abort after this many branch nodes.
+    pub max_branch_nodes: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            max_answer_sets: usize::MAX,
+            max_branch_nodes: 5_000_000,
+        }
+    }
+}
+
+/// Result of an answer-set computation.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// The ground program that was solved (after choice unfolding and, when
+    /// applicable, HCF shifting of the original).
+    pub ground: GroundProgram,
+    /// The answer sets, as sets of atom ids of `ground`.
+    pub answer_sets: Vec<BTreeSet<AtomId>>,
+    /// Number of branch nodes explored.
+    pub branch_nodes: usize,
+    /// Whether the disjunctive program was solved by HCF shifting.
+    pub used_shift: bool,
+}
+
+/// Compute the answer sets of a (non-ground) program.
+///
+/// Choice atoms are unfolded, the program is grounded, and the appropriate
+/// solver is selected: normal programs and head-cycle-free disjunctive
+/// programs go through the [`NormalSolver`] (the latter after shifting),
+/// other disjunctive programs go through the [`DisjunctiveSolver`].
+pub fn solve(program: &Program, config: SolverConfig) -> Result<SolveResult, DatalogError> {
+    let ground = Grounder::new(program).ground()?;
+    solve_ground(ground, config)
+}
+
+/// Compute the answer sets of an already-ground program.
+pub fn solve_ground(
+    ground: GroundProgram,
+    config: SolverConfig,
+) -> Result<SolveResult, DatalogError> {
+    if !ground.is_disjunctive() {
+        let solver = NormalSolver::new(&ground, config);
+        let (answer_sets, branch_nodes) = solver.answer_sets()?;
+        return Ok(SolveResult {
+            ground,
+            answer_sets,
+            branch_nodes,
+            used_shift: false,
+        });
+    }
+    if is_head_cycle_free(&ground) {
+        let shifted = shift_ground(&ground);
+        let solver = NormalSolver::new(&shifted, config);
+        let (answer_sets, branch_nodes) = solver.answer_sets()?;
+        return Ok(SolveResult {
+            ground: shifted,
+            answer_sets,
+            branch_nodes,
+            used_shift: true,
+        });
+    }
+    let solver = DisjunctiveSolver::new(&ground, config);
+    let (answer_sets, branch_nodes) = solver.answer_sets()?;
+    Ok(SolveResult {
+        ground,
+        answer_sets,
+        branch_nodes,
+        used_shift: false,
+    })
+}
+
+/// Truth assignment used during search.
+type Assignment = Vec<Option<bool>>;
+
+/// Is the candidate coherent, i.e. free of `p` / `¬p` clashes?
+fn is_coherent(program: &GroundProgram, model: &BTreeSet<AtomId>) -> bool {
+    for &id in model {
+        let atom = program.atom(id);
+        if atom.strong_neg {
+            continue;
+        }
+        let complement = atom.complement();
+        if let Some(comp_id) = program.atom_id(&complement) {
+            if model.contains(&comp_id) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Stable-model enumeration for normal ground programs.
+pub struct NormalSolver<'a> {
+    program: &'a GroundProgram,
+    config: SolverConfig,
+    /// For each atom, the indices of rules having it as head.
+    rules_by_head: Vec<Vec<usize>>,
+}
+
+impl<'a> NormalSolver<'a> {
+    /// Create a solver. Panics if the program is disjunctive (callers shift
+    /// first).
+    pub fn new(program: &'a GroundProgram, config: SolverConfig) -> Self {
+        assert!(
+            !program.is_disjunctive(),
+            "NormalSolver requires a non-disjunctive program"
+        );
+        let mut rules_by_head = vec![Vec::new(); program.atom_count()];
+        for (idx, rule) in program.rules().iter().enumerate() {
+            for &h in &rule.heads {
+                rules_by_head[h].push(idx);
+            }
+        }
+        NormalSolver {
+            program,
+            config,
+            rules_by_head,
+        }
+    }
+
+    /// Enumerate all stable models. Returns (models, branch node count).
+    pub fn answer_sets(&self) -> Result<(Vec<BTreeSet<AtomId>>, usize), DatalogError> {
+        let mut models = Vec::new();
+        let mut nodes = 0usize;
+        let assign: Assignment = vec![None; self.program.atom_count()];
+        self.search(assign, &mut models, &mut nodes)?;
+        // Deterministic order for reproducibility.
+        models.sort();
+        models.dedup();
+        Ok((models, nodes))
+    }
+
+    fn search(
+        &self,
+        mut assign: Assignment,
+        models: &mut Vec<BTreeSet<AtomId>>,
+        nodes: &mut usize,
+    ) -> Result<(), DatalogError> {
+        if models.len() >= self.config.max_answer_sets {
+            return Ok(());
+        }
+        *nodes += 1;
+        if *nodes > self.config.max_branch_nodes {
+            return Err(DatalogError::SearchLimitExceeded {
+                what: "branch nodes".to_string(),
+                limit: self.config.max_branch_nodes,
+            });
+        }
+        if !self.propagate(&mut assign) {
+            return Ok(());
+        }
+        match self.pick_branch_atom(&assign) {
+            None => {
+                let model: BTreeSet<AtomId> = assign
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, v)| if *v == Some(true) { Some(i) } else { None })
+                    .collect();
+                if self.is_stable(&model) && is_coherent(self.program, &model) {
+                    models.push(model);
+                }
+                Ok(())
+            }
+            Some(atom) => {
+                for value in [true, false] {
+                    let mut next = assign.clone();
+                    next[atom] = Some(value);
+                    self.search(next, models, nodes)?;
+                    if models.len() >= self.config.max_answer_sets {
+                        break;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Deterministic propagation. Returns `false` on conflict.
+    fn propagate(&self, assign: &mut Assignment) -> bool {
+        loop {
+            let mut changed = false;
+
+            // Forward propagation and constraint checking.
+            for rule in self.program.rules() {
+                match self.body_status(rule, assign) {
+                    BodyStatus::Satisfied => {
+                        if let Some(&head) = rule.heads.first() {
+                            match assign[head] {
+                                Some(false) => return false,
+                                Some(true) => {}
+                                None => {
+                                    assign[head] = Some(true);
+                                    changed = true;
+                                }
+                            }
+                        } else {
+                            // Satisfied constraint body.
+                            return false;
+                        }
+                    }
+                    BodyStatus::Dead | BodyStatus::Open => {}
+                }
+            }
+
+            // Unsupported atoms must be false; true atoms whose every rule is
+            // dead are a conflict.
+            for atom in 0..self.program.atom_count() {
+                if assign[atom] == Some(false) {
+                    continue;
+                }
+                let alive = self.rules_by_head[atom]
+                    .iter()
+                    .any(|&r| self.body_status(&self.program.rules()[r], assign) != BodyStatus::Dead);
+                if !alive {
+                    match assign[atom] {
+                        Some(true) => return false,
+                        Some(false) => {}
+                        None => {
+                            assign[atom] = Some(false);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+
+            // Unfounded-set pruning: atoms outside the optimistic derivable
+            // set cannot be true.
+            let derivable = self.optimistic_derivable(assign);
+            for atom in 0..self.program.atom_count() {
+                if derivable.contains(&atom) {
+                    continue;
+                }
+                match assign[atom] {
+                    Some(true) => return false,
+                    Some(false) => {}
+                    None => {
+                        assign[atom] = Some(false);
+                        changed = true;
+                    }
+                }
+            }
+
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    /// Least fixpoint of atoms still derivable given the current assignment,
+    /// reading unassigned default-negated literals optimistically.
+    fn optimistic_derivable(&self, assign: &Assignment) -> BTreeSet<AtomId> {
+        let mut derivable: BTreeSet<AtomId> = BTreeSet::new();
+        loop {
+            let mut changed = false;
+            for rule in self.program.rules() {
+                let head = match rule.heads.first() {
+                    Some(&h) => h,
+                    None => continue,
+                };
+                if derivable.contains(&head) || assign[head] == Some(false) {
+                    continue;
+                }
+                let pos_ok = rule
+                    .pos
+                    .iter()
+                    .all(|&p| derivable.contains(&p) && assign[p] != Some(false));
+                let neg_ok = rule.neg.iter().all(|&n| assign[n] != Some(true));
+                if pos_ok && neg_ok {
+                    derivable.insert(head);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return derivable;
+            }
+        }
+    }
+
+    /// Pick the next atom to branch on: prefer atoms occurring under default
+    /// negation in rules that are still open.
+    fn pick_branch_atom(&self, assign: &Assignment) -> Option<AtomId> {
+        let mut fallback = None;
+        for rule in self.program.rules() {
+            if self.body_status(rule, assign) != BodyStatus::Open {
+                continue;
+            }
+            for &n in &rule.neg {
+                if assign[n].is_none() {
+                    return Some(n);
+                }
+            }
+            for &p in &rule.pos {
+                if assign[p].is_none() && fallback.is_none() {
+                    fallback = Some(p);
+                }
+            }
+            for &h in &rule.heads {
+                if assign[h].is_none() && fallback.is_none() {
+                    fallback = Some(h);
+                }
+            }
+        }
+        if fallback.is_some() {
+            return fallback;
+        }
+        assign.iter().position(|v| v.is_none())
+    }
+
+    fn body_status(&self, rule: &GroundRule, assign: &Assignment) -> BodyStatus {
+        let mut open = false;
+        for &p in &rule.pos {
+            match assign[p] {
+                Some(false) => return BodyStatus::Dead,
+                Some(true) => {}
+                None => open = true,
+            }
+        }
+        for &n in &rule.neg {
+            match assign[n] {
+                Some(true) => return BodyStatus::Dead,
+                Some(false) => {}
+                None => open = true,
+            }
+        }
+        if open {
+            BodyStatus::Open
+        } else {
+            BodyStatus::Satisfied
+        }
+    }
+
+    /// Gelfond–Lifschitz check: is the candidate the least model of its own
+    /// reduct, and does it satisfy every constraint?
+    fn is_stable(&self, model: &BTreeSet<AtomId>) -> bool {
+        // Constraints must be classically satisfied.
+        for rule in self.program.rules() {
+            if !rule.heads.is_empty() {
+                continue;
+            }
+            let body_true = rule.pos.iter().all(|p| model.contains(p))
+                && rule.neg.iter().all(|n| !model.contains(n));
+            if body_true {
+                return false;
+            }
+        }
+        // Least model of the reduct.
+        let mut least: BTreeSet<AtomId> = BTreeSet::new();
+        loop {
+            let mut changed = false;
+            for rule in self.program.rules() {
+                let head = match rule.heads.first() {
+                    Some(&h) => h,
+                    None => continue,
+                };
+                if least.contains(&head) {
+                    continue;
+                }
+                if rule.neg.iter().any(|n| model.contains(n)) {
+                    continue; // removed by the reduct
+                }
+                if rule.pos.iter().all(|p| least.contains(p)) {
+                    least.insert(head);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        &least == model
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BodyStatus {
+    /// Some body literal is definitely false.
+    Dead,
+    /// All body literals are definitely true.
+    Satisfied,
+    /// Neither dead nor satisfied yet.
+    Open,
+}
+
+/// Generic answer-set enumeration for (possibly non-HCF) disjunctive ground
+/// programs: enumerate classical models of the rules, then keep those that
+/// are minimal models of their Gelfond–Lifschitz reduct.
+pub struct DisjunctiveSolver<'a> {
+    program: &'a GroundProgram,
+    config: SolverConfig,
+}
+
+impl<'a> DisjunctiveSolver<'a> {
+    /// Create a solver.
+    pub fn new(program: &'a GroundProgram, config: SolverConfig) -> Self {
+        DisjunctiveSolver { program, config }
+    }
+
+    /// Enumerate all answer sets. Returns (models, branch node count).
+    pub fn answer_sets(&self) -> Result<(Vec<BTreeSet<AtomId>>, usize), DatalogError> {
+        let mut models = Vec::new();
+        let mut nodes = 0usize;
+        let assign: Assignment = vec![None; self.program.atom_count()];
+        self.search(assign, &mut models, &mut nodes)?;
+        models.sort();
+        models.dedup();
+        Ok((models, nodes))
+    }
+
+    fn search(
+        &self,
+        mut assign: Assignment,
+        models: &mut Vec<BTreeSet<AtomId>>,
+        nodes: &mut usize,
+    ) -> Result<(), DatalogError> {
+        if models.len() >= self.config.max_answer_sets {
+            return Ok(());
+        }
+        *nodes += 1;
+        if *nodes > self.config.max_branch_nodes {
+            return Err(DatalogError::SearchLimitExceeded {
+                what: "branch nodes".to_string(),
+                limit: self.config.max_branch_nodes,
+            });
+        }
+        if !self.propagate(&mut assign) {
+            return Ok(());
+        }
+        match assign.iter().position(|v| v.is_none()) {
+            None => {
+                let model: BTreeSet<AtomId> = assign
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, v)| if *v == Some(true) { Some(i) } else { None })
+                    .collect();
+                if self.is_answer_set(&model) && is_coherent(self.program, &model) {
+                    models.push(model);
+                }
+                Ok(())
+            }
+            Some(atom) => {
+                for value in [false, true] {
+                    let mut next = assign.clone();
+                    next[atom] = Some(value);
+                    self.search(next, models, nodes)?;
+                    if models.len() >= self.config.max_answer_sets {
+                        break;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Weak propagation for classical-model enumeration.
+    fn propagate(&self, assign: &mut Assignment) -> bool {
+        loop {
+            let mut changed = false;
+            for rule in self.program.rules() {
+                let mut body_open = false;
+                let mut body_dead = false;
+                for &p in &rule.pos {
+                    match assign[p] {
+                        Some(false) => body_dead = true,
+                        Some(true) => {}
+                        None => body_open = true,
+                    }
+                }
+                for &n in &rule.neg {
+                    match assign[n] {
+                        Some(true) => body_dead = true,
+                        Some(false) => {}
+                        None => body_open = true,
+                    }
+                }
+                if body_dead || body_open {
+                    continue;
+                }
+                // Body is satisfied: at least one head atom must be true.
+                let mut undecided = Vec::new();
+                let mut any_true = false;
+                for &h in &rule.heads {
+                    match assign[h] {
+                        Some(true) => any_true = true,
+                        Some(false) => {}
+                        None => undecided.push(h),
+                    }
+                }
+                if any_true {
+                    continue;
+                }
+                match undecided.len() {
+                    0 => return false,
+                    1 => {
+                        assign[undecided[0]] = Some(true);
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    /// Answer-set test: the candidate must be a model of the program and a
+    /// *minimal* model of its reduct.
+    fn is_answer_set(&self, model: &BTreeSet<AtomId>) -> bool {
+        // Model check (including constraints).
+        for rule in self.program.rules() {
+            let body_true = rule.pos.iter().all(|p| model.contains(p))
+                && rule.neg.iter().all(|n| !model.contains(n));
+            if body_true && !rule.heads.iter().any(|h| model.contains(h)) {
+                return false;
+            }
+        }
+        !self.has_smaller_reduct_model(model)
+    }
+
+    /// Search for a proper subset of `model` that is still a model of the
+    /// Gelfond–Lifschitz reduct. Atoms outside `model` stay false.
+    fn has_smaller_reduct_model(&self, model: &BTreeSet<AtomId>) -> bool {
+        // Reduct rules restricted to the atoms of the candidate.
+        let mut reduct: Vec<(Vec<AtomId>, Vec<AtomId>)> = Vec::new(); // (pos, heads)
+        for rule in self.program.rules() {
+            if rule.heads.is_empty() {
+                continue;
+            }
+            if rule.neg.iter().any(|n| model.contains(n)) {
+                continue;
+            }
+            if rule.pos.iter().any(|p| !model.contains(p)) {
+                // Some positive body atom is false in the candidate and stays
+                // false in any subset: the rule can never fire.
+                continue;
+            }
+            let heads: Vec<AtomId> = rule
+                .heads
+                .iter()
+                .copied()
+                .filter(|h| model.contains(h))
+                .collect();
+            // If no head atom is in the model the rule is violated by the
+            // candidate itself; `is_answer_set` already rejected that case.
+            reduct.push((rule.pos.clone(), heads));
+        }
+        let atoms: Vec<AtomId> = model.iter().copied().collect();
+        let mut truth: std::collections::BTreeMap<AtomId, Option<bool>> =
+            atoms.iter().map(|&a| (a, None)).collect();
+        self.subset_search(&reduct, &atoms, &mut truth, 0, model)
+    }
+
+    /// Try to build a model of the reduct that is a proper subset of the
+    /// candidate.
+    fn subset_search(
+        &self,
+        reduct: &[(Vec<AtomId>, Vec<AtomId>)],
+        atoms: &[AtomId],
+        truth: &mut std::collections::BTreeMap<AtomId, Option<bool>>,
+        idx: usize,
+        model: &BTreeSet<AtomId>,
+    ) -> bool {
+        if idx == atoms.len() {
+            // Full assignment: check all reduct rules and properness.
+            let assigned: BTreeSet<AtomId> = truth
+                .iter()
+                .filter_map(|(&a, &v)| if v == Some(true) { Some(a) } else { None })
+                .collect();
+            if assigned.len() == model.len() {
+                return false; // not a proper subset
+            }
+            for (pos, heads) in reduct {
+                let body_true = pos.iter().all(|p| assigned.contains(p));
+                if body_true && !heads.iter().any(|h| assigned.contains(h)) {
+                    return false;
+                }
+            }
+            return true;
+        }
+        let atom = atoms[idx];
+        for value in [false, true] {
+            truth.insert(atom, Some(value));
+            // Early pruning: check rules whose atoms are all assigned.
+            let consistent = reduct.iter().all(|(pos, heads)| {
+                let body_status: Option<bool> = {
+                    let mut all_true = true;
+                    let mut unknown = false;
+                    for p in pos {
+                        match truth.get(p).copied().flatten() {
+                            Some(true) => {}
+                            Some(false) => {
+                                all_true = false;
+                                break;
+                            }
+                            None => unknown = true,
+                        }
+                    }
+                    if !all_true {
+                        Some(false)
+                    } else if unknown {
+                        None
+                    } else {
+                        Some(true)
+                    }
+                };
+                match body_status {
+                    Some(false) | None => true,
+                    Some(true) => heads.iter().any(|h| {
+                        matches!(truth.get(h).copied().flatten(), Some(true) | None)
+                    }),
+                }
+            });
+            if consistent && self.subset_search(reduct, atoms, truth, idx + 1, model) {
+                truth.insert(atom, None);
+                return true;
+            }
+        }
+        truth.insert(atom, None);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::GroundAtom;
+    use crate::syntax::{Atom, BodyItem, Rule};
+
+    fn atom(p: &str, args: &[&str]) -> Atom {
+        Atom::new(p, args)
+    }
+
+    fn names(result: &SolveResult, set_idx: usize) -> BTreeSet<String> {
+        result.answer_sets[set_idx]
+            .iter()
+            .map(|&id| result.ground.atom(id).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn definite_program_has_single_minimal_model() {
+        let mut p = Program::new();
+        p.add_fact(atom("edge", &["a", "b"]));
+        p.add_fact(atom("edge", &["b", "c"]));
+        p.add_rule(Rule::new(
+            vec![atom("reach", &["X", "Y"])],
+            vec![BodyItem::Pos(atom("edge", &["X", "Y"]))],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("reach", &["X", "Z"])],
+            vec![
+                BodyItem::Pos(atom("reach", &["X", "Y"])),
+                BodyItem::Pos(atom("edge", &["Y", "Z"])),
+            ],
+        ));
+        let result = solve(&p, SolverConfig::default()).unwrap();
+        assert_eq!(result.answer_sets.len(), 1);
+        let model = names(&result, 0);
+        assert!(model.contains("reach(a, c)"));
+        assert_eq!(model.len(), 2 + 3);
+    }
+
+    #[test]
+    fn even_negation_cycle_has_two_answer_sets() {
+        // p :- dom, not q.   q :- dom, not p.
+        let mut p = Program::new();
+        p.add_fact(atom("dom", &["a"]));
+        p.add_rule(Rule::new(
+            vec![atom("p", &["X"])],
+            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("q", &["X"]))],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("q", &["X"])],
+            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("p", &["X"]))],
+        ));
+        let result = solve(&p, SolverConfig::default()).unwrap();
+        assert_eq!(result.answer_sets.len(), 2);
+    }
+
+    #[test]
+    fn odd_negation_cycle_has_no_answer_set() {
+        // p :- dom, not p.
+        let mut p = Program::new();
+        p.add_fact(atom("dom", &["a"]));
+        p.add_rule(Rule::new(
+            vec![atom("p", &["X"])],
+            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("p", &["X"]))],
+        ));
+        let result = solve(&p, SolverConfig::default()).unwrap();
+        assert!(result.answer_sets.is_empty());
+    }
+
+    #[test]
+    fn positive_loop_is_unfounded() {
+        // a :- b.  b :- a.  — neither is derivable.
+        let mut p = Program::new();
+        p.add_fact(atom("seed", &[] as &[&str]));
+        p.add_rule(Rule::new(
+            vec![atom("a", &[] as &[&str])],
+            vec![BodyItem::Pos(atom("b", &[] as &[&str]))],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("b", &[] as &[&str])],
+            vec![BodyItem::Pos(atom("a", &[] as &[&str]))],
+        ));
+        let result = solve(&p, SolverConfig::default()).unwrap();
+        assert_eq!(result.answer_sets.len(), 1);
+        assert_eq!(result.answer_sets[0].len(), 1); // only `seed`
+    }
+
+    #[test]
+    fn constraints_filter_answer_sets() {
+        let mut p = Program::new();
+        p.add_fact(atom("dom", &["a"]));
+        p.add_rule(Rule::new(
+            vec![atom("p", &["X"])],
+            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("q", &["X"]))],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("q", &["X"])],
+            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("p", &["X"]))],
+        ));
+        p.add_constraint(vec![BodyItem::Pos(atom("p", &["a"]))]);
+        let result = solve(&p, SolverConfig::default()).unwrap();
+        assert_eq!(result.answer_sets.len(), 1);
+        let model = names(&result, 0);
+        assert!(model.contains("q(a)"));
+    }
+
+    #[test]
+    fn hcf_disjunction_is_shifted_and_split() {
+        // a v b :- c.  with fact c: two answer sets {c,a} and {c,b}.
+        let mut p = Program::new();
+        p.add_fact(atom("c", &["1"]));
+        p.add_rule(Rule::new(
+            vec![atom("a", &["X"]), atom("b", &["X"])],
+            vec![BodyItem::Pos(atom("c", &["X"]))],
+        ));
+        let result = solve(&p, SolverConfig::default()).unwrap();
+        assert!(result.used_shift);
+        assert_eq!(result.answer_sets.len(), 2);
+    }
+
+    #[test]
+    fn non_hcf_disjunction_uses_minimality_check() {
+        // a v b.   a :- b.   b :- a.  — answer sets are {a,b}? No: candidate
+        // models {a,b} (from disjunction + closure). Minimal models of the
+        // reduct (= program, no negation): {a, b} is a model, but so are
+        // neither {a} nor {b} alone (each forces the other), and {} violates
+        // the disjunctive fact. Hence the single answer set is {a, b}.
+        let mut p = Program::new();
+        p.add_rule(Rule::new(
+            vec![atom("a", &[] as &[&str]), atom("b", &[] as &[&str])],
+            vec![],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("a", &[] as &[&str])],
+            vec![BodyItem::Pos(atom("b", &[] as &[&str]))],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("b", &[] as &[&str])],
+            vec![BodyItem::Pos(atom("a", &[] as &[&str]))],
+        ));
+        let ground = Grounder::new(&p).ground().unwrap();
+        assert!(!is_head_cycle_free(&ground));
+        let result = solve(&p, SolverConfig::default()).unwrap();
+        assert!(!result.used_shift);
+        assert_eq!(result.answer_sets.len(), 1);
+        assert_eq!(result.answer_sets[0].len(), 2);
+    }
+
+    #[test]
+    fn plain_disjunctive_fact_has_two_minimal_models() {
+        let mut p = Program::new();
+        p.add_rule(Rule::new(
+            vec![atom("a", &[] as &[&str]), atom("b", &[] as &[&str])],
+            vec![],
+        ));
+        let result = solve(&p, SolverConfig::default()).unwrap();
+        assert_eq!(result.answer_sets.len(), 2);
+        for m in &result.answer_sets {
+            assert_eq!(m.len(), 1);
+        }
+    }
+
+    #[test]
+    fn choice_selects_exactly_one_witness() {
+        use crate::syntax::{ChoiceAtom, Term};
+        let mut p = Program::new();
+        p.add_fact(atom("cand", &["k", "v1"]));
+        p.add_fact(atom("cand", &["k", "v2"]));
+        p.add_rule(Rule::new(
+            vec![atom("pick", &["X", "W"])],
+            vec![
+                BodyItem::Pos(atom("cand", &["X", "W"])),
+                BodyItem::Choice(ChoiceAtom::new(vec![Term::var("X")], vec![Term::var("W")])),
+            ],
+        ));
+        let result = solve(&p, SolverConfig::default()).unwrap();
+        assert_eq!(result.answer_sets.len(), 2);
+        for (i, _) in result.answer_sets.iter().enumerate() {
+            let model = names(&result, i);
+            let picks: Vec<&String> = model.iter().filter(|a| a.starts_with("pick(")).collect();
+            assert_eq!(picks.len(), 1, "exactly one pick per answer set: {model:?}");
+        }
+    }
+
+    #[test]
+    fn incoherent_candidates_are_rejected() {
+        // p.  -p.  — no coherent answer set.
+        let mut p = Program::new();
+        p.add_fact(atom("p", &["a"]));
+        p.add_fact(atom("p", &["a"]).strongly_negated());
+        let result = solve(&p, SolverConfig::default()).unwrap();
+        assert!(result.answer_sets.is_empty());
+    }
+
+    #[test]
+    fn classical_negation_in_heads_behaves_like_fresh_predicate() {
+        // -q(X) :- p(X), not q(X).   with p(a): answer set contains -q(a).
+        let mut p = Program::new();
+        p.add_fact(atom("p", &["a"]));
+        p.add_rule(Rule::new(
+            vec![atom("q", &["X"]).strongly_negated()],
+            vec![BodyItem::Pos(atom("p", &["X"])), BodyItem::Naf(atom("q", &["X"]))],
+        ));
+        let result = solve(&p, SolverConfig::default()).unwrap();
+        assert_eq!(result.answer_sets.len(), 1);
+        let model = names(&result, 0);
+        assert!(model.contains("-q(a)"));
+    }
+
+    #[test]
+    fn max_answer_sets_limits_enumeration() {
+        let mut p = Program::new();
+        for v in ["a", "b", "c"] {
+            p.add_fact(atom("dom", &[v]));
+        }
+        p.add_rule(Rule::new(
+            vec![atom("in", &["X"])],
+            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("out", &["X"]))],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("out", &["X"])],
+            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("in", &["X"]))],
+        ));
+        let config = SolverConfig {
+            max_answer_sets: 3,
+            ..SolverConfig::default()
+        };
+        let result = solve(&p, config).unwrap();
+        assert_eq!(result.answer_sets.len(), 3);
+    }
+
+    #[test]
+    fn branch_node_limit_is_enforced() {
+        let mut p = Program::new();
+        for v in ["a", "b", "c", "d", "e", "f"] {
+            p.add_fact(atom("dom", &[v]));
+        }
+        p.add_rule(Rule::new(
+            vec![atom("in", &["X"])],
+            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("out", &["X"]))],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("out", &["X"])],
+            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("in", &["X"]))],
+        ));
+        let config = SolverConfig {
+            max_answer_sets: usize::MAX,
+            max_branch_nodes: 3,
+        };
+        assert!(matches!(
+            solve(&p, config),
+            Err(DatalogError::SearchLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn hcf_and_generic_solvers_agree_on_hcf_programs() {
+        // a v b :- c.   b v d :- c.  :- a, d.
+        let mut p = Program::new();
+        p.add_fact(atom("c", &["1"]));
+        p.add_rule(Rule::new(
+            vec![atom("a", &["X"]), atom("b", &["X"])],
+            vec![BodyItem::Pos(atom("c", &["X"]))],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("b", &["X"]), atom("d", &["X"])],
+            vec![BodyItem::Pos(atom("c", &["X"]))],
+        ));
+        p.add_constraint(vec![
+            BodyItem::Pos(atom("a", &["X"])),
+            BodyItem::Pos(atom("d", &["X"])),
+        ]);
+        let ground = Grounder::new(&p).ground().unwrap();
+        assert!(is_head_cycle_free(&ground));
+
+        let shifted_result = solve(&p, SolverConfig::default()).unwrap();
+        let generic = DisjunctiveSolver::new(&ground, SolverConfig::default());
+        let (generic_sets, _) = generic.answer_sets().unwrap();
+
+        let shifted_models: BTreeSet<BTreeSet<GroundAtom>> = shifted_result
+            .answer_sets
+            .iter()
+            .map(|s| shifted_result.ground.decode(s))
+            .collect();
+        let generic_models: BTreeSet<BTreeSet<GroundAtom>> =
+            generic_sets.iter().map(|s| ground.decode(s)).collect();
+        assert_eq!(shifted_models, generic_models);
+        // Minimal models of the rule part are {c,b} and {c,a,d}; the
+        // constraint rules out the latter, leaving a single answer set.
+        assert_eq!(shifted_models.len(), 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! # dsl — a textual format for P2P data exchange systems
+//!
+//! A small line-oriented language for declaring peers, schemas, instances,
+//! trust, data exchange constraints, local ICs and named queries, used by
+//! the examples and the benchmark harness. A file looks like:
+//!
+//! ```text
+//! # Example 1 of the paper
+//! peer P1
+//! peer P2
+//! peer P3
+//! relation P1 R1(x, y)
+//! relation P2 R2(x, y)
+//! relation P3 R3(x, y)
+//! fact R1(a, b)
+//! fact R2(c, d)
+//! trust P1 less P2
+//! trust P1 same P3
+//! dec sigma12 P1 P2: R2(X, Y) -> R1(X, Y)
+//! dec sigma13 P1 P3: R1(X, Y), R3(X, Z) -> Y = Z
+//! ic fd1 P1: R1(X, Y), R1(X, Z), Y != Z -> false
+//! query q1 P1 (X, Y): R1(X, Y)
+//! ```
+//!
+//! Identifiers starting with an uppercase letter are variables, everything
+//! else is a constant (the same convention the rest of the workspace uses).
+
+pub mod parser;
+pub mod printer;
+
+pub use parser::{parse, DslError, NamedQuery, ParsedSystem};
+pub use printer::render_system;

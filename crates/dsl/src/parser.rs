@@ -1,0 +1,431 @@
+//! The recursive-descent (line-oriented) parser for the `.pds` format.
+
+use constraints::{AtomPattern, Constraint, ConstraintHead};
+use constraints::constraint::Condition;
+use pdes_core::system::{P2PSystem, PeerId, TrustLevel};
+use relalg::query::{CompareOp, Formula, Term};
+use relalg::{RelationSchema, Tuple, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parse errors, with the offending line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DslError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DslError {}
+
+/// A named query declared in the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamedQuery {
+    /// The peer the query is posed to.
+    pub peer: PeerId,
+    /// The query formula (a conjunction of atoms and comparisons).
+    pub formula: Formula,
+    /// The answer variables, in declaration order.
+    pub free_vars: Vec<String>,
+}
+
+/// The result of parsing a file: the system plus its named queries.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedSystem {
+    /// The parsed P2P system.
+    pub system: P2PSystem,
+    /// Named queries, keyed by name.
+    pub queries: BTreeMap<String, NamedQuery>,
+}
+
+/// Parse a complete `.pds` document.
+pub fn parse(input: &str) -> Result<ParsedSystem, DslError> {
+    let mut parsed = ParsedSystem::default();
+    for (idx, raw_line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| DslError { line: line_no, message };
+        let (keyword, rest) = split_keyword(line);
+        match keyword {
+            "peer" => {
+                let name = rest.trim();
+                if name.is_empty() {
+                    return Err(err("expected a peer name".into()));
+                }
+                parsed
+                    .system
+                    .add_peer(name)
+                    .map_err(|e| err(e.to_string()))?;
+            }
+            "relation" => {
+                let (peer, decl) = split_keyword(rest.trim());
+                let (rel, attrs) = parse_atom_shape(decl.trim()).map_err(&err)?;
+                parsed
+                    .system
+                    .add_relation(&PeerId::new(peer), RelationSchema::new(rel, &attrs))
+                    .map_err(|e| err(e.to_string()))?;
+            }
+            "fact" => {
+                let (rel, args) = parse_atom_shape(rest.trim()).map_err(&err)?;
+                let owner = parsed
+                    .system
+                    .owner_of(&rel)
+                    .ok_or_else(|| err(format!("unknown relation `{rel}`")))?;
+                let tuple = Tuple::new(args.iter().map(|a| parse_value(a)).collect());
+                parsed
+                    .system
+                    .insert(&owner, &rel, tuple)
+                    .map_err(|e| err(e.to_string()))?;
+            }
+            "trust" => {
+                let parts: Vec<&str> = rest.trim().split_whitespace().collect();
+                if parts.len() != 3 {
+                    return Err(err("expected `trust <peer> less|same <peer>`".into()));
+                }
+                let level = match parts[1] {
+                    "less" => TrustLevel::Less,
+                    "same" => TrustLevel::Same,
+                    other => return Err(err(format!("unknown trust level `{other}`"))),
+                };
+                parsed
+                    .system
+                    .set_trust(&PeerId::new(parts[0]), level, &PeerId::new(parts[2]))
+                    .map_err(|e| err(e.to_string()))?;
+            }
+            "dec" | "ic" => {
+                // dec <name> <owner> [<other>]: body -> head
+                let (header, body_text) = rest
+                    .split_once(':')
+                    .ok_or_else(|| err("expected `:` before the constraint body".into()))?;
+                let header_parts: Vec<&str> = header.split_whitespace().collect();
+                let constraint_owner;
+                let other;
+                let name;
+                if keyword == "dec" {
+                    if header_parts.len() != 3 {
+                        return Err(err("expected `dec <name> <owner> <other>: …`".into()));
+                    }
+                    name = header_parts[0];
+                    constraint_owner = PeerId::new(header_parts[1]);
+                    other = Some(PeerId::new(header_parts[2]));
+                } else {
+                    if header_parts.len() != 2 {
+                        return Err(err("expected `ic <name> <peer>: …`".into()));
+                    }
+                    name = header_parts[0];
+                    constraint_owner = PeerId::new(header_parts[1]);
+                    other = None;
+                }
+                let constraint = parse_constraint(name, body_text).map_err(&err)?;
+                match other {
+                    Some(other) => parsed
+                        .system
+                        .add_dec(&constraint_owner, &other, constraint)
+                        .map_err(|e| err(e.to_string()))?,
+                    None => parsed
+                        .system
+                        .add_local_ic(&constraint_owner, constraint)
+                        .map_err(|e| err(e.to_string()))?,
+                }
+            }
+            "query" => {
+                // query <name> <peer> (<vars>): atoms
+                let (header, body_text) = rest
+                    .split_once(':')
+                    .ok_or_else(|| err("expected `:` before the query body".into()))?;
+                let header = header.trim();
+                let open = header
+                    .find('(')
+                    .ok_or_else(|| err("expected `(answer variables)`".into()))?;
+                let close = header
+                    .rfind(')')
+                    .ok_or_else(|| err("expected `)` after the answer variables".into()))?;
+                let before: Vec<&str> = header[..open].split_whitespace().collect();
+                if before.len() != 2 {
+                    return Err(err("expected `query <name> <peer> (…): …`".into()));
+                }
+                let free_vars: Vec<String> = header[open + 1..close]
+                    .split(',')
+                    .map(|v| v.trim().to_string())
+                    .filter(|v| !v.is_empty())
+                    .collect();
+                let (atoms, comparisons) = parse_literal_list(body_text).map_err(&err)?;
+                let mut parts: Vec<Formula> = atoms
+                    .into_iter()
+                    .map(|a| Formula::atom_terms(a.relation, a.terms))
+                    .collect();
+                parts.extend(
+                    comparisons
+                        .into_iter()
+                        .map(|c| Formula::compare(c.op, c.left, c.right)),
+                );
+                let conjunction = Formula::and(parts);
+                // Existentially close the non-answer variables.
+                let mut bound: Vec<String> = conjunction
+                    .free_variables()
+                    .into_iter()
+                    .filter(|v| !free_vars.contains(v))
+                    .collect();
+                bound.sort();
+                let formula = Formula::exists(bound, conjunction);
+                parsed.queries.insert(
+                    before[0].to_string(),
+                    NamedQuery {
+                        peer: PeerId::new(before[1]),
+                        formula,
+                        free_vars,
+                    },
+                );
+            }
+            other => {
+                return Err(err(format!("unknown declaration `{other}`")));
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+fn split_keyword(line: &str) -> (&str, &str) {
+    match line.find(char::is_whitespace) {
+        Some(idx) => (&line[..idx], &line[idx + 1..]),
+        None => (line, ""),
+    }
+}
+
+/// Parse `Name(a, b, c)` into the name and its raw arguments.
+fn parse_atom_shape(text: &str) -> Result<(String, Vec<String>), String> {
+    let open = text.find('(').ok_or_else(|| format!("expected `(` in `{text}`"))?;
+    let close = text.rfind(')').ok_or_else(|| format!("expected `)` in `{text}`"))?;
+    let name = text[..open].trim();
+    if name.is_empty() {
+        return Err(format!("missing relation name in `{text}`"));
+    }
+    let args: Vec<String> = text[open + 1..close]
+        .split(',')
+        .map(|a| a.trim().to_string())
+        .filter(|a| !a.is_empty())
+        .collect();
+    Ok((name.to_string(), args))
+}
+
+/// Parse a constant token into a value: integers become `Value::Int`,
+/// everything else a string.
+fn parse_value(token: &str) -> Value {
+    match token.parse::<i64>() {
+        Ok(i) => Value::int(i),
+        Err(_) => Value::str(token),
+    }
+}
+
+/// Parse a comma-separated list of atoms and comparisons.
+fn parse_literal_list(text: &str) -> Result<(Vec<AtomPattern>, Vec<Condition>), String> {
+    let mut atoms = Vec::new();
+    let mut comparisons = Vec::new();
+    for part in split_top_level(text) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if part.contains('(') {
+            let (name, args) = parse_atom_shape(part)?;
+            atoms.push(AtomPattern::new(
+                name,
+                args.iter().map(|a| Term::parse(a)).collect(),
+            ));
+        } else {
+            comparisons.push(parse_comparison(part)?);
+        }
+    }
+    Ok((atoms, comparisons))
+}
+
+/// Split on commas that are not inside parentheses.
+fn split_top_level(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for c in text.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_comparison(text: &str) -> Result<Condition, String> {
+    for (symbol, op) in [
+        ("!=", CompareOp::Neq),
+        ("<=", CompareOp::Leq),
+        (">=", CompareOp::Geq),
+        ("=", CompareOp::Eq),
+        ("<", CompareOp::Lt),
+        (">", CompareOp::Gt),
+    ] {
+        if let Some((l, r)) = text.split_once(symbol) {
+            return Ok(Condition::new(
+                op,
+                Term::parse(l.trim()),
+                Term::parse(r.trim()),
+            ));
+        }
+    }
+    Err(format!("expected a comparison, found `{text}`"))
+}
+
+/// Parse `body -> head` into a constraint.
+fn parse_constraint(name: &str, text: &str) -> Result<Constraint, String> {
+    let (body_text, head_text) = text
+        .split_once("->")
+        .ok_or_else(|| "expected `->` in the constraint".to_string())?;
+    let (body, conditions) = parse_literal_list(body_text)?;
+    let head_text = head_text.trim();
+    let head = if head_text == "false" {
+        ConstraintHead::False
+    } else if head_text.contains('(') {
+        let (atoms, extra) = parse_literal_list(head_text)?;
+        if !extra.is_empty() {
+            return Err("comparisons are not allowed in a constraint head".into());
+        }
+        ConstraintHead::Atoms(atoms)
+    } else {
+        let cond = parse_comparison(head_text)?;
+        if cond.op != CompareOp::Eq {
+            return Err("only equality heads are supported".into());
+        }
+        ConstraintHead::Equality(cond.left, cond.right)
+    };
+    Constraint::new(name, body, conditions, head).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE1: &str = r#"
+# Example 1 of the paper
+peer P1
+peer P2
+peer P3
+relation P1 R1(x, y)
+relation P2 R2(x, y)
+relation P3 R3(x, y)
+fact R1(a, b)
+fact R1(s, t)
+fact R2(c, d)
+fact R2(a, e)
+fact R3(a, f)
+fact R3(s, u)
+trust P1 less P2
+trust P1 same P3
+dec sigma12 P1 P2: R2(X, Y) -> R1(X, Y)
+dec sigma13 P1 P3: R1(X, Y), R3(X, Z) -> Y = Z
+query q1 P1 (X, Y): R1(X, Y)
+query keys P1 (X): R1(X, Y)
+"#;
+
+    #[test]
+    fn example1_file_parses_into_the_expected_system() {
+        let parsed = parse(EXAMPLE1).unwrap();
+        assert_eq!(parsed.system.peer_count(), 3);
+        assert_eq!(parsed.system.decs().len(), 2);
+        assert_eq!(parsed.system.trust().len(), 2);
+        assert_eq!(parsed.system.global_instance().unwrap().tuple_count(), 6);
+        assert_eq!(parsed.queries.len(), 2);
+        let q = &parsed.queries["q1"];
+        assert_eq!(q.peer, PeerId::new("P1"));
+        assert_eq!(q.free_vars, vec!["X", "Y"]);
+        // The projection query existentially closes Y.
+        let keys = &parsed.queries["keys"];
+        assert!(matches!(keys.formula, Formula::Exists(_, _)));
+    }
+
+    #[test]
+    fn parsed_example1_matches_the_builtin_constructor() {
+        let parsed = parse(EXAMPLE1).unwrap();
+        let reference = pdes_core::system::example1_system();
+        assert_eq!(
+            parsed.system.global_instance().unwrap(),
+            reference.global_instance().unwrap()
+        );
+        assert_eq!(parsed.system.decs().len(), reference.decs().len());
+    }
+
+    #[test]
+    fn ic_declarations_and_integer_facts() {
+        let text = r#"
+peer A
+relation A R(k, v)
+fact R(1, 2)
+ic fd A: R(X, Y), R(X, Z), Y != Z -> false
+"#;
+        let parsed = parse(text).unwrap();
+        let a = PeerId::new("A");
+        assert_eq!(parsed.system.peer(&a).unwrap().local_ics.len(), 1);
+        let db = parsed.system.global_instance().unwrap();
+        assert!(db.holds("R", &Tuple::ints([1, 2])));
+    }
+
+    #[test]
+    fn referential_dec_with_existential_head() {
+        let text = r#"
+peer P
+peer Q
+relation P R1(x, y)
+relation P R2(x, y)
+relation Q S1(x, y)
+relation Q S2(x, y)
+trust P less Q
+dec sigma3 P Q: R1(X, Y), S1(Z, Y) -> R2(X, W), S2(Z, W)
+"#;
+        let parsed = parse(text).unwrap();
+        let dec = &parsed.system.decs()[0];
+        assert_eq!(
+            dec.constraint.class(),
+            constraints::ConstraintClass::Referential
+        );
+        assert_eq!(dec.constraint.existential_variables().len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("peer A\nbogus line here\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("bogus"));
+
+        let err = parse("fact R(a)\n").unwrap_err();
+        assert!(err.message.contains("unknown relation"));
+
+        let err = parse("peer A\nrelation A R(x)\ntrust A maybe A\n").unwrap_err();
+        assert!(err.message.contains("maybe"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let parsed = parse("# nothing\n\n   \n# more\n").unwrap();
+        assert_eq!(parsed.system.peer_count(), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Rendering a [`P2PSystem`] back into the textual format.
+
+use pdes_core::system::P2PSystem;
+use std::fmt::Write;
+
+/// Render a system as a `.pds` document. Named queries are not part of a
+/// [`P2PSystem`] and therefore not rendered; round-tripping a parsed file
+/// reproduces the system exactly (see the tests).
+pub fn render_system(system: &P2PSystem) -> String {
+    let mut out = String::new();
+    for peer in system.peers() {
+        let _ = writeln!(out, "peer {}", peer.id);
+    }
+    for peer in system.peers() {
+        for relation in peer.schema.relations() {
+            let _ = writeln!(
+                out,
+                "relation {} {}({})",
+                peer.id,
+                relation.name(),
+                relation.attributes().join(", ")
+            );
+        }
+    }
+    for peer in system.peers() {
+        for relation in peer.instance.relations() {
+            for tuple in relation.iter() {
+                let args: Vec<String> = tuple.iter().map(|v| v.render().to_string()).collect();
+                let _ = writeln!(out, "fact {}({})", relation.name(), args.join(", "));
+            }
+        }
+    }
+    for (who, level, whom) in system.trust().entries() {
+        let _ = writeln!(out, "trust {who} {level} {whom}");
+    }
+    for dec in system.decs() {
+        let _ = writeln!(
+            out,
+            "dec {} {} {}: {}",
+            dec.constraint.name,
+            dec.owner,
+            dec.other,
+            render_constraint_body(&dec.constraint)
+        );
+    }
+    for peer in system.peers() {
+        for ic in &peer.local_ics {
+            let _ = writeln!(
+                out,
+                "ic {} {}: {}",
+                ic.name,
+                peer.id,
+                render_constraint_body(ic)
+            );
+        }
+    }
+    out
+}
+
+fn render_constraint_body(constraint: &constraints::Constraint) -> String {
+    let mut parts: Vec<String> = constraint.body.iter().map(|a| a.to_string()).collect();
+    parts.extend(constraint.conditions.iter().map(|c| c.to_string()));
+    let head = match &constraint.head {
+        constraints::ConstraintHead::False => "false".to_string(),
+        constraints::ConstraintHead::Equality(l, r) => format!("{l} = {r}"),
+        constraints::ConstraintHead::Atoms(atoms) => atoms
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+    };
+    format!("{} -> {}", parts.join(", "), head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use pdes_core::system::example1_system;
+
+    #[test]
+    fn example1_round_trips_through_the_printer() {
+        let system = example1_system();
+        let text = render_system(&system);
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(
+            reparsed.system.global_instance().unwrap(),
+            system.global_instance().unwrap()
+        );
+        assert_eq!(reparsed.system.decs().len(), system.decs().len());
+        assert_eq!(reparsed.system.trust().len(), system.trust().len());
+    }
+
+    #[test]
+    fn rendered_text_contains_all_sections() {
+        let text = render_system(&example1_system());
+        assert!(text.contains("peer P1"));
+        assert!(text.contains("relation P2 R2(x, y)"));
+        assert!(text.contains("fact R3(s, u)"));
+        assert!(text.contains("trust P1 less P2"));
+        assert!(text.contains("dec sigma_p1_p2 P1 P2: R2(X0, X1) -> R1(X0, X1)"));
+    }
+
+    #[test]
+    fn local_ics_are_rendered_and_reparsed() {
+        let mut system = example1_system();
+        let p1 = pdes_core::PeerId::new("P1");
+        system
+            .add_local_ic(&p1, constraints::builders::key_denial("fd", "R1").unwrap())
+            .unwrap();
+        let text = render_system(&system);
+        assert!(text.contains("ic fd P1:"));
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(reparsed.system.peer(&p1).unwrap().local_ics.len(), 1);
+    }
+}

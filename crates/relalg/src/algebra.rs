@@ -1,0 +1,285 @@
+//! A small relational-algebra layer.
+//!
+//! The first-order evaluator in [`crate::query::eval`] is the semantic
+//! reference; this module provides a set-at-a-time algebra (selection,
+//! projection, natural join, union, difference, rename) over *named* columns
+//! that is convenient for the conjunctive-query fast paths used by the
+//! rewriting engine and the workload generator, and for assembling benchmark
+//! result tables.
+
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A materialized intermediate result: a header of column names plus rows.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    columns: Vec<String>,
+    rows: BTreeSet<Tuple>,
+}
+
+impl Table {
+    /// Create an empty table with the given columns.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(columns: I) -> Self {
+        Table {
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: BTreeSet::new(),
+        }
+    }
+
+    /// Build a table from a relation instance, using the relation's attribute
+    /// names as columns.
+    pub fn from_relation(rel: &Relation) -> Self {
+        Table {
+            columns: rel.schema().attributes().to_vec(),
+            rows: rel.tuples().clone(),
+        }
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Rows in sorted order.
+    pub fn rows(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Add a row. The row's arity must match the number of columns; rows with
+    /// the wrong arity are rejected with `false`.
+    pub fn push(&mut self, row: Tuple) -> bool {
+        if row.arity() != self.columns.len() {
+            return false;
+        }
+        self.rows.insert(row)
+    }
+
+    /// Position of a column.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Selection: keep rows satisfying the predicate.
+    pub fn select<F: Fn(&Tuple) -> bool>(&self, pred: F) -> Table {
+        Table {
+            columns: self.columns.clone(),
+            rows: self.rows.iter().filter(|t| pred(t)).cloned().collect(),
+        }
+    }
+
+    /// Selection on a column = constant.
+    pub fn select_eq(&self, column: &str, value: &Value) -> Table {
+        match self.column_index(column) {
+            Some(idx) => self.select(|t| t.get(idx) == Some(value)),
+            None => Table::new(self.columns.clone()),
+        }
+    }
+
+    /// Projection onto a list of columns (columns may repeat / reorder).
+    /// Unknown columns are ignored.
+    pub fn project<S: AsRef<str>>(&self, columns: &[S]) -> Table {
+        let positions: Vec<usize> = columns
+            .iter()
+            .filter_map(|c| self.column_index(c.as_ref()))
+            .collect();
+        let kept: Vec<String> = positions.iter().map(|&i| self.columns[i].clone()).collect();
+        let mut out = Table::new(kept);
+        for row in &self.rows {
+            if let Some(p) = row.project(&positions) {
+                out.rows.insert(p);
+            }
+        }
+        out
+    }
+
+    /// Rename a column.
+    pub fn rename(&self, from: &str, to: &str) -> Table {
+        Table {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| if c == from { to.to_string() } else { c.clone() })
+                .collect(),
+            rows: self.rows.clone(),
+        }
+    }
+
+    /// Natural join on shared column names.
+    pub fn natural_join(&self, other: &Table) -> Table {
+        let shared: Vec<(usize, usize)> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| other.column_index(c).map(|j| (i, j)))
+            .collect();
+        let other_extra: Vec<usize> = (0..other.columns.len())
+            .filter(|j| !shared.iter().any(|&(_, sj)| sj == *j))
+            .collect();
+
+        let mut columns = self.columns.clone();
+        columns.extend(other_extra.iter().map(|&j| other.columns[j].clone()));
+        let mut out = Table::new(columns);
+
+        // Hash-join on the shared columns.
+        let mut index: BTreeMap<Vec<Value>, Vec<&Tuple>> = BTreeMap::new();
+        for row in &other.rows {
+            let key: Vec<Value> = shared.iter().map(|&(_, j)| row[j].clone()).collect();
+            index.entry(key).or_default().push(row);
+        }
+        for row in &self.rows {
+            let key: Vec<Value> = shared.iter().map(|&(i, _)| row[i].clone()).collect();
+            if let Some(matches) = index.get(&key) {
+                for m in matches {
+                    let mut values: Vec<Value> = row.values().to_vec();
+                    values.extend(other_extra.iter().map(|&j| m[j].clone()));
+                    out.rows.insert(Tuple::new(values));
+                }
+            }
+        }
+        out
+    }
+
+    /// Set union; both tables must have identical headers, otherwise the
+    /// left operand is returned unchanged.
+    pub fn union(&self, other: &Table) -> Table {
+        if self.columns != other.columns {
+            return self.clone();
+        }
+        Table {
+            columns: self.columns.clone(),
+            rows: self.rows.union(&other.rows).cloned().collect(),
+        }
+    }
+
+    /// Set difference; both tables must have identical headers, otherwise the
+    /// left operand is returned unchanged.
+    pub fn difference(&self, other: &Table) -> Table {
+        if self.columns != other.columns {
+            return self.clone();
+        }
+        Table {
+            columns: self.columns.clone(),
+            rows: self.rows.difference(&other.rows).cloned().collect(),
+        }
+    }
+
+    /// Consume the table, returning its rows.
+    pub fn into_rows(self) -> BTreeSet<Tuple> {
+        self.rows
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "| {} |", self.columns.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "| {} |", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+
+    fn table(cols: &[&str], rows: &[&[&str]]) -> Table {
+        let mut t = Table::new(cols.iter().copied());
+        for r in rows {
+            assert!(t.push(Tuple::strs(r.iter().copied())));
+        }
+        t
+    }
+
+    #[test]
+    fn from_relation_uses_attribute_names() {
+        let rel = Relation::with_tuples(
+            RelationSchema::new("R", &["x", "y"]),
+            [Tuple::strs(["a", "b"])],
+        )
+        .unwrap();
+        let t = Table::from_relation(&rel);
+        assert_eq!(t.columns(), &["x", "y"]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn push_rejects_wrong_arity() {
+        let mut t = Table::new(["x", "y"]);
+        assert!(!t.push(Tuple::strs(["only"])));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn select_eq_and_project() {
+        let t = table(&["x", "y"], &[&["a", "b"], &["a", "c"], &["d", "e"]]);
+        let s = t.select_eq("x", &Value::str("a"));
+        assert_eq!(s.len(), 2);
+        let p = s.project(&["y"]);
+        assert_eq!(p.columns(), &["y"]);
+        assert_eq!(p.len(), 2);
+        // Unknown column in select yields empty table.
+        assert!(t.select_eq("zzz", &Value::str("a")).is_empty());
+    }
+
+    #[test]
+    fn natural_join_matches_on_shared_columns() {
+        let r = table(&["x", "y"], &[&["a", "b"], &["s", "t"]]);
+        let s = table(&["x", "z"], &[&["a", "f"], &["s", "u"], &["q", "w"]]);
+        let j = r.natural_join(&s);
+        assert_eq!(j.columns(), &["x", "y", "z"]);
+        assert_eq!(j.len(), 2);
+        assert!(j.rows().any(|t| t == &Tuple::strs(["a", "b", "f"])));
+    }
+
+    #[test]
+    fn join_without_shared_columns_is_cross_product() {
+        let r = table(&["x"], &[&["a"], &["b"]]);
+        let s = table(&["y"], &[&["1"], &["2"]]);
+        let j = r.natural_join(&s);
+        assert_eq!(j.len(), 4);
+    }
+
+    #[test]
+    fn union_and_difference_require_same_header() {
+        let a = table(&["x"], &[&["a"], &["b"]]);
+        let b = table(&["x"], &[&["b"], &["c"]]);
+        assert_eq!(a.union(&b).len(), 3);
+        assert_eq!(a.difference(&b).len(), 1);
+        let other_header = table(&["y"], &[&["z"]]);
+        assert_eq!(a.union(&other_header), a);
+        assert_eq!(a.difference(&other_header), a);
+    }
+
+    #[test]
+    fn rename_changes_header_only() {
+        let a = table(&["x"], &[&["a"]]);
+        let r = a.rename("x", "w");
+        assert_eq!(r.columns(), &["w"]);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn display_renders_markdown_like_table() {
+        let a = table(&["x", "y"], &[&["a", "b"]]);
+        let s = a.to_string();
+        assert!(s.contains("| x | y |"));
+        assert!(s.contains("| a | b |"));
+    }
+}

@@ -1,0 +1,287 @@
+//! Symmetric difference of instances and the `≤_r` repair ordering.
+//!
+//! Definition 1 of the paper:
+//!
+//! * `Δ(r1, r2) = (Σ(r1) \ Σ(r2)) ∪ (Σ(r2) \ Σ(r1))` — the symmetric
+//!   difference of the sets of ground atoms;
+//! * `r1 ≤_r r2  iff  Δ(r, r1) ⊆ Δ(r, r2)` — "r1 changes r at most as much
+//!   as r2 does";
+//! * a *repair* of `r` w.r.t. a set of constraints is a `≤_r`-minimal
+//!   consistent instance.
+//!
+//! [`Delta`] materializes a symmetric difference split into insertions and
+//! deletions relative to a base instance, which is the form the repair and
+//! solution engines need.
+
+use crate::database::{Database, GroundAtom};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The difference of a candidate instance relative to a base instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Delta {
+    /// Atoms present in the candidate but not in the base.
+    pub insertions: BTreeSet<GroundAtom>,
+    /// Atoms present in the base but not in the candidate.
+    pub deletions: BTreeSet<GroundAtom>,
+}
+
+/// Result of comparing two deltas under set inclusion of their atom sets.
+///
+/// Inclusion of symmetric differences is a *partial* order, so incomparable
+/// pairs are explicitly represented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaOrdering {
+    /// The two deltas contain exactly the same changes.
+    Equal,
+    /// The left delta is a strict subset of the right one.
+    Less,
+    /// The left delta is a strict superset of the right one.
+    Greater,
+    /// Neither is contained in the other.
+    Incomparable,
+}
+
+impl Delta {
+    /// The empty delta (no change).
+    pub fn empty() -> Self {
+        Delta::default()
+    }
+
+    /// Compute `Δ(base, candidate)` split into insertions and deletions.
+    pub fn between(base: &Database, candidate: &Database) -> Delta {
+        let base_atoms = base.ground_atoms();
+        let cand_atoms = candidate.ground_atoms();
+        Delta {
+            insertions: cand_atoms.difference(&base_atoms).cloned().collect(),
+            deletions: base_atoms.difference(&cand_atoms).cloned().collect(),
+        }
+    }
+
+    /// Build a delta from explicit insertion and deletion sets.
+    pub fn from_changes(
+        insertions: impl IntoIterator<Item = GroundAtom>,
+        deletions: impl IntoIterator<Item = GroundAtom>,
+    ) -> Delta {
+        Delta {
+            insertions: insertions.into_iter().collect(),
+            deletions: deletions.into_iter().collect(),
+        }
+    }
+
+    /// The flat symmetric-difference set `Δ(r1, r2)` of Definition 1(a).
+    pub fn atoms(&self) -> BTreeSet<GroundAtom> {
+        self.insertions.union(&self.deletions).cloned().collect()
+    }
+
+    /// Number of changed atoms.
+    pub fn len(&self) -> usize {
+        self.insertions.len() + self.deletions.len()
+    }
+
+    /// True when no atom changed.
+    pub fn is_empty(&self) -> bool {
+        self.insertions.is_empty() && self.deletions.is_empty()
+    }
+
+    /// Whether every change in `self` is also in `other` (the `⊆` of
+    /// Definition 1(b)).
+    pub fn is_subset_of(&self, other: &Delta) -> bool {
+        self.insertions.is_subset(&other.insertions) && self.deletions.is_subset(&other.deletions)
+    }
+
+    /// Compare two deltas under inclusion of their change sets.
+    pub fn compare(&self, other: &Delta) -> DeltaOrdering {
+        let le = self.is_subset_of(other);
+        let ge = other.is_subset_of(self);
+        match (le, ge) {
+            (true, true) => DeltaOrdering::Equal,
+            (true, false) => DeltaOrdering::Less,
+            (false, true) => DeltaOrdering::Greater,
+            (false, false) => DeltaOrdering::Incomparable,
+        }
+    }
+
+    /// Apply this delta to a base instance.
+    pub fn apply(&self, base: &Database) -> crate::Result<Database> {
+        base.apply_changes(self.insertions.iter(), self.deletions.iter())
+    }
+
+    /// Merge two deltas (union of insertions, union of deletions). If the
+    /// same atom appears both as an insertion of one delta and a deletion of
+    /// the other the result is kept as-is; callers that need cancellation
+    /// should recompute the delta from instances instead.
+    pub fn merge(&self, other: &Delta) -> Delta {
+        Delta {
+            insertions: self.insertions.union(&other.insertions).cloned().collect(),
+            deletions: self.deletions.union(&other.deletions).cloned().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for atom in &self.insertions {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "+{atom}")?;
+            first = false;
+        }
+        for atom in &self.deletions {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "-{atom}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Keep only the `⊆`-minimal deltas of a collection, deduplicating equals.
+///
+/// This is the minimality filter shared by the repair engine (Definition 1(c))
+/// and the solution engine (Definition 4): a candidate survives iff no other
+/// candidate changes strictly less.
+pub fn minimal_deltas<T, F>(mut candidates: Vec<T>, delta_of: F) -> Vec<T>
+where
+    F: Fn(&T) -> &Delta,
+{
+    let mut keep = vec![true; candidates.len()];
+    for i in 0..candidates.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..candidates.len() {
+            if i == j || !keep[i] || !keep[j] {
+                continue;
+            }
+            match delta_of(&candidates[i]).compare(delta_of(&candidates[j])) {
+                DeltaOrdering::Greater => keep[i] = false,
+                DeltaOrdering::Equal if j < i => keep[i] = false,
+                _ => {}
+            }
+        }
+    }
+    let mut idx = 0;
+    candidates.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+    candidates
+}
+
+impl PartialOrd for Delta {
+    /// Partial order under change-set inclusion; incomparable pairs return `None`.
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match self.compare(other) {
+            DeltaOrdering::Equal => Some(Ordering::Equal),
+            DeltaOrdering::Less => Some(Ordering::Less),
+            DeltaOrdering::Greater => Some(Ordering::Greater),
+            DeltaOrdering::Incomparable => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+    use crate::schema::RelationSchema;
+    use crate::tuple::Tuple;
+
+    fn db(pairs: &[(&str, &str)]) -> Database {
+        let mut d = Database::new();
+        d.add_relation(Relation::new(RelationSchema::new("R", &["x", "y"])));
+        for (a, b) in pairs {
+            d.insert("R", Tuple::strs([*a, *b])).unwrap();
+        }
+        d
+    }
+
+    fn atom(a: &str, b: &str) -> GroundAtom {
+        GroundAtom::new("R", Tuple::strs([a, b]))
+    }
+
+    #[test]
+    fn between_splits_insertions_and_deletions() {
+        let base = db(&[("a", "b"), ("c", "d")]);
+        let cand = db(&[("a", "b"), ("e", "f")]);
+        let delta = Delta::between(&base, &cand);
+        assert_eq!(delta.insertions, BTreeSet::from([atom("e", "f")]));
+        assert_eq!(delta.deletions, BTreeSet::from([atom("c", "d")]));
+        assert_eq!(delta.len(), 2);
+        assert_eq!(delta.atoms().len(), 2);
+    }
+
+    #[test]
+    fn identical_instances_have_empty_delta() {
+        let base = db(&[("a", "b")]);
+        assert!(Delta::between(&base, &base.clone()).is_empty());
+    }
+
+    #[test]
+    fn delta_is_symmetric_as_a_set() {
+        let r1 = db(&[("a", "b")]);
+        let r2 = db(&[("c", "d")]);
+        let d12 = Delta::between(&r1, &r2);
+        let d21 = Delta::between(&r2, &r1);
+        assert_eq!(d12.atoms(), d21.atoms());
+    }
+
+    #[test]
+    fn compare_implements_inclusion_order() {
+        let small = Delta::from_changes([atom("a", "b")], []);
+        let large = Delta::from_changes([atom("a", "b")], [atom("c", "d")]);
+        let other = Delta::from_changes([atom("x", "y")], []);
+        assert_eq!(small.compare(&large), DeltaOrdering::Less);
+        assert_eq!(large.compare(&small), DeltaOrdering::Greater);
+        assert_eq!(small.compare(&small.clone()), DeltaOrdering::Equal);
+        assert_eq!(small.compare(&other), DeltaOrdering::Incomparable);
+        assert_eq!(small.partial_cmp(&large), Some(Ordering::Less));
+        assert_eq!(small.partial_cmp(&other), None);
+    }
+
+    #[test]
+    fn apply_round_trips() {
+        let base = db(&[("a", "b"), ("c", "d")]);
+        let cand = db(&[("a", "b"), ("e", "f")]);
+        let delta = Delta::between(&base, &cand);
+        assert_eq!(delta.apply(&base).unwrap(), cand);
+    }
+
+    #[test]
+    fn minimal_deltas_filters_dominated_candidates() {
+        let d1 = Delta::from_changes([], [atom("a", "b")]);
+        let d2 = Delta::from_changes([], [atom("a", "b"), atom("c", "d")]);
+        let d3 = Delta::from_changes([], [atom("x", "y")]);
+        let kept = minimal_deltas(vec![d2.clone(), d1.clone(), d3.clone()], |d| d);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.contains(&d1));
+        assert!(kept.contains(&d3));
+        assert!(!kept.contains(&d2));
+    }
+
+    #[test]
+    fn minimal_deltas_deduplicates_equal_candidates() {
+        let d1 = Delta::from_changes([], [atom("a", "b")]);
+        let kept = minimal_deltas(vec![d1.clone(), d1.clone(), d1.clone()], |d| d);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn merge_unions_changes() {
+        let d1 = Delta::from_changes([atom("a", "b")], []);
+        let d2 = Delta::from_changes([], [atom("c", "d")]);
+        let m = d1.merge(&d2);
+        assert_eq!(m.len(), 2);
+        assert!(m.insertions.contains(&atom("a", "b")));
+        assert!(m.deletions.contains(&atom("c", "d")));
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by the relational substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelalgError {
+    /// A relation was referenced that the database / schema does not declare.
+    UnknownRelation(String),
+    /// A tuple's arity does not match its relation's arity.
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        found: usize,
+    },
+    /// Two different signatures were declared for the same relation name.
+    SchemaConflict {
+        relation: String,
+        existing: String,
+        new: String,
+    },
+    /// A query used a variable in a position where it is not bound
+    /// (e.g. a free variable of a negated subformula in an unsafe position).
+    UnboundVariable(String),
+    /// A query referenced an attribute position outside a relation's arity.
+    PositionOutOfRange { relation: String, position: usize },
+    /// Generic evaluation failure with a human-readable explanation.
+    Evaluation(String),
+}
+
+impl fmt::Display for RelalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelalgError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            RelalgError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "arity mismatch for `{relation}`: expected {expected}, found {found}"
+            ),
+            RelalgError::SchemaConflict {
+                relation,
+                existing,
+                new,
+            } => write!(
+                f,
+                "conflicting declarations for relation `{relation}`: `{existing}` vs `{new}`"
+            ),
+            RelalgError::UnboundVariable(v) => write!(f, "unbound variable `{v}`"),
+            RelalgError::PositionOutOfRange { relation, position } => {
+                write!(f, "position {position} out of range for relation `{relation}`")
+            }
+            RelalgError::Evaluation(msg) => write!(f, "evaluation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelalgError::UnknownRelation("R9".into());
+        assert!(e.to_string().contains("R9"));
+        let e = RelalgError::ArityMismatch {
+            relation: "R".into(),
+            expected: 2,
+            found: 3,
+        };
+        assert!(e.to_string().contains("expected 2"));
+        let e = RelalgError::UnboundVariable("X".into());
+        assert!(e.to_string().contains('X'));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&RelalgError::Evaluation("boom".into()));
+    }
+}

@@ -1,0 +1,596 @@
+//! Abstract syntax of first-order queries and constraints.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A term: a variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// A first-order variable, identified by name.
+    Var(String),
+    /// A constant of the shared domain.
+    Const(Value),
+}
+
+impl Term {
+    /// Construct a variable term.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// Construct a constant term.
+    pub fn cnst(value: impl Into<Value>) -> Term {
+        Term::Const(value.into())
+    }
+
+    /// Parse the conventional notation used by helpers and the DSL: names
+    /// beginning with an uppercase ASCII letter or `_` are variables, all
+    /// other strings are (string) constants, and strings consisting only of
+    /// digits (with optional leading `-`) are integer constants.
+    pub fn parse(token: &str) -> Term {
+        let mut chars = token.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_uppercase() || c == '_' => Term::Var(token.to_string()),
+            Some(c)
+                if (c.is_ascii_digit() || c == '-')
+                    && token.len() > usize::from(c == '-')
+                    && token[usize::from(c == '-')..].chars().all(|d| d.is_ascii_digit()) =>
+            {
+                Term::Const(Value::int(token.parse().unwrap_or(0)))
+            }
+            _ => Term::Const(Value::str(token)),
+        }
+    }
+
+    /// True if this is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Variable name, if any.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Constant value, if any.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Const(v) => Some(v),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// Resolve the term under a binding: constants map to themselves,
+    /// variables to their bound value (if any).
+    pub fn resolve<'a>(&'a self, binding: &'a Binding) -> Option<&'a Value> {
+        match self {
+            Term::Const(v) => Some(v),
+            Term::Var(name) => binding.get(name),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A (partial) assignment of variables to values.
+pub type Binding = BTreeMap<String, Value>;
+
+/// Built-in comparison operators allowed in queries and constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Neq,
+    /// `<`
+    Lt,
+    /// `≤`
+    Leq,
+    /// `>`
+    Gt,
+    /// `≥`
+    Geq,
+}
+
+impl CompareOp {
+    /// Apply the comparison to two values (total order over [`Value`]).
+    pub fn apply(self, left: &Value, right: &Value) -> bool {
+        match self {
+            CompareOp::Eq => left == right,
+            CompareOp::Neq => left != right,
+            CompareOp::Lt => left < right,
+            CompareOp::Leq => left <= right,
+            CompareOp::Gt => left > right,
+            CompareOp::Geq => left >= right,
+        }
+    }
+
+    /// The negated operator (`¬(a < b) ⇔ a ≥ b`, etc.).
+    pub fn negate(self) -> CompareOp {
+        match self {
+            CompareOp::Eq => CompareOp::Neq,
+            CompareOp::Neq => CompareOp::Eq,
+            CompareOp::Lt => CompareOp::Geq,
+            CompareOp::Leq => CompareOp::Gt,
+            CompareOp::Gt => CompareOp::Leq,
+            CompareOp::Geq => CompareOp::Lt,
+        }
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompareOp::Eq => "=",
+            CompareOp::Neq => "!=",
+            CompareOp::Lt => "<",
+            CompareOp::Leq => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Geq => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A first-order formula over a relational signature plus built-ins.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Formula {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// A relational atom `R(t1, …, tn)`.
+    Atom { relation: String, terms: Vec<Term> },
+    /// A built-in comparison `t1 op t2`.
+    Compare {
+        op: CompareOp,
+        left: Term,
+        right: Term,
+    },
+    /// Negation.
+    Not(Box<Formula>),
+    /// N-ary conjunction.
+    And(Vec<Formula>),
+    /// N-ary disjunction.
+    Or(Vec<Formula>),
+    /// Implication `lhs → rhs` (used to write constraints naturally).
+    Implies(Box<Formula>, Box<Formula>),
+    /// Existential quantification over the listed variables.
+    Exists(Vec<String>, Box<Formula>),
+    /// Universal quantification over the listed variables.
+    Forall(Vec<String>, Box<Formula>),
+}
+
+impl Formula {
+    /// Relational atom using the [`Term::parse`] convention for tokens.
+    pub fn atom<S: AsRef<str>>(relation: impl Into<String>, tokens: Vec<S>) -> Formula {
+        Formula::Atom {
+            relation: relation.into(),
+            terms: tokens.iter().map(|t| Term::parse(t.as_ref())).collect(),
+        }
+    }
+
+    /// Relational atom from explicit terms.
+    pub fn atom_terms(relation: impl Into<String>, terms: Vec<Term>) -> Formula {
+        Formula::Atom {
+            relation: relation.into(),
+            terms,
+        }
+    }
+
+    /// Comparison atom.
+    pub fn compare(op: CompareOp, left: Term, right: Term) -> Formula {
+        Formula::Compare { op, left, right }
+    }
+
+    /// Equality shortcut.
+    pub fn eq(left: Term, right: Term) -> Formula {
+        Formula::compare(CompareOp::Eq, left, right)
+    }
+
+    /// Negation helper that flattens double negation.
+    pub fn not(inner: Formula) -> Formula {
+        match inner {
+            Formula::Not(f) => *f,
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Conjunction helper that flattens nested conjunctions and drops `True`.
+    pub fn and(parts: Vec<Formula>) -> Formula {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                Formula::True => {}
+                Formula::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Formula::True,
+            1 => flat.pop().expect("len checked"),
+            _ => Formula::And(flat),
+        }
+    }
+
+    /// Disjunction helper that flattens nested disjunctions and drops `False`.
+    pub fn or(parts: Vec<Formula>) -> Formula {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                Formula::False => {}
+                Formula::Or(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Formula::False,
+            1 => flat.pop().expect("len checked"),
+            _ => Formula::Or(flat),
+        }
+    }
+
+    /// Implication helper.
+    pub fn implies(lhs: Formula, rhs: Formula) -> Formula {
+        Formula::Implies(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Existential quantifier helper. Quantifying over no variables is the
+    /// identity.
+    pub fn exists<S: Into<String>>(vars: Vec<S>, inner: Formula) -> Formula {
+        let vars: Vec<String> = vars.into_iter().map(Into::into).collect();
+        if vars.is_empty() {
+            inner
+        } else {
+            Formula::Exists(vars, Box::new(inner))
+        }
+    }
+
+    /// Universal quantifier helper. Quantifying over no variables is the
+    /// identity.
+    pub fn forall<S: Into<String>>(vars: Vec<S>, inner: Formula) -> Formula {
+        let vars: Vec<String> = vars.into_iter().map(Into::into).collect();
+        if vars.is_empty() {
+            inner
+        } else {
+            Formula::Forall(vars, Box::new(inner))
+        }
+    }
+
+    /// Free variables of the formula.
+    pub fn free_variables(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut BTreeSet::new(), &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut BTreeSet<String>, out: &mut BTreeSet<String>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom { terms, .. } => {
+                for t in terms {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            out.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::Compare { left, right, .. } => {
+                for t in [left, right] {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            out.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_free(bound, out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, out);
+                }
+            }
+            Formula::Implies(a, b) => {
+                a.collect_free(bound, out);
+                b.collect_free(bound, out);
+            }
+            Formula::Exists(vars, f) | Formula::Forall(vars, f) => {
+                let newly: Vec<String> = vars
+                    .iter()
+                    .filter(|v| bound.insert((*v).clone()))
+                    .cloned()
+                    .collect();
+                f.collect_free(bound, out);
+                for v in newly {
+                    bound.remove(&v);
+                }
+            }
+        }
+    }
+
+    /// All relation names mentioned in the formula.
+    pub fn relations(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_relations(&mut out);
+        out
+    }
+
+    fn collect_relations(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Formula::Atom { relation, .. } => {
+                out.insert(relation.clone());
+            }
+            Formula::Not(f) => f.collect_relations(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_relations(out);
+                }
+            }
+            Formula::Implies(a, b) => {
+                a.collect_relations(out);
+                b.collect_relations(out);
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.collect_relations(out),
+            Formula::True | Formula::False | Formula::Compare { .. } => {}
+        }
+    }
+
+    /// Rename every occurrence of one relation into another (used when
+    /// re-expressing a query over the virtual primed relations `R'`).
+    pub fn rename_relation(&self, from: &str, to: &str) -> Formula {
+        match self {
+            Formula::Atom { relation, terms } => Formula::Atom {
+                relation: if relation == from {
+                    to.to_string()
+                } else {
+                    relation.clone()
+                },
+                terms: terms.clone(),
+            },
+            Formula::Not(f) => Formula::Not(Box::new(f.rename_relation(from, to))),
+            Formula::And(fs) => {
+                Formula::And(fs.iter().map(|f| f.rename_relation(from, to)).collect())
+            }
+            Formula::Or(fs) => {
+                Formula::Or(fs.iter().map(|f| f.rename_relation(from, to)).collect())
+            }
+            Formula::Implies(a, b) => Formula::Implies(
+                Box::new(a.rename_relation(from, to)),
+                Box::new(b.rename_relation(from, to)),
+            ),
+            Formula::Exists(vars, f) => {
+                Formula::Exists(vars.clone(), Box::new(f.rename_relation(from, to)))
+            }
+            Formula::Forall(vars, f) => {
+                Formula::Forall(vars.clone(), Box::new(f.rename_relation(from, to)))
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Substitute constants for variables according to the binding,
+    /// leaving unbound variables untouched.
+    pub fn substitute(&self, binding: &Binding) -> Formula {
+        let subst_term = |t: &Term| match t {
+            Term::Var(v) => binding
+                .get(v)
+                .map(|value| Term::Const(value.clone()))
+                .unwrap_or_else(|| t.clone()),
+            Term::Const(_) => t.clone(),
+        };
+        match self {
+            Formula::Atom { relation, terms } => Formula::Atom {
+                relation: relation.clone(),
+                terms: terms.iter().map(subst_term).collect(),
+            },
+            Formula::Compare { op, left, right } => Formula::Compare {
+                op: *op,
+                left: subst_term(left),
+                right: subst_term(right),
+            },
+            Formula::Not(f) => Formula::Not(Box::new(f.substitute(binding))),
+            Formula::And(fs) => Formula::And(fs.iter().map(|f| f.substitute(binding)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|f| f.substitute(binding)).collect()),
+            Formula::Implies(a, b) => Formula::Implies(
+                Box::new(a.substitute(binding)),
+                Box::new(b.substitute(binding)),
+            ),
+            Formula::Exists(vars, f) => {
+                let mut shadowed = binding.clone();
+                for v in vars {
+                    shadowed.remove(v);
+                }
+                Formula::Exists(vars.clone(), Box::new(f.substitute(&shadowed)))
+            }
+            Formula::Forall(vars, f) => {
+                let mut shadowed = binding.clone();
+                for v in vars {
+                    shadowed.remove(v);
+                }
+                Formula::Forall(vars.clone(), Box::new(f.substitute(&shadowed)))
+            }
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Atom { relation, terms } => {
+                write!(f, "{relation}(")?;
+                for (i, t) in terms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Compare { op, left, right } => write!(f, "{left} {op} {right}"),
+            Formula::Not(inner) => write!(f, "not ({inner})"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, p) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " and ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, p) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " or ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Implies(a, b) => write!(f, "({a} -> {b})"),
+            Formula::Exists(vars, inner) => write!(f, "exists {} ({inner})", vars.join(", ")),
+            Formula::Forall(vars, inner) => write!(f, "forall {} ({inner})", vars.join(", ")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_parse_convention() {
+        assert_eq!(Term::parse("X"), Term::var("X"));
+        assert_eq!(Term::parse("_w"), Term::var("_w"));
+        assert_eq!(Term::parse("a"), Term::cnst("a"));
+        assert_eq!(Term::parse("42"), Term::cnst(42i64));
+        assert_eq!(Term::parse("-7"), Term::cnst(-7i64));
+        assert_eq!(Term::parse("-"), Term::cnst("-"));
+    }
+
+    #[test]
+    fn free_variables_respect_quantifiers() {
+        // exists Y (R(X, Y) and X != Z)
+        let f = Formula::exists(
+            vec!["Y"],
+            Formula::and(vec![
+                Formula::atom("R", vec!["X", "Y"]),
+                Formula::compare(CompareOp::Neq, Term::var("X"), Term::var("Z")),
+            ]),
+        );
+        let free = f.free_variables();
+        assert!(free.contains("X"));
+        assert!(free.contains("Z"));
+        assert!(!free.contains("Y"));
+    }
+
+    #[test]
+    fn and_or_helpers_flatten_and_simplify() {
+        let a = Formula::atom("R", vec!["X"]);
+        let b = Formula::atom("S", vec!["X"]);
+        assert_eq!(Formula::and(vec![]), Formula::True);
+        assert_eq!(Formula::and(vec![a.clone()]), a.clone());
+        assert_eq!(
+            Formula::and(vec![Formula::True, a.clone(), Formula::and(vec![b.clone()])]),
+            Formula::And(vec![a.clone(), b.clone()])
+        );
+        assert_eq!(Formula::or(vec![]), Formula::False);
+        assert_eq!(Formula::or(vec![Formula::False, b.clone()]), b);
+    }
+
+    #[test]
+    fn not_flattens_double_negation() {
+        let a = Formula::atom("R", vec!["X"]);
+        assert_eq!(Formula::not(Formula::not(a.clone())), a);
+        assert_eq!(Formula::not(Formula::True), Formula::False);
+    }
+
+    #[test]
+    fn rename_relation_rewrites_atoms_everywhere() {
+        let f = Formula::and(vec![
+            Formula::atom("R1", vec!["X"]),
+            Formula::not(Formula::atom("R1", vec!["Y"])),
+            Formula::atom("R2", vec!["X"]),
+        ]);
+        let renamed = f.rename_relation("R1", "R1_prime");
+        let rels = renamed.relations();
+        assert!(rels.contains("R1_prime"));
+        assert!(rels.contains("R2"));
+        assert!(!rels.contains("R1"));
+    }
+
+    #[test]
+    fn substitution_respects_shadowing() {
+        let mut binding = Binding::new();
+        binding.insert("X".to_string(), Value::str("a"));
+        binding.insert("Y".to_string(), Value::str("b"));
+        let f = Formula::exists(vec!["Y"], Formula::atom("R", vec!["X", "Y"]));
+        let g = f.substitute(&binding);
+        // X replaced, Y (bound by exists) untouched.
+        match g {
+            Formula::Exists(_, inner) => match *inner {
+                Formula::Atom { terms, .. } => {
+                    assert_eq!(terms[0], Term::cnst("a"));
+                    assert_eq!(terms[1], Term::var("Y"));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compare_op_semantics_and_negation() {
+        assert!(CompareOp::Lt.apply(&Value::int(1), &Value::int(2)));
+        assert!(CompareOp::Neq.apply(&Value::str("a"), &Value::str("b")));
+        assert!(!CompareOp::Eq.apply(&Value::str("a"), &Value::str("b")));
+        assert_eq!(CompareOp::Lt.negate(), CompareOp::Geq);
+        assert_eq!(CompareOp::Eq.negate(), CompareOp::Neq);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let f = Formula::implies(
+            Formula::atom("R2", vec!["X", "Y"]),
+            Formula::atom("R1", vec!["X", "Y"]),
+        );
+        assert_eq!(f.to_string(), "(R2(X, Y) -> R1(X, Y))");
+    }
+
+    #[test]
+    fn relations_collects_all_atoms() {
+        let f = Formula::forall(
+            vec!["X", "Y", "Z"],
+            Formula::implies(
+                Formula::and(vec![
+                    Formula::atom("R1", vec!["X", "Y"]),
+                    Formula::atom("R3", vec!["X", "Z"]),
+                ]),
+                Formula::eq(Term::var("Y"), Term::var("Z")),
+            ),
+        );
+        assert_eq!(
+            f.relations(),
+            BTreeSet::from(["R1".to_string(), "R3".to_string()])
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! First-order queries and their evaluation.
+//!
+//! Queries posed to a peer are first-order formulas over the peer's language
+//! `L(P)` (Definition 5). This module provides:
+//!
+//! * [`ast`] — the formula abstract syntax (atoms, built-in comparisons,
+//!   boolean connectives, quantifiers) and substitutions;
+//! * [`eval`] — a safe-range, active-domain evaluator that computes both
+//!   boolean satisfaction (`r |= Q(t̄)`) and the full answer set of a query
+//!   with free variables.
+//!
+//! The evaluator is also used to check constraint satisfaction (constraints
+//! are sentences) and to evaluate the first-order rewritings produced by
+//! `pdes-core::rewriting` (the Example 2 mechanism).
+
+pub mod ast;
+pub mod eval;
+
+pub use ast::{Binding, CompareOp, Formula, Term};
+pub use eval::QueryEvaluator;

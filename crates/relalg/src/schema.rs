@@ -1,0 +1,261 @@
+//! Relation signatures and (per-peer) database schemas.
+//!
+//! In the paper each peer `P` owns a schema `R(P)` of relations; `R̄(P)`
+//! extends it with the relations of other peers mentioned in `P`'s data
+//! exchange constraints (Definition 3(a)). Here a [`RelationSchema`] is a
+//! single relation signature and a [`Schema`] is a named collection of them;
+//! schema union implements the `R̄(P)` construction.
+
+use crate::error::RelalgError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Signature of a single relation: a name plus named attributes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RelationSchema {
+    name: String,
+    attributes: Vec<String>,
+}
+
+impl RelationSchema {
+    /// Create a relation schema with explicit attribute names.
+    pub fn new<S: AsRef<str>>(name: impl Into<String>, attributes: &[S]) -> Self {
+        RelationSchema {
+            name: name.into(),
+            attributes: attributes.iter().map(|a| a.as_ref().to_string()).collect(),
+        }
+    }
+
+    /// Create a relation schema with positional attribute names `c0..c{n-1}`.
+    pub fn with_arity(name: impl Into<String>, arity: usize) -> Self {
+        RelationSchema {
+            name: name.into(),
+            attributes: (0..arity).map(|i| format!("c{i}")).collect(),
+        }
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Attribute names, in positional order.
+    pub fn attributes(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// Position of an attribute name, if present.
+    pub fn position_of(&self, attribute: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a == attribute)
+    }
+
+    /// Return a copy of this schema under a different relation name.
+    ///
+    /// Used when building the "virtual" primed relations (`R'` in the paper)
+    /// and annotated relations for the LAV encoding.
+    pub fn renamed(&self, new_name: impl Into<String>) -> RelationSchema {
+        RelationSchema {
+            name: new_name.into(),
+            attributes: self.attributes.clone(),
+        }
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.attributes.join(", "))
+    }
+}
+
+/// A database schema: a set of relation schemas keyed by relation name.
+///
+/// Relation names are globally unique across the whole P2P system (the paper
+/// assumes peer schemas are disjoint, Definition 2(b)); the `pdes-core` crate
+/// keeps track of which peer owns which relation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    relations: BTreeMap<String, RelationSchema>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Build a schema from an iterator of relation schemas.
+    ///
+    /// Returns an error if two relation schemas share a name but disagree on
+    /// arity or attribute names.
+    pub fn from_relations<I: IntoIterator<Item = RelationSchema>>(relations: I) -> Result<Self> {
+        let mut schema = Schema::new();
+        for r in relations {
+            schema.add(r)?;
+        }
+        Ok(schema)
+    }
+
+    /// Add a relation schema. Adding an identical schema twice is a no-op;
+    /// adding a conflicting one is an error.
+    pub fn add(&mut self, relation: RelationSchema) -> Result<()> {
+        match self.relations.get(relation.name()) {
+            Some(existing) if existing == &relation => Ok(()),
+            Some(existing) => Err(RelalgError::SchemaConflict {
+                relation: relation.name().to_string(),
+                existing: existing.to_string(),
+                new: relation.to_string(),
+            }),
+            None => {
+                self.relations.insert(relation.name().to_string(), relation);
+                Ok(())
+            }
+        }
+    }
+
+    /// Look up a relation schema by name.
+    pub fn relation(&self, name: &str) -> Option<&RelationSchema> {
+        self.relations.get(name)
+    }
+
+    /// True if the schema declares the given relation.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Iterate relation schemas in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &RelationSchema> {
+        self.relations.values()
+    }
+
+    /// Names of all relations, in order.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(|s| s.as_str())
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True if the schema has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Union of two schemas (the `R̄(P)` construction). Conflicting relation
+    /// signatures are an error.
+    pub fn union(&self, other: &Schema) -> Result<Schema> {
+        let mut out = self.clone();
+        for r in other.relations() {
+            out.add(r.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// Restrict the schema to the given relation names (the `r|S'`
+    /// construction of Definition 3(c), at the schema level).
+    pub fn restrict<'a, I: IntoIterator<Item = &'a str>>(&self, names: I) -> Schema {
+        let mut out = Schema::new();
+        for name in names {
+            if let Some(r) = self.relations.get(name) {
+                // Adding a relation copied from an existing schema cannot conflict.
+                out.relations.insert(name.to_string(), r.clone());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.relations().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(name: &str, attrs: &[&str]) -> RelationSchema {
+        RelationSchema::new(name, attrs)
+    }
+
+    #[test]
+    fn relation_schema_accessors() {
+        let s = r("R1", &["x", "y"]);
+        assert_eq!(s.name(), "R1");
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.position_of("y"), Some(1));
+        assert_eq!(s.position_of("z"), None);
+        assert_eq!(s.to_string(), "R1(x, y)");
+    }
+
+    #[test]
+    fn with_arity_generates_positional_names() {
+        let s = RelationSchema::with_arity("S", 3);
+        assert_eq!(s.attributes(), &["c0", "c1", "c2"]);
+    }
+
+    #[test]
+    fn renamed_keeps_attributes() {
+        let s = r("R1", &["x", "y"]).renamed("R1_prime");
+        assert_eq!(s.name(), "R1_prime");
+        assert_eq!(s.arity(), 2);
+    }
+
+    #[test]
+    fn schema_add_rejects_conflicts_and_allows_duplicates() {
+        let mut schema = Schema::new();
+        schema.add(r("R", &["a"])).unwrap();
+        schema.add(r("R", &["a"])).unwrap();
+        let err = schema.add(r("R", &["a", "b"])).unwrap_err();
+        assert!(matches!(err, RelalgError::SchemaConflict { .. }));
+        assert_eq!(schema.len(), 1);
+    }
+
+    #[test]
+    fn union_merges_disjoint_schemas() {
+        let a = Schema::from_relations([r("R1", &["x"]), r("R2", &["x", "y"])]).unwrap();
+        let b = Schema::from_relations([r("S1", &["x"])]).unwrap();
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.len(), 3);
+        assert!(u.contains("R1"));
+        assert!(u.contains("S1"));
+    }
+
+    #[test]
+    fn union_detects_conflicting_signatures() {
+        let a = Schema::from_relations([r("R", &["x"])]).unwrap();
+        let b = Schema::from_relations([r("R", &["x", "y"])]).unwrap();
+        assert!(a.union(&b).is_err());
+    }
+
+    #[test]
+    fn restrict_keeps_only_requested_relations() {
+        let a = Schema::from_relations([r("R1", &["x"]), r("R2", &["y"]), r("R3", &["z"])]).unwrap();
+        let restricted = a.restrict(["R1", "R3", "missing"]);
+        assert_eq!(restricted.len(), 2);
+        assert!(restricted.contains("R1"));
+        assert!(!restricted.contains("R2"));
+    }
+
+    #[test]
+    fn relation_names_are_sorted() {
+        let a = Schema::from_relations([r("Z", &["x"]), r("A", &["y"])]).unwrap();
+        let names: Vec<&str> = a.relation_names().collect();
+        assert_eq!(names, vec!["A", "Z"]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Tuples: fixed-arity sequences of [`Value`]s.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// A database tuple.
+///
+/// Tuples are immutable once built and ordered lexicographically, so they can
+/// be stored in `BTreeSet`s with deterministic iteration. The arity of the
+/// tuple must match the arity of the relation it is inserted into; that check
+/// is performed by [`crate::Relation::insert`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Create a tuple from owned values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// Build a tuple of string constants; convenient in tests and examples.
+    pub fn strs<I, S>(items: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        Tuple::new(items.into_iter().map(Value::str).collect())
+    }
+
+    /// Build a tuple of integer constants.
+    pub fn ints<I: IntoIterator<Item = i64>>(items: I) -> Self {
+        Tuple::new(items.into_iter().map(Value::int).collect())
+    }
+
+    /// The number of components.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the tuple has no components (the 0-ary tuple `()`).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Component accessor; returns `None` when out of range.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Iterate over components.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.values.iter()
+    }
+
+    /// Borrow the underlying values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consume the tuple and return its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Project onto the given positions (positions may repeat or reorder).
+    ///
+    /// Returns `None` if any position is out of range.
+    pub fn project(&self, positions: &[usize]) -> Option<Tuple> {
+        let mut out = Vec::with_capacity(positions.len());
+        for &p in positions {
+            out.push(self.values.get(p)?.clone());
+        }
+        Some(Tuple::new(out))
+    }
+
+    /// Concatenate two tuples.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.arity() + other.arity());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple::new(values)
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+
+    fn index(&self, index: usize) -> &Value {
+        &self.values[index]
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<'a> IntoIterator for &'a Tuple {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.values.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_helpers_build_expected_tuples() {
+        let t = Tuple::strs(["a", "b"]);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.get(0), Some(&Value::str("a")));
+        assert_eq!(t.get(1), Some(&Value::str("b")));
+        assert_eq!(t.get(2), None);
+
+        let n = Tuple::ints([1, 2, 3]);
+        assert_eq!(n.arity(), 3);
+        assert_eq!(n[2], Value::int(3));
+    }
+
+    #[test]
+    fn projection_reorders_and_repeats() {
+        let t = Tuple::strs(["a", "b", "c"]);
+        let p = t.project(&[2, 0, 0]).unwrap();
+        assert_eq!(p, Tuple::strs(["c", "a", "a"]));
+        assert!(t.project(&[3]).is_none());
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let t = Tuple::strs(["a"]).concat(&Tuple::ints([1]));
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t[0], Value::str("a"));
+        assert_eq!(t[1], Value::int(1));
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        assert!(Tuple::strs(["a", "b"]) < Tuple::strs(["a", "c"]));
+        assert!(Tuple::strs(["a"]) < Tuple::strs(["a", "a"]));
+    }
+
+    #[test]
+    fn display_formats_components() {
+        assert_eq!(Tuple::strs(["a", "b"]).to_string(), "(a, b)");
+        assert_eq!(Tuple::new(vec![]).to_string(), "()");
+    }
+
+    #[test]
+    fn empty_tuple_has_zero_arity() {
+        let t = Tuple::new(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.arity(), 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Values of the shared data domain.
+//!
+//! The paper assumes all peers share "a common, fixed, possibly infinite
+//! domain `D`" (Definition 2(b)). We model domain elements as [`Value`]s:
+//! integers, strings, booleans and a distinguished `Null`. Values are totally
+//! ordered so that relations can be stored in ordered sets with deterministic
+//! iteration order, which keeps repairs, solutions and answer sets
+//! reproducible across runs.
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single domain element.
+///
+/// `Value` is cheap to clone: string payloads are reference counted. The
+/// ordering is total and places `Null < Bool < Int < Str`, with the natural
+/// order inside each class.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// The distinguished null value. It is *not* SQL null: it compares equal
+    /// to itself and participates in joins; it exists so that generated
+    /// witnesses can be represented when no active-domain witness is chosen.
+    Null,
+    /// Boolean constant.
+    Bool(bool),
+    /// 64-bit signed integer constant.
+    Int(i64),
+    /// Interned string constant.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Construct an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Construct a boolean value.
+    pub fn bool(b: bool) -> Self {
+        Value::Bool(b)
+    }
+
+    /// True if this is the null value.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Return the string payload if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Return the integer payload if this is an integer value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable rendering used by the DSL printer and the
+    /// benchmark harness tables.
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            Value::Null => Cow::Borrowed("null"),
+            Value::Bool(b) => Cow::Owned(b.to_string()),
+            Value::Int(i) => Cow::Owned(i.to_string()),
+            Value::Str(s) => Cow::Borrowed(s),
+        }
+    }
+
+    /// Discriminant rank used by the total order.
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.as_ref().cmp(b.as_ref()),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn string_values_compare_naturally() {
+        assert!(Value::str("a") < Value::str("b"));
+        assert_eq!(Value::str("abc"), Value::str("abc"));
+    }
+
+    #[test]
+    fn cross_class_order_is_total_and_stable() {
+        let mut values = vec![
+            Value::str("z"),
+            Value::int(-4),
+            Value::Null,
+            Value::bool(true),
+            Value::bool(false),
+            Value::int(10),
+            Value::str("a"),
+        ];
+        values.sort();
+        assert_eq!(
+            values,
+            vec![
+                Value::Null,
+                Value::bool(false),
+                Value::bool(true),
+                Value::int(-4),
+                Value::int(10),
+                Value::str("a"),
+                Value::str("z"),
+            ]
+        );
+    }
+
+    #[test]
+    fn values_work_as_set_elements() {
+        let mut set = BTreeSet::new();
+        set.insert(Value::str("a"));
+        set.insert(Value::str("a"));
+        set.insert(Value::int(1));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn render_round_trips_simple_cases() {
+        assert_eq!(Value::str("peer").render(), "peer");
+        assert_eq!(Value::int(42).render(), "42");
+        assert_eq!(Value::bool(true).render(), "true");
+        assert_eq!(Value::Null.render(), "null");
+    }
+
+    #[test]
+    fn conversions_from_primitive_types() {
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(3i64), Value::int(3));
+        assert_eq!(Value::from(true), Value::bool(true));
+        assert_eq!(Value::from(String::from("y")), Value::str("y"));
+    }
+
+    #[test]
+    fn accessors_return_expected_payloads() {
+        assert_eq!(Value::str("v").as_str(), Some("v"));
+        assert_eq!(Value::int(7).as_int(), Some(7));
+        assert_eq!(Value::int(7).as_str(), None);
+        assert!(Value::Null.is_null());
+        assert!(!Value::int(0).is_null());
+    }
+
+    #[test]
+    fn null_equals_itself_for_join_semantics() {
+        assert_eq!(Value::Null, Value::Null);
+        assert_eq!(Value::Null.cmp(&Value::Null), Ordering::Equal);
+    }
+}

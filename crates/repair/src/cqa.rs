@@ -1,0 +1,118 @@
+//! Consistent query answering over repairs — the single-database baseline.
+
+use crate::engine::{RepairEngine, RepairError, RepairOutcome};
+use relalg::query::{Formula, QueryEvaluator};
+use relalg::{Database, Tuple};
+use std::collections::BTreeSet;
+
+/// Result of a consistent-query-answering run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsistentAnswers {
+    /// Tuples returned by the query in *every* repair.
+    pub answers: BTreeSet<Tuple>,
+    /// Number of repairs that were enumerated.
+    pub repair_count: usize,
+    /// Number of search states explored while enumerating repairs.
+    pub states_explored: usize,
+}
+
+/// Compute the consistent answers of a query: the tuples that are answers in
+/// every repair of `db` w.r.t. the engine's constraints.
+///
+/// When `db` admits no repair (which can only happen when some relations are
+/// protected), the answer set is empty: there is no consistent way to read
+/// the data.
+pub fn consistent_answers(
+    engine: &RepairEngine,
+    db: &Database,
+    query: &Formula,
+    free_vars: &[String],
+) -> Result<ConsistentAnswers, RepairError> {
+    let RepairOutcome {
+        repairs,
+        states_explored,
+    } = engine.repairs(db)?;
+    let mut answers: Option<BTreeSet<Tuple>> = None;
+    for repair in &repairs {
+        let evaluator = QueryEvaluator::new(&repair.database);
+        let these = evaluator
+            .answers(query, free_vars)
+            .map_err(|e| RepairError::Constraint(constraints::ConstraintError::Relalg(e)))?;
+        answers = Some(match answers {
+            None => these,
+            Some(previous) => previous.intersection(&these).cloned().collect(),
+        });
+    }
+    Ok(ConsistentAnswers {
+        answers: answers.unwrap_or_default(),
+        repair_count: repairs.len(),
+        states_explored,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use constraints::builders::{key_denial, full_inclusion};
+    use relalg::{Relation, RelationSchema};
+
+    fn vars(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Classic CQA example: a key FD violated by two tuples sharing a key.
+    /// The consistent answers keep only the tuples outside the conflict.
+    #[test]
+    fn cqa_under_key_violation() {
+        let mut db = Database::new();
+        db.add_relation(Relation::new(RelationSchema::new("Emp", &["name", "salary"])));
+        db.insert("Emp", Tuple::strs(["ann", "100"])).unwrap();
+        db.insert("Emp", Tuple::strs(["ann", "200"])).unwrap();
+        db.insert("Emp", Tuple::strs(["bob", "150"])).unwrap();
+        let engine = RepairEngine::new(vec![key_denial("key", "Emp").unwrap()]);
+        let q = Formula::atom("Emp", vec!["X", "Y"]);
+        let out = consistent_answers(&engine, &db, &q, &vars(&["X", "Y"])).unwrap();
+        assert_eq!(out.repair_count, 2);
+        assert_eq!(out.answers, BTreeSet::from([Tuple::strs(["bob", "150"])]));
+    }
+
+    #[test]
+    fn cqa_existential_query_survives_conflicts() {
+        // ∃y Emp(x, y): "ann" exists in every repair even though her salary
+        // is uncertain.
+        let mut db = Database::new();
+        db.add_relation(Relation::new(RelationSchema::new("Emp", &["name", "salary"])));
+        db.insert("Emp", Tuple::strs(["ann", "100"])).unwrap();
+        db.insert("Emp", Tuple::strs(["ann", "200"])).unwrap();
+        let engine = RepairEngine::new(vec![key_denial("key", "Emp").unwrap()]);
+        let q = Formula::exists(vec!["Y"], Formula::atom("Emp", vec!["X", "Y"]));
+        let out = consistent_answers(&engine, &db, &q, &vars(&["X"])).unwrap();
+        assert_eq!(out.answers, BTreeSet::from([Tuple::strs(["ann"])]));
+    }
+
+    #[test]
+    fn consistent_database_returns_plain_answers() {
+        let mut db = Database::new();
+        db.add_relation(Relation::new(RelationSchema::new("R", &["x"])));
+        db.insert("R", Tuple::strs(["a"])).unwrap();
+        let engine = RepairEngine::new(vec![]);
+        let q = Formula::atom("R", vec!["X"]);
+        let out = consistent_answers(&engine, &db, &q, &vars(&["X"])).unwrap();
+        assert_eq!(out.repair_count, 1);
+        assert_eq!(out.answers.len(), 1);
+    }
+
+    #[test]
+    fn no_repairs_means_no_answers() {
+        let mut db = Database::new();
+        db.add_relation(Relation::new(RelationSchema::new("A", &["x"])));
+        db.add_relation(Relation::new(RelationSchema::new("B", &["x"])));
+        db.insert("A", Tuple::strs(["v"])).unwrap();
+        let engine = RepairEngine::new(vec![full_inclusion("inc", "A", "B", 1).unwrap()])
+            .with_protected(["A", "B"]);
+        let q = Formula::atom("A", vec!["X"]);
+        let out = consistent_answers(&engine, &db, &q, &vars(&["X"])).unwrap();
+        assert_eq!(out.repair_count, 0);
+        assert!(out.answers.is_empty());
+    }
+}

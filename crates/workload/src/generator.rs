@@ -1,0 +1,263 @@
+//! Deterministic generation of synthetic P2P systems from a [`WorkloadSpec`].
+
+use crate::spec::{Topology, TrustMix, WorkloadSpec};
+use constraints::builders::{full_inclusion, key_agreement};
+use pdes_core::system::{P2PSystem, PeerId, TrustLevel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relalg::query::Formula;
+use relalg::{RelationSchema, Tuple};
+
+/// A generated workload: the system plus the canonical query posed to `P0`.
+#[derive(Debug, Clone)]
+pub struct GeneratedWorkload {
+    /// The generated system.
+    pub system: P2PSystem,
+    /// The peer that queries are posed to (`P0`).
+    pub queried_peer: PeerId,
+    /// The canonical query `T0(X, Y)`.
+    pub query: Formula,
+    /// Answer variables of the canonical query.
+    pub free_vars: Vec<String>,
+    /// Total number of planted violations across all DECs.
+    pub planted_violations: usize,
+}
+
+/// Generate a system from a spec. The generation is deterministic: the same
+/// spec (including its seed) always produces the same system.
+pub fn generate(spec: &WorkloadSpec) -> GeneratedWorkload {
+    assert!(spec.peers >= 2, "a workload needs at least two peers");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut system = P2PSystem::new();
+
+    let peer_ids: Vec<PeerId> = (0..spec.peers).map(|i| PeerId::new(format!("P{i}"))).collect();
+    for (i, id) in peer_ids.iter().enumerate() {
+        system.add_peer(id.clone()).expect("fresh peer");
+        system
+            .add_relation(id, RelationSchema::new(format!("T{i}"), &["key", "val"]))
+            .expect("fresh relation");
+    }
+
+    // Base data: every peer gets `tuples_per_relation` tuples with keys that
+    // are unique per peer (no accidental conflicts).
+    for (i, id) in peer_ids.iter().enumerate() {
+        for j in 0..spec.tuples_per_relation {
+            let key = format!("k_{i}_{j}");
+            let val = format!("v_{i}_{j}");
+            system
+                .insert(id, &format!("T{i}"), Tuple::strs([key.as_str(), val.as_str()]))
+                .expect("insert base tuple");
+        }
+    }
+
+    // DEC edges according to the topology.
+    let edges: Vec<(usize, usize)> = match spec.topology {
+        Topology::Star => (1..spec.peers).map(|i| (0, i)).collect(),
+        Topology::Chain => (0..spec.peers - 1).map(|i| (i, i + 1)).collect(),
+    };
+
+    let mut planted = 0usize;
+    for (edge_idx, (owner_idx, other_idx)) in edges.iter().enumerate() {
+        let owner = peer_ids[*owner_idx].clone();
+        let other = peer_ids[*other_idx].clone();
+        let owner_rel = format!("T{owner_idx}");
+        let other_rel = format!("T{other_idx}");
+
+        let level = match spec.trust_mix {
+            TrustMix::AllLess => TrustLevel::Less,
+            TrustMix::AllSame => TrustLevel::Same,
+            TrustMix::Mixed => {
+                if edge_idx % 2 == 0 {
+                    TrustLevel::Less
+                } else {
+                    TrustLevel::Same
+                }
+            }
+        };
+        system.set_trust(&owner, level, &other).expect("trust");
+
+        let use_key_constraint = level == TrustLevel::Same
+            && rng.gen_range(0..100u8) < spec.key_constraint_percent;
+
+        if use_key_constraint {
+            // Σ: ∀x y z (T_owner(x, y) ∧ T_other(x, z) → y = z).
+            system
+                .add_dec(
+                    &owner,
+                    &other,
+                    key_agreement(format!("dec_{edge_idx}"), &owner_rel, &other_rel).unwrap(),
+                )
+                .expect("dec");
+            // Plant violations: shared keys with different values.
+            for v in 0..spec.violations_per_dec {
+                let key = format!("conflict_{edge_idx}_{v}");
+                system
+                    .insert(&owner, &owner_rel, Tuple::strs([key.as_str(), "owner_value"]))
+                    .unwrap();
+                system
+                    .insert(&other, &other_rel, Tuple::strs([key.as_str(), "other_value"]))
+                    .unwrap();
+                planted += 1;
+            }
+        } else {
+            // Σ: ∀x y (T_other(x, y) → T_owner(x, y)).
+            system
+                .add_dec(
+                    &owner,
+                    &other,
+                    full_inclusion(format!("dec_{edge_idx}"), &other_rel, &owner_rel, 2).unwrap(),
+                )
+                .expect("dec");
+            // Plant violations: tuples of the other peer missing at the owner.
+            for v in 0..spec.violations_per_dec {
+                let key = format!("missing_{edge_idx}_{v}");
+                system
+                    .insert(&other, &other_rel, Tuple::strs([key.as_str(), "imported_value"]))
+                    .unwrap();
+                planted += 1;
+            }
+            // And some shared tuples that already satisfy the inclusion.
+            for s in 0..(spec.tuples_per_relation / 4).max(1) {
+                let key = format!("shared_{edge_idx}_{s}");
+                let tuple = Tuple::strs([key.as_str(), "shared_value"]);
+                system.insert(&owner, &owner_rel, tuple.clone()).unwrap();
+                system.insert(&other, &other_rel, tuple).unwrap();
+            }
+        }
+    }
+
+    GeneratedWorkload {
+        system,
+        queried_peer: PeerId::new("P0"),
+        query: Formula::atom("T0", vec!["X", "Y"]),
+        free_vars: vec!["X".to_string(), "Y".to_string()],
+        planted_violations: planted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdes_core::answers_via_asp;
+    use pdes_core::pca::peer_consistent_answers;
+    use pdes_core::rewriting::answers_by_rewriting;
+    use pdes_core::solution::SolutionOptions;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::tiny();
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(
+            a.system.global_instance().unwrap(),
+            b.system.global_instance().unwrap()
+        );
+        assert_eq!(a.planted_violations, b.planted_violations);
+    }
+
+    #[test]
+    fn different_seeds_can_differ_in_constraint_choice() {
+        let mut spec = WorkloadSpec {
+            trust_mix: TrustMix::AllSame,
+            key_constraint_percent: 50,
+            ..WorkloadSpec::tiny()
+        };
+        spec.seed = 1;
+        let a = generate(&spec);
+        spec.seed = 7;
+        let b = generate(&spec);
+        // Both are valid systems with the same number of peers.
+        assert_eq!(a.system.peer_count(), b.system.peer_count());
+    }
+
+    #[test]
+    fn generated_star_workload_has_expected_structure() {
+        let spec = WorkloadSpec {
+            peers: 4,
+            ..WorkloadSpec::tiny()
+        };
+        let w = generate(&spec);
+        assert_eq!(w.system.peer_count(), 4);
+        assert_eq!(w.system.decs().len(), 3);
+        assert_eq!(w.system.trust().len(), 3);
+        assert_eq!(w.planted_violations, 3);
+    }
+
+    #[test]
+    fn chain_workload_links_consecutive_peers() {
+        let spec = WorkloadSpec {
+            peers: 3,
+            topology: Topology::Chain,
+            ..WorkloadSpec::tiny()
+        };
+        let w = generate(&spec);
+        let p1 = PeerId::new("P1");
+        assert_eq!(w.system.decs_of(&p1).len(), 1);
+    }
+
+    #[test]
+    fn all_mechanisms_agree_on_tiny_inclusion_workload() {
+        let spec = WorkloadSpec {
+            trust_mix: TrustMix::AllLess,
+            ..WorkloadSpec::tiny()
+        };
+        let w = generate(&spec);
+        let semantic = peer_consistent_answers(
+            &w.system,
+            &w.queried_peer,
+            &w.query,
+            &w.free_vars,
+            SolutionOptions::default(),
+        )
+        .unwrap();
+        let rewriting =
+            answers_by_rewriting(&w.system, &w.queried_peer, &w.query, &w.free_vars).unwrap();
+        let asp = answers_via_asp(
+            &w.system,
+            &w.queried_peer,
+            &w.query,
+            &w.free_vars,
+            datalog::SolverConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(semantic.answers, rewriting.answers);
+        assert_eq!(semantic.answers, asp.answers);
+        // Imported tuples are part of the answers.
+        assert!(semantic
+            .answers
+            .iter()
+            .any(|t| t.get(0).unwrap().to_string().starts_with("missing_")));
+    }
+
+    #[test]
+    fn all_mechanisms_agree_on_tiny_key_conflict_workload() {
+        let spec = WorkloadSpec {
+            trust_mix: TrustMix::AllSame,
+            key_constraint_percent: 100,
+            ..WorkloadSpec::tiny()
+        };
+        let w = generate(&spec);
+        let semantic = peer_consistent_answers(
+            &w.system,
+            &w.queried_peer,
+            &w.query,
+            &w.free_vars,
+            SolutionOptions::default(),
+        )
+        .unwrap();
+        let asp = answers_via_asp(
+            &w.system,
+            &w.queried_peer,
+            &w.query,
+            &w.free_vars,
+            datalog::SolverConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(semantic.answers, asp.answers);
+        // The conflicting tuple is dropped from the certain answers.
+        assert!(!semantic
+            .answers
+            .iter()
+            .any(|t| t.get(0).unwrap().to_string().starts_with("conflict_")));
+    }
+}

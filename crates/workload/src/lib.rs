@@ -1,0 +1,18 @@
+//! # workload — synthetic P2P data exchange workloads
+//!
+//! The paper has no experimental evaluation and therefore no public
+//! workload. This crate generates parameterized synthetic systems whose
+//! knobs match the dimensions the paper's complexity discussion identifies
+//! (Section 3.2): number of peers, number of DECs, instance sizes, and the
+//! amount of inconsistency between peers. The generated systems use the DEC
+//! shapes of the paper's examples (full inclusion dependencies towards
+//! more-trusted peers and key-agreement constraints towards equally-trusted
+//! peers, plus optional referential constraints), so every answering
+//! mechanism — rewriting, ASP specification, naive solution enumeration —
+//! can run on them.
+
+pub mod generator;
+pub mod spec;
+
+pub use generator::generate;
+pub use spec::{Topology, TrustMix, WorkloadSpec};

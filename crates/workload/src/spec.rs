@@ -1,0 +1,118 @@
+//! Workload specifications.
+
+use std::fmt;
+
+/// Shape of the peer/DEC graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// One central peer (the queried one) with DECs towards every other peer.
+    Star,
+    /// A chain `P0 → P1 → … → Pn`; only consecutive peers exchange data.
+    /// Used for the transitive experiments.
+    Chain,
+}
+
+/// How trust is assigned to the generated DEC targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrustMix {
+    /// All DEC targets are trusted more than the owner (`less` entries);
+    /// conflicts are resolved by importing / deleting the owner's data.
+    AllLess,
+    /// All DEC targets are trusted the same as the owner.
+    AllSame,
+    /// Alternate `less` / `same` trust by peer index.
+    Mixed,
+}
+
+/// A complete description of a synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Number of peers (≥ 2). Peer 0 (`P0`) is the queried peer.
+    pub peers: usize,
+    /// Tuples per relation in every peer's instance.
+    pub tuples_per_relation: usize,
+    /// Number of *violations* to plant per DEC (tuples of the other peer
+    /// that conflict with / are missing from the queried peer's data).
+    pub violations_per_dec: usize,
+    /// Graph shape.
+    pub topology: Topology,
+    /// Trust assignment.
+    pub trust_mix: TrustMix,
+    /// Fraction (0–100) of DECs that are key-agreement constraints rather
+    /// than full inclusions; only meaningful for `same`-trusted targets.
+    pub key_constraint_percent: u8,
+    /// Random seed (the generator is fully deterministic given the spec).
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            peers: 2,
+            tuples_per_relation: 20,
+            violations_per_dec: 2,
+            topology: Topology::Star,
+            trust_mix: TrustMix::AllLess,
+            key_constraint_percent: 50,
+            seed: 42,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// A small preset that every mechanism (including naive solution
+    /// enumeration) can handle quickly; used in tests.
+    pub fn tiny() -> Self {
+        WorkloadSpec {
+            peers: 2,
+            tuples_per_relation: 6,
+            violations_per_dec: 1,
+            ..WorkloadSpec::default()
+        }
+    }
+
+    /// Name of the queried peer.
+    pub fn queried_peer(&self) -> String {
+        "P0".to_string()
+    }
+
+    /// Name of the queried peer's relation.
+    pub fn queried_relation(&self) -> String {
+        "T0".to_string()
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "peers={} tuples={} violations={} topo={:?} trust={:?} seed={}",
+            self.peers,
+            self.tuples_per_relation,
+            self.violations_per_dec,
+            self.topology,
+            self.trust_mix,
+            self.seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_reasonable() {
+        let spec = WorkloadSpec::default();
+        assert_eq!(spec.peers, 2);
+        assert_eq!(spec.queried_peer(), "P0");
+        assert_eq!(spec.queried_relation(), "T0");
+        assert!(spec.to_string().contains("peers=2"));
+    }
+
+    #[test]
+    fn tiny_preset_is_smaller() {
+        let tiny = WorkloadSpec::tiny();
+        assert!(tiny.tuples_per_relation < WorkloadSpec::default().tuples_per_relation);
+    }
+}

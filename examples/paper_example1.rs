@@ -1,0 +1,35 @@
+//! Experiment E1/E2: a detailed walkthrough of Examples 1 and 2 of the paper
+//! — the two solutions for peer P1 and the peer consistent answers to
+//! Q: R1(x, y).
+//!
+//! Run with `cargo run --example paper_example1`.
+
+use p2p_data_exchange::core::pca::{peer_consistent_answers, vars};
+use p2p_data_exchange::core::solution::{solutions_for, SolutionOptions};
+use p2p_data_exchange::core::PeerId;
+use relalg::query::Formula;
+
+fn main() {
+    let system = p2p_data_exchange::example1_system();
+    let p1 = PeerId::new("P1");
+
+    println!("Global instance:");
+    println!("{}", system.global_instance().unwrap());
+
+    let solutions = solutions_for(&system, &p1, SolutionOptions::default()).unwrap();
+    println!("Solutions for P1 (Definition 4): {}", solutions.len());
+    for (i, s) in solutions.iter().enumerate() {
+        println!("--- solution {} (Δ = {}) ---", i + 1, s.delta);
+        println!("{}", s.database);
+    }
+
+    let query = Formula::atom("R1", vec!["X", "Y"]);
+    let result =
+        peer_consistent_answers(&system, &p1, &query, &vars(&["X", "Y"]), SolutionOptions::default())
+            .unwrap();
+    println!("Peer consistent answers to R1(x, y) at P1 (Definition 5):");
+    for t in &result.answers {
+        println!("  {t}");
+    }
+    assert_eq!(result.answers.len(), 3);
+}

@@ -1,0 +1,30 @@
+//! A small scaling demonstration: generate synthetic workloads of growing
+//! size and compare the three answering mechanisms (this is the interactive
+//! companion of benchmark table B1; run the full harness with
+//! `cargo run -p pdes-bench --release --bin harness`).
+//!
+//! Run with `cargo run --release --example scaling_demo`.
+
+use pdes_bench::runners::{render_table, run_asp, run_naive, run_rewriting};
+use workload::{generate, TrustMix, WorkloadSpec};
+
+fn main() {
+    let mut rows = Vec::new();
+    for &n in &[10usize, 20, 40] {
+        let spec = WorkloadSpec {
+            peers: 2,
+            tuples_per_relation: n,
+            violations_per_dec: 2,
+            trust_mix: TrustMix::AllLess,
+            ..WorkloadSpec::default()
+        };
+        let w = generate(&spec);
+        let params = format!("tuples={n}");
+        rows.extend(run_rewriting(&w, &params));
+        rows.extend(run_asp(&w, &params));
+        if n <= 20 {
+            rows.extend(run_naive(&w, &params));
+        }
+    }
+    println!("{}", render_table("scaling demo (see DESIGN.md B1)", &rows));
+}

@@ -1,0 +1,41 @@
+//! # p2p-data-exchange
+//!
+//! Umbrella crate for the reproduction of *Bertossi & Bravo, "Query Answering
+//! in Peer-to-Peer Data Exchange Systems" (EDBT 2004 workshops)*. It
+//! re-exports the workspace crates so that examples, integration tests and
+//! downstream users can depend on a single package:
+//!
+//! * [`relalg`] — relational substrate (values, instances, first-order
+//!   queries, the Δ of Definition 1);
+//! * [`constraints`] — integrity and data exchange constraints;
+//! * [`repair`] — minimal-change repairs and single-database CQA;
+//! * [`datalog`] — the disjunctive answer-set engine (choice operator, HCF
+//!   shifting, cautious reasoning);
+//! * [`core`](pdes_core) — the paper's contribution: P2P systems, trust,
+//!   solutions, peer consistent answers, rewriting and ASP specifications;
+//! * [`dsl`] — a textual format for systems and queries;
+//! * [`workload`] — synthetic workload generation for the benchmarks.
+//!
+//! See `README.md` for a tour and `examples/` for runnable scenarios.
+
+pub use constraints;
+pub use datalog;
+pub use dsl;
+pub use pdes_core as core;
+pub use relalg;
+pub use repair;
+pub use workload;
+
+/// The canonical Example 1 system of the paper, re-exported for convenience.
+pub fn example1_system() -> pdes_core::P2PSystem {
+    pdes_core::example1_system()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn umbrella_reexports_are_usable() {
+        let system = super::example1_system();
+        assert_eq!(system.peer_count(), 3);
+    }
+}

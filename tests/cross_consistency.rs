@@ -1,0 +1,117 @@
+//! Cross-mechanism consistency: on generated workloads inside the fragment
+//! every mechanism supports, the semantic reference (solution enumeration),
+//! the first-order rewriting and the ASP specification must return the same
+//! peer consistent answers.
+
+use datalog::SolverConfig;
+use p2p_data_exchange::core::answer::{answers_via_asp, answers_via_transitive_asp};
+use p2p_data_exchange::core::pca::peer_consistent_answers;
+use p2p_data_exchange::core::rewriting::answers_by_rewriting;
+use p2p_data_exchange::core::solution::SolutionOptions;
+use workload::{generate, Topology, TrustMix, WorkloadSpec};
+
+fn check_agreement(spec: &WorkloadSpec, include_rewriting: bool) {
+    let w = generate(spec);
+    let semantic = peer_consistent_answers(
+        &w.system,
+        &w.queried_peer,
+        &w.query,
+        &w.free_vars,
+        SolutionOptions::default(),
+    )
+    .unwrap();
+    let asp = answers_via_asp(
+        &w.system,
+        &w.queried_peer,
+        &w.query,
+        &w.free_vars,
+        SolverConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(semantic.answers, asp.answers, "spec: {spec}");
+    if include_rewriting {
+        let rewriting =
+            answers_by_rewriting(&w.system, &w.queried_peer, &w.query, &w.free_vars).unwrap();
+        assert_eq!(semantic.answers, rewriting.answers, "spec: {spec}");
+    }
+}
+
+#[test]
+fn inclusion_workloads_agree_across_mechanisms() {
+    for seed in [1, 2, 3] {
+        for tuples in [4, 8, 12] {
+            let spec = WorkloadSpec {
+                peers: 2,
+                tuples_per_relation: tuples,
+                violations_per_dec: 2,
+                trust_mix: TrustMix::AllLess,
+                seed,
+                ..WorkloadSpec::default()
+            };
+            check_agreement(&spec, true);
+        }
+    }
+}
+
+#[test]
+fn key_conflict_workloads_agree_across_mechanisms() {
+    for seed in [1, 5] {
+        let spec = WorkloadSpec {
+            peers: 2,
+            tuples_per_relation: 6,
+            violations_per_dec: 2,
+            trust_mix: TrustMix::AllSame,
+            key_constraint_percent: 100,
+            seed,
+            ..WorkloadSpec::default()
+        };
+        check_agreement(&spec, false);
+    }
+}
+
+#[test]
+fn multi_peer_star_workloads_agree() {
+    let spec = WorkloadSpec {
+        peers: 4,
+        tuples_per_relation: 5,
+        violations_per_dec: 1,
+        trust_mix: TrustMix::Mixed,
+        topology: Topology::Star,
+        seed: 9,
+        ..WorkloadSpec::default()
+    };
+    check_agreement(&spec, false);
+}
+
+#[test]
+fn transitive_answers_are_a_superset_of_direct_answers_on_import_chains() {
+    // On pure-import chains, the global semantics can only add imported
+    // tuples, never remove direct ones.
+    let spec = WorkloadSpec {
+        peers: 3,
+        tuples_per_relation: 5,
+        violations_per_dec: 1,
+        trust_mix: TrustMix::AllLess,
+        topology: Topology::Chain,
+        seed: 4,
+        ..WorkloadSpec::default()
+    };
+    let w = generate(&spec);
+    let direct = answers_via_asp(
+        &w.system,
+        &w.queried_peer,
+        &w.query,
+        &w.free_vars,
+        SolverConfig::default(),
+    )
+    .unwrap();
+    let transitive = answers_via_transitive_asp(
+        &w.system,
+        &w.queried_peer,
+        &w.query,
+        &w.free_vars,
+        SolverConfig::default(),
+    )
+    .unwrap();
+    assert!(direct.answers.is_subset(&transitive.answers));
+}

