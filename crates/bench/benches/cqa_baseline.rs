@@ -8,7 +8,10 @@ use workload::{generate, TrustMix, WorkloadSpec};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("B6_cqa_baseline");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     for &n in &[10usize, 20, 40] {
         let w = generate(&WorkloadSpec {
             peers: 2,

@@ -8,13 +8,21 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("B7_datalog_engine");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     let program = small_spec_program();
     group.bench_function("grounding", |b| {
         b.iter(|| Grounder::new(&program).ground().unwrap().rule_count())
     });
     group.bench_function("solve_end_to_end", |b| {
-        b.iter(|| solve(&program, SolverConfig::default()).unwrap().answer_sets.len())
+        b.iter(|| {
+            solve(&program, SolverConfig::default())
+                .unwrap()
+                .answer_sets
+                .len()
+        })
     });
     group.finish();
 }

@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("B4_hcf_shift");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     for &witnesses in &[2usize, 4, 6] {
         let s2: Vec<Tuple> = (0..witnesses)
             .map(|i| Tuple::strs(["c", &format!("w{i}")]))
@@ -30,15 +33,19 @@ fn bench(c: &mut Criterion) {
                     .len()
             })
         });
-        group.bench_with_input(BenchmarkId::new("disjunctive", witnesses), &ground, |b, g| {
-            b.iter(|| {
-                DisjunctiveSolver::new(g, SolverConfig::default())
-                    .answer_sets()
-                    .unwrap()
-                    .0
-                    .len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("disjunctive", witnesses),
+            &ground,
+            |b, g| {
+                b.iter(|| {
+                    DisjunctiveSolver::new(g, SolverConfig::default())
+                        .answer_sets()
+                        .unwrap()
+                        .0
+                        .len()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,14 +1,20 @@
 //! B1 — peer consistent answering latency vs. instance size, for the three
-//! mechanisms (rewriting / ASP specification / naive solution enumeration).
+//! mechanisms (rewriting / ASP specification / naive solution enumeration),
+//! cold (fresh engine, preparation included) and warm (memoized engine:
+//! repeat queries skip re-grounding and re-solving).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pdes_bench::runners::{run_asp, run_naive, run_rewriting};
+use pdes_bench::runners::{engine_for, run_asp, run_naive, run_rewriting};
+use pdes_core::engine::Strategy;
 use std::time::Duration;
 use workload::{generate, TrustMix, WorkloadSpec};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("B1_pca_scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     for &n in &[10usize, 20, 40] {
         let w = generate(&WorkloadSpec {
             peers: 2,
@@ -20,8 +26,16 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("rewriting", n), &w, |b, w| {
             b.iter(|| run_rewriting(w, "bench").unwrap().answers)
         });
-        group.bench_with_input(BenchmarkId::new("asp", n), &w, |b, w| {
+        group.bench_with_input(BenchmarkId::new("asp_cold", n), &w, |b, w| {
             b.iter(|| run_asp(w, "bench").unwrap().answers)
+        });
+        let warm = engine_for(&w, Strategy::Asp);
+        group.bench_with_input(BenchmarkId::new("asp_warm", n), &w, |b, w| {
+            b.iter(|| {
+                warm.answer(&w.queried_peer, &w.query, &w.free_vars)
+                    .unwrap()
+                    .len()
+            })
         });
         if n <= 20 {
             group.bench_with_input(BenchmarkId::new("naive", n), &w, |b, w| {

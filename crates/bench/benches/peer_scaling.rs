@@ -1,13 +1,17 @@
 //! B2 — peer consistent answering latency vs. number of peers (star topology).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pdes_bench::runners::run_asp;
+use pdes_bench::runners::{engine_for, run_asp};
+use pdes_core::engine::Strategy;
 use std::time::Duration;
 use workload::{generate, Topology, TrustMix, WorkloadSpec};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("B2_peer_scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     for &peers in &[2usize, 4, 6] {
         let w = generate(&WorkloadSpec {
             peers,
@@ -17,8 +21,16 @@ fn bench(c: &mut Criterion) {
             topology: Topology::Star,
             ..WorkloadSpec::default()
         });
-        group.bench_with_input(BenchmarkId::new("asp", peers), &w, |b, w| {
+        group.bench_with_input(BenchmarkId::new("asp_cold", peers), &w, |b, w| {
             b.iter(|| run_asp(w, "bench").unwrap().answers)
+        });
+        let warm = engine_for(&w, Strategy::Asp);
+        group.bench_with_input(BenchmarkId::new("asp_warm", peers), &w, |b, w| {
+            b.iter(|| {
+                warm.answer(&w.queried_peer, &w.query, &w.free_vars)
+                    .unwrap()
+                    .len()
+            })
         });
     }
     group.finish();

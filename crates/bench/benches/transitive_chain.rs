@@ -1,13 +1,17 @@
 //! B5 — direct vs. transitive (Section 4.3) answering over chains of peers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pdes_bench::runners::{run_asp, run_transitive_asp};
+use pdes_bench::runners::{engine_for, run_asp, run_transitive_asp};
+use pdes_core::engine::Strategy;
 use std::time::Duration;
 use workload::{generate, Topology, TrustMix, WorkloadSpec};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("B5_transitive_chain");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     for &len in &[2usize, 3, 4] {
         let w = generate(&WorkloadSpec {
             peers: len,
@@ -20,8 +24,16 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("direct", len), &w, |b, w| {
             b.iter(|| run_asp(w, "bench").unwrap().answers)
         });
-        group.bench_with_input(BenchmarkId::new("transitive", len), &w, |b, w| {
+        group.bench_with_input(BenchmarkId::new("transitive_cold", len), &w, |b, w| {
             b.iter(|| run_transitive_asp(w, "bench").unwrap().answers)
+        });
+        let warm = engine_for(&w, Strategy::TransitiveAsp);
+        group.bench_with_input(BenchmarkId::new("transitive_warm", len), &w, |b, w| {
+            b.iter(|| {
+                warm.answer(&w.queried_peer, &w.query, &w.free_vars)
+                    .unwrap()
+                    .len()
+            })
         });
     }
     group.finish();

@@ -2,13 +2,17 @@
 //! key-conflict violations (the number of solutions grows exponentially).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pdes_bench::runners::{run_asp, run_naive};
+use pdes_bench::runners::{engine_for, run_asp, run_naive};
+use pdes_core::engine::Strategy;
 use std::time::Duration;
 use workload::{generate, TrustMix, WorkloadSpec};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("B3_violation_ratio");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     for &v in &[1usize, 2, 4] {
         let w = generate(&WorkloadSpec {
             peers: 2,
@@ -18,8 +22,16 @@ fn bench(c: &mut Criterion) {
             key_constraint_percent: 100,
             ..WorkloadSpec::default()
         });
-        group.bench_with_input(BenchmarkId::new("asp", v), &w, |b, w| {
+        group.bench_with_input(BenchmarkId::new("asp_cold", v), &w, |b, w| {
             b.iter(|| run_asp(w, "bench").unwrap().answers)
+        });
+        let warm = engine_for(&w, Strategy::Asp);
+        group.bench_with_input(BenchmarkId::new("asp_warm", v), &w, |b, w| {
+            b.iter(|| {
+                warm.answer(&w.queried_peer, &w.query, &w.free_vars)
+                    .unwrap()
+                    .len()
+            })
         });
         if v <= 2 {
             group.bench_with_input(BenchmarkId::new("naive", v), &w, |b, w| {

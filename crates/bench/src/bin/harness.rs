@@ -5,18 +5,21 @@
 use pdes_bench::experiments;
 use pdes_bench::render_table;
 
+/// Sweep parameters of the seven tables.
+type Sweeps = (
+    Vec<usize>,
+    Vec<usize>,
+    Vec<usize>,
+    Vec<usize>,
+    Vec<usize>,
+    Vec<usize>,
+    Vec<usize>,
+);
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
 
-    let (b1_sizes, b2_peers, b3_viol, b4_wit, b5_chain, b6_sizes, b7_sizes): (
-        Vec<usize>,
-        Vec<usize>,
-        Vec<usize>,
-        Vec<usize>,
-        Vec<usize>,
-        Vec<usize>,
-        Vec<usize>,
-    ) = if quick {
+    let (b1_sizes, b2_peers, b3_viol, b4_wit, b5_chain, b6_sizes, b7_sizes): Sweeps = if quick {
         (
             vec![10, 20],
             vec![2, 4],
@@ -41,11 +44,53 @@ fn main() {
     println!("Peer-to-peer data exchange — experiment harness");
     println!("(one run per point; see `cargo bench` for statistically repeated timings)");
 
-    print!("{}", render_table("B1: PCA latency vs. tuples per relation", &experiments::table_b1(&b1_sizes)));
-    print!("{}", render_table("B2: PCA latency vs. number of peers (star)", &experiments::table_b2(&b2_peers)));
-    print!("{}", render_table("B3: PCA latency vs. planted violations (key conflicts)", &experiments::table_b3(&b3_viol)));
-    print!("{}", render_table("B4: HCF shifting vs. generic disjunctive solving (Section 4.1)", &experiments::table_b4(&b4_wit)));
-    print!("{}", render_table("B5: direct vs. transitive answering (chain topology)", &experiments::table_b5(&b5_chain)));
-    print!("{}", render_table("B6: P2P answering vs. single-database CQA baseline", &experiments::table_b6(&b6_sizes)));
-    print!("{}", render_table("B7: answer-set engine micro-benchmarks (grounding / solving)", &experiments::table_b7(&b7_sizes)));
+    print!(
+        "{}",
+        render_table(
+            "B1: PCA latency vs. tuples per relation",
+            &experiments::table_b1(&b1_sizes)
+        )
+    );
+    print!(
+        "{}",
+        render_table(
+            "B2: PCA latency vs. number of peers (star)",
+            &experiments::table_b2(&b2_peers)
+        )
+    );
+    print!(
+        "{}",
+        render_table(
+            "B3: PCA latency vs. planted violations (key conflicts)",
+            &experiments::table_b3(&b3_viol)
+        )
+    );
+    print!(
+        "{}",
+        render_table(
+            "B4: HCF shifting vs. generic disjunctive solving (Section 4.1)",
+            &experiments::table_b4(&b4_wit)
+        )
+    );
+    print!(
+        "{}",
+        render_table(
+            "B5: direct vs. transitive answering (chain topology)",
+            &experiments::table_b5(&b5_chain)
+        )
+    );
+    print!(
+        "{}",
+        render_table(
+            "B6: P2P answering vs. single-database CQA baseline",
+            &experiments::table_b6(&b6_sizes)
+        )
+    );
+    print!(
+        "{}",
+        render_table(
+            "B7: answer-set engine micro-benchmarks (grounding / solving)",
+            &experiments::table_b7(&b7_sizes)
+        )
+    );
 }

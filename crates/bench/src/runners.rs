@@ -1,11 +1,14 @@
-//! Shared runners: execute one answering mechanism on one workload and
-//! report wall-clock time plus basic statistics.
+//! Shared runners: execute one answering strategy on one workload through
+//! the [`QueryEngine`] facade and report wall-clock time plus basic
+//! statistics.
+//!
+//! The per-mechanism `run_*` functions are thin wrappers over
+//! [`run_strategy`]; the Criterion benches build an engine once per workload
+//! with [`engine_for`] and answer repeatedly, which exercises the engine's
+//! per-peer memoization (repeat queries skip re-grounding/solving — the hot
+//! path this suite measures).
 
-use datalog::SolverConfig;
-use pdes_core::pca::peer_consistent_answers;
-use pdes_core::rewriting::answers_by_rewriting;
-use pdes_core::solution::SolutionOptions;
-use pdes_core::{answers_via_asp, answers_via_transitive_asp};
+use pdes_core::engine::{QueryEngine, Strategy};
 use repair::{consistent_answers, RepairEngine};
 use std::time::Instant;
 use workload::generator::GeneratedWorkload;
@@ -26,82 +29,57 @@ pub struct Measurement {
     pub worlds: usize,
 }
 
-/// Run the first-order rewriting mechanism.
-pub fn run_rewriting(w: &GeneratedWorkload, params: &str) -> Option<Measurement> {
+/// Build a fresh engine over a workload's system with the given strategy.
+pub fn engine_for(w: &GeneratedWorkload, strategy: Strategy) -> QueryEngine {
+    QueryEngine::builder(w.system.clone())
+        .strategy(strategy)
+        .build()
+}
+
+/// Run one answering strategy on the workload's canonical query through a
+/// fresh engine (cold cache: the measurement includes preparation).
+pub fn run_strategy(
+    w: &GeneratedWorkload,
+    strategy: Strategy,
+    params: &str,
+) -> Option<Measurement> {
+    let engine = engine_for(w, strategy);
     let start = Instant::now();
-    let result = answers_by_rewriting(&w.system, &w.queried_peer, &w.query, &w.free_vars).ok()?;
+    let result = engine
+        .answer(&w.queried_peer, &w.query, &w.free_vars)
+        .ok()?;
     Some(Measurement {
-        mechanism: "rewriting",
+        mechanism: result.stats.strategy.label(),
         params: params.to_string(),
         millis: start.elapsed().as_secs_f64() * 1e3,
-        answers: result.answers.len(),
-        worlds: 1,
+        answers: result.len(),
+        worlds: result.stats.worlds,
     })
+}
+
+/// Run the first-order rewriting mechanism.
+pub fn run_rewriting(w: &GeneratedWorkload, params: &str) -> Option<Measurement> {
+    run_strategy(w, Strategy::Rewriting, params)
 }
 
 /// Run the (direct) answer-set specification mechanism.
 pub fn run_asp(w: &GeneratedWorkload, params: &str) -> Option<Measurement> {
-    let start = Instant::now();
-    let result = answers_via_asp(
-        &w.system,
-        &w.queried_peer,
-        &w.query,
-        &w.free_vars,
-        SolverConfig::default(),
-    )
-    .ok()?;
-    Some(Measurement {
-        mechanism: "asp",
-        params: params.to_string(),
-        millis: start.elapsed().as_secs_f64() * 1e3,
-        answers: result.answers.len(),
-        worlds: result.answer_set_count,
-    })
+    run_strategy(w, Strategy::Asp, params)
 }
 
 /// Run the transitive (global) answer-set mechanism.
 pub fn run_transitive_asp(w: &GeneratedWorkload, params: &str) -> Option<Measurement> {
-    let start = Instant::now();
-    let result = answers_via_transitive_asp(
-        &w.system,
-        &w.queried_peer,
-        &w.query,
-        &w.free_vars,
-        SolverConfig::default(),
-    )
-    .ok()?;
-    Some(Measurement {
-        mechanism: "asp-transitive",
-        params: params.to_string(),
-        millis: start.elapsed().as_secs_f64() * 1e3,
-        answers: result.answers.len(),
-        worlds: result.answer_set_count,
-    })
+    run_strategy(w, Strategy::TransitiveAsp, params)
 }
 
 /// Run the naive solution-enumeration (Definition 4 / 5) mechanism.
 pub fn run_naive(w: &GeneratedWorkload, params: &str) -> Option<Measurement> {
-    let start = Instant::now();
-    let result = peer_consistent_answers(
-        &w.system,
-        &w.queried_peer,
-        &w.query,
-        &w.free_vars,
-        SolutionOptions::default(),
-    )
-    .ok()?;
-    Some(Measurement {
-        mechanism: "naive-solutions",
-        params: params.to_string(),
-        millis: start.elapsed().as_secs_f64() * 1e3,
-        answers: result.answers.len(),
-        worlds: result.solution_count,
-    })
+    run_strategy(w, Strategy::Naive, params)
 }
 
 /// Run the single-database CQA baseline: the same data and constraints, but
 /// treated as one inconsistent database repaired under the DECs with no peer
-/// or trust structure.
+/// or trust structure. (Not a peer semantics, hence not an engine strategy.)
 pub fn run_cqa_baseline(w: &GeneratedWorkload, params: &str) -> Option<Measurement> {
     let constraints: Vec<constraints::Constraint> = w
         .system
@@ -153,6 +131,33 @@ mod tests {
         assert_eq!(rewriting.answers, asp.answers);
         assert_eq!(asp.answers, naive.answers);
         assert!(asp.millis >= 0.0);
+    }
+
+    #[test]
+    fn runner_labels_match_the_legacy_table_names() {
+        let w = generate(&WorkloadSpec::tiny());
+        assert_eq!(run_rewriting(&w, "t").unwrap().mechanism, "rewriting");
+        assert_eq!(run_asp(&w, "t").unwrap().mechanism, "asp");
+        assert_eq!(run_naive(&w, "t").unwrap().mechanism, "naive-solutions");
+        assert_eq!(
+            run_transitive_asp(&w, "t").unwrap().mechanism,
+            "asp-transitive"
+        );
+    }
+
+    #[test]
+    fn warm_engines_answer_from_cache() {
+        let w = generate(&WorkloadSpec::tiny());
+        let engine = engine_for(&w, Strategy::Asp);
+        let cold = engine
+            .answer(&w.queried_peer, &w.query, &w.free_vars)
+            .unwrap();
+        let warm = engine
+            .answer(&w.queried_peer, &w.query, &w.free_vars)
+            .unwrap();
+        assert!(!cold.stats.cache_hit);
+        assert!(warm.stats.cache_hit);
+        assert_eq!(cold.tuples, warm.tuples);
     }
 
     #[test]

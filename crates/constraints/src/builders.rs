@@ -9,12 +9,19 @@ use relalg::query::{CompareOp, Term};
 
 /// Fresh variable names `X0, X1, …` used by the positional builders.
 fn positional_vars(prefix: &str, arity: usize) -> Vec<Term> {
-    (0..arity).map(|i| Term::var(format!("{prefix}{i}"))).collect()
+    (0..arity)
+        .map(|i| Term::var(format!("{prefix}{i}")))
+        .collect()
 }
 
 /// Full inclusion dependency `∀x̄ (source(x̄) → target(x̄))`
 /// — the shape of `Σ(P1, P2)` in Example 1.
-pub fn full_inclusion(name: impl Into<String>, source: &str, target: &str, arity: usize) -> Result<Constraint> {
+pub fn full_inclusion(
+    name: impl Into<String>,
+    source: &str,
+    target: &str,
+    arity: usize,
+) -> Result<Constraint> {
     let vars = positional_vars("X", arity);
     Constraint::new(
         name,
@@ -40,7 +47,12 @@ pub fn referential_inclusion(
     let source_vars = positional_vars("X", source_arity);
     let mut target_terms: Vec<Term> = key_positions
         .iter()
-        .map(|&p| source_vars.get(p).cloned().unwrap_or_else(|| Term::var(format!("X{p}"))))
+        .map(|&p| {
+            source_vars
+                .get(p)
+                .cloned()
+                .unwrap_or_else(|| Term::var(format!("X{p}")))
+        })
         .collect();
     let existential_count = target_arity.saturating_sub(target_terms.len());
     target_terms.extend(positional_vars("W", existential_count));
@@ -72,7 +84,8 @@ pub fn functional_dependency(
             }
         })
         .collect();
-    let head = ConstraintHead::Equality(left[value_position].clone(), right[value_position].clone());
+    let head =
+        ConstraintHead::Equality(left[value_position].clone(), right[value_position].clone());
     Constraint::new(
         name,
         vec![
@@ -110,7 +123,11 @@ pub fn key_denial(name: impl Into<String>, relation: &str) -> Result<Constraint>
             AtomPattern::parse(relation, &["X", "Y"]),
             AtomPattern::parse(relation, &["X", "Z"]),
         ],
-        vec![Condition::new(CompareOp::Neq, Term::var("Y"), Term::var("Z"))],
+        vec![Condition::new(
+            CompareOp::Neq,
+            Term::var("Y"),
+            Term::var("Z"),
+        )],
         ConstraintHead::False,
     )
 }

@@ -277,10 +277,8 @@ mod tests {
         assert!(!checker.satisfied(&c).unwrap());
         let violations = checker.violations(&c).unwrap();
         assert_eq!(violations.len(), 2);
-        let grounds: BTreeSet<GroundAtom> = violations
-            .iter()
-            .flat_map(|v| v.ground_body(&c))
-            .collect();
+        let grounds: BTreeSet<GroundAtom> =
+            violations.iter().flat_map(|v| v.ground_body(&c)).collect();
         assert!(grounds.contains(&GroundAtom::new("R2", Tuple::strs(["c", "d"]))));
         assert!(grounds.contains(&GroundAtom::new("R2", Tuple::strs(["a", "e"]))));
     }
@@ -310,9 +308,7 @@ mod tests {
         )
         .unwrap();
         assert!(checker.satisfied(&trivial).unwrap());
-        assert!(checker
-            .all_satisfied([&trivial].into_iter())
-            .unwrap());
+        assert!(checker.all_satisfied([&trivial].into_iter()).unwrap());
         assert!(!checker
             .all_satisfied([&trivial, &full_inclusion()].iter().copied())
             .unwrap());
@@ -439,7 +435,11 @@ mod tests {
                 AtomPattern::parse("R2", &["X", "Y"]),
                 AtomPattern::parse("R2", &["X", "Z"]),
             ],
-            vec![Condition::new(CompareOp::Neq, Term::var("Y"), Term::var("Z"))],
+            vec![Condition::new(
+                CompareOp::Neq,
+                Term::var("Y"),
+                Term::var("Z"),
+            )],
             ConstraintHead::False,
         )
         .unwrap();

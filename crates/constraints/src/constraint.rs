@@ -339,7 +339,11 @@ mod tests {
                 AtomPattern::parse("R1", &["X", "Y"]),
                 AtomPattern::parse("R1", &["X", "Z"]),
             ],
-            vec![Condition::new(CompareOp::Neq, Term::var("Y"), Term::var("Z"))],
+            vec![Condition::new(
+                CompareOp::Neq,
+                Term::var("Y"),
+                Term::var("Z"),
+            )],
             ConstraintHead::False,
         )
         .unwrap();
@@ -399,7 +403,11 @@ mod tests {
         let err = Constraint::new(
             "bad",
             vec![AtomPattern::parse("R", &["X"])],
-            vec![Condition::new(CompareOp::Eq, Term::var("Z"), Term::var("X"))],
+            vec![Condition::new(
+                CompareOp::Eq,
+                Term::var("Z"),
+                Term::var("X"),
+            )],
             ConstraintHead::False,
         )
         .unwrap_err();

@@ -10,7 +10,10 @@ pub enum ConstraintError {
     EmptyBody(String),
     /// A constraint's consequent uses a variable that is neither universally
     /// quantified (in the body) nor existential in a relational atom.
-    UnsafeHeadVariable { constraint: String, variable: String },
+    UnsafeHeadVariable {
+        constraint: String,
+        variable: String,
+    },
     /// Propagated evaluation error from the relational layer.
     Relalg(relalg::RelalgError),
 }

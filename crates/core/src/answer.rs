@@ -42,8 +42,15 @@ pub struct AspAnswer {
 
 /// One conjunct of a DNF query.
 enum Conjunct {
-    Atom { relation: String, terms: Vec<RelTerm> },
-    Compare { op: CompareOp, left: RelTerm, right: RelTerm },
+    Atom {
+        relation: String,
+        terms: Vec<RelTerm>,
+    },
+    Compare {
+        op: CompareOp,
+        left: RelTerm,
+        right: RelTerm,
+    },
 }
 
 /// Peer consistent answers via the (direct) annotated specification program.
@@ -193,10 +200,8 @@ fn to_dnf(query: &Formula) -> Result<Vec<Vec<Conjunct>>> {
                 let mut next = Vec::new();
                 for existing in &acc {
                     for disjunct in &part_dnf {
-                        let mut merged: Vec<Conjunct> = existing
-                            .iter()
-                            .map(clone_conjunct)
-                            .collect();
+                        let mut merged: Vec<Conjunct> =
+                            existing.iter().map(clone_conjunct).collect();
                         merged.extend(disjunct.iter().map(clone_conjunct));
                         next.push(merged);
                     }
@@ -293,9 +298,14 @@ mod tests {
                 Formula::atom("R1", vec!["Z", "Y"]),
             ]),
         );
-        let semantic =
-            peer_consistent_answers(&sys, &p1, &q, &vars(&["X", "Z"]), SolutionOptions::default())
-                .unwrap();
+        let semantic = peer_consistent_answers(
+            &sys,
+            &p1,
+            &q,
+            &vars(&["X", "Z"]),
+            SolutionOptions::default(),
+        )
+        .unwrap();
         let asp =
             answers_via_asp(&sys, &p1, &q, &vars(&["X", "Z"]), SolverConfig::default()).unwrap();
         assert_eq!(semantic.answers, asp.answers);
@@ -350,8 +360,8 @@ mod tests {
 
     #[test]
     fn transitive_answers_include_transitively_imported_data() {
-        use constraints::builders::full_inclusion;
         use crate::system::TrustLevel;
+        use constraints::builders::full_inclusion;
         use relalg::RelationSchema;
         let mut sys = P2PSystem::new();
         for p in ["A", "B", "C"] {
@@ -361,11 +371,14 @@ mod tests {
         let b = PeerId::new("B");
         let c = PeerId::new("C");
         for (peer, rel) in [(&a, "RA"), (&b, "RB"), (&c, "RC")] {
-            sys.add_relation(peer, RelationSchema::new(rel, &["x"])).unwrap();
+            sys.add_relation(peer, RelationSchema::new(rel, &["x"]))
+                .unwrap();
         }
         sys.insert(&c, "RC", Tuple::strs(["v"])).unwrap();
-        sys.add_dec(&a, &b, full_inclusion("dab", "RB", "RA", 1).unwrap()).unwrap();
-        sys.add_dec(&b, &c, full_inclusion("dbc", "RC", "RB", 1).unwrap()).unwrap();
+        sys.add_dec(&a, &b, full_inclusion("dab", "RB", "RA", 1).unwrap())
+            .unwrap();
+        sys.add_dec(&b, &c, full_inclusion("dbc", "RC", "RB", 1).unwrap())
+            .unwrap();
         sys.set_trust(&a, TrustLevel::Less, &b).unwrap();
         sys.set_trust(&b, TrustLevel::Less, &c).unwrap();
 

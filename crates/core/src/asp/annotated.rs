@@ -381,11 +381,9 @@ impl Generator {
         // only possible when the fixed consequent atoms bind every
         // existential variable (rule (9)'s companion `S2(z, w)`).
         let fixed_bind_all = !fixed_heads.is_empty()
-            && evars.iter().all(|v| {
-                fixed_heads
-                    .iter()
-                    .any(|a| a.variables().contains(v))
-            });
+            && evars
+                .iter()
+                .all(|v| fixed_heads.iter().any(|a| a.variables().contains(v)));
 
         if fixed_bind_all {
             // aux_wit(ūwit) ← fixed consequent atoms (material data).
@@ -400,7 +398,10 @@ impl Generator {
 
             // Deletion-only rule when no witness exists (rule (6)).
             let mut no_wit_body = self.body_items(constraint, ann::TS);
-            no_wit_body.push(BodyItem::Naf(Atom::from_terms(&aux_sat, head_uvars.clone())));
+            no_wit_body.push(BodyItem::Naf(Atom::from_terms(
+                &aux_sat,
+                head_uvars.clone(),
+            )));
             no_wit_body.push(BodyItem::Naf(Atom::from_terms(&aux_wit, wit_uvars.clone())));
             if deletions.is_empty() {
                 self.program.add_constraint(no_wit_body);
@@ -411,7 +412,10 @@ impl Generator {
 
             // Choice rule when a witness exists (rule (9)).
             let mut choice_body = self.body_items(constraint, ann::TS);
-            choice_body.push(BodyItem::Naf(Atom::from_terms(&aux_sat, head_uvars.clone())));
+            choice_body.push(BodyItem::Naf(Atom::from_terms(
+                &aux_sat,
+                head_uvars.clone(),
+            )));
             for a in &fixed_heads {
                 choice_body.push(BodyItem::Pos(self.map_atom(a, ann::TD)));
             }
@@ -438,7 +442,10 @@ impl Generator {
             // No usable witness source: only deletions can repair the
             // violation.
             let mut body = self.body_items(constraint, ann::TS);
-            body.push(BodyItem::Naf(Atom::from_terms(&aux_sat, head_uvars.clone())));
+            body.push(BodyItem::Naf(Atom::from_terms(
+                &aux_sat,
+                head_uvars.clone(),
+            )));
             if deletions.is_empty() {
                 self.program.add_constraint(body);
             } else {
@@ -610,14 +617,19 @@ mod tests {
         let p = PeerId::new("P");
         let q = PeerId::new("Q");
         for (peer, rel) in [(&p, "R1"), (&p, "R2"), (&q, "S1"), (&q, "S2")] {
-            sys.add_relation(peer, RelationSchema::new(rel, &["x", "y"])).unwrap();
+            sys.add_relation(peer, RelationSchema::new(rel, &["x", "y"]))
+                .unwrap();
         }
         sys.insert(&p, "R1", Tuple::strs(["a", "b"])).unwrap();
         sys.insert(&q, "S1", Tuple::strs(["c", "b"])).unwrap();
         sys.insert(&q, "S2", Tuple::strs(["c", "e"])).unwrap();
         sys.insert(&q, "S2", Tuple::strs(["c", "f"])).unwrap();
-        sys.add_dec(&p, &q, mixed_referential("sigma3", "R1", "S1", "R2", "S2").unwrap())
-            .unwrap();
+        sys.add_dec(
+            &p,
+            &q,
+            mixed_referential("sigma3", "R1", "S1", "R2", "S2").unwrap(),
+        )
+        .unwrap();
         sys.set_trust(&p, TrustLevel::Less, &q).unwrap();
 
         let spec = annotated_program(&sys, &p).unwrap();
@@ -653,13 +665,18 @@ mod tests {
         let p = PeerId::new("P");
         let q = PeerId::new("Q");
         for (peer, rel) in [(&p, "R1"), (&p, "R2"), (&q, "S1"), (&q, "S2")] {
-            sys.add_relation(peer, RelationSchema::new(rel, &["x", "y"])).unwrap();
+            sys.add_relation(peer, RelationSchema::new(rel, &["x", "y"]))
+                .unwrap();
         }
         sys.insert(&p, "R1", Tuple::strs(["a", "b"])).unwrap();
         sys.insert(&q, "S1", Tuple::strs(["c", "b"])).unwrap();
         // No S2 tuples for key c: rule (6) applies, R1(a, b) must go.
-        sys.add_dec(&p, &q, mixed_referential("sigma3", "R1", "S1", "R2", "S2").unwrap())
-            .unwrap();
+        sys.add_dec(
+            &p,
+            &q,
+            mixed_referential("sigma3", "R1", "S1", "R2", "S2").unwrap(),
+        )
+        .unwrap();
         sys.set_trust(&p, TrustLevel::Less, &q).unwrap();
 
         let spec = annotated_program(&sys, &p).unwrap();
@@ -673,8 +690,11 @@ mod tests {
     fn local_ic_constraints_are_enforced() {
         let mut sys = example1_system();
         let p1 = PeerId::new("P1");
-        sys.add_local_ic(&p1, constraints::builders::key_denial("fd_r1", "R1").unwrap())
-            .unwrap();
+        sys.add_local_ic(
+            &p1,
+            constraints::builders::key_denial("fd_r1", "R1").unwrap(),
+        )
+        .unwrap();
         let spec = annotated_program(&sys, &p1).unwrap();
         let sets = AnswerSets::compute(&spec.program, SolverConfig::default()).unwrap();
         let solutions = spec.solution_databases(&sets).unwrap();
@@ -694,8 +714,10 @@ mod tests {
         sys.add_peer("B").unwrap();
         let a = PeerId::new("A");
         let b = PeerId::new("B");
-        sys.add_relation(&a, RelationSchema::new("RA", &["x"])).unwrap();
-        sys.add_relation(&b, RelationSchema::new("RB", &["x"])).unwrap();
+        sys.add_relation(&a, RelationSchema::new("RA", &["x"]))
+            .unwrap();
+        sys.add_relation(&b, RelationSchema::new("RB", &["x"]))
+            .unwrap();
         sys.insert(&a, "RA", Tuple::strs(["v"])).unwrap();
         sys.insert(&b, "RB", Tuple::strs(["v"])).unwrap();
         sys.add_dec(

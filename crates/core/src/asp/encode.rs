@@ -143,7 +143,10 @@ mod tests {
     #[test]
     fn integer_values_round_trip() {
         let mut db = Database::new();
-        db.add_relation(relalg::Relation::new(relalg::RelationSchema::new("N", &["x"])));
+        db.add_relation(relalg::Relation::new(relalg::RelationSchema::new(
+            "N",
+            &["x"],
+        )));
         db.insert("N", Tuple::ints([42])).unwrap();
         let decoder = ValueDecoder::for_database(&db);
         assert_eq!(decoder.decode("42"), Value::int(42));

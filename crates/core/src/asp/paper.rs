@@ -63,11 +63,17 @@ pub fn section31_program(r1: &[Tuple], r2: &[Tuple], s1: &[Tuple], s2: &[Tuple])
     // (4) and (5): copy rules with deletion exceptions.
     p.add_rule(Rule::new(
         vec![head("r1p", &["X", "Y"])],
-        vec![pos("r1", &["X", "Y"]), BodyItem::Naf(Atom::new("r1p", &["X", "Y"]).strongly_negated())],
+        vec![
+            pos("r1", &["X", "Y"]),
+            BodyItem::Naf(Atom::new("r1p", &["X", "Y"]).strongly_negated()),
+        ],
     ));
     p.add_rule(Rule::new(
         vec![head("r2p", &["X", "Y"])],
-        vec![pos("r2", &["X", "Y"]), BodyItem::Naf(Atom::new("r2p", &["X", "Y"]).strongly_negated())],
+        vec![
+            pos("r2", &["X", "Y"]),
+            BodyItem::Naf(Atom::new("r2p", &["X", "Y"]).strongly_negated()),
+        ],
     ));
     // (6): delete R1(x, y) when the violation cannot be fixed by insertion.
     p.add_rule(Rule::new(
@@ -128,11 +134,17 @@ pub fn example4_program(
     // (4), (5): copy rules for P's relations.
     p.add_rule(Rule::new(
         vec![head("r1p", &["X", "Y"])],
-        vec![pos("r1", &["X", "Y"]), BodyItem::Naf(Atom::new("r1p", &["X", "Y"]).strongly_negated())],
+        vec![
+            pos("r1", &["X", "Y"]),
+            BodyItem::Naf(Atom::new("r1p", &["X", "Y"]).strongly_negated()),
+        ],
     ));
     p.add_rule(Rule::new(
         vec![head("r2p", &["X", "Y"])],
-        vec![pos("r2", &["X", "Y"]), BodyItem::Naf(Atom::new("r2p", &["X", "Y"]).strongly_negated())],
+        vec![
+            pos("r2", &["X", "Y"]),
+            BodyItem::Naf(Atom::new("r2p", &["X", "Y"]).strongly_negated()),
+        ],
     ));
     // (7), (8): auxiliary predicates (unchanged).
     p.add_rule(Rule::new(
@@ -173,7 +185,10 @@ pub fn example4_program(
     // (12): S1's own tuples survive unless deleted.
     p.add_rule(Rule::new(
         vec![head("s1p", &["X", "Y"])],
-        vec![pos("s1", &["X", "Y"]), BodyItem::Naf(Atom::new("s1p", &["X", "Y"]).strongly_negated())],
+        vec![
+            pos("s1", &["X", "Y"]),
+            BodyItem::Naf(Atom::new("s1p", &["X", "Y"]).strongly_negated()),
+        ],
     ));
     // (13): Q imports C's relation U into S1.
     p.add_rule(Rule::new(
@@ -186,12 +201,7 @@ pub fn example4_program(
 /// The appendix LAV program for the Section 3.1 instance, with annotation
 /// constants as an extra argument and the choice operator already unfolded
 /// into its stable version (`chosen` / `diffchoice`), exactly as printed.
-pub fn appendix_lav_program(
-    r1: &[Tuple],
-    r2: &[Tuple],
-    s1: &[Tuple],
-    s2: &[Tuple],
-) -> Program {
+pub fn appendix_lav_program(r1: &[Tuple], r2: &[Tuple], s1: &[Tuple], s2: &[Tuple]) -> Program {
     let mut p = Program::new();
     add_facts(&mut p, "r1", r1);
     add_facts(&mut p, "r2", r2);
@@ -221,7 +231,10 @@ pub fn appendix_lav_program(
             vec![head(prime, &["X", "Y", "tss"])],
             vec![pos(prime, &["X", "Y", "ta"])],
         ));
-        p.add_constraint(vec![pos(prime, &["X", "Y", "ta"]), pos(prime, &["X", "Y", "fa"])]);
+        p.add_constraint(vec![
+            pos(prime, &["X", "Y", "ta"]),
+            pos(prime, &["X", "Y", "fa"]),
+        ]);
     }
 
     // Violation / repair rules of the appendix.
@@ -248,7 +261,10 @@ pub fn appendix_lav_program(
     //   R1(X,Y,fa) ∨ R2(X,W,ta) ← R1(X,Y,td), S1(Z,Y,td), not aux1(X,Z),
     //                              S2(Z,W,td), chosen(X,Z,W).
     p.add_rule(Rule::new(
-        vec![head("r1p", &["X", "Y", "fa"]), head("r2p", &["X", "W", "ta"])],
+        vec![
+            head("r1p", &["X", "Y", "fa"]),
+            head("r2p", &["X", "W", "ta"]),
+        ],
         vec![
             pos("r1p", &["X", "Y", "td"]),
             pos("s1p", &["Z", "Y", "td"]),
@@ -306,7 +322,8 @@ mod tests {
         // R2(a,e) / R2(a,f).
         assert_eq!(sets.len(), 4);
         // Solutions = primed contents; collect the distinct (r1p, r2p) pairs.
-        let mut shapes: BTreeSet<(Vec<Vec<String>>, Vec<Vec<String>>)> = BTreeSet::new();
+        type RelationContents = Vec<Vec<String>>;
+        let mut shapes: BTreeSet<(RelationContents, RelationContents)> = BTreeSet::new();
         for i in 0..sets.len() {
             let r1p: Vec<Vec<String>> = sets
                 .tuples_in(i, "r1p")
@@ -432,9 +449,6 @@ mod tests {
             }
         }
         assert_eq!(kept_r1, 2);
-        assert_eq!(
-            inserted,
-            BTreeSet::from(["e".to_string(), "f".to_string()])
-        );
+        assert_eq!(inserted, BTreeSet::from(["e".to_string(), "f".to_string()]));
     }
 }

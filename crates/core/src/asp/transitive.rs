@@ -222,14 +222,19 @@ mod tests {
         let q = PeerId::new("Q");
         let c = PeerId::new("C");
         for (peer, rel) in [(&p, "R1"), (&p, "R2"), (&q, "S1"), (&q, "S2"), (&c, "U")] {
-            sys.add_relation(peer, RelationSchema::new(rel, &["x", "y"])).unwrap();
+            sys.add_relation(peer, RelationSchema::new(rel, &["x", "y"]))
+                .unwrap();
         }
         sys.insert(&p, "R1", Tuple::strs(["a", "b"])).unwrap();
         sys.insert(&q, "S2", Tuple::strs(["c", "e"])).unwrap();
         sys.insert(&q, "S2", Tuple::strs(["c", "f"])).unwrap();
         sys.insert(&c, "U", Tuple::strs(["c", "b"])).unwrap();
-        sys.add_dec(&p, &q, mixed_referential("sigma_p_q", "R1", "S1", "R2", "S2").unwrap())
-            .unwrap();
+        sys.add_dec(
+            &p,
+            &q,
+            mixed_referential("sigma_p_q", "R1", "S1", "R2", "S2").unwrap(),
+        )
+        .unwrap();
         sys.add_dec(&q, &c, full_inclusion("sigma_q_c", "U", "S1", 2).unwrap())
             .unwrap();
         sys.set_trust(&p, TrustLevel::Less, &q).unwrap();
@@ -320,11 +325,14 @@ mod tests {
         let b = PeerId::new("B");
         let c = PeerId::new("C");
         for (peer, rel) in [(&a, "RA"), (&b, "RB"), (&c, "RC")] {
-            sys.add_relation(peer, RelationSchema::new(rel, &["x"])).unwrap();
+            sys.add_relation(peer, RelationSchema::new(rel, &["x"]))
+                .unwrap();
         }
         sys.insert(&c, "RC", Tuple::strs(["v"])).unwrap();
-        sys.add_dec(&a, &b, full_inclusion("dab", "RB", "RA", 1).unwrap()).unwrap();
-        sys.add_dec(&b, &c, full_inclusion("dbc", "RC", "RB", 1).unwrap()).unwrap();
+        sys.add_dec(&a, &b, full_inclusion("dab", "RB", "RA", 1).unwrap())
+            .unwrap();
+        sys.add_dec(&b, &c, full_inclusion("dbc", "RC", "RB", 1).unwrap())
+            .unwrap();
         sys.set_trust(&a, TrustLevel::Less, &b).unwrap();
         sys.set_trust(&b, TrustLevel::Less, &c).unwrap();
 

@@ -1,0 +1,1203 @@
+//! The unified query-answering facade.
+//!
+//! The paper defines exactly one semantics — *peer consistent answers*
+//! (Definition 5) — but offers several mechanisms for computing them: naive
+//! solution enumeration, first-order query rewriting (Example 2), cautious
+//! reasoning over the answer-set specification program (Section 3.2) and the
+//! transitive composition of Section 4.3. Historically each mechanism was a
+//! free function with its own signature and result struct; every caller had
+//! to hand-roll dispatch. [`QueryEngine`] replaces that with one facade:
+//!
+//! ```
+//! use pdes_core::engine::{QueryEngine, Strategy};
+//! use pdes_core::pca::vars;
+//! use pdes_core::system::{example1_system, PeerId};
+//! use relalg::query::Formula;
+//!
+//! let engine = QueryEngine::builder(example1_system())
+//!     .strategy(Strategy::Auto)
+//!     .build();
+//! let answers = engine
+//!     .answer(&PeerId::new("P1"), &Formula::atom("R1", vec!["X", "Y"]), &vars(&["X", "Y"]))
+//!     .unwrap();
+//! assert_eq!(answers.len(), 3); // (a,b), (c,d), (a,e)
+//! ```
+//!
+//! Every strategy returns the same [`Answers`] type: the certain tuples plus
+//! per-run [`EngineStats`] (strategy chosen, grounding/solve timings, world
+//! counts, cache behaviour) and a mechanism-specific [`Provenance`].
+//!
+//! ## Strategy selection
+//!
+//! [`Strategy::Auto`] (the default) statically checks whether the queried
+//! peer's DECs fall in the rewritable class of Example 2 — full inclusion
+//! DECs towards more-trusted peers plus binary key-agreement DECs towards
+//! same-trusted peers, and no local ICs — via
+//! [`crate::rewriting::supports_peer`], and picks the first-order rewriting
+//! when they do (and the query is positive existential), falling back to the
+//! general ASP mechanism otherwise.
+//!
+//! ## Memoization
+//!
+//! The engine owns its (immutable) system, which makes per-peer preparation
+//! cacheable: the naive strategy's enumerated solutions, the ASP strategies'
+//! *grounded and solved* specification programs (decoded into per-world
+//! databases) and the rewriting strategy's materialized global instance are
+//! all computed once per `(engine, peer)` and reused across queries. A
+//! repeated query against the same peer therefore skips spec generation,
+//! grounding and stable-model search entirely and only re-runs the cheap
+//! per-world query evaluation — the hot path of the benchmark suite.
+//!
+//! Skipping the solver on repeat queries is sound because the appended query
+//! rules of the legacy path are non-disjunctive, positive definitions layered
+//! on top of the solution predicates: they never change the answer sets, so
+//! cautious reasoning over `spec ∪ query` coincides with evaluating the query
+//! over each decoded solution world and intersecting.
+
+use crate::error::CoreError;
+use crate::pca::vars;
+use crate::rewriting;
+use crate::solution::{solutions_with_stats, SolutionOptions, SolutionStats};
+use crate::system::{P2PSystem, PeerId};
+use crate::Result;
+use datalog::reason::AnswerSets;
+use datalog::solve::solve_ground;
+use datalog::{Grounder, SolverConfig};
+use relalg::query::{Formula, QueryEvaluator};
+use relalg::{Database, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The strategy a [`QueryEngine`] uses to answer queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Pick per query: rewriting when the peer's DECs are statically
+    /// rewritable and the query is positive existential, ASP otherwise.
+    #[default]
+    Auto,
+    /// Naive solution enumeration (Definitions 4 and 5) — the semantic
+    /// reference.
+    Naive,
+    /// First-order query rewriting (Example 2) over the original instances.
+    Rewriting,
+    /// Cautious reasoning over the annotated specification program
+    /// (Section 3.2 / 4.2).
+    Asp,
+    /// Cautious reasoning over the combined transitive program
+    /// (Section 4.3).
+    TransitiveAsp,
+}
+
+/// The mechanism that actually answered a query (the resolution of
+/// [`Strategy::Auto`], or the fixed strategy itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StrategyKind {
+    /// Naive solution enumeration.
+    Naive,
+    /// First-order rewriting.
+    Rewriting,
+    /// Direct ASP specification.
+    Asp,
+    /// Transitive (global) ASP specification.
+    TransitiveAsp,
+    /// A user-supplied [`AnsweringStrategy`].
+    Custom,
+}
+
+impl StrategyKind {
+    /// Stable human-readable label (also used by the benchmark tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            StrategyKind::Naive => "naive-solutions",
+            StrategyKind::Rewriting => "rewriting",
+            StrategyKind::Asp => "asp",
+            StrategyKind::TransitiveAsp => "asp-transitive",
+            StrategyKind::Custom => "custom",
+        }
+    }
+}
+
+/// Per-run statistics of one answered query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// The mechanism that answered the query.
+    pub strategy: StrategyKind,
+    /// Whether the per-peer preparation (solution enumeration / grounding +
+    /// solving / global instance) was served from the engine cache.
+    pub cache_hit: bool,
+    /// Total preparation time in microseconds (0 on a cache hit).
+    pub prepare_micros: u128,
+    /// Grounding time in microseconds (ASP strategies only).
+    pub ground_micros: u128,
+    /// Stable-model search time in microseconds (ASP strategies only).
+    pub solve_micros: u128,
+    /// Query evaluation time in microseconds.
+    pub eval_micros: u128,
+    /// Number of worlds the answer is certain over: solutions (naive),
+    /// answer sets (ASP), or 1 (rewriting).
+    pub worlds: usize,
+}
+
+/// Mechanism-specific evidence attached to an [`Answers`], replacing the
+/// legacy `PcaResult` / `RewritingAnswer` / `AspAnswer` structs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Provenance {
+    /// Solution enumeration: how many solutions, and the repair search
+    /// statistics.
+    Naive {
+        /// Number of solutions of the queried peer.
+        solution_count: usize,
+        /// Two-stage repair search statistics.
+        search: SolutionStats,
+    },
+    /// First-order rewriting: the rewritten query that was evaluated.
+    Rewriting {
+        /// The rewriting of the original query (Example 2's `Q''`).
+        rewritten: Formula,
+    },
+    /// Cautious reasoning over the direct specification program.
+    Asp {
+        /// Number of answer sets (= solutions) of the specification.
+        answer_set_count: usize,
+        /// Branch nodes explored by the solver.
+        branch_nodes: usize,
+        /// Whether the HCF shift applied.
+        used_shift: bool,
+    },
+    /// Cautious reasoning over the combined transitive program.
+    TransitiveAsp {
+        /// Number of answer sets of the combined program.
+        answer_set_count: usize,
+        /// Branch nodes explored by the solver.
+        branch_nodes: usize,
+        /// Whether the HCF shift applied.
+        used_shift: bool,
+    },
+    /// A user-supplied strategy.
+    Custom {
+        /// The strategy's self-reported name.
+        strategy: String,
+    },
+}
+
+/// The unified result of answering a query through the engine.
+#[derive(Debug, Clone)]
+pub struct Answers {
+    /// The peer consistent answers (certain tuples).
+    pub tuples: BTreeSet<Tuple>,
+    /// Per-run statistics.
+    pub stats: EngineStats,
+    /// Mechanism-specific evidence.
+    pub provenance: Provenance,
+}
+
+impl Answers {
+    /// Number of certain tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when no tuple is certain.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Iterate over the certain tuples in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+}
+
+/// A pluggable answering mechanism. The four built-in strategies implement
+/// this trait; downstream code can supply its own via
+/// [`QueryEngineBuilder::custom_strategy`] (e.g. to try an approximation or
+/// an external solver) and still get the unified [`Answers`] surface.
+pub trait AnsweringStrategy: Send + Sync {
+    /// Short identifying name (appears in [`Provenance::Custom`]).
+    fn name(&self) -> &'static str;
+
+    /// Can this strategy answer the given query to the given peer? The
+    /// engine consults this before dispatching to a custom strategy
+    /// (returning [`CoreError::Unsupported`] when it says no), and
+    /// [`Strategy::Auto`] uses the rewriting strategy's answer to decide
+    /// between rewriting and ASP. `answer` may still return an error for
+    /// conditions only discoverable while answering.
+    fn supports(&self, engine: &QueryEngine, peer: &PeerId, query: &Formula) -> bool;
+
+    /// Compute the peer consistent answers.
+    fn answer(
+        &self,
+        engine: &QueryEngine,
+        peer: &PeerId,
+        query: &Formula,
+        free_vars: &[String],
+    ) -> Result<Answers>;
+}
+
+/// Builder for [`QueryEngine`].
+pub struct QueryEngineBuilder {
+    system: P2PSystem,
+    strategy: Strategy,
+    custom: Option<Box<dyn AnsweringStrategy>>,
+    solver_config: SolverConfig,
+    solution_options: SolutionOptions,
+}
+
+impl QueryEngineBuilder {
+    /// The default answering strategy (defaults to [`Strategy::Auto`]).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Configuration handed to the answer-set solver (ASP strategies).
+    pub fn solver_config(mut self, config: SolverConfig) -> Self {
+        self.solver_config = config;
+        self
+    }
+
+    /// Options handed to the repair search (naive strategy).
+    pub fn solution_options(mut self, options: SolutionOptions) -> Self {
+        self.solution_options = options;
+        self
+    }
+
+    /// Install a user-supplied strategy; it takes precedence over the
+    /// configured [`Strategy`] for every query.
+    pub fn custom_strategy(mut self, strategy: Box<dyn AnsweringStrategy>) -> Self {
+        self.custom = Some(strategy);
+        self
+    }
+
+    /// Finish the builder.
+    pub fn build(self) -> QueryEngine {
+        QueryEngine {
+            system: self.system,
+            strategy: self.strategy,
+            custom: self.custom,
+            solver_config: self.solver_config,
+            solution_options: self.solution_options,
+            cache: Mutex::new(EngineCache::default()),
+        }
+    }
+}
+
+/// Per-peer prepared state shared by repeated queries.
+#[derive(Default)]
+struct EngineCache {
+    /// Materialized global instance (rewriting strategy).
+    global: Option<Arc<Database>>,
+    /// Per-peer enumerated solutions, restricted to the peer (naive).
+    naive: BTreeMap<PeerId, Arc<PreparedWorlds>>,
+    /// Per-peer grounded + solved direct specification programs.
+    asp: BTreeMap<PeerId, Arc<PreparedWorlds>>,
+    /// Per-peer grounded + solved transitive programs.
+    transitive: BTreeMap<PeerId, Arc<PreparedWorlds>>,
+}
+
+/// The decoded worlds of one peer under one mechanism, plus how long the
+/// preparation took.
+struct PreparedWorlds {
+    /// One database per distinct world (solution / answer set).
+    databases: Vec<Database>,
+    /// World count before deduplication (matches the legacy result structs).
+    worlds: usize,
+    prepare_micros: u128,
+    ground_micros: u128,
+    solve_micros: u128,
+    /// Evidence template cloned into every answer served from this entry.
+    provenance: Provenance,
+}
+
+/// The unified query-answering facade over a P2P data exchange system.
+///
+/// Construct with [`QueryEngine::builder`]; answer queries with
+/// [`QueryEngine::answer`] (configured strategy) or
+/// [`QueryEngine::answer_with`] (explicit strategy, sharing the same cache).
+pub struct QueryEngine {
+    system: P2PSystem,
+    strategy: Strategy,
+    custom: Option<Box<dyn AnsweringStrategy>>,
+    solver_config: SolverConfig,
+    solution_options: SolutionOptions,
+    cache: Mutex<EngineCache>,
+}
+
+impl QueryEngine {
+    /// Start building an engine over `system`.
+    pub fn builder(system: P2PSystem) -> QueryEngineBuilder {
+        QueryEngineBuilder {
+            system,
+            strategy: Strategy::default(),
+            custom: None,
+            solver_config: SolverConfig::default(),
+            solution_options: SolutionOptions::default(),
+        }
+    }
+
+    /// An engine with all defaults ([`Strategy::Auto`]).
+    pub fn new(system: P2PSystem) -> Self {
+        QueryEngine::builder(system).build()
+    }
+
+    /// The system the engine answers over.
+    pub fn system(&self) -> &P2PSystem {
+        &self.system
+    }
+
+    /// The configured default strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The solver configuration used by the ASP strategies.
+    pub fn solver_config(&self) -> SolverConfig {
+        self.solver_config
+    }
+
+    /// The repair-search options used by the naive strategy.
+    pub fn solution_options(&self) -> SolutionOptions {
+        self.solution_options
+    }
+
+    /// Resolve which mechanism a query would run under the given strategy
+    /// (the [`Strategy::Auto`] decision, made static and inspectable).
+    pub fn resolve(&self, strategy: Strategy, peer: &PeerId, query: &Formula) -> StrategyKind {
+        match strategy {
+            Strategy::Naive => StrategyKind::Naive,
+            Strategy::Rewriting => StrategyKind::Rewriting,
+            Strategy::Asp => StrategyKind::Asp,
+            Strategy::TransitiveAsp => StrategyKind::TransitiveAsp,
+            Strategy::Auto => {
+                if RewritingStrategy.supports(self, peer, query) {
+                    StrategyKind::Rewriting
+                } else {
+                    StrategyKind::Asp
+                }
+            }
+        }
+    }
+
+    /// Answer `query` (with answer variables `free_vars`) posed to `peer`
+    /// using the engine's configured strategy.
+    pub fn answer(&self, peer: &PeerId, query: &Formula, free_vars: &[String]) -> Result<Answers> {
+        if let Some(custom) = &self.custom {
+            if !custom.supports(self, peer, query) {
+                return Err(CoreError::Unsupported(format!(
+                    "strategy `{}` does not support this query",
+                    custom.name()
+                )));
+            }
+            return custom.answer(self, peer, query, free_vars);
+        }
+        self.answer_with(self.strategy, peer, query, free_vars)
+    }
+
+    /// Answer with an explicit strategy, sharing this engine's cache. This is
+    /// how cross-mechanism comparisons (tests, benchmarks, the examples) run
+    /// every mechanism against one system without re-preparing it.
+    pub fn answer_with(
+        &self,
+        strategy: Strategy,
+        peer: &PeerId,
+        query: &Formula,
+        free_vars: &[String],
+    ) -> Result<Answers> {
+        let kind = self.resolve(strategy, peer, query);
+        let built_in: &dyn AnsweringStrategy = match kind {
+            StrategyKind::Naive => &NaiveStrategy,
+            StrategyKind::Rewriting => &RewritingStrategy,
+            StrategyKind::Asp => &AspStrategy,
+            StrategyKind::TransitiveAsp => &TransitiveAspStrategy,
+            StrategyKind::Custom => unreachable!("resolve never yields Custom"),
+        };
+        built_in.answer(self, peer, query, free_vars)
+    }
+
+    /// Convenience wrapper: answer variables by name.
+    pub fn answer_named(
+        &self,
+        peer: &PeerId,
+        query: &Formula,
+        free_vars: &[&str],
+    ) -> Result<Answers> {
+        self.answer(peer, query, &vars(free_vars))
+    }
+
+    // ------------------------------------------------------------------
+    // Shared preparation (the memoized hot path).
+    // ------------------------------------------------------------------
+
+    /// The materialized global instance, computed once per engine.
+    /// Lock the cache, recovering from a poisoned mutex: the cache only
+    /// holds immutable prepared state behind `Arc`s, so observing it after a
+    /// panicked preparation is safe (the failed entry was never inserted).
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, EngineCache> {
+        self.cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn global_instance(&self) -> Result<(Arc<Database>, bool, u128)> {
+        if let Some(db) = &self.lock_cache().global {
+            return Ok((Arc::clone(db), true, 0));
+        }
+        // Materialize outside the lock; concurrent misses may duplicate the
+        // work but never block each other on it.
+        let start = Instant::now();
+        let db = Arc::new(self.system.global_instance()?);
+        let micros = start.elapsed().as_micros();
+        let mut cache = self.lock_cache();
+        let entry = cache.global.get_or_insert_with(|| Arc::clone(&db));
+        Ok((Arc::clone(entry), false, micros))
+    }
+
+    /// Enumerated solutions of `peer`, restricted to the peer's relations.
+    fn naive_worlds(&self, peer: &PeerId) -> Result<(Arc<PreparedWorlds>, bool)> {
+        if let Some(prepared) = self.lock_cache().naive.get(peer) {
+            return Ok((Arc::clone(prepared), true));
+        }
+        // Enumerate outside the lock (solution search can be expensive).
+        let start = Instant::now();
+        let (solutions, search) = solutions_with_stats(&self.system, peer, self.solution_options)?;
+        let mut databases = Vec::with_capacity(solutions.len());
+        for solution in &solutions {
+            databases.push(self.system.restrict_to_peer(&solution.database, peer)?);
+        }
+        let prepared = Arc::new(PreparedWorlds {
+            worlds: solutions.len(),
+            databases,
+            prepare_micros: start.elapsed().as_micros(),
+            ground_micros: 0,
+            solve_micros: 0,
+            provenance: Provenance::Naive {
+                solution_count: solutions.len(),
+                search,
+            },
+        });
+        let prepared = Arc::clone(
+            self.lock_cache()
+                .naive
+                .entry(peer.clone())
+                .or_insert(prepared),
+        );
+        Ok((prepared, false))
+    }
+
+    /// Grounded + solved specification program of `peer` (direct or
+    /// transitive), decoded into per-world databases.
+    fn asp_worlds(&self, peer: &PeerId, transitive: bool) -> Result<(Arc<PreparedWorlds>, bool)> {
+        {
+            let mut cache = self.lock_cache();
+            let slot = if transitive {
+                &mut cache.transitive
+            } else {
+                &mut cache.asp
+            };
+            if let Some(prepared) = slot.get(peer) {
+                return Ok((Arc::clone(prepared), true));
+            }
+        }
+        // Ground and solve outside the lock: stable-model search is the
+        // expensive phase and must not serialize unrelated queries.
+        let start = Instant::now();
+        let prepared = Arc::new(if transitive {
+            let spec = crate::asp::transitive_program(&self.system, peer)?;
+            let (sets, ground_micros, solve_micros) =
+                solve_spec(&spec.program, self.solver_config)?;
+            let databases = spec.solution_databases(&self.system, &sets)?;
+            PreparedWorlds {
+                worlds: sets.len(),
+                databases,
+                prepare_micros: start.elapsed().as_micros(),
+                ground_micros,
+                solve_micros,
+                provenance: Provenance::TransitiveAsp {
+                    answer_set_count: sets.len(),
+                    branch_nodes: sets.branch_nodes,
+                    used_shift: sets.used_shift,
+                },
+            }
+        } else {
+            let spec = crate::asp::annotated_program(&self.system, peer)?;
+            let (sets, ground_micros, solve_micros) =
+                solve_spec(&spec.program, self.solver_config)?;
+            let databases = spec.solution_databases(&sets)?;
+            PreparedWorlds {
+                worlds: sets.len(),
+                databases,
+                prepare_micros: start.elapsed().as_micros(),
+                ground_micros,
+                solve_micros,
+                provenance: Provenance::Asp {
+                    answer_set_count: sets.len(),
+                    branch_nodes: sets.branch_nodes,
+                    used_shift: sets.used_shift,
+                },
+            }
+        });
+        let mut cache = self.lock_cache();
+        let slot = if transitive {
+            &mut cache.transitive
+        } else {
+            &mut cache.asp
+        };
+        let prepared = Arc::clone(slot.entry(peer.clone()).or_insert(prepared));
+        Ok((prepared, false))
+    }
+
+    /// Verify the query is expressed in the peer's own language `L(P)`.
+    fn check_language(&self, peer: &PeerId, query: &Formula) -> Result<()> {
+        let peer_data = self.system.peer(peer)?;
+        for relation in query.relations() {
+            if !peer_data.schema.contains(&relation) {
+                return Err(CoreError::UnknownRelation {
+                    peer: peer.to_string(),
+                    relation,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Intersect the query's answers over every prepared world.
+    fn certain_answers(
+        &self,
+        worlds: &PreparedWorlds,
+        query: &Formula,
+        free_vars: &[String],
+    ) -> Result<BTreeSet<Tuple>> {
+        let mut certain: Option<BTreeSet<Tuple>> = None;
+        for db in &worlds.databases {
+            let evaluator = QueryEvaluator::new(db);
+            let these = evaluator.answers(query, free_vars)?;
+            certain = Some(match certain {
+                None => these,
+                Some(acc) => acc.intersection(&these).cloned().collect(),
+            });
+        }
+        Ok(certain.unwrap_or_default())
+    }
+}
+
+/// Ground and solve a specification program, timing both phases. Mirrors
+/// `AnswerSets::compute`, split so the engine can report the two timings
+/// separately.
+fn solve_spec(
+    program: &datalog::Program,
+    config: SolverConfig,
+) -> Result<(AnswerSets, u128, u128)> {
+    let start = Instant::now();
+    let ground = Grounder::new(program).ground().map_err(CoreError::from)?;
+    let ground_micros = start.elapsed().as_micros();
+    let start = Instant::now();
+    let result = solve_ground(ground, config).map_err(CoreError::from)?;
+    let solve_micros = start.elapsed().as_micros();
+    let sets = result
+        .answer_sets
+        .iter()
+        .map(|s| result.ground.decode(s))
+        .collect();
+    Ok((
+        AnswerSets {
+            sets,
+            branch_nodes: result.branch_nodes,
+            used_shift: result.used_shift,
+        },
+        ground_micros,
+        solve_micros,
+    ))
+}
+
+/// Reject query features the logic-program translation does not support,
+/// mirroring the legacy ASP route.
+fn ensure_positive_existential(query: &Formula) -> Result<()> {
+    if rewriting::supports_query(query) {
+        Ok(())
+    } else {
+        Err(CoreError::Unsupported(
+            "the ASP query translation supports positive existential queries only".to_string(),
+        ))
+    }
+}
+
+/// Answer variables must be bound by a relational atom in every disjunct for
+/// the evaluation to be domain independent (same restriction as the legacy
+/// query-program translation).
+fn check_free_vars_bound(query: &Formula, free_vars: &[String]) -> Result<()> {
+    fn bound_everywhere(query: &Formula, var: &str) -> bool {
+        match query {
+            Formula::Atom { terms, .. } => terms.iter().any(|t| t.as_var() == Some(var)),
+            Formula::And(parts) => parts.iter().any(|p| bound_everywhere(p, var)),
+            Formula::Or(parts) => parts.iter().all(|p| bound_everywhere(p, var)),
+            Formula::Exists(_, inner) => bound_everywhere(inner, var),
+            _ => false,
+        }
+    }
+    for v in free_vars {
+        if !bound_everywhere(query, v) {
+            return Err(CoreError::Unsupported(format!(
+                "answer variable `{v}` is not bound by a relational atom in every disjunct"
+            )));
+        }
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// The four built-in strategies.
+// ----------------------------------------------------------------------
+
+/// Naive solution enumeration (Definition 5), wrapped for the engine.
+pub struct NaiveStrategy;
+
+impl AnsweringStrategy for NaiveStrategy {
+    fn name(&self) -> &'static str {
+        StrategyKind::Naive.label()
+    }
+
+    fn supports(&self, engine: &QueryEngine, peer: &PeerId, query: &Formula) -> bool {
+        engine.check_language(peer, query).is_ok()
+    }
+
+    fn answer(
+        &self,
+        engine: &QueryEngine,
+        peer: &PeerId,
+        query: &Formula,
+        free_vars: &[String],
+    ) -> Result<Answers> {
+        engine.check_language(peer, query)?;
+        let (worlds, cache_hit) = engine.naive_worlds(peer)?;
+        let start = Instant::now();
+        let tuples = engine.certain_answers(&worlds, query, free_vars)?;
+        Ok(Answers {
+            tuples,
+            stats: EngineStats {
+                strategy: StrategyKind::Naive,
+                cache_hit,
+                prepare_micros: if cache_hit { 0 } else { worlds.prepare_micros },
+                ground_micros: 0,
+                solve_micros: 0,
+                eval_micros: start.elapsed().as_micros(),
+                worlds: worlds.worlds,
+            },
+            provenance: worlds.provenance.clone(),
+        })
+    }
+}
+
+/// First-order rewriting (Example 2), wrapped for the engine.
+pub struct RewritingStrategy;
+
+impl AnsweringStrategy for RewritingStrategy {
+    fn name(&self) -> &'static str {
+        StrategyKind::Rewriting.label()
+    }
+
+    fn supports(&self, engine: &QueryEngine, peer: &PeerId, query: &Formula) -> bool {
+        engine.check_language(peer, query).is_ok()
+            && rewriting::supports_peer(engine.system(), peer)
+            && rewriting::supports_query(query)
+    }
+
+    fn answer(
+        &self,
+        engine: &QueryEngine,
+        peer: &PeerId,
+        query: &Formula,
+        free_vars: &[String],
+    ) -> Result<Answers> {
+        // Preparation is the (cached) global instance; the per-query rewrite
+        // is evaluation work, so `prepare_micros` stays 0 on a cache hit.
+        let (global, cache_hit, prepare_micros) = engine.global_instance()?;
+        let start = Instant::now();
+        let rewritten = rewriting::rewrite_query(engine.system(), peer, query)?;
+        let evaluator = QueryEvaluator::new(&global);
+        let tuples = evaluator
+            .answers(&rewritten, free_vars)
+            .map_err(CoreError::from)?;
+        Ok(Answers {
+            tuples,
+            stats: EngineStats {
+                strategy: StrategyKind::Rewriting,
+                cache_hit,
+                prepare_micros,
+                ground_micros: 0,
+                solve_micros: 0,
+                eval_micros: start.elapsed().as_micros(),
+                worlds: 1,
+            },
+            provenance: Provenance::Rewriting { rewritten },
+        })
+    }
+}
+
+/// Cautious reasoning over the direct specification program, wrapped for the
+/// engine.
+pub struct AspStrategy;
+
+impl AnsweringStrategy for AspStrategy {
+    fn name(&self) -> &'static str {
+        StrategyKind::Asp.label()
+    }
+
+    fn supports(&self, engine: &QueryEngine, peer: &PeerId, query: &Formula) -> bool {
+        engine.check_language(peer, query).is_ok() && rewriting::supports_query(query)
+    }
+
+    fn answer(
+        &self,
+        engine: &QueryEngine,
+        peer: &PeerId,
+        query: &Formula,
+        free_vars: &[String],
+    ) -> Result<Answers> {
+        engine.check_language(peer, query)?;
+        ensure_positive_existential(query)?;
+        check_free_vars_bound(query, free_vars)?;
+        let (worlds, cache_hit) = engine.asp_worlds(peer, false)?;
+        let start = Instant::now();
+        let tuples = engine.certain_answers(&worlds, query, free_vars)?;
+        Ok(Answers {
+            tuples,
+            stats: EngineStats {
+                strategy: StrategyKind::Asp,
+                cache_hit,
+                prepare_micros: if cache_hit { 0 } else { worlds.prepare_micros },
+                ground_micros: if cache_hit { 0 } else { worlds.ground_micros },
+                solve_micros: if cache_hit { 0 } else { worlds.solve_micros },
+                eval_micros: start.elapsed().as_micros(),
+                worlds: worlds.worlds,
+            },
+            provenance: worlds.provenance.clone(),
+        })
+    }
+}
+
+/// Cautious reasoning over the combined transitive program, wrapped for the
+/// engine.
+pub struct TransitiveAspStrategy;
+
+impl AnsweringStrategy for TransitiveAspStrategy {
+    fn name(&self) -> &'static str {
+        StrategyKind::TransitiveAsp.label()
+    }
+
+    fn supports(&self, engine: &QueryEngine, peer: &PeerId, query: &Formula) -> bool {
+        engine.check_language(peer, query).is_ok() && rewriting::supports_query(query)
+    }
+
+    fn answer(
+        &self,
+        engine: &QueryEngine,
+        peer: &PeerId,
+        query: &Formula,
+        free_vars: &[String],
+    ) -> Result<Answers> {
+        engine.check_language(peer, query)?;
+        ensure_positive_existential(query)?;
+        check_free_vars_bound(query, free_vars)?;
+        let (worlds, cache_hit) = engine.asp_worlds(peer, true)?;
+        let start = Instant::now();
+        let tuples = engine.certain_answers(&worlds, query, free_vars)?;
+        Ok(Answers {
+            tuples,
+            stats: EngineStats {
+                strategy: StrategyKind::TransitiveAsp,
+                cache_hit,
+                prepare_micros: if cache_hit { 0 } else { worlds.prepare_micros },
+                ground_micros: if cache_hit { 0 } else { worlds.ground_micros },
+                solve_micros: if cache_hit { 0 } else { worlds.solve_micros },
+                eval_micros: start.elapsed().as_micros(),
+                worlds: worlds.worlds,
+            },
+            provenance: worlds.provenance.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{example1_system, TrustLevel};
+    use relalg::RelationSchema;
+
+    fn example1_engine(strategy: Strategy) -> QueryEngine {
+        QueryEngine::builder(example1_system())
+            .strategy(strategy)
+            .build()
+    }
+
+    fn r1_query() -> (Formula, Vec<String>) {
+        (Formula::atom("R1", vec!["X", "Y"]), vars(&["X", "Y"]))
+    }
+
+    fn expected_example1() -> BTreeSet<Tuple> {
+        BTreeSet::from([
+            Tuple::strs(["a", "b"]),
+            Tuple::strs(["c", "d"]),
+            Tuple::strs(["a", "e"]),
+        ])
+    }
+
+    #[test]
+    fn all_four_strategies_agree_on_example1() {
+        let p1 = PeerId::new("P1");
+        let (query, fv) = r1_query();
+        for strategy in [
+            Strategy::Naive,
+            Strategy::Rewriting,
+            Strategy::Asp,
+            Strategy::TransitiveAsp,
+        ] {
+            let engine = example1_engine(strategy);
+            let answers = engine.answer(&p1, &query, &fv).unwrap();
+            assert_eq!(answers.tuples, expected_example1(), "strategy {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn auto_selects_rewriting_on_the_example2_class() {
+        let engine = example1_engine(Strategy::Auto);
+        let p1 = PeerId::new("P1");
+        let (query, fv) = r1_query();
+        assert_eq!(
+            engine.resolve(Strategy::Auto, &p1, &query),
+            StrategyKind::Rewriting
+        );
+        let answers = engine.answer(&p1, &query, &fv).unwrap();
+        assert_eq!(answers.stats.strategy, StrategyKind::Rewriting);
+        assert!(matches!(answers.provenance, Provenance::Rewriting { .. }));
+        assert_eq!(answers.tuples, expected_example1());
+    }
+
+    #[test]
+    fn auto_falls_back_to_asp_on_referential_decs() {
+        use constraints::builders::mixed_referential;
+        let mut sys = P2PSystem::new();
+        sys.add_peer("P").unwrap();
+        sys.add_peer("Q").unwrap();
+        let p = PeerId::new("P");
+        let q = PeerId::new("Q");
+        for (peer, rel) in [(&p, "R1"), (&p, "R2"), (&q, "S1"), (&q, "S2")] {
+            sys.add_relation(peer, RelationSchema::new(rel, &["x", "y"]))
+                .unwrap();
+        }
+        sys.insert(&p, "R1", Tuple::strs(["a", "b"])).unwrap();
+        sys.insert(&q, "S1", Tuple::strs(["c", "b"])).unwrap();
+        sys.insert(&q, "S2", Tuple::strs(["c", "e"])).unwrap();
+        sys.add_dec(
+            &p,
+            &q,
+            mixed_referential("sigma3", "R1", "S1", "R2", "S2").unwrap(),
+        )
+        .unwrap();
+        sys.set_trust(&p, TrustLevel::Less, &q).unwrap();
+
+        let engine = QueryEngine::new(sys);
+        let query = Formula::atom("R1", vec!["X", "Y"]);
+        assert_eq!(
+            engine.resolve(Strategy::Auto, &p, &query),
+            StrategyKind::Asp
+        );
+        let answers = engine.answer(&p, &query, &vars(&["X", "Y"])).unwrap();
+        assert_eq!(answers.stats.strategy, StrategyKind::Asp);
+        assert!(matches!(answers.provenance, Provenance::Asp { .. }));
+    }
+
+    #[test]
+    fn auto_falls_back_to_asp_when_local_ics_exist() {
+        let mut sys = example1_system();
+        let p1 = PeerId::new("P1");
+        sys.add_local_ic(&p1, constraints::builders::key_denial("fd", "R1").unwrap())
+            .unwrap();
+        let engine = QueryEngine::new(sys);
+        let (query, _) = r1_query();
+        assert_eq!(
+            engine.resolve(Strategy::Auto, &p1, &query),
+            StrategyKind::Asp
+        );
+    }
+
+    #[test]
+    fn auto_falls_back_to_asp_on_non_positive_queries() {
+        let engine = example1_engine(Strategy::Auto);
+        let p1 = PeerId::new("P1");
+        let negated = Formula::not(Formula::atom("R1", vec!["X", "Y"]));
+        assert_eq!(
+            engine.resolve(Strategy::Auto, &p1, &negated),
+            StrategyKind::Asp
+        );
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let engine = example1_engine(Strategy::Asp);
+        let p1 = PeerId::new("P1");
+        let (query, fv) = r1_query();
+        let first = engine.answer(&p1, &query, &fv).unwrap();
+        assert!(!first.stats.cache_hit);
+        assert!(first.stats.prepare_micros > 0);
+        let second = engine.answer(&p1, &query, &fv).unwrap();
+        assert!(second.stats.cache_hit);
+        assert_eq!(second.stats.prepare_micros, 0);
+        assert_eq!(first.tuples, second.tuples);
+
+        // A different query against the same peer also skips preparation.
+        let projected = Formula::exists(vec!["Y"], Formula::atom("R1", vec!["X", "Y"]));
+        let third = engine.answer(&p1, &projected, &vars(&["X"])).unwrap();
+        assert!(third.stats.cache_hit);
+        assert_eq!(
+            third.tuples,
+            BTreeSet::from([Tuple::strs(["a"]), Tuple::strs(["c"])])
+        );
+    }
+
+    #[test]
+    fn naive_strategy_reports_solution_provenance() {
+        let engine = example1_engine(Strategy::Naive);
+        let p1 = PeerId::new("P1");
+        let (query, fv) = r1_query();
+        let answers = engine.answer(&p1, &query, &fv).unwrap();
+        assert_eq!(answers.stats.worlds, 2);
+        match &answers.provenance {
+            Provenance::Naive {
+                solution_count,
+                search,
+            } => {
+                assert_eq!(*solution_count, 2);
+                assert!(search.states_explored > 0);
+            }
+            other => panic!("unexpected provenance {other:?}"),
+        }
+    }
+
+    #[test]
+    fn asp_strategy_reports_model_counts_and_timings() {
+        let engine = example1_engine(Strategy::Asp);
+        let p1 = PeerId::new("P1");
+        let (query, fv) = r1_query();
+        let answers = engine.answer(&p1, &query, &fv).unwrap();
+        assert_eq!(answers.stats.worlds, 2);
+        assert!(answers.stats.ground_micros > 0);
+        match &answers.provenance {
+            Provenance::Asp {
+                answer_set_count,
+                used_shift,
+                ..
+            } => {
+                assert_eq!(*answer_set_count, 2);
+                assert!(used_shift);
+            }
+            other => panic!("unexpected provenance {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strategies_share_one_engine_via_answer_with() {
+        let engine = example1_engine(Strategy::Auto);
+        let p1 = PeerId::new("P1");
+        let (query, fv) = r1_query();
+        let mut results = Vec::new();
+        for strategy in [Strategy::Naive, Strategy::Rewriting, Strategy::Asp] {
+            results.push(
+                engine
+                    .answer_with(strategy, &p1, &query, &fv)
+                    .unwrap()
+                    .tuples,
+            );
+        }
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn language_and_fragment_violations_error() {
+        let engine = example1_engine(Strategy::Asp);
+        let p1 = PeerId::new("P1");
+        // Foreign relation.
+        let foreign = Formula::atom("R2", vec!["X", "Y"]);
+        assert!(matches!(
+            engine.answer(&p1, &foreign, &vars(&["X", "Y"])),
+            Err(CoreError::UnknownRelation { .. })
+        ));
+        // Negated query on the ASP route.
+        let negated = Formula::not(Formula::atom("R1", vec!["X", "Y"]));
+        assert!(matches!(
+            engine.answer_with(Strategy::Asp, &p1, &negated, &vars(&["X", "Y"])),
+            Err(CoreError::Unsupported(_))
+        ));
+        // Unbound answer variable.
+        let (query, _) = r1_query();
+        assert!(matches!(
+            engine.answer(&p1, &query, &vars(&["Z"])),
+            Err(CoreError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn no_solution_peers_have_no_certain_answers() {
+        let mut sys = P2PSystem::new();
+        sys.add_peer("A").unwrap();
+        sys.add_peer("B").unwrap();
+        let a = PeerId::new("A");
+        let b = PeerId::new("B");
+        sys.add_relation(&a, RelationSchema::new("RA", &["x"]))
+            .unwrap();
+        sys.add_relation(&b, RelationSchema::new("RB", &["x"]))
+            .unwrap();
+        sys.insert(&b, "RB", Tuple::strs(["v"])).unwrap();
+        sys.add_dec(
+            &a,
+            &b,
+            constraints::builders::full_inclusion("d", "RB", "RA", 1).unwrap(),
+        )
+        .unwrap();
+        sys.set_trust(&a, TrustLevel::Less, &b).unwrap();
+        sys.add_local_ic(
+            &a,
+            constraints::Constraint::new(
+                "empty_ra",
+                vec![constraints::AtomPattern::parse("RA", &["X"])],
+                vec![],
+                constraints::ConstraintHead::False,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let engine = QueryEngine::new(sys);
+        let query = Formula::atom("RA", vec!["X"]);
+        for strategy in [Strategy::Naive, Strategy::Asp] {
+            let answers = engine
+                .answer_with(strategy, &a, &query, &vars(&["X"]))
+                .unwrap();
+            assert_eq!(answers.stats.worlds, 0, "strategy {strategy:?}");
+            assert!(answers.is_empty());
+        }
+    }
+
+    #[test]
+    fn custom_strategies_plug_in() {
+        struct Constant;
+        impl AnsweringStrategy for Constant {
+            fn name(&self) -> &'static str {
+                "constant"
+            }
+            fn supports(&self, _: &QueryEngine, _: &PeerId, _: &Formula) -> bool {
+                true
+            }
+            fn answer(
+                &self,
+                _: &QueryEngine,
+                _: &PeerId,
+                _: &Formula,
+                _: &[String],
+            ) -> Result<Answers> {
+                Ok(Answers {
+                    tuples: BTreeSet::from([Tuple::strs(["fixed"])]),
+                    stats: EngineStats {
+                        strategy: StrategyKind::Custom,
+                        cache_hit: false,
+                        prepare_micros: 0,
+                        ground_micros: 0,
+                        solve_micros: 0,
+                        eval_micros: 0,
+                        worlds: 1,
+                    },
+                    provenance: Provenance::Custom {
+                        strategy: "constant".to_string(),
+                    },
+                })
+            }
+        }
+        let engine = QueryEngine::builder(example1_system())
+            .custom_strategy(Box::new(Constant))
+            .build();
+        let (query, fv) = r1_query();
+        let answers = engine.answer(&PeerId::new("P1"), &query, &fv).unwrap();
+        assert_eq!(answers.stats.strategy, StrategyKind::Custom);
+        assert!(answers.contains(&Tuple::strs(["fixed"])));
+    }
+
+    #[test]
+    fn unsupportive_custom_strategies_are_not_dispatched() {
+        struct Never;
+        impl AnsweringStrategy for Never {
+            fn name(&self) -> &'static str {
+                "never"
+            }
+            fn supports(&self, _: &QueryEngine, _: &PeerId, _: &Formula) -> bool {
+                false
+            }
+            fn answer(
+                &self,
+                _: &QueryEngine,
+                _: &PeerId,
+                _: &Formula,
+                _: &[String],
+            ) -> Result<Answers> {
+                panic!("answer must not be reached when supports() is false");
+            }
+        }
+        let engine = QueryEngine::builder(example1_system())
+            .custom_strategy(Box::new(Never))
+            .build();
+        let (query, fv) = r1_query();
+        assert!(matches!(
+            engine.answer(&PeerId::new("P1"), &query, &fv),
+            Err(CoreError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn warm_rewriting_reports_zero_prepare_time() {
+        let engine = example1_engine(Strategy::Rewriting);
+        let p1 = PeerId::new("P1");
+        let (query, fv) = r1_query();
+        engine.answer(&p1, &query, &fv).unwrap();
+        let warm = engine.answer(&p1, &query, &fv).unwrap();
+        assert!(warm.stats.cache_hit);
+        assert_eq!(warm.stats.prepare_micros, 0);
+    }
+
+    #[test]
+    fn transitive_strategy_sees_chained_imports() {
+        use constraints::builders::full_inclusion;
+        let mut sys = P2PSystem::new();
+        for p in ["A", "B", "C"] {
+            sys.add_peer(p).unwrap();
+        }
+        let a = PeerId::new("A");
+        let b = PeerId::new("B");
+        let c = PeerId::new("C");
+        for (peer, rel) in [(&a, "RA"), (&b, "RB"), (&c, "RC")] {
+            sys.add_relation(peer, RelationSchema::new(rel, &["x"]))
+                .unwrap();
+        }
+        sys.insert(&c, "RC", Tuple::strs(["v"])).unwrap();
+        sys.add_dec(&a, &b, full_inclusion("dab", "RB", "RA", 1).unwrap())
+            .unwrap();
+        sys.add_dec(&b, &c, full_inclusion("dbc", "RC", "RB", 1).unwrap())
+            .unwrap();
+        sys.set_trust(&a, TrustLevel::Less, &b).unwrap();
+        sys.set_trust(&b, TrustLevel::Less, &c).unwrap();
+
+        let engine = QueryEngine::new(sys);
+        let query = Formula::atom("RA", vec!["X"]);
+        let direct = engine
+            .answer_with(Strategy::Asp, &a, &query, &vars(&["X"]))
+            .unwrap();
+        assert!(direct.is_empty());
+        let transitive = engine
+            .answer_with(Strategy::TransitiveAsp, &a, &query, &vars(&["X"]))
+            .unwrap();
+        assert_eq!(transitive.tuples, BTreeSet::from([Tuple::strs(["v"])]));
+    }
+}

@@ -79,8 +79,12 @@ mod tests {
 
     #[test]
     fn display_mentions_offending_names() {
-        assert!(CoreError::DuplicatePeer("P1".into()).to_string().contains("P1"));
-        assert!(CoreError::UnknownPeer("P9".into()).to_string().contains("P9"));
+        assert!(CoreError::DuplicatePeer("P1".into())
+            .to_string()
+            .contains("P1"));
+        assert!(CoreError::UnknownPeer("P9".into())
+            .to_string()
+            .contains("P9"));
         assert!(CoreError::Unsupported("negated query atoms".into())
             .to_string()
             .contains("negated"));

@@ -20,41 +20,77 @@
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use pdes_core::system::example1_system;
-//! use pdes_core::system::PeerId;
-//! use pdes_core::answer::answers_via_asp;
-//! use pdes_core::pca::vars;
-//! use relalg::query::Formula;
-//! use datalog::SolverConfig;
+//! All four mechanisms are served by one facade, [`engine::QueryEngine`]:
 //!
-//! let system = example1_system();
+//! ```
+//! use pdes_core::engine::{QueryEngine, Strategy};
+//! use pdes_core::pca::vars;
+//! use pdes_core::system::{example1_system, PeerId};
+//! use relalg::query::Formula;
+//!
+//! let engine = QueryEngine::builder(example1_system())
+//!     .strategy(Strategy::Auto)
+//!     .build();
 //! let query = Formula::atom("R1", vec!["X", "Y"]);
-//! let result = answers_via_asp(
-//!     &system,
-//!     &PeerId::new("P1"),
-//!     &query,
-//!     &vars(&["X", "Y"]),
-//!     SolverConfig::default(),
-//! )
-//! .unwrap();
-//! assert_eq!(result.answers.len(), 3); // (a,b), (c,d), (a,e)
+//! let answers = engine
+//!     .answer(&PeerId::new("P1"), &query, &vars(&["X", "Y"]))
+//!     .unwrap();
+//! assert_eq!(answers.len(), 3); // (a,b), (c,d), (a,e)
 //! ```
 
 pub mod answer;
 pub mod asp;
+pub mod engine;
 pub mod error;
 pub mod pca;
 pub mod rewriting;
 pub mod solution;
 pub mod system;
 
-pub use answer::{answers_via_asp, answers_via_transitive_asp, AspAnswer};
+pub use engine::{
+    AnsweringStrategy, Answers, EngineStats, Provenance, QueryEngine, QueryEngineBuilder, Strategy,
+    StrategyKind,
+};
 pub use error::CoreError;
-pub use pca::{peer_consistent_answers, PcaResult};
-pub use rewriting::{answers_by_rewriting, rewrite_query, RewritingAnswer};
-pub use solution::{solutions_for, Solution, SolutionOptions};
+pub use solution::{solutions_for, Solution, SolutionOptions, SolutionStats};
 pub use system::{example1_system, Dec, P2PSystem, Peer, PeerId, TrustLevel, TrustRelation};
+
+// Legacy per-mechanism entry points and result structs, superseded by
+// `engine::QueryEngine` / `engine::Answers`. Kept as deprecated re-exports
+// for one release; the module-level paths (`pca::…`, `rewriting::…`,
+// `answer::…`) remain available for code that wants a specific mechanism
+// without the facade.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `engine::Answers` / `engine::Provenance::Asp`"
+)]
+pub use answer::AspAnswer;
+#[deprecated(
+    since = "0.2.0",
+    note = "use `engine::QueryEngine` with `Strategy::Asp`"
+)]
+pub use answer::{answers_via_asp, answers_via_transitive_asp};
+#[deprecated(
+    since = "0.2.0",
+    note = "use `engine::QueryEngine` with `Strategy::Naive`"
+)]
+pub use pca::peer_consistent_answers;
+#[deprecated(
+    since = "0.2.0",
+    note = "use `engine::Answers` / `engine::Provenance::Naive`"
+)]
+pub use pca::PcaResult;
+#[deprecated(
+    since = "0.2.0",
+    note = "use `engine::QueryEngine` with `Strategy::Rewriting`"
+)]
+pub use rewriting::answers_by_rewriting;
+pub use rewriting::rewrite_query;
+#[deprecated(
+    since = "0.2.0",
+    note = "use `engine::Answers` / `engine::Provenance::Rewriting`"
+)]
+pub use rewriting::RewritingAnswer;
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, CoreError>;

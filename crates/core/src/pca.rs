@@ -86,9 +86,14 @@ mod tests {
         let sys = example1_system();
         let p1 = PeerId::new("P1");
         let q = Formula::atom("R1", vec!["X", "Y"]);
-        let result =
-            peer_consistent_answers(&sys, &p1, &q, &vars(&["X", "Y"]), SolutionOptions::default())
-                .unwrap();
+        let result = peer_consistent_answers(
+            &sys,
+            &p1,
+            &q,
+            &vars(&["X", "Y"]),
+            SolutionOptions::default(),
+        )
+        .unwrap();
         assert_eq!(result.solution_count, 2);
         assert_eq!(
             result.answers,
@@ -110,9 +115,14 @@ mod tests {
         let original = sys.peer(&p1).unwrap().instance.clone();
         assert!(!original.holds("R1", &Tuple::strs(["c", "d"])));
         let q = Formula::atom("R1", vec!["X", "Y"]);
-        let result =
-            peer_consistent_answers(&sys, &p1, &q, &vars(&["X", "Y"]), SolutionOptions::default())
-                .unwrap();
+        let result = peer_consistent_answers(
+            &sys,
+            &p1,
+            &q,
+            &vars(&["X", "Y"]),
+            SolutionOptions::default(),
+        )
+        .unwrap();
         assert!(result.answers.contains(&Tuple::strs(["c", "d"])));
     }
 
@@ -153,7 +163,8 @@ mod tests {
         let mut sys = P2PSystem::new();
         sys.add_peer("A").unwrap();
         let a = PeerId::new("A");
-        sys.add_relation(&a, RelationSchema::new("R", &["x"])).unwrap();
+        sys.add_relation(&a, RelationSchema::new("R", &["x"]))
+            .unwrap();
         sys.insert(&a, "R", Tuple::strs(["v"])).unwrap();
         let q = Formula::atom("R", vec!["X"]);
         let result =
@@ -170,8 +181,10 @@ mod tests {
         sys.add_peer("B").unwrap();
         let a = PeerId::new("A");
         let b = PeerId::new("B");
-        sys.add_relation(&a, RelationSchema::new("RA", &["x"])).unwrap();
-        sys.add_relation(&b, RelationSchema::new("RB", &["x"])).unwrap();
+        sys.add_relation(&a, RelationSchema::new("RA", &["x"]))
+            .unwrap();
+        sys.add_relation(&b, RelationSchema::new("RB", &["x"]))
+            .unwrap();
         sys.insert(&a, "RA", Tuple::strs(["w"])).unwrap();
         sys.insert(&b, "RB", Tuple::strs(["v"])).unwrap();
         sys.add_dec(

@@ -75,14 +75,25 @@ pub fn rewrite_query(system: &P2PSystem, peer: &PeerId, query: &Formula) -> Resu
             });
         }
     }
+    let rewrites = compile_rewrites(system, peer)?;
+    Ok(rewrite_formula(query, &rewrites))
+}
+
+/// Compile the per-relation rewrites from the peer's trusted DECs, refusing
+/// configurations outside the rewritable class (the Example 2 fragment:
+/// full inclusion DECs towards more-trusted peers, binary key-agreement DECs
+/// towards same-trusted peers, no local ICs).
+fn compile_rewrites(
+    system: &P2PSystem,
+    peer: &PeerId,
+) -> Result<std::collections::BTreeMap<String, RelationRewrite>> {
+    let peer_data = system.peer(peer)?;
     if !peer_data.local_ics.is_empty() {
         return Err(CoreError::Unsupported(
             "FO rewriting does not handle local integrity constraints; use the ASP mechanism"
                 .to_string(),
         ));
     }
-
-    // Compile the per-relation rewrites from the trusted DECs.
     let (less, same) = system.trusted_decs_of(peer);
     let mut rewrites: std::collections::BTreeMap<String, RelationRewrite> =
         std::collections::BTreeMap::new();
@@ -114,8 +125,21 @@ pub fn rewrite_query(system: &P2PSystem, peer: &PeerId, query: &Formula) -> Resu
             }
         }
     }
+    Ok(rewrites)
+}
 
-    Ok(rewrite_formula(query, &rewrites))
+/// Static rewritability check: does the peer's DEC/trust/IC configuration
+/// fall in the fragment [`rewrite_query`] supports, independent of any
+/// particular query? [`crate::engine::Strategy::Auto`] uses this to decide
+/// between rewriting and the ASP mechanism before running anything.
+pub fn supports_peer(system: &P2PSystem, peer: &PeerId) -> bool {
+    compile_rewrites(system, peer).is_ok()
+}
+
+/// Query-side companion of [`supports_peer`]: is the query in the positive
+/// existential fragment the rewriting handles?
+pub fn supports_query(query: &Formula) -> bool {
+    ensure_positive(query).is_ok()
 }
 
 /// Rewrite and evaluate: the standard answers of the rewritten query over the
@@ -138,16 +162,14 @@ pub fn answers_by_rewriting(
 fn ensure_positive(query: &Formula) -> Result<()> {
     match query {
         Formula::True | Formula::False | Formula::Atom { .. } | Formula::Compare { .. } => Ok(()),
-        Formula::And(parts) | Formula::Or(parts) => {
-            parts.iter().try_for_each(ensure_positive)
-        }
+        Formula::And(parts) | Formula::Or(parts) => parts.iter().try_for_each(ensure_positive),
         Formula::Exists(_, inner) => ensure_positive(inner),
-        Formula::Not(_) | Formula::Implies(_, _) | Formula::Forall(_, _) => Err(
-            CoreError::Unsupported(
+        Formula::Not(_) | Formula::Implies(_, _) | Formula::Forall(_, _) => {
+            Err(CoreError::Unsupported(
                 "FO rewriting supports positive existential queries only; use the ASP mechanism"
                     .to_string(),
-            ),
-        ),
+            ))
+        }
     }
 }
 
@@ -261,16 +283,16 @@ fn rewrite_atom(relation: &str, terms: &[Term], rw: &RelationRewrite) -> Formula
                     let z2 = format!("_Z2_{ci}_{ii}");
                     Formula::exists(
                         vec![z2.clone()],
-                        Formula::atom_terms(
-                            import.clone(),
-                            vec![key_term.clone(), Term::var(z2)],
-                        ),
+                        Formula::atom_terms(import.clone(), vec![key_term.clone(), Term::var(z2)]),
                     )
                 })
                 .collect(),
         );
         let antecedent = Formula::and(vec![
-            Formula::atom_terms(conflict.clone(), vec![key_term.clone(), Term::var(z1.clone())]),
+            Formula::atom_terms(
+                conflict.clone(),
+                vec![key_term.clone(), Term::var(z1.clone())],
+            ),
             Formula::not(protection),
         ]);
         guarded.push(Formula::forall(
@@ -340,9 +362,14 @@ mod tests {
         let sys = example1_system();
         let p1 = PeerId::new("P1");
         let q = Formula::atom("R1", vec!["X", "Y"]);
-        let semantic =
-            peer_consistent_answers(&sys, &p1, &q, &vars(&["X", "Y"]), SolutionOptions::default())
-                .unwrap();
+        let semantic = peer_consistent_answers(
+            &sys,
+            &p1,
+            &q,
+            &vars(&["X", "Y"]),
+            SolutionOptions::default(),
+        )
+        .unwrap();
         let rewritten = answers_by_rewriting(&sys, &p1, &q, &vars(&["X", "Y"])).unwrap();
         assert_eq!(semantic.answers, rewritten.answers);
     }
@@ -383,9 +410,9 @@ mod tests {
 
     #[test]
     fn referential_decs_are_not_supported_by_rewriting() {
+        use crate::system::TrustLevel;
         use constraints::builders::mixed_referential;
         use relalg::RelationSchema;
-        use crate::system::TrustLevel;
 
         let mut sys = P2PSystem::new();
         sys.add_peer("P").unwrap();
@@ -393,10 +420,15 @@ mod tests {
         let p = PeerId::new("P");
         let q = PeerId::new("Q");
         for (peer, rel) in [(&p, "R1"), (&p, "R2"), (&q, "S1"), (&q, "S2")] {
-            sys.add_relation(peer, RelationSchema::new(rel, &["x", "y"])).unwrap();
+            sys.add_relation(peer, RelationSchema::new(rel, &["x", "y"]))
+                .unwrap();
         }
-        sys.add_dec(&p, &q, mixed_referential("sigma3", "R1", "S1", "R2", "S2").unwrap())
-            .unwrap();
+        sys.add_dec(
+            &p,
+            &q,
+            mixed_referential("sigma3", "R1", "S1", "R2", "S2").unwrap(),
+        )
+        .unwrap();
         sys.set_trust(&p, TrustLevel::Less, &q).unwrap();
         let query = Formula::atom("R1", vec!["X", "Y"]);
         assert!(matches!(
@@ -410,10 +442,22 @@ mod tests {
         let sys = example1_system();
         let p1 = PeerId::new("P1");
         let q = Formula::atom("R1", vec!["X", "Y"]);
-        assert!(is_answer_by_rewriting(&sys, &p1, &q, &vars(&["X", "Y"]), &Tuple::strs(["a", "b"]))
-            .unwrap());
-        assert!(!is_answer_by_rewriting(&sys, &p1, &q, &vars(&["X", "Y"]), &Tuple::strs(["s", "t"]))
-            .unwrap());
+        assert!(is_answer_by_rewriting(
+            &sys,
+            &p1,
+            &q,
+            &vars(&["X", "Y"]),
+            &Tuple::strs(["a", "b"])
+        )
+        .unwrap());
+        assert!(!is_answer_by_rewriting(
+            &sys,
+            &p1,
+            &q,
+            &vars(&["X", "Y"]),
+            &Tuple::strs(["s", "t"])
+        )
+        .unwrap());
     }
 
     #[test]
@@ -421,7 +465,8 @@ mod tests {
         let mut sys = P2PSystem::new();
         sys.add_peer("A").unwrap();
         let a = PeerId::new("A");
-        sys.add_relation(&a, relalg::RelationSchema::new("R", &["x"])).unwrap();
+        sys.add_relation(&a, relalg::RelationSchema::new("R", &["x"]))
+            .unwrap();
         sys.insert(&a, "R", Tuple::strs(["v"])).unwrap();
         let q = Formula::atom("R", vec!["X"]);
         let rewritten = rewrite_query(&sys, &a, &q).unwrap();

@@ -86,10 +86,7 @@ pub fn solutions_with_stats(
     let same_constraints: Vec<Constraint> =
         same_decs.iter().map(|d| d.constraint.clone()).collect();
 
-    let all_relations: BTreeSet<String> = global
-        .relation_names()
-        .map(str::to_string)
-        .collect();
+    let all_relations: BTreeSet<String> = global.relation_names().map(str::to_string).collect();
     let own_relations = peer_data.relation_names();
     let same_relations = system.relations_same(peer);
     let limits = options.limits.unwrap_or_default();
@@ -168,14 +165,17 @@ pub fn is_already_solution(system: &P2PSystem, peer: &PeerId) -> Result<bool> {
     let (less, same) = system.trusted_decs_of(peer);
     let checker = ConstraintChecker::new(&global);
     for dec in less.iter().chain(same.iter()) {
-        if !checker.satisfied(&dec.constraint).map_err(CoreError::from)? {
+        if !checker
+            .satisfied(&dec.constraint)
+            .map_err(CoreError::from)?
+        {
             return Ok(false);
         }
     }
     let peer_data = system.peer(peer)?;
-    Ok(checker
+    checker
         .all_satisfied(peer_data.local_ics.iter())
-        .map_err(CoreError::from)?)
+        .map_err(CoreError::from)
 }
 
 #[cfg(test)]
@@ -241,8 +241,10 @@ mod tests {
         sys.add_peer("B").unwrap();
         let a = PeerId::new("A");
         let b = PeerId::new("B");
-        sys.add_relation(&a, RelationSchema::new("RA", &["x"])).unwrap();
-        sys.add_relation(&b, RelationSchema::new("RB", &["x"])).unwrap();
+        sys.add_relation(&a, RelationSchema::new("RA", &["x"]))
+            .unwrap();
+        sys.add_relation(&b, RelationSchema::new("RB", &["x"]))
+            .unwrap();
         sys.insert(&a, "RA", Tuple::strs(["v"])).unwrap();
         sys.insert(&b, "RB", Tuple::strs(["v"])).unwrap();
         sys.add_dec(
@@ -289,8 +291,11 @@ mod tests {
         // must go. (With the FD, keeping R1(a,b) is impossible.)
         let mut sys = example1_system();
         let p1 = PeerId::new("P1");
-        sys.add_local_ic(&p1, constraints::builders::key_denial("fd_r1", "R1").unwrap())
-            .unwrap();
+        sys.add_local_ic(
+            &p1,
+            constraints::builders::key_denial("fd_r1", "R1").unwrap(),
+        )
+        .unwrap();
         let solutions = solutions_for(&sys, &p1, SolutionOptions::default()).unwrap();
         assert!(!solutions.is_empty());
         for s in &solutions {
@@ -308,8 +313,10 @@ mod tests {
         sys.add_peer("B").unwrap();
         let a = PeerId::new("A");
         let b = PeerId::new("B");
-        sys.add_relation(&a, RelationSchema::new("RA", &["x"])).unwrap();
-        sys.add_relation(&b, RelationSchema::new("RB", &["x"])).unwrap();
+        sys.add_relation(&a, RelationSchema::new("RA", &["x"]))
+            .unwrap();
+        sys.add_relation(&b, RelationSchema::new("RB", &["x"]))
+            .unwrap();
         sys.insert(&b, "RB", Tuple::strs(["v"])).unwrap();
         sys.add_dec(
             &a,

@@ -271,7 +271,12 @@ impl P2PSystem {
     }
 
     /// Add a data exchange constraint owned by `owner` towards `other`.
-    pub fn add_dec(&mut self, owner: &PeerId, other: &PeerId, constraint: Constraint) -> Result<()> {
+    pub fn add_dec(
+        &mut self,
+        owner: &PeerId,
+        other: &PeerId,
+        constraint: Constraint,
+    ) -> Result<()> {
         for p in [owner, other] {
             if !self.peers.contains_key(p) {
                 return Err(CoreError::UnknownPeer(p.to_string()));
@@ -436,9 +441,12 @@ pub fn example1_system() -> P2PSystem {
     for p in [&p1, &p2, &p3] {
         sys.add_peer(p.clone()).expect("fresh peer");
     }
-    sys.add_relation(&p1, RelationSchema::new("R1", &["x", "y"])).unwrap();
-    sys.add_relation(&p2, RelationSchema::new("R2", &["x", "y"])).unwrap();
-    sys.add_relation(&p3, RelationSchema::new("R3", &["x", "y"])).unwrap();
+    sys.add_relation(&p1, RelationSchema::new("R1", &["x", "y"]))
+        .unwrap();
+    sys.add_relation(&p2, RelationSchema::new("R2", &["x", "y"]))
+        .unwrap();
+    sys.add_relation(&p3, RelationSchema::new("R3", &["x", "y"]))
+        .unwrap();
     for (peer, rel, a, b) in [
         (&p1, "R1", "a", "b"),
         (&p1, "R1", "s", "t"),
@@ -450,8 +458,12 @@ pub fn example1_system() -> P2PSystem {
         sys.insert(peer, rel, Tuple::strs([a, b])).unwrap();
     }
     // Σ(P1, P2): ∀xy (R2(x, y) → R1(x, y));  Σ(P1, P3): ∀xyz (R1(x,y) ∧ R3(x,z) → y = z).
-    sys.add_dec(&p1, &p2, full_inclusion("sigma_p1_p2", "R2", "R1", 2).unwrap())
-        .unwrap();
+    sys.add_dec(
+        &p1,
+        &p2,
+        full_inclusion("sigma_p1_p2", "R2", "R1", 2).unwrap(),
+    )
+    .unwrap();
     sys.add_dec(&p1, &p3, key_agreement("sigma_p1_p3", "R1", "R3").unwrap())
         .unwrap();
     sys.set_trust(&p1, TrustLevel::Less, &p2).unwrap();
@@ -484,7 +496,10 @@ mod tests {
     fn duplicate_peer_is_rejected() {
         let mut sys = P2PSystem::new();
         sys.add_peer("A").unwrap();
-        assert!(matches!(sys.add_peer("A"), Err(CoreError::DuplicatePeer(_))));
+        assert!(matches!(
+            sys.add_peer("A"),
+            Err(CoreError::DuplicatePeer(_))
+        ));
     }
 
     #[test]
@@ -494,13 +509,15 @@ mod tests {
         sys.add_peer("B").unwrap();
         let a = PeerId::new("A");
         let b = PeerId::new("B");
-        sys.add_relation(&a, RelationSchema::new("R", &["x"])).unwrap();
+        sys.add_relation(&a, RelationSchema::new("R", &["x"]))
+            .unwrap();
         let err = sys
             .add_relation(&b, RelationSchema::new("R", &["x"]))
             .unwrap_err();
         assert!(matches!(err, CoreError::RelationOwnedElsewhere { .. }));
         // Re-declaring the same relation for the same peer is fine.
-        sys.add_relation(&a, RelationSchema::new("R", &["x"])).unwrap();
+        sys.add_relation(&a, RelationSchema::new("R", &["x"]))
+            .unwrap();
     }
 
     #[test]
@@ -508,7 +525,8 @@ mod tests {
         let mut sys = P2PSystem::new();
         sys.add_peer("A").unwrap();
         let a = PeerId::new("A");
-        sys.add_relation(&a, RelationSchema::new("R", &["x"])).unwrap();
+        sys.add_relation(&a, RelationSchema::new("R", &["x"]))
+            .unwrap();
         sys.insert(&a, "R", Tuple::strs(["v"])).unwrap();
         assert!(sys.insert(&a, "S", Tuple::strs(["v"])).is_err());
         assert!(sys
@@ -603,7 +621,10 @@ mod tests {
             .unwrap();
         assert_eq!(sys.peer(&p1).unwrap().local_ics.len(), 1);
         assert!(sys
-            .add_local_ic(&PeerId::new("ZZ"), constraints::builders::key_denial("fd", "R1").unwrap())
+            .add_local_ic(
+                &PeerId::new("ZZ"),
+                constraints::builders::key_denial("fd", "R1").unwrap()
+            )
             .is_err());
     }
 

@@ -150,8 +150,12 @@ mod tests {
         // diffchoice rule (single chosen position).
         assert_eq!(unfolded.len(), 3);
         let text = unfolded.to_string();
-        assert!(text.contains("chosen_0(X, Z, W) :- s2(Z, W), body(X, Z), not diffchoice_0(X, Z, W)."));
-        assert!(text.contains("diffchoice_0(X, Z, W) :- s2(Z, W), body(X, Z), chosen_0(X, Z, U_0_0), U_0_0 != W."));
+        assert!(
+            text.contains("chosen_0(X, Z, W) :- s2(Z, W), body(X, Z), not diffchoice_0(X, Z, W).")
+        );
+        assert!(text.contains(
+            "diffchoice_0(X, Z, W) :- s2(Z, W), body(X, Z), chosen_0(X, Z, U_0_0), U_0_0 != W."
+        ));
         assert!(text.contains("r2p(X, W) :- s2(Z, W), body(X, Z), chosen_0(X, Z, W)."));
         // All resulting rules are safe.
         assert!(unfolded.unsafe_rules().is_empty());

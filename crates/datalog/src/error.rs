@@ -27,7 +27,10 @@ impl fmt::Display for DatalogError {
                 write!(f, "answer-set search exceeded the {what} limit ({limit})")
             }
             DatalogError::Incoherent(atom) => {
-                write!(f, "incoherent model: both {atom} and its complement derived")
+                write!(
+                    f,
+                    "incoherent model: both {atom} and its complement derived"
+                )
             }
         }
     }

@@ -128,12 +128,13 @@ impl PredicateGraph {
     pub fn new(program: &Program) -> Self {
         let mut index = BTreeMap::new();
         let mut predicates = Vec::new();
-        let intern = |name: String, predicates: &mut Vec<String>, index: &mut BTreeMap<String, usize>| {
-            *index.entry(name.clone()).or_insert_with(|| {
-                predicates.push(name);
-                predicates.len() - 1
-            })
-        };
+        let intern =
+            |name: String, predicates: &mut Vec<String>, index: &mut BTreeMap<String, usize>| {
+                *index.entry(name.clone()).or_insert_with(|| {
+                    predicates.push(name);
+                    predicates.len() - 1
+                })
+            };
         for p in program.predicates() {
             intern(p, &mut predicates, &mut index);
         }
@@ -325,7 +326,10 @@ mod tests {
         p.add_fact(atom("s", &["a"]));
         p.add_rule(Rule::new(
             vec![atom("q", &["X"])],
-            vec![BodyItem::Pos(atom("p", &["X"])), BodyItem::Naf(atom("r", &["X"]))],
+            vec![
+                BodyItem::Pos(atom("p", &["X"])),
+                BodyItem::Naf(atom("r", &["X"])),
+            ],
         ));
         p.add_rule(Rule::new(
             vec![atom("r", &["X"])],
@@ -344,11 +348,17 @@ mod tests {
         p.add_fact(atom("dom", &["a"]));
         p.add_rule(Rule::new(
             vec![atom("p", &["X"])],
-            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("q", &["X"]))],
+            vec![
+                BodyItem::Pos(atom("dom", &["X"])),
+                BodyItem::Naf(atom("q", &["X"])),
+            ],
         ));
         p.add_rule(Rule::new(
             vec![atom("q", &["X"])],
-            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("p", &["X"]))],
+            vec![
+                BodyItem::Pos(atom("dom", &["X"])),
+                BodyItem::Naf(atom("p", &["X"])),
+            ],
         ));
         let graph = PredicateGraph::new(&p);
         assert!(!graph.is_stratified());

@@ -483,16 +483,11 @@ mod tests {
         let g = Grounder::new(&p).ground().unwrap();
         // reach facts derivable: (a,b), (b,c), (a,c); transitive rule
         // instantiates for every reach × edge join over the saturated set.
-        let preds: BTreeSet<String> = g
-            .atoms()
-            .map(|(_, a)| a.predicate.clone())
-            .collect();
+        let preds: BTreeSet<String> = g.atoms().map(|(_, a)| a.predicate.clone()).collect();
         assert!(preds.contains("reach"));
         // 2 facts + 2 base-rule instances + 1 transitive instance (a→b→c).
         assert_eq!(g.rule_count(), 5);
-        assert!(g
-            .atom_id(&GroundAtom::new("reach", &["a", "c"]))
-            .is_some());
+        assert!(g.atom_id(&GroundAtom::new("reach", &["a", "c"])).is_some());
     }
 
     #[test]
@@ -567,11 +562,7 @@ mod tests {
         ));
         let g = Grounder::new(&p).ground().unwrap();
         // Only (a,b) and (b,a) pairs survive the X != Y builtin.
-        let pair_rules = g
-            .rules()
-            .iter()
-            .filter(|r| !r.is_fact())
-            .count();
+        let pair_rules = g.rules().iter().filter(|r| !r.is_fact()).count();
         assert_eq!(pair_rules, 2);
     }
 
@@ -651,7 +642,10 @@ mod tests {
         p.add_fact(atom("p", &["a"]));
         p.add_rule(Rule::new(
             vec![atom("q", &["X"])],
-            vec![BodyItem::Pos(atom("p", &["X"])), BodyItem::Naf(atom("q", &["X"]).strongly_negated())],
+            vec![
+                BodyItem::Pos(atom("p", &["X"])),
+                BodyItem::Naf(atom("q", &["X"]).strongly_negated()),
+            ],
         ));
         let g = Grounder::new(&p).ground().unwrap();
         let text = g.to_string();

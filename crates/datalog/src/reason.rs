@@ -79,10 +79,7 @@ impl AnswerSets {
 
     /// Atoms true in at least one answer set.
     pub fn brave_consequences(&self) -> BTreeSet<GroundAtom> {
-        self.sets
-            .iter()
-            .flat_map(|s| s.iter().cloned())
-            .collect()
+        self.sets.iter().flat_map(|s| s.iter().cloned()).collect()
     }
 
     /// The tuples of `predicate` (positive atoms only) that occur in every
@@ -104,11 +101,7 @@ impl AnswerSets {
             .unwrap_or_default()
     }
 
-    fn tuples_of(
-        &self,
-        atoms: BTreeSet<GroundAtom>,
-        predicate: &str,
-    ) -> BTreeSet<Vec<Arc<str>>> {
+    fn tuples_of(&self, atoms: BTreeSet<GroundAtom>, predicate: &str) -> BTreeSet<Vec<Arc<str>>> {
         atoms
             .into_iter()
             .filter(|a| !a.strong_neg && a.predicate == predicate)
@@ -133,11 +126,17 @@ mod tests {
         prog.add_fact(atom("shared", &["a"]));
         prog.add_rule(Rule::new(
             vec![atom("p", &["X"])],
-            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("q", &["X"]))],
+            vec![
+                BodyItem::Pos(atom("dom", &["X"])),
+                BodyItem::Naf(atom("q", &["X"])),
+            ],
         ));
         prog.add_rule(Rule::new(
             vec![atom("q", &["X"])],
-            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("p", &["X"]))],
+            vec![
+                BodyItem::Pos(atom("dom", &["X"])),
+                BodyItem::Naf(atom("p", &["X"])),
+            ],
         ));
         prog
     }
@@ -182,7 +181,10 @@ mod tests {
         prog.add_fact(atom("dom", &["a"]));
         prog.add_rule(Rule::new(
             vec![atom("p", &["X"])],
-            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("p", &["X"]))],
+            vec![
+                BodyItem::Pos(atom("dom", &["X"])),
+                BodyItem::Naf(atom("p", &["X"])),
+            ],
         ));
         let sets = AnswerSets::compute(&prog, SolverConfig::default()).unwrap();
         assert!(sets.is_empty());

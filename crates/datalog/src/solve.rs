@@ -240,9 +240,9 @@ impl<'a> NormalSolver<'a> {
                 if assign[atom] == Some(false) {
                     continue;
                 }
-                let alive = self.rules_by_head[atom]
-                    .iter()
-                    .any(|&r| self.body_status(&self.program.rules()[r], assign) != BodyStatus::Dead);
+                let alive = self.rules_by_head[atom].iter().any(|&r| {
+                    self.body_status(&self.program.rules()[r], assign) != BodyStatus::Dead
+                });
                 if !alive {
                     match assign[atom] {
                         Some(true) => return false,
@@ -258,15 +258,15 @@ impl<'a> NormalSolver<'a> {
             // Unfounded-set pruning: atoms outside the optimistic derivable
             // set cannot be true.
             let derivable = self.optimistic_derivable(assign);
-            for atom in 0..self.program.atom_count() {
+            for (atom, slot) in assign.iter_mut().enumerate() {
                 if derivable.contains(&atom) {
                     continue;
                 }
-                match assign[atom] {
+                match *slot {
                     Some(true) => return false,
                     Some(false) => {}
                     None => {
-                        assign[atom] = Some(false);
+                        *slot = Some(false);
                         changed = true;
                     }
                 }
@@ -637,9 +637,9 @@ impl<'a> DisjunctiveSolver<'a> {
                 };
                 match body_status {
                     Some(false) | None => true,
-                    Some(true) => heads.iter().any(|h| {
-                        matches!(truth.get(h).copied().flatten(), Some(true) | None)
-                    }),
+                    Some(true) => heads
+                        .iter()
+                        .any(|h| matches!(truth.get(h).copied().flatten(), Some(true) | None)),
                 }
             });
             if consistent && self.subset_search(reduct, atoms, truth, idx + 1, model) {
@@ -699,11 +699,17 @@ mod tests {
         p.add_fact(atom("dom", &["a"]));
         p.add_rule(Rule::new(
             vec![atom("p", &["X"])],
-            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("q", &["X"]))],
+            vec![
+                BodyItem::Pos(atom("dom", &["X"])),
+                BodyItem::Naf(atom("q", &["X"])),
+            ],
         ));
         p.add_rule(Rule::new(
             vec![atom("q", &["X"])],
-            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("p", &["X"]))],
+            vec![
+                BodyItem::Pos(atom("dom", &["X"])),
+                BodyItem::Naf(atom("p", &["X"])),
+            ],
         ));
         let result = solve(&p, SolverConfig::default()).unwrap();
         assert_eq!(result.answer_sets.len(), 2);
@@ -716,7 +722,10 @@ mod tests {
         p.add_fact(atom("dom", &["a"]));
         p.add_rule(Rule::new(
             vec![atom("p", &["X"])],
-            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("p", &["X"]))],
+            vec![
+                BodyItem::Pos(atom("dom", &["X"])),
+                BodyItem::Naf(atom("p", &["X"])),
+            ],
         ));
         let result = solve(&p, SolverConfig::default()).unwrap();
         assert!(result.answer_sets.is_empty());
@@ -746,11 +755,17 @@ mod tests {
         p.add_fact(atom("dom", &["a"]));
         p.add_rule(Rule::new(
             vec![atom("p", &["X"])],
-            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("q", &["X"]))],
+            vec![
+                BodyItem::Pos(atom("dom", &["X"])),
+                BodyItem::Naf(atom("q", &["X"])),
+            ],
         ));
         p.add_rule(Rule::new(
             vec![atom("q", &["X"])],
-            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("p", &["X"]))],
+            vec![
+                BodyItem::Pos(atom("dom", &["X"])),
+                BodyItem::Naf(atom("p", &["X"])),
+            ],
         ));
         p.add_constraint(vec![BodyItem::Pos(atom("p", &["a"]))]);
         let result = solve(&p, SolverConfig::default()).unwrap();
@@ -854,7 +869,10 @@ mod tests {
         p.add_fact(atom("p", &["a"]));
         p.add_rule(Rule::new(
             vec![atom("q", &["X"]).strongly_negated()],
-            vec![BodyItem::Pos(atom("p", &["X"])), BodyItem::Naf(atom("q", &["X"]))],
+            vec![
+                BodyItem::Pos(atom("p", &["X"])),
+                BodyItem::Naf(atom("q", &["X"])),
+            ],
         ));
         let result = solve(&p, SolverConfig::default()).unwrap();
         assert_eq!(result.answer_sets.len(), 1);
@@ -870,11 +888,17 @@ mod tests {
         }
         p.add_rule(Rule::new(
             vec![atom("in", &["X"])],
-            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("out", &["X"]))],
+            vec![
+                BodyItem::Pos(atom("dom", &["X"])),
+                BodyItem::Naf(atom("out", &["X"])),
+            ],
         ));
         p.add_rule(Rule::new(
             vec![atom("out", &["X"])],
-            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("in", &["X"]))],
+            vec![
+                BodyItem::Pos(atom("dom", &["X"])),
+                BodyItem::Naf(atom("in", &["X"])),
+            ],
         ));
         let config = SolverConfig {
             max_answer_sets: 3,
@@ -892,11 +916,17 @@ mod tests {
         }
         p.add_rule(Rule::new(
             vec![atom("in", &["X"])],
-            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("out", &["X"]))],
+            vec![
+                BodyItem::Pos(atom("dom", &["X"])),
+                BodyItem::Naf(atom("out", &["X"])),
+            ],
         ));
         p.add_rule(Rule::new(
             vec![atom("out", &["X"])],
-            vec![BodyItem::Pos(atom("dom", &["X"])), BodyItem::Naf(atom("in", &["X"]))],
+            vec![
+                BodyItem::Pos(atom("dom", &["X"])),
+                BodyItem::Naf(atom("in", &["X"])),
+            ],
         ));
         let config = SolverConfig {
             max_answer_sets: usize::MAX,

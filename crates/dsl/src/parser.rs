@@ -1,7 +1,7 @@
 //! The recursive-descent (line-oriented) parser for the `.pds` format.
 
-use constraints::{AtomPattern, Constraint, ConstraintHead};
 use constraints::constraint::Condition;
+use constraints::{AtomPattern, Constraint, ConstraintHead};
 use pdes_core::system::{P2PSystem, PeerId, TrustLevel};
 use relalg::query::{CompareOp, Formula, Term};
 use relalg::{RelationSchema, Tuple, Value};
@@ -54,7 +54,10 @@ pub fn parse(input: &str) -> Result<ParsedSystem, DslError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let err = |message: String| DslError { line: line_no, message };
+        let err = |message: String| DslError {
+            line: line_no,
+            message,
+        };
         let (keyword, rest) = split_keyword(line);
         match keyword {
             "peer" => {
@@ -88,7 +91,7 @@ pub fn parse(input: &str) -> Result<ParsedSystem, DslError> {
                     .map_err(|e| err(e.to_string()))?;
             }
             "trust" => {
-                let parts: Vec<&str> = rest.trim().split_whitespace().collect();
+                let parts: Vec<&str> = rest.split_whitespace().collect();
                 if parts.len() != 3 {
                     return Err(err("expected `trust <peer> less|same <peer>`".into()));
                 }
@@ -204,8 +207,12 @@ fn split_keyword(line: &str) -> (&str, &str) {
 
 /// Parse `Name(a, b, c)` into the name and its raw arguments.
 fn parse_atom_shape(text: &str) -> Result<(String, Vec<String>), String> {
-    let open = text.find('(').ok_or_else(|| format!("expected `(` in `{text}`"))?;
-    let close = text.rfind(')').ok_or_else(|| format!("expected `)` in `{text}`"))?;
+    let open = text
+        .find('(')
+        .ok_or_else(|| format!("expected `(` in `{text}`"))?;
+    let close = text
+        .rfind(')')
+        .ok_or_else(|| format!("expected `)` in `{text}`"))?;
     let name = text[..open].trim();
     if name.is_empty() {
         return Err(format!("missing relation name in `{text}`"));

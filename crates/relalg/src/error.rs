@@ -50,7 +50,10 @@ impl fmt::Display for RelalgError {
             ),
             RelalgError::UnboundVariable(v) => write!(f, "unbound variable `{v}`"),
             RelalgError::PositionOutOfRange { relation, position } => {
-                write!(f, "position {position} out of range for relation `{relation}`")
+                write!(
+                    f,
+                    "position {position} out of range for relation `{relation}`"
+                )
             }
             RelalgError::Evaluation(msg) => write!(f, "evaluation error: {msg}"),
         }

@@ -36,7 +36,9 @@ impl Term {
             Some(c)
                 if (c.is_ascii_digit() || c == '-')
                     && token.len() > usize::from(c == '-')
-                    && token[usize::from(c == '-')..].chars().all(|d| d.is_ascii_digit()) =>
+                    && token[usize::from(c == '-')..]
+                        .chars()
+                        .all(|d| d.is_ascii_digit()) =>
             {
                 Term::Const(Value::int(token.parse().unwrap_or(0)))
             }
@@ -201,6 +203,7 @@ impl Formula {
     }
 
     /// Negation helper that flattens double negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(inner: Formula) -> Formula {
         match inner {
             Formula::Not(f) => *f,
@@ -510,7 +513,11 @@ mod tests {
         assert_eq!(Formula::and(vec![]), Formula::True);
         assert_eq!(Formula::and(vec![a.clone()]), a.clone());
         assert_eq!(
-            Formula::and(vec![Formula::True, a.clone(), Formula::and(vec![b.clone()])]),
+            Formula::and(vec![
+                Formula::True,
+                a.clone(),
+                Formula::and(vec![b.clone()])
+            ]),
             Formula::And(vec![a.clone(), b.clone()])
         );
         assert_eq!(Formula::or(vec![]), Formula::False);

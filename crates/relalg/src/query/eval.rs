@@ -595,10 +595,7 @@ mod tests {
         let eval = QueryEvaluator::with_domain(&db, [Value::str("extra")]);
         assert_eq!(eval.domain().len(), 1);
         // exists X (X = extra) holds only because the domain was extended.
-        let q = Formula::exists(
-            vec!["X"],
-            Formula::eq(Term::var("X"), Term::cnst("extra")),
-        );
+        let q = Formula::exists(vec!["X"], Formula::eq(Term::var("X"), Term::cnst("extra")));
         assert!(eval.holds_sentence(&q).unwrap());
     }
 }

@@ -101,10 +101,7 @@ impl Relation {
     /// All values appearing in this relation (its contribution to the active
     /// domain).
     pub fn active_domain(&self) -> BTreeSet<Value> {
-        self.tuples
-            .iter()
-            .flat_map(|t| t.iter().cloned())
-            .collect()
+        self.tuples.iter().flat_map(|t| t.iter().cloned()).collect()
     }
 
     /// Remove all tuples.
@@ -165,7 +162,14 @@ mod tests {
         assert!(r.insert(Tuple::strs(["a", "b"])).unwrap());
         assert!(!r.insert(Tuple::strs(["a", "b"])).unwrap());
         let err = r.insert(Tuple::strs(["a"])).unwrap_err();
-        assert!(matches!(err, RelalgError::ArityMismatch { expected: 2, found: 1, .. }));
+        assert!(matches!(
+            err,
+            RelalgError::ArityMismatch {
+                expected: 2,
+                found: 1,
+                ..
+            }
+        ));
         assert_eq!(r.len(), 1);
     }
 
@@ -209,7 +213,8 @@ mod tests {
     #[test]
     fn replace_with_swaps_contents() {
         let mut r = Relation::with_tuples(schema(), [Tuple::strs(["a", "b"])]).unwrap();
-        r.replace_with([Tuple::strs(["x", "y"]), Tuple::strs(["u", "v"])]).unwrap();
+        r.replace_with([Tuple::strs(["x", "y"]), Tuple::strs(["u", "v"])])
+            .unwrap();
         assert_eq!(r.len(), 2);
         assert!(!r.contains(&Tuple::strs(["a", "b"])));
         assert!(r.replace_with([Tuple::strs(["only-one"])]).is_err());

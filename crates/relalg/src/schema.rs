@@ -245,7 +245,8 @@ mod tests {
 
     #[test]
     fn restrict_keeps_only_requested_relations() {
-        let a = Schema::from_relations([r("R1", &["x"]), r("R2", &["y"]), r("R3", &["z"])]).unwrap();
+        let a =
+            Schema::from_relations([r("R1", &["x"]), r("R2", &["y"]), r("R3", &["z"])]).unwrap();
         let restricted = a.restrict(["R1", "R3", "missing"]);
         assert_eq!(restricted.len(), 2);
         assert!(restricted.contains("R1"));

@@ -53,7 +53,7 @@ pub fn consistent_answers(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use constraints::builders::{key_denial, full_inclusion};
+    use constraints::builders::{full_inclusion, key_denial};
     use relalg::{Relation, RelationSchema};
 
     fn vars(names: &[&str]) -> Vec<String> {
@@ -65,7 +65,10 @@ mod tests {
     #[test]
     fn cqa_under_key_violation() {
         let mut db = Database::new();
-        db.add_relation(Relation::new(RelationSchema::new("Emp", &["name", "salary"])));
+        db.add_relation(Relation::new(RelationSchema::new(
+            "Emp",
+            &["name", "salary"],
+        )));
         db.insert("Emp", Tuple::strs(["ann", "100"])).unwrap();
         db.insert("Emp", Tuple::strs(["ann", "200"])).unwrap();
         db.insert("Emp", Tuple::strs(["bob", "150"])).unwrap();
@@ -81,7 +84,10 @@ mod tests {
         // ∃y Emp(x, y): "ann" exists in every repair even though her salary
         // is uncertain.
         let mut db = Database::new();
-        db.add_relation(Relation::new(RelationSchema::new("Emp", &["name", "salary"])));
+        db.add_relation(Relation::new(RelationSchema::new(
+            "Emp",
+            &["name", "salary"],
+        )));
         db.insert("Emp", Tuple::strs(["ann", "100"])).unwrap();
         db.insert("Emp", Tuple::strs(["ann", "200"])).unwrap();
         let engine = RepairEngine::new(vec![key_denial("key", "Emp").unwrap()]);

@@ -48,7 +48,10 @@ impl fmt::Display for RepairError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RepairError::SearchSpaceExhausted { states } => {
-                write!(f, "repair search exceeded the state limit ({states} states)")
+                write!(
+                    f,
+                    "repair search exceeded the state limit ({states} states)"
+                )
             }
             RepairError::Constraint(e) => write!(f, "{e}"),
         }
@@ -228,6 +231,7 @@ impl RepairEngine {
     /// deleted atom, no deleting an inserted atom); this keeps deltas
     /// monotone along a branch, which both guarantees termination and makes
     /// the dominance pruning sound.
+    #[allow(clippy::type_complexity)]
     fn fixes(
         &self,
         checker: &ConstraintChecker<'_>,
@@ -245,14 +249,10 @@ impl RepairEngine {
         }
 
         // Alternative 2: insert the missing flexible head atoms for some witness.
-        let options = checker.head_insertion_options(constraint, &violation.binding, |r| {
-            self.is_flexible(r)
-        })?;
+        let options = checker
+            .head_insertion_options(constraint, &violation.binding, |r| self.is_flexible(r))?;
         for insertions in options {
-            if insertions
-                .iter()
-                .any(|atom| delta.deletions.contains(atom))
-            {
+            if insertions.iter().any(|atom| delta.deletions.contains(atom)) {
                 continue;
             }
             out.push((insertions, vec![]));

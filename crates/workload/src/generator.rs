@@ -30,7 +30,9 @@ pub fn generate(spec: &WorkloadSpec) -> GeneratedWorkload {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut system = P2PSystem::new();
 
-    let peer_ids: Vec<PeerId> = (0..spec.peers).map(|i| PeerId::new(format!("P{i}"))).collect();
+    let peer_ids: Vec<PeerId> = (0..spec.peers)
+        .map(|i| PeerId::new(format!("P{i}")))
+        .collect();
     for (i, id) in peer_ids.iter().enumerate() {
         system.add_peer(id.clone()).expect("fresh peer");
         system
@@ -45,7 +47,11 @@ pub fn generate(spec: &WorkloadSpec) -> GeneratedWorkload {
             let key = format!("k_{i}_{j}");
             let val = format!("v_{i}_{j}");
             system
-                .insert(id, &format!("T{i}"), Tuple::strs([key.as_str(), val.as_str()]))
+                .insert(
+                    id,
+                    &format!("T{i}"),
+                    Tuple::strs([key.as_str(), val.as_str()]),
+                )
                 .expect("insert base tuple");
         }
     }
@@ -76,8 +82,8 @@ pub fn generate(spec: &WorkloadSpec) -> GeneratedWorkload {
         };
         system.set_trust(&owner, level, &other).expect("trust");
 
-        let use_key_constraint = level == TrustLevel::Same
-            && rng.gen_range(0..100u8) < spec.key_constraint_percent;
+        let use_key_constraint =
+            level == TrustLevel::Same && rng.gen_range(0..100u8) < spec.key_constraint_percent;
 
         if use_key_constraint {
             // Σ: ∀x y z (T_owner(x, y) ∧ T_other(x, z) → y = z).
@@ -92,10 +98,18 @@ pub fn generate(spec: &WorkloadSpec) -> GeneratedWorkload {
             for v in 0..spec.violations_per_dec {
                 let key = format!("conflict_{edge_idx}_{v}");
                 system
-                    .insert(&owner, &owner_rel, Tuple::strs([key.as_str(), "owner_value"]))
+                    .insert(
+                        &owner,
+                        &owner_rel,
+                        Tuple::strs([key.as_str(), "owner_value"]),
+                    )
                     .unwrap();
                 system
-                    .insert(&other, &other_rel, Tuple::strs([key.as_str(), "other_value"]))
+                    .insert(
+                        &other,
+                        &other_rel,
+                        Tuple::strs([key.as_str(), "other_value"]),
+                    )
                     .unwrap();
                 planted += 1;
             }
@@ -112,7 +126,11 @@ pub fn generate(spec: &WorkloadSpec) -> GeneratedWorkload {
             for v in 0..spec.violations_per_dec {
                 let key = format!("missing_{edge_idx}_{v}");
                 system
-                    .insert(&other, &other_rel, Tuple::strs([key.as_str(), "imported_value"]))
+                    .insert(
+                        &other,
+                        &other_rel,
+                        Tuple::strs([key.as_str(), "imported_value"]),
+                    )
                     .unwrap();
                 planted += 1;
             }
@@ -223,10 +241,11 @@ mod tests {
         assert_eq!(semantic.answers, rewriting.answers);
         assert_eq!(semantic.answers, asp.answers);
         // Imported tuples are part of the answers.
-        assert!(semantic
-            .answers
-            .iter()
-            .any(|t| t.get(0).unwrap().to_string().starts_with("missing_")));
+        assert!(semantic.answers.iter().any(|t| t
+            .get(0)
+            .unwrap()
+            .to_string()
+            .starts_with("missing_")));
     }
 
     #[test]
@@ -255,9 +274,10 @@ mod tests {
         .unwrap();
         assert_eq!(semantic.answers, asp.answers);
         // The conflicting tuple is dropped from the certain answers.
-        assert!(!semantic
-            .answers
-            .iter()
-            .any(|t| t.get(0).unwrap().to_string().starts_with("conflict_")));
+        assert!(!semantic.answers.iter().any(|t| t
+            .get(0)
+            .unwrap()
+            .to_string()
+            .starts_with("conflict_")));
     }
 }

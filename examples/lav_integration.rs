@@ -4,9 +4,9 @@
 //!
 //! Run with `cargo run --example lav_integration`.
 
-use datalog::{AnswerSets, SolverConfig};
+use datalog::AnswerSets;
 use p2p_data_exchange::core::asp::paper::appendix_lav_program;
-use relalg::Tuple;
+use p2p_data_exchange::{SolverConfig, Tuple};
 
 fn main() {
     let program = appendix_lav_program(

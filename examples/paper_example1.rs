@@ -1,16 +1,16 @@
 //! Experiment E1/E2: a detailed walkthrough of Examples 1 and 2 of the paper
 //! — the two solutions for peer P1 and the peer consistent answers to
-//! Q: R1(x, y).
+//! Q: R1(x, y), computed through the engine's naive (Definition 5) strategy.
 //!
 //! Run with `cargo run --example paper_example1`.
 
-use p2p_data_exchange::core::pca::{peer_consistent_answers, vars};
 use p2p_data_exchange::core::solution::{solutions_for, SolutionOptions};
-use p2p_data_exchange::core::PeerId;
-use relalg::query::Formula;
+use p2p_data_exchange::{
+    example1_system, vars, Formula, PeerId, Provenance, QueryEngine, Strategy,
+};
 
 fn main() {
-    let system = p2p_data_exchange::example1_system();
+    let system = example1_system();
     let p1 = PeerId::new("P1");
 
     println!("Global instance:");
@@ -23,13 +23,18 @@ fn main() {
         println!("{}", s.database);
     }
 
+    let engine = QueryEngine::builder(system)
+        .strategy(Strategy::Naive)
+        .build();
     let query = Formula::atom("R1", vec!["X", "Y"]);
-    let result =
-        peer_consistent_answers(&system, &p1, &query, &vars(&["X", "Y"]), SolutionOptions::default())
-            .unwrap();
+    let result = engine.answer(&p1, &query, &vars(&["X", "Y"])).unwrap();
     println!("Peer consistent answers to R1(x, y) at P1 (Definition 5):");
-    for t in &result.answers {
+    for t in result.iter() {
         println!("  {t}");
     }
-    assert_eq!(result.answers.len(), 3);
+    match &result.provenance {
+        Provenance::Naive { solution_count, .. } => assert_eq!(*solution_count, 2),
+        other => panic!("expected naive provenance, got {other:?}"),
+    }
+    assert_eq!(result.len(), 3);
 }

@@ -1,53 +1,60 @@
 //! Quickstart: build the paper's Example 1 system and compute peer
-//! consistent answers with all three mechanisms.
+//! consistent answers through the [`QueryEngine`] facade, once per strategy.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use datalog::SolverConfig;
-use p2p_data_exchange::core::answer::answers_via_asp;
-use p2p_data_exchange::core::pca::{peer_consistent_answers, vars};
-use p2p_data_exchange::core::rewriting::answers_by_rewriting;
-use p2p_data_exchange::core::solution::SolutionOptions;
-use p2p_data_exchange::core::PeerId;
-use relalg::query::Formula;
+use p2p_data_exchange::{example1_system, vars, Formula, PeerId, QueryEngine, Strategy};
 
 fn main() {
     // Example 1 of the paper: peers P1, P2, P3; P1 trusts P2 more than
     // itself and P3 the same; Σ(P1,P2) is a full inclusion R2 ⊆ R1 and
     // Σ(P1,P3) forbids R1 and R3 from disagreeing on a shared key.
-    let system = p2p_data_exchange::example1_system();
+    let engine = QueryEngine::builder(example1_system())
+        .strategy(Strategy::Auto)
+        .build();
     let p1 = PeerId::new("P1");
 
     // The query of Example 2: all tuples of R1, asked to P1.
     let query = Formula::atom("R1", vec!["X", "Y"]);
     let free_vars = vars(&["X", "Y"]);
 
-    // 1. Semantic reference: enumerate the solutions of Definition 4 and
-    //    intersect the answers (Definition 5).
-    let semantic =
-        peer_consistent_answers(&system, &p1, &query, &free_vars, SolutionOptions::default())
-            .expect("semantic PCAs");
-    println!("solutions for P1: {}", semantic.solution_count);
-    println!("peer consistent answers (solution enumeration):");
-    for t in &semantic.answers {
+    // Strategy::Auto statically detects that P1's DECs fall in the
+    // rewritable class of Example 2 and picks the first-order rewriting.
+    let auto = engine.answer(&p1, &query, &free_vars).expect("answerable");
+    println!(
+        "Auto resolved to `{}`; peer consistent answers:",
+        auto.stats.strategy.label()
+    );
+    for t in auto.iter() {
         println!("  R1{t}");
     }
 
-    // 2. First-order rewriting (Example 2).
-    let rewritten = answers_by_rewriting(&system, &p1, &query, &free_vars).expect("rewriting");
-    println!("\nrewritten query: {}", rewritten.rewritten);
-    println!("answers via rewriting: {} tuples", rewritten.answers.len());
+    // The same engine can run every mechanism explicitly — the semantic
+    // reference (solution enumeration), the rewriting and the answer-set
+    // specification — sharing one cache.
+    for strategy in [Strategy::Naive, Strategy::Rewriting, Strategy::Asp] {
+        let result = engine
+            .answer_with(strategy, &p1, &query, &free_vars)
+            .expect("answerable");
+        println!(
+            "{:<16} {} answers over {} world(s) (prepare {} µs, eval {} µs)",
+            result.stats.strategy.label(),
+            result.len(),
+            result.stats.worlds,
+            result.stats.prepare_micros,
+            result.stats.eval_micros,
+        );
+        assert_eq!(result.tuples, auto.tuples);
+    }
 
-    // 3. Answer-set specification program + cautious reasoning (Section 3).
-    let asp = answers_via_asp(&system, &p1, &query, &free_vars, SolverConfig::default())
-        .expect("ASP answers");
+    // Repeat queries hit the per-peer cache: preparation cost is gone.
+    let warm = engine
+        .answer_with(Strategy::Asp, &p1, &query, &free_vars)
+        .expect("answerable");
+    assert!(warm.stats.cache_hit);
     println!(
-        "\nanswer sets of the specification program: {} (HCF shift used: {})",
-        asp.answer_set_count, asp.used_shift
+        "\nwarm ASP repeat: cache hit, eval {} µs",
+        warm.stats.eval_micros
     );
-    println!("answers via ASP: {} tuples", asp.answers.len());
-
-    assert_eq!(semantic.answers, rewritten.answers);
-    assert_eq!(semantic.answers, asp.answers);
-    println!("\nall three mechanisms agree: (a,b), (c,d), (a,e)");
+    println!("all strategies agree: (a,b), (c,d), (a,e)");
 }

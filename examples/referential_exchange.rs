@@ -4,11 +4,14 @@
 //!
 //! Run with `cargo run --example referential_exchange`.
 
-use datalog::{AnswerSets, SolverConfig};
+use datalog::AnswerSets;
 use p2p_data_exchange::core::asp::annotated::annotated_program;
 use p2p_data_exchange::core::asp::paper::section31_program;
-use p2p_data_exchange::core::system::{P2PSystem, PeerId, TrustLevel};
-use relalg::{RelationSchema, Tuple};
+use p2p_data_exchange::{
+    vars, Formula, P2PSystem, PeerId, QueryEngine, SolverConfig, Strategy, StrategyKind,
+    TrustLevel, Tuple,
+};
+use relalg::RelationSchema;
 
 fn main() {
     // Peer P owns R1, R2; peer Q owns S1, S2; (P, less, Q); DEC (3):
@@ -60,4 +63,24 @@ fn main() {
         println!("--- solution {} ---\n{}", i + 1, s);
     }
     assert_eq!(solutions.len(), 3);
+
+    // Referential DECs are outside the rewritable class, so the engine's
+    // Auto strategy falls back to the ASP mechanism.
+    let engine = QueryEngine::builder(system)
+        .strategy(Strategy::Auto)
+        .build();
+    let query = Formula::atom("R1", vec!["X", "Y"]);
+    assert_eq!(
+        engine.resolve(Strategy::Auto, &p, &query),
+        StrategyKind::Asp
+    );
+    let answers = engine.answer(&p, &query, &vars(&["X", "Y"])).unwrap();
+    println!(
+        "\nengine (Auto → {}): {} certain answers over {} answer sets",
+        answers.stats.strategy.label(),
+        answers.len(),
+        answers.stats.worlds
+    );
+    // One solution deletes R1(a, b), so nothing is certain.
+    assert!(answers.is_empty());
 }

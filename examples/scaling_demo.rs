@@ -1,11 +1,13 @@
 //! A small scaling demonstration: generate synthetic workloads of growing
-//! size and compare the three answering mechanisms (this is the interactive
-//! companion of benchmark table B1; run the full harness with
-//! `cargo run -p pdes-bench --release --bin harness`).
+//! size and compare the three answering strategies through the engine (this
+//! is the interactive companion of benchmark table B1; run the full harness
+//! with `cargo run -p pdes-bench --release --bin harness`).
 //!
 //! Run with `cargo run --release --example scaling_demo`.
 
-use pdes_bench::runners::{render_table, run_asp, run_naive, run_rewriting};
+use p2p_data_exchange::Strategy;
+use pdes_bench::runners::{engine_for, render_table, run_strategy, Measurement};
+use std::time::Instant;
 use workload::{generate, TrustMix, WorkloadSpec};
 
 fn main() {
@@ -20,11 +22,30 @@ fn main() {
         };
         let w = generate(&spec);
         let params = format!("tuples={n}");
-        rows.extend(run_rewriting(&w, &params));
-        rows.extend(run_asp(&w, &params));
+        rows.extend(run_strategy(&w, Strategy::Rewriting, &params));
+        rows.extend(run_strategy(&w, Strategy::Asp, &params));
         if n <= 20 {
-            rows.extend(run_naive(&w, &params));
+            rows.extend(run_strategy(&w, Strategy::Naive, &params));
         }
+
+        // The memoization hot path: a warm engine answers repeat queries
+        // without re-grounding or re-solving the specification program.
+        let engine = engine_for(&w, Strategy::Asp);
+        engine
+            .answer(&w.queried_peer, &w.query, &w.free_vars)
+            .expect("warm-up");
+        let start = Instant::now();
+        let warm = engine
+            .answer(&w.queried_peer, &w.query, &w.free_vars)
+            .expect("warm repeat");
+        assert!(warm.stats.cache_hit);
+        rows.push(Measurement {
+            mechanism: "asp (warm)",
+            params,
+            millis: start.elapsed().as_secs_f64() * 1e3,
+            answers: warm.len(),
+            worlds: warm.stats.worlds,
+        });
     }
     println!("{}", render_table("scaling demo (see DESIGN.md B1)", &rows));
 }

@@ -4,11 +4,13 @@
 //!
 //! Run with `cargo run --example transitive_network`.
 
-use datalog::{AnswerSets, SolverConfig};
+use datalog::AnswerSets;
 use p2p_data_exchange::core::asp::paper::example4_program;
 use p2p_data_exchange::core::asp::transitive::transitive_program;
-use p2p_data_exchange::core::system::{P2PSystem, PeerId, TrustLevel};
-use relalg::{RelationSchema, Tuple};
+use p2p_data_exchange::{
+    vars, Formula, P2PSystem, PeerId, QueryEngine, SolverConfig, Strategy, TrustLevel, Tuple,
+};
+use relalg::RelationSchema;
 
 fn main() {
     // The paper's literal combined program (rules (4), (5), (7), (8),
@@ -60,9 +62,31 @@ fn main() {
     let spec = transitive_program(&system, &p).unwrap();
     let sets = AnswerSets::compute(&spec.program, SolverConfig::default()).unwrap();
     let solutions = spec.solution_databases(&system, &sets).unwrap();
-    println!("combined annotated program: {} distinct global solutions", solutions.len());
+    println!(
+        "combined annotated program: {} distinct global solutions",
+        solutions.len()
+    );
     for (i, s) in solutions.iter().enumerate() {
         println!("--- global solution {} ---\n{}", i + 1, s);
     }
     assert_eq!(solutions.len(), 3);
+
+    // Through the engine: the direct strategy misses the C → Q exchange, the
+    // transitive strategy sees it — the answers differ.
+    let engine = QueryEngine::new(system);
+    let query = Formula::atom("R1", vec!["X", "Y"]);
+    let fv = vars(&["X", "Y"]);
+    let direct = engine.answer_with(Strategy::Asp, &p, &query, &fv).unwrap();
+    let global = engine
+        .answer_with(Strategy::TransitiveAsp, &p, &query, &fv)
+        .unwrap();
+    println!(
+        "\ndirect semantics: {} certain answer(s); global semantics: {}",
+        direct.len(),
+        global.len()
+    );
+    // Directly, S1 is empty so R1(a, b) is unchallenged; globally, U's
+    // tuple flows into S1 and one global solution deletes R1(a, b).
+    assert!(direct.contains(&Tuple::strs(["a", "b"])));
+    assert!(global.is_empty());
 }

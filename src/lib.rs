@@ -26,6 +26,19 @@ pub use relalg;
 pub use repair;
 pub use workload;
 
+// Flat re-exports so a quickstart needs only `use p2p_data_exchange::…`:
+// the engine facade, the system vocabulary, query building blocks and the
+// solver/repair knobs.
+pub use datalog::SolverConfig;
+pub use pdes_core::engine::{
+    AnsweringStrategy, Answers, EngineStats, Provenance, QueryEngine, QueryEngineBuilder, Strategy,
+    StrategyKind,
+};
+pub use pdes_core::pca::vars;
+pub use pdes_core::{P2PSystem, Peer, PeerId, SolutionOptions, TrustLevel};
+pub use relalg::query::Formula;
+pub use relalg::Tuple;
+
 /// The canonical Example 1 system of the paper, re-exported for convenience.
 pub fn example1_system() -> pdes_core::P2PSystem {
     pdes_core::example1_system()

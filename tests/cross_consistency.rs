@@ -1,43 +1,62 @@
-//! Cross-mechanism consistency: on generated workloads inside the fragment
-//! every mechanism supports, the semantic reference (solution enumeration),
-//! the first-order rewriting and the ASP specification must return the same
-//! peer consistent answers.
+//! Cross-strategy consistency: on workloads inside the fragment every
+//! mechanism supports, the engine's strategies — the semantic reference
+//! (naive solution enumeration), the first-order rewriting and the ASP
+//! specification — must return identical answer sets.
 
-use datalog::SolverConfig;
-use p2p_data_exchange::core::answer::{answers_via_asp, answers_via_transitive_asp};
-use p2p_data_exchange::core::pca::peer_consistent_answers;
-use p2p_data_exchange::core::rewriting::answers_by_rewriting;
-use p2p_data_exchange::core::solution::SolutionOptions;
+use p2p_data_exchange::{
+    example1_system, vars, Formula, PeerId, QueryEngine, Strategy, StrategyKind,
+};
 use workload::{generate, Topology, TrustMix, WorkloadSpec};
 
+/// Answer one workload's canonical query under every applicable strategy on
+/// a single shared engine and assert the answer sets coincide.
 fn check_agreement(spec: &WorkloadSpec, include_rewriting: bool) {
     let w = generate(spec);
-    let semantic = peer_consistent_answers(
-        &w.system,
-        &w.queried_peer,
-        &w.query,
-        &w.free_vars,
-        SolutionOptions::default(),
-    )
-    .unwrap();
-    let asp = answers_via_asp(
-        &w.system,
-        &w.queried_peer,
-        &w.query,
-        &w.free_vars,
-        SolverConfig::default(),
-    )
-    .unwrap();
-    assert_eq!(semantic.answers, asp.answers, "spec: {spec}");
+    let engine = QueryEngine::new(w.system);
+    let naive = engine
+        .answer_with(Strategy::Naive, &w.queried_peer, &w.query, &w.free_vars)
+        .unwrap();
+    let asp = engine
+        .answer_with(Strategy::Asp, &w.queried_peer, &w.query, &w.free_vars)
+        .unwrap();
+    assert_eq!(naive.tuples, asp.tuples, "spec: {spec}");
     if include_rewriting {
-        let rewriting =
-            answers_by_rewriting(&w.system, &w.queried_peer, &w.query, &w.free_vars).unwrap();
-        assert_eq!(semantic.answers, rewriting.answers, "spec: {spec}");
+        let rewriting = engine
+            .answer_with(Strategy::Rewriting, &w.queried_peer, &w.query, &w.free_vars)
+            .unwrap();
+        assert_eq!(naive.tuples, rewriting.tuples, "spec: {spec}");
     }
 }
 
 #[test]
-fn inclusion_workloads_agree_across_mechanisms() {
+fn strategies_agree_on_example1() {
+    let engine = QueryEngine::new(example1_system());
+    let p1 = PeerId::new("P1");
+    for (query, fv) in [
+        (Formula::atom("R1", vec!["X", "Y"]), vars(&["X", "Y"])),
+        (
+            Formula::exists(vec!["Y"], Formula::atom("R1", vec!["X", "Y"])),
+            vars(&["X"]),
+        ),
+    ] {
+        let mut answer_sets = Vec::new();
+        for strategy in [Strategy::Naive, Strategy::Rewriting, Strategy::Asp] {
+            answer_sets.push(
+                engine
+                    .answer_with(strategy, &p1, &query, &fv)
+                    .unwrap()
+                    .tuples,
+            );
+        }
+        assert!(
+            answer_sets.windows(2).all(|w| w[0] == w[1]),
+            "strategies disagree on {query}"
+        );
+    }
+}
+
+#[test]
+fn inclusion_workloads_agree_across_strategies() {
     for seed in [1, 2, 3] {
         for tuples in [4, 8, 12] {
             let spec = WorkloadSpec {
@@ -54,7 +73,7 @@ fn inclusion_workloads_agree_across_mechanisms() {
 }
 
 #[test]
-fn key_conflict_workloads_agree_across_mechanisms() {
+fn key_conflict_workloads_agree_across_strategies() {
     for seed in [1, 5] {
         let spec = WorkloadSpec {
             peers: 2,
@@ -84,6 +103,42 @@ fn multi_peer_star_workloads_agree() {
 }
 
 #[test]
+fn auto_selects_rewriting_exactly_on_rewritable_workloads() {
+    // Pure-inclusion workloads are the Example 2 class: Auto must resolve to
+    // the rewriting and still agree with the explicit ASP strategy.
+    let rewritable = generate(&WorkloadSpec {
+        peers: 2,
+        tuples_per_relation: 6,
+        violations_per_dec: 2,
+        trust_mix: TrustMix::AllLess,
+        seed: 3,
+        ..WorkloadSpec::default()
+    });
+    let engine = QueryEngine::new(rewritable.system);
+    assert_eq!(
+        engine.resolve(Strategy::Auto, &rewritable.queried_peer, &rewritable.query),
+        StrategyKind::Rewriting
+    );
+    let auto = engine
+        .answer(
+            &rewritable.queried_peer,
+            &rewritable.query,
+            &rewritable.free_vars,
+        )
+        .unwrap();
+    assert_eq!(auto.stats.strategy, StrategyKind::Rewriting);
+    let asp = engine
+        .answer_with(
+            Strategy::Asp,
+            &rewritable.queried_peer,
+            &rewritable.query,
+            &rewritable.free_vars,
+        )
+        .unwrap();
+    assert_eq!(auto.tuples, asp.tuples);
+}
+
+#[test]
 fn transitive_answers_are_a_superset_of_direct_answers_on_import_chains() {
     // On pure-import chains, the global semantics can only add imported
     // tuples, never remove direct ones.
@@ -97,21 +152,17 @@ fn transitive_answers_are_a_superset_of_direct_answers_on_import_chains() {
         ..WorkloadSpec::default()
     };
     let w = generate(&spec);
-    let direct = answers_via_asp(
-        &w.system,
-        &w.queried_peer,
-        &w.query,
-        &w.free_vars,
-        SolverConfig::default(),
-    )
-    .unwrap();
-    let transitive = answers_via_transitive_asp(
-        &w.system,
-        &w.queried_peer,
-        &w.query,
-        &w.free_vars,
-        SolverConfig::default(),
-    )
-    .unwrap();
-    assert!(direct.answers.is_subset(&transitive.answers));
+    let engine = QueryEngine::new(w.system);
+    let direct = engine
+        .answer_with(Strategy::Asp, &w.queried_peer, &w.query, &w.free_vars)
+        .unwrap();
+    let transitive = engine
+        .answer_with(
+            Strategy::TransitiveAsp,
+            &w.queried_peer,
+            &w.query,
+            &w.free_vars,
+        )
+        .unwrap();
+    assert!(direct.tuples.is_subset(&transitive.tuples));
 }

@@ -1,9 +1,8 @@
 //! The textual format: parsing Example 1 from text, answering its named
-//! query, and round-tripping through the printer.
+//! query through the [`QueryEngine`] facade, and round-tripping through the
+//! printer.
 
-use datalog::SolverConfig;
-use p2p_data_exchange::core::answer::answers_via_asp;
-use relalg::Tuple;
+use p2p_data_exchange::{QueryEngine, Strategy, Tuple};
 use std::collections::BTreeSet;
 
 const EXAMPLE1_PDS: &str = r#"
@@ -30,23 +29,38 @@ query all_of_r1 P1 (X, Y): R1(X, Y)
 #[test]
 fn parsed_example1_answers_match_the_paper() {
     let parsed = dsl::parse(EXAMPLE1_PDS).unwrap();
-    let query = &parsed.queries["all_of_r1"];
-    let result = answers_via_asp(
-        &parsed.system,
-        &query.peer,
-        &query.formula,
-        &query.free_vars,
-        SolverConfig::default(),
-    )
-    .unwrap();
+    let query = parsed.queries["all_of_r1"].clone();
+    let engine = QueryEngine::builder(parsed.system)
+        .strategy(Strategy::Asp)
+        .build();
+    let result = engine
+        .answer(&query.peer, &query.formula, &query.free_vars)
+        .unwrap();
     assert_eq!(
-        result.answers,
+        result.tuples,
         BTreeSet::from([
             Tuple::strs(["a", "b"]),
             Tuple::strs(["c", "d"]),
             Tuple::strs(["a", "e"]),
         ])
     );
+}
+
+#[test]
+fn parsed_example1_is_auto_rewritable() {
+    // The parsed system is exactly the Example 2 class, so Auto picks the
+    // rewriting and agrees with the ASP route.
+    let parsed = dsl::parse(EXAMPLE1_PDS).unwrap();
+    let query = parsed.queries["all_of_r1"].clone();
+    let engine = QueryEngine::new(parsed.system);
+    let auto = engine
+        .answer(&query.peer, &query.formula, &query.free_vars)
+        .unwrap();
+    assert_eq!(auto.stats.strategy.label(), "rewriting");
+    let asp = engine
+        .answer_with(Strategy::Asp, &query.peer, &query.formula, &query.free_vars)
+        .unwrap();
+    assert_eq!(auto.tuples, asp.tuples);
 }
 
 #[test]

@@ -3,16 +3,11 @@
 //! umbrella crate.
 
 use datalog::{AnswerSets, SolverConfig};
-use p2p_data_exchange::core::answer::answers_via_asp;
 use p2p_data_exchange::core::asp::paper::{
     appendix_lav_program, example4_program, section31_program,
 };
-use p2p_data_exchange::core::pca::{peer_consistent_answers, vars};
-use p2p_data_exchange::core::rewriting::answers_by_rewriting;
 use p2p_data_exchange::core::solution::{solutions_for, SolutionOptions};
-use p2p_data_exchange::core::PeerId;
-use relalg::query::Formula;
-use relalg::Tuple;
+use p2p_data_exchange::{vars, Formula, PeerId, QueryEngine, Strategy, Tuple};
 use std::collections::BTreeSet;
 
 /// E1 — Example 1: peer P1 has exactly the two solutions r′ and r′′.
@@ -33,10 +28,10 @@ fn e1_example1_solutions() {
 }
 
 /// E2 — Example 2: the PCAs of R1(x, y) at P1 are (a,b), (c,d), (a,e), and
-/// the FO rewriting and the ASP specification both produce them.
+/// every engine strategy produces them.
 #[test]
 fn e2_example2_peer_consistent_answers() {
-    let system = p2p_data_exchange::example1_system();
+    let engine = QueryEngine::new(p2p_data_exchange::example1_system());
     let p1 = PeerId::new("P1");
     let query = Formula::atom("R1", vec!["X", "Y"]);
     let expected = BTreeSet::from([
@@ -45,17 +40,18 @@ fn e2_example2_peer_consistent_answers() {
         Tuple::strs(["a", "e"]),
     ]);
 
-    let semantic =
-        peer_consistent_answers(&system, &p1, &query, &vars(&["X", "Y"]), SolutionOptions::default())
+    for strategy in [
+        Strategy::Naive,
+        Strategy::Rewriting,
+        Strategy::Asp,
+        Strategy::TransitiveAsp,
+        Strategy::Auto,
+    ] {
+        let answers = engine
+            .answer_with(strategy, &p1, &query, &vars(&["X", "Y"]))
             .unwrap();
-    assert_eq!(semantic.answers, expected);
-
-    let rewriting = answers_by_rewriting(&system, &p1, &query, &vars(&["X", "Y"])).unwrap();
-    assert_eq!(rewriting.answers, expected);
-
-    let asp = answers_via_asp(&system, &p1, &query, &vars(&["X", "Y"]), SolverConfig::default())
-        .unwrap();
-    assert_eq!(asp.answers, expected);
+        assert_eq!(answers.tuples, expected, "strategy {strategy:?}");
+    }
 }
 
 /// E3 — Section 3.1: the GAV choice program has the expected stable models

@@ -129,19 +129,20 @@ proptest! {
                 original.relation("T1").unwrap().tuples()
             );
         }
-        let pca = p2p_data_exchange::core::pca::peer_consistent_answers(
-            &w.system,
-            &w.queried_peer,
-            &w.query,
-            &w.free_vars,
-            Default::default(),
-        )
-        .unwrap();
+        let engine = p2p_data_exchange::QueryEngine::new(w.system.clone());
+        let pca = engine
+            .answer_with(
+                p2p_data_exchange::Strategy::Naive,
+                &w.queried_peer,
+                &w.query,
+                &w.free_vars,
+            )
+            .unwrap();
         for s in &solutions {
             let restricted = w.system.restrict_to_peer(&s.database, &w.queried_peer).unwrap();
             let eval = QueryEvaluator::new(&restricted);
             let answers = eval.answers(&w.query, &w.free_vars).unwrap();
-            prop_assert!(pca.answers.is_subset(&answers));
+            prop_assert!(pca.tuples.is_subset(&answers));
         }
     }
 
@@ -149,6 +150,7 @@ proptest! {
     /// random inclusion workloads (the fragment all three support).
     #[test]
     fn mechanisms_agree_on_random_inclusion_workloads(seed in 0u64..25) {
+        use p2p_data_exchange::{QueryEngine, Strategy};
         let spec = WorkloadSpec {
             peers: 2,
             tuples_per_relation: 5,
@@ -158,17 +160,18 @@ proptest! {
             ..WorkloadSpec::default()
         };
         let w = generate(&spec);
-        let semantic = p2p_data_exchange::core::pca::peer_consistent_answers(
-            &w.system, &w.queried_peer, &w.query, &w.free_vars, Default::default(),
-        ).unwrap();
-        let rewriting = p2p_data_exchange::core::rewriting::answers_by_rewriting(
-            &w.system, &w.queried_peer, &w.query, &w.free_vars,
-        ).unwrap();
-        let asp = p2p_data_exchange::core::answer::answers_via_asp(
-            &w.system, &w.queried_peer, &w.query, &w.free_vars, datalog::SolverConfig::default(),
-        ).unwrap();
-        prop_assert_eq!(&semantic.answers, &rewriting.answers);
-        prop_assert_eq!(&semantic.answers, &asp.answers);
+        let engine = QueryEngine::new(w.system);
+        let semantic = engine
+            .answer_with(Strategy::Naive, &w.queried_peer, &w.query, &w.free_vars)
+            .unwrap();
+        let rewriting = engine
+            .answer_with(Strategy::Rewriting, &w.queried_peer, &w.query, &w.free_vars)
+            .unwrap();
+        let asp = engine
+            .answer_with(Strategy::Asp, &w.queried_peer, &w.query, &w.free_vars)
+            .unwrap();
+        prop_assert_eq!(&semantic.tuples, &rewriting.tuples);
+        prop_assert_eq!(&semantic.tuples, &asp.tuples);
     }
 
     /// Every answer set reported for a small non-disjunctive program is a

@@ -1,0 +1,268 @@
+//! Offline stand-in for the slice of `proptest` this workspace uses.
+//!
+//! The container has no crates.io access, so this crate provides the
+//! property-testing surface the integration tests rely on — integer-range
+//! strategies, tuple strategies, `collection::btree_set`, `prop_map`, the
+//! `proptest!` macro, `ProptestConfig::with_cases` and the `prop_assert*`
+//! macros — backed by a deterministic SplitMix64 generator instead of
+//! proptest's shrinking runner. Failures therefore report the failing case
+//! index rather than a shrunken minimal input; the deterministic seed makes
+//! every failure reproducible by construction.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Deterministic generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator for the given test case index (deterministic per case).
+    pub fn for_case(case: u64) -> Self {
+        TestRng {
+            // Fixed base seed; one disjoint stream per case.
+            state: 0x5EED_0000_0000_0000u64.wrapping_add(case.wrapping_mul(0x9E37_79B9)),
+        }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u128) -> u128 {
+        assert!(bound > 0, "cannot sample an empty range");
+        (self.next_u64() as u128) % bound
+    }
+}
+
+/// Runner configuration (only the case count is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u64,
+}
+
+impl ProptestConfig {
+    /// Run each property over `cases` generated inputs.
+    pub fn with_cases(cases: u64) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generation strategy for values of type `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through a function.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as u128) - (self.start as u128);
+                (self.start as u128 + rng.below(span)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+/// Collection strategies.
+pub mod collection {
+    use super::{BTreeSet, Range, Strategy, TestRng};
+
+    /// Strategy for `BTreeSet`s with sizes drawn from `sizes`.
+    pub struct BTreeSetStrategy<E> {
+        element: E,
+        sizes: Range<usize>,
+    }
+
+    /// Generate `BTreeSet`s of `element` values with a size in `sizes`.
+    pub fn btree_set<E: Strategy>(element: E, sizes: Range<usize>) -> BTreeSetStrategy<E>
+    where
+        E::Value: Ord,
+    {
+        BTreeSetStrategy { element, sizes }
+    }
+
+    impl<E: Strategy> Strategy for BTreeSetStrategy<E>
+    where
+        E::Value: Ord,
+    {
+        type Value = BTreeSet<E::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<E::Value> {
+            let target = self.sizes.clone().generate(rng);
+            let mut out = BTreeSet::new();
+            // Duplicates shrink the set; a bounded number of extra draws keeps
+            // generation total even when the element space is tiny.
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 10 + 10 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestRng};
+}
+
+/// Assert inside a property (plain `assert!` with case context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declare deterministic property tests over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut proptest_rng = $crate::TestRng::for_case(case);
+                    $(
+                        let $arg = $crate::Strategy::generate(
+                            &($strategy),
+                            &mut proptest_rng,
+                        );
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),*) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..64 {
+            let v = (0u8..4).generate(&mut rng);
+            assert!(v < 4);
+        }
+        let doubled = (1usize..5).prop_map(|v| v * 2);
+        for _ in 0..32 {
+            let v = doubled.generate(&mut rng);
+            assert!([2, 4, 6, 8].contains(&v));
+        }
+    }
+
+    #[test]
+    fn btree_sets_respect_size_bounds() {
+        let strat = crate::collection::btree_set((0u8..4, 0u8..4), 0..6);
+        let mut rng = TestRng::for_case(3);
+        for _ in 0..32 {
+            let set = strat.generate(&mut rng);
+            assert!(set.len() < 6);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself: generated values satisfy their range bounds.
+        #[test]
+        fn macro_generates_within_bounds(a in 0u64..10, b in 2usize..5) {
+            prop_assert!(a < 10);
+            prop_assert!((2..5).contains(&b));
+            prop_assert_ne!(b, 0);
+            prop_assert_eq!(b.clamp(2, 4), b);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` derive macros.
+//!
+//! The container this workspace builds in has no network access and no
+//! vendored crates.io registry, so the real `serde` cannot be fetched. The
+//! workspace only ever uses `#[derive(Serialize, Deserialize)]` as inert
+//! annotations (nothing calls a serializer), so this proc-macro crate
+//! provides the two derives as no-ops. Swapping the real `serde` back in is
+//! a one-line change in each crate manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
