@@ -19,7 +19,8 @@ fn bench(c: &mut Criterion) {
             violations_per_dec: 2,
             trust_mix: TrustMix::AllLess,
             ..WorkloadSpec::default()
-        });
+        })
+        .expect("valid workload spec");
         group.bench_with_input(BenchmarkId::new("p2p_asp", n), &w, |b, w| {
             b.iter(|| run_asp(w, "bench").unwrap().answers)
         });

@@ -1,0 +1,56 @@
+//! B8 — sustained query throughput under a mutation stream, comparing the
+//! three cache regimes: fresh engines per commit (cold), a single engine
+//! whose cache is fully flushed on every commit, and the engine's
+//! closure-based incremental invalidation (only artifacts whose
+//! relevant-peer closure intersects the touched peers are recomputed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdes_bench::live::{run_live, LiveMode};
+use pdes_core::engine::Strategy;
+use std::time::Duration;
+use workload::{generate, generate_updates, Topology, TrustMix, UpdateSpec, WorkloadSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B8_live_updates");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    for &peers in &[3usize, 5] {
+        let w = generate(&WorkloadSpec {
+            peers,
+            tuples_per_relation: 10,
+            violations_per_dec: 1,
+            trust_mix: TrustMix::AllLess,
+            topology: Topology::Star,
+            ..WorkloadSpec::default()
+        })
+        .expect("valid workload spec");
+        let stream = generate_updates(
+            &w,
+            &UpdateSpec {
+                batches: 6,
+                batch_size: 2,
+                ..UpdateSpec::default()
+            },
+        )
+        .expect("valid update spec");
+        for mode in [LiveMode::Cold, LiveMode::FullFlush, LiveMode::Incremental] {
+            group.bench_with_input(
+                BenchmarkId::new(mode.label(), peers),
+                &(&w, &stream),
+                |b, (w, stream)| {
+                    b.iter(|| {
+                        run_live(w, stream, Strategy::Asp, mode, peers, "bench")
+                            .expect("live run")
+                            .queries
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -22,7 +22,8 @@ fn bench(c: &mut Criterion) {
             violations_per_dec: 2,
             trust_mix: TrustMix::AllLess,
             ..WorkloadSpec::default()
-        });
+        })
+        .expect("valid workload spec");
         group.bench_with_input(BenchmarkId::new("rewriting", n), &w, |b, w| {
             b.iter(|| run_rewriting(w, "bench").unwrap().answers)
         });

@@ -20,7 +20,8 @@ fn bench(c: &mut Criterion) {
             trust_mix: TrustMix::Mixed,
             topology: Topology::Star,
             ..WorkloadSpec::default()
-        });
+        })
+        .expect("valid workload spec");
         group.bench_with_input(BenchmarkId::new("asp_cold", peers), &w, |b, w| {
             b.iter(|| run_asp(w, "bench").unwrap().answers)
         });

@@ -21,7 +21,8 @@ fn bench(c: &mut Criterion) {
             trust_mix: TrustMix::AllSame,
             key_constraint_percent: 100,
             ..WorkloadSpec::default()
-        });
+        })
+        .expect("valid workload spec");
         group.bench_with_input(BenchmarkId::new("asp_cold", v), &w, |b, w| {
             b.iter(|| run_asp(w, "bench").unwrap().answers)
         });

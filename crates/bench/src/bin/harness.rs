@@ -1,12 +1,13 @@
-//! Prints the B1–B7 experiment tables (see DESIGN.md and EXPERIMENTS.md).
+//! Prints the B1–B8 experiment tables (see DESIGN.md and EXPERIMENTS.md).
 //!
 //! Usage: `cargo run -p pdes-bench --release --bin harness [--quick]`
 
 use pdes_bench::experiments;
-use pdes_bench::render_table;
+use pdes_bench::{render_live_table, render_table};
 
-/// Sweep parameters of the seven tables.
+/// Sweep parameters of the eight tables.
 type Sweeps = (
+    Vec<usize>,
     Vec<usize>,
     Vec<usize>,
     Vec<usize>,
@@ -19,27 +20,30 @@ type Sweeps = (
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
 
-    let (b1_sizes, b2_peers, b3_viol, b4_wit, b5_chain, b6_sizes, b7_sizes): Sweeps = if quick {
-        (
-            vec![10, 20],
-            vec![2, 4],
-            vec![1, 2],
-            vec![2, 4],
-            vec![2, 3],
-            vec![10, 20],
-            vec![10, 20],
-        )
-    } else {
-        (
-            vec![10, 20, 40, 80, 160],
-            vec![2, 4, 6, 8],
-            vec![1, 2, 4, 6],
-            vec![2, 4, 6, 8],
-            vec![2, 3, 4, 5],
-            vec![10, 20, 40, 80],
-            vec![10, 20, 40, 80],
-        )
-    };
+    let (b1_sizes, b2_peers, b3_viol, b4_wit, b5_chain, b6_sizes, b7_sizes, b8_batches): Sweeps =
+        if quick {
+            (
+                vec![10, 20],
+                vec![2, 4],
+                vec![1, 2],
+                vec![2, 4],
+                vec![2, 3],
+                vec![10, 20],
+                vec![10, 20],
+                vec![4],
+            )
+        } else {
+            (
+                vec![10, 20, 40, 80, 160],
+                vec![2, 4, 6, 8],
+                vec![1, 2, 4, 6],
+                vec![2, 4, 6, 8],
+                vec![2, 3, 4, 5],
+                vec![10, 20, 40, 80],
+                vec![10, 20, 40, 80],
+                vec![4, 8, 16],
+            )
+        };
 
     println!("Peer-to-peer data exchange — experiment harness");
     println!("(one run per point; see `cargo bench` for statistically repeated timings)");
@@ -91,6 +95,13 @@ fn main() {
         render_table(
             "B7: answer-set engine micro-benchmarks (grounding / solving)",
             &experiments::table_b7(&b7_sizes)
+        )
+    );
+    print!(
+        "{}",
+        render_live_table(
+            "B8: query throughput under a mutation stream (cold / flush / incremental)",
+            &experiments::table_b8(&b8_batches)
         )
     );
 }

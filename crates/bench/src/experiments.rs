@@ -8,6 +8,7 @@
 //! the HCF shifting optimization, the cost of the transitive (global)
 //! semantics, and the relation to single-database CQA.
 
+use crate::live::{run_live, LiveMeasurement, LiveMode};
 use crate::runners::{
     run_asp, run_cqa_baseline, run_naive, run_rewriting, run_transitive_asp, Measurement,
 };
@@ -18,7 +19,7 @@ use pdes_core::asp::annotated::annotated_program;
 use pdes_core::asp::paper::section31_program;
 use relalg::Tuple;
 use std::time::Instant;
-use workload::{generate, Topology, TrustMix, WorkloadSpec};
+use workload::{generate, generate_updates, Topology, TrustMix, UpdateSpec, WorkloadSpec};
 
 /// B1 — PCA latency vs. tuples per relation (rewriting vs. ASP vs. naive).
 pub fn table_b1(sizes: &[usize]) -> Vec<Measurement> {
@@ -31,7 +32,13 @@ pub fn table_b1(sizes: &[usize]) -> Vec<Measurement> {
             trust_mix: TrustMix::AllLess,
             ..WorkloadSpec::default()
         };
-        let w = generate(&spec);
+        let w = match generate(&spec) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("skipping sweep point ({spec}): {e}");
+                continue;
+            }
+        };
         let params = format!("tuples={n} violations=2 peers=2");
         rows.extend(run_rewriting(&w, &params));
         rows.extend(run_asp(&w, &params));
@@ -54,7 +61,13 @@ pub fn table_b2(peer_counts: &[usize]) -> Vec<Measurement> {
             topology: Topology::Star,
             ..WorkloadSpec::default()
         };
-        let w = generate(&spec);
+        let w = match generate(&spec) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("skipping sweep point ({spec}): {e}");
+                continue;
+            }
+        };
         let params = format!("peers={peers} tuples=10 violations=1");
         rows.extend(run_asp(&w, &params));
         if peers <= 6 {
@@ -76,7 +89,13 @@ pub fn table_b3(violation_counts: &[usize]) -> Vec<Measurement> {
             key_constraint_percent: 100,
             ..WorkloadSpec::default()
         };
-        let w = generate(&spec);
+        let w = match generate(&spec) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("skipping sweep point ({spec}): {e}");
+                continue;
+            }
+        };
         let params = format!("violations={v} tuples=12 peers=2");
         rows.extend(run_asp(&w, &params));
         if v <= 4 {
@@ -142,7 +161,13 @@ pub fn table_b5(chain_lengths: &[usize]) -> Vec<Measurement> {
             topology: Topology::Chain,
             ..WorkloadSpec::default()
         };
-        let w = generate(&spec);
+        let w = match generate(&spec) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("skipping sweep point ({spec}): {e}");
+                continue;
+            }
+        };
         let params = format!("chain={len} tuples=8 violations=1");
         rows.extend(run_asp(&w, &params));
         rows.extend(run_transitive_asp(&w, &params));
@@ -162,7 +187,13 @@ pub fn table_b6(sizes: &[usize]) -> Vec<Measurement> {
             trust_mix: TrustMix::AllLess,
             ..WorkloadSpec::default()
         };
-        let w = generate(&spec);
+        let w = match generate(&spec) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("skipping sweep point ({spec}): {e}");
+                continue;
+            }
+        };
         let params = format!("tuples={n} violations=2 peers=2");
         rows.extend(run_asp(&w, &params));
         // The single-database baseline ignores peer boundaries and trust, so
@@ -188,7 +219,13 @@ pub fn table_b7(sizes: &[usize]) -> Vec<Measurement> {
             trust_mix: TrustMix::AllLess,
             ..WorkloadSpec::default()
         };
-        let w = generate(&spec);
+        let w = match generate(&spec) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("skipping sweep point ({spec}): {e}");
+                continue;
+            }
+        };
         let annotated = annotated_program(&w.system, &w.queried_peer).expect("spec");
         let params = format!("spec-program tuples={n}");
 
@@ -228,6 +265,55 @@ pub fn table_b7(sizes: &[usize]) -> Vec<Measurement> {
     rows
 }
 
+/// B8 — sustained query throughput under a mutation stream: fresh engines
+/// vs. full cache flushes vs. closure-based incremental invalidation.
+pub fn table_b8(stream_lengths: &[usize]) -> Vec<LiveMeasurement> {
+    let mut rows = Vec::new();
+    for &batches in stream_lengths {
+        let spec = WorkloadSpec {
+            peers: 4,
+            tuples_per_relation: 10,
+            violations_per_dec: 1,
+            trust_mix: TrustMix::AllLess,
+            topology: Topology::Star,
+            ..WorkloadSpec::default()
+        };
+        let w = match generate(&spec) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("skipping sweep point ({spec}): {e}");
+                continue;
+            }
+        };
+        let stream = match generate_updates(
+            &w,
+            &UpdateSpec {
+                batches,
+                batch_size: 2,
+                ..UpdateSpec::default()
+            },
+        ) {
+            Ok(stream) => stream,
+            Err(e) => {
+                eprintln!("skipping sweep point (batches={batches}): {e}");
+                continue;
+            }
+        };
+        let params = format!("peers=4 batches={batches} rate=2");
+        for mode in [LiveMode::Cold, LiveMode::FullFlush, LiveMode::Incremental] {
+            rows.extend(run_live(
+                &w,
+                &stream,
+                pdes_core::engine::Strategy::Asp,
+                mode,
+                4,
+                &params,
+            ));
+        }
+    }
+    rows
+}
+
 /// A tiny program whose grounding/solving is used as a Criterion
 /// micro-benchmark target.
 pub fn small_spec_program() -> Program {
@@ -237,7 +323,8 @@ pub fn small_spec_program() -> Program {
         violations_per_dec: 2,
         trust_mix: TrustMix::AllLess,
         ..WorkloadSpec::default()
-    });
+    })
+    .expect("valid workload spec");
     annotated_program(&w.system, &w.queried_peer)
         .expect("spec")
         .program
@@ -270,6 +357,18 @@ mod tests {
     fn b5_transitive_runs_on_short_chain() {
         let rows = table_b5(&[3]);
         assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn b8_covers_all_three_live_modes() {
+        let rows = table_b8(&[3]);
+        let modes: Vec<LiveMode> = rows.iter().map(|r| r.mode).collect();
+        assert!(modes.contains(&LiveMode::Cold));
+        assert!(modes.contains(&LiveMode::FullFlush));
+        assert!(modes.contains(&LiveMode::Incremental));
+        // Every mode answers the same number of queries on the same stream.
+        let counts: Vec<usize> = rows.iter().map(|r| r.queries).collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]

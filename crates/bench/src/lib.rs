@@ -9,8 +9,14 @@
 //!
 //! * `cargo run -p pdes-bench --release --bin harness` prints every table;
 //! * `cargo bench` runs the Criterion micro-benchmarks (one per table).
+//!
+//! Table B8 ([`live`]) measures sustained query throughput under a mutation
+//! stream: cold engines vs. full cache flushes vs. the engine's incremental
+//! closure-based invalidation.
 
 pub mod experiments;
+pub mod live;
 pub mod runners;
 
+pub use live::{render_live_table, LiveMeasurement, LiveMode};
 pub use runners::{render_table, Measurement};

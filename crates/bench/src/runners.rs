@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn runners_produce_consistent_answers_on_tiny_workload() {
-        let w = generate(&WorkloadSpec::tiny());
+        let w = generate(&WorkloadSpec::tiny()).unwrap();
         let rewriting = run_rewriting(&w, "tiny").unwrap();
         let asp = run_asp(&w, "tiny").unwrap();
         let naive = run_naive(&w, "tiny").unwrap();
@@ -135,7 +135,7 @@ mod tests {
 
     #[test]
     fn runner_labels_match_the_legacy_table_names() {
-        let w = generate(&WorkloadSpec::tiny());
+        let w = generate(&WorkloadSpec::tiny()).unwrap();
         assert_eq!(run_rewriting(&w, "t").unwrap().mechanism, "rewriting");
         assert_eq!(run_asp(&w, "t").unwrap().mechanism, "asp");
         assert_eq!(run_naive(&w, "t").unwrap().mechanism, "naive-solutions");
@@ -147,7 +147,7 @@ mod tests {
 
     #[test]
     fn warm_engines_answer_from_cache() {
-        let w = generate(&WorkloadSpec::tiny());
+        let w = generate(&WorkloadSpec::tiny()).unwrap();
         let engine = engine_for(&w, Strategy::Asp);
         let cold = engine
             .answer(&w.queried_peer, &w.query, &w.free_vars)
@@ -162,7 +162,7 @@ mod tests {
 
     #[test]
     fn table_rendering_includes_rows() {
-        let w = generate(&WorkloadSpec::tiny());
+        let w = generate(&WorkloadSpec::tiny()).unwrap();
         let rows = vec![run_rewriting(&w, "tiny").unwrap()];
         let table = render_table("B1", &rows);
         assert!(table.contains("B1"));
@@ -171,7 +171,7 @@ mod tests {
 
     #[test]
     fn cqa_baseline_runs_on_tiny_workload() {
-        let w = generate(&WorkloadSpec::tiny());
+        let w = generate(&WorkloadSpec::tiny()).unwrap();
         let m = run_cqa_baseline(&w, "tiny").unwrap();
         assert!(m.worlds >= 1);
     }

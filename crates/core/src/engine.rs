@@ -39,14 +39,34 @@
 //!
 //! ## Memoization
 //!
-//! The engine owns its (immutable) system, which makes per-peer preparation
-//! cacheable: the naive strategy's enumerated solutions, the ASP strategies'
-//! *grounded and solved* specification programs (decoded into per-world
-//! databases) and the rewriting strategy's materialized global instance are
-//! all computed once per `(engine, peer)` and reused across queries. A
-//! repeated query against the same peer therefore skips spec generation,
-//! grounding and stable-model search entirely and only re-runs the cheap
-//! per-world query evaluation — the hot path of the benchmark suite.
+//! The engine owns its system, which makes per-peer preparation cacheable:
+//! the naive strategy's enumerated solutions, the ASP strategies' *grounded
+//! and solved* specification programs (decoded into per-world databases) and
+//! the rewriting strategy's materialized global instance are all computed
+//! once per `(engine, peer)` and reused across queries. A repeated query
+//! against the same peer therefore skips spec generation, grounding and
+//! stable-model search entirely and only re-runs the cheap per-world query
+//! evaluation — the hot path of the benchmark suite.
+//!
+//! ## Live updates and incremental invalidation
+//!
+//! The system behind an engine is no longer frozen: [`QueryEngine::commit_delta`]
+//! applies a [`relalg::Delta`] of ground atoms to one peer's instance, bumps
+//! that peer's monotonically increasing *version*, and invalidates exactly
+//! the memoized artifacts that could observe the change. Every cached
+//! artifact records the `(peer, version)` stamp of the peers it was computed
+//! from — the queried peer's *relevant-peer closure*
+//! ([`crate::system::P2PSystem::dependencies_of`], the transitive closure of
+//! DEC ownership edges) for the ASP strategies, and every peer for the naive
+//! strategy (whose repair search draws existential witnesses from the global
+//! active domain). A commit touching peer `P` therefore recomputes only the
+//! artifacts of peers whose closure contains `P`; warm queries on peers
+//! outside the closure stay warm, which [`CacheMetrics`] and
+//! [`EngineStats::cache_hit`] make observable. The materialized global
+//! instance is not invalidated at all: the committed delta is applied to it
+//! incrementally (relation names are globally unique, so a peer-local delta
+//! is also a global-instance delta). The `pdes-session` crate builds the
+//! transactional `Session`/`Tx` surface on top of these primitives.
 //!
 //! Skipping the solver on repeat queries is sound because the appended query
 //! rules of the legacy path are non-disjunctive, positive definitions layered
@@ -121,6 +141,7 @@ impl StrategyKind {
 
 /// Per-run statistics of one answered query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "engine statistics are only useful when inspected"]
 pub struct EngineStats {
     /// The mechanism that answered the query.
     pub strategy: StrategyKind,
@@ -182,8 +203,25 @@ pub enum Provenance {
     },
 }
 
+/// Cumulative cache behaviour of one engine, across every query and commit
+/// it has served. Unlike the per-run [`EngineStats`], these counters
+/// aggregate over the engine's lifetime, which is what the live-update
+/// benchmarks report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheMetrics {
+    /// Preparations served from the cache.
+    pub hits: u64,
+    /// Preparations that had to run (cold or invalidated).
+    pub misses: u64,
+    /// Memoized artifacts dropped by invalidation or flushing.
+    pub invalidated: u64,
+    /// Committed update deltas.
+    pub commits: u64,
+}
+
 /// The unified result of answering a query through the engine.
 #[derive(Debug, Clone)]
+#[must_use = "dropping query answers without reading them is almost always a bug"]
 pub struct Answers {
     /// The peer consistent answers (certain tuples).
     pub tuples: BTreeSet<Tuple>,
@@ -242,6 +280,7 @@ pub trait AnsweringStrategy: Send + Sync {
 }
 
 /// Builder for [`QueryEngine`].
+#[must_use = "a builder does nothing until `build` is called"]
 pub struct QueryEngineBuilder {
     system: P2PSystem,
     strategy: Strategy,
@@ -289,10 +328,17 @@ impl QueryEngineBuilder {
     }
 }
 
+/// A version stamp: the per-peer versions an artifact was computed from.
+type VersionStamp = BTreeMap<PeerId, u64>;
+
 /// Per-peer prepared state shared by repeated queries.
 #[derive(Default)]
 struct EngineCache {
-    /// Materialized global instance (rewriting strategy).
+    /// Monotonically increasing per-peer versions (absent = 0, the
+    /// construction-time instance).
+    versions: BTreeMap<PeerId, u64>,
+    /// Materialized global instance (rewriting strategy). Maintained
+    /// incrementally across commits rather than invalidated.
     global: Option<Arc<Database>>,
     /// Per-peer enumerated solutions, restricted to the peer (naive).
     naive: BTreeMap<PeerId, Arc<PreparedWorlds>>,
@@ -300,6 +346,60 @@ struct EngineCache {
     asp: BTreeMap<PeerId, Arc<PreparedWorlds>>,
     /// Per-peer grounded + solved transitive programs.
     transitive: BTreeMap<PeerId, Arc<PreparedWorlds>>,
+    /// Lifetime hit/miss/invalidation counters.
+    metrics: CacheMetrics,
+}
+
+impl EngineCache {
+    /// The version stamp for a set of relevant peers, under the current
+    /// versions.
+    fn stamp_for(&self, relevant: impl IntoIterator<Item = PeerId>) -> VersionStamp {
+        relevant
+            .into_iter()
+            .map(|p| {
+                let v = self.versions.get(&p).copied().unwrap_or(0);
+                (p, v)
+            })
+            .collect()
+    }
+
+    /// The per-peer artifact slot for the direct or transitive ASP
+    /// mechanism.
+    fn asp_slot(&mut self, transitive: bool) -> &mut BTreeMap<PeerId, Arc<PreparedWorlds>> {
+        if transitive {
+            &mut self.transitive
+        } else {
+            &mut self.asp
+        }
+    }
+
+    /// Is a stamp still current? (Belt-and-braces: eager invalidation on
+    /// commit should make a stale stamp unobservable, but the check is
+    /// cheap and makes the cache self-validating.)
+    fn stamp_current(&self, stamp: &VersionStamp) -> bool {
+        stamp
+            .iter()
+            .all(|(p, v)| self.versions.get(p).copied().unwrap_or(0) == *v)
+    }
+
+    /// Drop every memoized artifact whose version stamp mentions a touched
+    /// peer (i.e. whose owning peer's relevant-peer closure intersects
+    /// `touched`). Returns how many artifacts were dropped. The global
+    /// instance is left alone: callers either maintain it incrementally
+    /// (commit) or drop it explicitly (external invalidation).
+    fn drop_stamped(&mut self, touched: &BTreeSet<PeerId>) -> u64 {
+        let mut dropped = 0;
+        for slot in [&mut self.naive, &mut self.asp, &mut self.transitive] {
+            slot.retain(|_, prepared| {
+                let keep = prepared.stamp.keys().all(|p| !touched.contains(p));
+                if !keep {
+                    dropped += 1;
+                }
+                keep
+            });
+        }
+        dropped
+    }
 }
 
 /// The decoded worlds of one peer under one mechanism, plus how long the
@@ -309,6 +409,8 @@ struct PreparedWorlds {
     databases: Vec<Database>,
     /// World count before deduplication (matches the legacy result structs).
     worlds: usize,
+    /// The `(peer, version)` set this entry was computed from.
+    stamp: VersionStamp,
     prepare_micros: u128,
     ground_micros: u128,
     solve_micros: u128,
@@ -432,6 +534,111 @@ impl QueryEngine {
     }
 
     // ------------------------------------------------------------------
+    // Live updates: versions, commits, invalidation.
+    // ------------------------------------------------------------------
+
+    /// Apply an update delta to `peer`'s instance, bump the peer's version
+    /// and invalidate exactly the memoized artifacts whose relevant-peer
+    /// closure contains `peer`. The cached global instance is maintained
+    /// *incrementally* (the delta is applied to it in place of a full
+    /// recomputation), so warm rewriting queries stay warm across commits.
+    /// Returns the peer's new version.
+    ///
+    /// Validation of the delta against the peer's schema happens before any
+    /// state changes ([`P2PSystem::apply_delta`]); local integrity
+    /// constraints are the responsibility of the transactional layer
+    /// (`pdes-session`), which checks them before calling this.
+    pub fn commit_delta(&mut self, peer: &PeerId, delta: &relalg::Delta) -> Result<u64> {
+        self.system.apply_delta(peer, delta)?;
+        let cache = self
+            .cache
+            .get_mut()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let version = {
+            let v = cache.versions.entry(peer.clone()).or_insert(0);
+            *v += 1;
+            *v
+        };
+        // Incremental maintenance of the materialized global instance:
+        // relation names are globally unique (Definition 2(b)), so a
+        // peer-local delta applies verbatim to the union of all instances.
+        if let Some(global) = cache.global.take() {
+            cache.global = Some(Arc::new(delta.apply(&global)?));
+        }
+        let touched = BTreeSet::from([peer.clone()]);
+        let dropped = cache.drop_stamped(&touched);
+        cache.metrics.invalidated += dropped;
+        cache.metrics.commits += 1;
+        Ok(version)
+    }
+
+    /// Drop every memoized artifact whose relevant-peer closure intersects
+    /// `touched`, plus the materialized global instance (no delta is
+    /// available here to maintain it incrementally). Returns the number of
+    /// artifacts dropped. Use this when the system was mutated through a
+    /// side channel; [`QueryEngine::commit_delta`] invalidates on its own.
+    pub fn invalidate_peers<I: IntoIterator<Item = PeerId>>(&self, touched: I) -> u64 {
+        let touched: BTreeSet<PeerId> = touched.into_iter().collect();
+        if touched.is_empty() {
+            return 0;
+        }
+        let mut cache = self.lock_cache();
+        let mut dropped = cache.drop_stamped(&touched);
+        if cache.global.take().is_some() {
+            dropped += 1;
+        }
+        cache.metrics.invalidated += dropped;
+        dropped
+    }
+
+    /// Drop the entire cache (the "full flush" baseline of the live-update
+    /// benchmarks). Returns the number of artifacts dropped.
+    pub fn flush_cache(&self) -> u64 {
+        let mut cache = self.lock_cache();
+        let mut dropped = (cache.naive.len() + cache.asp.len() + cache.transitive.len()) as u64;
+        cache.naive.clear();
+        cache.asp.clear();
+        cache.transitive.clear();
+        if cache.global.take().is_some() {
+            dropped += 1;
+        }
+        cache.metrics.invalidated += dropped;
+        dropped
+    }
+
+    /// The current version of a peer (0 until its first committed update).
+    pub fn version_of(&self, peer: &PeerId) -> u64 {
+        self.lock_cache().versions.get(peer).copied().unwrap_or(0)
+    }
+
+    /// The current per-peer versions of every peer in the system.
+    pub fn versions(&self) -> BTreeMap<PeerId, u64> {
+        let cache = self.lock_cache();
+        self.system
+            .peer_ids()
+            .map(|p| (p.clone(), cache.versions.get(p).copied().unwrap_or(0)))
+            .collect()
+    }
+
+    /// The relevant-peer closure of a peer — the peers whose commits
+    /// invalidate this peer's memoized artifacts.
+    pub fn relevant_peers(&self, peer: &PeerId) -> BTreeSet<PeerId> {
+        self.system.dependencies_of(peer)
+    }
+
+    /// Lifetime cache counters (hits, misses, invalidations, commits).
+    pub fn metrics(&self) -> CacheMetrics {
+        self.lock_cache().metrics
+    }
+
+    /// How many per-peer artifacts (naive / ASP / transitive entries) are
+    /// currently memoized, excluding the global instance.
+    pub fn cached_artifact_count(&self) -> usize {
+        let cache = self.lock_cache();
+        cache.naive.len() + cache.asp.len() + cache.transitive.len()
+    }
+
+    // ------------------------------------------------------------------
     // Shared preparation (the memoized hot path).
     // ------------------------------------------------------------------
 
@@ -446,8 +653,14 @@ impl QueryEngine {
     }
 
     fn global_instance(&self) -> Result<(Arc<Database>, bool, u128)> {
-        if let Some(db) = &self.lock_cache().global {
-            return Ok((Arc::clone(db), true, 0));
+        {
+            let mut cache = self.lock_cache();
+            if let Some(db) = &cache.global {
+                let db = Arc::clone(db);
+                cache.metrics.hits += 1;
+                return Ok((db, true, 0));
+            }
+            cache.metrics.misses += 1;
         }
         // Materialize outside the lock; concurrent misses may duplicate the
         // work but never block each other on it.
@@ -460,10 +673,25 @@ impl QueryEngine {
     }
 
     /// Enumerated solutions of `peer`, restricted to the peer's relations.
+    ///
+    /// The entry's stamp covers *every* peer: the repair search operates on
+    /// the global instance and draws existential witnesses from its active
+    /// domain, so in principle any peer's data can influence it.
     fn naive_worlds(&self, peer: &PeerId) -> Result<(Arc<PreparedWorlds>, bool)> {
-        if let Some(prepared) = self.lock_cache().naive.get(peer) {
-            return Ok((Arc::clone(prepared), true));
-        }
+        let stamp = {
+            let mut cache = self.lock_cache();
+            if let Some(prepared) = cache.naive.get(peer) {
+                if cache.stamp_current(&prepared.stamp) {
+                    let prepared = Arc::clone(prepared);
+                    cache.metrics.hits += 1;
+                    return Ok((prepared, true));
+                }
+                cache.naive.remove(peer);
+                cache.metrics.invalidated += 1;
+            }
+            cache.metrics.misses += 1;
+            cache.stamp_for(self.system.peer_ids().cloned())
+        };
         // Enumerate outside the lock (solution search can be expensive).
         let start = Instant::now();
         let (solutions, search) = solutions_with_stats(&self.system, peer, self.solution_options)?;
@@ -474,6 +702,7 @@ impl QueryEngine {
         let prepared = Arc::new(PreparedWorlds {
             worlds: solutions.len(),
             databases,
+            stamp,
             prepare_micros: start.elapsed().as_micros(),
             ground_micros: 0,
             solve_micros: 0,
@@ -493,18 +722,26 @@ impl QueryEngine {
 
     /// Grounded + solved specification program of `peer` (direct or
     /// transitive), decoded into per-world databases.
+    ///
+    /// The entry's stamp covers the peer's relevant-peer closure
+    /// ([`P2PSystem::dependencies_of`]): the specification programs only read
+    /// the instances of DEC-reachable peers, so commits outside the closure
+    /// leave the entry warm.
     fn asp_worlds(&self, peer: &PeerId, transitive: bool) -> Result<(Arc<PreparedWorlds>, bool)> {
-        {
+        let stamp = {
             let mut cache = self.lock_cache();
-            let slot = if transitive {
-                &mut cache.transitive
-            } else {
-                &mut cache.asp
-            };
-            if let Some(prepared) = slot.get(peer) {
-                return Ok((Arc::clone(prepared), true));
+            if let Some(prepared) = cache.asp_slot(transitive).get(peer) {
+                let prepared = Arc::clone(prepared);
+                if cache.stamp_current(&prepared.stamp) {
+                    cache.metrics.hits += 1;
+                    return Ok((prepared, true));
+                }
+                cache.asp_slot(transitive).remove(peer);
+                cache.metrics.invalidated += 1;
             }
-        }
+            cache.metrics.misses += 1;
+            cache.stamp_for(self.system.dependencies_of(peer))
+        };
         // Ground and solve outside the lock: stable-model search is the
         // expensive phase and must not serialize unrelated queries.
         let start = Instant::now();
@@ -516,6 +753,7 @@ impl QueryEngine {
             PreparedWorlds {
                 worlds: sets.len(),
                 databases,
+                stamp,
                 prepare_micros: start.elapsed().as_micros(),
                 ground_micros,
                 solve_micros,
@@ -533,6 +771,7 @@ impl QueryEngine {
             PreparedWorlds {
                 worlds: sets.len(),
                 databases,
+                stamp,
                 prepare_micros: start.elapsed().as_micros(),
                 ground_micros,
                 solve_micros,
@@ -543,14 +782,40 @@ impl QueryEngine {
                 },
             }
         });
-        let mut cache = self.lock_cache();
-        let slot = if transitive {
-            &mut cache.transitive
-        } else {
-            &mut cache.asp
-        };
-        let prepared = Arc::clone(slot.entry(peer.clone()).or_insert(prepared));
+        let prepared = Arc::clone(
+            self.lock_cache()
+                .asp_slot(transitive)
+                .entry(peer.clone())
+                .or_insert(prepared),
+        );
         Ok((prepared, false))
+    }
+
+    /// Evaluate a query over prepared worlds and assemble the unified
+    /// [`Answers`] (shared by the three world-based strategies).
+    fn answers_from_worlds(
+        &self,
+        kind: StrategyKind,
+        worlds: &PreparedWorlds,
+        cache_hit: bool,
+        query: &Formula,
+        free_vars: &[String],
+    ) -> Result<Answers> {
+        let start = Instant::now();
+        let tuples = self.certain_answers(worlds, query, free_vars)?;
+        Ok(Answers {
+            tuples,
+            stats: EngineStats {
+                strategy: kind,
+                cache_hit,
+                prepare_micros: if cache_hit { 0 } else { worlds.prepare_micros },
+                ground_micros: if cache_hit { 0 } else { worlds.ground_micros },
+                solve_micros: if cache_hit { 0 } else { worlds.solve_micros },
+                eval_micros: start.elapsed().as_micros(),
+                worlds: worlds.worlds,
+            },
+            provenance: worlds.provenance.clone(),
+        })
     }
 
     /// Verify the query is expressed in the peer's own language `L(P)`.
@@ -630,7 +895,9 @@ fn ensure_positive_existential(query: &Formula) -> Result<()> {
 
 /// Answer variables must be bound by a relational atom in every disjunct for
 /// the evaluation to be domain independent (same restriction as the legacy
-/// query-program translation).
+/// query-program translation). Enforced uniformly by every built-in
+/// strategy, so an ill-formed query fails the same way regardless of the
+/// mechanism that would answer it.
 fn check_free_vars_bound(query: &Formula, free_vars: &[String]) -> Result<()> {
     fn bound_everywhere(query: &Formula, var: &str) -> bool {
         match query {
@@ -675,22 +942,9 @@ impl AnsweringStrategy for NaiveStrategy {
         free_vars: &[String],
     ) -> Result<Answers> {
         engine.check_language(peer, query)?;
+        check_free_vars_bound(query, free_vars)?;
         let (worlds, cache_hit) = engine.naive_worlds(peer)?;
-        let start = Instant::now();
-        let tuples = engine.certain_answers(&worlds, query, free_vars)?;
-        Ok(Answers {
-            tuples,
-            stats: EngineStats {
-                strategy: StrategyKind::Naive,
-                cache_hit,
-                prepare_micros: if cache_hit { 0 } else { worlds.prepare_micros },
-                ground_micros: 0,
-                solve_micros: 0,
-                eval_micros: start.elapsed().as_micros(),
-                worlds: worlds.worlds,
-            },
-            provenance: worlds.provenance.clone(),
-        })
+        engine.answers_from_worlds(StrategyKind::Naive, &worlds, cache_hit, query, free_vars)
     }
 }
 
@@ -715,6 +969,7 @@ impl AnsweringStrategy for RewritingStrategy {
         query: &Formula,
         free_vars: &[String],
     ) -> Result<Answers> {
+        check_free_vars_bound(query, free_vars)?;
         // Preparation is the (cached) global instance; the per-query rewrite
         // is evaluation work, so `prepare_micros` stays 0 on a cache hit.
         let (global, cache_hit, prepare_micros) = engine.global_instance()?;
@@ -764,21 +1019,7 @@ impl AnsweringStrategy for AspStrategy {
         ensure_positive_existential(query)?;
         check_free_vars_bound(query, free_vars)?;
         let (worlds, cache_hit) = engine.asp_worlds(peer, false)?;
-        let start = Instant::now();
-        let tuples = engine.certain_answers(&worlds, query, free_vars)?;
-        Ok(Answers {
-            tuples,
-            stats: EngineStats {
-                strategy: StrategyKind::Asp,
-                cache_hit,
-                prepare_micros: if cache_hit { 0 } else { worlds.prepare_micros },
-                ground_micros: if cache_hit { 0 } else { worlds.ground_micros },
-                solve_micros: if cache_hit { 0 } else { worlds.solve_micros },
-                eval_micros: start.elapsed().as_micros(),
-                worlds: worlds.worlds,
-            },
-            provenance: worlds.provenance.clone(),
-        })
+        engine.answers_from_worlds(StrategyKind::Asp, &worlds, cache_hit, query, free_vars)
     }
 }
 
@@ -806,21 +1047,13 @@ impl AnsweringStrategy for TransitiveAspStrategy {
         ensure_positive_existential(query)?;
         check_free_vars_bound(query, free_vars)?;
         let (worlds, cache_hit) = engine.asp_worlds(peer, true)?;
-        let start = Instant::now();
-        let tuples = engine.certain_answers(&worlds, query, free_vars)?;
-        Ok(Answers {
-            tuples,
-            stats: EngineStats {
-                strategy: StrategyKind::TransitiveAsp,
-                cache_hit,
-                prepare_micros: if cache_hit { 0 } else { worlds.prepare_micros },
-                ground_micros: if cache_hit { 0 } else { worlds.ground_micros },
-                solve_micros: if cache_hit { 0 } else { worlds.solve_micros },
-                eval_micros: start.elapsed().as_micros(),
-                worlds: worlds.worlds,
-            },
-            provenance: worlds.provenance.clone(),
-        })
+        engine.answers_from_worlds(
+            StrategyKind::TransitiveAsp,
+            &worlds,
+            cache_hit,
+            query,
+            free_vars,
+        )
     }
 }
 
@@ -1034,12 +1267,22 @@ mod tests {
             engine.answer_with(Strategy::Asp, &p1, &negated, &vars(&["X", "Y"])),
             Err(CoreError::Unsupported(_))
         ));
-        // Unbound answer variable.
+        // Unbound answer variable: rejected uniformly by every strategy.
         let (query, _) = r1_query();
-        assert!(matches!(
-            engine.answer(&p1, &query, &vars(&["Z"])),
-            Err(CoreError::Unsupported(_))
-        ));
+        for strategy in [
+            Strategy::Naive,
+            Strategy::Rewriting,
+            Strategy::Asp,
+            Strategy::TransitiveAsp,
+        ] {
+            assert!(
+                matches!(
+                    engine.answer_with(strategy, &p1, &query, &vars(&["Z"])),
+                    Err(CoreError::Unsupported(_))
+                ),
+                "strategy {strategy:?} must reject unbound answer variables"
+            );
+        }
     }
 
     #[test]
@@ -1161,10 +1404,100 @@ mod tests {
         let engine = example1_engine(Strategy::Rewriting);
         let p1 = PeerId::new("P1");
         let (query, fv) = r1_query();
-        engine.answer(&p1, &query, &fv).unwrap();
+        let _ = engine.answer(&p1, &query, &fv).unwrap();
         let warm = engine.answer(&p1, &query, &fv).unwrap();
         assert!(warm.stats.cache_hit);
         assert_eq!(warm.stats.prepare_micros, 0);
+    }
+
+    #[test]
+    fn commit_bumps_version_and_invalidates_only_the_closure() {
+        use relalg::database::GroundAtom;
+        use relalg::Delta;
+        // Example 1: P1's closure is {P1, P2, P3}; P3's closure is {P3}.
+        let mut engine = example1_engine(Strategy::Asp);
+        let p1 = PeerId::new("P1");
+        let p2 = PeerId::new("P2");
+        let p3 = PeerId::new("P3");
+        let (query, fv) = r1_query();
+        let q3 = Formula::atom("R3", vec!["X", "Y"]);
+        // Warm both peers.
+        let _ = engine.answer(&p1, &query, &fv).unwrap();
+        let _ = engine.answer(&p3, &q3, &fv).unwrap();
+        assert_eq!(engine.cached_artifact_count(), 2);
+        assert_eq!(engine.version_of(&p2), 0);
+
+        // Commit an insertion into P2: R2(x, y).
+        let delta = Delta::from_changes([GroundAtom::new("R2", Tuple::strs(["x", "y"]))], []);
+        let version = engine.commit_delta(&p2, &delta).unwrap();
+        assert_eq!(version, 1);
+        assert_eq!(engine.version_of(&p2), 1);
+        assert_eq!(engine.versions()[&p1], 0);
+
+        // P1's artifact was dropped, P3's survived.
+        assert_eq!(engine.cached_artifact_count(), 1);
+        let warm = engine.answer(&p3, &q3, &fv).unwrap();
+        assert!(warm.stats.cache_hit);
+        let recomputed = engine.answer(&p1, &query, &fv).unwrap();
+        assert!(!recomputed.stats.cache_hit);
+        // The recomputed answers include the imported new tuple and agree
+        // with a fresh engine over the mutated system.
+        assert!(recomputed.contains(&Tuple::strs(["x", "y"])));
+        let fresh = QueryEngine::builder(engine.system().clone())
+            .strategy(Strategy::Asp)
+            .build();
+        assert_eq!(
+            fresh.answer(&p1, &query, &fv).unwrap().tuples,
+            recomputed.tuples
+        );
+    }
+
+    #[test]
+    fn commit_maintains_the_global_instance_incrementally() {
+        use relalg::database::GroundAtom;
+        use relalg::Delta;
+        let mut engine = example1_engine(Strategy::Rewriting);
+        let p1 = PeerId::new("P1");
+        let p2 = PeerId::new("P2");
+        let (query, fv) = r1_query();
+        let _ = engine.answer(&p1, &query, &fv).unwrap();
+        let delta = Delta::from_changes([GroundAtom::new("R2", Tuple::strs(["x", "y"]))], []);
+        engine.commit_delta(&p2, &delta).unwrap();
+        // The rewriting query stays warm and still sees the committed tuple.
+        let warm = engine.answer(&p1, &query, &fv).unwrap();
+        assert!(warm.stats.cache_hit);
+        assert!(warm.contains(&Tuple::strs(["x", "y"])));
+    }
+
+    #[test]
+    fn flush_and_invalidate_report_dropped_artifacts() {
+        let engine = example1_engine(Strategy::Asp);
+        let p1 = PeerId::new("P1");
+        let p3 = PeerId::new("P3");
+        let (query, fv) = r1_query();
+        let _ = engine.answer(&p1, &query, &fv).unwrap();
+        let _ = engine
+            .answer(&p3, &Formula::atom("R3", vec!["X", "Y"]), &fv)
+            .unwrap();
+        // Invalidating P3 drops only P3's artifact (nobody depends on P3
+        // except P1 — but P1's stamp includes P3, so both go).
+        assert_eq!(engine.invalidate_peers([p3.clone()]), 2);
+        assert_eq!(engine.cached_artifact_count(), 0);
+        let _ = engine.answer(&p1, &query, &fv).unwrap();
+        assert!(engine.flush_cache() >= 1);
+        assert_eq!(engine.cached_artifact_count(), 0);
+        let metrics = engine.metrics();
+        assert!(metrics.hits == 0 && metrics.misses >= 3);
+        assert!(metrics.invalidated >= 3);
+    }
+
+    #[test]
+    fn relevant_peers_mirror_the_dec_graph() {
+        let engine = example1_engine(Strategy::Auto);
+        let p1 = PeerId::new("P1");
+        let p2 = PeerId::new("P2");
+        assert_eq!(engine.relevant_peers(&p1).len(), 3);
+        assert_eq!(engine.relevant_peers(&p2), BTreeSet::from([p2.clone()]));
     }
 
     #[test]

@@ -48,8 +48,8 @@ pub mod solution;
 pub mod system;
 
 pub use engine::{
-    AnsweringStrategy, Answers, EngineStats, Provenance, QueryEngine, QueryEngineBuilder, Strategy,
-    StrategyKind,
+    AnsweringStrategy, Answers, CacheMetrics, EngineStats, Provenance, QueryEngine,
+    QueryEngineBuilder, Strategy, StrategyKind,
 };
 pub use error::CoreError;
 pub use solution::{solutions_for, Solution, SolutionOptions, SolutionStats};

@@ -260,6 +260,62 @@ impl P2PSystem {
         Ok(())
     }
 
+    /// Remove a tuple from one of a peer's relations. Returns whether the
+    /// tuple was present.
+    pub fn delete(&mut self, peer: &PeerId, relation: &str, tuple: &relalg::Tuple) -> Result<bool> {
+        let p = self
+            .peers
+            .get_mut(peer)
+            .ok_or_else(|| CoreError::UnknownPeer(peer.to_string()))?;
+        if !p.schema.contains(relation) {
+            return Err(CoreError::UnknownRelation {
+                peer: peer.to_string(),
+                relation: relation.to_string(),
+            });
+        }
+        Ok(p.instance.remove(relation, tuple)?)
+    }
+
+    /// Apply a [`relalg::Delta`] to a peer's instance: every insertion and
+    /// deletion must target a relation the peer declares (this is what makes
+    /// a delta an update to *that* peer — Definition 2(b)'s disjoint schemas
+    /// mean every ground atom has exactly one legal home). Validation happens
+    /// before any change is applied, so a failed call leaves the system
+    /// untouched.
+    pub fn apply_delta(&mut self, peer: &PeerId, delta: &relalg::Delta) -> Result<()> {
+        let p = self
+            .peers
+            .get(peer)
+            .ok_or_else(|| CoreError::UnknownPeer(peer.to_string()))?;
+        for atom in delta.insertions.iter().chain(delta.deletions.iter()) {
+            let schema =
+                p.schema
+                    .relation(&atom.relation)
+                    .ok_or_else(|| CoreError::UnknownRelation {
+                        peer: peer.to_string(),
+                        relation: atom.relation.clone(),
+                    })?;
+            // Arity must be validated up front too: a mismatch surfacing
+            // mid-application would leave the instance partially mutated.
+            if schema.arity() != atom.tuple.arity() {
+                return Err(relalg::RelalgError::ArityMismatch {
+                    relation: atom.relation.clone(),
+                    expected: schema.arity(),
+                    found: atom.tuple.arity(),
+                }
+                .into());
+            }
+        }
+        let p = self.peers.get_mut(peer).expect("validated above");
+        for atom in &delta.insertions {
+            p.instance.insert(&atom.relation, atom.tuple.clone())?;
+        }
+        for atom in &delta.deletions {
+            p.instance.remove(&atom.relation, &atom.tuple)?;
+        }
+        Ok(())
+    }
+
     /// Add a local integrity constraint to a peer.
     pub fn add_local_ic(&mut self, peer: &PeerId, ic: Constraint) -> Result<()> {
         let p = self
@@ -416,6 +472,41 @@ impl P2PSystem {
             .iter()
             .filter_map(|q| self.peers.get(q))
             .flat_map(|p| p.relation_names())
+            .collect()
+    }
+
+    /// The *relevant peers* of a peer: every peer whose data can influence
+    /// `peer`'s peer consistent answers — `peer` itself plus every peer
+    /// reachable from it following DEC ownership edges (`owner → other`)
+    /// transitively. The transitive closure covers both the direct semantics
+    /// of Definition 4 (which only reads direct DEC targets) and the
+    /// transitive composition of Section 4.3, so it is a sound
+    /// over-approximation for every answering mechanism. Edges are followed
+    /// regardless of declared trust: an untrusted DEC is ignored by the
+    /// semantics today, but including it keeps the closure stable if trust
+    /// is declared later.
+    pub fn dependencies_of(&self, peer: &PeerId) -> BTreeSet<PeerId> {
+        let mut closure = BTreeSet::from([peer.clone()]);
+        let mut frontier = vec![peer.clone()];
+        while let Some(p) = frontier.pop() {
+            for dec in self.decs.iter().filter(|d| d.owner == p) {
+                if closure.insert(dec.other.clone()) {
+                    frontier.push(dec.other.clone());
+                }
+            }
+        }
+        closure
+    }
+
+    /// The *relevant-peer closure* of a set of touched peers: every peer
+    /// whose dependency set (see [`P2PSystem::dependencies_of`]) intersects
+    /// `touched` — i.e. every peer whose memoized answering artifacts a
+    /// commit touching those peers may have stale.
+    pub fn affected_by(&self, touched: &BTreeSet<PeerId>) -> BTreeSet<PeerId> {
+        self.peers
+            .keys()
+            .filter(|p| !self.dependencies_of(p).is_disjoint(touched))
+            .cloned()
             .collect()
     }
 
@@ -626,6 +717,120 @@ mod tests {
                 constraints::builders::key_denial("fd", "R1").unwrap()
             )
             .is_err());
+    }
+
+    #[test]
+    fn delete_removes_tuples_and_validates() {
+        let mut sys = example1_system();
+        let p1 = PeerId::new("P1");
+        assert!(sys.delete(&p1, "R1", &Tuple::strs(["a", "b"])).unwrap());
+        assert!(!sys.delete(&p1, "R1", &Tuple::strs(["a", "b"])).unwrap());
+        assert!(sys.delete(&p1, "R2", &Tuple::strs(["c", "d"])).is_err());
+        assert!(sys
+            .delete(&PeerId::new("Z"), "R1", &Tuple::strs(["a", "b"]))
+            .is_err());
+    }
+
+    #[test]
+    fn apply_delta_is_validated_and_atomic() {
+        use relalg::database::GroundAtom;
+        use relalg::Delta;
+        let mut sys = example1_system();
+        let p1 = PeerId::new("P1");
+        let good = Delta::from_changes(
+            [GroundAtom::new("R1", Tuple::strs(["n", "m"]))],
+            [GroundAtom::new("R1", Tuple::strs(["a", "b"]))],
+        );
+        sys.apply_delta(&p1, &good).unwrap();
+        let inst = &sys.peer(&p1).unwrap().instance;
+        assert!(inst.holds("R1", &Tuple::strs(["n", "m"])));
+        assert!(!inst.holds("R1", &Tuple::strs(["a", "b"])));
+        // A delta touching a foreign relation is rejected before any change.
+        let bad = Delta::from_changes(
+            [
+                GroundAtom::new("R1", Tuple::strs(["p", "q"])),
+                GroundAtom::new("R2", Tuple::strs(["p", "q"])),
+            ],
+            [],
+        );
+        assert!(sys.apply_delta(&p1, &bad).is_err());
+        assert!(!sys
+            .peer(&p1)
+            .unwrap()
+            .instance
+            .holds("R1", &Tuple::strs(["p", "q"])));
+        // An arity mismatch is also caught before anything is applied.
+        let bad_arity = Delta::from_changes(
+            [
+                GroundAtom::new("R1", Tuple::strs(["ok", "row"])),
+                GroundAtom::new("R1", Tuple::strs(["just-one"])),
+            ],
+            [],
+        );
+        assert!(sys.apply_delta(&p1, &bad_arity).is_err());
+        assert!(!sys
+            .peer(&p1)
+            .unwrap()
+            .instance
+            .holds("R1", &Tuple::strs(["ok", "row"])));
+    }
+
+    #[test]
+    fn dependency_closure_follows_dec_edges() {
+        let sys = example1_system();
+        let p1 = PeerId::new("P1");
+        let p2 = PeerId::new("P2");
+        let p3 = PeerId::new("P3");
+        assert_eq!(
+            sys.dependencies_of(&p1),
+            BTreeSet::from([p1.clone(), p2.clone(), p3.clone()])
+        );
+        assert_eq!(sys.dependencies_of(&p2), BTreeSet::from([p2.clone()]));
+        assert_eq!(sys.dependencies_of(&p3), BTreeSet::from([p3.clone()]));
+        // Touching P2 affects P1 (whose DECs read P2) and P2 itself, not P3.
+        assert_eq!(
+            sys.affected_by(&BTreeSet::from([p2.clone()])),
+            BTreeSet::from([p1.clone(), p2.clone()])
+        );
+        // Touching P1 affects only P1: nobody owns a DEC towards it.
+        assert_eq!(
+            sys.affected_by(&BTreeSet::from([p1.clone()])),
+            BTreeSet::from([p1])
+        );
+    }
+
+    #[test]
+    fn dependency_closure_is_transitive_over_chains() {
+        let mut sys = P2PSystem::new();
+        for p in ["A", "B", "C"] {
+            sys.add_peer(p).unwrap();
+        }
+        let (a, b, c) = (PeerId::new("A"), PeerId::new("B"), PeerId::new("C"));
+        for (peer, rel) in [(&a, "RA"), (&b, "RB"), (&c, "RC")] {
+            sys.add_relation(peer, RelationSchema::new(rel, &["x"]))
+                .unwrap();
+        }
+        sys.add_dec(
+            &a,
+            &b,
+            constraints::builders::full_inclusion("dab", "RB", "RA", 1).unwrap(),
+        )
+        .unwrap();
+        sys.add_dec(
+            &b,
+            &c,
+            constraints::builders::full_inclusion("dbc", "RC", "RB", 1).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            sys.dependencies_of(&a),
+            BTreeSet::from([a.clone(), b.clone(), c.clone()])
+        );
+        // A change to C ripples back to everyone upstream of it.
+        assert_eq!(
+            sys.affected_by(&BTreeSet::from([c.clone()])),
+            BTreeSet::from([a, b, c])
+        );
     }
 
     #[test]

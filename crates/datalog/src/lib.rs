@@ -14,7 +14,7 @@
 //! * [`ground`] — safety checking and intelligent grounding;
 //! * [`graph`] — dependency graphs, stratification and head-cycle-freeness;
 //! * [`shift`] — the HCF disjunctive → normal shifting of Section 4.1;
-//! * [`solve`] — stable-model enumeration (DPLL-style search with forward,
+//! * [`solve`](mod@solve) — stable-model enumeration (DPLL-style search with forward,
 //!   support and unfounded-set propagation for normal programs; candidate
 //!   enumeration plus reduct-minimality checking for non-HCF disjunctive
 //!   programs);

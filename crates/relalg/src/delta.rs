@@ -119,6 +119,17 @@ impl Delta {
             deletions: self.deletions.union(&other.deletions).cloned().collect(),
         }
     }
+
+    /// The inverse delta: insertions and deletions swapped. Applying a delta
+    /// and then its inverse round-trips an instance, provided the delta was
+    /// *exact* for it (its insertions absent from and its deletions present
+    /// in the instance — which `Delta::between` guarantees for its base).
+    pub fn inverse(&self) -> Delta {
+        Delta {
+            insertions: self.deletions.clone(),
+            deletions: self.insertions.clone(),
+        }
+    }
 }
 
 impl fmt::Display for Delta {
@@ -273,6 +284,18 @@ mod tests {
         let d1 = Delta::from_changes([], [atom("a", "b")]);
         let kept = minimal_deltas(vec![d1.clone(), d1.clone(), d1.clone()], |d| d);
         assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn inverse_swaps_and_round_trips() {
+        let base = db(&[("a", "b"), ("c", "d")]);
+        let cand = db(&[("a", "b"), ("e", "f")]);
+        let delta = Delta::between(&base, &cand);
+        let inv = delta.inverse();
+        assert_eq!(inv.insertions, delta.deletions);
+        assert_eq!(inv.deletions, delta.insertions);
+        let forward = delta.apply(&base).unwrap();
+        assert_eq!(inv.apply(&forward).unwrap(), base);
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Errors raised by the live-session layer.
+
+use pdes_core::system::PeerId;
+use std::fmt;
+
+/// Errors raised while staging or committing updates, or replaying the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// A staged update would leave a peer's instance violating one of its
+    /// local integrity constraints `IC(P)`. The commit was rejected as a
+    /// whole; nothing was applied.
+    IcViolation {
+        /// The peer whose local ICs reject the update.
+        peer: PeerId,
+        /// Name of the violated constraint.
+        constraint: String,
+        /// Number of violating bindings found.
+        violations: usize,
+    },
+    /// `snapshot_at` was asked for a commit sequence number beyond the log.
+    UnknownSeq {
+        /// The requested sequence number.
+        seq: u64,
+        /// The latest committed sequence number.
+        latest: u64,
+    },
+    /// Propagated core error (unknown peer/relation, engine failures, …).
+    Core(pdes_core::CoreError),
+    /// Propagated constraint-checking error.
+    Constraint(constraints::ConstraintError),
+    /// Propagated relational-layer error.
+    Relalg(relalg::RelalgError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::IcViolation {
+                peer,
+                constraint,
+                violations,
+            } => write!(
+                f,
+                "commit rejected: local IC `{constraint}` of peer `{peer}` \
+                 would be violated ({violations} violation(s))"
+            ),
+            SessionError::UnknownSeq { seq, latest } => {
+                write!(f, "no snapshot at sequence {seq}: the log ends at {latest}")
+            }
+            SessionError::Core(e) => write!(f, "{e}"),
+            SessionError::Constraint(e) => write!(f, "{e}"),
+            SessionError::Relalg(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<pdes_core::CoreError> for SessionError {
+    fn from(e: pdes_core::CoreError) -> Self {
+        SessionError::Core(e)
+    }
+}
+
+impl From<constraints::ConstraintError> for SessionError {
+    fn from(e: constraints::ConstraintError) -> Self {
+        SessionError::Constraint(e)
+    }
+}
+
+impl From<relalg::RelalgError> for SessionError {
+    fn from(e: relalg::RelalgError) -> Self {
+        SessionError::Relalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offenders() {
+        let e = SessionError::IcViolation {
+            peer: PeerId::new("P1"),
+            constraint: "fd_r1".into(),
+            violations: 2,
+        };
+        let text = e.to_string();
+        assert!(text.contains("P1") && text.contains("fd_r1") && text.contains('2'));
+        assert!(SessionError::UnknownSeq { seq: 9, latest: 3 }
+            .to_string()
+            .contains('9'));
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let e: SessionError = pdes_core::CoreError::UnknownPeer("Z".into()).into();
+        assert!(matches!(e, SessionError::Core(_)));
+        let e: SessionError = relalg::RelalgError::UnknownRelation("R".into()).into();
+        assert!(matches!(e, SessionError::Relalg(_)));
+    }
+}

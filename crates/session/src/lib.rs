@@ -1,0 +1,76 @@
+//! # pdes-session — live, versioned P2P data exchange sessions
+//!
+//! The paper's semantics (Definitions 4 and 5) is defined over a *snapshot*
+//! of the peers' instances. This crate lifts the reproduction to peers whose
+//! data changes over time, without changing the semantics: at any point, the
+//! answers a [`Session`] returns are exactly the peer consistent answers of
+//! the current snapshot.
+//!
+//! ## Model
+//!
+//! * A [`Session`] wraps a [`pdes_core::QueryEngine`] (and thus a
+//!   [`pdes_core::P2PSystem`]) and assigns every peer a monotonically
+//!   increasing [`Version`], starting at 0 for the construction-time
+//!   instance.
+//! * An update is expressed as a [`relalg::Delta`] — the currency of change
+//!   the paper itself introduces in **Definition 1**, where the distance
+//!   between two instances is the symmetric difference `Δ(r1, r2)` of their
+//!   ground atoms, split here into insertions and deletions relative to the
+//!   peer's current instance. Committing a delta moves the peer from one
+//!   instance to another whose `Δ` is (at most) the committed one; the
+//!   per-peer [`Version`] counts these moves.
+//! * Updates are staged in a [`Tx`] ([`Session::begin`]) and applied
+//!   atomically by [`Tx::commit`]: every touched peer's *local* integrity
+//!   constraints `IC(P)` are validated against the post-commit instance
+//!   first, and nothing is applied unless every check passes. DECs are
+//!   deliberately **not** enforced at commit time — inter-peer
+//!   inconsistency is the paper's subject matter, resolved virtually at
+//!   query time, not an error state.
+//! * Every effective commit is appended to an update log of
+//!   [`CommittedTx`]s; [`Session::snapshot_at`] replays the log to
+//!   reconstruct the system as of any commit sequence number, which is also
+//!   how a fresh reference engine is built in the equivalence tests.
+//!
+//! On commit, the session drives the engine's incremental invalidation:
+//! only memoized artifacts whose *relevant-peer closure* (the transitive
+//! closure of DEC ownership edges) intersects the touched peers are
+//! recomputed; queries against peers outside the closure keep their warm
+//! cache entries.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pdes_core::pca::vars;
+//! use pdes_core::system::{example1_system, PeerId};
+//! use pdes_session::Session;
+//! use relalg::query::Formula;
+//! use relalg::Tuple;
+//!
+//! let mut session = Session::new(example1_system());
+//! let p1 = PeerId::new("P1");
+//! let p2 = PeerId::new("P2");
+//! let query = Formula::atom("R1", vec!["X", "Y"]);
+//!
+//! // Warm query against the initial snapshot.
+//! let before = session.answer(&p1, &query, &vars(&["X", "Y"])).unwrap();
+//! assert_eq!(before.len(), 3);
+//!
+//! // Commit an update to P2; P1 imports from P2, so its answers change.
+//! let mut tx = session.begin();
+//! tx.insert(&p2, "R2", Tuple::strs(["x", "y"])).unwrap();
+//! let receipt = tx.commit().unwrap();
+//! assert_eq!(receipt.seq, 1);
+//!
+//! let after = session.answer(&p1, &query, &vars(&["X", "Y"])).unwrap();
+//! assert_eq!(after.len(), 4);
+//! assert!(after.contains(&Tuple::strs(["x", "y"])));
+//! ```
+
+pub mod error;
+pub mod session;
+
+pub use error::SessionError;
+pub use session::{CommitReceipt, CommittedTx, Session, Tx, Update, Version};
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, SessionError>;

@@ -1,0 +1,623 @@
+//! The [`Session`] / [`Tx`] surface: versioned peers, atomic update commits
+//! validated against local ICs, an update log, and snapshot replay.
+//!
+//! See the crate docs for how [`Version`] and [`relalg::Delta`] map back to
+//! Definition 1 of the paper.
+
+use crate::error::SessionError;
+use crate::Result;
+use constraints::ConstraintChecker;
+use pdes_core::engine::{CacheMetrics, QueryEngine};
+use pdes_core::pca::vars;
+use pdes_core::system::{P2PSystem, PeerId};
+use pdes_core::{Answers, Strategy};
+use relalg::database::GroundAtom;
+use relalg::query::Formula;
+use relalg::{Delta, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A peer's version: the number of committed updates that touched it.
+/// Version 0 is the construction-time instance; each commit containing an
+/// effective (non-empty) delta for the peer increments it by one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Version(pub u64);
+
+impl Version {
+    /// The construction-time version.
+    pub const ZERO: Version = Version(0);
+
+    /// The raw counter.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// One peer's worth of change: a [`Delta`] targeted at a peer. The unit the
+/// workload update-stream generator produces and [`Session::apply`]
+/// consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Update {
+    /// The peer whose instance changes.
+    pub peer: PeerId,
+    /// Insertions and deletions of ground atoms over the peer's relations.
+    pub delta: Delta,
+}
+
+impl Update {
+    /// Construct an update.
+    pub fn new(peer: PeerId, delta: Delta) -> Self {
+        Update { peer, delta }
+    }
+}
+
+/// A committed transaction in the update log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommittedTx {
+    /// 1-based commit sequence number.
+    pub seq: u64,
+    /// The effective per-peer deltas (normalized: every insertion was
+    /// absent before the commit, every deletion present).
+    pub changes: BTreeMap<PeerId, Delta>,
+    /// The versions the touched peers reached with this commit.
+    pub versions: BTreeMap<PeerId, Version>,
+}
+
+/// What a successful [`Tx::commit`] reports back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "inspect the receipt to learn the commit's sequence number and reach"]
+pub struct CommitReceipt {
+    /// The commit's sequence number (unchanged if the commit was a no-op).
+    pub seq: u64,
+    /// The peers whose instances actually changed.
+    pub touched: BTreeSet<PeerId>,
+    /// The relevant-peer closure of the touched peers
+    /// ([`P2PSystem::affected_by`]): every peer whose queries may observe
+    /// this commit and whose memoized artifacts were eligible for
+    /// invalidation.
+    pub affected: BTreeSet<PeerId>,
+    /// The touched peers' new versions.
+    pub versions: BTreeMap<PeerId, Version>,
+    /// Memoized engine artifacts invalidated by this commit.
+    pub invalidated: u64,
+}
+
+/// A live, versioned P2P data exchange system: a [`QueryEngine`] whose
+/// system accepts update transactions, with per-peer versions, an update
+/// log, and incremental invalidation of the engine's memoized artifacts.
+pub struct Session {
+    engine: QueryEngine,
+    /// The construction-time system, kept for [`Session::snapshot_at`].
+    base: P2PSystem,
+    log: Vec<CommittedTx>,
+}
+
+impl Session {
+    /// A session over `system` with a default ([`Strategy::Auto`]) engine.
+    pub fn new(system: P2PSystem) -> Self {
+        Session::with_engine(QueryEngine::new(system))
+    }
+
+    /// A session over `system` answering with a fixed strategy.
+    pub fn with_strategy(system: P2PSystem, strategy: Strategy) -> Self {
+        Session::with_engine(QueryEngine::builder(system).strategy(strategy).build())
+    }
+
+    /// A session over a pre-configured engine (custom solver config,
+    /// solution options or strategy). The engine's current system becomes
+    /// the version-0 snapshot.
+    pub fn with_engine(engine: QueryEngine) -> Self {
+        let base = engine.system().clone();
+        Session {
+            engine,
+            base,
+            log: Vec::new(),
+        }
+    }
+
+    /// Begin a transaction. Updates staged on the [`Tx`] are not visible to
+    /// queries (or anyone else) until [`Tx::commit`].
+    pub fn begin(&mut self) -> Tx<'_> {
+        Tx {
+            session: self,
+            staged: BTreeMap::new(),
+        }
+    }
+
+    /// Stage and commit a batch of [`Update`]s as one transaction.
+    pub fn apply(&mut self, updates: &[Update]) -> Result<CommitReceipt> {
+        let mut tx = self.begin();
+        for update in updates {
+            tx.stage_delta(&update.peer, update.delta.clone())?;
+        }
+        tx.commit()
+    }
+
+    /// The engine answering over the current snapshot.
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
+    /// The current snapshot (the live system).
+    pub fn system(&self) -> &P2PSystem {
+        self.engine.system()
+    }
+
+    /// Answer a query against the current snapshot (engine's strategy).
+    pub fn answer(&self, peer: &PeerId, query: &Formula, free_vars: &[String]) -> Result<Answers> {
+        Ok(self.engine.answer(peer, query, free_vars)?)
+    }
+
+    /// Answer with an explicit strategy, sharing the engine's cache.
+    pub fn answer_with(
+        &self,
+        strategy: Strategy,
+        peer: &PeerId,
+        query: &Formula,
+        free_vars: &[String],
+    ) -> Result<Answers> {
+        Ok(self.engine.answer_with(strategy, peer, query, free_vars)?)
+    }
+
+    /// Convenience wrapper: answer variables by name.
+    pub fn answer_named(
+        &self,
+        peer: &PeerId,
+        query: &Formula,
+        free_vars: &[&str],
+    ) -> Result<Answers> {
+        self.answer(peer, query, &vars(free_vars))
+    }
+
+    /// A peer's current version.
+    pub fn version_of(&self, peer: &PeerId) -> Version {
+        Version(self.engine.version_of(peer))
+    }
+
+    /// Every peer's current version.
+    pub fn versions(&self) -> BTreeMap<PeerId, Version> {
+        self.engine
+            .versions()
+            .into_iter()
+            .map(|(p, v)| (p, Version(v)))
+            .collect()
+    }
+
+    /// The latest commit sequence number (0 before any commit).
+    pub fn current_seq(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// The update log, oldest first.
+    pub fn log(&self) -> &[CommittedTx] {
+        &self.log
+    }
+
+    /// Lifetime cache counters of the underlying engine.
+    pub fn metrics(&self) -> CacheMetrics {
+        self.engine.metrics()
+    }
+
+    /// Reconstruct the system as of commit `seq` by replaying the update
+    /// log over the version-0 snapshot (`seq` 0 is the snapshot itself;
+    /// `seq` equal to [`Session::current_seq`] reproduces the live system).
+    pub fn snapshot_at(&self, seq: u64) -> Result<P2PSystem> {
+        let latest = self.current_seq();
+        if seq > latest {
+            return Err(SessionError::UnknownSeq { seq, latest });
+        }
+        let mut system = self.base.clone();
+        for tx in &self.log[..seq as usize] {
+            for (peer, delta) in &tx.changes {
+                system.apply_delta(peer, delta)?;
+            }
+        }
+        Ok(system)
+    }
+
+    /// Validate one staged peer delta against the peer's local ICs, over
+    /// the post-commit instance it would produce.
+    fn validate_local_ics(&self, peer: &PeerId, delta: &Delta) -> Result<()> {
+        let peer_data = self.system().peer(peer)?;
+        if peer_data.local_ics.is_empty() {
+            return Ok(());
+        }
+        let candidate = delta.apply(&peer_data.instance)?;
+        let checker = ConstraintChecker::new(&candidate);
+        for ic in &peer_data.local_ics {
+            let violations = checker.violations(ic)?;
+            if !violations.is_empty() {
+                return Err(SessionError::IcViolation {
+                    peer: peer.clone(),
+                    constraint: ic.name.clone(),
+                    violations: violations.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("peers", &self.system().peer_count())
+            .field("seq", &self.current_seq())
+            .field("versions", &self.versions())
+            .finish()
+    }
+}
+
+/// An open transaction: staged insertions/deletions per peer. Dropping a
+/// `Tx` without committing discards the staged changes.
+#[must_use = "a transaction does nothing until `commit` is called"]
+pub struct Tx<'s> {
+    session: &'s mut Session,
+    staged: BTreeMap<PeerId, Delta>,
+}
+
+impl Tx<'_> {
+    /// Stage the insertion of one ground atom into a peer's relation. A
+    /// staged deletion of the same atom is cancelled instead.
+    pub fn insert(&mut self, peer: &PeerId, relation: &str, tuple: Tuple) -> Result<&mut Self> {
+        let atom = self.checked_atom(peer, relation, tuple)?;
+        let delta = self.staged.entry(peer.clone()).or_default();
+        if !delta.deletions.remove(&atom) {
+            delta.insertions.insert(atom);
+        }
+        Ok(self)
+    }
+
+    /// Stage the deletion of one ground atom from a peer's relation. A
+    /// staged insertion of the same atom is cancelled instead.
+    pub fn delete(&mut self, peer: &PeerId, relation: &str, tuple: Tuple) -> Result<&mut Self> {
+        let atom = self.checked_atom(peer, relation, tuple)?;
+        let delta = self.staged.entry(peer.clone()).or_default();
+        if !delta.insertions.remove(&atom) {
+            delta.deletions.insert(atom);
+        }
+        Ok(self)
+    }
+
+    /// Stage a whole delta against a peer (validated atom by atom, with the
+    /// same cancellation behaviour as [`Tx::insert`] / [`Tx::delete`]).
+    pub fn stage_delta(&mut self, peer: &PeerId, delta: Delta) -> Result<&mut Self> {
+        for atom in delta.insertions {
+            self.insert(peer, &atom.relation.clone(), atom.tuple)?;
+        }
+        for atom in delta.deletions {
+            self.delete(peer, &atom.relation.clone(), atom.tuple)?;
+        }
+        Ok(self)
+    }
+
+    /// The peers with staged changes.
+    pub fn touched(&self) -> BTreeSet<PeerId> {
+        self.staged
+            .iter()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(p, _)| p.clone())
+            .collect()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.staged.values().all(Delta::is_empty)
+    }
+
+    /// Discard the staged changes (same as dropping the transaction, but
+    /// explicit at call sites).
+    pub fn rollback(self) {}
+
+    /// Atomically validate and apply the staged changes.
+    ///
+    /// 1. Each staged delta is *normalized* against the peer's current
+    ///    instance: already-present insertions and already-absent deletions
+    ///    are dropped, so the logged delta is exact (`Δ(before, after)`
+    ///    restricted to the peer — Definition 1).
+    /// 2. Every touched peer's local ICs are checked against the instance
+    ///    the commit would produce; the first violation aborts the whole
+    ///    commit with [`SessionError::IcViolation`] and nothing is applied.
+    /// 3. The deltas are applied through
+    ///    [`QueryEngine::commit_delta`], which bumps each touched peer's
+    ///    version and invalidates exactly the memoized artifacts whose
+    ///    relevant-peer closure intersects the touched peers.
+    ///
+    /// A commit whose staged changes normalize to nothing is a no-op: the
+    /// log and versions are untouched and the receipt reports no touched
+    /// peers.
+    pub fn commit(self) -> Result<CommitReceipt> {
+        let session = self.session;
+        // 1. Normalize.
+        let mut effective: BTreeMap<PeerId, Delta> = BTreeMap::new();
+        for (peer, staged) in &self.staged {
+            let instance = &session.system().peer(peer)?.instance;
+            let insertions: BTreeSet<GroundAtom> = staged
+                .insertions
+                .iter()
+                .filter(|a| !instance.holds(&a.relation, &a.tuple))
+                .cloned()
+                .collect();
+            let deletions: BTreeSet<GroundAtom> = staged
+                .deletions
+                .iter()
+                .filter(|a| instance.holds(&a.relation, &a.tuple))
+                .cloned()
+                .collect();
+            if !insertions.is_empty() || !deletions.is_empty() {
+                effective.insert(
+                    peer.clone(),
+                    Delta {
+                        insertions,
+                        deletions,
+                    },
+                );
+            }
+        }
+        if effective.is_empty() {
+            return Ok(CommitReceipt {
+                seq: session.current_seq(),
+                touched: BTreeSet::new(),
+                affected: BTreeSet::new(),
+                versions: BTreeMap::new(),
+                invalidated: 0,
+            });
+        }
+        // 2. Validate all peers before applying anything.
+        for (peer, delta) in &effective {
+            session.validate_local_ics(peer, delta)?;
+        }
+        // 3. Apply.
+        let touched: BTreeSet<PeerId> = effective.keys().cloned().collect();
+        let affected = session.system().affected_by(&touched);
+        let before = session.engine.metrics();
+        let mut versions = BTreeMap::new();
+        for (peer, delta) in &effective {
+            let version = session.engine.commit_delta(peer, delta)?;
+            versions.insert(peer.clone(), Version(version));
+        }
+        let invalidated = session.engine.metrics().invalidated - before.invalidated;
+        let seq = session.current_seq() + 1;
+        session.log.push(CommittedTx {
+            seq,
+            changes: effective,
+            versions: versions.clone(),
+        });
+        Ok(CommitReceipt {
+            seq,
+            touched,
+            affected,
+            versions,
+            invalidated,
+        })
+    }
+
+    /// Validate peer, relation ownership and arity; build the ground atom.
+    fn checked_atom(&self, peer: &PeerId, relation: &str, tuple: Tuple) -> Result<GroundAtom> {
+        let peer_data = self.session.system().peer(peer)?;
+        let schema = peer_data.schema.relation(relation).ok_or_else(|| {
+            pdes_core::CoreError::UnknownRelation {
+                peer: peer.to_string(),
+                relation: relation.to_string(),
+            }
+        })?;
+        if schema.arity() != tuple.arity() {
+            return Err(relalg::RelalgError::ArityMismatch {
+                relation: relation.to_string(),
+                expected: schema.arity(),
+                found: tuple.arity(),
+            }
+            .into());
+        }
+        Ok(GroundAtom::new(relation, tuple))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdes_core::system::example1_system;
+
+    fn r1_query() -> (Formula, Vec<String>) {
+        (Formula::atom("R1", vec!["X", "Y"]), vars(&["X", "Y"]))
+    }
+
+    #[test]
+    fn commit_applies_changes_and_bumps_versions() {
+        let mut session = Session::new(example1_system());
+        let p2 = PeerId::new("P2");
+        let mut tx = session.begin();
+        tx.insert(&p2, "R2", Tuple::strs(["x", "y"])).unwrap();
+        tx.delete(&p2, "R2", Tuple::strs(["c", "d"])).unwrap();
+        let receipt = tx.commit().unwrap();
+        assert_eq!(receipt.seq, 1);
+        assert_eq!(receipt.touched, BTreeSet::from([p2.clone()]));
+        assert_eq!(receipt.versions[&p2], Version(1));
+        assert_eq!(session.version_of(&p2), Version(1));
+        assert_eq!(session.version_of(&PeerId::new("P1")), Version::ZERO);
+        let inst = &session.system().peer(&p2).unwrap().instance;
+        assert!(inst.holds("R2", &Tuple::strs(["x", "y"])));
+        assert!(!inst.holds("R2", &Tuple::strs(["c", "d"])));
+        assert_eq!(session.current_seq(), 1);
+        assert_eq!(session.log().len(), 1);
+    }
+
+    #[test]
+    fn staging_cancels_and_normalizes() {
+        let mut session = Session::new(example1_system());
+        let p2 = PeerId::new("P2");
+        let mut tx = session.begin();
+        // Insert-then-delete cancels out.
+        tx.insert(&p2, "R2", Tuple::strs(["x", "y"])).unwrap();
+        tx.delete(&p2, "R2", Tuple::strs(["x", "y"])).unwrap();
+        // Inserting an already-present atom normalizes away at commit.
+        tx.insert(&p2, "R2", Tuple::strs(["c", "d"])).unwrap();
+        assert!(!tx.is_empty());
+        let receipt = tx.commit().unwrap();
+        assert!(receipt.touched.is_empty());
+        assert_eq!(receipt.seq, 0);
+        assert_eq!(session.current_seq(), 0);
+        assert_eq!(session.version_of(&p2), Version::ZERO);
+    }
+
+    #[test]
+    fn staging_validates_ownership_and_arity() {
+        let mut session = Session::new(example1_system());
+        let p2 = PeerId::new("P2");
+        let mut tx = session.begin();
+        // R1 belongs to P1.
+        assert!(tx.insert(&p2, "R1", Tuple::strs(["x", "y"])).is_err());
+        // Wrong arity.
+        assert!(tx.insert(&p2, "R2", Tuple::strs(["x"])).is_err());
+        // Unknown peer.
+        assert!(tx
+            .insert(&PeerId::new("Z"), "R2", Tuple::strs(["x", "y"]))
+            .is_err());
+        tx.rollback();
+    }
+
+    #[test]
+    fn ic_violation_rejects_the_whole_commit() {
+        let mut system = example1_system();
+        let p1 = PeerId::new("P1");
+        let p2 = PeerId::new("P2");
+        system
+            .add_local_ic(
+                &p1,
+                constraints::builders::key_denial("fd_r1", "R1").unwrap(),
+            )
+            .unwrap();
+        let mut session = Session::new(system);
+        let mut tx = session.begin();
+        // R1 already holds (a, b); (a, z) violates the key denial.
+        tx.insert(&p1, "R1", Tuple::strs(["a", "z"])).unwrap();
+        tx.insert(&p2, "R2", Tuple::strs(["new", "row"])).unwrap();
+        let err = tx.commit().unwrap_err();
+        match err {
+            SessionError::IcViolation {
+                peer, constraint, ..
+            } => {
+                assert_eq!(peer, p1);
+                assert_eq!(constraint, "fd_r1");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Atomicity: neither peer changed, no versions bumped, no log entry.
+        assert!(!session
+            .system()
+            .peer(&p2)
+            .unwrap()
+            .instance
+            .holds("R2", &Tuple::strs(["new", "row"])));
+        assert_eq!(session.version_of(&p1), Version::ZERO);
+        assert_eq!(session.version_of(&p2), Version::ZERO);
+        assert_eq!(session.current_seq(), 0);
+    }
+
+    #[test]
+    fn consistent_updates_pass_local_ics() {
+        let mut system = example1_system();
+        let p1 = PeerId::new("P1");
+        system
+            .add_local_ic(
+                &p1,
+                constraints::builders::key_denial("fd_r1", "R1").unwrap(),
+            )
+            .unwrap();
+        let mut session = Session::new(system);
+        let mut tx = session.begin();
+        tx.insert(&p1, "R1", Tuple::strs(["fresh", "value"]))
+            .unwrap();
+        let receipt = tx.commit().unwrap();
+        assert_eq!(receipt.versions[&p1], Version(1));
+    }
+
+    #[test]
+    fn snapshot_at_replays_the_log() {
+        let mut session = Session::new(example1_system());
+        let p2 = PeerId::new("P2");
+        let p3 = PeerId::new("P3");
+        let base = session.snapshot_at(0).unwrap();
+        assert_eq!(&base, &example1_system());
+
+        let mut tx = session.begin();
+        tx.insert(&p2, "R2", Tuple::strs(["x", "y"])).unwrap();
+        let _ = tx.commit().unwrap();
+        let mut tx = session.begin();
+        tx.delete(&p3, "R3", Tuple::strs(["a", "f"])).unwrap();
+        let _ = tx.commit().unwrap();
+
+        let at1 = session.snapshot_at(1).unwrap();
+        assert!(at1
+            .peer(&p2)
+            .unwrap()
+            .instance
+            .holds("R2", &Tuple::strs(["x", "y"])));
+        assert!(at1
+            .peer(&p3)
+            .unwrap()
+            .instance
+            .holds("R3", &Tuple::strs(["a", "f"])));
+        let at2 = session.snapshot_at(2).unwrap();
+        assert_eq!(&at2, session.system());
+        assert!(matches!(
+            session.snapshot_at(3),
+            Err(SessionError::UnknownSeq { seq: 3, latest: 2 })
+        ));
+    }
+
+    #[test]
+    fn queries_track_commits_and_keep_unrelated_peers_warm() {
+        let mut session = Session::with_strategy(example1_system(), Strategy::Asp);
+        let p1 = PeerId::new("P1");
+        let p2 = PeerId::new("P2");
+        let p3 = PeerId::new("P3");
+        let (query, fv) = r1_query();
+        let q3 = Formula::atom("R3", vec!["X", "Y"]);
+
+        let before = session.answer(&p1, &query, &fv).unwrap();
+        let _ = session.answer(&p3, &q3, &fv).unwrap();
+
+        let mut tx = session.begin();
+        tx.insert(&p2, "R2", Tuple::strs(["x", "y"])).unwrap();
+        let receipt = tx.commit().unwrap();
+        assert!(receipt.invalidated >= 1);
+        // The receipt names the closure: P1 (imports from P2) and P2 itself,
+        // but not P3.
+        assert_eq!(receipt.affected, BTreeSet::from([p1.clone(), p2.clone()]));
+
+        // P3 is outside P2's relevant-peer closure: still warm.
+        let warm = session.answer(&p3, &q3, &fv).unwrap();
+        assert!(warm.stats.cache_hit);
+        // P1 imports from P2: recomputed, sees the new tuple.
+        let after = session.answer(&p1, &query, &fv).unwrap();
+        assert!(!after.stats.cache_hit);
+        assert_eq!(after.len(), before.len() + 1);
+    }
+
+    #[test]
+    fn apply_commits_update_batches() {
+        use relalg::database::GroundAtom;
+        let mut session = Session::new(example1_system());
+        let p2 = PeerId::new("P2");
+        let updates = vec![Update::new(
+            p2.clone(),
+            Delta::from_changes([GroundAtom::new("R2", Tuple::strs(["u", "v"]))], []),
+        )];
+        let receipt = session.apply(&updates).unwrap();
+        assert_eq!(receipt.touched, BTreeSet::from([p2.clone()]));
+        assert_eq!(session.version_of(&p2), Version(1));
+    }
+
+    #[test]
+    fn version_displays_compactly() {
+        assert_eq!(Version(3).to_string(), "v3");
+        assert_eq!(Version::ZERO.get(), 0);
+    }
+}

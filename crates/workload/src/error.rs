@@ -1,0 +1,51 @@
+//! Errors raised by workload generation.
+
+use std::fmt;
+
+/// A malformed workload or update-stream specification. Reported instead of
+/// panicking so benchmark harnesses can surface the problem and continue
+/// with their remaining configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// A spec field is out of its documented range.
+    InvalidSpec {
+        /// The offending field.
+        field: &'static str,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl WorkloadError {
+    /// Shorthand constructor.
+    pub fn invalid(field: &'static str, reason: impl Into<String>) -> Self {
+        WorkloadError::InvalidSpec {
+            field,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidSpec { field, reason } => {
+                write!(f, "invalid workload spec: `{field}` {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field() {
+        let e = WorkloadError::invalid("peers", "must be at least 2 (got 1)");
+        assert!(e.to_string().contains("peers"));
+        assert!(e.to_string().contains("at least 2"));
+    }
+}

@@ -1,5 +1,6 @@
 //! Deterministic generation of synthetic P2P systems from a [`WorkloadSpec`].
 
+use crate::error::WorkloadError;
 use crate::spec::{Topology, TrustMix, WorkloadSpec};
 use constraints::builders::{full_inclusion, key_agreement};
 use pdes_core::system::{P2PSystem, PeerId, TrustLevel};
@@ -24,9 +25,22 @@ pub struct GeneratedWorkload {
 }
 
 /// Generate a system from a spec. The generation is deterministic: the same
-/// spec (including its seed) always produces the same system.
-pub fn generate(spec: &WorkloadSpec) -> GeneratedWorkload {
-    assert!(spec.peers >= 2, "a workload needs at least two peers");
+/// spec (including its seed) always produces the same system. A malformed
+/// spec is reported as a [`WorkloadError`] rather than aborting the caller
+/// (benchmark harnesses sweep many specs and must be able to skip bad ones).
+pub fn generate(spec: &WorkloadSpec) -> Result<GeneratedWorkload, WorkloadError> {
+    if spec.peers < 2 {
+        return Err(WorkloadError::invalid(
+            "peers",
+            format!("a workload needs at least two peers (got {})", spec.peers),
+        ));
+    }
+    if spec.key_constraint_percent > 100 {
+        return Err(WorkloadError::invalid(
+            "key_constraint_percent",
+            format!("must be 0–100 (got {})", spec.key_constraint_percent),
+        ));
+    }
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut system = P2PSystem::new();
 
@@ -144,13 +158,13 @@ pub fn generate(spec: &WorkloadSpec) -> GeneratedWorkload {
         }
     }
 
-    GeneratedWorkload {
+    Ok(GeneratedWorkload {
         system,
         queried_peer: PeerId::new("P0"),
         query: Formula::atom("T0", vec!["X", "Y"]),
         free_vars: vec!["X".to_string(), "Y".to_string()],
         planted_violations: planted,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -162,10 +176,26 @@ mod tests {
     use pdes_core::solution::SolutionOptions;
 
     #[test]
+    fn malformed_specs_are_reported_not_panicked() {
+        let too_few = WorkloadSpec {
+            peers: 1,
+            ..WorkloadSpec::tiny()
+        };
+        let err = generate(&too_few).unwrap_err();
+        assert!(err.to_string().contains("peers"));
+        let bad_percent = WorkloadSpec {
+            key_constraint_percent: 150,
+            ..WorkloadSpec::tiny()
+        };
+        let err = generate(&bad_percent).unwrap_err();
+        assert!(err.to_string().contains("key_constraint_percent"));
+    }
+
+    #[test]
     fn generation_is_deterministic() {
         let spec = WorkloadSpec::tiny();
-        let a = generate(&spec);
-        let b = generate(&spec);
+        let a = generate(&spec).unwrap();
+        let b = generate(&spec).unwrap();
         assert_eq!(
             a.system.global_instance().unwrap(),
             b.system.global_instance().unwrap()
@@ -181,9 +211,9 @@ mod tests {
             ..WorkloadSpec::tiny()
         };
         spec.seed = 1;
-        let a = generate(&spec);
+        let a = generate(&spec).unwrap();
         spec.seed = 7;
-        let b = generate(&spec);
+        let b = generate(&spec).unwrap();
         // Both are valid systems with the same number of peers.
         assert_eq!(a.system.peer_count(), b.system.peer_count());
     }
@@ -194,7 +224,7 @@ mod tests {
             peers: 4,
             ..WorkloadSpec::tiny()
         };
-        let w = generate(&spec);
+        let w = generate(&spec).unwrap();
         assert_eq!(w.system.peer_count(), 4);
         assert_eq!(w.system.decs().len(), 3);
         assert_eq!(w.system.trust().len(), 3);
@@ -208,7 +238,7 @@ mod tests {
             topology: Topology::Chain,
             ..WorkloadSpec::tiny()
         };
-        let w = generate(&spec);
+        let w = generate(&spec).unwrap();
         let p1 = PeerId::new("P1");
         assert_eq!(w.system.decs_of(&p1).len(), 1);
     }
@@ -219,7 +249,7 @@ mod tests {
             trust_mix: TrustMix::AllLess,
             ..WorkloadSpec::tiny()
         };
-        let w = generate(&spec);
+        let w = generate(&spec).unwrap();
         let semantic = peer_consistent_answers(
             &w.system,
             &w.queried_peer,
@@ -255,7 +285,7 @@ mod tests {
             key_constraint_percent: 100,
             ..WorkloadSpec::tiny()
         };
-        let w = generate(&spec);
+        let w = generate(&spec).unwrap();
         let semantic = peer_consistent_answers(
             &w.system,
             &w.queried_peer,

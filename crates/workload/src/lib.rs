@@ -11,8 +11,17 @@
 //! mechanism — rewriting, ASP specification, naive solution enumeration —
 //! can run on them.
 
+//! For live-update experiments, [`updates`] generates deterministic
+//! mutation streams (insert/delete mixes with configurable rate and
+//! hot-peer skew) expressed as per-peer [`relalg::Delta`]s, ready to commit
+//! through a `pdes-session` session.
+
+pub mod error;
 pub mod generator;
 pub mod spec;
+pub mod updates;
 
+pub use error::WorkloadError;
 pub use generator::generate;
 pub use spec::{Topology, TrustMix, WorkloadSpec};
+pub use updates::{generate_updates, UpdateBatch, UpdateSpec};

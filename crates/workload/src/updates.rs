@@ -1,0 +1,300 @@
+//! Deterministic generation of update streams over a generated workload.
+//!
+//! The live-update benchmarks need a mutation stream to replay against a
+//! session: batches of ground-atom insertions and deletions, expressed as
+//! [`relalg::Delta`]s targeted at individual peers — the same currency of
+//! change as Definition 1 of the paper. [`UpdateSpec`] controls the stream's
+//! shape along the dimensions that matter for cache-invalidation behaviour:
+//! how many atoms change per batch (the *rate*), the insert/delete mix, and
+//! how strongly the stream skews towards one *hot* peer (commits against a
+//! hot peer repeatedly invalidate the artifacts of every peer whose
+//! relevant-peer closure contains it, while the rest of the system stays
+//! warm).
+
+use crate::error::WorkloadError;
+use crate::generator::GeneratedWorkload;
+use pdes_core::system::PeerId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relalg::database::GroundAtom;
+use relalg::{Delta, Tuple};
+
+/// Shape of a synthetic update stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateSpec {
+    /// Number of update batches in the stream (each batch commits as one
+    /// transaction).
+    pub batches: usize,
+    /// Ground atoms changed per batch — the stream's mutation rate.
+    pub batch_size: usize,
+    /// Percentage (0–100) of changes that are insertions; the rest delete
+    /// existing base tuples.
+    pub insert_percent: u8,
+    /// Percentage (0–100) of batches aimed at the hot peer (`P1`, the first
+    /// DEC target of the queried peer); the rest round-robin over the other
+    /// non-queried peers.
+    pub hot_peer_percent: u8,
+    /// Random seed (the stream is fully deterministic given the spec).
+    pub seed: u64,
+}
+
+impl Default for UpdateSpec {
+    fn default() -> Self {
+        UpdateSpec {
+            batches: 10,
+            batch_size: 2,
+            insert_percent: 70,
+            hot_peer_percent: 80,
+            seed: 7,
+        }
+    }
+}
+
+/// One batch of the stream: a delta against one peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateBatch {
+    /// The targeted peer.
+    pub peer: PeerId,
+    /// The changes.
+    pub delta: Delta,
+}
+
+/// Generate a deterministic update stream over a generated workload.
+///
+/// Insertions create fresh `u_<batch>_<n>` keys (never colliding with the
+/// base data); deletions consume the peer's `k_<peer>_<j>` base tuples in
+/// order and fall back to insertions once a peer's base data is exhausted.
+/// The generated systems carry no local ICs, so every batch commits cleanly
+/// through a `Session`.
+pub fn generate_updates(
+    workload: &GeneratedWorkload,
+    spec: &UpdateSpec,
+) -> Result<Vec<UpdateBatch>, WorkloadError> {
+    for (field, value) in [
+        ("insert_percent", spec.insert_percent),
+        ("hot_peer_percent", spec.hot_peer_percent),
+    ] {
+        if value > 100 {
+            return Err(WorkloadError::invalid(
+                field,
+                format!("must be 0–100 (got {value})"),
+            ));
+        }
+    }
+    if spec.batch_size == 0 {
+        return Err(WorkloadError::invalid(
+            "batch_size",
+            "must be at least 1 (got 0)".to_string(),
+        ));
+    }
+    let peers: Vec<PeerId> = workload.system.peer_ids().cloned().collect();
+    let mutable: Vec<PeerId> = peers
+        .iter()
+        .filter(|p| **p != workload.queried_peer)
+        .cloned()
+        .collect();
+    if mutable.is_empty() {
+        return Err(WorkloadError::invalid(
+            "batches",
+            "the workload has no peer besides the queried one to mutate".to_string(),
+        ));
+    }
+
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    // Every generated peer owns exactly one relation; read its name from the
+    // peer's schema (peer ids sort lexicographically, so deriving it from an
+    // enumeration index would mispair peers and relations beyond 10 peers).
+    let relation_of = |p: &PeerId| -> String {
+        workload
+            .system
+            .peer(p)
+            .expect("known peer")
+            .schema
+            .relation_names()
+            .next()
+            .expect("generated peers own one relation")
+            .to_string()
+    };
+    // Per-peer pool of tuples still available for deletion, drawn from the
+    // peer's generation-time instance (each tuple is deleted at most once
+    // across the whole stream).
+    let mut deletable: Vec<Vec<Tuple>> = peers
+        .iter()
+        .map(|p| {
+            let instance = &workload.system.peer(p).expect("known peer").instance;
+            instance
+                .relation(&relation_of(p))
+                .map(|r| r.iter().cloned().collect())
+                .unwrap_or_default()
+        })
+        .collect();
+    let mut cold_cursor = 0usize; // round-robin over the non-hot peers
+    let mut out = Vec::with_capacity(spec.batches);
+
+    for batch_idx in 0..spec.batches {
+        let hot = rng.gen_range(0..100u8) < spec.hot_peer_percent;
+        let peer = if hot || mutable.len() == 1 {
+            mutable[0].clone()
+        } else {
+            cold_cursor += 1;
+            mutable[1 + (cold_cursor - 1) % (mutable.len() - 1)].clone()
+        };
+        let peer_index: usize = peers.iter().position(|p| *p == peer).expect("known peer");
+        let relation = relation_of(&peer);
+
+        let mut delta = Delta::empty();
+        for n in 0..spec.batch_size {
+            let insert = rng.gen_range(0..100u8) < spec.insert_percent;
+            if !insert {
+                if let Some(tuple) = deletable[peer_index].pop() {
+                    delta.deletions.insert(GroundAtom::new(&relation, tuple));
+                    continue;
+                }
+                // Base data exhausted: fall back to an insertion.
+            }
+            let tuple = Tuple::strs([
+                format!("u_{batch_idx}_{n}").as_str(),
+                format!("uv_{batch_idx}_{n}").as_str(),
+            ]);
+            delta.insertions.insert(GroundAtom::new(&relation, tuple));
+        }
+        out.push(UpdateBatch { peer, delta });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, TrustMix, WorkloadSpec};
+
+    fn tiny_workload() -> GeneratedWorkload {
+        generate(&WorkloadSpec {
+            peers: 3,
+            trust_mix: TrustMix::AllLess,
+            ..WorkloadSpec::tiny()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let w = tiny_workload();
+        let spec = UpdateSpec::default();
+        let a = generate_updates(&w, &spec).unwrap();
+        let b = generate_updates(&w, &spec).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), spec.batches);
+    }
+
+    #[test]
+    fn batches_respect_rate_and_never_touch_the_queried_peer() {
+        let w = tiny_workload();
+        let spec = UpdateSpec {
+            batches: 8,
+            batch_size: 3,
+            ..UpdateSpec::default()
+        };
+        let stream = generate_updates(&w, &spec).unwrap();
+        for batch in &stream {
+            assert_ne!(batch.peer, w.queried_peer);
+            assert!(batch.delta.len() <= spec.batch_size);
+            assert!(!batch.delta.is_empty());
+        }
+    }
+
+    #[test]
+    fn hot_skew_concentrates_on_p1() {
+        let w = tiny_workload();
+        let all_hot = UpdateSpec {
+            batches: 12,
+            hot_peer_percent: 100,
+            ..UpdateSpec::default()
+        };
+        let stream = generate_updates(&w, &all_hot).unwrap();
+        assert!(stream.iter().all(|b| b.peer == PeerId::new("P1")));
+        let spread = UpdateSpec {
+            batches: 12,
+            hot_peer_percent: 0,
+            ..UpdateSpec::default()
+        };
+        let stream = generate_updates(&w, &spread).unwrap();
+        assert!(stream.iter().any(|b| b.peer == PeerId::new("P2")));
+    }
+
+    #[test]
+    fn deletions_target_existing_base_tuples() {
+        let w = tiny_workload();
+        let spec = UpdateSpec {
+            batches: 6,
+            batch_size: 2,
+            insert_percent: 0,
+            hot_peer_percent: 100,
+            ..UpdateSpec::default()
+        };
+        let stream = generate_updates(&w, &spec).unwrap();
+        let p1 = &w.system.peer(&PeerId::new("P1")).unwrap().instance;
+        for batch in &stream {
+            for atom in &batch.delta.deletions {
+                assert!(p1.holds(&atom.relation, &atom.tuple));
+            }
+        }
+    }
+
+    #[test]
+    fn relations_match_their_peers_beyond_ten_peers() {
+        // Peer ids sort lexicographically (P0, P1, P10, P11, P2, …), so any
+        // index-based peer↔relation pairing breaks at 11+ peers.
+        let w = generate(&WorkloadSpec {
+            peers: 12,
+            tuples_per_relation: 2,
+            violations_per_dec: 0,
+            trust_mix: TrustMix::AllLess,
+            ..WorkloadSpec::tiny()
+        })
+        .unwrap();
+        let stream = generate_updates(
+            &w,
+            &UpdateSpec {
+                batches: 24,
+                batch_size: 2,
+                insert_percent: 50,
+                hot_peer_percent: 0,
+                ..UpdateSpec::default()
+            },
+        )
+        .unwrap();
+        for batch in &stream {
+            let schema = &w.system.peer(&batch.peer).unwrap().schema;
+            for atom in batch.delta.insertions.iter().chain(&batch.delta.deletions) {
+                assert!(
+                    schema.contains(&atom.relation),
+                    "batch against {} touches foreign relation {}",
+                    batch.peer,
+                    atom.relation
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_update_specs_are_reported() {
+        let w = tiny_workload();
+        assert!(generate_updates(
+            &w,
+            &UpdateSpec {
+                insert_percent: 101,
+                ..UpdateSpec::default()
+            }
+        )
+        .is_err());
+        assert!(generate_updates(
+            &w,
+            &UpdateSpec {
+                batch_size: 0,
+                ..UpdateSpec::default()
+            }
+        )
+        .is_err());
+    }
+}

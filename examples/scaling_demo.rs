@@ -20,7 +20,7 @@ fn main() {
             trust_mix: TrustMix::AllLess,
             ..WorkloadSpec::default()
         };
-        let w = generate(&spec);
+        let w = generate(&spec).expect("valid workload spec");
         let params = format!("tuples={n}");
         rows.extend(run_strategy(&w, Strategy::Rewriting, &params));
         rows.extend(run_strategy(&w, Strategy::Asp, &params));
@@ -31,7 +31,7 @@ fn main() {
         // The memoization hot path: a warm engine answers repeat queries
         // without re-grounding or re-solving the specification program.
         let engine = engine_for(&w, Strategy::Asp);
-        engine
+        let _ = engine
             .answer(&w.queried_peer, &w.query, &w.free_vars)
             .expect("warm-up");
         let start = Instant::now();

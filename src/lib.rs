@@ -11,10 +11,15 @@
 //! * [`repair`] — minimal-change repairs and single-database CQA;
 //! * [`datalog`] — the disjunctive answer-set engine (choice operator, HCF
 //!   shifting, cautious reasoning);
-//! * [`core`](pdes_core) — the paper's contribution: P2P systems, trust,
+//! * [`core`] — the paper's contribution: P2P systems, trust,
 //!   solutions, peer consistent answers, rewriting and ASP specifications;
 //! * [`dsl`] — a textual format for systems and queries;
-//! * [`workload`] — synthetic workload generation for the benchmarks.
+//! * [`workload`] — synthetic workload and update-stream generation for the
+//!   benchmarks;
+//! * [`session`] — live, versioned systems: `Tx`/commit
+//!   updates validated against local ICs, an update log with snapshot
+//!   replay, and incremental invalidation of the engine's memoized
+//!   artifacts.
 //!
 //! See `README.md` for a tour and `examples/` for runnable scenarios.
 
@@ -22,6 +27,7 @@ pub use constraints;
 pub use datalog;
 pub use dsl;
 pub use pdes_core as core;
+pub use pdes_session as session;
 pub use relalg;
 pub use repair;
 pub use workload;
@@ -35,7 +41,8 @@ pub use pdes_core::engine::{
     StrategyKind,
 };
 pub use pdes_core::pca::vars;
-pub use pdes_core::{P2PSystem, Peer, PeerId, SolutionOptions, TrustLevel};
+pub use pdes_core::{CacheMetrics, P2PSystem, Peer, PeerId, SolutionOptions, TrustLevel};
+pub use pdes_session::{Session, Tx, Update, Version};
 pub use relalg::query::Formula;
 pub use relalg::Tuple;
 

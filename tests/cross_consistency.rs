@@ -11,7 +11,7 @@ use workload::{generate, Topology, TrustMix, WorkloadSpec};
 /// Answer one workload's canonical query under every applicable strategy on
 /// a single shared engine and assert the answer sets coincide.
 fn check_agreement(spec: &WorkloadSpec, include_rewriting: bool) {
-    let w = generate(spec);
+    let w = generate(spec).expect("valid workload spec");
     let engine = QueryEngine::new(w.system);
     let naive = engine
         .answer_with(Strategy::Naive, &w.queried_peer, &w.query, &w.free_vars)
@@ -113,7 +113,8 @@ fn auto_selects_rewriting_exactly_on_rewritable_workloads() {
         trust_mix: TrustMix::AllLess,
         seed: 3,
         ..WorkloadSpec::default()
-    });
+    })
+    .expect("valid workload spec");
     let engine = QueryEngine::new(rewritable.system);
     assert_eq!(
         engine.resolve(Strategy::Auto, &rewritable.queried_peer, &rewritable.query),
@@ -151,7 +152,7 @@ fn transitive_answers_are_a_superset_of_direct_answers_on_import_chains() {
         seed: 4,
         ..WorkloadSpec::default()
     };
-    let w = generate(&spec);
+    let w = generate(&spec).expect("valid workload spec");
     let engine = QueryEngine::new(w.system);
     let direct = engine
         .answer_with(Strategy::Asp, &w.queried_peer, &w.query, &w.free_vars)

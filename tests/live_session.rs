@@ -1,0 +1,153 @@
+//! Live-session integration tests:
+//!
+//! * the ISSUE acceptance criterion — after a commit touching peer `P`, a
+//!   repeat query on a peer outside `P`'s relevant-peer closure is served
+//!   from the memoized artifacts (observable via `EngineStats.cache_hit`),
+//!   while a query inside the closure recomputes and agrees with a fresh
+//!   engine built on the mutated snapshot;
+//! * equivalence under mutation — after N random committed update batches,
+//!   every strategy's answers equal those of a fresh engine built on the
+//!   final snapshot (live invalidation never changes semantics, only work).
+
+use p2p_data_exchange::{
+    example1_system, vars, Formula, PeerId, QueryEngine, Session, Strategy, Tuple, Update, Version,
+};
+use proptest::prelude::*;
+use workload::{generate, generate_updates, TrustMix, UpdateSpec, WorkloadSpec};
+
+#[test]
+fn commits_invalidate_the_closure_and_nothing_else() {
+    let engine = QueryEngine::builder(example1_system())
+        .strategy(Strategy::Asp)
+        .build();
+    let mut session = Session::with_engine(engine);
+    let p1 = PeerId::new("P1");
+    let p2 = PeerId::new("P2");
+    let p3 = PeerId::new("P3");
+    let q1 = Formula::atom("R1", vec!["X", "Y"]);
+    let q3 = Formula::atom("R3", vec!["X", "Y"]);
+    let fv = vars(&["X", "Y"]);
+
+    // Warm the artifacts of P1 (closure {P1, P2, P3}) and P3 (closure {P3}).
+    let cold1 = session.answer(&p1, &q1, &fv).unwrap();
+    let cold3 = session.answer(&p3, &q3, &fv).unwrap();
+    assert!(!cold1.stats.cache_hit && !cold3.stats.cache_hit);
+    let warm3 = session.answer(&p3, &q3, &fv).unwrap();
+    assert!(warm3.stats.cache_hit);
+
+    // Commit a change to P2. P3 is outside P2's relevant-peer closure.
+    let mut tx = session.begin();
+    tx.insert(&p2, "R2", Tuple::strs(["x", "y"])).unwrap();
+    tx.delete(&p2, "R2", Tuple::strs(["c", "d"])).unwrap();
+    let receipt = tx.commit().unwrap();
+    assert_eq!(receipt.versions[&p2], Version(1));
+
+    // Outside the closure: still served from the cache, same answers.
+    let still_warm = session.answer(&p3, &q3, &fv).unwrap();
+    assert!(still_warm.stats.cache_hit, "P3 must stay warm");
+    assert_eq!(still_warm.tuples, cold3.tuples);
+
+    // Inside the closure: recomputed, identical to a fresh engine over the
+    // mutated snapshot.
+    let recomputed = session.answer(&p1, &q1, &fv).unwrap();
+    assert!(!recomputed.stats.cache_hit, "P1 must recompute");
+    let fresh = QueryEngine::builder(session.system().clone())
+        .strategy(Strategy::Asp)
+        .build();
+    let reference = fresh.answer(&p1, &q1, &fv).unwrap();
+    assert_eq!(recomputed.tuples, reference.tuples);
+    assert!(recomputed.contains(&Tuple::strs(["x", "y"])));
+    assert!(!recomputed.contains(&Tuple::strs(["c", "d"])));
+
+    // And the cumulative metrics saw the invalidation.
+    let metrics = session.metrics();
+    assert!(metrics.commits == 1 && metrics.invalidated >= 1);
+}
+
+#[test]
+fn rewriting_queries_survive_commits_via_incremental_global_maintenance() {
+    let engine = QueryEngine::builder(example1_system())
+        .strategy(Strategy::Rewriting)
+        .build();
+    let mut session = Session::with_engine(engine);
+    let p1 = PeerId::new("P1");
+    let p2 = PeerId::new("P2");
+    let q1 = Formula::atom("R1", vec!["X", "Y"]);
+    let fv = vars(&["X", "Y"]);
+    let _ = session.answer(&p1, &q1, &fv).unwrap();
+    let mut tx = session.begin();
+    tx.insert(&p2, "R2", Tuple::strs(["x", "y"])).unwrap();
+    let _ = tx.commit().unwrap();
+    // The materialized global instance is maintained in place: warm AND
+    // already reflecting the commit.
+    let warm = session.answer(&p1, &q1, &fv).unwrap();
+    assert!(warm.stats.cache_hit);
+    assert!(warm.contains(&Tuple::strs(["x", "y"])));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// After N random committed update batches, each strategy's live answers
+    /// equal a fresh engine's answers on the final snapshot — for the
+    /// queried peer (inside every mutation's closure) and the hot peer
+    /// (whose artifacts the mutations repeatedly invalidate).
+    #[test]
+    fn live_answers_equal_fresh_engine_on_final_snapshot(
+        seed in 0u64..20,
+        batches in 1usize..4,
+        insert_percent in 0u8..101,
+    ) {
+        let w = generate(&WorkloadSpec {
+            peers: 2,
+            tuples_per_relation: 4,
+            violations_per_dec: 1,
+            trust_mix: TrustMix::AllLess,
+            seed,
+            ..WorkloadSpec::default()
+        }).unwrap();
+        let stream = generate_updates(&w, &UpdateSpec {
+            batches,
+            batch_size: 1,
+            insert_percent,
+            hot_peer_percent: 100,
+            seed,
+        }).unwrap();
+
+        let mut session = Session::new(w.system.clone());
+        for batch in &stream {
+            let receipt = session
+                .apply(&[Update::new(batch.peer.clone(), batch.delta.clone())])
+                .unwrap();
+            prop_assert!(!receipt.touched.is_empty());
+        }
+        prop_assert_eq!(session.current_seq(), stream.len() as u64);
+
+        // Replaying the log reproduces the live system.
+        let replayed = session.snapshot_at(session.current_seq()).unwrap();
+        prop_assert_eq!(&replayed, session.system());
+
+        let fresh = QueryEngine::new(replayed);
+        let p1 = PeerId::new("P1");
+        let q1 = Formula::atom("T1", vec!["X", "Y"]);
+        let fv = vars(&["X", "Y"]);
+        for strategy in [
+            Strategy::Naive,
+            Strategy::Rewriting,
+            Strategy::Asp,
+            Strategy::TransitiveAsp,
+        ] {
+            let live = session
+                .answer_with(strategy, &w.queried_peer, &w.query, &w.free_vars)
+                .unwrap();
+            let reference = fresh
+                .answer_with(strategy, &w.queried_peer, &w.query, &w.free_vars)
+                .unwrap();
+            prop_assert_eq!(&live.tuples, &reference.tuples, "strategy {:?}", strategy);
+            // The mutated (hot) peer itself.
+            let live_hot = session.answer_with(strategy, &p1, &q1, &fv).unwrap();
+            let reference_hot = fresh.answer_with(strategy, &p1, &q1, &fv).unwrap();
+            prop_assert_eq!(&live_hot.tuples, &reference_hot.tuples, "strategy {:?}", strategy);
+        }
+    }
+}

@@ -32,6 +32,27 @@ fn small_instance(relation: &'static str) -> impl Strategy<Value = Database> {
     })
 }
 
+/// Strategy: a small delta over binary `R` atoms, with disjoint insertion
+/// and deletion sets (the invariant `Delta::between` guarantees).
+fn small_delta() -> impl Strategy<Value = Delta> {
+    (
+        proptest::collection::btree_set((0u8..3, 0u8..3), 0..4),
+        proptest::collection::btree_set((0u8..3, 0u8..3), 0..4),
+    )
+        .prop_map(|(ins, del)| {
+            let atom = |(a, b): (u8, u8)| {
+                relalg::database::GroundAtom::new(
+                    "R",
+                    Tuple::strs([format!("c{a}"), format!("c{b}")]),
+                )
+            };
+            Delta::from_changes(
+                ins.iter().copied().map(atom),
+                del.difference(&ins).copied().map(atom),
+            )
+        })
+}
+
 /// Strategy: a two-relation database (R and S) for repair tests.
 fn two_relation_instance() -> impl Strategy<Value = Database> {
     (
@@ -67,6 +88,51 @@ proptest! {
         // Symmetry of the flat atom set.
         let back = Delta::between(&cand, &base);
         prop_assert_eq!(delta.atoms(), back.atoms());
+    }
+
+    /// `DeltaOrdering` under change-set inclusion is a partial order:
+    /// comparisons are mutually consistent (antisymmetry — `a ≤ b` and
+    /// `b ≤ a` only when `a = b`), incomparability is symmetric, `≤` is
+    /// transitive, and `partial_cmp` mirrors `compare` (returning `None`
+    /// exactly on the incomparable cases).
+    #[test]
+    fn delta_ordering_is_a_partial_order(a in small_delta(), b in small_delta(), c in small_delta()) {
+        use relalg::delta::DeltaOrdering;
+        use std::cmp::Ordering;
+        let ab = a.compare(&b);
+        let ba = b.compare(&a);
+        match ab {
+            DeltaOrdering::Equal => {
+                prop_assert_eq!(ba, DeltaOrdering::Equal);
+                prop_assert_eq!(&a, &b); // antisymmetry
+            }
+            DeltaOrdering::Less => prop_assert_eq!(ba, DeltaOrdering::Greater),
+            DeltaOrdering::Greater => prop_assert_eq!(ba, DeltaOrdering::Less),
+            DeltaOrdering::Incomparable => prop_assert_eq!(ba, DeltaOrdering::Incomparable),
+        }
+        // Transitivity of ⊆.
+        if a.is_subset_of(&b) && b.is_subset_of(&c) {
+            prop_assert!(a.is_subset_of(&c));
+        }
+        // partial_cmp mirrors compare.
+        let expected = match ab {
+            DeltaOrdering::Equal => Some(Ordering::Equal),
+            DeltaOrdering::Less => Some(Ordering::Less),
+            DeltaOrdering::Greater => Some(Ordering::Greater),
+            DeltaOrdering::Incomparable => None,
+        };
+        prop_assert_eq!(a.partial_cmp(&b), expected);
+    }
+
+    /// Applying a delta and then its inverse round-trips the base instance
+    /// (the delta is exact for the base by `Delta::between`'s construction).
+    #[test]
+    fn delta_inverse_round_trips(base in small_instance("R"), cand in small_instance("R")) {
+        let delta = Delta::between(&base, &cand);
+        let forward = delta.apply(&base).unwrap();
+        prop_assert_eq!(delta.inverse().apply(&forward).unwrap(), base.clone());
+        // Inverting twice is the identity.
+        prop_assert_eq!(delta.inverse().inverse(), delta);
     }
 
     /// Every repair satisfies the constraints, leaves protected relations
@@ -109,7 +175,7 @@ proptest! {
             seed,
             ..WorkloadSpec::default()
         };
-        let w = generate(&spec);
+        let w = generate(&spec).expect("valid workload spec");
         let solutions = p2p_data_exchange::core::solution::solutions_for(
             &w.system,
             &w.queried_peer,
@@ -159,7 +225,7 @@ proptest! {
             seed,
             ..WorkloadSpec::default()
         };
-        let w = generate(&spec);
+        let w = generate(&spec).expect("valid workload spec");
         let engine = QueryEngine::new(w.system);
         let semantic = engine
             .answer_with(Strategy::Naive, &w.queried_peer, &w.query, &w.free_vars)
