@@ -1,0 +1,36 @@
+//! B9 — batched answering over closure-disjoint clusters at increasing
+//! worker counts. Complements the harness table with statistically
+//! repeated timings; on a single-core machine the worker counts tie, on
+//! multi-core hardware the disjoint partitions overlap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdes_bench::parallel::{cluster_batch, cluster_system, run_batch};
+use pdes_core::engine::Strategy;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B9_parallel_batch");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    let system = cluster_system(4, 10, 4);
+    let batch = cluster_batch(4, 2);
+    for &workers in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    run_batch(&system, &batch, Strategy::Asp, workers, "bench")
+                        .expect("batch run")
+                        .answers
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,12 +1,25 @@
-//! Prints the B1–B8 experiment tables (see DESIGN.md and EXPERIMENTS.md).
+//! Prints the B1–B9 experiment tables (see DESIGN.md and EXPERIMENTS.md),
+//! or runs the CI perf-smoke gate.
 //!
-//! Usage: `cargo run -p pdes-bench --release --bin harness [--quick]`
+//! Usage:
+//!
+//! * `cargo run -p pdes-bench --release --bin harness [--quick]` — the
+//!   tables (`--quick` shrinks every sweep);
+//! * `cargo run -p pdes-bench --release --bin harness -- --smoke
+//!   [--out PATH] [--baseline PATH]` — run the small fixed smoke workload,
+//!   write the metrics to `BENCH_smoke.json` (or `--out`) and exit non-zero
+//!   if any metric tracked by the committed baseline regressed more than
+//!   2x. `--baseline` defaults to `crates/bench/baselines/BENCH_smoke.json`.
 
 use pdes_bench::experiments;
-use pdes_bench::{render_live_table, render_table};
+use pdes_bench::smoke::{run_smoke, SmokeReport};
+use pdes_bench::{render_live_table, render_parallel_table, render_table};
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-/// Sweep parameters of the eight tables.
+/// Sweep parameters of the nine tables.
 type Sweeps = (
+    Vec<usize>,
     Vec<usize>,
     Vec<usize>,
     Vec<usize>,
@@ -17,10 +30,15 @@ type Sweeps = (
     Vec<usize>,
 );
 
-fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        return smoke_gate(&args);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
 
-    let (b1_sizes, b2_peers, b3_viol, b4_wit, b5_chain, b6_sizes, b7_sizes, b8_batches): Sweeps =
+    #[rustfmt::skip]
+    let (b1_sizes, b2_peers, b3_viol, b4_wit, b5_chain, b6_sizes, b7_sizes, b8_batches, b9_workers): Sweeps =
         if quick {
             (
                 vec![10, 20],
@@ -31,6 +49,7 @@ fn main() {
                 vec![10, 20],
                 vec![10, 20],
                 vec![4],
+                vec![1, 2],
             )
         } else {
             (
@@ -42,6 +61,7 @@ fn main() {
                 vec![10, 20, 40, 80],
                 vec![10, 20, 40, 80],
                 vec![4, 8, 16],
+                vec![1, 2, 4, 8],
             )
         };
 
@@ -104,4 +124,85 @@ fn main() {
             &experiments::table_b8(&b8_batches)
         )
     );
+    print!(
+        "{}",
+        render_parallel_table(
+            "B9: batched answering throughput vs. worker count (disjoint closures)",
+            &pdes_bench::parallel::table_b9(&b9_workers)
+        )
+    );
+    ExitCode::SUCCESS
+}
+
+/// Value of a `--flag PATH` argument, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<PathBuf> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+/// The `--smoke` mode: run, write the artifact, gate against the baseline.
+fn smoke_gate(args: &[String]) -> ExitCode {
+    let out = flag_value(args, "--out").unwrap_or_else(|| PathBuf::from("BENCH_smoke.json"));
+    let baseline_path = flag_value(args, "--baseline").unwrap_or_else(|| {
+        PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/baselines/BENCH_smoke.json"
+        ))
+    });
+
+    println!("perf-smoke: running the fixed smoke workload…");
+    let report = match run_smoke() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("perf-smoke: workload failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (name, value) in &report.metrics {
+        println!("  {name} = {value:.3}");
+    }
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("perf-smoke: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("perf-smoke: wrote {}", out.display());
+
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!(
+                "perf-smoke: cannot read baseline {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match SmokeReport::from_json(&baseline_text) {
+        Ok(baseline) => baseline,
+        Err(e) => {
+            eprintln!(
+                "perf-smoke: malformed baseline {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let (lines, pass) = report.compare(&baseline);
+    println!(
+        "perf-smoke: comparing against {} (fail above {}x):",
+        baseline_path.display(),
+        pdes_bench::smoke::REGRESSION_FACTOR
+    );
+    for line in lines {
+        println!("  {line}");
+    }
+    if pass {
+        println!("perf-smoke: PASS");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("perf-smoke: FAIL — tracked metric regressed beyond the threshold");
+        ExitCode::FAILURE
+    }
 }

@@ -13,10 +13,20 @@
 //! Table B8 ([`live`]) measures sustained query throughput under a mutation
 //! stream: cold engines vs. full cache flushes vs. the engine's incremental
 //! closure-based invalidation.
+//!
+//! Table B9 ([`parallel`]) measures batched answering over closure-disjoint
+//! clusters at increasing worker counts, and [`smoke`] packages a small
+//! fixed workload into the `BENCH_smoke.json` artifact behind the CI
+//! perf-smoke gate (`cargo run --release -p pdes-bench --bin harness --
+//! --smoke`).
 
 pub mod experiments;
 pub mod live;
+pub mod parallel;
 pub mod runners;
+pub mod smoke;
 
 pub use live::{render_live_table, LiveMeasurement, LiveMode};
+pub use parallel::{render_parallel_table, ParallelMeasurement};
 pub use runners::{render_table, Measurement};
+pub use smoke::{run_smoke, SmokeReport};

@@ -1,0 +1,250 @@
+//! B9 — batched answering throughput vs. worker count.
+//!
+//! The batch workload is a set of *independent clusters*: pairs of peers
+//! `(A_i, B_i)` where `A_i` owns a binary relation with a key-agreement DEC
+//! towards the same-trusted `B_i`, with `conflicts` planted key conflicts
+//! per cluster. Each cluster's relevant-peer closure is `{A_i, B_i}` —
+//! pairwise disjoint — so a batch that queries every cluster partitions into
+//! one partition per cluster and [`pdes_core::engine::QueryEngine::answer_batch`]
+//! spreads the per-cluster preparation (grounding + 2^conflicts-model
+//! solving + per-world evaluation) across the pool. The table reports the
+//! same batch at increasing worker counts and the speedup over one worker.
+
+use pdes_core::engine::{Query, QueryEngine, Strategy};
+use pdes_core::pca::vars;
+use pdes_core::system::{P2PSystem, PeerId, TrustLevel};
+use relalg::query::Formula;
+use relalg::{RelationSchema, Tuple};
+use std::time::Instant;
+
+/// One measured batch run.
+#[derive(Debug, Clone)]
+pub struct ParallelMeasurement {
+    /// Worker pool size the batch ran on.
+    pub workers: usize,
+    /// Workload parameters, rendered for the table.
+    pub params: String,
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Total certain answers across the batch.
+    pub answers: usize,
+    /// Total worlds (answer sets) evaluated across the batch.
+    pub worlds: usize,
+    /// Wall-clock time of the whole batch in milliseconds.
+    pub millis: f64,
+    /// Sustained throughput.
+    pub queries_per_sec: f64,
+    /// Speedup over the 1-worker row of the same sweep (1.0 for the
+    /// 1-worker row itself; filled in by [`table_b9`]).
+    pub speedup: f64,
+}
+
+/// Build a system of `clusters` independent two-peer clusters. Cluster `i`
+/// has peers `A<i>`/`B<i>` owning `RA<i>`/`RB<i>` with `tuples` rows each, a
+/// key-agreement DEC between them at equal trust, and `conflicts` planted
+/// key conflicts — so each cluster independently admits `2^conflicts`
+/// solutions.
+pub fn cluster_system(clusters: usize, tuples: usize, conflicts: usize) -> P2PSystem {
+    assert!(
+        conflicts <= tuples,
+        "cannot plant more conflicts than tuples"
+    );
+    let mut sys = P2PSystem::new();
+    for i in 0..clusters {
+        let a = PeerId::new(format!("A{i}"));
+        let b = PeerId::new(format!("B{i}"));
+        sys.add_peer(a.clone()).expect("fresh peer");
+        sys.add_peer(b.clone()).expect("fresh peer");
+        let ra = format!("RA{i}");
+        let rb = format!("RB{i}");
+        sys.add_relation(&a, RelationSchema::new(&ra, &["x", "y"]))
+            .expect("fresh relation");
+        sys.add_relation(&b, RelationSchema::new(&rb, &["x", "y"]))
+            .expect("fresh relation");
+        for j in 0..tuples {
+            let key = format!("k{j}");
+            sys.insert(&a, &ra, Tuple::strs([&key, &format!("v{j}")]))
+                .expect("insert");
+            // The first `conflicts` keys disagree on the dependent value.
+            let other = if j < conflicts {
+                format!("w{j}")
+            } else {
+                format!("v{j}")
+            };
+            sys.insert(&b, &rb, Tuple::strs([&key, &other]))
+                .expect("insert");
+        }
+        sys.add_dec(
+            &a,
+            &b,
+            constraints::builders::key_agreement(format!("d{i}"), &ra, &rb).expect("dec"),
+        )
+        .expect("dec");
+        sys.set_trust(&a, TrustLevel::Same, &b).expect("trust");
+    }
+    sys
+}
+
+/// The canonical batch over a cluster system: each cluster's `RA<i>(X, Y)`
+/// query, `repeat` times round-robin (so warm repeats exercise the shared
+/// cache inside each partition).
+pub fn cluster_batch(clusters: usize, repeat: usize) -> Vec<Query> {
+    let mut batch = Vec::with_capacity(clusters * repeat);
+    for _ in 0..repeat {
+        for i in 0..clusters {
+            batch.push(Query::new(
+                PeerId::new(format!("A{i}")),
+                Formula::atom(format!("RA{i}"), vec!["X", "Y"]),
+                vars(&["X", "Y"]),
+            ));
+        }
+    }
+    batch
+}
+
+/// Run one batch on a fresh engine with `workers` workers. Returns `None`
+/// if any query errors (the smoke gate treats that as a hard failure).
+pub fn run_batch(
+    system: &P2PSystem,
+    batch: &[Query],
+    strategy: Strategy,
+    workers: usize,
+    params: &str,
+) -> Option<ParallelMeasurement> {
+    let engine = QueryEngine::builder(system.clone())
+        .strategy(strategy)
+        .workers(workers)
+        .build();
+    let start = Instant::now();
+    let results = engine.answer_batch(batch);
+    let millis = start.elapsed().as_secs_f64() * 1e3;
+    let mut answers = 0usize;
+    let mut worlds = 0usize;
+    for result in results {
+        let a = result.ok()?;
+        answers += a.len();
+        worlds += a.stats.worlds;
+    }
+    Some(ParallelMeasurement {
+        workers,
+        params: params.to_string(),
+        queries: batch.len(),
+        answers,
+        worlds,
+        millis,
+        queries_per_sec: if millis > 0.0 {
+            batch.len() as f64 / (millis / 1e3)
+        } else {
+            f64::INFINITY
+        },
+        speedup: 1.0,
+    })
+}
+
+/// B9 — the batch workload at each worker count, with speedups relative to
+/// the first (1-worker) row. Every row answers the identical batch, so the
+/// `answers`/`worlds` columns double as an equal-output check.
+pub fn table_b9(worker_counts: &[usize]) -> Vec<ParallelMeasurement> {
+    let clusters = 6;
+    let (tuples, conflicts, repeat) = (16, 6, 3);
+    let system = cluster_system(clusters, tuples, conflicts);
+    let batch = cluster_batch(clusters, repeat);
+    let params = format!("clusters={clusters} tuples={tuples} conflicts={conflicts}");
+    let mut rows: Vec<ParallelMeasurement> = Vec::new();
+    for &workers in worker_counts {
+        if let Some(m) = run_batch(&system, &batch, Strategy::Asp, workers, &params) {
+            rows.push(m);
+        }
+    }
+    if let Some(base) = rows.first().map(|r| r.millis) {
+        for row in &mut rows {
+            row.speedup = if row.millis > 0.0 {
+                base / row.millis
+            } else {
+                f64::INFINITY
+            };
+        }
+    }
+    rows
+}
+
+/// Render batch measurements as an aligned text table.
+pub fn render_parallel_table(title: &str, rows: &[ParallelMeasurement]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<40} {:>8} {:>8} {:>8} {:>8} {:>12} {:>12} {:>8}\n",
+        "parameters",
+        "workers",
+        "queries",
+        "answers",
+        "worlds",
+        "time (ms)",
+        "queries/s",
+        "speedup"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<40} {:>8} {:>8} {:>8} {:>8} {:>12.3} {:>12.1} {:>7.2}x\n",
+            row.params,
+            row.workers,
+            row.queries,
+            row.answers,
+            row.worlds,
+            row.millis,
+            row.queries_per_sec,
+            row.speedup
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_system_has_disjoint_closures_and_planted_worlds() {
+        let sys = cluster_system(3, 5, 2);
+        assert_eq!(sys.peer_count(), 6);
+        for i in 0..3 {
+            let closure = sys.dependencies_of(&PeerId::new(format!("A{i}")));
+            assert_eq!(closure.len(), 2, "cluster {i} closure is its own pair");
+        }
+        let engine = QueryEngine::builder(sys).strategy(Strategy::Asp).build();
+        let answers = engine
+            .answer_named(
+                &PeerId::new("A0"),
+                &Formula::atom("RA0", vec!["X", "Y"]),
+                &["X", "Y"],
+            )
+            .unwrap();
+        assert_eq!(answers.stats.worlds, 4, "2^2 planted solutions");
+        // Conflicting keys are uncertain, the rest survive.
+        assert_eq!(answers.len(), 3);
+    }
+
+    #[test]
+    fn batch_runs_agree_across_worker_counts() {
+        let system = cluster_system(3, 5, 2);
+        let batch = cluster_batch(3, 2);
+        let rows: Vec<ParallelMeasurement> = [1usize, 4]
+            .iter()
+            .filter_map(|&w| run_batch(&system, &batch, Strategy::Asp, w, "t"))
+            .collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].answers, rows[1].answers);
+        assert_eq!(rows[0].worlds, rows[1].worlds);
+        assert_eq!(rows[0].queries, batch.len());
+    }
+
+    #[test]
+    fn b9_table_reports_speedups() {
+        let rows = table_b9(&[1, 2]);
+        assert_eq!(rows.len(), 2);
+        assert!((rows[0].speedup - 1.0).abs() < f64::EPSILON);
+        let table = render_parallel_table("B9", &rows);
+        assert!(table.contains("speedup"));
+        assert!(table.contains("workers"));
+    }
+}

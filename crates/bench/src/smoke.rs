@@ -1,0 +1,334 @@
+//! The CI perf-smoke gate: a small fixed workload, a flat JSON metrics
+//! report (`BENCH_smoke.json`), and a >2x-regression comparison against the
+//! committed baseline in `crates/bench/baselines/`.
+//!
+//! The report format is deliberately tiny — a flat `"name": number` map —
+//! written and parsed by hand (the workspace's vendored `serde` is a no-op
+//! stub), so the gate has zero dependencies and the artifact stays
+//! greppable:
+//!
+//! ```json
+//! {
+//!   "schema": "pdes-bench-smoke/v1",
+//!   "metrics": {
+//!     "batch_asp_w1_ms": 12.345,
+//!     "batch_asp_w4_ms": 5.678
+//!   }
+//! }
+//! ```
+//!
+//! Metrics come in two kinds, distinguished by name: `*_ms` metrics are
+//! wall-clock timings (lower is better; the gate fails when one exceeds
+//! twice its baseline), every other metric is a *count* (answers, worlds)
+//! and must match the baseline **exactly** — an output-count drift in
+//! either direction is a behaviour change, not a perf result. Metrics added
+//! since the baseline was recorded pass with a note (commit a refreshed
+//! baseline alongside the change that adds them). Timings are sized to tens
+//! of milliseconds so scheduler jitter on shared CI runners stays well
+//! inside the 2x margin.
+
+use crate::live::{run_live, LiveMode};
+use crate::parallel::{cluster_batch, cluster_system, run_batch};
+use pdes_core::engine::Strategy;
+use std::time::Instant;
+use workload::{generate, generate_updates, Topology, TrustMix, UpdateSpec, WorkloadSpec};
+
+/// Allowed slow-down before the gate fails (the "regresses >2x" rule).
+pub const REGRESSION_FACTOR: f64 = 2.0;
+
+/// The flat metrics report of one smoke run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SmokeReport {
+    /// `(metric name, value)` pairs, in a stable order. All lower-is-better.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl SmokeReport {
+    /// Look a metric up by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Render the report as the `BENCH_smoke.json` artifact.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"pdes-bench-smoke/v1\",\n  \"metrics\": {\n");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 == self.metrics.len() { "" } else { "," };
+            out.push_str(&format!("    \"{name}\": {value:.3}{comma}\n"));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parse a report previously written by [`SmokeReport::to_json`] (or
+    /// hand-edited to the same flat shape). Only the `"metrics"` object is
+    /// read; unknown surrounding keys are ignored.
+    pub fn from_json(text: &str) -> Result<SmokeReport, String> {
+        let metrics_at = text
+            .find("\"metrics\"")
+            .ok_or_else(|| "no \"metrics\" object in baseline".to_string())?;
+        let body = &text[metrics_at..];
+        let open = body
+            .find('{')
+            .ok_or_else(|| "malformed \"metrics\" object".to_string())?;
+        let close = body[open..]
+            .find('}')
+            .ok_or_else(|| "unterminated \"metrics\" object".to_string())?;
+        let inner = &body[open + 1..open + close];
+        let mut metrics = Vec::new();
+        for entry in inner.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (raw_name, raw_value) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("malformed metric entry `{entry}`"))?;
+            let name = raw_name.trim().trim_matches('"').to_string();
+            let value: f64 = raw_value
+                .trim()
+                .parse()
+                .map_err(|e| format!("metric `{name}`: {e}"))?;
+            metrics.push((name, value));
+        }
+        Ok(SmokeReport { metrics })
+    }
+
+    /// Compare this run against a baseline. Timing metrics (`*_ms`) must
+    /// stay under `baseline * REGRESSION_FACTOR` (with a small absolute
+    /// floor so a rounded-to-zero baseline cannot fail every future run);
+    /// every other metric is a *count* and must match the baseline exactly
+    /// — fewer answers than the baseline is a correctness bug, not a perf
+    /// win. Returns the human-readable verdict lines and whether the gate
+    /// passes.
+    pub fn compare(&self, baseline: &SmokeReport) -> (Vec<String>, bool) {
+        /// Timing floor in milliseconds: baselines below it compare as if
+        /// they were this large, so sub-rounding measurements never brick
+        /// the gate.
+        const FLOOR_MS: f64 = 0.01;
+        let mut lines = Vec::new();
+        let mut pass = true;
+        for (name, base) in &baseline.metrics {
+            match self.get(name) {
+                None => {
+                    pass = false;
+                    lines.push(format!("FAIL {name}: tracked in baseline but not reported"));
+                }
+                Some(current) if name.ends_with("_ms") => {
+                    let allowed = base.max(FLOOR_MS) * REGRESSION_FACTOR;
+                    if current > allowed {
+                        pass = false;
+                        lines.push(format!(
+                            "FAIL {name}: {current:.3} > {REGRESSION_FACTOR}x baseline {base:.3}"
+                        ));
+                    } else {
+                        lines.push(format!("ok   {name}: {current:.3} (baseline {base:.3})"));
+                    }
+                }
+                Some(current) => {
+                    // Count metric: any drift (up or down) is a behaviour
+                    // change that needs investigation + a refreshed baseline.
+                    if current == *base {
+                        lines.push(format!("ok   {name}: {current:.3} (exact)"));
+                    } else {
+                        pass = false;
+                        lines.push(format!(
+                            "FAIL {name}: count changed, {current:.3} != baseline {base:.3}"
+                        ));
+                    }
+                }
+            }
+        }
+        for (name, value) in &self.metrics {
+            if baseline.get(name).is_none() {
+                lines.push(format!(
+                    "note {name}: {value:.3} (untracked — refresh the baseline)"
+                ));
+            }
+        }
+        (lines, pass)
+    }
+}
+
+/// Run the fixed smoke workload and collect the tracked metrics. Small by
+/// construction (a couple of seconds end to end) so the CI job stays cheap;
+/// big enough that a pathological slow-down in grounding, solving, batching
+/// or invalidation moves a metric well past 2x.
+pub fn run_smoke() -> Result<SmokeReport, String> {
+    let mut metrics = Vec::new();
+
+    // Batched answering over disjoint clusters, sequential vs. pooled.
+    let system = cluster_system(4, 12, 5);
+    let batch = cluster_batch(4, 3);
+    let w1 = run_batch(&system, &batch, Strategy::Asp, 1, "smoke")
+        .ok_or("smoke batch failed at 1 worker")?;
+    let w4 = run_batch(&system, &batch, Strategy::Asp, 4, "smoke")
+        .ok_or("smoke batch failed at 4 workers")?;
+    if (w1.answers, w1.worlds) != (w4.answers, w4.worlds) {
+        return Err(format!(
+            "parallel batch diverged from sequential: {}/{} vs {}/{} answers/worlds",
+            w1.answers, w1.worlds, w4.answers, w4.worlds
+        ));
+    }
+    metrics.push(("batch_asp_w1_ms".to_string(), w1.millis));
+    metrics.push(("batch_asp_w4_ms".to_string(), w4.millis));
+    metrics.push(("batch_answers".to_string(), w1.answers as f64));
+    metrics.push(("batch_worlds".to_string(), w1.worlds as f64));
+
+    // Cold + warm single-query latency on the canonical generated workload.
+    let w = generate(&WorkloadSpec {
+        peers: 2,
+        tuples_per_relation: 20,
+        violations_per_dec: 2,
+        trust_mix: TrustMix::AllLess,
+        ..WorkloadSpec::default()
+    })
+    .map_err(|e| e.to_string())?;
+    // Repetition counts are sized so each metric lands in the tens of
+    // milliseconds — large enough that CI scheduler jitter stays well
+    // inside the 2x regression margin.
+    let start = Instant::now();
+    let mut cold_tuples = None;
+    for _ in 0..10 {
+        let engine = crate::runners::engine_for(&w, Strategy::Asp);
+        let cold = engine
+            .answer(&w.queried_peer, &w.query, &w.free_vars)
+            .map_err(|e| e.to_string())?;
+        cold_tuples = Some(cold.tuples);
+    }
+    metrics.push((
+        "asp_cold10_ms".to_string(),
+        start.elapsed().as_secs_f64() * 1e3,
+    ));
+    let cold_tuples = cold_tuples.expect("ten cold runs");
+    let engine = crate::runners::engine_for(&w, Strategy::Asp);
+    let _ = engine
+        .answer(&w.queried_peer, &w.query, &w.free_vars)
+        .map_err(|e| e.to_string())?;
+    let start = Instant::now();
+    for _ in 0..500 {
+        let warm = engine
+            .answer(&w.queried_peer, &w.query, &w.free_vars)
+            .map_err(|e| e.to_string())?;
+        if warm.tuples != cold_tuples {
+            return Err("warm answers diverged from cold".to_string());
+        }
+    }
+    metrics.push((
+        "asp_warm500_ms".to_string(),
+        start.elapsed().as_secs_f64() * 1e3,
+    ));
+
+    // Live throughput under a mutation stream with incremental invalidation.
+    let live_w = generate(&WorkloadSpec {
+        peers: 4,
+        tuples_per_relation: 10,
+        violations_per_dec: 1,
+        trust_mix: TrustMix::AllLess,
+        topology: Topology::Star,
+        ..WorkloadSpec::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let stream = generate_updates(
+        &live_w,
+        &UpdateSpec {
+            batches: 16,
+            batch_size: 2,
+            ..UpdateSpec::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let live = run_live(
+        &live_w,
+        &stream,
+        Strategy::Asp,
+        LiveMode::Incremental,
+        4,
+        "smoke",
+    )
+    .ok_or("smoke live run failed")?;
+    metrics.push(("live_incremental_ms".to_string(), live.millis));
+
+    Ok(SmokeReport { metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(pairs: &[(&str, f64)]) -> SmokeReport {
+        SmokeReport {
+            metrics: pairs.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let original = report(&[("a_ms", 12.5), ("b_count", 96.0)]);
+        let parsed = SmokeReport::from_json(&original.to_json()).unwrap();
+        assert_eq!(parsed, report(&[("a_ms", 12.5), ("b_count", 96.0)]));
+    }
+
+    #[test]
+    fn compare_flags_regressions_and_missing_metrics() {
+        let baseline = report(&[("a_ms", 10.0), ("gone_ms", 1.0)]);
+        let current = report(&[("a_ms", 25.0), ("new_ms", 3.0)]);
+        let (lines, pass) = current.compare(&baseline);
+        assert!(!pass);
+        assert!(lines.iter().any(|l| l.starts_with("FAIL a_ms")));
+        assert!(lines.iter().any(|l| l.starts_with("FAIL gone_ms")));
+        assert!(lines.iter().any(|l| l.starts_with("note new_ms")));
+    }
+
+    #[test]
+    fn compare_passes_within_the_factor() {
+        let baseline = report(&[("a_ms", 10.0)]);
+        let current = report(&[("a_ms", 19.9)]);
+        let (_, pass) = current.compare(&baseline);
+        assert!(pass);
+    }
+
+    #[test]
+    fn count_metrics_require_exact_equality() {
+        let baseline = report(&[("batch_answers", 84.0)]);
+        // Fewer answers is a correctness bug, not a perf improvement.
+        let (lines, pass) = report(&[("batch_answers", 10.0)]).compare(&baseline);
+        assert!(!pass);
+        assert!(lines.iter().any(|l| l.contains("count changed")));
+        let (_, pass) = report(&[("batch_answers", 84.0)]).compare(&baseline);
+        assert!(pass);
+    }
+
+    #[test]
+    fn zero_timing_baselines_do_not_brick_the_gate() {
+        // A baseline rounded down to 0.000 must still allow small positive
+        // measurements (absolute floor), while catching real blow-ups.
+        let baseline = report(&[("tiny_ms", 0.0)]);
+        let (_, pass) = report(&[("tiny_ms", 0.015)]).compare(&baseline);
+        assert!(pass);
+        let (_, pass) = report(&[("tiny_ms", 5.0)]).compare(&baseline);
+        assert!(!pass);
+    }
+
+    #[test]
+    fn smoke_run_reports_every_tracked_metric() {
+        let smoke = run_smoke().unwrap();
+        for name in [
+            "batch_asp_w1_ms",
+            "batch_asp_w4_ms",
+            "batch_answers",
+            "batch_worlds",
+            "asp_cold10_ms",
+            "asp_warm500_ms",
+            "live_incremental_ms",
+        ] {
+            assert!(smoke.get(name).is_some(), "missing metric {name}");
+        }
+        // Self-comparison always passes.
+        let (_, pass) = smoke.compare(&smoke);
+        assert!(pass);
+    }
+}

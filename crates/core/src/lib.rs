@@ -48,7 +48,7 @@ pub mod solution;
 pub mod system;
 
 pub use engine::{
-    AnsweringStrategy, Answers, CacheMetrics, EngineStats, Provenance, QueryEngine,
+    AnsweringStrategy, Answers, CacheMetrics, EngineStats, Provenance, Query, QueryEngine,
     QueryEngineBuilder, Strategy, StrategyKind,
 };
 pub use error::CoreError;

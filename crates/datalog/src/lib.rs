@@ -58,5 +58,5 @@ pub mod syntax;
 pub use error::DatalogError;
 pub use ground::{GroundAtom, GroundProgram, Grounder};
 pub use reason::AnswerSets;
-pub use solve::{solve, SolveResult, SolverConfig};
+pub use solve::{solve, solve_with, SolveResult, SolverConfig};
 pub use syntax::{Atom, BodyItem, Builtin, BuiltinOp, ChoiceAtom, Program, Rule, Term};

@@ -14,13 +14,29 @@
 //! * [`solve`] — the front door: unfolds choices, grounds, picks the
 //!   appropriate solver (normal / shifted-HCF / generic disjunctive) and
 //!   enforces coherence of classical negation.
+//!
+//! ## Parallel model search
+//!
+//! Stable-model enumeration branches on undetermined atoms, and the two
+//! subtrees under a branch never observe each other: the search is a pure
+//! function of the assignment prefix. [`solve_ground_with`] exploits this by
+//! expanding the first few levels of the search tree breadth-first into
+//! independent *seed* assignments and fanning the subtree searches out across
+//! a [`pdes_exec::Executor`] pool. Models are merged, sorted and deduplicated
+//! exactly like the sequential path, so the answer sets are identical for any
+//! worker count; the branch-node counter is shared (one atomic) so the
+//! search-limit guard spans the whole pool. Enumeration with a finite
+//! `max_answer_sets` falls back to the sequential path — "the first k models
+//! in search order" is only well-defined sequentially.
 
 use crate::error::DatalogError;
 use crate::graph::is_head_cycle_free;
 use crate::ground::{AtomId, GroundProgram, GroundRule, Grounder};
 use crate::shift::shift_ground;
 use crate::syntax::Program;
-use std::collections::BTreeSet;
+use pdes_exec::Executor;
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Search limits and options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +45,11 @@ pub struct SolverConfig {
     pub max_answer_sets: usize,
     /// Abort after this many branch nodes.
     pub max_branch_nodes: usize,
+    /// Ground programs with fewer atoms than this solve sequentially even
+    /// when a worker pool is supplied: below it, per-subtree work is so
+    /// small that thread spawning dominates. Set to 0 to always fan out
+    /// (used by the equivalence tests).
+    pub parallel_min_atoms: usize,
 }
 
 impl Default for SolverConfig {
@@ -36,6 +57,7 @@ impl Default for SolverConfig {
         SolverConfig {
             max_answer_sets: usize::MAX,
             max_branch_nodes: 5_000_000,
+            parallel_min_atoms: 128,
         }
     }
 }
@@ -61,8 +83,17 @@ pub struct SolveResult {
 /// programs go through the [`NormalSolver`] (the latter after shifting),
 /// other disjunctive programs go through the [`DisjunctiveSolver`].
 pub fn solve(program: &Program, config: SolverConfig) -> Result<SolveResult, DatalogError> {
+    solve_with(program, config, &Executor::sequential())
+}
+
+/// [`solve`], fanning the stable-model search out across `exec`'s workers.
+pub fn solve_with(
+    program: &Program,
+    config: SolverConfig,
+    exec: &Executor,
+) -> Result<SolveResult, DatalogError> {
     let ground = Grounder::new(program).ground()?;
-    solve_ground(ground, config)
+    solve_ground_with(ground, config, exec)
 }
 
 /// Compute the answer sets of an already-ground program.
@@ -70,9 +101,22 @@ pub fn solve_ground(
     ground: GroundProgram,
     config: SolverConfig,
 ) -> Result<SolveResult, DatalogError> {
+    solve_ground_with(ground, config, &Executor::sequential())
+}
+
+/// [`solve_ground`], fanning the stable-model search out across `exec`'s
+/// workers. The answer sets are identical to the sequential path for every
+/// pool size (see the module docs); only normal and shifted-HCF programs
+/// parallelize — the generic disjunctive solver's subset-minimality check is
+/// the rare path and stays sequential.
+pub fn solve_ground_with(
+    ground: GroundProgram,
+    config: SolverConfig,
+    exec: &Executor,
+) -> Result<SolveResult, DatalogError> {
     if !ground.is_disjunctive() {
         let solver = NormalSolver::new(&ground, config);
-        let (answer_sets, branch_nodes) = solver.answer_sets()?;
+        let (answer_sets, branch_nodes) = solver.answer_sets_with(exec)?;
         return Ok(SolveResult {
             ground,
             answer_sets,
@@ -83,7 +127,7 @@ pub fn solve_ground(
     if is_head_cycle_free(&ground) {
         let shifted = shift_ground(&ground);
         let solver = NormalSolver::new(&shifted, config);
-        let (answer_sets, branch_nodes) = solver.answer_sets()?;
+        let (answer_sets, branch_nodes) = solver.answer_sets_with(exec)?;
         return Ok(SolveResult {
             ground: shifted,
             answer_sets,
@@ -99,6 +143,27 @@ pub fn solve_ground(
         branch_nodes,
         used_shift: false,
     })
+}
+
+/// The branch-node budget of one enumeration, shared by every worker of a
+/// parallel search so the global limit holds across the whole pool.
+struct NodeBudget<'a> {
+    counter: &'a AtomicUsize,
+    limit: usize,
+}
+
+impl NodeBudget<'_> {
+    /// Count one search node; error once the global limit is exceeded.
+    fn tick(&self) -> Result<(), DatalogError> {
+        let nodes = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        if nodes > self.limit {
+            return Err(DatalogError::SearchLimitExceeded {
+                what: "branch nodes".to_string(),
+                limit: self.limit,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Truth assignment used during search.
@@ -152,52 +217,119 @@ impl<'a> NormalSolver<'a> {
 
     /// Enumerate all stable models. Returns (models, branch node count).
     pub fn answer_sets(&self) -> Result<(Vec<BTreeSet<AtomId>>, usize), DatalogError> {
+        self.answer_sets_with(&Executor::sequential())
+    }
+
+    /// Enumerate all stable models, fanning independent search subtrees out
+    /// across `exec`'s workers. The first few tree levels are expanded
+    /// breadth-first into seed assignments (a few per worker, so an
+    /// unbalanced tree still load-balances); each seed's subtree is searched
+    /// sequentially by one worker. Results are merged, sorted and
+    /// deduplicated, which makes the output identical to [`Self::answer_sets`]
+    /// for every pool size. A finite `max_answer_sets` forces the sequential
+    /// path (see the module docs). Returns (models, branch node count).
+    pub fn answer_sets_with(
+        &self,
+        exec: &Executor,
+    ) -> Result<(Vec<BTreeSet<AtomId>>, usize), DatalogError> {
+        let counter = AtomicUsize::new(0);
+        let budget = NodeBudget {
+            counter: &counter,
+            limit: self.config.max_branch_nodes,
+        };
+        let root: Assignment = vec![None; self.program.atom_count()];
+        let workers = exec.config().workers;
         let mut models = Vec::new();
-        let mut nodes = 0usize;
-        let assign: Assignment = vec![None; self.program.atom_count()];
-        self.search(assign, &mut models, &mut nodes)?;
+        if workers <= 1
+            || self.config.max_answer_sets != usize::MAX
+            || self.program.atom_count() < self.config.parallel_min_atoms
+        {
+            self.search(root, &mut models, &budget)?;
+        } else {
+            let seeds = self.expand_seeds(root, workers * 4, &mut models, &budget)?;
+            let found = exec.try_map(&seeds, |seed| {
+                let mut local = Vec::new();
+                self.search(seed.clone(), &mut local, &budget)?;
+                Ok::<_, DatalogError>(local)
+            })?;
+            models.extend(found.into_iter().flatten());
+        }
         // Deterministic order for reproducibility.
         models.sort();
         models.dedup();
-        Ok((models, nodes))
+        Ok((models, counter.load(Ordering::Relaxed)))
+    }
+
+    /// Expand the search tree breadth-first until at least `target` open
+    /// nodes exist (or the tree is exhausted). Complete nodes encountered on
+    /// the way are model-checked into `models` directly; the returned seeds
+    /// are exactly the open frontier, so seeds ∪ visited covers the same
+    /// tree the sequential search walks.
+    fn expand_seeds(
+        &self,
+        root: Assignment,
+        target: usize,
+        models: &mut Vec<BTreeSet<AtomId>>,
+        budget: &NodeBudget<'_>,
+    ) -> Result<Vec<Assignment>, DatalogError> {
+        let mut frontier: VecDeque<Assignment> = VecDeque::from([root]);
+        while frontier.len() < target {
+            let Some(mut assign) = frontier.pop_front() else {
+                break;
+            };
+            budget.tick()?;
+            if !self.propagate(&mut assign) {
+                continue;
+            }
+            match self.pick_branch_atom(&assign) {
+                None => self.collect_if_stable(&assign, models),
+                Some(atom) => {
+                    for value in [true, false] {
+                        let mut next = assign.clone();
+                        next[atom] = Some(value);
+                        frontier.push_back(next);
+                    }
+                }
+            }
+        }
+        Ok(frontier.into_iter().collect())
+    }
+
+    /// Model-check a complete assignment and keep it when stable+coherent.
+    fn collect_if_stable(&self, assign: &Assignment, models: &mut Vec<BTreeSet<AtomId>>) {
+        let model: BTreeSet<AtomId> = assign
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| if *v == Some(true) { Some(i) } else { None })
+            .collect();
+        if self.is_stable(&model) && is_coherent(self.program, &model) {
+            models.push(model);
+        }
     }
 
     fn search(
         &self,
         mut assign: Assignment,
         models: &mut Vec<BTreeSet<AtomId>>,
-        nodes: &mut usize,
+        budget: &NodeBudget<'_>,
     ) -> Result<(), DatalogError> {
         if models.len() >= self.config.max_answer_sets {
             return Ok(());
         }
-        *nodes += 1;
-        if *nodes > self.config.max_branch_nodes {
-            return Err(DatalogError::SearchLimitExceeded {
-                what: "branch nodes".to_string(),
-                limit: self.config.max_branch_nodes,
-            });
-        }
+        budget.tick()?;
         if !self.propagate(&mut assign) {
             return Ok(());
         }
         match self.pick_branch_atom(&assign) {
             None => {
-                let model: BTreeSet<AtomId> = assign
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, v)| if *v == Some(true) { Some(i) } else { None })
-                    .collect();
-                if self.is_stable(&model) && is_coherent(self.program, &model) {
-                    models.push(model);
-                }
+                self.collect_if_stable(&assign, models);
                 Ok(())
             }
             Some(atom) => {
                 for value in [true, false] {
                     let mut next = assign.clone();
                     next[atom] = Some(value);
-                    self.search(next, models, nodes)?;
+                    self.search(next, models, budget)?;
                     if models.len() >= self.config.max_answer_sets {
                         break;
                     }
@@ -931,11 +1063,127 @@ mod tests {
         let config = SolverConfig {
             max_answer_sets: usize::MAX,
             max_branch_nodes: 3,
+            ..SolverConfig::default()
         };
         assert!(matches!(
             solve(&p, config),
             Err(DatalogError::SearchLimitExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential_for_every_pool_size() {
+        use pdes_exec::ExecConfig;
+        // A program with many independent even negation cycles: 2^6 answer
+        // sets, enough branching to exercise seed expansion and fan-out.
+        let mut p = Program::new();
+        for v in ["a", "b", "c", "d", "e", "f"] {
+            p.add_fact(atom("dom", &[v]));
+        }
+        p.add_rule(Rule::new(
+            vec![atom("in", &["X"])],
+            vec![
+                BodyItem::Pos(atom("dom", &["X"])),
+                BodyItem::Naf(atom("out", &["X"])),
+            ],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("out", &["X"])],
+            vec![
+                BodyItem::Pos(atom("dom", &["X"])),
+                BodyItem::Naf(atom("in", &["X"])),
+            ],
+        ));
+        p.add_constraint(vec![
+            BodyItem::Pos(atom("in", &["a"])),
+            BodyItem::Pos(atom("in", &["b"])),
+        ]);
+        // Threshold 0 so the tiny test program still takes the parallel
+        // path (the default keeps small programs sequential on purpose).
+        let config = SolverConfig {
+            parallel_min_atoms: 0,
+            ..SolverConfig::default()
+        };
+        let sequential = solve(&p, config).unwrap();
+        assert_eq!(sequential.answer_sets.len(), 48); // 2^6 minus in(a)∧in(b)
+        let decode = |r: &SolveResult| -> Vec<BTreeSet<GroundAtom>> {
+            r.answer_sets.iter().map(|s| r.ground.decode(s)).collect()
+        };
+        for workers in [2, 4, 8] {
+            let exec = Executor::new(ExecConfig::with_workers(workers));
+            let parallel = solve_with(&p, config, &exec).unwrap();
+            assert_eq!(
+                decode(&parallel),
+                decode(&sequential),
+                "{workers} workers must reproduce the sequential answer sets"
+            );
+            assert!(parallel.branch_nodes > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_search_enforces_the_shared_branch_limit() {
+        use pdes_exec::ExecConfig;
+        let mut p = Program::new();
+        for i in 0..8 {
+            p.add_fact(atom("dom", &[&format!("v{i}")]));
+        }
+        p.add_rule(Rule::new(
+            vec![atom("in", &["X"])],
+            vec![
+                BodyItem::Pos(atom("dom", &["X"])),
+                BodyItem::Naf(atom("out", &["X"])),
+            ],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("out", &["X"])],
+            vec![
+                BodyItem::Pos(atom("dom", &["X"])),
+                BodyItem::Naf(atom("in", &["X"])),
+            ],
+        ));
+        let config = SolverConfig {
+            max_answer_sets: usize::MAX,
+            max_branch_nodes: 5,
+            parallel_min_atoms: 0,
+        };
+        let exec = Executor::new(ExecConfig::with_workers(4));
+        assert!(matches!(
+            solve_with(&p, config, &exec),
+            Err(DatalogError::SearchLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn bounded_enumeration_falls_back_to_the_sequential_path() {
+        use pdes_exec::ExecConfig;
+        let mut p = Program::new();
+        for v in ["a", "b", "c"] {
+            p.add_fact(atom("dom", &[v]));
+        }
+        p.add_rule(Rule::new(
+            vec![atom("in", &["X"])],
+            vec![
+                BodyItem::Pos(atom("dom", &["X"])),
+                BodyItem::Naf(atom("out", &["X"])),
+            ],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("out", &["X"])],
+            vec![
+                BodyItem::Pos(atom("dom", &["X"])),
+                BodyItem::Naf(atom("in", &["X"])),
+            ],
+        ));
+        let config = SolverConfig {
+            max_answer_sets: 3,
+            ..SolverConfig::default()
+        };
+        let sequential = solve(&p, config).unwrap();
+        let exec = Executor::new(ExecConfig::with_workers(8));
+        let parallel = solve_with(&p, config, &exec).unwrap();
+        assert_eq!(parallel.answer_sets, sequential.answer_sets);
+        assert_eq!(parallel.answer_sets.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! # pdes-exec — scoped thread-pool execution with deterministic ordering
+//!
+//! The answering pipeline is embarrassingly parallel at two levels: disjoint
+//! relevant-peer closures can be prepared independently, and the per-query
+//! work (stable-model subtree search, per-world query evaluation, per-peer IC
+//! revalidation) splits along items that never observe each other. This crate
+//! provides the one primitive all of those call sites share: *run a closure
+//! over every item of a slice, possibly on several threads, and hand the
+//! results back in input order*.
+//!
+//! It is built on [`std::thread::scope`] only — no crates.io dependencies —
+//! so borrowed data (the engine, the system, prepared worlds) flows into
+//! workers without `Arc`-wrapping or cloning.
+//!
+//! ## Determinism
+//!
+//! [`Executor::map`] always returns `out[i] == f(&items[i])` with the output
+//! index matching the input index, regardless of the worker count or
+//! scheduling. Callers that fold the results (intersections, unions, table
+//! rows) therefore observe the exact sequential order, which is what makes
+//! the parallel engine byte-identical to the sequential one. The work is
+//! distributed dynamically (an atomic next-item cursor), so determinism costs
+//! no load-balancing.
+//!
+//! ## Sequential fallback
+//!
+//! A pool of size 1 (or a slice of length ≤ 1) never spawns: `map` degrades
+//! to a plain in-place loop on the calling thread. Code can therefore be
+//! written once against the executor and tuned purely through [`ExecConfig`].
+//!
+//! ```
+//! use pdes_exec::{ExecConfig, Executor};
+//!
+//! let exec = Executor::new(ExecConfig::with_workers(4));
+//! let squares = exec.map(&[1u64, 2, 3, 4], |&n| n * n);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Configuration of a parallel execution context: how many workers to use
+/// and whether scheduling must stay fully deterministic.
+///
+/// The default is a single worker (purely sequential), so parallelism is
+/// always an explicit opt-in at the call site that owns the configuration
+/// (e.g. `QueryEngineBuilder::exec`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Number of worker threads. `1` means sequential execution on the
+    /// calling thread (nothing is spawned); `0` is normalized to the
+    /// machine's available parallelism at construction time.
+    pub workers: usize,
+    /// When set, parallel call sites must produce results that are
+    /// *bit-identical* to the sequential path, even where a cheaper
+    /// nondeterministic merge would be sound (e.g. first-error selection
+    /// across workers). All built-in call sites honour this; it exists so
+    /// custom strategies can query the intent.
+    pub deterministic: bool,
+}
+
+impl ExecConfig {
+    /// Sequential execution (one worker, deterministic).
+    pub fn sequential() -> Self {
+        ExecConfig {
+            workers: 1,
+            deterministic: true,
+        }
+    }
+
+    /// A deterministic pool with `workers` threads (`0` = one thread per
+    /// available core).
+    pub fn with_workers(workers: usize) -> Self {
+        ExecConfig {
+            workers: normalize_workers(workers),
+            deterministic: true,
+        }
+    }
+
+    /// Override the deterministic-mode flag.
+    pub fn deterministic(mut self, deterministic: bool) -> Self {
+        self.deterministic = deterministic;
+        self
+    }
+
+    /// True when this configuration never spawns worker threads.
+    pub fn is_sequential(&self) -> bool {
+        self.workers <= 1
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig::sequential()
+    }
+}
+
+/// Resolve a requested worker count: `0` means "one per available core".
+fn normalize_workers(workers: usize) -> usize {
+    if workers == 0 {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        workers
+    }
+}
+
+/// A scoped fork-join executor. Holds no threads of its own — workers are
+/// spawned per [`Executor::map`] call inside a [`std::thread::scope`], which
+/// is what lets closures borrow from the caller's stack. Spawning a thread
+/// is ~10µs; every call site in this workspace amortizes that over solver
+/// search, query evaluation or constraint checking, all of which dominate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Executor {
+    config: ExecConfig,
+}
+
+impl Executor {
+    /// An executor over the given configuration.
+    pub fn new(config: ExecConfig) -> Self {
+        Executor { config }
+    }
+
+    /// A sequential executor (never spawns).
+    pub fn sequential() -> Self {
+        Executor::new(ExecConfig::sequential())
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> ExecConfig {
+        self.config
+    }
+
+    /// Number of workers `map` will use for a slice of `len` items (capped
+    /// by the item count — a worker without work is never spawned).
+    pub fn workers_for(&self, len: usize) -> usize {
+        self.config.workers.max(1).min(len.max(1))
+    }
+
+    /// Apply `f` to every item, returning the results *in input order*.
+    ///
+    /// With one worker (or ≤ 1 item) this is a plain loop on the calling
+    /// thread. Otherwise items are claimed dynamically by an atomic cursor
+    /// and each result is written into its input slot, so the output is
+    /// independent of scheduling. A panic in `f` propagates to the caller
+    /// once all workers have stopped (no result is silently dropped).
+    pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.map_indexed(items, |_, item| f(item))
+    }
+
+    /// [`Executor::map`], with the item index passed to the closure.
+    pub fn map_indexed<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        let workers = self.workers_for(items.len());
+        if workers <= 1 {
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect();
+        }
+
+        // Workers claim indices from the shared cursor and collect
+        // `(index, result)` pairs locally — no per-item synchronization;
+        // the locals are merged into input-order slots after the join.
+        let cursor = AtomicUsize::new(0);
+        let collected: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            local.push((i, f(i, &items[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| {
+                    handle
+                        .join()
+                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                })
+                .collect()
+        });
+        let mut out: Vec<Option<U>> = items.iter().map(|_| None).collect();
+        for (i, value) in collected.into_iter().flatten() {
+            out[i] = Some(value);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every index is claimed by exactly one worker"))
+            .collect()
+    }
+
+    /// Apply a fallible `f` to every item; returns all results in input
+    /// order, or the error of the *lowest-indexed* failing item.
+    ///
+    /// The sequential path short-circuits at the first error, the parallel
+    /// path may evaluate later items before discovering it — but both return
+    /// the same `Err` value (the first in input order), keeping observable
+    /// behaviour deterministic.
+    pub fn try_map<T, U, E, F>(&self, items: &[T], f: F) -> Result<Vec<U>, E>
+    where
+        T: Sync,
+        U: Send,
+        E: Send,
+        F: Fn(&T) -> Result<U, E> + Sync,
+    {
+        let workers = self.workers_for(items.len());
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let results = self.map(items, f);
+        let mut out = Vec::with_capacity(results.len());
+        for result in results {
+            out.push(result?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn sequential_config_is_the_default() {
+        let config = ExecConfig::default();
+        assert_eq!(config.workers, 1);
+        assert!(config.deterministic);
+        assert!(config.is_sequential());
+    }
+
+    #[test]
+    fn zero_workers_resolve_to_available_parallelism() {
+        let config = ExecConfig::with_workers(0);
+        assert!(config.workers >= 1);
+        assert!(!ExecConfig::with_workers(8).is_sequential());
+    }
+
+    #[test]
+    fn map_preserves_input_order_across_pool_sizes() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|n| n * 3 + 1).collect();
+        for workers in [1, 2, 4, 8] {
+            let exec = Executor::new(ExecConfig::with_workers(workers));
+            assert_eq!(
+                exec.map(&items, |&n| n * 3 + 1),
+                expected,
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn map_indexed_passes_matching_indices() {
+        let items = ["a", "b", "c", "d", "e"];
+        let exec = Executor::new(ExecConfig::with_workers(3));
+        let out = exec.map_indexed(&items, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn all_items_run_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        let exec = Executor::new(ExecConfig::with_workers(8));
+        let seen: BTreeSet<usize> = exec
+            .map(&items, |&i| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+            .into_iter()
+            .collect();
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn try_map_returns_the_first_error_in_input_order() {
+        let items: Vec<u32> = (0..40).collect();
+        for workers in [1, 4] {
+            let exec = Executor::new(ExecConfig::with_workers(workers));
+            let result = exec.try_map(&items, |&n| if n % 7 == 3 { Err(n) } else { Ok(n) });
+            assert_eq!(result, Err(3), "{workers} workers");
+            let ok = exec.try_map(&items, |&n| Ok::<_, u32>(n * 2));
+            assert_eq!(ok.unwrap()[13], 26);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_never_spawn() {
+        let exec = Executor::new(ExecConfig::with_workers(8));
+        assert_eq!(exec.workers_for(0), 1);
+        assert_eq!(exec.workers_for(1), 1);
+        assert!(exec.map(&[] as &[u8], |&b| b).is_empty());
+        assert_eq!(exec.map(&[7u8], |&b| b + 1), vec![8]);
+    }
+
+    #[test]
+    fn borrowed_state_flows_into_workers() {
+        // The whole point of scoped threads: `data` is borrowed, not Arc'd.
+        let data: Vec<String> = (0..16).map(|i| format!("row{i}")).collect();
+        let exec = Executor::new(ExecConfig::with_workers(4));
+        let lens = exec.map(&data, |s| s.len());
+        assert_eq!(
+            lens.iter().sum::<usize>(),
+            data.iter().map(String::len).sum()
+        );
+    }
+}

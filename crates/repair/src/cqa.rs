@@ -1,6 +1,13 @@
 //! Consistent query answering over repairs — the single-database baseline.
+//!
+//! The per-repair query evaluations are independent of each other (each
+//! reads one repaired instance), so [`consistent_answers_with`] fans them
+//! out across a [`pdes_exec::Executor`] pool and intersects the per-repair
+//! answer sets in repair order — set intersection commutes, so the result is
+//! identical to the sequential fold for every pool size.
 
 use crate::engine::{RepairEngine, RepairError, RepairOutcome};
+use pdes_exec::Executor;
 use relalg::query::{Formula, QueryEvaluator};
 use relalg::{Database, Tuple};
 use std::collections::BTreeSet;
@@ -28,21 +35,56 @@ pub fn consistent_answers(
     query: &Formula,
     free_vars: &[String],
 ) -> Result<ConsistentAnswers, RepairError> {
+    consistent_answers_with(engine, db, query, free_vars, &Executor::sequential())
+}
+
+/// [`consistent_answers`], evaluating the query over the enumerated repairs
+/// on `exec`'s workers (repair *enumeration* stays sequential — its search
+/// shares a dominance-pruning frontier — but the per-repair evaluation is
+/// the hot part once repairs multiply).
+pub fn consistent_answers_with(
+    engine: &RepairEngine,
+    db: &Database,
+    query: &Formula,
+    free_vars: &[String],
+    exec: &Executor,
+) -> Result<ConsistentAnswers, RepairError> {
     let RepairOutcome {
         repairs,
         states_explored,
     } = engine.repairs(db)?;
-    let mut answers: Option<BTreeSet<Tuple>> = None;
-    for repair in &repairs {
-        let evaluator = QueryEvaluator::new(&repair.database);
-        let these = evaluator
-            .answers(query, free_vars)
-            .map_err(|e| RepairError::Constraint(constraints::ConstraintError::Relalg(e)))?;
-        answers = Some(match answers {
-            None => these,
-            Some(previous) => previous.intersection(&these).cloned().collect(),
-        });
-    }
+    // One streamed intersection per chunk of repairs: at most `workers`
+    // partial answer sets are live at once (and exactly one on the
+    // sequential path), never one per repair.
+    let intersect = |chunk: &[crate::Repair]| -> Result<Option<BTreeSet<Tuple>>, RepairError> {
+        let mut acc: Option<BTreeSet<Tuple>> = None;
+        for repair in chunk {
+            let these = QueryEvaluator::new(&repair.database)
+                .answers(query, free_vars)
+                .map_err(|e| RepairError::Constraint(constraints::ConstraintError::Relalg(e)))?;
+            acc = Some(match acc {
+                None => these,
+                Some(previous) => previous.intersection(&these).cloned().collect(),
+            });
+        }
+        Ok(acc)
+    };
+    let workers = exec.workers_for(repairs.len());
+    let answers = if workers <= 1 {
+        intersect(&repairs)?
+    } else {
+        let chunks: Vec<&[crate::Repair]> =
+            repairs.chunks(repairs.len().div_ceil(workers)).collect();
+        let per_chunk = exec.try_map(&chunks, |chunk| intersect(chunk))?;
+        let mut acc: Option<BTreeSet<Tuple>> = None;
+        for partial in per_chunk.into_iter().flatten() {
+            acc = Some(match acc {
+                None => partial,
+                Some(previous) => previous.intersection(&partial).cloned().collect(),
+            });
+        }
+        acc
+    };
     Ok(ConsistentAnswers {
         answers: answers.unwrap_or_default(),
         repair_count: repairs.len(),
@@ -106,6 +148,36 @@ mod tests {
         let out = consistent_answers(&engine, &db, &q, &vars(&["X"])).unwrap();
         assert_eq!(out.repair_count, 1);
         assert_eq!(out.answers.len(), 1);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential() {
+        use pdes_exec::ExecConfig;
+        // Two independent key conflicts → 4 repairs to evaluate in parallel.
+        let mut db = Database::new();
+        db.add_relation(Relation::new(RelationSchema::new(
+            "Emp",
+            &["name", "salary"],
+        )));
+        for (n, s) in [
+            ("ann", "100"),
+            ("ann", "200"),
+            ("bob", "150"),
+            ("bob", "250"),
+            ("eve", "300"),
+        ] {
+            db.insert("Emp", Tuple::strs([n, s])).unwrap();
+        }
+        let engine = RepairEngine::new(vec![key_denial("key", "Emp").unwrap()]);
+        let q = Formula::atom("Emp", vec!["X", "Y"]);
+        let sequential = consistent_answers(&engine, &db, &q, &vars(&["X", "Y"])).unwrap();
+        assert_eq!(sequential.repair_count, 4);
+        for workers in [2, 4, 8] {
+            let exec = Executor::new(ExecConfig::with_workers(workers));
+            let parallel =
+                consistent_answers_with(&engine, &db, &q, &vars(&["X", "Y"]), &exec).unwrap();
+            assert_eq!(parallel, sequential, "{workers} workers");
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@ use pdes_core::engine::{CacheMetrics, QueryEngine};
 use pdes_core::pca::vars;
 use pdes_core::system::{P2PSystem, PeerId};
 use pdes_core::{Answers, Strategy};
+use pdes_exec::Executor;
 use relalg::database::GroundAtom;
 use relalg::query::Formula;
 use relalg::{Delta, Tuple};
@@ -369,10 +370,15 @@ impl Tx<'_> {
                 invalidated: 0,
             });
         }
-        // 2. Validate all peers before applying anything.
-        for (peer, delta) in &effective {
-            session.validate_local_ics(peer, delta)?;
-        }
+        // 2. Validate all peers before applying anything. Each touched
+        // peer's check reads only that peer's instance and ICs, so the
+        // checks fan out across the engine's worker pool; `try_map` reports
+        // the lowest-indexed (= first in peer order) violation, matching
+        // the sequential loop's error exactly.
+        let staged_peers: Vec<(&PeerId, &Delta)> = effective.iter().collect();
+        Executor::new(session.engine.exec_config()).try_map(&staged_peers, |(peer, delta)| {
+            session.validate_local_ics(peer, delta)
+        })?;
         // 3. Apply.
         let touched: BTreeSet<PeerId> = effective.keys().cloned().collect();
         let affected = session.system().affected_by(&touched);
@@ -599,6 +605,67 @@ mod tests {
         let after = session.answer(&p1, &query, &fv).unwrap();
         assert!(!after.stats.cache_hit);
         assert_eq!(after.len(), before.len() + 1);
+    }
+
+    #[test]
+    fn parallel_ic_validation_matches_sequential() {
+        use pdes_core::engine::QueryEngine;
+        use pdes_exec::ExecConfig;
+        // Two peers with key ICs; one staged delta violates P1's. Both the
+        // sequential and the 4-worker engine must reject the commit with
+        // the same (first-in-peer-order) violation, atomically.
+        let build = |workers: usize| {
+            let mut system = example1_system();
+            let p1 = PeerId::new("P1");
+            let p2 = PeerId::new("P2");
+            system
+                .add_local_ic(
+                    &p1,
+                    constraints::builders::key_denial("fd_r1", "R1").unwrap(),
+                )
+                .unwrap();
+            system
+                .add_local_ic(
+                    &p2,
+                    constraints::builders::key_denial("fd_r2", "R2").unwrap(),
+                )
+                .unwrap();
+            Session::with_engine(
+                QueryEngine::builder(system)
+                    .exec(ExecConfig::with_workers(workers))
+                    .build(),
+            )
+        };
+        let mut outcomes = Vec::new();
+        for workers in [1, 4] {
+            let mut session = build(workers);
+            let mut tx = session.begin();
+            // Both staged deltas violate their peer's key IC.
+            tx.insert(&PeerId::new("P1"), "R1", Tuple::strs(["a", "zzz"]))
+                .unwrap();
+            tx.insert(&PeerId::new("P2"), "R2", Tuple::strs(["c", "zzz"]))
+                .unwrap();
+            let err = tx.commit().unwrap_err();
+            match err {
+                SessionError::IcViolation {
+                    peer, constraint, ..
+                } => outcomes.push((peer, constraint)),
+                other => panic!("unexpected error {other:?}"),
+            }
+            assert_eq!(session.current_seq(), 0, "commit must stay atomic");
+        }
+        assert_eq!(outcomes[0], outcomes[1], "same violation on both paths");
+        assert_eq!(outcomes[0].0, PeerId::new("P1"));
+
+        // And a valid multi-peer commit passes under a parallel pool.
+        let mut session = build(4);
+        let mut tx = session.begin();
+        tx.insert(&PeerId::new("P1"), "R1", Tuple::strs(["new1", "v"]))
+            .unwrap();
+        tx.insert(&PeerId::new("P2"), "R2", Tuple::strs(["new2", "v"]))
+            .unwrap();
+        let receipt = tx.commit().unwrap();
+        assert_eq!(receipt.touched.len(), 2);
     }
 
     #[test]

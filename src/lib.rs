@@ -19,7 +19,9 @@
 //! * [`session`] — live, versioned systems: `Tx`/commit
 //!   updates validated against local ICs, an update log with snapshot
 //!   replay, and incremental invalidation of the engine's memoized
-//!   artifacts.
+//!   artifacts;
+//! * [`exec`] — the dependency-free scoped thread-pool executor behind the
+//!   engine's batched/parallel answering.
 //!
 //! See `README.md` for a tour and `examples/` for runnable scenarios.
 
@@ -27,6 +29,7 @@ pub use constraints;
 pub use datalog;
 pub use dsl;
 pub use pdes_core as core;
+pub use pdes_exec as exec;
 pub use pdes_session as session;
 pub use relalg;
 pub use repair;
@@ -37,11 +40,12 @@ pub use workload;
 // solver/repair knobs.
 pub use datalog::SolverConfig;
 pub use pdes_core::engine::{
-    AnsweringStrategy, Answers, EngineStats, Provenance, QueryEngine, QueryEngineBuilder, Strategy,
-    StrategyKind,
+    AnsweringStrategy, Answers, EngineStats, Provenance, Query, QueryEngine, QueryEngineBuilder,
+    Strategy, StrategyKind,
 };
 pub use pdes_core::pca::vars;
 pub use pdes_core::{CacheMetrics, P2PSystem, Peer, PeerId, SolutionOptions, TrustLevel};
+pub use pdes_exec::{ExecConfig, Executor};
 pub use pdes_session::{Session, Tx, Update, Version};
 pub use relalg::query::Formula;
 pub use relalg::Tuple;
