@@ -1,0 +1,189 @@
+//! B10 — full vs. relevance-pruned grounding.
+//!
+//! The engine's ASP strategies ground the queried peer's specification
+//! program before solving it; PR 4 added magic-sets-style relevance pruning
+//! ([`datalog::relevance`]) so each query instantiates only the slice that
+//! can influence it. This table puts the two grounding regimes side by side
+//! on star workloads of increasing peer count: the full grounding carries
+//! every peer's facts into every query, the pruned grounding drops
+//! everything outside the queried peer's DEC closure. Answers must be
+//! identical; the grounded-rule/atom counters and the cold-query latency
+//! show what the pruning saves.
+
+use pdes_core::engine::{QueryEngine, Strategy};
+use std::time::Instant;
+use workload::generator::GeneratedWorkload;
+use workload::{generate, Topology, TrustMix, WorkloadSpec};
+
+/// One grounding-regime measurement.
+#[derive(Debug, Clone)]
+pub struct GroundingMeasurement {
+    /// Workload parameters, rendered for the table.
+    pub params: String,
+    /// `"full"` or `"pruned"`.
+    pub mode: &'static str,
+    /// Ground rules instantiated for the query's preparation.
+    pub grounded_rules: usize,
+    /// Distinct ground atoms interned during the preparation.
+    pub grounded_atoms: usize,
+    /// Grounding phase time in milliseconds.
+    pub ground_ms: f64,
+    /// Cold end-to-end answer time in milliseconds.
+    pub answer_ms: f64,
+    /// Number of peer consistent answers (equal-output check across modes).
+    pub answers: usize,
+}
+
+/// Answer the workload's canonical query on a cold engine with the given
+/// grounding regime.
+pub fn measure_grounding(
+    w: &GeneratedWorkload,
+    pruned: bool,
+    params: &str,
+) -> Option<GroundingMeasurement> {
+    let engine = QueryEngine::builder(w.system.clone())
+        .strategy(Strategy::Asp)
+        .relevance_pruning(pruned)
+        .build();
+    let start = Instant::now();
+    let result = engine
+        .answer(&w.queried_peer, &w.query, &w.free_vars)
+        .ok()?;
+    Some(GroundingMeasurement {
+        params: params.to_string(),
+        mode: if pruned { "pruned" } else { "full" },
+        grounded_rules: result.stats.grounded_rules,
+        grounded_atoms: result.stats.grounded_atoms,
+        ground_ms: result.stats.ground_micros as f64 / 1e3,
+        answer_ms: start.elapsed().as_secs_f64() * 1e3,
+        answers: result.len(),
+    })
+}
+
+/// B10 — full vs. pruned grounding over star workloads of increasing peer
+/// count. Two query placements per sweep point:
+///
+/// * **hub** — the star's center, whose DEC closure spans every peer: the
+///   pruning drops only the scaffolding outside the query's dependency
+///   slice, a constant-factor win;
+/// * **leaf** — a rim peer with no DECs of its own, whose closure is just
+///   itself: the full grounding still carries every peer's facts (they are
+///   all in the one specification program), so the pruned grounding stays
+///   flat while the full one grows linearly with the system.
+pub fn table_b10(peer_counts: &[usize]) -> Vec<GroundingMeasurement> {
+    let mut rows = Vec::new();
+    for &peers in peer_counts {
+        let spec = WorkloadSpec {
+            peers,
+            tuples_per_relation: 10,
+            violations_per_dec: 1,
+            trust_mix: TrustMix::AllLess,
+            topology: Topology::Star,
+            ..WorkloadSpec::default()
+        };
+        let w = match generate(&spec) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("skipping sweep point ({spec}): {e}");
+                continue;
+            }
+        };
+        let hub_params = format!("hub peers={peers} tuples=10 violations=1");
+        rows.extend(measure_grounding(&w, false, &hub_params));
+        rows.extend(measure_grounding(&w, true, &hub_params));
+
+        // The same system queried at a rim peer (the lexicographically last
+        // one — never the hub P0 for 2+ peers).
+        if let Some(leaf) = leaf_view(&w) {
+            let leaf_params = format!("leaf peers={peers} tuples=10 violations=1");
+            rows.extend(measure_grounding(&leaf, false, &leaf_params));
+            rows.extend(measure_grounding(&leaf, true, &leaf_params));
+        }
+    }
+    rows
+}
+
+/// The workload re-aimed at its last (rim) peer's canonical query.
+fn leaf_view(w: &GeneratedWorkload) -> Option<GeneratedWorkload> {
+    let leaf = w.system.peers().last()?;
+    if leaf.id == w.queried_peer {
+        return None;
+    }
+    let relation = leaf.schema.relation_names().next()?;
+    Some(GeneratedWorkload {
+        system: w.system.clone(),
+        queried_peer: leaf.id.clone(),
+        query: relalg::query::Formula::atom(relation, vec!["X", "Y"]),
+        free_vars: w.free_vars.clone(),
+        planted_violations: w.planted_violations,
+    })
+}
+
+/// Render grounding measurements as an aligned text table.
+pub fn render_grounding_table(title: &str, rows: &[GroundingMeasurement]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<34} {:<8} {:>12} {:>12} {:>12} {:>12} {:>9}\n",
+        "parameters",
+        "mode",
+        "ground rules",
+        "ground atoms",
+        "ground (ms)",
+        "answer (ms)",
+        "answers"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<34} {:<8} {:>12} {:>12} {:>12.3} {:>12.3} {:>9}\n",
+            row.params,
+            row.mode,
+            row.grounded_rules,
+            row.grounded_atoms,
+            row.ground_ms,
+            row.answer_ms,
+            row.answers
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pruned_grounding_is_strictly_smaller_with_identical_answers() {
+        let rows = table_b10(&[4]);
+        assert_eq!(rows.len(), 4, "hub and leaf, full and pruned");
+        for pair in rows.chunks(2) {
+            let (full, pruned) = (&pair[0], &pair[1]);
+            assert_eq!(full.mode, "full");
+            assert_eq!(pruned.mode, "pruned");
+            assert_eq!(full.params, pruned.params);
+            assert_eq!(full.answers, pruned.answers);
+            assert!(
+                pruned.grounded_rules < full.grounded_rules,
+                "{}: pruned {} !< full {}",
+                full.params,
+                pruned.grounded_rules,
+                full.grounded_rules
+            );
+            assert!(pruned.grounded_atoms < full.grounded_atoms);
+        }
+        // The leaf's closure is itself: its pruned slice is far smaller
+        // than the hub's.
+        let hub_pruned = &rows[1];
+        let leaf_pruned = &rows[3];
+        assert!(leaf_pruned.grounded_rules < hub_pruned.grounded_rules);
+    }
+
+    #[test]
+    fn grounding_table_renders_both_modes() {
+        let rows = table_b10(&[2]);
+        let table = render_grounding_table("B10", &rows);
+        assert!(table.contains("full"));
+        assert!(table.contains("pruned"));
+        assert!(table.contains("ground rules"));
+    }
+}

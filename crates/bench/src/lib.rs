@@ -19,13 +19,21 @@
 //! fixed workload into the `BENCH_smoke.json` artifact behind the CI
 //! perf-smoke gate (`cargo run --release -p pdes-bench --bin harness --
 //! --smoke`).
+//!
+//! Table B10 ([`grounding`]) compares the legacy full grounding against the
+//! relevance-pruned grounding ([`datalog::relevance`]) on star workloads of
+//! increasing peer count; the smoke gate additionally tracks exact
+//! grounded-rule/atom counters so grounding blow-ups fail CI
+//! deterministically.
 
 pub mod experiments;
+pub mod grounding;
 pub mod live;
 pub mod parallel;
 pub mod runners;
 pub mod smoke;
 
+pub use grounding::{render_grounding_table, GroundingMeasurement};
 pub use live::{render_live_table, LiveMeasurement, LiveMode};
 pub use parallel::{render_parallel_table, ParallelMeasurement};
 pub use runners::{render_table, Measurement};

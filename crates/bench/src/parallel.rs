@@ -30,6 +30,10 @@ pub struct ParallelMeasurement {
     pub answers: usize,
     /// Total worlds (answer sets) evaluated across the batch.
     pub worlds: usize,
+    /// Total ground rules instantiated across the batch (warm queries
+    /// re-report their artifact's count, so the sum is deterministic — the
+    /// grounding-size counter the smoke gate tracks exactly).
+    pub grounded_rules: usize,
     /// Wall-clock time of the whole batch in milliseconds.
     pub millis: f64,
     /// Sustained throughput.
@@ -120,10 +124,12 @@ pub fn run_batch(
     let millis = start.elapsed().as_secs_f64() * 1e3;
     let mut answers = 0usize;
     let mut worlds = 0usize;
+    let mut grounded_rules = 0usize;
     for result in results {
         let a = result.ok()?;
         answers += a.len();
         worlds += a.stats.worlds;
+        grounded_rules += a.stats.grounded_rules;
     }
     Some(ParallelMeasurement {
         workers,
@@ -131,6 +137,7 @@ pub fn run_batch(
         queries: batch.len(),
         answers,
         worlds,
+        grounded_rules,
         millis,
         queries_per_sec: if millis > 0.0 {
             batch.len() as f64 / (millis / 1e3)

@@ -167,16 +167,21 @@ pub fn run_smoke() -> Result<SmokeReport, String> {
         .ok_or("smoke batch failed at 1 worker")?;
     let w4 = run_batch(&system, &batch, Strategy::Asp, 4, "smoke")
         .ok_or("smoke batch failed at 4 workers")?;
-    if (w1.answers, w1.worlds) != (w4.answers, w4.worlds) {
+    if (w1.answers, w1.worlds, w1.grounded_rules) != (w4.answers, w4.worlds, w4.grounded_rules) {
         return Err(format!(
-            "parallel batch diverged from sequential: {}/{} vs {}/{} answers/worlds",
-            w1.answers, w1.worlds, w4.answers, w4.worlds
+            "parallel batch diverged from sequential: {}/{}/{} vs {}/{}/{} \
+             answers/worlds/grounded-rules",
+            w1.answers, w1.worlds, w1.grounded_rules, w4.answers, w4.worlds, w4.grounded_rules
         ));
     }
     metrics.push(("batch_asp_w1_ms".to_string(), w1.millis));
     metrics.push(("batch_asp_w4_ms".to_string(), w4.millis));
     metrics.push(("batch_answers".to_string(), w1.answers as f64));
     metrics.push(("batch_worlds".to_string(), w1.worlds as f64));
+    // Grounding-size counter: exact-match in the gate, so a grounding
+    // blow-up (or an unsound over-prune) fails CI deterministically even on
+    // single-core runners where the timing gates are mushy.
+    metrics.push(("batch_grounded_rules".to_string(), w1.grounded_rules as f64));
 
     // Cold + warm single-query latency on the canonical generated workload.
     let w = generate(&WorkloadSpec {
@@ -197,13 +202,49 @@ pub fn run_smoke() -> Result<SmokeReport, String> {
         let cold = engine
             .answer(&w.queried_peer, &w.query, &w.free_vars)
             .map_err(|e| e.to_string())?;
-        cold_tuples = Some(cold.tuples);
+        cold_tuples = Some((cold.tuples, cold.stats));
     }
     metrics.push((
         "asp_cold10_ms".to_string(),
         start.elapsed().as_secs_f64() * 1e3,
     ));
-    let cold_tuples = cold_tuples.expect("ten cold runs");
+    let (cold_tuples, cold_stats) = cold_tuples.expect("ten cold runs");
+    // Per-scenario grounding counters (exact-match in the gate), plus the
+    // full-grounding reference: relevance pruning must instantiate strictly
+    // fewer rules than the legacy full grounding on this workload — a
+    // structural regression here is a hard failure, not a perf note.
+    metrics.push((
+        "asp_grounded_rules".to_string(),
+        cold_stats.grounded_rules as f64,
+    ));
+    metrics.push((
+        "asp_grounded_atoms".to_string(),
+        cold_stats.grounded_atoms as f64,
+    ));
+    let full_engine = pdes_core::engine::QueryEngine::builder(w.system.clone())
+        .strategy(Strategy::Asp)
+        .relevance_pruning(false)
+        .build();
+    let full = full_engine
+        .answer(&w.queried_peer, &w.query, &w.free_vars)
+        .map_err(|e| e.to_string())?;
+    if full.tuples != cold_tuples {
+        return Err("full grounding diverged from pruned answers".to_string());
+    }
+    if cold_stats.grounded_rules >= full.stats.grounded_rules {
+        return Err(format!(
+            "relevance pruning did not shrink the grounding: pruned {} >= full {}",
+            cold_stats.grounded_rules, full.stats.grounded_rules
+        ));
+    }
+    metrics.push((
+        "asp_full_grounded_rules".to_string(),
+        full.stats.grounded_rules as f64,
+    ));
+    metrics.push((
+        "asp_full_grounded_atoms".to_string(),
+        full.stats.grounded_atoms as f64,
+    ));
     let engine = crate::runners::engine_for(&w, Strategy::Asp);
     let _ = engine
         .answer(&w.queried_peer, &w.query, &w.free_vars)
@@ -321,12 +362,20 @@ mod tests {
             "batch_asp_w4_ms",
             "batch_answers",
             "batch_worlds",
+            "batch_grounded_rules",
             "asp_cold10_ms",
             "asp_warm500_ms",
+            "asp_grounded_rules",
+            "asp_grounded_atoms",
+            "asp_full_grounded_rules",
+            "asp_full_grounded_atoms",
             "live_incremental_ms",
         ] {
             assert!(smoke.get(name).is_some(), "missing metric {name}");
         }
+        // The pruned grounding is strictly smaller than the full one (the
+        // run itself hard-errors otherwise; this documents the invariant).
+        assert!(smoke.get("asp_grounded_rules") < smoke.get("asp_full_grounded_rules"));
         // Self-comparison always passes.
         let (_, pass) = smoke.compare(&smoke);
         assert!(pass);

@@ -9,8 +9,8 @@
 //!   program constants, fact generation and predicate-name conventions;
 //! * [`annotated`] — the general *annotation-based* specification program
 //!   (the style of Section 4.2 and the appendix, with `td`/`ta`/`fa`/`tss`
-//!   annotations realized as predicate suffixes). This is the workhorse used
-//!   by [`crate::answer`] and the benchmarks;
+//!   annotations realized as predicate suffixes). This is the workhorse
+//!   behind the [`crate::engine`] ASP strategies and the benchmarks;
 //! * [`paper`] — the verbatim programs listed in the paper (the Section 3.1
 //!   GAV choice program, the appendix LAV program and the Example 4 combined
 //!   program), used to validate the answer-set engine against every stable

@@ -37,16 +37,24 @@
 //! when they do (and the query is positive existential), falling back to the
 //! general ASP mechanism otherwise.
 //!
-//! ## Memoization
+//! ## Memoization and relevance-driven grounding
 //!
-//! The engine owns its system, which makes per-peer preparation cacheable:
-//! the naive strategy's enumerated solutions, the ASP strategies' *grounded
-//! and solved* specification programs (decoded into per-world databases) and
-//! the rewriting strategy's materialized global instance are all computed
-//! once per `(engine, peer)` and reused across queries. A repeated query
-//! against the same peer therefore skips spec generation, grounding and
-//! stable-model search entirely and only re-runs the cheap per-world query
-//! evaluation — the hot path of the benchmark suite.
+//! The engine owns its system, which makes preparation cacheable: the naive
+//! strategy's enumerated solutions and the rewriting strategy's materialized
+//! global instance are computed once per `(engine, peer)`, and the ASP
+//! strategies' *grounded and solved* specification programs (decoded into
+//! per-world databases) once per `(engine, peer, query slice)`. By default
+//! the ASP strategies ground only the query-relevant slice of the
+//! specification ([`datalog::relevance`], magic-sets-style pruning seeded by
+//! the query's relations and bound constants —
+//! [`QueryEngineBuilder::relevance_pruning`] turns it off), so the cache key
+//! carries the slice: distinct queries over one peer no longer share an
+//! over-wide grounding, while repeated queries of the same shape skip spec
+//! generation, grounding and stable-model search entirely and only re-run
+//! the cheap per-world query evaluation — the hot path of the benchmark
+//! suite. [`EngineStats::grounded_rules`] / [`EngineStats::grounded_atoms`]
+//! expose the instantiated slice sizes (tracked exactly by the CI smoke
+//! gate).
 //!
 //! ## Live updates and incremental invalidation
 //!
@@ -191,10 +199,18 @@ pub struct EngineStats {
     /// Number of worlds the answer is certain over: solutions (naive),
     /// answer sets (ASP), or 1 (rewriting).
     pub worlds: usize,
+    /// Ground rules instantiated for this query's preparation (ASP
+    /// strategies; 0 elsewhere). With relevance pruning enabled this counts
+    /// only the query-relevant slice — the deterministic counter the
+    /// perf-smoke gate tracks exactly.
+    pub grounded_rules: usize,
+    /// Distinct ground atoms interned during the preparation (ASP
+    /// strategies; 0 elsewhere).
+    pub grounded_atoms: usize,
 }
 
-/// Mechanism-specific evidence attached to an [`Answers`], replacing the
-/// legacy `PcaResult` / `RewritingAnswer` / `AspAnswer` structs.
+/// Mechanism-specific evidence attached to an [`Answers`] (the successor of
+/// the removed `PcaResult` / `RewritingAnswer` / `AspAnswer` structs).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Provenance {
     /// Solution enumeration: how many solutions, and the repair search
@@ -374,6 +390,7 @@ pub struct QueryEngineBuilder {
     solver_config: SolverConfig,
     solution_options: SolutionOptions,
     exec: ExecConfig,
+    relevance_pruning: bool,
 }
 
 impl QueryEngineBuilder {
@@ -417,6 +434,16 @@ impl QueryEngineBuilder {
         self.exec(ExecConfig::with_workers(workers))
     }
 
+    /// Enable or disable relevance-driven grounding ([`datalog::relevance`])
+    /// for the ASP strategies. On (the default), each query grounds only the
+    /// program slice that can influence it, seeded from the query's bound
+    /// constants where sound; off reproduces the legacy full grounding
+    /// (used by the B10 benchmark and the pruned-vs-full property tests).
+    pub fn relevance_pruning(mut self, enabled: bool) -> Self {
+        self.relevance_pruning = enabled;
+        self
+    }
+
     /// Finish the builder.
     pub fn build(self) -> QueryEngine {
         QueryEngine {
@@ -426,6 +453,7 @@ impl QueryEngineBuilder {
             solver_config: self.solver_config,
             solution_options: self.solution_options,
             exec: Executor::new(self.exec),
+            relevance_pruning: self.relevance_pruning,
             cache: RwLock::new(EngineCache::default()),
             metrics: MetricCounters::default(),
         }
@@ -450,10 +478,24 @@ struct EngineCache {
     global: Option<Arc<Database>>,
     /// Per-peer enumerated solutions, restricted to the peer (naive).
     naive: BTreeMap<PeerId, Arc<PreparedWorlds>>,
-    /// Per-peer grounded + solved direct specification programs.
-    asp: BTreeMap<PeerId, Arc<PreparedWorlds>>,
-    /// Per-peer grounded + solved transitive programs.
-    transitive: BTreeMap<PeerId, Arc<PreparedWorlds>>,
+    /// Grounded + solved direct specification programs, keyed by peer plus
+    /// the *canonical slice fingerprint*
+    /// ([`datalog::RelevanceAnalysis::fingerprint`]): distinct queries over
+    /// one peer no longer share an over-wide grounding, while queries whose
+    /// slices coincide (same relations; bindings the analysis cannot apply)
+    /// share one artifact.
+    asp: BTreeMap<(PeerId, String), Arc<PreparedWorlds>>,
+    /// Grounded + solved transitive programs, keyed like `asp`.
+    transitive: BTreeMap<(PeerId, String), Arc<PreparedWorlds>>,
+    /// Cheap query-shape key ([`QueryEngine::slice_key`]) → canonical slice
+    /// fingerprint, per mechanism. Lets the warm path skip building the
+    /// specification program: a repeated query resolves its alias and its
+    /// artifact under the read lock alone. Aliases never need invalidation —
+    /// a stale target simply misses (the artifact was dropped) and the slow
+    /// path rewrites the alias.
+    asp_alias: BTreeMap<(PeerId, String), String>,
+    /// Alias map of the transitive mechanism.
+    transitive_alias: BTreeMap<(PeerId, String), String>,
 }
 
 impl EngineCache {
@@ -469,9 +511,12 @@ impl EngineCache {
             .collect()
     }
 
-    /// The per-peer artifact slot for the direct or transitive ASP
+    /// The per-(peer, slice) artifact slot for the direct or transitive ASP
     /// mechanism.
-    fn asp_slot(&mut self, transitive: bool) -> &mut BTreeMap<PeerId, Arc<PreparedWorlds>> {
+    fn asp_slot(
+        &mut self,
+        transitive: bool,
+    ) -> &mut BTreeMap<(PeerId, String), Arc<PreparedWorlds>> {
         if transitive {
             &mut self.transitive
         } else {
@@ -481,11 +526,29 @@ impl EngineCache {
 
     /// Read-only view of [`EngineCache::asp_slot`] (the hit path holds only
     /// the read lock).
-    fn asp_slot_ref(&self, transitive: bool) -> &BTreeMap<PeerId, Arc<PreparedWorlds>> {
+    fn asp_slot_ref(&self, transitive: bool) -> &BTreeMap<(PeerId, String), Arc<PreparedWorlds>> {
         if transitive {
             &self.transitive
         } else {
             &self.asp
+        }
+    }
+
+    /// The query-shape → fingerprint alias map of a mechanism.
+    fn alias_slot(&mut self, transitive: bool) -> &mut BTreeMap<(PeerId, String), String> {
+        if transitive {
+            &mut self.transitive_alias
+        } else {
+            &mut self.asp_alias
+        }
+    }
+
+    /// Read-only view of [`EngineCache::alias_slot`].
+    fn alias_slot_ref(&self, transitive: bool) -> &BTreeMap<(PeerId, String), String> {
+        if transitive {
+            &self.transitive_alias
+        } else {
+            &self.asp_alias
         }
     }
 
@@ -505,9 +568,18 @@ impl EngineCache {
     /// (commit) or drop it explicitly (external invalidation).
     fn drop_stamped(&mut self, touched: &BTreeSet<PeerId>) -> u64 {
         let mut dropped = 0;
-        for slot in [&mut self.naive, &mut self.asp, &mut self.transitive] {
+        let stale =
+            |prepared: &Arc<PreparedWorlds>| prepared.stamp.keys().any(|p| touched.contains(p));
+        self.naive.retain(|_, prepared| {
+            let keep = !stale(prepared);
+            if !keep {
+                dropped += 1;
+            }
+            keep
+        });
+        for slot in [&mut self.asp, &mut self.transitive] {
             slot.retain(|_, prepared| {
-                let keep = prepared.stamp.keys().all(|p| !touched.contains(p));
+                let keep = !stale(prepared);
                 if !keep {
                     dropped += 1;
                 }
@@ -530,6 +602,9 @@ struct PreparedWorlds {
     prepare_micros: u128,
     ground_micros: u128,
     solve_micros: u128,
+    /// Ground rules / atoms instantiated for this entry (ASP strategies).
+    grounded_rules: usize,
+    grounded_atoms: usize,
     /// Evidence template cloned into every answer served from this entry.
     provenance: Provenance,
 }
@@ -546,6 +621,7 @@ pub struct QueryEngine {
     solver_config: SolverConfig,
     solution_options: SolutionOptions,
     exec: Executor,
+    relevance_pruning: bool,
     cache: RwLock<EngineCache>,
     metrics: MetricCounters,
 }
@@ -564,6 +640,7 @@ impl QueryEngine {
             solver_config: SolverConfig::default(),
             solution_options: SolutionOptions::default(),
             exec: ExecConfig::sequential(),
+            relevance_pruning: true,
         }
     }
 
@@ -595,6 +672,11 @@ impl QueryEngine {
     /// The parallel execution configuration.
     pub fn exec_config(&self) -> ExecConfig {
         self.exec.config()
+    }
+
+    /// Is relevance-driven grounding enabled for the ASP strategies?
+    pub fn relevance_pruning(&self) -> bool {
+        self.relevance_pruning
     }
 
     /// The executor for *within-query* fan-out: the engine's pool, unless
@@ -971,6 +1053,8 @@ impl QueryEngine {
             prepare_micros: start.elapsed().as_micros(),
             ground_micros: 0,
             solve_micros: 0,
+            grounded_rules: 0,
+            grounded_atoms: 0,
             provenance: Provenance::Naive {
                 solution_count: solutions.len(),
                 search,
@@ -985,36 +1069,127 @@ impl QueryEngine {
         Ok((prepared, false))
     }
 
+    /// The cheap *query-shape* key: an injective rendering of the query's
+    /// relations with their generalized constant bindings (every segment is
+    /// length-prefixed, so constants containing delimiter characters cannot
+    /// collide), or `"<full>"` when relevance pruning is disabled. Two
+    /// queries with the same shape key always ground the same slice; shapes
+    /// whose differences the relevance analysis cannot exploit (bindings on
+    /// unrestrictable seeds) are deduplicated onto one artifact through the
+    /// alias map ([`EngineCache::alias_slot`]).
+    fn slice_key(&self, query: &Formula) -> String {
+        if !self.relevance_pruning {
+            return "<full>".to_string();
+        }
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (relation, bindings) in query_binding_patterns(query) {
+            let _ = write!(out, "r{}:{};", relation.len(), relation);
+            for binding in &bindings {
+                match binding {
+                    Some(c) => {
+                        let _ = write!(out, "b{}:{};", c.len(), c);
+                    }
+                    None => out.push_str("u;"),
+                }
+            }
+            out.push('#');
+        }
+        out
+    }
+
+    /// The query seeds handed to [`datalog::ground_relevant`]: the query's
+    /// relations mapped to their solution predicates, carrying the
+    /// generalized constant bindings. `None` when pruning is disabled.
+    fn query_seeds(
+        &self,
+        query: &Formula,
+        solution_predicate: &dyn Fn(&str) -> String,
+    ) -> Option<Vec<datalog::QuerySeed>> {
+        if !self.relevance_pruning {
+            return None;
+        }
+        Some(
+            query_binding_patterns(query)
+                .into_iter()
+                .map(|(relation, bindings)| {
+                    datalog::QuerySeed::with_bindings(solution_predicate(&relation), bindings)
+                })
+                .collect(),
+        )
+    }
+
     /// Grounded + solved specification program of `peer` (direct or
-    /// transitive), decoded into per-world databases.
+    /// transitive) for one query slice, decoded into per-world databases.
     ///
     /// The entry's stamp covers the peer's relevant-peer closure
     /// ([`P2PSystem::dependencies_of`]): the specification programs only read
     /// the instances of DEC-reachable peers, so commits outside the closure
-    /// leave the entry warm.
-    fn asp_worlds(&self, peer: &PeerId, transitive: bool) -> Result<(Arc<PreparedWorlds>, bool)> {
-        // Fast path: a warm entry costs only the read lock.
+    /// leave the entry warm. With relevance pruning enabled, only the
+    /// query-relevant slice of the specification is grounded and solved
+    /// ([`datalog::relevance`]); the decoded worlds carry empty extensions
+    /// for pruned relations, which is sound because the artifact is keyed by
+    /// the slice fingerprint and only ever evaluates queries over seeded
+    /// relations.
+    ///
+    /// Two-level keying: the cheap query-shape key
+    /// ([`QueryEngine::slice_key`]) resolves through an alias map to the
+    /// canonical slice fingerprint, so a repeated query hits under the read
+    /// lock alone, while queries whose shapes differ only in ways the
+    /// relevance analysis cannot exploit (e.g. constants on an
+    /// unrestrictable seed) converge on one grounded artifact instead of
+    /// re-grounding per constant.
+    fn asp_worlds(
+        &self,
+        peer: &PeerId,
+        transitive: bool,
+        query: &Formula,
+    ) -> Result<(Arc<PreparedWorlds>, bool)> {
+        let shape_key = (peer.clone(), self.slice_key(query));
+        // Fast path: resolve alias and artifact under the read lock.
         {
             let cache = self.read_cache();
-            if let Some(prepared) = cache.asp_slot_ref(transitive).get(peer) {
-                if cache.stamp_current(&prepared.stamp) {
-                    let prepared = Arc::clone(prepared);
-                    self.metrics.hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok((prepared, true));
+            if let Some(fingerprint) = cache.alias_slot_ref(transitive).get(&shape_key) {
+                let canonical = (peer.clone(), fingerprint.clone());
+                if let Some(prepared) = cache.asp_slot_ref(transitive).get(&canonical) {
+                    if cache.stamp_current(&prepared.stamp) {
+                        let prepared = Arc::clone(prepared);
+                        self.metrics.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok((prepared, true));
+                    }
                 }
             }
         }
-        // Slow path: re-check under the write lock, evict a stale entry,
-        // and record the stamp the preparation will carry.
+        // Build the specification program and the canonical fingerprint
+        // outside any lock (program construction is cheap next to grounding
+        // and solving, which only run when the canonical artifact is cold).
+        let start = Instant::now();
+        let spec = if transitive {
+            SpecProgram::Transitive(crate::asp::transitive_program(&self.system, peer)?)
+        } else {
+            SpecProgram::Direct(crate::asp::annotated_program(&self.system, peer)?)
+        };
+        let seeds = self.query_seeds(query, &|relation| {
+            spec.solution_predicate(&self.system, relation)
+        });
+        let fingerprint = match &seeds {
+            Some(seeds) => Grounder::new(spec.program()).relevance(seeds).fingerprint(),
+            None => "<full>".to_string(),
+        };
+        let canonical = (peer.clone(), fingerprint.clone());
+        // Slow path: record the alias, re-check the canonical artifact
+        // under the write lock, evict a stale entry, and record the stamp
+        // the preparation will carry.
         let stamp = {
             let mut cache = self.write_cache();
-            if let Some(prepared) = cache.asp_slot(transitive).get(peer) {
+            cache.alias_slot(transitive).insert(shape_key, fingerprint);
+            if let Some(prepared) = cache.asp_slot(transitive).get(&canonical) {
                 let prepared = Arc::clone(prepared);
                 if cache.stamp_current(&prepared.stamp) {
                     self.metrics.hits.fetch_add(1, Ordering::Relaxed);
                     return Ok((prepared, true));
                 }
-                cache.asp_slot(transitive).remove(peer);
+                cache.asp_slot(transitive).remove(&canonical);
                 self.metrics.invalidated.fetch_add(1, Ordering::Relaxed);
             }
             self.metrics.misses.fetch_add(1, Ordering::Relaxed);
@@ -1022,48 +1197,29 @@ impl QueryEngine {
         };
         // Ground and solve outside the lock: stable-model search is the
         // expensive phase and must not serialize unrelated queries.
-        let start = Instant::now();
-        let prepared = Arc::new(if transitive {
-            let spec = crate::asp::transitive_program(&self.system, peer)?;
-            let (sets, ground_micros, solve_micros) =
-                solve_spec(&spec.program, self.solver_config, &self.query_exec())?;
-            let databases = spec.solution_databases(&self.system, &sets)?;
-            PreparedWorlds {
-                worlds: sets.len(),
-                databases,
-                stamp,
-                prepare_micros: start.elapsed().as_micros(),
-                ground_micros,
-                solve_micros,
-                provenance: Provenance::TransitiveAsp {
-                    answer_set_count: sets.len(),
-                    branch_nodes: sets.branch_nodes,
-                    used_shift: sets.used_shift,
-                },
-            }
-        } else {
-            let spec = crate::asp::annotated_program(&self.system, peer)?;
-            let (sets, ground_micros, solve_micros) =
-                solve_spec(&spec.program, self.solver_config, &self.query_exec())?;
-            let databases = spec.solution_databases(&sets)?;
-            PreparedWorlds {
-                worlds: sets.len(),
-                databases,
-                stamp,
-                prepare_micros: start.elapsed().as_micros(),
-                ground_micros,
-                solve_micros,
-                provenance: Provenance::Asp {
-                    answer_set_count: sets.len(),
-                    branch_nodes: sets.branch_nodes,
-                    used_shift: sets.used_shift,
-                },
-            }
+        let solved = solve_spec(
+            spec.program(),
+            seeds.as_deref(),
+            self.solver_config,
+            &self.query_exec(),
+        )?;
+        let databases = spec.solution_databases(&self.system, &solved.sets)?;
+        let provenance = spec.provenance(&solved.sets);
+        let prepared = Arc::new(PreparedWorlds {
+            worlds: solved.sets.len(),
+            databases,
+            stamp,
+            prepare_micros: start.elapsed().as_micros(),
+            ground_micros: solved.ground_micros,
+            solve_micros: solved.solve_micros,
+            grounded_rules: solved.grounded_rules,
+            grounded_atoms: solved.grounded_atoms,
+            provenance,
         });
         let prepared = Arc::clone(
             self.write_cache()
                 .asp_slot(transitive)
-                .entry(peer.clone())
+                .entry(canonical)
                 .or_insert(prepared),
         );
         Ok((prepared, false))
@@ -1091,6 +1247,8 @@ impl QueryEngine {
                 solve_micros: if cache_hit { 0 } else { worlds.solve_micros },
                 eval_micros: start.elapsed().as_micros(),
                 worlds: worlds.worlds,
+                grounded_rules: worlds.grounded_rules,
+                grounded_atoms: worlds.grounded_atoms,
             },
             provenance: worlds.provenance.clone(),
         })
@@ -1164,17 +1322,84 @@ impl QueryEngine {
     }
 }
 
+/// The two ASP specification flavours behind one preparation pipeline
+/// (build → fingerprint → ground → solve → decode).
+enum SpecProgram {
+    Direct(crate::asp::AnnotatedSpec),
+    Transitive(crate::asp::TransitiveSpec),
+}
+
+impl SpecProgram {
+    fn program(&self) -> &datalog::Program {
+        match self {
+            SpecProgram::Direct(spec) => &spec.program,
+            SpecProgram::Transitive(spec) => &spec.program,
+        }
+    }
+
+    fn solution_predicate(&self, system: &P2PSystem, relation: &str) -> String {
+        match self {
+            SpecProgram::Direct(spec) => spec.solution_predicate(relation),
+            SpecProgram::Transitive(spec) => spec.solution_predicate(system, relation),
+        }
+    }
+
+    fn solution_databases(&self, system: &P2PSystem, sets: &AnswerSets) -> Result<Vec<Database>> {
+        match self {
+            SpecProgram::Direct(spec) => spec.solution_databases(sets),
+            SpecProgram::Transitive(spec) => spec.solution_databases(system, sets),
+        }
+    }
+
+    fn provenance(&self, sets: &AnswerSets) -> Provenance {
+        match self {
+            SpecProgram::Direct(_) => Provenance::Asp {
+                answer_set_count: sets.len(),
+                branch_nodes: sets.branch_nodes,
+                used_shift: sets.used_shift,
+            },
+            SpecProgram::Transitive(_) => Provenance::TransitiveAsp {
+                answer_set_count: sets.len(),
+                branch_nodes: sets.branch_nodes,
+                used_shift: sets.used_shift,
+            },
+        }
+    }
+}
+
+/// The decoded output of one ground-and-solve run, with phase timings and
+/// the grounding-size counters the perf-smoke gate tracks.
+struct SolvedSpec {
+    sets: AnswerSets,
+    ground_micros: u128,
+    solve_micros: u128,
+    grounded_rules: usize,
+    grounded_atoms: usize,
+}
+
 /// Ground and solve a specification program, timing both phases. Mirrors
 /// `AnswerSets::compute`, split so the engine can report the two timings
-/// separately. Stable-model search fans out across `exec`'s workers.
+/// separately. With `seeds`, only the query-relevant slice is grounded
+/// ([`datalog::ground_relevant`]). Stable-model search fans out across
+/// `exec`'s workers.
 fn solve_spec(
     program: &datalog::Program,
+    seeds: Option<&[datalog::QuerySeed]>,
     config: SolverConfig,
     exec: &Executor,
-) -> Result<(AnswerSets, u128, u128)> {
+) -> Result<SolvedSpec> {
     let start = Instant::now();
-    let ground = Grounder::new(program).ground().map_err(CoreError::from)?;
+    let grounder = Grounder::new(program);
+    let ground = match seeds {
+        Some(seeds) => grounder.ground_relevant(seeds),
+        None => grounder.ground(),
+    }
+    .map_err(CoreError::from)?;
     let ground_micros = start.elapsed().as_micros();
+    // Counters before solving: the HCF shift rewrites the ground program,
+    // so `result.ground` would not reflect what the grounder instantiated.
+    let grounded_rules = ground.rule_count();
+    let grounded_atoms = ground.atom_count();
     let start = Instant::now();
     let result = solve_ground_with(ground, config, exec).map_err(CoreError::from)?;
     let solve_micros = start.elapsed().as_micros();
@@ -1183,15 +1408,79 @@ fn solve_spec(
         .iter()
         .map(|s| result.ground.decode(s))
         .collect();
-    Ok((
-        AnswerSets {
+    Ok(SolvedSpec {
+        sets: AnswerSets {
             sets,
             branch_nodes: result.branch_nodes,
             used_shift: result.used_shift,
         },
         ground_micros,
         solve_micros,
-    ))
+        grounded_rules,
+        grounded_atoms,
+    })
+}
+
+/// The generalized binding pattern of every relation in a query: position
+/// `i` is `Some(c)` exactly when *every* occurrence of the relation in the
+/// formula carries the constant `c` (encoded as a program symbol) at
+/// position `i`. Restricting a relation's extension to such a pattern
+/// preserves the answers of every atom occurrence, which makes the pattern
+/// safe to hand to the grounder as a [`datalog::QuerySeed`].
+fn query_binding_patterns(query: &Formula) -> BTreeMap<String, Vec<Option<Arc<str>>>> {
+    fn meet(
+        out: &mut BTreeMap<String, Vec<Option<Arc<str>>>>,
+        relation: &str,
+        pattern: Vec<Option<Arc<str>>>,
+    ) {
+        match out.get_mut(relation) {
+            None => {
+                out.insert(relation.to_string(), pattern);
+            }
+            Some(existing) => {
+                if existing.len() != pattern.len() {
+                    // Inconsistent arity (rejected later by evaluation):
+                    // fall back to fully unbound.
+                    existing.iter_mut().for_each(|slot| *slot = None);
+                    return;
+                }
+                for (slot, new) in existing.iter_mut().zip(pattern) {
+                    if *slot != new {
+                        *slot = None;
+                    }
+                }
+            }
+        }
+    }
+    fn walk(query: &Formula, out: &mut BTreeMap<String, Vec<Option<Arc<str>>>>) {
+        match query {
+            Formula::Atom { relation, terms } => {
+                let pattern = terms
+                    .iter()
+                    .map(|t| {
+                        t.as_const()
+                            .map(|v| Arc::from(crate::asp::encode::encode_value(v).as_str()))
+                    })
+                    .collect();
+                meet(out, relation, pattern);
+            }
+            Formula::And(parts) | Formula::Or(parts) => {
+                for part in parts {
+                    walk(part, out);
+                }
+            }
+            Formula::Not(inner) => walk(inner, out),
+            Formula::Implies(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            Formula::Exists(_, inner) | Formula::Forall(_, inner) => walk(inner, out),
+            Formula::Compare { .. } | Formula::True | Formula::False => {}
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(query, &mut out);
+    out
 }
 
 /// Reject query features the logic-program translation does not support,
@@ -1302,6 +1591,8 @@ impl AnsweringStrategy for RewritingStrategy {
                 solve_micros: 0,
                 eval_micros: start.elapsed().as_micros(),
                 worlds: 1,
+                grounded_rules: 0,
+                grounded_atoms: 0,
             },
             provenance: Provenance::Rewriting { rewritten },
         })
@@ -1331,7 +1622,7 @@ impl AnsweringStrategy for AspStrategy {
         engine.check_language(peer, query)?;
         ensure_positive_existential(query)?;
         check_free_vars_bound(query, free_vars)?;
-        let (worlds, cache_hit) = engine.asp_worlds(peer, false)?;
+        let (worlds, cache_hit) = engine.asp_worlds(peer, false, query)?;
         engine.answers_from_worlds(StrategyKind::Asp, &worlds, cache_hit, query, free_vars)
     }
 }
@@ -1359,7 +1650,7 @@ impl AnsweringStrategy for TransitiveAspStrategy {
         engine.check_language(peer, query)?;
         ensure_positive_existential(query)?;
         check_free_vars_bound(query, free_vars)?;
-        let (worlds, cache_hit) = engine.asp_worlds(peer, true)?;
+        let (worlds, cache_hit) = engine.asp_worlds(peer, true, query)?;
         engine.answers_from_worlds(
             StrategyKind::TransitiveAsp,
             &worlds,
@@ -1548,6 +1839,42 @@ mod tests {
     }
 
     #[test]
+    fn conjunctive_join_queries_agree_across_strategies() {
+        // ∃y (R1(x, y) ∧ R1(z, y)) — self-join on the second column of the
+        // peer's (virtually repaired) relation.
+        let engine = example1_engine(Strategy::Auto);
+        let p1 = PeerId::new("P1");
+        let q = Formula::exists(
+            vec!["Y"],
+            Formula::and(vec![
+                Formula::atom("R1", vec!["X", "Y"]),
+                Formula::atom("R1", vec!["Z", "Y"]),
+            ]),
+        );
+        let fv = vars(&["X", "Z"]);
+        let semantic = engine.answer_with(Strategy::Naive, &p1, &q, &fv).unwrap();
+        let asp = engine.answer_with(Strategy::Asp, &p1, &q, &fv).unwrap();
+        assert_eq!(semantic.tuples, asp.tuples);
+        assert!(asp.contains(&Tuple::strs(["a", "a"])));
+    }
+
+    #[test]
+    fn union_queries_agree_across_strategies() {
+        let engine = example1_engine(Strategy::Auto);
+        let p1 = PeerId::new("P1");
+        let q = Formula::or(vec![
+            Formula::atom("R1", vec!["X", "X"]),
+            Formula::exists(vec!["Y"], Formula::atom("R1", vec!["X", "Y"])),
+        ]);
+        let fv = vars(&["X"]);
+        let semantic = engine.answer_with(Strategy::Naive, &p1, &q, &fv).unwrap();
+        let asp = engine.answer_with(Strategy::Asp, &p1, &q, &fv).unwrap();
+        assert_eq!(semantic.tuples, asp.tuples);
+        assert!(asp.contains(&Tuple::strs(["a"])));
+        assert!(asp.contains(&Tuple::strs(["c"])));
+    }
+
+    #[test]
     fn strategies_share_one_engine_via_answer_with() {
         let engine = example1_engine(Strategy::Auto);
         let p1 = PeerId::new("P1");
@@ -1666,6 +1993,8 @@ mod tests {
                         solve_micros: 0,
                         eval_micros: 0,
                         worlds: 1,
+                        grounded_rules: 0,
+                        grounded_atoms: 0,
                     },
                     provenance: Provenance::Custom {
                         strategy: "constant".to_string(),
@@ -1922,6 +2251,152 @@ mod tests {
             "every warm query must be counted as a hit"
         );
         assert_eq!(metrics.misses, warm_base.misses);
+    }
+
+    /// Example 1 plus an unrelated peer whose facts only bloat the full
+    /// grounding — the relevance slice of any example-1 query drops them.
+    fn example1_with_bystander() -> P2PSystem {
+        let mut sys = example1_system();
+        sys.add_peer("P4").unwrap();
+        let p4 = PeerId::new("P4");
+        sys.add_relation(&p4, RelationSchema::new("R4", &["x", "y"]))
+            .unwrap();
+        for i in 0..20 {
+            sys.insert(&p4, "R4", Tuple::strs([&format!("k{i}"), "v"]))
+                .unwrap();
+        }
+        sys
+    }
+
+    #[test]
+    fn relevance_pruning_grounds_strictly_fewer_rules() {
+        let p1 = PeerId::new("P1");
+        let (query, fv) = r1_query();
+        let pruned_engine = QueryEngine::builder(example1_with_bystander())
+            .strategy(Strategy::Asp)
+            .build();
+        let full_engine = QueryEngine::builder(example1_with_bystander())
+            .strategy(Strategy::Asp)
+            .relevance_pruning(false)
+            .build();
+        let pruned = pruned_engine.answer(&p1, &query, &fv).unwrap();
+        let full = full_engine.answer(&p1, &query, &fv).unwrap();
+        assert_eq!(pruned.tuples, full.tuples);
+        assert!(full.stats.grounded_rules > 0);
+        assert!(
+            pruned.stats.grounded_rules < full.stats.grounded_rules,
+            "pruned {} !< full {}",
+            pruned.stats.grounded_rules,
+            full.stats.grounded_rules
+        );
+        assert!(pruned.stats.grounded_atoms < full.stats.grounded_atoms);
+    }
+
+    #[test]
+    fn unexploitable_bindings_share_one_artifact() {
+        // P1's solution predicate is read by final-check constraints, so
+        // the binding of R1(a, Y) cannot restrict the grounding: the bound
+        // and unbound queries resolve to the same canonical slice
+        // fingerprint and share one grounded artifact (no per-constant
+        // re-grounding).
+        let engine = example1_engine(Strategy::Asp);
+        let p1 = PeerId::new("P1");
+        let (unbound, fv) = r1_query();
+        let bound_atom = Formula::atom_terms(
+            "R1",
+            vec![
+                relalg::query::Term::cnst(relalg::Value::str("a")),
+                relalg::query::Term::var("Y"),
+            ],
+        );
+        let all = engine.answer(&p1, &unbound, &fv).unwrap();
+        let only_a = engine.answer(&p1, &bound_atom, &vars(&["Y"])).unwrap();
+        assert!(only_a.stats.cache_hit, "same slice, different shape");
+        assert_eq!(engine.cached_artifact_count(), 1);
+        // The bound query's answers are the unbound answers restricted to a.
+        let expected: BTreeSet<Tuple> = all
+            .tuples
+            .iter()
+            .filter(|t| t.get(0).unwrap().to_string() == "a")
+            .map(|t| Tuple::new(vec![t.get(1).unwrap().clone()]))
+            .collect();
+        assert_eq!(only_a.tuples, expected);
+        // A comparison-bound variant (constant outside the atom) shares the
+        // unbound shape key outright.
+        let via_compare = engine
+            .answer(
+                &p1,
+                &Formula::and(vec![
+                    Formula::atom("R1", vec!["X", "Y"]),
+                    Formula::eq(
+                        relalg::query::Term::var("X"),
+                        relalg::query::Term::cnst(relalg::Value::str("a")),
+                    ),
+                ]),
+                &fv,
+            )
+            .unwrap();
+        assert!(via_compare.stats.cache_hit);
+        assert_eq!(engine.cached_artifact_count(), 1);
+    }
+
+    #[test]
+    fn restrictable_bindings_get_their_own_smaller_slice() {
+        // P3 has no DECs or ICs of its own, so R3's solution predicate is
+        // read by nothing: the binding of R3(a, Y) applies, yielding a
+        // distinct, strictly smaller grounded slice.
+        let engine = example1_engine(Strategy::Asp);
+        let p3 = PeerId::new("P3");
+        let q3 = Formula::atom("R3", vec!["X", "Y"]);
+        let bound = Formula::atom_terms(
+            "R3",
+            vec![
+                relalg::query::Term::cnst(relalg::Value::str("a")),
+                relalg::query::Term::var("Y"),
+            ],
+        );
+        let all = engine.answer(&p3, &q3, &vars(&["X", "Y"])).unwrap();
+        let only_a = engine.answer(&p3, &bound, &vars(&["Y"])).unwrap();
+        assert!(!only_a.stats.cache_hit, "restricted slice is its own entry");
+        assert_eq!(engine.cached_artifact_count(), 2);
+        assert!(
+            only_a.stats.grounded_rules < all.stats.grounded_rules,
+            "bound {} !< unbound {}",
+            only_a.stats.grounded_rules,
+            all.stats.grounded_rules
+        );
+        let expected: BTreeSet<Tuple> = all
+            .tuples
+            .iter()
+            .filter(|t| t.get(0).unwrap().to_string() == "a")
+            .map(|t| Tuple::new(vec![t.get(1).unwrap().clone()]))
+            .collect();
+        assert_eq!(only_a.tuples, expected);
+        // Repeats of the bound shape hit through the alias.
+        let warm = engine.answer(&p3, &bound, &vars(&["Y"])).unwrap();
+        assert!(warm.stats.cache_hit);
+    }
+
+    #[test]
+    fn pruning_disabled_reproduces_one_artifact_per_peer() {
+        let engine = QueryEngine::builder(example1_system())
+            .strategy(Strategy::Asp)
+            .relevance_pruning(false)
+            .build();
+        assert!(!engine.relevance_pruning());
+        let p1 = PeerId::new("P1");
+        let (query, fv) = r1_query();
+        let _ = engine.answer(&p1, &query, &fv).unwrap();
+        let bound_atom = Formula::atom_terms(
+            "R1",
+            vec![
+                relalg::query::Term::cnst(relalg::Value::str("a")),
+                relalg::query::Term::var("Y"),
+            ],
+        );
+        let warm = engine.answer(&p1, &bound_atom, &vars(&["Y"])).unwrap();
+        assert!(warm.stats.cache_hit, "full grounding is shared per peer");
+        assert_eq!(engine.cached_artifact_count(), 1);
     }
 
     #[test]

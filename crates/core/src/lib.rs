@@ -8,15 +8,15 @@
 //!   trust relation;
 //! * [`solution`] — the solutions of a peer (Definition 4, direct case) as
 //!   two-stage minimal repairs of the global instance;
-//! * [`pca`] — peer consistent answers (Definition 5) by solution
-//!   enumeration (the semantic reference / naive baseline);
+//! * [`pca`] — peer-consistent-answer helpers (the semantics of
+//!   Definition 5 itself is served by [`engine::Strategy::Naive`]);
 //! * [`rewriting`] — the first-order query rewriting mechanism of Example 2
 //!   for inclusion + key-agreement DECs;
 //! * [`asp`] — answer-set-programming specifications of the solutions: the
 //!   annotation-based generator (Section 4.2 / appendix style), the paper's
 //!   verbatim programs, and the transitive composition of Section 4.3;
-//! * [`answer`] — peer consistent answers by cautious reasoning over the
-//!   specification programs (the paper's general mechanism).
+//! * [`engine`] — the unified [`engine::QueryEngine`] facade serving every
+//!   mechanism, with per-slice memoization and relevance-driven grounding.
 //!
 //! ## Quickstart
 //!
@@ -38,7 +38,6 @@
 //! assert_eq!(answers.len(), 3); // (a,b), (c,d), (a,e)
 //! ```
 
-pub mod answer;
 pub mod asp;
 pub mod engine;
 pub mod error;
@@ -52,45 +51,9 @@ pub use engine::{
     QueryEngineBuilder, Strategy, StrategyKind,
 };
 pub use error::CoreError;
+pub use rewriting::rewrite_query;
 pub use solution::{solutions_for, Solution, SolutionOptions, SolutionStats};
 pub use system::{example1_system, Dec, P2PSystem, Peer, PeerId, TrustLevel, TrustRelation};
-
-// Legacy per-mechanism entry points and result structs, superseded by
-// `engine::QueryEngine` / `engine::Answers`. Kept as deprecated re-exports
-// for one release; the module-level paths (`pca::…`, `rewriting::…`,
-// `answer::…`) remain available for code that wants a specific mechanism
-// without the facade.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `engine::Answers` / `engine::Provenance::Asp`"
-)]
-pub use answer::AspAnswer;
-#[deprecated(
-    since = "0.2.0",
-    note = "use `engine::QueryEngine` with `Strategy::Asp`"
-)]
-pub use answer::{answers_via_asp, answers_via_transitive_asp};
-#[deprecated(
-    since = "0.2.0",
-    note = "use `engine::QueryEngine` with `Strategy::Naive`"
-)]
-pub use pca::peer_consistent_answers;
-#[deprecated(
-    since = "0.2.0",
-    note = "use `engine::Answers` / `engine::Provenance::Naive`"
-)]
-pub use pca::PcaResult;
-#[deprecated(
-    since = "0.2.0",
-    note = "use `engine::QueryEngine` with `Strategy::Rewriting`"
-)]
-pub use rewriting::answers_by_rewriting;
-pub use rewriting::rewrite_query;
-#[deprecated(
-    since = "0.2.0",
-    note = "use `engine::Answers` / `engine::Provenance::Rewriting`"
-)]
-pub use rewriting::RewritingAnswer;
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,72 +1,13 @@
-//! Peer consistent answers (Definition 5) by solution enumeration.
+//! Peer consistent answers (Definition 5): helpers and semantic tests.
 //!
 //! A ground tuple `t̄` is a *peer consistent answer* to a query `Q(x̄) ∈ L(P)`
 //! posed to peer `P` iff `r′|P |= Q(t̄)` for **every** solution `r′` for `P`.
-//! This module computes PCAs directly from the solutions of
-//! [`crate::solution`]; it is the semantic reference implementation that the
-//! first-order rewriting ([`crate::rewriting`]) and the logic-program
-//! approaches ([`crate::asp`], [`crate::answer`]) are validated against and
-//! benchmarked as the "naive" baseline.
-
-use crate::solution::{solutions_with_stats, SolutionOptions, SolutionStats};
-use crate::system::{P2PSystem, PeerId};
-use crate::Result;
-use relalg::query::{Formula, QueryEvaluator};
-use relalg::{Database, Tuple};
-use std::collections::BTreeSet;
-
-/// Result of a peer-consistent-answer computation via solutions.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PcaResult {
-    /// The peer consistent answers.
-    pub answers: BTreeSet<Tuple>,
-    /// Number of solutions that were enumerated.
-    pub solution_count: usize,
-    /// Search statistics.
-    pub stats: SolutionStats,
-}
-
-/// Compute the peer consistent answers of `query` (with answer variables
-/// `free_vars`) posed to `peer`, by enumerating the peer's solutions and
-/// intersecting the answers over the peer's portion of each solution.
-///
-/// When the peer has no solution at all the answer set is empty (there is no
-/// peer consistent way to read the data).
-pub fn peer_consistent_answers(
-    system: &P2PSystem,
-    peer: &PeerId,
-    query: &Formula,
-    free_vars: &[String],
-    options: SolutionOptions,
-) -> Result<PcaResult> {
-    // The query must be in the peer's own language L(P).
-    let peer_data = system.peer(peer)?;
-    for relation in query.relations() {
-        if !peer_data.schema.contains(&relation) {
-            return Err(crate::error::CoreError::UnknownRelation {
-                peer: peer.to_string(),
-                relation,
-            });
-        }
-    }
-
-    let (solutions, stats) = solutions_with_stats(system, peer, options)?;
-    let mut answers: Option<BTreeSet<Tuple>> = None;
-    for solution in &solutions {
-        let restricted: Database = system.restrict_to_peer(&solution.database, peer)?;
-        let evaluator = QueryEvaluator::new(&restricted);
-        let these = evaluator.answers(query, free_vars)?;
-        answers = Some(match answers {
-            None => these,
-            Some(acc) => acc.intersection(&these).cloned().collect(),
-        });
-    }
-    Ok(PcaResult {
-        answers: answers.unwrap_or_default(),
-        solution_count: solutions.len(),
-        stats,
-    })
-}
+//! The semantic reference implementation — enumerate the solutions of
+//! [`crate::solution`] and intersect the per-solution answers — lives behind
+//! [`crate::engine::Strategy::Naive`] on the [`crate::engine::QueryEngine`]
+//! facade, which memoizes the enumerated solutions per peer. (The legacy
+//! free function `peer_consistent_answers` and its `PcaResult` struct were
+//! removed after a deprecation cycle; the engine is the single entry point.)
 
 /// Convenience helper: answer variables by name.
 pub fn vars(names: &[&str]) -> Vec<String> {
@@ -76,27 +17,29 @@ pub fn vars(names: &[&str]) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::system::{example1_system, TrustLevel};
-    use relalg::RelationSchema;
+    use crate::engine::{QueryEngine, Strategy};
+    use crate::system::{example1_system, P2PSystem, PeerId, TrustLevel};
+    use relalg::query::Formula;
+    use relalg::{RelationSchema, Tuple};
+    use std::collections::BTreeSet;
+
+    fn naive_engine(system: P2PSystem) -> QueryEngine {
+        QueryEngine::builder(system)
+            .strategy(Strategy::Naive)
+            .build()
+    }
 
     #[test]
     fn example2_peer_consistent_answers() {
         // Query Q: R1(x, y) posed to P1. The paper's PCAs are
         // (a, b), (c, d), (a, e).
-        let sys = example1_system();
+        let engine = naive_engine(example1_system());
         let p1 = PeerId::new("P1");
         let q = Formula::atom("R1", vec!["X", "Y"]);
-        let result = peer_consistent_answers(
-            &sys,
-            &p1,
-            &q,
-            &vars(&["X", "Y"]),
-            SolutionOptions::default(),
-        )
-        .unwrap();
-        assert_eq!(result.solution_count, 2);
+        let result = engine.answer(&p1, &q, &vars(&["X", "Y"])).unwrap();
+        assert_eq!(result.stats.worlds, 2);
         assert_eq!(
-            result.answers,
+            result.tuples,
             BTreeSet::from([
                 Tuple::strs(["a", "b"]),
                 Tuple::strs(["c", "d"]),
@@ -114,46 +57,31 @@ mod tests {
         let p1 = PeerId::new("P1");
         let original = sys.peer(&p1).unwrap().instance.clone();
         assert!(!original.holds("R1", &Tuple::strs(["c", "d"])));
+        let engine = naive_engine(sys);
         let q = Formula::atom("R1", vec!["X", "Y"]);
-        let result = peer_consistent_answers(
-            &sys,
-            &p1,
-            &q,
-            &vars(&["X", "Y"]),
-            SolutionOptions::default(),
-        )
-        .unwrap();
-        assert!(result.answers.contains(&Tuple::strs(["c", "d"])));
+        let result = engine.answer(&p1, &q, &vars(&["X", "Y"])).unwrap();
+        assert!(result.contains(&Tuple::strs(["c", "d"])));
     }
 
     #[test]
     fn queries_must_use_the_peers_language() {
-        let sys = example1_system();
+        let engine = naive_engine(example1_system());
         let p1 = PeerId::new("P1");
         // R2 belongs to P2, not P1.
         let q = Formula::atom("R2", vec!["X", "Y"]);
-        assert!(peer_consistent_answers(
-            &sys,
-            &p1,
-            &q,
-            &vars(&["X", "Y"]),
-            SolutionOptions::default()
-        )
-        .is_err());
+        assert!(engine.answer(&p1, &q, &vars(&["X", "Y"])).is_err());
     }
 
     #[test]
     fn existential_queries_are_supported() {
-        let sys = example1_system();
+        let engine = naive_engine(example1_system());
         let p1 = PeerId::new("P1");
         // ∃y R1(x, y): keys surviving in every solution. Key `s` survives in
         // only one of the two solutions, so it is not peer consistent.
         let q = Formula::exists(vec!["Y"], Formula::atom("R1", vec!["X", "Y"]));
-        let result =
-            peer_consistent_answers(&sys, &p1, &q, &vars(&["X"]), SolutionOptions::default())
-                .unwrap();
+        let result = engine.answer(&p1, &q, &vars(&["X"])).unwrap();
         assert_eq!(
-            result.answers,
+            result.tuples,
             BTreeSet::from([Tuple::strs(["a"]), Tuple::strs(["c"])])
         );
     }
@@ -166,12 +94,11 @@ mod tests {
         sys.add_relation(&a, RelationSchema::new("R", &["x"]))
             .unwrap();
         sys.insert(&a, "R", Tuple::strs(["v"])).unwrap();
+        let engine = naive_engine(sys);
         let q = Formula::atom("R", vec!["X"]);
-        let result =
-            peer_consistent_answers(&sys, &a, &q, &vars(&["X"]), SolutionOptions::default())
-                .unwrap();
-        assert_eq!(result.solution_count, 1);
-        assert_eq!(result.answers, BTreeSet::from([Tuple::strs(["v"])]));
+        let result = engine.answer(&a, &q, &vars(&["X"])).unwrap();
+        assert_eq!(result.stats.worlds, 1);
+        assert_eq!(result.tuples, BTreeSet::from([Tuple::strs(["v"])]));
     }
 
     #[test]
@@ -205,11 +132,10 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
+        let engine = naive_engine(sys);
         let q = Formula::atom("RA", vec!["X"]);
-        let result =
-            peer_consistent_answers(&sys, &a, &q, &vars(&["X"]), SolutionOptions::default())
-                .unwrap();
-        assert_eq!(result.solution_count, 0);
-        assert!(result.answers.is_empty());
+        let result = engine.answer(&a, &q, &vars(&["X"])).unwrap();
+        assert_eq!(result.stats.worlds, 0);
+        assert!(result.is_empty());
     }
 }

@@ -35,7 +35,6 @@ use crate::Result;
 use constraints::{Constraint, ConstraintClass, ConstraintHead};
 use relalg::query::{Binding, Formula, QueryEvaluator, Term};
 use relalg::Tuple;
-use std::collections::BTreeSet;
 
 /// A compiled rewriting for one peer: how each of the peer's relations is
 /// expanded with imports and guards.
@@ -46,15 +45,6 @@ struct RelationRewrite {
     /// Conflicting relations (of same-trusted peers) from equality-generating
     /// DECs of the form `R_P(x, y) ∧ R_T(x, z) → y = z`.
     conflicts: Vec<String>,
-}
-
-/// Result of answering a query by rewriting.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RewritingAnswer {
-    /// The peer consistent answers obtained from the rewritten query.
-    pub answers: BTreeSet<Tuple>,
-    /// The rewritten query (useful for inspection and the examples).
-    pub rewritten: Formula,
 }
 
 /// Rewrite a query posed to `peer` into a query over the original material
@@ -140,21 +130,6 @@ pub fn supports_peer(system: &P2PSystem, peer: &PeerId) -> bool {
 /// existential fragment the rewriting handles?
 pub fn supports_query(query: &Formula) -> bool {
     ensure_positive(query).is_ok()
-}
-
-/// Rewrite and evaluate: the standard answers of the rewritten query over the
-/// original (unrepaired) global instance.
-pub fn answers_by_rewriting(
-    system: &P2PSystem,
-    peer: &PeerId,
-    query: &Formula,
-    free_vars: &[String],
-) -> Result<RewritingAnswer> {
-    let rewritten = rewrite_query(system, peer, query)?;
-    let global = system.global_instance()?;
-    let evaluator = QueryEvaluator::new(&global);
-    let answers = evaluator.answers(&rewritten, free_vars)?;
-    Ok(RewritingAnswer { answers, rewritten })
 }
 
 /// Check that a query is built from atoms, conjunction, disjunction and
@@ -332,18 +307,34 @@ pub fn is_answer_by_rewriting(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pca::{peer_consistent_answers, vars};
-    use crate::solution::SolutionOptions;
+    use crate::engine::{QueryEngine, Strategy};
+    use crate::pca::vars;
     use crate::system::example1_system;
+    use std::collections::BTreeSet;
+
+    /// Evaluate the rewritten query over the global instance (what the
+    /// engine's rewriting strategy does, without its cache).
+    fn answers_via_rewrite(
+        system: &P2PSystem,
+        peer: &PeerId,
+        query: &Formula,
+        free_vars: &[String],
+    ) -> BTreeSet<Tuple> {
+        let rewritten = rewrite_query(system, peer, query).unwrap();
+        let global = system.global_instance().unwrap();
+        QueryEvaluator::new(&global)
+            .answers(&rewritten, free_vars)
+            .unwrap()
+    }
 
     #[test]
     fn example2_rewriting_produces_the_papers_answers() {
         let sys = example1_system();
         let p1 = PeerId::new("P1");
         let q = Formula::atom("R1", vec!["X", "Y"]);
-        let result = answers_by_rewriting(&sys, &p1, &q, &vars(&["X", "Y"])).unwrap();
+        let rewritten = rewrite_query(&sys, &p1, &q).unwrap();
         assert_eq!(
-            result.answers,
+            answers_via_rewrite(&sys, &p1, &q, &vars(&["X", "Y"])),
             BTreeSet::from([
                 Tuple::strs(["a", "b"]),
                 Tuple::strs(["c", "d"]),
@@ -351,7 +342,7 @@ mod tests {
             ])
         );
         // The rewritten query mentions both other peers' relations.
-        let rels = result.rewritten.relations();
+        let rels = rewritten.relations();
         assert!(rels.contains("R1"));
         assert!(rels.contains("R2"));
         assert!(rels.contains("R3"));
@@ -361,29 +352,23 @@ mod tests {
     fn rewriting_agrees_with_solution_semantics_on_example1() {
         let sys = example1_system();
         let p1 = PeerId::new("P1");
-        let q = Formula::atom("R1", vec!["X", "Y"]);
-        let semantic = peer_consistent_answers(
-            &sys,
-            &p1,
-            &q,
-            &vars(&["X", "Y"]),
-            SolutionOptions::default(),
-        )
-        .unwrap();
-        let rewritten = answers_by_rewriting(&sys, &p1, &q, &vars(&["X", "Y"])).unwrap();
-        assert_eq!(semantic.answers, rewritten.answers);
-    }
-
-    #[test]
-    fn existential_projection_agrees_with_semantics() {
-        let sys = example1_system();
-        let p1 = PeerId::new("P1");
-        let q = Formula::exists(vec!["Y"], Formula::atom("R1", vec!["X", "Y"]));
-        let semantic =
-            peer_consistent_answers(&sys, &p1, &q, &vars(&["X"]), SolutionOptions::default())
-                .unwrap();
-        let rewritten = answers_by_rewriting(&sys, &p1, &q, &vars(&["X"])).unwrap();
-        assert_eq!(semantic.answers, rewritten.answers);
+        let engine = QueryEngine::builder(sys.clone())
+            .strategy(Strategy::Naive)
+            .build();
+        for (q, fv) in [
+            (Formula::atom("R1", vec!["X", "Y"]), vars(&["X", "Y"])),
+            (
+                Formula::exists(vec!["Y"], Formula::atom("R1", vec!["X", "Y"])),
+                vars(&["X"]),
+            ),
+        ] {
+            let semantic = engine.answer(&p1, &q, &fv).unwrap();
+            assert_eq!(
+                semantic.tuples,
+                answers_via_rewrite(&sys, &p1, &q, &fv),
+                "query {q}"
+            );
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::choice::unfold_choices;
 use crate::error::DatalogError;
+use crate::relevance::{QuerySeed, RelevanceAnalysis};
 use crate::syntax::{Atom, BodyItem, Builtin, Program, Rule, Term};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -195,6 +196,16 @@ impl fmt::Display for GroundProgram {
     }
 }
 
+/// Ground only the query-relevant slice of a program (the pruning entry
+/// point; see [`crate::relevance`] for the analysis and its soundness
+/// conditions). Equivalent to `Grounder::new(program).ground_relevant(seeds)`.
+pub fn ground_relevant(
+    program: &Program,
+    seeds: &[QuerySeed],
+) -> Result<GroundProgram, DatalogError> {
+    Grounder::new(program).ground_relevant(seeds)
+}
+
 /// Partial substitution from variable names to constant symbols.
 type Subst = BTreeMap<String, Arc<str>>;
 
@@ -272,6 +283,35 @@ impl Grounder {
             }
         }
         Ok(ground)
+    }
+
+    /// Ground only the slice of the program relevant to the query seeds
+    /// (see [`crate::relevance`]): irrelevant rules are never instantiated,
+    /// and the defining rules of binding-restrictable seeds are
+    /// pre-instantiated to the query constants, so ground instantiation is
+    /// seeded from the query bindings instead of the full active domain.
+    ///
+    /// Safety is checked against the *full* program (an unsafe rule is a
+    /// program bug regardless of the query), and the relevance analysis runs
+    /// on the choice-unfolded program, so `chosen`/`diffchoice` scaffolding
+    /// is pruned with the rules that use it.
+    pub fn ground_relevant(&self, seeds: &[QuerySeed]) -> Result<GroundProgram, DatalogError> {
+        if let Some(rule) = self.program.unsafe_rules().first() {
+            return Err(DatalogError::UnsafeRule(rule.to_string()));
+        }
+        let analysis = RelevanceAnalysis::analyze(&self.program, seeds);
+        let restricted = analysis.restrict(&self.program);
+        Grounder {
+            program: restricted,
+        }
+        .ground()
+    }
+
+    /// The relevance analysis of this grounder's (choice-unfolded) program
+    /// for the given seeds — exposed so callers can fingerprint the slice
+    /// without grounding it.
+    pub fn relevance(&self, seeds: &[QuerySeed]) -> RelevanceAnalysis {
+        RelevanceAnalysis::analyze(&self.program, seeds)
     }
 
     /// Fixpoint of possibly-derivable atoms.

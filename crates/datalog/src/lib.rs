@@ -12,6 +12,9 @@
 //! * [`choice`] — unfolding of `choice((x̄),(w̄))` into its *stable version*
 //!   (`chosen`/`diffchoice` rules), as done in the paper's appendix;
 //! * [`ground`] — safety checking and intelligent grounding;
+//! * [`relevance`] — magic-sets-style relevance analysis: prune a program to
+//!   the slice that can influence a query before grounding it
+//!   ([`ground::ground_relevant`]);
 //! * [`graph`] — dependency graphs, stratification and head-cycle-freeness;
 //! * [`shift`] — the HCF disjunctive → normal shifting of Section 4.1;
 //! * [`solve`](mod@solve) — stable-model enumeration (DPLL-style search with forward,
@@ -51,12 +54,14 @@ pub mod error;
 pub mod graph;
 pub mod ground;
 pub mod reason;
+pub mod relevance;
 pub mod shift;
 pub mod solve;
 pub mod syntax;
 
 pub use error::DatalogError;
-pub use ground::{GroundAtom, GroundProgram, Grounder};
+pub use ground::{ground_relevant, GroundAtom, GroundProgram, Grounder};
 pub use reason::AnswerSets;
-pub use solve::{solve, solve_with, SolveResult, SolverConfig};
+pub use relevance::{QuerySeed, RelevanceAnalysis};
+pub use solve::{solve, solve_relevant_with, solve_with, SolveResult, SolverConfig};
 pub use syntax::{Atom, BodyItem, Builtin, BuiltinOp, ChoiceAtom, Program, Rule, Term};

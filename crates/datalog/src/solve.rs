@@ -96,6 +96,21 @@ pub fn solve_with(
     solve_ground_with(ground, config, exec)
 }
 
+/// [`solve_with`], grounding only the query-relevant slice of the program
+/// (see [`crate::relevance`]). The answer sets of the pruned program agree
+/// with the full program's on every relevant predicate; their *count* may be
+/// lower, because dropped rules can only multiply models without changing
+/// the relevant atoms.
+pub fn solve_relevant_with(
+    program: &Program,
+    seeds: &[crate::relevance::QuerySeed],
+    config: SolverConfig,
+    exec: &Executor,
+) -> Result<SolveResult, DatalogError> {
+    let ground = Grounder::new(program).ground_relevant(seeds)?;
+    solve_ground_with(ground, config, exec)
+}
+
 /// Compute the answer sets of an already-ground program.
 pub fn solve_ground(
     ground: GroundProgram,

@@ -42,6 +42,14 @@ pub fn consistent_answers(
 /// on `exec`'s workers (repair *enumeration* stays sequential — its search
 /// shares a dominance-pruning frontier — but the per-repair evaluation is
 /// the hot part once repairs multiply).
+///
+/// Before enumerating, the engine is restricted to the constraints relevant
+/// to the query ([`RepairEngine::restrict_to_relevant`]) whenever that is
+/// sound: repairs of constraint components the query cannot observe only
+/// multiply the repair count without changing the certain answers, so
+/// pruning them shrinks the (exponential) enumeration. The reported
+/// `repair_count` is accordingly the count over the *relevant* constraint
+/// set.
 pub fn consistent_answers_with(
     engine: &RepairEngine,
     db: &Database,
@@ -49,6 +57,9 @@ pub fn consistent_answers_with(
     free_vars: &[String],
     exec: &Executor,
 ) -> Result<ConsistentAnswers, RepairError> {
+    let query_relations = query.relations();
+    let restricted = engine.restrict_to_relevant(&query_relations);
+    let engine = restricted.as_ref().unwrap_or(engine);
     let RepairOutcome {
         repairs,
         states_explored,
@@ -178,6 +189,54 @@ mod tests {
                 consistent_answers_with(&engine, &db, &q, &vars(&["X", "Y"]), &exec).unwrap();
             assert_eq!(parallel, sequential, "{workers} workers");
         }
+    }
+
+    #[test]
+    fn irrelevant_constraint_components_are_pruned() {
+        // Key conflicts in Emp and Dept: 2 × 2 = 4 full repairs, but a query
+        // on Emp only needs Emp's component — 2 repairs, same answers.
+        let mut db = Database::new();
+        db.add_relation(Relation::new(RelationSchema::new(
+            "Emp",
+            &["name", "salary"],
+        )));
+        db.add_relation(Relation::new(RelationSchema::new("Dept", &["id", "head"])));
+        db.insert("Emp", Tuple::strs(["ann", "100"])).unwrap();
+        db.insert("Emp", Tuple::strs(["ann", "200"])).unwrap();
+        db.insert("Emp", Tuple::strs(["bob", "150"])).unwrap();
+        db.insert("Dept", Tuple::strs(["d1", "x"])).unwrap();
+        db.insert("Dept", Tuple::strs(["d1", "y"])).unwrap();
+        let engine = RepairEngine::new(vec![
+            key_denial("emp_key", "Emp").unwrap(),
+            key_denial("dept_key", "Dept").unwrap(),
+        ]);
+        assert_eq!(engine.repairs(&db).unwrap().repairs.len(), 4);
+        let q = Formula::atom("Emp", vec!["X", "Y"]);
+        let out = consistent_answers(&engine, &db, &q, &vars(&["X", "Y"])).unwrap();
+        assert_eq!(out.repair_count, 2, "only Emp's component is enumerated");
+        assert_eq!(out.answers, BTreeSet::from([Tuple::strs(["bob", "150"])]));
+    }
+
+    #[test]
+    fn protected_relations_block_the_relevance_restriction() {
+        // The dropped component would be unrepairable (protected relations):
+        // the full system has no repairs, so the query must see none — the
+        // restriction is refused and the answers stay empty.
+        let mut db = Database::new();
+        db.add_relation(Relation::new(RelationSchema::new("A", &["x"])));
+        db.add_relation(Relation::new(RelationSchema::new("B", &["x"])));
+        db.add_relation(Relation::new(RelationSchema::new("C", &["x"])));
+        db.insert("A", Tuple::strs(["v"])).unwrap();
+        db.insert("C", Tuple::strs(["w"])).unwrap();
+        let engine = RepairEngine::new(vec![full_inclusion("inc", "A", "B", 1).unwrap()])
+            .with_protected(["A", "B"]);
+        assert!(engine
+            .restrict_to_relevant(&BTreeSet::from(["C".to_string()]))
+            .is_none());
+        let q = Formula::atom("C", vec!["X"]);
+        let out = consistent_answers(&engine, &db, &q, &vars(&["X"])).unwrap();
+        assert_eq!(out.repair_count, 0);
+        assert!(out.answers.is_empty());
     }
 
     #[test]

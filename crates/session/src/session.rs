@@ -224,14 +224,33 @@ impl Session {
 
     /// Validate one staged peer delta against the peer's local ICs, over
     /// the post-commit instance it would produce.
+    ///
+    /// Only the ICs *touched by the delta* — those mentioning a relation the
+    /// delta inserts into or deletes from — are re-evaluated: an IC over
+    /// untouched relations reads exactly the same tuples before and after
+    /// the commit, so its satisfaction cannot change. This is the
+    /// relational mirror of the engine's relevance-driven grounding: commit
+    /// validation cost scales with the delta, not with the peer's whole
+    /// constraint set.
     fn validate_local_ics(&self, peer: &PeerId, delta: &Delta) -> Result<()> {
         let peer_data = self.system().peer(peer)?;
-        if peer_data.local_ics.is_empty() {
+        let touched: BTreeSet<String> = delta
+            .insertions
+            .iter()
+            .chain(delta.deletions.iter())
+            .map(|atom| atom.relation.clone())
+            .collect();
+        let relevant: Vec<_> = peer_data
+            .local_ics
+            .iter()
+            .filter(|ic| ic.relations().iter().any(|rel| touched.contains(rel)))
+            .collect();
+        if relevant.is_empty() {
             return Ok(());
         }
         let candidate = delta.apply(&peer_data.instance)?;
         let checker = ConstraintChecker::new(&candidate);
-        for ic in &peer_data.local_ics {
+        for ic in relevant {
             let violations = checker.violations(ic)?;
             if !violations.is_empty() {
                 return Err(SessionError::IcViolation {
@@ -524,6 +543,47 @@ mod tests {
         assert_eq!(session.version_of(&p1), Version::ZERO);
         assert_eq!(session.version_of(&p2), Version::ZERO);
         assert_eq!(session.current_seq(), 0);
+    }
+
+    #[test]
+    fn untouched_ics_are_not_revalidated() {
+        use relalg::RelationSchema;
+        // P owns two relations; its key IC on `RK` is *already violated* in
+        // the base instance. A commit touching only `RO` must not re-check
+        // (and spuriously reject on) the untouched IC — validation scales
+        // with the delta, not the peer's whole constraint set.
+        let mut system = P2PSystem::new();
+        system.add_peer("P").unwrap();
+        let p = PeerId::new("P");
+        system
+            .add_relation(&p, RelationSchema::new("RK", &["k", "v"]))
+            .unwrap();
+        system
+            .add_relation(&p, RelationSchema::new("RO", &["x"]))
+            .unwrap();
+        system.insert(&p, "RK", Tuple::strs(["a", "1"])).unwrap();
+        system.insert(&p, "RK", Tuple::strs(["a", "2"])).unwrap();
+        system
+            .add_local_ic(
+                &p,
+                constraints::builders::key_denial("fd_rk", "RK").unwrap(),
+            )
+            .unwrap();
+        let mut session = Session::new(system);
+
+        // Touching RO commits fine despite the stale RK violation …
+        let mut tx = session.begin();
+        tx.insert(&p, "RO", Tuple::strs(["new"])).unwrap();
+        let receipt = tx.commit().unwrap();
+        assert_eq!(receipt.versions[&p], Version(1));
+
+        // … while touching RK still trips the (now relevant) IC.
+        let mut tx = session.begin();
+        tx.insert(&p, "RK", Tuple::strs(["b", "1"])).unwrap();
+        assert!(matches!(
+            tx.commit(),
+            Err(SessionError::IcViolation { constraint, .. }) if constraint == "fd_rk"
+        ));
     }
 
     #[test]

@@ -170,10 +170,7 @@ pub fn generate(spec: &WorkloadSpec) -> Result<GeneratedWorkload, WorkloadError>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pdes_core::answers_via_asp;
-    use pdes_core::pca::peer_consistent_answers;
-    use pdes_core::rewriting::answers_by_rewriting;
-    use pdes_core::solution::SolutionOptions;
+    use pdes_core::{QueryEngine, Strategy};
 
     #[test]
     fn malformed_specs_are_reported_not_panicked() {
@@ -250,28 +247,20 @@ mod tests {
             ..WorkloadSpec::tiny()
         };
         let w = generate(&spec).unwrap();
-        let semantic = peer_consistent_answers(
-            &w.system,
-            &w.queried_peer,
-            &w.query,
-            &w.free_vars,
-            SolutionOptions::default(),
-        )
-        .unwrap();
-        let rewriting =
-            answers_by_rewriting(&w.system, &w.queried_peer, &w.query, &w.free_vars).unwrap();
-        let asp = answers_via_asp(
-            &w.system,
-            &w.queried_peer,
-            &w.query,
-            &w.free_vars,
-            datalog::SolverConfig::default(),
-        )
-        .unwrap();
-        assert_eq!(semantic.answers, rewriting.answers);
-        assert_eq!(semantic.answers, asp.answers);
+        let engine = QueryEngine::new(w.system.clone());
+        let semantic = engine
+            .answer_with(Strategy::Naive, &w.queried_peer, &w.query, &w.free_vars)
+            .unwrap();
+        let rewriting = engine
+            .answer_with(Strategy::Rewriting, &w.queried_peer, &w.query, &w.free_vars)
+            .unwrap();
+        let asp = engine
+            .answer_with(Strategy::Asp, &w.queried_peer, &w.query, &w.free_vars)
+            .unwrap();
+        assert_eq!(semantic.tuples, rewriting.tuples);
+        assert_eq!(semantic.tuples, asp.tuples);
         // Imported tuples are part of the answers.
-        assert!(semantic.answers.iter().any(|t| t
+        assert!(semantic.tuples.iter().any(|t| t
             .get(0)
             .unwrap()
             .to_string()
@@ -286,25 +275,16 @@ mod tests {
             ..WorkloadSpec::tiny()
         };
         let w = generate(&spec).unwrap();
-        let semantic = peer_consistent_answers(
-            &w.system,
-            &w.queried_peer,
-            &w.query,
-            &w.free_vars,
-            SolutionOptions::default(),
-        )
-        .unwrap();
-        let asp = answers_via_asp(
-            &w.system,
-            &w.queried_peer,
-            &w.query,
-            &w.free_vars,
-            datalog::SolverConfig::default(),
-        )
-        .unwrap();
-        assert_eq!(semantic.answers, asp.answers);
+        let engine = QueryEngine::new(w.system.clone());
+        let semantic = engine
+            .answer_with(Strategy::Naive, &w.queried_peer, &w.query, &w.free_vars)
+            .unwrap();
+        let asp = engine
+            .answer_with(Strategy::Asp, &w.queried_peer, &w.query, &w.free_vars)
+            .unwrap();
+        assert_eq!(semantic.tuples, asp.tuples);
         // The conflicting tuple is dropped from the certain answers.
-        assert!(!semantic.answers.iter().any(|t| t
+        assert!(!semantic.tuples.iter().any(|t| t
             .get(0)
             .unwrap()
             .to_string()

@@ -1,0 +1,284 @@
+//! Pruned-vs-full grounding equivalence: relevance-driven grounding
+//! (`datalog::relevance`, engine default) must yield byte-identical certain
+//! answers to the legacy full grounding — for all four strategies, at pool
+//! sizes 1/2/8, on generated workloads and the paper's Example 1, including
+//! queries with bound constants and queries whose relevant slice is empty.
+
+use p2p_data_exchange::{
+    example1_system, vars, Formula, P2PSystem, PeerId, QueryEngine, Strategy, Tuple,
+};
+use relalg::query::Term;
+use relalg::{RelationSchema, Value};
+use std::collections::BTreeSet;
+use workload::{generate, Topology, TrustMix, WorkloadSpec};
+
+const ALL_STRATEGIES: [Strategy; 4] = [
+    Strategy::Naive,
+    Strategy::Rewriting,
+    Strategy::Asp,
+    Strategy::TransitiveAsp,
+];
+
+const POOLS: [usize; 3] = [1, 2, 8];
+
+/// Build a pruned and an unpruned engine over the same system/pool and
+/// assert every strategy produces identical answers for every query.
+fn assert_pruned_matches_full(
+    system: &P2PSystem,
+    peer: &PeerId,
+    queries: &[(Formula, Vec<String>)],
+    context: &str,
+) {
+    for workers in POOLS {
+        let pruned = QueryEngine::builder(system.clone())
+            .workers(workers)
+            .build();
+        let full = QueryEngine::builder(system.clone())
+            .workers(workers)
+            .relevance_pruning(false)
+            .build();
+        for (query, fv) in queries {
+            for strategy in ALL_STRATEGIES {
+                let a = pruned.answer_with(strategy, peer, query, fv);
+                let b = full.answer_with(strategy, peer, query, fv);
+                match (a, b) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(
+                            a.tuples, b.tuples,
+                            "{context}: {strategy:?} workers={workers} query {query}"
+                        );
+                        // The ASP strategies must also never ground *more*
+                        // than the full program.
+                        assert!(
+                            a.stats.grounded_rules <= b.stats.grounded_rules,
+                            "{context}: pruned grounded {} > full {}",
+                            a.stats.grounded_rules,
+                            b.stats.grounded_rules
+                        );
+                    }
+                    (Err(_), Err(_)) => {} // unsupported on both paths alike
+                    (a, b) => panic!(
+                        "{context}: {strategy:?} workers={workers} query {query}: \
+                         pruned and full disagree on success: {:?} vs {:?}",
+                        a.map(|x| x.tuples),
+                        b.map(|x| x.tuples)
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn example1_queries_agree_including_bound_constants() {
+    let system = example1_system();
+    let p1 = PeerId::new("P1");
+    let queries = vec![
+        (Formula::atom("R1", vec!["X", "Y"]), vars(&["X", "Y"])),
+        (
+            Formula::exists(vec!["Y"], Formula::atom("R1", vec!["X", "Y"])),
+            vars(&["X"]),
+        ),
+        // Bound first argument: R1(a, Y).
+        (
+            Formula::atom_terms("R1", vec![Term::cnst(Value::str("a")), Term::var("Y")]),
+            vars(&["Y"]),
+        ),
+        // Fully bound (boolean-style with one answer variable repeated).
+        (
+            Formula::atom_terms(
+                "R1",
+                vec![Term::cnst(Value::str("c")), Term::cnst(Value::str("d"))],
+            ),
+            vars(&[]),
+        ),
+        // Join with one bound side: ∃y (R1(a, y) ∧ R1(z, y)).
+        (
+            Formula::exists(
+                vec!["Y"],
+                Formula::and(vec![
+                    Formula::atom_terms("R1", vec![Term::cnst(Value::str("a")), Term::var("Y")]),
+                    Formula::atom("R1", vec!["Z", "Y"]),
+                ]),
+            ),
+            vars(&["Z"]),
+        ),
+    ];
+    assert_pruned_matches_full(&system, &p1, &queries, "example1");
+}
+
+#[test]
+fn generated_workloads_agree_across_strategies_and_pools() {
+    let specs = [
+        WorkloadSpec {
+            peers: 2,
+            tuples_per_relation: 8,
+            violations_per_dec: 2,
+            trust_mix: TrustMix::AllLess,
+            ..WorkloadSpec::default()
+        },
+        WorkloadSpec {
+            peers: 2,
+            tuples_per_relation: 8,
+            violations_per_dec: 2,
+            trust_mix: TrustMix::AllSame,
+            key_constraint_percent: 100,
+            ..WorkloadSpec::default()
+        },
+        WorkloadSpec {
+            peers: 4,
+            tuples_per_relation: 6,
+            violations_per_dec: 1,
+            trust_mix: TrustMix::AllLess,
+            topology: Topology::Star,
+            ..WorkloadSpec::default()
+        },
+        WorkloadSpec {
+            peers: 3,
+            tuples_per_relation: 6,
+            violations_per_dec: 1,
+            trust_mix: TrustMix::AllLess,
+            topology: Topology::Chain,
+            ..WorkloadSpec::default()
+        },
+    ];
+    for spec in specs {
+        let w = generate(&spec).expect("valid workload spec");
+        let mut queries = vec![
+            (w.query.clone(), w.free_vars.clone()),
+            (Formula::exists(vec!["Y"], w.query.clone()), vars(&["X"])),
+        ];
+        // A query with a bound constant drawn from the actual answers.
+        let probe = QueryEngine::new(w.system.clone());
+        let unbound = probe
+            .answer(&w.queried_peer, &w.query, &w.free_vars)
+            .expect("asp answers the canonical query");
+        if let Some(first) = unbound.iter().next() {
+            let constant = first.get(0).unwrap().clone();
+            let relation = w.query.relations().into_iter().next().unwrap();
+            queries.push((
+                Formula::atom_terms(relation, vec![Term::cnst(constant), Term::var("Y")]),
+                vars(&["Y"]),
+            ));
+        }
+        assert_pruned_matches_full(&w.system, &w.queried_peer, &queries, &format!("{spec}"));
+    }
+}
+
+#[test]
+fn star_workload_prunes_strictly_on_the_asp_path() {
+    // The acceptance check of the PR: on a multi-peer workload the pruned
+    // grounding instantiates strictly fewer rules than the full grounding,
+    // with identical answers (the byte-for-byte case is covered above).
+    let w = generate(&WorkloadSpec {
+        peers: 6,
+        tuples_per_relation: 8,
+        violations_per_dec: 1,
+        trust_mix: TrustMix::AllLess,
+        topology: Topology::Star,
+        ..WorkloadSpec::default()
+    })
+    .expect("valid workload spec");
+    let pruned = QueryEngine::builder(w.system.clone())
+        .strategy(Strategy::Asp)
+        .build();
+    let full = QueryEngine::builder(w.system.clone())
+        .strategy(Strategy::Asp)
+        .relevance_pruning(false)
+        .build();
+    let a = pruned
+        .answer(&w.queried_peer, &w.query, &w.free_vars)
+        .unwrap();
+    let b = full
+        .answer(&w.queried_peer, &w.query, &w.free_vars)
+        .unwrap();
+    assert_eq!(a.tuples, b.tuples);
+    assert!(
+        a.stats.grounded_rules < b.stats.grounded_rules,
+        "pruned {} !< full {}",
+        a.stats.grounded_rules,
+        b.stats.grounded_rules
+    );
+    assert!(a.stats.grounded_atoms < b.stats.grounded_atoms);
+}
+
+#[test]
+fn empty_relevant_slice_grounds_nothing_and_agrees() {
+    // Peer A owns a populated relation and an *empty, unconstrained* one;
+    // bystander B only bloats the full grounding. A query on the empty
+    // relation has an (essentially) empty relevant slice: nothing is
+    // derivable for it, and pruning grounds nothing at all.
+    let mut system = P2PSystem::new();
+    system.add_peer("A").unwrap();
+    system.add_peer("B").unwrap();
+    let a = PeerId::new("A");
+    let b = PeerId::new("B");
+    system
+        .add_relation(&a, RelationSchema::new("RA", &["x", "y"]))
+        .unwrap();
+    system
+        .add_relation(&a, RelationSchema::new("REmpty", &["x", "y"]))
+        .unwrap();
+    system
+        .add_relation(&b, RelationSchema::new("RB", &["x", "y"]))
+        .unwrap();
+    for i in 0..5 {
+        system
+            .insert(&a, "RA", Tuple::strs([&format!("k{i}"), "v"]))
+            .unwrap();
+        system
+            .insert(&b, "RB", Tuple::strs([&format!("k{i}"), "w"]))
+            .unwrap();
+    }
+    let queries = vec![(Formula::atom("REmpty", vec!["X", "Y"]), vars(&["X", "Y"]))];
+    assert_pruned_matches_full(&system, &a, &queries, "empty slice");
+
+    let pruned = QueryEngine::builder(system.clone()).build();
+    let answers = pruned
+        .answer_with(Strategy::Asp, &a, &queries[0].0, &queries[0].1)
+        .unwrap();
+    assert!(answers.is_empty());
+    assert_eq!(
+        answers.stats.grounded_rules, 0,
+        "an empty relevant slice must ground nothing"
+    );
+    let full = QueryEngine::builder(system)
+        .relevance_pruning(false)
+        .build();
+    let full_answers = full
+        .answer_with(Strategy::Asp, &a, &queries[0].0, &queries[0].1)
+        .unwrap();
+    assert!(full_answers.stats.grounded_rules > 0);
+    assert_eq!(answers.tuples, full_answers.tuples);
+}
+
+#[test]
+fn bound_constant_answers_are_the_restriction_of_unbound_answers() {
+    let system = example1_system();
+    let p1 = PeerId::new("P1");
+    for strategy in ALL_STRATEGIES {
+        let engine = QueryEngine::builder(system.clone())
+            .strategy(strategy)
+            .build();
+        let all = engine
+            .answer(
+                &p1,
+                &Formula::atom("R1", vec!["X", "Y"]),
+                &vars(&["X", "Y"]),
+            )
+            .unwrap();
+        let bound = engine
+            .answer(
+                &p1,
+                &Formula::atom_terms("R1", vec![Term::cnst(Value::str("a")), Term::var("Y")]),
+                &vars(&["Y"]),
+            )
+            .unwrap();
+        let expected: BTreeSet<Tuple> = all
+            .iter()
+            .filter(|t| t.get(0).unwrap() == &Value::str("a"))
+            .map(|t| Tuple::new(vec![t.get(1).unwrap().clone()]))
+            .collect();
+        assert_eq!(bound.tuples, expected, "strategy {strategy:?}");
+    }
+}
