@@ -1,4 +1,4 @@
-//! Prints the B1–B10 experiment tables (see DESIGN.md and EXPERIMENTS.md),
+//! Prints the B1–B11 experiment tables (see DESIGN.md and EXPERIMENTS.md),
 //! or runs the CI perf-smoke gate.
 //!
 //! Usage:
@@ -13,12 +13,16 @@
 
 use pdes_bench::experiments;
 use pdes_bench::smoke::{run_smoke, SmokeReport};
-use pdes_bench::{render_grounding_table, render_live_table, render_parallel_table, render_table};
+use pdes_bench::{
+    render_grounding_table, render_incremental_table, render_live_table, render_parallel_table,
+    render_table,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-/// Sweep parameters of the ten tables.
+/// Sweep parameters of the eleven tables.
 type Sweeps = (
+    Vec<usize>,
     Vec<usize>,
     Vec<usize>,
     Vec<usize>,
@@ -39,7 +43,7 @@ fn main() -> ExitCode {
     let quick = args.iter().any(|a| a == "--quick");
 
     #[rustfmt::skip]
-    let (b1_sizes, b2_peers, b3_viol, b4_wit, b5_chain, b6_sizes, b7_sizes, b8_batches, b9_workers, b10_peers): Sweeps =
+    let (b1_sizes, b2_peers, b3_viol, b4_wit, b5_chain, b6_sizes, b7_sizes, b8_batches, b9_workers, b10_peers, b11_peers): Sweeps =
         if quick {
             (
                 vec![10, 20],
@@ -52,6 +56,7 @@ fn main() -> ExitCode {
                 vec![4],
                 vec![1, 2],
                 vec![2, 4],
+                vec![4],
             )
         } else {
             (
@@ -65,6 +70,7 @@ fn main() -> ExitCode {
                 vec![4, 8, 16],
                 vec![1, 2, 4, 8],
                 vec![2, 4, 6, 8],
+                vec![4, 6, 8],
             )
         };
 
@@ -139,6 +145,13 @@ fn main() -> ExitCode {
         render_grounding_table(
             "B10: full vs. relevance-pruned grounding (star topology)",
             &pdes_bench::grounding::table_b10(&b10_peers)
+        )
+    );
+    print!(
+        "{}",
+        render_incremental_table(
+            "B11: incremental commits (cold / flush / invalidate / patch, star topology)",
+            &experiments::table_b11(&b11_peers)
         )
     );
     ExitCode::SUCCESS

@@ -14,6 +14,12 @@
 //! stream: cold engines vs. full cache flushes vs. the engine's incremental
 //! closure-based invalidation.
 //!
+//! Table B11 ([`live`], [`experiments::table_b11`]) extends B8 with the
+//! delta-driven incremental re-grounding comparison: closure-based
+//! invalidation (drop + full slice re-ground) vs. patching stale artifacts
+//! ([`datalog::incremental`]), with the warm-after-commit re-derived-rule
+//! counters the smoke gate tracks exactly.
+//!
 //! Table B9 ([`parallel`]) measures batched answering over closure-disjoint
 //! clusters at increasing worker counts, and [`smoke`] packages a small
 //! fixed workload into the `BENCH_smoke.json` artifact behind the CI
@@ -34,7 +40,7 @@ pub mod runners;
 pub mod smoke;
 
 pub use grounding::{render_grounding_table, GroundingMeasurement};
-pub use live::{render_live_table, LiveMeasurement, LiveMode};
+pub use live::{render_incremental_table, render_live_table, LiveMeasurement, LiveMode};
 pub use parallel::{render_parallel_table, ParallelMeasurement};
 pub use runners::{render_table, Measurement};
 pub use smoke::{run_smoke, SmokeReport};

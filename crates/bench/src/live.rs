@@ -1,7 +1,7 @@
 //! Live-update runners: sustained query throughput under a mutation stream.
 //!
 //! Each run replays a deterministic [`UpdateBatch`] stream against a
-//! workload's system and interleaves queries between commits. Three cache
+//! workload's system and interleaves queries between commits. Four cache
 //! regimes are compared:
 //!
 //! * [`LiveMode::Cold`] — a fresh engine is built after every commit
@@ -9,14 +9,22 @@
 //! * [`LiveMode::FullFlush`] — one engine, but the whole cache is flushed
 //!   on every commit (memoization without an invalidation story — what the
 //!   engine had before the live-update subsystem);
-//! * [`LiveMode::Incremental`] — one session with closure-based
-//!   invalidation: a commit drops only the artifacts whose relevant-peer
-//!   closure intersects the touched peers, so queries against untouched
-//!   peers stay warm (the point of the subsystem).
+//! * [`LiveMode::Invalidate`] — one session with closure-based
+//!   invalidation and incremental re-grounding *disabled*: a commit drops
+//!   the artifacts whose relevant-peer closure intersects the touched
+//!   peers, and the next query re-grounds the slice from scratch (what the
+//!   engine had before the incremental subsystem);
+//! * [`LiveMode::Incremental`] — one session with closure-based staling
+//!   and delta-driven incremental re-grounding: a commit *stales* the
+//!   affected artifacts, keeping their saturation state, and the next
+//!   query patches only the rules the delta touched
+//!   ([`datalog::incremental`] — the point of the subsystem).
 //!
 //! Between commits, every peer is queried round-robin with its canonical
 //! `T<i>(X, Y)` query, so the measurement mixes queries inside and outside
-//! the mutated peers' closures.
+//! the mutated peers' closures. The B11 table additionally reports the
+//! *re-derived rule* counters: how many ground rules the warm-after-commit
+//! preparations actually re-instantiated, versus the full slice size.
 
 use pdes_core::engine::{QueryEngine, Strategy};
 use pdes_core::pca::vars;
@@ -34,7 +42,11 @@ pub enum LiveMode {
     Cold,
     /// One engine, full cache flush on every commit.
     FullFlush,
-    /// One session, closure-based incremental invalidation.
+    /// One session, closure-based invalidation, incremental re-grounding
+    /// disabled (stale slices re-ground from scratch).
+    Invalidate,
+    /// One session, closure-based staling plus delta-driven incremental
+    /// re-grounding (stale slices are patched).
     Incremental,
 }
 
@@ -44,6 +56,7 @@ impl LiveMode {
         match self {
             LiveMode::Cold => "live-cold",
             LiveMode::FullFlush => "live-full-flush",
+            LiveMode::Invalidate => "live-invalidate",
             LiveMode::Incremental => "live-incremental",
         }
     }
@@ -62,6 +75,17 @@ pub struct LiveMeasurement {
     pub queries: usize,
     /// Queries served from warm cache entries.
     pub cache_hits: usize,
+    /// Stale artifacts repaired by the incremental patch instead of a full
+    /// re-ground (engine lifetime counter; 0 outside incremental mode).
+    pub patched: u64,
+    /// Ground rules re-derived across every preparation that ran (full
+    /// re-grounds count their whole slice; incremental patches only the
+    /// rules the delta touched).
+    pub regrounded_rules: usize,
+    /// The largest single-preparation slice size seen (ground rules) — the
+    /// per-preparation cost ceiling the incremental patch is compared
+    /// against.
+    pub slice_rules: usize,
     /// Total wall-clock time in milliseconds.
     pub millis: f64,
     /// Sustained throughput over the whole run.
@@ -100,14 +124,20 @@ pub fn run_live(
 ) -> Option<LiveMeasurement> {
     let queries = peer_queries(w);
     let fv = vars(&["X", "Y"]);
-    let mut session = Session::with_engine(
-        QueryEngine::builder(w.system.clone())
+    let build = |system| {
+        QueryEngine::builder(system)
             .strategy(strategy)
-            .build(),
-    );
+            // `Invalidate` is the drop-and-re-ground regime the engine had
+            // before the incremental subsystem.
+            .incremental_reground(mode == LiveMode::Incremental)
+            .build()
+    };
+    let mut session = Session::with_engine(build(w.system.clone()));
     let mut commits = 0usize;
     let mut answered = 0usize;
     let mut cache_hits = 0usize;
+    let mut regrounded_rules = 0usize;
+    let mut slice_rules = 0usize;
     let mut round_robin = 0usize;
 
     let start = Instant::now();
@@ -117,8 +147,7 @@ pub fn run_live(
                 // Mutate the system, then throw the whole engine away.
                 let mut system = session.system().clone();
                 system.apply_delta(&batch.peer, &batch.delta).ok()?;
-                session =
-                    Session::with_engine(QueryEngine::builder(system).strategy(strategy).build());
+                session = Session::with_engine(build(system));
             }
             LiveMode::FullFlush => {
                 let _ = session
@@ -126,7 +155,7 @@ pub fn run_live(
                     .ok()?;
                 let _ = session.engine().flush_cache();
             }
-            LiveMode::Incremental => {
+            LiveMode::Invalidate | LiveMode::Incremental => {
                 let _ = session
                     .apply(&[Update::new(batch.peer.clone(), batch.delta.clone())])
                     .ok()?;
@@ -140,6 +169,9 @@ pub fn run_live(
             answered += 1;
             if answers.stats.cache_hit {
                 cache_hits += 1;
+            } else {
+                regrounded_rules += answers.stats.regrounded_rules;
+                slice_rules = slice_rules.max(answers.stats.grounded_rules);
             }
         }
     }
@@ -150,6 +182,9 @@ pub fn run_live(
         commits,
         queries: answered,
         cache_hits,
+        patched: session.metrics().patched,
+        regrounded_rules,
+        slice_rules,
         millis,
         queries_per_sec: if millis > 0.0 {
             answered as f64 / (millis / 1e3)
@@ -157,6 +192,40 @@ pub fn run_live(
             f64::INFINITY
         },
     })
+}
+
+/// Render the incremental-commit comparison (B11): the four cache regimes
+/// with their warm-after-commit re-derivation counters.
+pub fn render_incremental_table(title: &str, rows: &[LiveMeasurement]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<30} {:<18} {:>7} {:>6} {:>7} {:>10} {:>9} {:>11} {:>11}\n",
+        "parameters",
+        "mode",
+        "commits",
+        "warm",
+        "patched",
+        "rederived",
+        "slice",
+        "time (ms)",
+        "queries/s"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<30} {:<18} {:>7} {:>6} {:>7} {:>10} {:>9} {:>11.3} {:>11.1}\n",
+            row.params,
+            row.mode.label(),
+            row.commits,
+            row.cache_hits,
+            row.patched,
+            row.regrounded_rules,
+            row.slice_rules,
+            row.millis,
+            row.queries_per_sec
+        ));
+    }
+    out
 }
 
 /// Render live measurements as an aligned text table.
@@ -207,10 +276,15 @@ mod tests {
     }
 
     #[test]
-    fn all_three_modes_answer_the_same_stream() {
+    fn all_four_modes_answer_the_same_stream() {
         let (w, stream) = tiny();
         let mut counts = Vec::new();
-        for mode in [LiveMode::Cold, LiveMode::FullFlush, LiveMode::Incremental] {
+        for mode in [
+            LiveMode::Cold,
+            LiveMode::FullFlush,
+            LiveMode::Invalidate,
+            LiveMode::Incremental,
+        ] {
             let m = run_live(&w, &stream, Strategy::Asp, mode, 3, "tiny").unwrap();
             assert_eq!(m.commits, stream.len());
             assert_eq!(m.queries, stream.len() * 3);
@@ -233,11 +307,32 @@ mod tests {
     }
 
     #[test]
-    fn live_table_renders_rows() {
+    fn incremental_mode_rederives_fewer_rules_than_invalidate() {
+        let (w, stream) = tiny();
+        let inval = run_live(&w, &stream, Strategy::Asp, LiveMode::Invalidate, 3, "t").unwrap();
+        let incr = run_live(&w, &stream, Strategy::Asp, LiveMode::Incremental, 3, "t").unwrap();
+        // Same stream, same answers; the patch re-derives strictly fewer
+        // ground rules than dropping and re-grounding the slices.
+        assert_eq!(inval.queries, incr.queries);
+        assert_eq!(inval.patched, 0);
+        assert!(incr.patched > 0, "stale artifacts must be patched");
+        assert!(
+            incr.regrounded_rules < inval.regrounded_rules,
+            "incremental {} !< invalidate {}",
+            incr.regrounded_rules,
+            inval.regrounded_rules
+        );
+    }
+
+    #[test]
+    fn live_tables_render_rows() {
         let (w, stream) = tiny();
         let m = run_live(&w, &stream, Strategy::Asp, LiveMode::Incremental, 2, "t").unwrap();
-        let table = render_live_table("B8", &[m]);
+        let table = render_live_table("B8", std::slice::from_ref(&m));
         assert!(table.contains("live-incremental"));
         assert!(table.contains("queries/s"));
+        let b11 = render_incremental_table("B11", &[m]);
+        assert!(b11.contains("rederived"));
+        assert!(b11.contains("slice"));
     }
 }

@@ -293,6 +293,98 @@ pub fn run_smoke() -> Result<SmokeReport, String> {
     .ok_or("smoke live run failed")?;
     metrics.push(("live_incremental_ms".to_string(), live.millis));
 
+    // Incremental-commit counters: warm the star hub's slice, commit into a
+    // leaf, and require the repaired preparation to re-derive strictly
+    // fewer rules than the full slice — a patch that degenerates into a
+    // full re-ground is a hard error, not a perf note.
+    let mut engine = pdes_core::engine::QueryEngine::builder(live_w.system.clone())
+        .strategy(Strategy::Asp)
+        .build();
+    let cold = engine
+        .answer(&live_w.queried_peer, &live_w.query, &live_w.free_vars)
+        .map_err(|e| e.to_string())?;
+    let leaf = pdes_core::system::PeerId::new("P1");
+    let delta = relalg::Delta::from_changes(
+        [relalg::database::GroundAtom::new(
+            "T1",
+            relalg::Tuple::strs(["smoke_commit_k", "smoke_commit_v"]),
+        )],
+        [],
+    );
+    engine
+        .commit_delta(&leaf, &delta)
+        .map_err(|e| e.to_string())?;
+    let repaired = engine
+        .answer(&live_w.queried_peer, &live_w.query, &live_w.free_vars)
+        .map_err(|e| e.to_string())?;
+    if repaired.stats.cache_hit {
+        return Err("warm-after-commit query did not observe the commit".to_string());
+    }
+    if repaired.stats.regrounded_rules >= repaired.stats.grounded_rules {
+        return Err(format!(
+            "incremental re-ground did not beat the full slice: \
+             re-derived {} >= slice {}",
+            repaired.stats.regrounded_rules, repaired.stats.grounded_rules
+        ));
+    }
+    // The committed tuple may or may not be certain under the repair
+    // semantics; equality with a fresh engine over the mutated system is
+    // the correctness bar.
+    drop(cold);
+    let fresh = pdes_core::engine::QueryEngine::builder(engine.system().clone())
+        .strategy(Strategy::Asp)
+        .build()
+        .answer(&live_w.queried_peer, &live_w.query, &live_w.free_vars)
+        .map_err(|e| e.to_string())?;
+    if repaired.tuples != fresh.tuples {
+        return Err("patched answers diverged from a fresh engine".to_string());
+    }
+    metrics.push((
+        "warm_after_commit_regrounded_rules".to_string(),
+        repaired.stats.regrounded_rules as f64,
+    ));
+    metrics.push((
+        "warm_after_commit_slice_rules".to_string(),
+        repaired.stats.grounded_rules as f64,
+    ));
+
+    // Eviction counters: the same workload under a deliberately tiny byte
+    // budget must evict (and still answer every query — the equivalence is
+    // asserted by the property tests; here the deterministic eviction count
+    // is what the gate tracks).
+    let bounded = pdes_core::engine::QueryEngine::builder(live_w.system.clone())
+        .strategy(Strategy::Asp)
+        .cache_capacity(20_000)
+        .build();
+    let fv = pdes_core::pca::vars(&["X", "Y"]);
+    for _ in 0..2 {
+        for peer in live_w
+            .system
+            .peers()
+            .map(|p| p.id.clone())
+            .collect::<Vec<_>>()
+        {
+            let relation = live_w
+                .system
+                .peer(&peer)
+                .map_err(|e| e.to_string())?
+                .schema
+                .relation_names()
+                .next()
+                .ok_or("generated peer owns no relation")?
+                .to_string();
+            let query = relalg::query::Formula::atom(&relation, vec!["X", "Y"]);
+            let _ = bounded
+                .answer(&peer, &query, &fv)
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    let evictions = bounded.metrics().evictions;
+    if evictions == 0 {
+        return Err("tiny cache budget produced no evictions".to_string());
+    }
+    metrics.push(("cache_evictions".to_string(), evictions as f64));
+
     Ok(SmokeReport { metrics })
 }
 
@@ -370,12 +462,23 @@ mod tests {
             "asp_full_grounded_rules",
             "asp_full_grounded_atoms",
             "live_incremental_ms",
+            "warm_after_commit_regrounded_rules",
+            "warm_after_commit_slice_rules",
+            "cache_evictions",
         ] {
             assert!(smoke.get(name).is_some(), "missing metric {name}");
         }
         // The pruned grounding is strictly smaller than the full one (the
         // run itself hard-errors otherwise; this documents the invariant).
         assert!(smoke.get("asp_grounded_rules") < smoke.get("asp_full_grounded_rules"));
+        // The incremental patch re-derives strictly fewer rules than the
+        // full slice (also a hard error inside the run).
+        assert!(
+            smoke.get("warm_after_commit_regrounded_rules")
+                < smoke.get("warm_after_commit_slice_rules")
+        );
+        // The tiny-budget engine evicted (hard error inside the run).
+        assert!(smoke.get("cache_evictions") > Some(0.0));
         // Self-comparison always passes.
         let (_, pass) = smoke.compare(&smoke);
         assert!(pass);

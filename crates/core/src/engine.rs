@@ -76,6 +76,29 @@
 //! is also a global-instance delta). The `pdes-session` crate builds the
 //! transactional `Session`/`Tx` surface on top of these primitives.
 //!
+//! ## Incremental re-grounding and cache budgeting
+//!
+//! An ASP artifact affected by a commit is not dropped either: commits
+//! whose relations lie outside the artifact's grounded slice refresh its
+//! version stamp in place (the slice provably cannot observe them), and
+//! commits inside the slice turn it into a *stale* entry that keeps the
+//! grounding's saturation state ([`datalog::incremental`]) plus the net
+//! composition of the queued deltas. The next query over the slice repairs
+//! the grounding — semi-naive insertion propagation, support-counted
+//! deletion — re-deriving only the rules the deltas touched
+//! ([`EngineStats::regrounded_rules`] vs. the full slice's
+//! [`EngineStats::grounded_rules`]; [`CacheMetrics::patched`] counts the
+//! repairs), then re-solves. [`QueryEngineBuilder::incremental_reground`]
+//! restores the drop-and-re-ground behaviour.
+//!
+//! The memo map itself can be bounded:
+//! [`QueryEngineBuilder::cache_capacity`] caps the estimated bytes of all
+//! memoized artifacts with least-recently-used eviction
+//! ([`CacheMetrics::evictions`]), so adversarial streams of distinct
+//! bound-constant queries cannot grow the cache without bound. The estimate
+//! is a deterministic element count, which lets the CI smoke gate pin
+//! eviction counts exactly.
+//!
 //! Skipping the solver on repeat queries is sound because the appended query
 //! rules of the legacy path are non-disjunctive, positive definitions layered
 //! on top of the solution predicates: they never change the answer sets, so
@@ -207,6 +230,12 @@ pub struct EngineStats {
     /// Distinct ground atoms interned during the preparation (ASP
     /// strategies; 0 elsewhere).
     pub grounded_atoms: usize,
+    /// Ground rules actually *re-derived* when this artifact was prepared:
+    /// equals [`EngineStats::grounded_rules`] on a full (re-)grounding,
+    /// strictly smaller when a stale artifact was repaired by the
+    /// delta-driven incremental patch ([`datalog::incremental`]) — the
+    /// warm-after-commit counter the perf-smoke gate tracks exactly.
+    pub regrounded_rules: usize,
 }
 
 /// Mechanism-specific evidence attached to an [`Answers`] (the successor of
@@ -262,10 +291,16 @@ pub struct CacheMetrics {
     pub hits: u64,
     /// Preparations that had to run (cold or invalidated).
     pub misses: u64,
-    /// Memoized artifacts dropped by invalidation or flushing.
+    /// Memoized artifacts dropped or staled by invalidation or flushing.
     pub invalidated: u64,
     /// Committed update deltas.
     pub commits: u64,
+    /// Stale artifacts repaired by the incremental re-grounding patch
+    /// instead of a full re-ground.
+    pub patched: u64,
+    /// Artifacts evicted by the byte-budgeted LRU policy
+    /// ([`QueryEngineBuilder::cache_capacity`]).
+    pub evictions: u64,
 }
 
 /// The engine's live metric counters. Plain `u64` fields behind the cache
@@ -277,6 +312,8 @@ struct MetricCounters {
     misses: AtomicU64,
     invalidated: AtomicU64,
     commits: AtomicU64,
+    patched: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl MetricCounters {
@@ -288,6 +325,8 @@ impl MetricCounters {
             misses: self.misses.load(Ordering::Relaxed),
             invalidated: self.invalidated.load(Ordering::Relaxed),
             commits: self.commits.load(Ordering::Relaxed),
+            patched: self.patched.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -391,6 +430,8 @@ pub struct QueryEngineBuilder {
     solution_options: SolutionOptions,
     exec: ExecConfig,
     relevance_pruning: bool,
+    incremental_reground: bool,
+    cache_capacity: Option<usize>,
 }
 
 impl QueryEngineBuilder {
@@ -444,6 +485,28 @@ impl QueryEngineBuilder {
         self
     }
 
+    /// Enable or disable delta-driven incremental re-grounding
+    /// ([`datalog::incremental`]) for the ASP strategies. On (the default),
+    /// [`QueryEngine::commit_delta`] upgrades invalidated `(peer, slice)`
+    /// artifacts to *stale* entries carrying their saturation state, and the
+    /// next query repairs them by re-deriving only the affected rules; off
+    /// reproduces the drop-and-re-ground behaviour (the B11 benchmark's
+    /// `invalidate` mode).
+    pub fn incremental_reground(mut self, enabled: bool) -> Self {
+        self.incremental_reground = enabled;
+        self
+    }
+
+    /// Cap the memo cache at (approximately) `bytes` bytes of prepared
+    /// artifacts, evicting least-recently-used entries on overflow
+    /// (counted in [`CacheMetrics::evictions`]). Unbounded by default. The
+    /// estimate is deterministic and platform-independent (element counts,
+    /// not allocator sizes), so eviction behaviour is reproducible in CI.
+    pub fn cache_capacity(mut self, bytes: usize) -> Self {
+        self.cache_capacity = Some(bytes);
+        self
+    }
+
     /// Finish the builder.
     pub fn build(self) -> QueryEngine {
         QueryEngine {
@@ -454,14 +517,63 @@ impl QueryEngineBuilder {
             solution_options: self.solution_options,
             exec: Executor::new(self.exec),
             relevance_pruning: self.relevance_pruning,
+            incremental_reground: self.incremental_reground,
+            cache_capacity: self.cache_capacity,
             cache: RwLock::new(EngineCache::default()),
             metrics: MetricCounters::default(),
+            clock: AtomicU64::new(0),
         }
     }
 }
 
 /// A version stamp: the per-peer versions an artifact was computed from.
 type VersionStamp = BTreeMap<PeerId, u64>;
+
+/// One memoized naive-strategy artifact (per peer).
+struct NaiveEntry {
+    /// The `(peer, version)` set this entry was computed from.
+    stamp: VersionStamp,
+    prepared: Arc<PreparedWorlds>,
+    /// Deterministic size estimate for the byte-budgeted eviction policy.
+    bytes: usize,
+    /// Engine-clock tick of the last hit (LRU victim selection).
+    last_used: AtomicU64,
+}
+
+/// One memoized ASP artifact (per `(peer, slice)`): the solved worlds, plus
+/// — when incremental re-grounding is enabled — the grounding's saturation
+/// state and the update deltas committed since the worlds were solved. An
+/// entry with pending deltas is *stale*: its worlds are not served, but its
+/// state lets the next query repair the grounding by patching only the
+/// affected rules instead of re-grounding the slice.
+struct AspEntry {
+    /// The `(peer, version)` set the *worlds* were computed from. Commits
+    /// that cannot touch the slice refresh the stamp in place (the worlds
+    /// stay valid); commits that can leave it current too but queue their
+    /// delta in `pending`.
+    stamp: VersionStamp,
+    prepared: Arc<PreparedWorlds>,
+    /// The grounding's saturation state ([`datalog::IncrementalGround`]),
+    /// kept for future patches. `None` when incremental re-grounding is
+    /// disabled.
+    state: Option<datalog::IncrementalGround>,
+    /// Net per-peer deltas committed since `prepared` was solved (empty =
+    /// the entry is valid). Composed, not merged: an insert-then-delete
+    /// cancels.
+    pending: BTreeMap<PeerId, relalg::Delta>,
+    /// Deterministic size estimate (worlds + saturation state) for the
+    /// byte-budgeted eviction policy.
+    bytes: usize,
+    /// Engine-clock tick of the last hit (LRU victim selection).
+    last_used: AtomicU64,
+}
+
+impl AspEntry {
+    /// Is this entry servable as-is (no queued deltas)?
+    fn is_valid(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
 
 /// Per-peer prepared state shared by repeated queries. Behind an `RwLock`:
 /// warm (hit-path) queries take the read lock only, so concurrent batch
@@ -477,16 +589,16 @@ struct EngineCache {
     /// incrementally across commits rather than invalidated.
     global: Option<Arc<Database>>,
     /// Per-peer enumerated solutions, restricted to the peer (naive).
-    naive: BTreeMap<PeerId, Arc<PreparedWorlds>>,
+    naive: BTreeMap<PeerId, NaiveEntry>,
     /// Grounded + solved direct specification programs, keyed by peer plus
     /// the *canonical slice fingerprint*
     /// ([`datalog::RelevanceAnalysis::fingerprint`]): distinct queries over
     /// one peer no longer share an over-wide grounding, while queries whose
     /// slices coincide (same relations; bindings the analysis cannot apply)
     /// share one artifact.
-    asp: BTreeMap<(PeerId, String), Arc<PreparedWorlds>>,
+    asp: BTreeMap<(PeerId, String), AspEntry>,
     /// Grounded + solved transitive programs, keyed like `asp`.
-    transitive: BTreeMap<(PeerId, String), Arc<PreparedWorlds>>,
+    transitive: BTreeMap<(PeerId, String), AspEntry>,
     /// Cheap query-shape key ([`QueryEngine::slice_key`]) → canonical slice
     /// fingerprint, per mechanism. Lets the warm path skip building the
     /// specification program: a repeated query resolves its alias and its
@@ -513,10 +625,7 @@ impl EngineCache {
 
     /// The per-(peer, slice) artifact slot for the direct or transitive ASP
     /// mechanism.
-    fn asp_slot(
-        &mut self,
-        transitive: bool,
-    ) -> &mut BTreeMap<(PeerId, String), Arc<PreparedWorlds>> {
+    fn asp_slot(&mut self, transitive: bool) -> &mut BTreeMap<(PeerId, String), AspEntry> {
         if transitive {
             &mut self.transitive
         } else {
@@ -526,7 +635,7 @@ impl EngineCache {
 
     /// Read-only view of [`EngineCache::asp_slot`] (the hit path holds only
     /// the read lock).
-    fn asp_slot_ref(&self, transitive: bool) -> &BTreeMap<(PeerId, String), Arc<PreparedWorlds>> {
+    fn asp_slot_ref(&self, transitive: bool) -> &BTreeMap<(PeerId, String), AspEntry> {
         if transitive {
             &self.transitive
         } else {
@@ -563,23 +672,23 @@ impl EngineCache {
 
     /// Drop every memoized artifact whose version stamp mentions a touched
     /// peer (i.e. whose owning peer's relevant-peer closure intersects
-    /// `touched`). Returns how many artifacts were dropped. The global
-    /// instance is left alone: callers either maintain it incrementally
-    /// (commit) or drop it explicitly (external invalidation).
+    /// `touched`), stale or not. Returns how many artifacts were dropped.
+    /// The global instance is left alone: callers either maintain it
+    /// incrementally (commit) or drop it explicitly (external
+    /// invalidation). [`QueryEngine::commit_delta`] does *not* use this —
+    /// it stales patchable entries instead of dropping them.
     fn drop_stamped(&mut self, touched: &BTreeSet<PeerId>) -> u64 {
         let mut dropped = 0;
-        let stale =
-            |prepared: &Arc<PreparedWorlds>| prepared.stamp.keys().any(|p| touched.contains(p));
-        self.naive.retain(|_, prepared| {
-            let keep = !stale(prepared);
+        self.naive.retain(|_, entry| {
+            let keep = !entry.stamp.keys().any(|p| touched.contains(p));
             if !keep {
                 dropped += 1;
             }
             keep
         });
         for slot in [&mut self.asp, &mut self.transitive] {
-            slot.retain(|_, prepared| {
-                let keep = !stale(prepared);
+            slot.retain(|_, entry| {
+                let keep = !entry.stamp.keys().any(|p| touched.contains(p));
                 if !keep {
                     dropped += 1;
                 }
@@ -587,6 +696,15 @@ impl EngineCache {
             });
         }
         dropped
+    }
+
+    /// Total estimated bytes of memoized artifacts (the global instance is
+    /// not budgeted — it is one instance, maintained incrementally, and
+    /// every rewriting query needs it).
+    fn total_bytes(&self) -> usize {
+        self.naive.values().map(|e| e.bytes).sum::<usize>()
+            + self.asp.values().map(|e| e.bytes).sum::<usize>()
+            + self.transitive.values().map(|e| e.bytes).sum::<usize>()
     }
 }
 
@@ -597,16 +715,30 @@ struct PreparedWorlds {
     databases: Vec<Database>,
     /// World count before deduplication (matches the legacy result structs).
     worlds: usize,
-    /// The `(peer, version)` set this entry was computed from.
-    stamp: VersionStamp,
     prepare_micros: u128,
     ground_micros: u128,
     solve_micros: u128,
     /// Ground rules / atoms instantiated for this entry (ASP strategies).
     grounded_rules: usize,
     grounded_atoms: usize,
+    /// Ground rules re-derived by the preparation: all of them on a full
+    /// grounding, only the patched subset on an incremental repair.
+    regrounded_rules: usize,
     /// Evidence template cloned into every answer served from this entry.
     provenance: Provenance,
+}
+
+impl PreparedWorlds {
+    /// Deterministic, platform-independent size estimate (element counts
+    /// only), mirroring [`datalog::IncrementalGround::approx_bytes`].
+    fn approx_bytes(&self) -> usize {
+        let db_bytes = |db: &Database| -> usize {
+            db.relations()
+                .map(|rel| 64 + rel.iter().map(|t| 16 + 24 * t.arity()).sum::<usize>())
+                .sum()
+        };
+        256 + self.databases.iter().map(db_bytes).sum::<usize>()
+    }
 }
 
 /// The unified query-answering facade over a P2P data exchange system.
@@ -622,8 +754,12 @@ pub struct QueryEngine {
     solution_options: SolutionOptions,
     exec: Executor,
     relevance_pruning: bool,
+    incremental_reground: bool,
+    cache_capacity: Option<usize>,
     cache: RwLock<EngineCache>,
     metrics: MetricCounters,
+    /// Monotone tick source for LRU recency (bumped on every cache touch).
+    clock: AtomicU64,
 }
 
 impl QueryEngine {
@@ -641,6 +777,8 @@ impl QueryEngine {
             solution_options: SolutionOptions::default(),
             exec: ExecConfig::sequential(),
             relevance_pruning: true,
+            incremental_reground: true,
+            cache_capacity: None,
         }
     }
 
@@ -677,6 +815,21 @@ impl QueryEngine {
     /// Is relevance-driven grounding enabled for the ASP strategies?
     pub fn relevance_pruning(&self) -> bool {
         self.relevance_pruning
+    }
+
+    /// Is delta-driven incremental re-grounding enabled?
+    pub fn incremental_reground(&self) -> bool {
+        self.incremental_reground
+    }
+
+    /// The memo cache's byte budget (`None` = unbounded).
+    pub fn cache_capacity(&self) -> Option<usize> {
+        self.cache_capacity
+    }
+
+    /// The next LRU recency tick.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// The executor for *within-query* fan-out: the engine's pool, unless
@@ -802,11 +955,15 @@ impl QueryEngine {
             .collect()
     }
 
-    /// Group query indices into partitions whose relevant-peer closures are
-    /// pairwise disjoint (union-find over the closure peers). Partitions are
-    /// ordered by their first query index and each partition's indices are
-    /// ascending, so evaluation order within a partition matches submission
-    /// order.
+    /// Group query indices into partitions that could share (or duplicate)
+    /// a preparation: union-find over *resource tokens*. Two ASP queries
+    /// share a token only when they touch the same closure peer with the
+    /// same grounded slice (`(peer, slice key)` — so two disjoint-slice
+    /// queries on one peer run concurrently), while naive/rewriting queries
+    /// — whose preparations are per-peer or global — token on the closure
+    /// peers alone, as before. Partitions are ordered by their first query
+    /// index and each partition's indices are ascending, so evaluation order
+    /// within a partition matches submission order.
     fn partition_batch(&self, queries: &[Query]) -> Vec<Vec<usize>> {
         fn find(parent: &mut [usize], i: usize) -> usize {
             let mut root = i;
@@ -822,16 +979,31 @@ impl QueryEngine {
             root
         }
         let mut parent: Vec<usize> = (0..queries.len()).collect();
-        let mut owner_of_peer: BTreeMap<PeerId, usize> = BTreeMap::new();
+        let mut owner_of_token: BTreeMap<String, usize> = BTreeMap::new();
         // The closure is a DEC-graph traversal; compute it once per
         // distinct queried peer, not once per query.
         let mut closures: BTreeMap<&PeerId, BTreeSet<PeerId>> = BTreeMap::new();
         for (i, query) in queries.iter().enumerate() {
+            // The per-mechanism slice suffix: ASP artifacts are keyed by
+            // `(peer, slice)`, so only same-slice queries contend. A custom
+            // strategy is opaque — fall back to peer-level tokens.
+            let suffix = if self.custom.is_some() {
+                String::new()
+            } else {
+                match self.resolve(self.strategy, &query.peer, &query.query) {
+                    StrategyKind::Asp => format!("a\u{1}{}", self.slice_key(&query.query)),
+                    StrategyKind::TransitiveAsp => {
+                        format!("t\u{1}{}", self.slice_key(&query.query))
+                    }
+                    _ => String::new(),
+                }
+            };
             let closure = closures
                 .entry(&query.peer)
                 .or_insert_with(|| self.system.dependencies_of(&query.peer));
-            for peer in closure.iter().cloned() {
-                match owner_of_peer.entry(peer) {
+            for peer in closure.iter() {
+                let token = format!("{peer}\u{1}{suffix}");
+                match owner_of_token.entry(token) {
                     std::collections::btree_map::Entry::Vacant(slot) => {
                         slot.insert(i);
                     }
@@ -865,6 +1037,16 @@ impl QueryEngine {
     /// recomputation), so warm rewriting queries stay warm across commits.
     /// Returns the peer's new version.
     ///
+    /// With incremental re-grounding enabled (the default), an affected ASP
+    /// artifact is not dropped: if the delta's relations lie outside its
+    /// grounded slice it stays *valid* (its stamp is refreshed in place —
+    /// the grounding provably cannot observe the change), and otherwise it
+    /// becomes *stale*, keeping its saturation state and queueing the delta;
+    /// the next query over the slice repairs the grounding by re-deriving
+    /// only the affected rules ([`datalog::incremental`]). Naive-strategy
+    /// artifacts are always dropped (solution enumeration has no patchable
+    /// intermediate state).
+    ///
     /// Validation of the delta against the peer's schema happens before any
     /// state changes ([`P2PSystem::apply_delta`]); local integrity
     /// constraints are the responsibility of the transactional layer
@@ -886,11 +1068,46 @@ impl QueryEngine {
         if let Some(global) = cache.global.take() {
             cache.global = Some(Arc::new(delta.apply(&global)?));
         }
-        let touched = BTreeSet::from([peer.clone()]);
-        let dropped = cache.drop_stamped(&touched);
+        // Naive artifacts: no patchable state — drop the affected ones.
+        let mut invalidated = 0u64;
+        cache.naive.retain(|_, entry| {
+            let keep = !entry.stamp.contains_key(peer);
+            if !keep {
+                invalidated += 1;
+            }
+            keep
+        });
+        // ASP artifacts: refresh, stale or drop.
+        let incremental = self.incremental_reground;
+        for slot in [&mut cache.asp, &mut cache.transitive] {
+            slot.retain(|_, entry| {
+                if !entry.stamp.contains_key(peer) {
+                    return true; // outside the closure: untouched
+                }
+                let Some(state) = entry.state.as_ref().filter(|_| incremental) else {
+                    invalidated += 1;
+                    return false; // not patchable: drop, as before
+                };
+                entry.stamp.insert(peer.clone(), version);
+                if delta.relations().iter().any(|r| state.touches(r)) {
+                    // The slice can observe the delta: queue it (net
+                    // composition — insert-then-delete cancels).
+                    if entry.is_valid() {
+                        invalidated += 1;
+                    }
+                    let queued = entry.pending.entry(peer.clone()).or_default();
+                    *queued = queued.compose(delta);
+                    if queued.is_empty() {
+                        entry.pending.remove(peer);
+                    }
+                } // else: the slice provably cannot observe the delta —
+                  // the refreshed stamp keeps the entry warm.
+                true
+            });
+        }
         self.metrics
             .invalidated
-            .fetch_add(dropped, Ordering::Relaxed);
+            .fetch_add(invalidated, Ordering::Relaxed);
         self.metrics.commits.fetch_add(1, Ordering::Relaxed);
         Ok(version)
     }
@@ -959,10 +1176,27 @@ impl QueryEngine {
     }
 
     /// How many per-peer artifacts (naive / ASP / transitive entries) are
-    /// currently memoized, excluding the global instance.
+    /// currently memoized, excluding the global instance. Includes stale
+    /// entries awaiting an incremental repair (see
+    /// [`QueryEngine::stale_artifact_count`]).
     pub fn cached_artifact_count(&self) -> usize {
         let cache = self.read_cache();
         cache.naive.len() + cache.asp.len() + cache.transitive.len()
+    }
+
+    /// How many memoized ASP artifacts are *stale* — invalidated by a
+    /// commit but kept with their saturation state for the next query to
+    /// repair incrementally.
+    pub fn stale_artifact_count(&self) -> usize {
+        let cache = self.read_cache();
+        cache.asp.values().filter(|e| !e.is_valid()).count()
+            + cache.transitive.values().filter(|e| !e.is_valid()).count()
+    }
+
+    /// The estimated total size of the memoized artifacts in bytes (the
+    /// quantity bounded by [`QueryEngineBuilder::cache_capacity`]).
+    pub fn cached_bytes(&self) -> usize {
+        self.read_cache().total_bytes()
     }
 
     // ------------------------------------------------------------------
@@ -1014,9 +1248,10 @@ impl QueryEngine {
         // Fast path: a warm entry costs only the read lock.
         {
             let cache = self.read_cache();
-            if let Some(prepared) = cache.naive.get(peer) {
-                if cache.stamp_current(&prepared.stamp) {
-                    let prepared = Arc::clone(prepared);
+            if let Some(entry) = cache.naive.get(peer) {
+                if cache.stamp_current(&entry.stamp) {
+                    entry.last_used.store(self.tick(), Ordering::Relaxed);
+                    let prepared = Arc::clone(&entry.prepared);
                     self.metrics.hits.fetch_add(1, Ordering::Relaxed);
                     return Ok((prepared, true));
                 }
@@ -1027,9 +1262,10 @@ impl QueryEngine {
         // stale entry, and record the stamp the preparation will carry.
         let stamp = {
             let mut cache = self.write_cache();
-            if let Some(prepared) = cache.naive.get(peer) {
-                if cache.stamp_current(&prepared.stamp) {
-                    let prepared = Arc::clone(prepared);
+            if let Some(entry) = cache.naive.get(peer) {
+                if cache.stamp_current(&entry.stamp) {
+                    entry.last_used.store(self.tick(), Ordering::Relaxed);
+                    let prepared = Arc::clone(&entry.prepared);
                     self.metrics.hits.fetch_add(1, Ordering::Relaxed);
                     return Ok((prepared, true));
                 }
@@ -1049,23 +1285,30 @@ impl QueryEngine {
         let prepared = Arc::new(PreparedWorlds {
             worlds: solutions.len(),
             databases,
-            stamp,
             prepare_micros: start.elapsed().as_micros(),
             ground_micros: 0,
             solve_micros: 0,
             grounded_rules: 0,
             grounded_atoms: 0,
+            regrounded_rules: 0,
             provenance: Provenance::Naive {
                 solution_count: solutions.len(),
                 search,
             },
         });
-        let prepared = Arc::clone(
-            self.write_cache()
-                .naive
-                .entry(peer.clone())
-                .or_insert(prepared),
-        );
+        let mut cache = self.write_cache();
+        let entry = cache
+            .naive
+            .entry(peer.clone())
+            .or_insert_with(|| NaiveEntry {
+                stamp,
+                bytes: prepared.approx_bytes(),
+                last_used: AtomicU64::new(0),
+                prepared,
+            });
+        entry.last_used.store(self.tick(), Ordering::Relaxed);
+        let prepared = Arc::clone(&entry.prepared);
+        self.enforce_capacity(&mut cache);
         Ok((prepared, false))
     }
 
@@ -1151,18 +1394,20 @@ impl QueryEngine {
             let cache = self.read_cache();
             if let Some(fingerprint) = cache.alias_slot_ref(transitive).get(&shape_key) {
                 let canonical = (peer.clone(), fingerprint.clone());
-                if let Some(prepared) = cache.asp_slot_ref(transitive).get(&canonical) {
-                    if cache.stamp_current(&prepared.stamp) {
-                        let prepared = Arc::clone(prepared);
+                if let Some(entry) = cache.asp_slot_ref(transitive).get(&canonical) {
+                    if entry.is_valid() && cache.stamp_current(&entry.stamp) {
+                        entry.last_used.store(self.tick(), Ordering::Relaxed);
+                        let prepared = Arc::clone(&entry.prepared);
                         self.metrics.hits.fetch_add(1, Ordering::Relaxed);
                         return Ok((prepared, true));
                     }
                 }
             }
         }
-        // Build the specification program and the canonical fingerprint
-        // outside any lock (program construction is cheap next to grounding
-        // and solving, which only run when the canonical artifact is cold).
+        // Build the specification program, the restricted slice and the
+        // canonical fingerprint outside any lock (program construction is
+        // cheap next to grounding and solving, which only run when the
+        // canonical artifact is cold or stale).
         let start = Instant::now();
         let spec = if transitive {
             SpecProgram::Transitive(crate::asp::transitive_program(&self.system, peer)?)
@@ -1172,57 +1417,164 @@ impl QueryEngine {
         let seeds = self.query_seeds(query, &|relation| {
             spec.solution_predicate(&self.system, relation)
         });
-        let fingerprint = match &seeds {
-            Some(seeds) => Grounder::new(spec.program()).relevance(seeds).fingerprint(),
-            None => "<full>".to_string(),
+        let grounder = Grounder::new(spec.program());
+        // The restricted program is only needed by the cold full-grounding
+        // branches below; the stale-patch hot path repairs its retained
+        // state instead, so the (slice-sized) clone is deferred.
+        let analysis = seeds.as_ref().map(|seeds| grounder.relevance(seeds));
+        let fingerprint = analysis
+            .as_ref()
+            .map(|a| a.fingerprint())
+            .unwrap_or_else(|| "<full>".to_string());
+        let restrict = || match &analysis {
+            Some(analysis) => analysis.restrict(grounder.program()),
+            None => grounder.program().clone(),
         };
         let canonical = (peer.clone(), fingerprint.clone());
         // Slow path: record the alias, re-check the canonical artifact
-        // under the write lock, evict a stale entry, and record the stamp
-        // the preparation will carry.
-        let stamp = {
+        // under the write lock, pull out a stale entry's saturation state
+        // for patching, and record the stamp the preparation will carry.
+        let (stamp, stale) = {
             let mut cache = self.write_cache();
             cache.alias_slot(transitive).insert(shape_key, fingerprint);
-            if let Some(prepared) = cache.asp_slot(transitive).get(&canonical) {
-                let prepared = Arc::clone(prepared);
-                if cache.stamp_current(&prepared.stamp) {
+            if let Some(entry) = cache.asp_slot_ref(transitive).get(&canonical) {
+                if entry.is_valid() && cache.stamp_current(&entry.stamp) {
+                    entry.last_used.store(self.tick(), Ordering::Relaxed);
+                    let prepared = Arc::clone(&entry.prepared);
                     self.metrics.hits.fetch_add(1, Ordering::Relaxed);
                     return Ok((prepared, true));
                 }
-                cache.asp_slot(transitive).remove(&canonical);
-                self.metrics.invalidated.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut stale = None;
+            if let Some(entry) = cache.asp_slot(transitive).remove(&canonical) {
+                let patchable = self.incremental_reground
+                    && !entry.pending.is_empty()
+                    && cache.stamp_current(&entry.stamp);
+                match entry.state.filter(|_| patchable) {
+                    // Stale-but-patchable: its staling was already counted
+                    // as an invalidation at commit time.
+                    Some(state) => stale = Some((state, entry.pending)),
+                    None => {
+                        self.metrics.invalidated.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
             self.metrics.misses.fetch_add(1, Ordering::Relaxed);
-            cache.stamp_for(self.system.dependencies_of(peer))
+            (cache.stamp_for(self.system.dependencies_of(peer)), stale)
         };
-        // Ground and solve outside the lock: stable-model search is the
-        // expensive phase and must not serialize unrelated queries.
-        let solved = solve_spec(
-            spec.program(),
-            seeds.as_deref(),
-            self.solver_config,
-            &self.query_exec(),
-        )?;
+        // Ground (or patch) and solve outside the lock: these are the
+        // expensive phases and must not serialize unrelated queries.
+        let ground_start = Instant::now();
+        let (ground, state, regrounded_rules) = match stale {
+            Some((mut state, pending)) => {
+                // Repair the stale grounding: translate the queued update
+                // deltas into program-level fact changes and re-derive only
+                // the affected rules.
+                let mut insertions = Vec::new();
+                let mut deletions = Vec::new();
+                for delta in pending.values() {
+                    let (ins, del) = program_delta_atoms(delta);
+                    insertions.extend(ins);
+                    deletions.extend(del);
+                }
+                let patch = state.apply_delta(&insertions, &deletions);
+                let ground = state.to_ground();
+                self.metrics.patched.fetch_add(1, Ordering::Relaxed);
+                (ground, Some(state), patch.reinstantiated_rules)
+            }
+            None if self.incremental_reground => {
+                let state =
+                    datalog::IncrementalGround::new(&restrict()).map_err(CoreError::from)?;
+                let ground = state.to_ground();
+                let all = ground.rule_count();
+                (ground, Some(state), all)
+            }
+            None => {
+                let ground = Grounder::new(&restrict())
+                    .ground()
+                    .map_err(CoreError::from)?;
+                let all = ground.rule_count();
+                (ground, None, all)
+            }
+        };
+        let ground_micros = ground_start.elapsed().as_micros();
+        let solved = solve_prepared(ground, self.solver_config, &self.query_exec())?;
         let databases = spec.solution_databases(&self.system, &solved.sets)?;
         let provenance = spec.provenance(&solved.sets);
         let prepared = Arc::new(PreparedWorlds {
             worlds: solved.sets.len(),
             databases,
-            stamp,
             prepare_micros: start.elapsed().as_micros(),
-            ground_micros: solved.ground_micros,
+            ground_micros,
             solve_micros: solved.solve_micros,
             grounded_rules: solved.grounded_rules,
             grounded_atoms: solved.grounded_atoms,
+            regrounded_rules,
             provenance,
         });
-        let prepared = Arc::clone(
-            self.write_cache()
-                .asp_slot(transitive)
-                .entry(canonical)
-                .or_insert(prepared),
-        );
+        let state_bytes = state.as_ref().map(|s| s.approx_bytes()).unwrap_or(0);
+        let mut cache = self.write_cache();
+        let entry = cache
+            .asp_slot(transitive)
+            .entry(canonical)
+            .or_insert_with(|| AspEntry {
+                stamp,
+                bytes: prepared.approx_bytes() + state_bytes,
+                state,
+                pending: BTreeMap::new(),
+                last_used: AtomicU64::new(0),
+                prepared,
+            });
+        entry.last_used.store(self.tick(), Ordering::Relaxed);
+        let prepared = Arc::clone(&entry.prepared);
+        self.enforce_capacity(&mut cache);
         Ok((prepared, false))
+    }
+
+    /// Evict least-recently-used artifacts until the cache fits its byte
+    /// budget (no-op when unbounded). Called with the write lock held, right
+    /// after an insert; the freshly inserted entry has the newest tick, so
+    /// it is evicted only when it alone exceeds the whole budget.
+    fn enforce_capacity(&self, cache: &mut EngineCache) {
+        let Some(capacity) = self.cache_capacity else {
+            return;
+        };
+        while cache.total_bytes() > capacity {
+            enum Victim {
+                Naive(PeerId),
+                Asp(bool, (PeerId, String)),
+            }
+            let mut best: Option<(u64, Victim)> = None;
+            let mut consider = |used: u64, victim: Victim| {
+                if best.as_ref().map(|(u, _)| used < *u).unwrap_or(true) {
+                    best = Some((used, victim));
+                }
+            };
+            for (key, entry) in &cache.naive {
+                consider(
+                    entry.last_used.load(Ordering::Relaxed),
+                    Victim::Naive(key.clone()),
+                );
+            }
+            for transitive in [false, true] {
+                for (key, entry) in cache.asp_slot_ref(transitive) {
+                    consider(
+                        entry.last_used.load(Ordering::Relaxed),
+                        Victim::Asp(transitive, key.clone()),
+                    );
+                }
+            }
+            match best {
+                Some((_, Victim::Naive(key))) => {
+                    cache.naive.remove(&key);
+                }
+                Some((_, Victim::Asp(transitive, key))) => {
+                    cache.asp_slot(transitive).remove(&key);
+                }
+                None => break,
+            }
+            self.metrics.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Evaluate a query over prepared worlds and assemble the unified
@@ -1249,6 +1601,7 @@ impl QueryEngine {
                 worlds: worlds.worlds,
                 grounded_rules: worlds.grounded_rules,
                 grounded_atoms: worlds.grounded_atoms,
+                regrounded_rules: worlds.regrounded_rules,
             },
             provenance: worlds.provenance.clone(),
         })
@@ -1367,35 +1720,23 @@ impl SpecProgram {
     }
 }
 
-/// The decoded output of one ground-and-solve run, with phase timings and
-/// the grounding-size counters the perf-smoke gate tracks.
+/// The decoded output of one solve run, with the solve timing and the
+/// grounding-size counters the perf-smoke gate tracks.
 struct SolvedSpec {
     sets: AnswerSets,
-    ground_micros: u128,
     solve_micros: u128,
     grounded_rules: usize,
     grounded_atoms: usize,
 }
 
-/// Ground and solve a specification program, timing both phases. Mirrors
-/// `AnswerSets::compute`, split so the engine can report the two timings
-/// separately. With `seeds`, only the query-relevant slice is grounded
-/// ([`datalog::ground_relevant`]). Stable-model search fans out across
+/// Solve an already-instantiated ground program (built by the grounder or
+/// patched by [`datalog::incremental`]). Stable-model search fans out across
 /// `exec`'s workers.
-fn solve_spec(
-    program: &datalog::Program,
-    seeds: Option<&[datalog::QuerySeed]>,
+fn solve_prepared(
+    ground: datalog::GroundProgram,
     config: SolverConfig,
     exec: &Executor,
 ) -> Result<SolvedSpec> {
-    let start = Instant::now();
-    let grounder = Grounder::new(program);
-    let ground = match seeds {
-        Some(seeds) => grounder.ground_relevant(seeds),
-        None => grounder.ground(),
-    }
-    .map_err(CoreError::from)?;
-    let ground_micros = start.elapsed().as_micros();
     // Counters before solving: the HCF shift rewrites the ground program,
     // so `result.ground` would not reflect what the grounder instantiated.
     let grounded_rules = ground.rule_count();
@@ -1414,11 +1755,32 @@ fn solve_spec(
             branch_nodes: result.branch_nodes,
             used_shift: result.used_shift,
         },
-        ground_micros,
         solve_micros,
         grounded_rules,
         grounded_atoms,
     })
+}
+
+/// Translate an update delta into program-level base-fact atoms: relation
+/// names are the fact predicates of the specification programs
+/// ([`crate::asp::encode::facts_for_system`]) and values encode through
+/// [`crate::asp::encode::encode_value`], so a relational delta is also a
+/// logic-program delta verbatim.
+fn program_delta_atoms(
+    delta: &relalg::Delta,
+) -> (Vec<datalog::GroundAtom>, Vec<datalog::GroundAtom>) {
+    let encode = |atom: &relalg::database::GroundAtom| {
+        let args: Vec<String> = atom
+            .tuple
+            .iter()
+            .map(crate::asp::encode::encode_value)
+            .collect();
+        datalog::GroundAtom::new(atom.relation.as_str(), &args)
+    };
+    (
+        delta.insertions.iter().map(encode).collect(),
+        delta.deletions.iter().map(encode).collect(),
+    )
 }
 
 /// The generalized binding pattern of every relation in a query: position
@@ -1593,6 +1955,7 @@ impl AnsweringStrategy for RewritingStrategy {
                 worlds: 1,
                 grounded_rules: 0,
                 grounded_atoms: 0,
+                regrounded_rules: 0,
             },
             provenance: Provenance::Rewriting { rewritten },
         })
@@ -1995,6 +2358,7 @@ mod tests {
                         worlds: 1,
                         grounded_rules: 0,
                         grounded_atoms: 0,
+                        regrounded_rules: 0,
                     },
                     provenance: Provenance::Custom {
                         strategy: "constant".to_string(),
@@ -2076,13 +2440,26 @@ mod tests {
         assert_eq!(engine.version_of(&p2), 1);
         assert_eq!(engine.versions()[&p1], 0);
 
-        // P1's artifact was dropped, P3's survived.
-        assert_eq!(engine.cached_artifact_count(), 1);
+        // P1's artifact was staled (kept with its saturation state for the
+        // incremental repair), P3's stayed warm.
+        assert_eq!(engine.cached_artifact_count(), 2);
+        assert_eq!(engine.stale_artifact_count(), 1);
+        assert!(engine.metrics().invalidated >= 1);
         let warm = engine.answer(&p3, &q3, &fv).unwrap();
         assert!(warm.stats.cache_hit);
         let recomputed = engine.answer(&p1, &query, &fv).unwrap();
         assert!(!recomputed.stats.cache_hit);
-        // The recomputed answers include the imported new tuple and agree
+        // The stale artifact was repaired by the incremental patch: only
+        // the rules affected by the delta were re-derived.
+        assert_eq!(engine.metrics().patched, 1);
+        assert_eq!(engine.stale_artifact_count(), 0);
+        assert!(
+            recomputed.stats.regrounded_rules < recomputed.stats.grounded_rules,
+            "patch re-derived {} of {} rules",
+            recomputed.stats.regrounded_rules,
+            recomputed.stats.grounded_rules
+        );
+        // The repaired answers include the imported new tuple and agree
         // with a fresh engine over the mutated system.
         assert!(recomputed.contains(&Tuple::strs(["x", "y"])));
         let fresh = QueryEngine::builder(engine.system().clone())
@@ -2092,6 +2469,133 @@ mod tests {
             fresh.answer(&p1, &query, &fv).unwrap().tuples,
             recomputed.tuples
         );
+    }
+
+    #[test]
+    fn incremental_disabled_reproduces_drop_on_commit() {
+        use relalg::database::GroundAtom;
+        use relalg::Delta;
+        let mut engine = QueryEngine::builder(example1_system())
+            .strategy(Strategy::Asp)
+            .incremental_reground(false)
+            .build();
+        assert!(!engine.incremental_reground());
+        let p1 = PeerId::new("P1");
+        let p2 = PeerId::new("P2");
+        let (query, fv) = r1_query();
+        let _ = engine.answer(&p1, &query, &fv).unwrap();
+        let delta = Delta::from_changes([GroundAtom::new("R2", Tuple::strs(["x", "y"]))], []);
+        engine.commit_delta(&p2, &delta).unwrap();
+        // The artifact is gone, not stale; the re-query re-grounds fully.
+        assert_eq!(engine.cached_artifact_count(), 0);
+        let recomputed = engine.answer(&p1, &query, &fv).unwrap();
+        assert!(!recomputed.stats.cache_hit);
+        assert_eq!(
+            recomputed.stats.regrounded_rules,
+            recomputed.stats.grounded_rules
+        );
+        assert_eq!(engine.metrics().patched, 0);
+        assert!(recomputed.contains(&Tuple::strs(["x", "y"])));
+    }
+
+    #[test]
+    fn commits_outside_the_slice_keep_artifacts_warm() {
+        use relalg::database::GroundAtom;
+        use relalg::Delta;
+        // One peer owning two unconstrained relations: the slice of an
+        // A-query never mentions B, so a commit into B cannot affect it and
+        // the artifact's stamp is refreshed in place.
+        let mut sys = P2PSystem::new();
+        sys.add_peer("P").unwrap();
+        let p = PeerId::new("P");
+        sys.add_relation(&p, RelationSchema::new("A", &["x", "y"]))
+            .unwrap();
+        sys.add_relation(&p, RelationSchema::new("B", &["x", "y"]))
+            .unwrap();
+        sys.insert(&p, "A", Tuple::strs(["a", "1"])).unwrap();
+        sys.insert(&p, "B", Tuple::strs(["b", "1"])).unwrap();
+        let mut engine = QueryEngine::builder(sys).strategy(Strategy::Asp).build();
+        let qa = Formula::atom("A", vec!["X", "Y"]);
+        let fv = vars(&["X", "Y"]);
+        let cold = engine.answer(&p, &qa, &fv).unwrap();
+        let delta = Delta::from_changes([GroundAtom::new("B", Tuple::strs(["b", "2"]))], []);
+        engine.commit_delta(&p, &delta).unwrap();
+        assert_eq!(engine.stale_artifact_count(), 0);
+        let warm = engine.answer(&p, &qa, &fv).unwrap();
+        assert!(warm.stats.cache_hit, "B-delta cannot touch the A-slice");
+        assert_eq!(warm.tuples, cold.tuples);
+        // A commit into A does stale (and then repair) the artifact.
+        let delta = Delta::from_changes([GroundAtom::new("A", Tuple::strs(["a", "2"]))], []);
+        engine.commit_delta(&p, &delta).unwrap();
+        assert_eq!(engine.stale_artifact_count(), 1);
+        let repaired = engine.answer(&p, &qa, &fv).unwrap();
+        assert!(!repaired.stats.cache_hit);
+        assert!(repaired.contains(&Tuple::strs(["a", "2"])));
+        assert_eq!(engine.metrics().patched, 1);
+    }
+
+    #[test]
+    fn insert_then_delete_commits_net_to_a_warm_artifact() {
+        use relalg::database::GroundAtom;
+        use relalg::Delta;
+        let mut engine = example1_engine(Strategy::Asp);
+        let p1 = PeerId::new("P1");
+        let p2 = PeerId::new("P2");
+        let (query, fv) = r1_query();
+        let cold = engine.answer(&p1, &query, &fv).unwrap();
+        let atom = GroundAtom::new("R2", Tuple::strs(["x", "y"]));
+        let insert = Delta::from_changes([atom.clone()], []);
+        let delete = Delta::from_changes([], [atom]);
+        engine.commit_delta(&p2, &insert).unwrap();
+        assert_eq!(engine.stale_artifact_count(), 1);
+        engine.commit_delta(&p2, &delete).unwrap();
+        // The queued deltas compose to nothing: the artifact is valid again.
+        assert_eq!(engine.stale_artifact_count(), 0);
+        let warm = engine.answer(&p1, &query, &fv).unwrap();
+        assert!(warm.stats.cache_hit);
+        assert_eq!(warm.tuples, cold.tuples);
+    }
+
+    #[test]
+    fn cache_capacity_evicts_least_recently_used_entries() {
+        let engine = QueryEngine::builder(example1_system())
+            .strategy(Strategy::Asp)
+            .cache_capacity(1) // everything overflows: hard thrash
+            .build();
+        assert_eq!(engine.cache_capacity(), Some(1));
+        let p1 = PeerId::new("P1");
+        let (query, fv) = r1_query();
+        let first = engine.answer(&p1, &query, &fv).unwrap();
+        // The sole entry exceeds the budget and is evicted immediately …
+        assert_eq!(engine.cached_artifact_count(), 0);
+        assert!(engine.metrics().evictions >= 1);
+        // … so the repeat query misses but still answers correctly.
+        let second = engine.answer(&p1, &query, &fv).unwrap();
+        assert!(!second.stats.cache_hit);
+        assert_eq!(first.tuples, second.tuples);
+
+        // A budget large enough for one artifact keeps the newest and
+        // evicts the oldest.
+        let engine = QueryEngine::builder(example1_system())
+            .strategy(Strategy::Asp)
+            .cache_capacity(200_000)
+            .build();
+        let p3 = PeerId::new("P3");
+        let q3 = Formula::atom("R3", vec!["X", "Y"]);
+        let _ = engine.answer(&p1, &query, &fv).unwrap();
+        let bytes_one = engine.cached_bytes();
+        assert!(bytes_one > 0 && bytes_one <= 200_000, "budget fits one");
+        let _ = engine.answer(&p3, &q3, &fv).unwrap();
+        if engine.metrics().evictions > 0 {
+            // The LRU victim is the older P1 artifact: P3 stays warm.
+            let warm = engine.answer(&p3, &q3, &fv).unwrap();
+            assert!(warm.stats.cache_hit);
+        }
+        // Unbounded engines never evict.
+        let unbounded = example1_engine(Strategy::Asp);
+        let _ = unbounded.answer(&p1, &query, &fv).unwrap();
+        let _ = unbounded.answer(&p3, &q3, &fv).unwrap();
+        assert_eq!(unbounded.metrics().evictions, 0);
     }
 
     #[test]
@@ -2211,6 +2715,55 @@ mod tests {
         let (query, fv) = r1_query();
         let collapsed = vec![Query::new(PeerId::new("P1"), query, fv), q2, q3];
         assert_eq!(engine.partition_batch(&collapsed), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn answer_batch_partitions_same_peer_disjoint_slices_concurrently() {
+        // Two bound queries on one peer with distinct restrictable slices
+        // prepare distinct `(peer, slice)` artifacts — they no longer share
+        // a partition, while repeats of one slice still do.
+        let engine = QueryEngine::builder(example1_system())
+            .strategy(Strategy::Asp)
+            .workers(4)
+            .build();
+        let bound = |c: &str| {
+            Query::named(
+                "P3",
+                Formula::atom_terms(
+                    "R3",
+                    vec![
+                        relalg::query::Term::cnst(relalg::Value::str(c)),
+                        relalg::query::Term::var("Y"),
+                    ],
+                ),
+                &["Y"],
+            )
+        };
+        let batch = vec![bound("a"), bound("c"), bound("a")];
+        assert_eq!(engine.partition_batch(&batch), vec![vec![0, 2], vec![1]]);
+        // Different mechanisms on one peer are independent resources too,
+        // but the same slice under one mechanism still unions.
+        let unbound = Query::named("P3", Formula::atom("R3", vec!["X", "Y"]), &["X", "Y"]);
+        let mixed = vec![unbound.clone(), bound("a"), unbound];
+        assert_eq!(engine.partition_batch(&mixed), vec![vec![0, 2], vec![1]]);
+        // The batch answers still match the sequential loop.
+        let batch = vec![bound("a"), bound("c")];
+        let parallel: Vec<_> = engine
+            .answer_batch(&batch)
+            .into_iter()
+            .map(|r| r.unwrap().tuples)
+            .collect();
+        let sequential_engine = example1_engine(Strategy::Asp);
+        let sequential: Vec<_> = batch
+            .iter()
+            .map(|q| {
+                sequential_engine
+                    .answer(&q.peer, &q.query, &q.free_vars)
+                    .unwrap()
+                    .tuples
+            })
+            .collect();
+        assert_eq!(parallel, sequential);
     }
 
     #[test]

@@ -207,7 +207,11 @@ pub fn ground_relevant(
 }
 
 /// Partial substitution from variable names to constant symbols.
-type Subst = BTreeMap<String, Arc<str>>;
+pub(crate) type Subst = BTreeMap<String, Arc<str>>;
+
+/// Possibly-derivable atoms bucketed by signed predicate key — the working
+/// state of the saturation phase, shared with [`crate::incremental`].
+pub(crate) type PossibleSets = BTreeMap<String, BTreeSet<GroundAtom>>;
 
 /// The grounder.
 pub struct Grounder {
@@ -315,12 +319,12 @@ impl Grounder {
     }
 
     /// Fixpoint of possibly-derivable atoms.
-    fn saturate(&self) -> Result<BTreeMap<String, BTreeSet<GroundAtom>>, DatalogError> {
-        let mut possible: BTreeMap<String, BTreeSet<GroundAtom>> = BTreeMap::new();
+    fn saturate(&self) -> Result<PossibleSets, DatalogError> {
+        let mut possible: PossibleSets = BTreeMap::new();
         loop {
             let mut changed = false;
             for rule in self.program.rules() {
-                for theta in self.matches(rule, &possible) {
+                for theta in rule_matches(rule, &possible) {
                     for h in &rule.head {
                         let g = apply(h, &theta);
                         let entry = possible.entry(g.predicate_key()).or_default();
@@ -339,93 +343,78 @@ impl Grounder {
     /// All substitutions that satisfy the positive body atoms (against the
     /// possible-atom sets) and the built-in comparisons. Default-negated
     /// literals are ignored here (optimistic reading).
-    fn matches(
-        &self,
-        rule: &Rule,
-        possible: &BTreeMap<String, BTreeSet<GroundAtom>>,
-    ) -> Vec<Subst> {
-        let positives: Vec<&Atom> = rule
-            .body
-            .iter()
-            .filter_map(|b| match b {
-                BodyItem::Pos(a) => Some(a),
-                _ => None,
-            })
-            .collect();
-        let builtins: Vec<&Builtin> = rule
-            .body
-            .iter()
-            .filter_map(|b| match b {
-                BodyItem::Builtin(b) => Some(b),
-                _ => None,
-            })
-            .collect();
-
-        let mut results = Vec::new();
-        let mut current = Subst::new();
-        self.join(&positives, 0, possible, &mut current, &mut results);
-
-        // Filter by builtins (all their variables are bound by safety).
-        results.retain(|theta| {
-            builtins.iter().all(|b| {
-                let l = resolve(&b.left, theta);
-                let r = resolve(&b.right, theta);
-                match (l, r) {
-                    (Some(l), Some(r)) => b.op.eval(&l, &r),
-                    _ => false,
-                }
-            })
-        });
-        results
+    fn matches(&self, rule: &Rule, possible: &PossibleSets) -> Vec<Subst> {
+        rule_matches(rule, possible)
     }
+}
 
-    /// Backtracking join of positive body atoms against the possible sets.
-    fn join(
-        &self,
-        positives: &[&Atom],
-        idx: usize,
-        possible: &BTreeMap<String, BTreeSet<GroundAtom>>,
-        current: &mut Subst,
-        results: &mut Vec<Subst>,
-    ) {
-        if idx == positives.len() {
-            results.push(current.clone());
-            return;
-        }
-        let atom = positives[idx];
-        let key = signed_key(atom);
-        let empty = BTreeSet::new();
-        let candidates = possible.get(&key).unwrap_or(&empty);
-        for cand in candidates {
-            if cand.args.len() != atom.terms.len() {
-                continue;
+/// All substitutions satisfying a rule's positive body atoms against the
+/// possible sets and its built-in comparisons (default-negated literals are
+/// read optimistically, i.e. ignored). Shared by the full grounder and
+/// [`crate::incremental`].
+pub(crate) fn rule_matches(rule: &Rule, possible: &PossibleSets) -> Vec<Subst> {
+    let positives: Vec<&Atom> = rule
+        .body
+        .iter()
+        .filter_map(|b| match b {
+            BodyItem::Pos(a) => Some(a),
+            _ => None,
+        })
+        .collect();
+    let mut results = Vec::new();
+    let mut current = Subst::new();
+    join(&positives, 0, possible, &mut current, &mut results);
+    retain_builtin_satisfying(rule, &mut results);
+    results
+}
+
+/// Keep only substitutions satisfying the rule's built-in comparisons (all
+/// their variables are bound by safety).
+pub(crate) fn retain_builtin_satisfying(rule: &Rule, results: &mut Vec<Subst>) {
+    let builtins: Vec<&Builtin> = rule
+        .body
+        .iter()
+        .filter_map(|b| match b {
+            BodyItem::Builtin(b) => Some(b),
+            _ => None,
+        })
+        .collect();
+    if builtins.is_empty() {
+        return;
+    }
+    results.retain(|theta| {
+        builtins.iter().all(|b| {
+            let l = resolve(&b.left, theta);
+            let r = resolve(&b.right, theta);
+            match (l, r) {
+                (Some(l), Some(r)) => b.op.eval(&l, &r),
+                _ => false,
             }
-            let mut added: Vec<String> = Vec::new();
-            let mut ok = true;
-            for (term, value) in atom.terms.iter().zip(cand.args.iter()) {
-                match term {
-                    Term::Const(c) => {
-                        if c != value {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    Term::Var(v) => match current.get(v) {
-                        Some(bound) if bound != value => {
-                            ok = false;
-                            break;
-                        }
-                        Some(_) => {}
-                        None => {
-                            current.insert(v.clone(), value.clone());
-                            added.push(v.clone());
-                        }
-                    },
-                }
-            }
-            if ok {
-                self.join(positives, idx + 1, possible, current, results);
-            }
+        })
+    });
+}
+
+/// Backtracking join of positive body atoms against the possible sets.
+/// The semi-naive evaluation of [`crate::incremental`] uses its own variant
+/// with per-occurrence candidate splits; both share [`try_unify`].
+fn join(
+    positives: &[&Atom],
+    idx: usize,
+    possible: &PossibleSets,
+    current: &mut Subst,
+    results: &mut Vec<Subst>,
+) {
+    if idx == positives.len() {
+        results.push(current.clone());
+        return;
+    }
+    let atom = positives[idx];
+    let key = signed_key(atom);
+    let empty = BTreeSet::new();
+    let candidates = possible.get(&key).unwrap_or(&empty);
+    for cand in candidates {
+        if let Some(added) = try_unify(atom, cand, current) {
+            join(positives, idx + 1, possible, current, results);
             for v in added {
                 current.remove(&v);
             }
@@ -433,9 +422,44 @@ impl Grounder {
     }
 }
 
+/// Unify one body atom occurrence with a candidate ground atom under the
+/// current substitution. On success, returns the variables newly bound (the
+/// caller unbinds them when backtracking); on clash, restores `current` and
+/// returns `None`.
+pub(crate) fn try_unify(
+    atom: &Atom,
+    cand: &GroundAtom,
+    current: &mut Subst,
+) -> Option<Vec<String>> {
+    if cand.args.len() != atom.terms.len() {
+        return None;
+    }
+    let mut added: Vec<String> = Vec::new();
+    for (term, value) in atom.terms.iter().zip(cand.args.iter()) {
+        let ok = match term {
+            Term::Const(c) => c == value,
+            Term::Var(v) => match current.get(v) {
+                Some(bound) => bound == value,
+                None => {
+                    current.insert(v.clone(), value.clone());
+                    added.push(v.clone());
+                    true
+                }
+            },
+        };
+        if !ok {
+            for v in added {
+                current.remove(&v);
+            }
+            return None;
+        }
+    }
+    Some(added)
+}
+
 impl GroundAtom {
     /// The signed-predicate key used to bucket atoms during grounding.
-    fn predicate_key(&self) -> String {
+    pub(crate) fn predicate_key(&self) -> String {
         if self.strong_neg {
             format!("-{}", self.predicate)
         } else {
@@ -444,7 +468,7 @@ impl GroundAtom {
     }
 }
 
-fn signed_key(atom: &Atom) -> String {
+pub(crate) fn signed_key(atom: &Atom) -> String {
     if atom.strong_neg {
         format!("-{}", atom.predicate)
     } else {
@@ -452,14 +476,14 @@ fn signed_key(atom: &Atom) -> String {
     }
 }
 
-fn contains(possible: &BTreeMap<String, BTreeSet<GroundAtom>>, atom: &GroundAtom) -> bool {
+pub(crate) fn contains(possible: &PossibleSets, atom: &GroundAtom) -> bool {
     possible
         .get(&atom.predicate_key())
         .map(|set| set.contains(atom))
         .unwrap_or(false)
 }
 
-fn apply(atom: &Atom, theta: &Subst) -> GroundAtom {
+pub(crate) fn apply(atom: &Atom, theta: &Subst) -> GroundAtom {
     GroundAtom {
         predicate: atom.predicate.clone(),
         strong_neg: atom.strong_neg,

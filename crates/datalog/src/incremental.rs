@@ -1,0 +1,1001 @@
+//! Delta-driven incremental re-grounding.
+//!
+//! Grounding a program has two expensive phases: *saturation* (the fixpoint
+//! of possibly-derivable atoms) and *instantiation* (joining every rule body
+//! against the saturated sets). Both are pure functions of the program's
+//! rules and facts, so when an update changes only a handful of base facts,
+//! re-running them from scratch — as a fresh [`crate::ground::Grounder`]
+//! does — throws away almost everything it just computed. This module keeps
+//! the intermediate state alive and patches it:
+//!
+//! * [`IncrementalGround::new`] grounds a program once, retaining the
+//!   saturated possible-atom sets, a *support count* per possible atom (how
+//!   many distinct derivations — base fact or rule instantiation — produce
+//!   it), and the rule instantiations grouped by source rule.
+//! * [`IncrementalGround::apply_delta`] takes base-fact insertions and
+//!   deletions and repairs the state:
+//!   * **Insertions** propagate by *semi-naive evaluation*: each round joins
+//!     only rule bodies with at least one occurrence in the newest delta
+//!     (occurrences before the pinned one range over the pre-delta set,
+//!     occurrences after it over the full set, so every new derivation is
+//!     counted exactly once), incrementing support counts and seeding the
+//!     next round with atoms that became possible.
+//!   * **Deletions** run the same delta join in reverse, *decrementing* the
+//!     support count of every lost derivation; an atom whose count reaches
+//!     zero stops being possible and joins the next deletion round. Support
+//!     counting is exact only while no deleted atom can feed a positive
+//!     recursive component (cyclic derivations would keep each other alive);
+//!     when one can, the state falls back to full re-saturation and reports
+//!     it in [`PatchStats::full_resaturation`].
+//!   * Finally, only the rules whose predicates intersect the changed set
+//!     (head, positive *or default-negated* body — a possibility flip under
+//!     `not` changes which literals instantiation drops) are re-instantiated;
+//!     every other rule keeps its existing ground instances untouched.
+//! * [`IncrementalGround::to_ground`] rebuilds the interned
+//!   [`GroundProgram`] from the patched groups — the only full pass, and a
+//!   cheap one (no joins, just interning).
+//!
+//! The instantiated slice after a patch is identical to what a fresh
+//! grounding of the updated program would produce, up to rule order and atom
+//! ids (the unit tests assert rule-set equality against a fresh
+//! [`crate::ground::Grounder`]).
+
+use crate::choice::unfold_choices;
+use crate::error::DatalogError;
+use crate::ground::{
+    apply, contains, retain_builtin_satisfying, rule_matches, signed_key, try_unify, GroundAtom,
+    GroundProgram, GroundRule, PossibleSets, Subst,
+};
+use crate::syntax::{Atom, BodyItem, Program, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What one [`IncrementalGround::apply_delta`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PatchStats {
+    /// Ground rule instances produced by re-instantiating affected rules
+    /// (plus changed base facts). The cost proxy of the patch: a warm
+    /// post-commit preparation re-derives this many rules instead of the
+    /// whole slice.
+    pub reinstantiated_rules: usize,
+    /// Ground rule instances kept untouched from unaffected rules.
+    pub reused_rules: usize,
+    /// Source (non-ground) rules that had to be re-instantiated.
+    pub affected_source_rules: usize,
+    /// Base facts inserted or deleted by the delta (after deduplication
+    /// against the current fact set).
+    pub fact_changes: usize,
+    /// True when a deletion could feed a positive recursive component and
+    /// the state re-saturated from scratch (support counting alone cannot
+    /// see through cyclic derivations).
+    pub full_resaturation: bool,
+}
+
+/// One rule instantiation in symbolic form (ground atoms, not interned ids),
+/// so unaffected groups survive re-interning untouched.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct SymRule {
+    heads: Vec<GroundAtom>,
+    pos: Vec<GroundAtom>,
+    neg: Vec<GroundAtom>,
+}
+
+/// A ground program kept in patchable form: the source rules, the base
+/// facts, the saturated possible sets with per-atom support counts, and the
+/// rule instantiations grouped by source rule. See the module docs.
+#[derive(Debug, Clone)]
+pub struct IncrementalGround {
+    /// Non-fact source rules, in program order.
+    rules: Vec<Rule>,
+    /// Current base facts (ground fact rules of the program).
+    facts: BTreeSet<GroundAtom>,
+    /// Saturated possibly-derivable atoms, by signed predicate key.
+    possible: PossibleSets,
+    /// Derivation count per possible atom: 1 for a base fact, plus 1 per
+    /// (rule, substitution, head) instantiation deriving it.
+    support: BTreeMap<GroundAtom, u64>,
+    /// Signed predicates from which a positive-dependency path reaches a
+    /// positive recursive component — deletions touching them force a full
+    /// re-saturation.
+    feeds_recursion: BTreeSet<String>,
+    /// Every signed predicate occurring in the slice (rule heads, positive
+    /// and negated bodies, and base facts). Deltas outside this set cannot
+    /// affect the grounding.
+    predicates: BTreeSet<String>,
+    /// Instantiations per source rule (same indexing as `rules`).
+    groups: Vec<Vec<SymRule>>,
+}
+
+impl IncrementalGround {
+    /// Ground `program`, retaining the incremental state. Choice atoms are
+    /// unfolded first, exactly like [`crate::ground::Grounder::new`].
+    pub fn new(program: &Program) -> Result<Self, DatalogError> {
+        let program = if program.has_choice() {
+            unfold_choices(program)
+        } else {
+            program.clone()
+        };
+        if let Some(rule) = program.unsafe_rules().first() {
+            return Err(DatalogError::UnsafeRule(rule.to_string()));
+        }
+        let mut facts: BTreeSet<GroundAtom> = BTreeSet::new();
+        let mut rules: Vec<Rule> = Vec::new();
+        for rule in program.rules() {
+            if rule.is_fact() {
+                facts.insert(apply(&rule.head[0], &Subst::new()));
+            } else {
+                rules.push(rule.clone());
+            }
+        }
+        let mut predicates: BTreeSet<String> =
+            facts.iter().map(GroundAtom::predicate_key).collect();
+        for rule in &rules {
+            predicates.extend(rule.head.iter().map(signed_key));
+            for item in &rule.body {
+                match item {
+                    BodyItem::Pos(a) | BodyItem::Naf(a) => {
+                        predicates.insert(signed_key(a));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let feeds_recursion = feeds_recursion(&rules);
+        let mut state = IncrementalGround {
+            rules,
+            facts,
+            possible: PossibleSets::new(),
+            support: BTreeMap::new(),
+            feeds_recursion,
+            predicates,
+            groups: Vec::new(),
+        };
+        state.resaturate();
+        state.groups = state
+            .rules
+            .iter()
+            .map(|rule| instantiate(rule, &state.possible))
+            .collect();
+        Ok(state)
+    }
+
+    /// Signed predicates occurring anywhere in the slice. A delta over a
+    /// predicate outside this set leaves the grounding — and therefore the
+    /// solved worlds — untouched.
+    pub fn touches(&self, signed_predicate: &str) -> bool {
+        self.predicates.contains(signed_predicate)
+    }
+
+    /// Number of ground rules currently instantiated (facts included).
+    pub fn rule_count(&self) -> usize {
+        self.facts.len() + self.groups.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Current base facts.
+    pub fn facts(&self) -> &BTreeSet<GroundAtom> {
+        &self.facts
+    }
+
+    /// A deterministic, platform-independent estimate of the state's memory
+    /// footprint in bytes, used by the engine's byte-budgeted cache. Based
+    /// on element counts only (no allocator or pointer-width specifics), so
+    /// eviction counts are reproducible across CI runners.
+    pub fn approx_bytes(&self) -> usize {
+        let atom_bytes = |a: &GroundAtom| 24 + a.predicate.len() + 16 * a.args.len();
+        let possible: usize = self
+            .possible
+            .values()
+            .flat_map(|set| set.iter())
+            .map(atom_bytes)
+            .sum();
+        let support = self.support.len() * 48;
+        let groups: usize = self
+            .groups
+            .iter()
+            .flat_map(|g| g.iter())
+            .map(|r| 48 + 16 * (r.heads.len() + r.pos.len() + r.neg.len()))
+            .sum();
+        let facts: usize = self.facts.iter().map(atom_bytes).sum();
+        possible + support + groups + facts
+    }
+
+    /// Patch the state for a base-fact delta. Insertions already present and
+    /// deletions already absent are ignored. Returns what was re-derived.
+    pub fn apply_delta(
+        &mut self,
+        insertions: &[GroundAtom],
+        deletions: &[GroundAtom],
+    ) -> PatchStats {
+        let inserted: Vec<GroundAtom> = insertions
+            .iter()
+            .filter(|a| !self.facts.contains(a))
+            .cloned()
+            .collect();
+        let deleted: Vec<GroundAtom> = deletions
+            .iter()
+            .filter(|a| self.facts.contains(a))
+            .cloned()
+            .collect();
+        let mut stats = PatchStats {
+            fact_changes: inserted.len() + deleted.len(),
+            ..PatchStats::default()
+        };
+        if inserted.is_empty() && deleted.is_empty() {
+            stats.reused_rules = self.rule_count();
+            return stats;
+        }
+
+        for atom in &deleted {
+            self.facts.remove(atom);
+        }
+        for atom in &inserted {
+            self.facts.insert(atom.clone());
+            self.predicates.insert(atom.predicate_key());
+        }
+
+        // Predicates whose possible set changes; seeds re-instantiation.
+        let mut changed: BTreeSet<String> = BTreeSet::new();
+
+        let recursive_deletion = deleted
+            .iter()
+            .any(|a| self.feeds_recursion.contains(&a.predicate_key()));
+        if recursive_deletion {
+            // Cyclic supports defeat counting: re-saturate from scratch and
+            // diff the possible sets to find what changed.
+            stats.full_resaturation = true;
+            let before = std::mem::take(&mut self.possible);
+            self.resaturate();
+            for key in before.keys().chain(self.possible.keys()) {
+                let old = before.get(key);
+                let new = self.possible.get(key);
+                if old != new {
+                    changed.insert(key.clone());
+                }
+            }
+            changed.extend(inserted.iter().map(GroundAtom::predicate_key));
+            changed.extend(deleted.iter().map(GroundAtom::predicate_key));
+        } else {
+            self.propagate_deletions(&deleted, &mut changed);
+            self.propagate_insertions(&inserted, &mut changed);
+        }
+
+        // Re-instantiate exactly the rules that can observe a changed
+        // predicate (head, positive or negated body occurrence).
+        for (idx, rule) in self.rules.iter().enumerate() {
+            if rule_mentions(rule, &changed) {
+                stats.affected_source_rules += 1;
+                self.groups[idx] = instantiate(rule, &self.possible);
+                stats.reinstantiated_rules += self.groups[idx].len();
+            } else {
+                stats.reused_rules += self.groups[idx].len();
+            }
+        }
+        stats.reinstantiated_rules += stats.fact_changes;
+        stats.reused_rules += self.facts.len();
+        stats
+    }
+
+    /// Rebuild the interned [`GroundProgram`] from the current facts and
+    /// instantiation groups (no joins — pure interning).
+    pub fn to_ground(&self) -> GroundProgram {
+        let mut ground = GroundProgram::default();
+        for fact in &self.facts {
+            let id = ground.intern(fact.clone());
+            ground.add_rule(GroundRule {
+                heads: vec![id],
+                pos: Vec::new(),
+                neg: Vec::new(),
+            });
+        }
+        for group in &self.groups {
+            for rule in group {
+                let heads = rule
+                    .heads
+                    .iter()
+                    .map(|a| ground.intern(a.clone()))
+                    .collect();
+                let pos = rule.pos.iter().map(|a| ground.intern(a.clone())).collect();
+                let neg = rule.neg.iter().map(|a| ground.intern(a.clone())).collect();
+                ground.add_rule(GroundRule { heads, pos, neg });
+            }
+        }
+        ground
+    }
+
+    /// Recompute the possible sets and support counts from scratch (build
+    /// time, and the recursive-deletion fallback).
+    fn resaturate(&mut self) {
+        let mut possible: PossibleSets = BTreeMap::new();
+        for fact in &self.facts {
+            possible
+                .entry(fact.predicate_key())
+                .or_default()
+                .insert(fact.clone());
+        }
+        loop {
+            let mut changed = false;
+            for rule in &self.rules {
+                for theta in rule_matches(rule, &possible) {
+                    for h in &rule.head {
+                        let g = apply(h, &theta);
+                        if possible.entry(g.predicate_key()).or_default().insert(g) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Exact derivation counts in one pass over the fixpoint.
+        let mut support: BTreeMap<GroundAtom, u64> = BTreeMap::new();
+        for fact in &self.facts {
+            *support.entry(fact.clone()).or_insert(0) += 1;
+        }
+        for rule in &self.rules {
+            for theta in rule_matches(rule, &possible) {
+                for h in &rule.head {
+                    *support.entry(apply(h, &theta)).or_insert(0) += 1;
+                }
+            }
+        }
+        self.possible = possible;
+        self.support = support;
+    }
+
+    /// Counting deletion: each round joins every rule body with one
+    /// occurrence pinned to an atom that just lost its last support, to
+    /// find (and un-count) the derivations that died with it.
+    ///
+    /// The possible sets are *frozen* for the duration of a round: a
+    /// round's atoms are only retired from `possible` after its joins ran
+    /// (so `possible` itself is the pre-round "old" state — no snapshot
+    /// clone needed), and atoms dying mid-round keep their membership
+    /// until their own round ends. Exactness depends on this: a derivation
+    /// whose body atoms die in different rounds is un-counted exactly once,
+    /// in the earliest round (where the later-dying occurrences are still
+    /// in the frozen old state), and the before/after split excludes the
+    /// current delta from earlier occurrences so within-round pairs are
+    /// not double-counted either.
+    fn propagate_deletions(&mut self, deleted: &[GroundAtom], changed: &mut BTreeSet<String>) {
+        let mut round: Vec<GroundAtom> = Vec::new();
+        for atom in deleted {
+            changed.insert(atom.predicate_key());
+            if decrement_map(&mut self.support, atom) {
+                round.push(atom.clone());
+            }
+        }
+        while !round.is_empty() {
+            let delta = bucket(&round);
+            for atom in &round {
+                changed.insert(atom.predicate_key());
+            }
+            let mut next: Vec<GroundAtom> = Vec::new();
+            for rule in &self.rules {
+                for theta in delta_matches(rule, &delta, &self.possible) {
+                    for h in &rule.head {
+                        let g = apply(h, &theta);
+                        if self.support.get(&g).copied().unwrap_or(0) == 0 {
+                            continue; // already dead (queued in an earlier round)
+                        }
+                        if decrement_map(&mut self.support, &g) {
+                            next.push(g);
+                        }
+                    }
+                }
+            }
+            // Only now retire this round's atoms from the possible sets.
+            for atom in &round {
+                remove_possible(&mut self.possible, atom);
+            }
+            round = next;
+        }
+    }
+
+    /// Semi-naive insertion: each round joins rule bodies with one
+    /// occurrence pinned to a newly-possible atom, counting every new
+    /// derivation exactly once and seeding the next round with atoms that
+    /// just became possible.
+    ///
+    /// Mirror-image freezing of [`IncrementalGround::propagate_deletions`]:
+    /// a round's delta atoms enter `possible` at the start of the round,
+    /// but atoms *derived during* the round do not — they only become
+    /// visible as the next round's delta. Otherwise a derivation through a
+    /// two-level chain would be counted twice: once in the round that
+    /// derived its intermediate atom (which a mid-round insert would make
+    /// joinable immediately) and again in the next round with the pin on
+    /// that intermediate atom.
+    fn propagate_insertions(&mut self, inserted: &[GroundAtom], changed: &mut BTreeSet<String>) {
+        let mut round: Vec<GroundAtom> = Vec::new();
+        let mut queued: BTreeSet<GroundAtom> = BTreeSet::new();
+        for atom in inserted {
+            changed.insert(atom.predicate_key());
+            *self.support.entry(atom.clone()).or_insert(0) += 1;
+            if !contains(&self.possible, atom) && queued.insert(atom.clone()) {
+                round.push(atom.clone());
+            }
+        }
+        while !round.is_empty() {
+            // The round's delta becomes possible (and joinable) now;
+            // anything derived below stays invisible until the next round.
+            for atom in &round {
+                changed.insert(atom.predicate_key());
+                self.possible
+                    .entry(atom.predicate_key())
+                    .or_default()
+                    .insert(atom.clone());
+            }
+            let delta = bucket(&round);
+            let mut next: Vec<GroundAtom> = Vec::new();
+            let mut seen: BTreeSet<GroundAtom> = BTreeSet::new();
+            for rule in &self.rules {
+                for theta in delta_matches(rule, &delta, &self.possible) {
+                    for h in &rule.head {
+                        let g = apply(h, &theta);
+                        *self.support.entry(g.clone()).or_insert(0) += 1;
+                        if !contains(&self.possible, &g) && seen.insert(g.clone()) {
+                            next.push(g);
+                        }
+                    }
+                }
+            }
+            round = next;
+        }
+    }
+}
+
+/// Group a flat atom list by signed predicate key.
+fn bucket(atoms: &[GroundAtom]) -> PossibleSets {
+    let mut out = PossibleSets::new();
+    for atom in atoms {
+        out.entry(atom.predicate_key())
+            .or_default()
+            .insert(atom.clone());
+    }
+    out
+}
+
+/// Decrement an atom's support count; true when it reached zero (the entry
+/// is removed).
+fn decrement_map(support: &mut BTreeMap<GroundAtom, u64>, atom: &GroundAtom) -> bool {
+    match support.get_mut(atom) {
+        Some(count) if *count > 1 => {
+            *count -= 1;
+            false
+        }
+        Some(_) => {
+            support.remove(atom);
+            true
+        }
+        None => false,
+    }
+}
+
+fn remove_possible(possible: &mut PossibleSets, atom: &GroundAtom) {
+    if let Some(set) = possible.get_mut(&atom.predicate_key()) {
+        set.remove(atom);
+        if set.is_empty() {
+            possible.remove(&atom.predicate_key());
+        }
+    }
+}
+
+/// Does a rule mention (head, positive or negated body) any predicate of
+/// `changed`?
+fn rule_mentions(rule: &Rule, changed: &BTreeSet<String>) -> bool {
+    rule.head.iter().any(|a| changed.contains(&signed_key(a)))
+        || rule.body.iter().any(|item| match item {
+            BodyItem::Pos(a) | BodyItem::Naf(a) => changed.contains(&signed_key(a)),
+            _ => false,
+        })
+}
+
+/// All substitutions of `rule`'s positive body over `full` that use at least
+/// one atom of `delta`, each counted exactly once: for every occurrence `k`
+/// whose predicate has delta atoms, pin occurrence `k` to the delta while
+/// occurrences before `k` range over `full \ delta` and occurrences after
+/// `k` over `full`. Built-ins filter as usual.
+fn delta_matches(rule: &Rule, delta: &PossibleSets, full: &PossibleSets) -> Vec<Subst> {
+    let positives: Vec<&Atom> = rule
+        .body
+        .iter()
+        .filter_map(|b| match b {
+            BodyItem::Pos(a) => Some(a),
+            _ => None,
+        })
+        .collect();
+    let empty = BTreeSet::new();
+    let mut results = Vec::new();
+    for k in 0..positives.len() {
+        let key_k = signed_key(positives[k]);
+        let Some(delta_k) = delta.get(&key_k) else {
+            continue;
+        };
+        // Pin occurrence k to each delta atom, then join the rest with the
+        // before/after split.
+        let rest: Vec<&Atom> = positives
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != k)
+            .map(|(_, a)| *a)
+            .collect();
+        // `rest` index j corresponds to original occurrence j (j < k) or
+        // j + 1 (j >= k).
+        for pinned in delta_k {
+            let mut current = Subst::new();
+            let Some(added) = try_unify(positives[k], pinned, &mut current) else {
+                continue;
+            };
+            // Join the remaining occurrences with the before/after split
+            // (before-the-pin occurrences exclude the delta so each new or
+            // lost derivation is counted exactly once).
+            let mut cand_sets: Vec<(&Atom, Vec<&GroundAtom>)> = Vec::with_capacity(rest.len());
+            let mut viable = true;
+            for (j, atom) in rest.iter().enumerate() {
+                let original = if j < k { j } else { j + 1 };
+                let key = signed_key(atom);
+                let full_set = full.get(&key).unwrap_or(&empty);
+                let atoms: Vec<&GroundAtom> = if original < k {
+                    match delta.get(&key) {
+                        Some(d) => full_set.iter().filter(|a| !d.contains(*a)).collect(),
+                        None => full_set.iter().collect(),
+                    }
+                } else {
+                    full_set.iter().collect()
+                };
+                if atoms.is_empty() {
+                    viable = false;
+                    break;
+                }
+                cand_sets.push((atom, atoms));
+            }
+            if viable {
+                join_vec(&cand_sets, 0, &mut current, &mut results);
+            }
+            for v in added {
+                current.remove(&v);
+            }
+        }
+    }
+    retain_builtin_satisfying(rule, &mut results);
+    results
+}
+
+/// Backtracking join over pre-materialized candidate vectors.
+fn join_vec(
+    occurrences: &[(&Atom, Vec<&GroundAtom>)],
+    idx: usize,
+    current: &mut Subst,
+    results: &mut Vec<Subst>,
+) {
+    if idx == occurrences.len() {
+        results.push(current.clone());
+        return;
+    }
+    let (atom, cands) = &occurrences[idx];
+    for cand in cands {
+        if let Some(added) = try_unify(atom, cand, current) {
+            join_vec(occurrences, idx + 1, current, results);
+            for v in added {
+                current.remove(&v);
+            }
+        }
+    }
+}
+
+/// Instantiate one rule against the possible sets, with the same
+/// naf-dropping and tautology elimination as [`crate::ground::Grounder`].
+fn instantiate(rule: &Rule, possible: &PossibleSets) -> Vec<SymRule> {
+    rule_matches(rule, possible)
+        .into_iter()
+        .filter_map(|theta| {
+            let heads: Vec<GroundAtom> = rule.head.iter().map(|h| apply(h, &theta)).collect();
+            let mut pos = Vec::new();
+            let mut neg = Vec::new();
+            for item in &rule.body {
+                match item {
+                    BodyItem::Pos(a) => pos.push(apply(a, &theta)),
+                    BodyItem::Naf(a) => {
+                        let g = apply(a, &theta);
+                        if contains(possible, &g) {
+                            neg.push(g);
+                        }
+                    }
+                    BodyItem::Builtin(_) => {}
+                    BodyItem::Choice(_) => return None, // unfolded in `new`
+                }
+            }
+            if heads.iter().any(|h| pos.contains(h)) {
+                return None;
+            }
+            Some(SymRule { heads, pos, neg })
+        })
+        .collect()
+}
+
+/// Signed predicates from which a positive-dependency path reaches a
+/// positive recursive component (including the components themselves).
+fn feeds_recursion(rules: &[Rule]) -> BTreeSet<String> {
+    let mut index: BTreeMap<String, usize> = BTreeMap::new();
+    let mut names: Vec<String> = Vec::new();
+    let intern = |name: String, names: &mut Vec<String>, index: &mut BTreeMap<String, usize>| {
+        *index.entry(name.clone()).or_insert_with(|| {
+            names.push(name);
+            names.len() - 1
+        })
+    };
+    let mut edges_pairs: Vec<(usize, usize)> = Vec::new();
+    for rule in rules {
+        let heads: Vec<usize> = rule
+            .head
+            .iter()
+            .map(|a| intern(signed_key(a), &mut names, &mut index))
+            .collect();
+        for item in &rule.body {
+            if let BodyItem::Pos(a) = item {
+                let b = intern(signed_key(a), &mut names, &mut index);
+                for &h in &heads {
+                    edges_pairs.push((b, h));
+                }
+            }
+        }
+    }
+    let n = names.len();
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut self_loop = vec![false; n];
+    for (from, to) in edges_pairs {
+        if from == to {
+            self_loop[from] = true;
+        }
+        edges[from].push(to);
+    }
+    let component = crate::graph::strongly_connected_components(n, &edges);
+    let mut members: BTreeMap<usize, usize> = BTreeMap::new();
+    for &c in &component {
+        *members.entry(c).or_insert(0) += 1;
+    }
+    let recursive: Vec<bool> = (0..n)
+        .map(|v| self_loop[v] || members[&component[v]] > 1)
+        .collect();
+    // Backward reachability: nodes that can reach a recursive node.
+    let mut reaches = recursive.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in 0..n {
+            if reaches[v] {
+                continue;
+            }
+            if edges[v].iter().any(|&w| reaches[w]) {
+                reaches[v] = true;
+                changed = true;
+            }
+        }
+    }
+    (0..n)
+        .filter(|&v| reaches[v])
+        .map(|v| names[v].clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::Grounder;
+    use crate::syntax::{Builtin, BuiltinOp, Term};
+
+    fn atom(p: &str, args: &[&str]) -> Atom {
+        Atom::new(p, args)
+    }
+
+    fn ga(p: &str, args: &[&str]) -> GroundAtom {
+        GroundAtom::new(p, args)
+    }
+
+    /// Canonical rule set of a ground program for order-insensitive
+    /// comparison.
+    fn canonical(ground: &GroundProgram) -> BTreeSet<Vec<Vec<String>>> {
+        ground
+            .rules()
+            .iter()
+            .map(|r| {
+                let name = |ids: &[usize]| {
+                    let mut v: Vec<String> =
+                        ids.iter().map(|&id| ground.atom(id).to_string()).collect();
+                    v.sort();
+                    v
+                };
+                vec![name(&r.heads), name(&r.pos), name(&r.neg)]
+            })
+            .collect()
+    }
+
+    fn assert_matches_fresh(state: &IncrementalGround, program: &Program) {
+        let fresh = Grounder::new(program).ground().unwrap();
+        let patched = state.to_ground();
+        assert_eq!(
+            canonical(&patched),
+            canonical(&fresh),
+            "patched grounding must equal a fresh grounding"
+        );
+    }
+
+    /// The non-recursive program used by most tests.
+    fn base_program() -> Program {
+        let mut p = Program::new();
+        p.add_fact(atom("edge", &["a", "b"]));
+        p.add_fact(atom("edge", &["b", "c"]));
+        p.add_fact(atom("mark", &["b"]));
+        p.add_rule(Rule::new(
+            vec![atom("hop", &["X", "Z"])],
+            vec![
+                BodyItem::Pos(atom("edge", &["X", "Y"])),
+                BodyItem::Pos(atom("edge", &["Y", "Z"])),
+            ],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("lonely", &["X"])],
+            vec![
+                BodyItem::Pos(atom("mark", &["X"])),
+                BodyItem::Naf(atom("hop", &["X", "X"])),
+            ],
+        ));
+        p
+    }
+
+    /// Mirror a delta onto a plain Program for the fresh-grounding oracle.
+    fn program_with(base: &Program, ins: &[GroundAtom], del: &[GroundAtom]) -> Program {
+        let mut out = Program::new();
+        for rule in base.rules() {
+            if rule.is_fact() {
+                let fact = apply(&rule.head[0], &Subst::new());
+                if del.contains(&fact) {
+                    continue;
+                }
+            }
+            out.add_rule(rule.clone());
+        }
+        for a in ins {
+            let tokens: Vec<&str> = a.args.iter().map(|s| s.as_ref()).collect();
+            let mut fact = Atom::new(a.predicate.clone(), &tokens);
+            if a.strong_neg {
+                fact = fact.strongly_negated();
+            }
+            out.add_fact(fact);
+        }
+        out
+    }
+
+    #[test]
+    fn initial_grounding_matches_the_grounder() {
+        let p = base_program();
+        let state = IncrementalGround::new(&p).unwrap();
+        assert_matches_fresh(&state, &p);
+    }
+
+    #[test]
+    fn insertions_patch_to_the_fresh_grounding() {
+        let p = base_program();
+        let mut state = IncrementalGround::new(&p).unwrap();
+        let ins = [ga("edge", &["c", "d"])];
+        let stats = state.apply_delta(&ins, &[]);
+        assert!(!stats.full_resaturation);
+        assert!(stats.reinstantiated_rules > 0);
+        assert_matches_fresh(&state, &program_with(&p, &ins, &[]));
+        // hop(b, d) is now derivable through the new edge.
+        assert!(state.to_ground().atom_id(&ga("hop", &["b", "d"])).is_some());
+    }
+
+    #[test]
+    fn deletions_patch_to_the_fresh_grounding() {
+        let p = base_program();
+        let mut state = IncrementalGround::new(&p).unwrap();
+        let del = [ga("edge", &["b", "c"])];
+        let stats = state.apply_delta(&[], &del);
+        assert!(!stats.full_resaturation);
+        assert_matches_fresh(&state, &program_with(&p, &[], &del));
+        assert!(state.to_ground().atom_id(&ga("hop", &["a", "c"])).is_none());
+    }
+
+    #[test]
+    fn mixed_deltas_patch_to_the_fresh_grounding() {
+        let p = base_program();
+        let mut state = IncrementalGround::new(&p).unwrap();
+        let ins = [ga("edge", &["c", "a"]), ga("mark", &["a"])];
+        let del = [ga("edge", &["a", "b"])];
+        state.apply_delta(&ins, &del);
+        assert_matches_fresh(
+            &state,
+            &program_with(&program_with(&p, &[], &del), &ins, &[]),
+        );
+    }
+
+    #[test]
+    fn sequential_patches_compose() {
+        let p = base_program();
+        let mut state = IncrementalGround::new(&p).unwrap();
+        let ins = [ga("edge", &["c", "d"])];
+        state.apply_delta(&ins, &[]);
+        let del = [ga("edge", &["c", "d"])];
+        state.apply_delta(&[], &del);
+        assert_matches_fresh(&state, &p);
+    }
+
+    #[test]
+    fn unaffected_rules_are_reused() {
+        let mut p = base_program();
+        // A disconnected island whose rules must not be re-instantiated by
+        // an edge delta.
+        p.add_fact(atom("color", &["x"]));
+        p.add_rule(Rule::new(
+            vec![atom("colored", &["X"])],
+            vec![BodyItem::Pos(atom("color", &["X"]))],
+        ));
+        let mut state = IncrementalGround::new(&p).unwrap();
+        let stats = state.apply_delta(&[ga("edge", &["c", "d"])], &[]);
+        assert!(stats.reused_rules > 0);
+        assert!(stats.reinstantiated_rules < state.rule_count());
+        assert_matches_fresh(&state, &program_with(&p, &[ga("edge", &["c", "d"])], &[]));
+    }
+
+    #[test]
+    fn deletion_keeps_atoms_with_remaining_support() {
+        let mut p = Program::new();
+        p.add_fact(atom("p", &["a"]));
+        p.add_fact(atom("q", &["a"]));
+        p.add_rule(Rule::new(
+            vec![atom("r", &["X"])],
+            vec![BodyItem::Pos(atom("p", &["X"]))],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("r", &["X"])],
+            vec![BodyItem::Pos(atom("q", &["X"]))],
+        ));
+        let mut state = IncrementalGround::new(&p).unwrap();
+        let del = [ga("p", &["a"])];
+        state.apply_delta(&[], &del);
+        // r(a) keeps its q-derived support and stays possible.
+        assert!(state.to_ground().atom_id(&ga("r", &["a"])).is_some());
+        assert_matches_fresh(&state, &program_with(&p, &[], &del));
+    }
+
+    #[test]
+    fn recursive_deletions_fall_back_to_full_resaturation() {
+        let mut p = Program::new();
+        p.add_fact(atom("edge", &["a", "b"]));
+        p.add_fact(atom("edge", &["b", "a"]));
+        p.add_fact(atom("edge", &["b", "c"]));
+        p.add_rule(Rule::new(
+            vec![atom("reach", &["X", "Y"])],
+            vec![BodyItem::Pos(atom("edge", &["X", "Y"]))],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("reach", &["X", "Z"])],
+            vec![
+                BodyItem::Pos(atom("reach", &["X", "Y"])),
+                BodyItem::Pos(atom("edge", &["Y", "Z"])),
+            ],
+        ));
+        let mut state = IncrementalGround::new(&p).unwrap();
+        let del = [ga("edge", &["b", "a"])];
+        let stats = state.apply_delta(&[], &del);
+        assert!(
+            stats.full_resaturation,
+            "cycle-feeding deletion must rescue"
+        );
+        assert_matches_fresh(&state, &program_with(&p, &[], &del));
+        // Insertions on the same recursive program stay semi-naive.
+        let ins = [ga("edge", &["c", "d"])];
+        let stats = state.apply_delta(&ins, &[]);
+        assert!(!stats.full_resaturation);
+        assert_matches_fresh(
+            &state,
+            &program_with(&program_with(&p, &[], &del), &ins, &[]),
+        );
+    }
+
+    #[test]
+    fn naf_literals_flip_with_the_possible_set() {
+        let p = base_program();
+        let mut state = IncrementalGround::new(&p).unwrap();
+        // Inserting edge(b, b) makes hop(b, b) possible, so the `lonely`
+        // rule must re-instantiate with the previously-dropped naf literal.
+        let ins = [ga("edge", &["b", "b"])];
+        state.apply_delta(&ins, &[]);
+        let expected = program_with(&p, &ins, &[]);
+        assert_matches_fresh(&state, &expected);
+        let ground = state.to_ground();
+        let hop_bb = ground.atom_id(&ga("hop", &["b", "b"])).unwrap();
+        assert!(
+            ground.rules().iter().any(|r| r.neg.contains(&hop_bb)),
+            "lonely(b) must now carry `not hop(b, b)`"
+        );
+    }
+
+    #[test]
+    fn builtins_filter_delta_matches() {
+        let mut p = Program::new();
+        p.add_fact(atom("num", &["a"]));
+        p.add_rule(Rule::new(
+            vec![atom("pair", &["X", "Y"])],
+            vec![
+                BodyItem::Pos(atom("num", &["X"])),
+                BodyItem::Pos(atom("num", &["Y"])),
+                BodyItem::Builtin(Builtin::new(BuiltinOp::Neq, Term::var("X"), Term::var("Y"))),
+            ],
+        ));
+        let mut state = IncrementalGround::new(&p).unwrap();
+        let ins = [ga("num", &["b"])];
+        state.apply_delta(&ins, &[]);
+        assert_matches_fresh(&state, &program_with(&p, &ins, &[]));
+    }
+
+    #[test]
+    fn chained_derivations_are_counted_exactly_once() {
+        // Regression: with the possible sets mutated mid-round, the sole
+        // derivation of q(a) — through d(a) AND the same-round-derived
+        // p(a) — was counted twice (once pinned on d, once pinned on p the
+        // next round), so deleting d(a) left q(a) alive on ghost support
+        // and `s(a) :- t(a), q(a)` survived in the patched grounding.
+        let mut p = Program::new();
+        p.add_fact(atom("t", &["a"]));
+        p.add_rule(Rule::new(
+            vec![atom("p", &["X"])],
+            vec![BodyItem::Pos(atom("d", &["X"]))],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("q", &["X"])],
+            vec![
+                BodyItem::Pos(atom("d", &["X"])),
+                BodyItem::Pos(atom("p", &["X"])),
+            ],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("s", &["X"])],
+            vec![
+                BodyItem::Pos(atom("t", &["X"])),
+                BodyItem::Pos(atom("q", &["X"])),
+            ],
+        ));
+        let mut state = IncrementalGround::new(&p).unwrap();
+        let d = [ga("d", &["a"])];
+        state.apply_delta(&d, &[]);
+        assert_matches_fresh(&state, &program_with(&p, &d, &[]));
+        state.apply_delta(&[], &d);
+        // Back to the original program: no ghost q(a)/s(a) rules.
+        assert_matches_fresh(&state, &p);
+        assert!(state.to_ground().atom_id(&ga("q", &["a"])).is_none());
+    }
+
+    #[test]
+    fn noop_deltas_change_nothing() {
+        let p = base_program();
+        let mut state = IncrementalGround::new(&p).unwrap();
+        let before = state.rule_count();
+        // Insert an existing fact, delete an absent one.
+        let stats = state.apply_delta(&[ga("edge", &["a", "b"])], &[ga("edge", &["z", "z"])]);
+        assert_eq!(stats.fact_changes, 0);
+        assert_eq!(stats.reinstantiated_rules, 0);
+        assert_eq!(state.rule_count(), before);
+        assert_matches_fresh(&state, &p);
+    }
+
+    #[test]
+    fn touches_reflects_the_slice_predicates() {
+        let p = base_program();
+        let state = IncrementalGround::new(&p).unwrap();
+        assert!(state.touches("edge"));
+        assert!(state.touches("hop"));
+        assert!(!state.touches("unrelated"));
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_the_state() {
+        let p = base_program();
+        let mut state = IncrementalGround::new(&p).unwrap();
+        let before = state.approx_bytes();
+        assert!(before > 0);
+        state.apply_delta(&[ga("edge", &["c", "d"]), ga("edge", &["d", "e"])], &[]);
+        assert!(state.approx_bytes() > before);
+    }
+}

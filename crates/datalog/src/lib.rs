@@ -15,6 +15,10 @@
 //! * [`relevance`] — magic-sets-style relevance analysis: prune a program to
 //!   the slice that can influence a query before grounding it
 //!   ([`ground::ground_relevant`]);
+//! * [`incremental`] — delta-driven incremental re-grounding: keep the
+//!   saturated possible-atom sets (with per-atom support counts) alive
+//!   across base-fact updates and patch only the affected rules via
+//!   semi-naive evaluation instead of re-grounding the slice;
 //! * [`graph`] — dependency graphs, stratification and head-cycle-freeness;
 //! * [`shift`] — the HCF disjunctive → normal shifting of Section 4.1;
 //! * [`solve`](mod@solve) — stable-model enumeration (DPLL-style search with forward,
@@ -53,6 +57,7 @@ pub mod choice;
 pub mod error;
 pub mod graph;
 pub mod ground;
+pub mod incremental;
 pub mod reason;
 pub mod relevance;
 pub mod shift;
@@ -61,6 +66,7 @@ pub mod syntax;
 
 pub use error::DatalogError;
 pub use ground::{ground_relevant, GroundAtom, GroundProgram, Grounder};
+pub use incremental::{IncrementalGround, PatchStats};
 pub use reason::AnswerSets;
 pub use relevance::{QuerySeed, RelevanceAnalysis};
 pub use solve::{solve, solve_relevant_with, solve_with, SolveResult, SolverConfig};

@@ -104,6 +104,15 @@ pub struct RelevanceAnalysis {
     /// Seed predicates whose defining rules may be binding-restricted.
     restrictable: BTreeSet<String>,
     total_rules: usize,
+    /// Content hash of the kept *non-fact* rules plus the relevant
+    /// predicate set — deliberately fact-insensitive, so a base-fact update
+    /// leaves a slice's fingerprint (and therefore its cache key) stable
+    /// and the incremental re-grounding can find the stale artifact.
+    slice_hash: u64,
+    /// Kept / total non-fact rules (the fact-insensitive shape counts shown
+    /// in the fingerprint).
+    kept_structural: usize,
+    total_structural: usize,
 }
 
 impl RelevanceAnalysis {
@@ -211,12 +220,42 @@ impl RelevanceAnalysis {
             restrictable.insert(seed.predicate.clone());
         }
 
+        // Fact-insensitive slice identity: kept non-fact rule content plus
+        // the relevant predicate set (which determines the kept facts).
+        let mut slice_hash: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                slice_hash ^= u64::from(b);
+                slice_hash = slice_hash.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        let mut kept_structural = 0;
+        let mut total_structural = 0;
+        for (rule, keep) in rules.iter().zip(&kept) {
+            if rule.is_fact() {
+                continue;
+            }
+            total_structural += 1;
+            if *keep {
+                kept_structural += 1;
+                eat(rule.to_string().as_bytes());
+                eat(b"\x00;");
+            }
+        }
+        for pred in &relevant {
+            eat(pred.as_bytes());
+            eat(b"\x00,");
+        }
+
         RelevanceAnalysis {
             seeds: seeds.to_vec(),
             kept,
             relevant,
             restrictable,
             total_rules: rules.len(),
+            slice_hash,
+            kept_structural,
+            total_structural,
         }
     }
 
@@ -246,22 +285,21 @@ impl RelevanceAnalysis {
         self.restrictable.contains(seed_predicate)
     }
 
-    /// A stable fingerprint of the pruned slice (kept rules + effective
-    /// bindings), suitable as a memo-cache key component: two queries share
-    /// a fingerprint exactly when they ground the same program slice.
+    /// A stable fingerprint of the pruned slice (kept structural rules,
+    /// relevant predicates and effective bindings), suitable as a
+    /// memo-cache key component: two queries share a fingerprint exactly
+    /// when they ground the same program slice. Deliberately *fact-
+    /// insensitive*: base-fact updates change what the slice grounds to,
+    /// not which slice it is, so a stale artifact keeps its key across
+    /// commits and the incremental re-grounding can find and repair it.
     pub fn fingerprint(&self) -> String {
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        let mut hash: u64 = self.slice_hash;
         let mut eat = |bytes: &[u8]| {
             for &b in bytes {
                 hash ^= u64::from(b);
                 hash = hash.wrapping_mul(0x100_0000_01b3);
             }
         };
-        for (idx, &keep) in self.kept.iter().enumerate() {
-            if keep {
-                eat(&idx.to_le_bytes());
-            }
-        }
         for seed in &self.seeds {
             if !self.restrictable.contains(&seed.predicate) {
                 continue;
@@ -276,9 +314,7 @@ impl RelevanceAnalysis {
         }
         format!(
             "{:016x}:{}/{}",
-            hash,
-            self.kept_rule_count(),
-            self.total_rules
+            hash, self.kept_structural, self.total_structural
         )
     }
 
@@ -809,6 +845,19 @@ mod tests {
         // Same seeds, same slice, same fingerprint.
         let again = RelevanceAnalysis::analyze(&program, &[QuerySeed::new("reach")]);
         assert_eq!(reach.fingerprint(), again.fingerprint());
+    }
+
+    #[test]
+    fn fingerprints_are_fact_insensitive() {
+        // A base-fact update changes what the slice grounds to, not which
+        // slice it is: the stale-artifact repair of incremental
+        // re-grounding depends on the key staying put across commits.
+        let mut p = two_island_program();
+        let before = RelevanceAnalysis::analyze(&p, &[QuerySeed::new("reach")]).fingerprint();
+        p.add_fact(atom("edge", &["c", "d"]));
+        p.add_fact(atom("color", &["c", "green"]));
+        let after = RelevanceAnalysis::analyze(&p, &[QuerySeed::new("reach")]).fingerprint();
+        assert_eq!(before, after);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use crate::database::{Database, GroundAtom};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// The difference of a candidate instance relative to a base instance.
@@ -117,6 +117,66 @@ impl Delta {
         Delta {
             insertions: self.insertions.union(&other.insertions).cloned().collect(),
             deletions: self.deletions.union(&other.deletions).cloned().collect(),
+        }
+    }
+
+    /// The relations this delta touches (insertions or deletions), the unit
+    /// at which cache layers decide whether a grounded artifact can observe
+    /// the change.
+    pub fn relations(&self) -> BTreeSet<&str> {
+        self.insertions
+            .iter()
+            .chain(self.deletions.iter())
+            .map(|atom| atom.relation.as_str())
+            .collect()
+    }
+
+    /// The per-relation tuple sets of this delta: relation name →
+    /// (inserted tuples, deleted tuples). The shape delta-driven incremental
+    /// grounding consumes.
+    pub fn by_relation(
+        &self,
+    ) -> BTreeMap<String, (BTreeSet<crate::Tuple>, BTreeSet<crate::Tuple>)> {
+        let mut out: BTreeMap<String, (BTreeSet<crate::Tuple>, BTreeSet<crate::Tuple>)> =
+            BTreeMap::new();
+        for atom in &self.insertions {
+            out.entry(atom.relation.clone())
+                .or_default()
+                .0
+                .insert(atom.tuple.clone());
+        }
+        for atom in &self.deletions {
+            out.entry(atom.relation.clone())
+                .or_default()
+                .1
+                .insert(atom.tuple.clone());
+        }
+        out
+    }
+
+    /// Sequential composition: the net delta of applying `self` and then
+    /// `later`. Unlike [`Delta::merge`] (a plain union), composition
+    /// cancels: an atom inserted by `self` and deleted by `later` (or vice
+    /// versa) disappears from the result. Both deltas must be *exact* for
+    /// the instances they were applied to (as [`Delta::between`] and
+    /// normalized commits guarantee), which makes the result exact for the
+    /// original base instance.
+    pub fn compose(&self, later: &Delta) -> Delta {
+        let mut insertions = self.insertions.clone();
+        let mut deletions = self.deletions.clone();
+        for atom in &later.insertions {
+            if !deletions.remove(atom) {
+                insertions.insert(atom.clone());
+            }
+        }
+        for atom in &later.deletions {
+            if !insertions.remove(atom) {
+                deletions.insert(atom.clone());
+            }
+        }
+        Delta {
+            insertions,
+            deletions,
         }
     }
 
@@ -296,6 +356,34 @@ mod tests {
         assert_eq!(inv.deletions, delta.insertions);
         let forward = delta.apply(&base).unwrap();
         assert_eq!(inv.apply(&forward).unwrap(), base);
+    }
+
+    #[test]
+    fn relations_and_by_relation_partition_the_changes() {
+        let d = Delta::from_changes([atom("a", "b")], [atom("c", "d")]);
+        assert_eq!(d.relations(), BTreeSet::from(["R"]));
+        let by = d.by_relation();
+        let (ins, del) = &by["R"];
+        assert_eq!(ins.len(), 1);
+        assert_eq!(del.len(), 1);
+    }
+
+    #[test]
+    fn compose_cancels_where_merge_unions() {
+        let insert = Delta::from_changes([atom("a", "b")], []);
+        let delete = Delta::from_changes([], [atom("a", "b")]);
+        // Insert then delete nets to nothing; merge would keep both.
+        assert!(insert.compose(&delete).is_empty());
+        assert_eq!(insert.merge(&delete).len(), 2);
+        // Composition of independent changes is their union.
+        let other = Delta::from_changes([atom("x", "y")], []);
+        let net = insert.compose(&other);
+        assert_eq!(net.insertions.len(), 2);
+        // Applying sequentially equals applying the composition.
+        let base = db(&[("q", "r")]);
+        let step = insert.apply(&base).unwrap();
+        let twice = other.apply(&step).unwrap();
+        assert_eq!(net.apply(&base).unwrap(), twice);
     }
 
     #[test]

@@ -31,11 +31,16 @@
 //!   reconstruct the system as of any commit sequence number, which is also
 //!   how a fresh reference engine is built in the equivalence tests.
 //!
-//! On commit, the session drives the engine's incremental invalidation:
-//! only memoized artifacts whose *relevant-peer closure* (the transitive
-//! closure of DEC ownership edges) intersects the touched peers are
-//! recomputed; queries against peers outside the closure keep their warm
-//! cache entries.
+//! On commit, the session hands each effective per-peer delta to
+//! [`pdes_core::QueryEngine::commit_delta`], which drives the engine's
+//! incremental invalidation: only memoized artifacts whose *relevant-peer
+//! closure* (the transitive closure of DEC ownership edges) intersects the
+//! touched peers are affected at all; queries against peers outside the
+//! closure keep their warm cache entries. Affected ASP artifacts are not
+//! recomputed from scratch either — the engine *stales* them with their
+//! saturation state and the next query repairs the grounding by re-deriving
+//! only the rules the delta touched (`datalog::incremental`;
+//! [`pdes_core::CacheMetrics`] counts the repairs in its `patched` field).
 //!
 //! ## Quickstart
 //!

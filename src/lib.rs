@@ -19,7 +19,8 @@
 //! * [`session`] — live, versioned systems: `Tx`/commit
 //!   updates validated against local ICs, an update log with snapshot
 //!   replay, and incremental invalidation of the engine's memoized
-//!   artifacts;
+//!   artifacts (stale grounded slices are *patched* by
+//!   `datalog::incremental` rather than re-ground);
 //! * [`exec`] — the dependency-free scoped thread-pool executor behind the
 //!   engine's batched/parallel answering.
 //!
