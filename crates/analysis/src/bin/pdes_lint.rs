@@ -1,0 +1,153 @@
+//! `pdes-lint` — static analysis of peer specifications from the command
+//! line.
+//!
+//! Usage:
+//!
+//! ```text
+//! pdes-lint [OPTIONS] [FILE.pds ...]
+//!
+//!   --all-examples        lint every .pds file under the examples dir
+//!   --examples-dir DIR    where to look for examples (default examples/specs)
+//!   --workload-matrix     lint the deterministic generated workload matrix
+//!   --deny-warnings       exit non-zero on warnings as well as errors
+//!   --quiet               print only the per-target summary lines
+//! ```
+//!
+//! Exit status: `0` when every target is clean, `1` when any target has
+//! error-severity diagnostics (or warnings under `--deny-warnings`), `2` on
+//! usage or I/O errors.
+
+use pdes_analyze::{lint_source, lint_workload, workload_matrix, Report, Severity};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Options {
+    files: Vec<PathBuf>,
+    all_examples: bool,
+    examples_dir: PathBuf,
+    matrix: bool,
+    deny_warnings: bool,
+    quiet: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        files: Vec::new(),
+        all_examples: false,
+        examples_dir: PathBuf::from("examples/specs"),
+        matrix: false,
+        deny_warnings: false,
+        quiet: false,
+    };
+    let mut iter = args.iter().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--all-examples" => options.all_examples = true,
+            "--examples-dir" => {
+                let dir = iter
+                    .next()
+                    .ok_or_else(|| "--examples-dir needs a directory".to_string())?;
+                options.examples_dir = PathBuf::from(dir);
+            }
+            "--workload-matrix" => options.matrix = true,
+            "--deny-warnings" => options.deny_warnings = true,
+            "--quiet" => options.quiet = true,
+            "--help" | "-h" => {
+                return Err("usage: pdes-lint [--all-examples] [--examples-dir DIR] \
+                     [--workload-matrix] [--deny-warnings] [--quiet] [FILE.pds ...]"
+                    .to_string())
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}` (try --help)"))
+            }
+            file => options.files.push(PathBuf::from(file)),
+        }
+    }
+    if options.files.is_empty() && !options.all_examples && !options.matrix {
+        return Err(
+            "nothing to lint: pass FILE.pds, --all-examples or --workload-matrix \
+             (try --help)"
+                .to_string(),
+        );
+    }
+    Ok(options)
+}
+
+/// Collect every `.pds` file under `dir` (sorted for deterministic output).
+fn collect_examples(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| path.extension().is_some_and(|ext| ext == "pds"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no .pds files under {}", dir.display()));
+    }
+    Ok(files)
+}
+
+/// Print one target's report; true when it fails the lint.
+fn report_target(name: &str, report: &Report, options: &Options) -> bool {
+    let errors = report.error_count();
+    let warnings = report.warning_count();
+    let infos = report.count(Severity::Info);
+    let failed = errors > 0 || (options.deny_warnings && warnings > 0);
+    let status = if failed { "FAIL" } else { "ok" };
+    println!("{status:>4}  {name}: {errors} error(s), {warnings} warning(s), {infos} info(s)");
+    if !options.quiet {
+        for diagnostic in report.diagnostics() {
+            println!("      {diagnostic}");
+        }
+    }
+    failed
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("pdes-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut targets: Vec<PathBuf> = options.files.clone();
+    if options.all_examples {
+        match collect_examples(&options.examples_dir) {
+            Ok(files) => targets.extend(files),
+            Err(message) => {
+                eprintln!("pdes-lint: {message}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut failed = false;
+    for path in &targets {
+        let source = match std::fs::read_to_string(path) {
+            Ok(source) => source,
+            Err(e) => {
+                eprintln!("pdes-lint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let report = lint_source(&source);
+        failed |= report_target(&path.display().to_string(), &report, &options);
+    }
+
+    if options.matrix {
+        for spec in workload_matrix() {
+            let report = lint_workload(&spec);
+            failed |= report_target(&format!("workload[{spec}]"), &report, &options);
+        }
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -385,6 +385,28 @@ pub fn run_smoke() -> Result<SmokeReport, String> {
     }
     metrics.push(("cache_evictions".to_string(), evictions as f64));
 
+    // Static-analyzer counters over the two smoke systems (exact-match in
+    // the gate). Errors on a generated workload are a hard failure — the
+    // generator must only ever produce analyzer-clean systems.
+    let mut analyzer_errors = 0usize;
+    let mut analyzer_warnings = 0usize;
+    let mut analyzer_infos = 0usize;
+    for (name, system) in [("asp", &w.system), ("live", &live_w.system)] {
+        let report = system.analyze();
+        if !report.is_clean() {
+            return Err(format!(
+                "smoke workload `{name}` has analyzer errors:\n{}",
+                report.render()
+            ));
+        }
+        analyzer_errors += report.error_count();
+        analyzer_warnings += report.warning_count();
+        analyzer_infos += report.count(pdes_core::analyze::Severity::Info);
+    }
+    metrics.push(("analyzer_errors".to_string(), analyzer_errors as f64));
+    metrics.push(("analyzer_warnings".to_string(), analyzer_warnings as f64));
+    metrics.push(("analyzer_infos".to_string(), analyzer_infos as f64));
+
     Ok(SmokeReport { metrics })
 }
 
@@ -465,6 +487,9 @@ mod tests {
             "warm_after_commit_regrounded_rules",
             "warm_after_commit_slice_rules",
             "cache_evictions",
+            "analyzer_errors",
+            "analyzer_warnings",
+            "analyzer_infos",
         ] {
             assert!(smoke.get(name).is_some(), "missing metric {name}");
         }
@@ -479,6 +504,9 @@ mod tests {
         );
         // The tiny-budget engine evicted (hard error inside the run).
         assert!(smoke.get("cache_evictions") > Some(0.0));
+        // The smoke workloads are analyzer-error-free (hard error inside
+        // the run); the warning/info counters are exact-match in the gate.
+        assert_eq!(smoke.get("analyzer_errors"), Some(0.0));
         // Self-comparison always passes.
         let (_, pass) = smoke.compare(&smoke);
         assert!(pass);

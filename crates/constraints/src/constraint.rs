@@ -137,6 +137,14 @@ impl Constraint {
         Ok(())
     }
 
+    /// Re-run the safety validation of [`Constraint::new`] on an existing
+    /// constraint. Constraints built through `new` always pass; the static
+    /// analyzer uses this to diagnose constraints assembled directly from
+    /// their (public) fields, which can bypass construction-time checks.
+    pub fn check_safety(&self) -> Result<()> {
+        self.validate()
+    }
+
     /// Variables of the antecedent (the universally quantified variables).
     pub fn universal_variables(&self) -> BTreeSet<String> {
         self.body.iter().flat_map(|a| a.variables()).collect()

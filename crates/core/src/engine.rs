@@ -236,6 +236,12 @@ pub struct EngineStats {
     /// delta-driven incremental patch ([`datalog::incremental`]) — the
     /// warm-after-commit counter the perf-smoke gate tracks exactly.
     pub regrounded_rules: usize,
+    /// When [`Strategy::Auto`] fell back to ASP for a *classifiable* reason,
+    /// the diagnostic code of that reason (e.g.
+    /// [`crate::analyze::codes::REWRITE_LOCAL_ICS`]); `None` for explicit
+    /// strategies, rewritable peers, and queries outside the peer's schema
+    /// (where no mechanism-level verdict applies).
+    pub auto_reason: Option<&'static str>,
 }
 
 /// Mechanism-specific evidence attached to an [`Answers`] (the successor of
@@ -432,6 +438,7 @@ pub struct QueryEngineBuilder {
     relevance_pruning: bool,
     incremental_reground: bool,
     cache_capacity: Option<usize>,
+    strict_analysis: bool,
 }
 
 impl QueryEngineBuilder {
@@ -507,9 +514,30 @@ impl QueryEngineBuilder {
         self
     }
 
-    /// Finish the builder.
-    pub fn build(self) -> QueryEngine {
-        QueryEngine {
+    /// Refuse to construct the engine when the static analyzer
+    /// ([`P2PSystem::analyze`]) reports *errors* over the system (warnings
+    /// and infos never block). Off by default: the non-strict engine keeps
+    /// today's behaviour, but still runs the analysis once and keeps the
+    /// report inspectable via [`QueryEngine::analysis_report`].
+    pub fn strict_analysis(mut self, enabled: bool) -> Self {
+        self.strict_analysis = enabled;
+        self
+    }
+
+    /// Finish the builder, running the static analyzer over the system.
+    ///
+    /// With [`QueryEngineBuilder::strict_analysis`] enabled, error-severity
+    /// diagnostics make this fail with [`CoreError::AnalysisRejected`]
+    /// carrying the rendered report. Without it, this never fails.
+    pub fn try_build(self) -> Result<QueryEngine> {
+        let report = self.system.analyze();
+        if self.strict_analysis && !report.is_clean() {
+            return Err(CoreError::AnalysisRejected {
+                errors: report.error_count(),
+                report: report.render(),
+            });
+        }
+        Ok(QueryEngine {
             system: self.system,
             strategy: self.strategy,
             custom: self.custom,
@@ -519,10 +547,24 @@ impl QueryEngineBuilder {
             relevance_pruning: self.relevance_pruning,
             incremental_reground: self.incremental_reground,
             cache_capacity: self.cache_capacity,
+            analysis: report,
             cache: RwLock::new(EngineCache::default()),
             metrics: MetricCounters::default(),
             clock: AtomicU64::new(0),
-        }
+        })
+    }
+
+    /// Finish the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`QueryEngineBuilder::strict_analysis`] is enabled and
+    /// the analyzer reports errors; use
+    /// [`QueryEngineBuilder::try_build`] to handle that case. Without
+    /// strict analysis (the default) this never panics.
+    pub fn build(self) -> QueryEngine {
+        self.try_build()
+            .unwrap_or_else(|e| panic!("engine construction failed: {e}"))
     }
 }
 
@@ -756,6 +798,8 @@ pub struct QueryEngine {
     relevance_pruning: bool,
     incremental_reground: bool,
     cache_capacity: Option<usize>,
+    /// The construction-time static-analysis report over the system.
+    analysis: crate::analyze::Report,
     cache: RwLock<EngineCache>,
     metrics: MetricCounters,
     /// Monotone tick source for LRU recency (bumped on every cache touch).
@@ -779,6 +823,7 @@ impl QueryEngine {
             relevance_pruning: true,
             incremental_reground: true,
             cache_capacity: None,
+            strict_analysis: false,
         }
     }
 
@@ -827,6 +872,12 @@ impl QueryEngine {
         self.cache_capacity
     }
 
+    /// The static-analysis report computed when the engine was built
+    /// (always present; with strict analysis it is guaranteed error-free).
+    pub fn analysis_report(&self) -> &crate::analyze::Report {
+        &self.analysis
+    }
+
     /// The next LRU recency tick.
     fn tick(&self) -> u64 {
         self.clock.fetch_add(1, Ordering::Relaxed) + 1
@@ -846,16 +897,47 @@ impl QueryEngine {
     /// Resolve which mechanism a query would run under the given strategy
     /// (the [`Strategy::Auto`] decision, made static and inspectable).
     pub fn resolve(&self, strategy: Strategy, peer: &PeerId, query: &Formula) -> StrategyKind {
+        self.resolve_explained(strategy, peer, query).0
+    }
+
+    /// [`QueryEngine::resolve`], plus — when [`Strategy::Auto`] fell back to
+    /// ASP — the diagnostic code of the disqualifying reason (the codes of
+    /// [`crate::analyze`]'s rewritability pass, surfaced per answer on
+    /// [`EngineStats::auto_reason`]). The decision delegates to
+    /// [`crate::analyze::classify_rewritability`], the single source of
+    /// truth the static analyzer reports from.
+    pub fn resolve_explained(
+        &self,
+        strategy: Strategy,
+        peer: &PeerId,
+        query: &Formula,
+    ) -> (StrategyKind, Option<&'static str>) {
         match strategy {
-            Strategy::Naive => StrategyKind::Naive,
-            Strategy::Rewriting => StrategyKind::Rewriting,
-            Strategy::Asp => StrategyKind::Asp,
-            Strategy::TransitiveAsp => StrategyKind::TransitiveAsp,
+            Strategy::Naive => (StrategyKind::Naive, None),
+            Strategy::Rewriting => (StrategyKind::Rewriting, None),
+            Strategy::Asp => (StrategyKind::Asp, None),
+            Strategy::TransitiveAsp => (StrategyKind::TransitiveAsp, None),
             Strategy::Auto => {
-                if RewritingStrategy.supports(self, peer, query) {
-                    StrategyKind::Rewriting
-                } else {
-                    StrategyKind::Asp
+                if self.check_language(peer, query).is_err() {
+                    // Outside the peer's schema: no verdict applies; the
+                    // strategy's own answer will surface the error.
+                    return (StrategyKind::Asp, None);
+                }
+                match crate::analyze::classify_rewritability(&self.system, peer) {
+                    Ok(crate::analyze::RewriteVerdict::Rewritable) => {
+                        if rewriting::supports_query(query) {
+                            (StrategyKind::Rewriting, None)
+                        } else {
+                            (
+                                StrategyKind::Asp,
+                                Some(crate::analyze::codes::REWRITE_QUERY_FRAGMENT),
+                            )
+                        }
+                    }
+                    Ok(crate::analyze::RewriteVerdict::NotRewritable { code, .. }) => {
+                        (StrategyKind::Asp, Some(code))
+                    }
+                    Err(_) => (StrategyKind::Asp, None),
                 }
             }
         }
@@ -886,7 +968,7 @@ impl QueryEngine {
         query: &Formula,
         free_vars: &[String],
     ) -> Result<Answers> {
-        let kind = self.resolve(strategy, peer, query);
+        let (kind, auto_reason) = self.resolve_explained(strategy, peer, query);
         let built_in: &dyn AnsweringStrategy = match kind {
             StrategyKind::Naive => &NaiveStrategy,
             StrategyKind::Rewriting => &RewritingStrategy,
@@ -894,7 +976,9 @@ impl QueryEngine {
             StrategyKind::TransitiveAsp => &TransitiveAspStrategy,
             StrategyKind::Custom => unreachable!("resolve never yields Custom"),
         };
-        built_in.answer(self, peer, query, free_vars)
+        let mut answers = built_in.answer(self, peer, query, free_vars)?;
+        answers.stats.auto_reason = auto_reason;
+        Ok(answers)
     }
 
     /// Convenience wrapper: answer variables by name.
@@ -1602,6 +1686,7 @@ impl QueryEngine {
                 grounded_rules: worlds.grounded_rules,
                 grounded_atoms: worlds.grounded_atoms,
                 regrounded_rules: worlds.regrounded_rules,
+                auto_reason: None,
             },
             provenance: worlds.provenance.clone(),
         })
@@ -1956,6 +2041,7 @@ impl AnsweringStrategy for RewritingStrategy {
                 grounded_rules: 0,
                 grounded_atoms: 0,
                 regrounded_rules: 0,
+                auto_reason: None,
             },
             provenance: Provenance::Rewriting { rewritten },
         })
@@ -2359,6 +2445,7 @@ mod tests {
                         grounded_rules: 0,
                         grounded_atoms: 0,
                         regrounded_rules: 0,
+                        auto_reason: None,
                     },
                     provenance: Provenance::Custom {
                         strategy: "constant".to_string(),

@@ -14,6 +14,38 @@ pub enum CoreError {
     RelationOwnedElsewhere { relation: String, owner: String },
     /// A relation was referenced that the given peer does not declare.
     UnknownRelation { peer: String, relation: String },
+    /// A constraint (DEC or local IC) references a relation no peer declares.
+    /// Raised eagerly by [`crate::P2PSystem::add_dec`] /
+    /// [`crate::P2PSystem::add_local_ic`]; the static analyzer reports the
+    /// batch-mode equivalent as diagnostic `PDES-A001`.
+    ConstraintUnknownRelation {
+        /// Name of the offending constraint.
+        constraint: String,
+        /// The undeclared relation.
+        relation: String,
+    },
+    /// A constraint atom's arity differs from the declared relation schema.
+    /// Raised eagerly by [`crate::P2PSystem::add_dec`] /
+    /// [`crate::P2PSystem::add_local_ic`]; the static analyzer reports the
+    /// batch-mode equivalent as diagnostic `PDES-A002`.
+    ConstraintArity {
+        /// Name of the offending constraint.
+        constraint: String,
+        /// The relation whose schema disagrees.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Arity used by the constraint atom.
+        found: usize,
+    },
+    /// Strict static analysis refused engine construction
+    /// ([`crate::engine::QueryEngineBuilder::strict_analysis`]).
+    AnalysisRejected {
+        /// Number of error-severity diagnostics.
+        errors: usize,
+        /// The rendered diagnostic report.
+        report: String,
+    },
     /// A query or DEC uses a feature outside the fragment supported by the
     /// selected answering mechanism (e.g. FO rewriting on a referential DEC).
     Unsupported(String),
@@ -37,6 +69,29 @@ impl fmt::Display for CoreError {
             }
             CoreError::UnknownRelation { peer, relation } => {
                 write!(f, "peer `{peer}` does not declare relation `{relation}`")
+            }
+            CoreError::ConstraintUnknownRelation {
+                constraint,
+                relation,
+            } => write!(
+                f,
+                "constraint `{constraint}` references undeclared relation `{relation}`"
+            ),
+            CoreError::ConstraintArity {
+                constraint,
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "constraint `{constraint}` uses relation `{relation}` with arity {found}, \
+                 declared with arity {expected}"
+            ),
+            CoreError::AnalysisRejected { errors, report } => {
+                write!(
+                    f,
+                    "static analysis rejected the system ({errors} errors):\n{report}"
+                )
             }
             CoreError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             CoreError::Relalg(e) => write!(f, "{e}"),

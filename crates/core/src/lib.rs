@@ -38,6 +38,7 @@
 //! assert_eq!(answers.len(), 3); // (a,b), (c,d), (a,e)
 //! ```
 
+pub mod analyze;
 pub mod asp;
 pub mod engine;
 pub mod error;
@@ -46,6 +47,7 @@ pub mod rewriting;
 pub mod solution;
 pub mod system;
 
+pub use analyze::{classify_rewritability, Diagnostic, Location, Report, RewriteVerdict, Severity};
 pub use engine::{
     AnsweringStrategy, Answers, CacheMetrics, EngineStats, Provenance, Query, QueryEngine,
     QueryEngineBuilder, Strategy, StrategyKind,

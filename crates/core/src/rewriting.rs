@@ -39,7 +39,7 @@ use relalg::Tuple;
 /// A compiled rewriting for one peer: how each of the peer's relations is
 /// expanded with imports and guards.
 #[derive(Debug, Clone, Default)]
-struct RelationRewrite {
+pub(crate) struct RelationRewrite {
     /// Relations (of more trusted peers) whose full contents are imported.
     imports: Vec<String>,
     /// Conflicting relations (of same-trusted peers) from equality-generating
@@ -73,7 +73,7 @@ pub fn rewrite_query(system: &P2PSystem, peer: &PeerId, query: &Formula) -> Resu
 /// configurations outside the rewritable class (the Example 2 fragment:
 /// full inclusion DECs towards more-trusted peers, binary key-agreement DECs
 /// towards same-trusted peers, no local ICs).
-fn compile_rewrites(
+pub(crate) fn compile_rewrites(
     system: &P2PSystem,
     peer: &PeerId,
 ) -> Result<std::collections::BTreeMap<String, RelationRewrite>> {
@@ -123,7 +123,10 @@ fn compile_rewrites(
 /// particular query? [`crate::engine::Strategy::Auto`] uses this to decide
 /// between rewriting and the ASP mechanism before running anything.
 pub fn supports_peer(system: &P2PSystem, peer: &PeerId) -> bool {
-    compile_rewrites(system, peer).is_ok()
+    matches!(
+        crate::analyze::classify_rewritability(system, peer),
+        Ok(crate::analyze::RewriteVerdict::Rewritable)
+    )
 }
 
 /// Query-side companion of [`supports_peer`]: is the query in the positive
@@ -150,7 +153,7 @@ fn ensure_positive(query: &Formula) -> Result<()> {
 
 /// Recognize a full inclusion dependency `R_other(x̄) → R_peer(x̄)` and return
 /// `(source, target)` relation names.
-fn inclusion_target(
+pub(crate) fn inclusion_target(
     constraint: &Constraint,
     peer: &crate::system::Peer,
     system: &P2PSystem,
@@ -182,7 +185,7 @@ fn inclusion_target(
 
 /// Recognize the key-agreement shape `R_peer(x, y) ∧ R_other(x, z) → y = z`
 /// and return `(peer_relation, other_relation)`.
-fn key_agreement_shape(
+pub(crate) fn key_agreement_shape(
     constraint: &Constraint,
     peer: &crate::system::Peer,
 ) -> Result<Option<(String, String)>> {

@@ -316,8 +316,57 @@ impl P2PSystem {
         Ok(())
     }
 
-    /// Add a local integrity constraint to a peer.
+    /// Check every relation mentioned by a constraint against the declared
+    /// schemas: each must be declared by some peer, with the atom's arity
+    /// matching the declaration. This is the eager (construction-time) twin
+    /// of the analyzer's `PDES-A001` / `PDES-A002` diagnostics — a mismatch
+    /// is reported here instead of surviving until grounding.
+    fn validate_constraint_relations(&self, constraint: &Constraint) -> Result<()> {
+        for atom in constraint.body.iter().chain(constraint.head_atoms().iter()) {
+            let declared = self
+                .peers
+                .values()
+                .find_map(|p| p.schema.relation(&atom.relation));
+            match declared {
+                None => {
+                    return Err(CoreError::ConstraintUnknownRelation {
+                        constraint: constraint.name.clone(),
+                        relation: atom.relation.clone(),
+                    })
+                }
+                Some(schema) if schema.arity() != atom.terms.len() => {
+                    return Err(CoreError::ConstraintArity {
+                        constraint: constraint.name.clone(),
+                        relation: atom.relation.clone(),
+                        expected: schema.arity(),
+                        found: atom.terms.len(),
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Add a local integrity constraint to a peer. Every relation the
+    /// constraint mentions must already be declared with a matching arity
+    /// ([`CoreError::ConstraintUnknownRelation`] /
+    /// [`CoreError::ConstraintArity`] otherwise).
     pub fn add_local_ic(&mut self, peer: &PeerId, ic: Constraint) -> Result<()> {
+        if !self.peers.contains_key(peer) {
+            return Err(CoreError::UnknownPeer(peer.to_string()));
+        }
+        self.validate_constraint_relations(&ic)?;
+        self.add_local_ic_unchecked(peer, ic)
+    }
+
+    /// [`P2PSystem::add_local_ic`] without relation/arity validation.
+    ///
+    /// Escape hatch for the static analyzer's defect-injection tests, which
+    /// need to build ill-formed systems on purpose; not intended for regular
+    /// use.
+    #[doc(hidden)]
+    pub fn add_local_ic_unchecked(&mut self, peer: &PeerId, ic: Constraint) -> Result<()> {
         let p = self
             .peers
             .get_mut(peer)
@@ -327,7 +376,31 @@ impl P2PSystem {
     }
 
     /// Add a data exchange constraint owned by `owner` towards `other`.
+    /// Every relation the constraint mentions must already be declared with
+    /// a matching arity ([`CoreError::ConstraintUnknownRelation`] /
+    /// [`CoreError::ConstraintArity`] otherwise).
     pub fn add_dec(
+        &mut self,
+        owner: &PeerId,
+        other: &PeerId,
+        constraint: Constraint,
+    ) -> Result<()> {
+        for p in [owner, other] {
+            if !self.peers.contains_key(p) {
+                return Err(CoreError::UnknownPeer(p.to_string()));
+            }
+        }
+        self.validate_constraint_relations(&constraint)?;
+        self.add_dec_unchecked(owner, other, constraint)
+    }
+
+    /// [`P2PSystem::add_dec`] without relation/arity validation.
+    ///
+    /// Escape hatch for the static analyzer's defect-injection tests, which
+    /// need to build ill-formed systems on purpose; not intended for regular
+    /// use.
+    #[doc(hidden)]
+    pub fn add_dec_unchecked(
         &mut self,
         owner: &PeerId,
         other: &PeerId,

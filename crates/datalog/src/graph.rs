@@ -111,6 +111,18 @@ pub fn is_head_cycle_free(program: &GroundProgram) -> bool {
     true
 }
 
+/// One recursion-through-negation component of a program, reported by
+/// [`PredicateGraph::negation_loops`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct NegationLoop {
+    /// The signed predicates of the strongly connected component, sorted.
+    pub predicates: Vec<String>,
+    /// The members lying on a cycle with an *odd* number of negative edges
+    /// (sorted). Empty when the component only has even recursion through
+    /// negation.
+    pub odd_core: Vec<String>,
+}
+
 /// Predicate-level dependency information of a non-ground program.
 #[derive(Debug, Clone)]
 pub struct PredicateGraph {
@@ -201,6 +213,90 @@ impl PredicateGraph {
             }
         }
         true
+    }
+
+    /// The (signed) predicate names, in interning order.
+    pub fn predicates(&self) -> impl Iterator<Item = &str> {
+        self.predicates.iter().map(|s| s.as_str())
+    }
+
+    /// The recursion-through-negation components of the program: one
+    /// [`NegationLoop`] per strongly connected component (of the combined
+    /// positive + negative dependency graph) that contains at least one
+    /// internal negative edge. The program [`PredicateGraph::is_stratified`]
+    /// exactly when this is empty.
+    ///
+    /// Each loop also reports its *odd core*: the member predicates lying on
+    /// some cycle with an odd number of negative edges. Even loops (empty
+    /// core) are the benign `p ← not q, q ← not p` pattern the stable-model
+    /// semantics resolves by branching; odd loops can make atoms
+    /// unsupportable and are what the static analyzer warns about.
+    pub fn negation_loops(&self) -> Vec<NegationLoop> {
+        let n = self.len();
+        let mut all_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (from, outs) in self.positive.iter().enumerate() {
+            all_edges[from].extend(outs.iter().copied());
+        }
+        for (from, outs) in self.negative.iter().enumerate() {
+            all_edges[from].extend(outs.iter().copied());
+        }
+        let component = strongly_connected_components(n, &all_edges);
+
+        // Components with at least one internal negative edge, in the order
+        // of their smallest member index.
+        let mut flagged: Vec<usize> = Vec::new();
+        for (from, outs) in self.negative.iter().enumerate() {
+            for &to in outs {
+                if component[from] == component[to] && !flagged.contains(&component[from]) {
+                    flagged.push(component[from]);
+                }
+            }
+        }
+
+        let mut loops = Vec::new();
+        for comp in flagged {
+            let members: Vec<usize> = (0..n).filter(|&v| component[v] == comp).collect();
+            let local: BTreeMap<usize, usize> = members
+                .iter()
+                .enumerate()
+                .map(|(local, &global)| (global, local))
+                .collect();
+            // Parity-doubled graph restricted to the component: node `2v+p`
+            // is "v reached with negative-edge parity p"; an edge of sign s
+            // maps (v, p) → (w, p ⊕ s). A member lies on an odd negative
+            // cycle exactly when both of its copies share an SCC.
+            let m = members.len();
+            let mut doubled: Vec<Vec<usize>> = vec![Vec::new(); 2 * m];
+            for (&from, &lf) in &local {
+                for (edges, sign) in [(&self.positive, 0usize), (&self.negative, 1usize)] {
+                    for &to in &edges[from] {
+                        if let Some(&lt) = local.get(&to) {
+                            doubled[2 * lf].push(2 * lt + sign);
+                            doubled[2 * lf + 1].push(2 * lt + (1 - sign));
+                        }
+                    }
+                }
+            }
+            let dcomp = strongly_connected_components(2 * m, &doubled);
+            let mut odd_core: Vec<String> = members
+                .iter()
+                .enumerate()
+                .filter(|&(local_idx, _)| dcomp[2 * local_idx] == dcomp[2 * local_idx + 1])
+                .map(|(_, &global)| self.predicates[global].clone())
+                .collect();
+            odd_core.sort();
+            let mut predicates: Vec<String> = members
+                .iter()
+                .map(|&v| self.predicates[v].clone())
+                .collect();
+            predicates.sort();
+            loops.push(NegationLoop {
+                predicates,
+                odd_core,
+            });
+        }
+        loops.sort();
+        loops
     }
 
     /// A stratification: predicate name → stratum number (0-based), lowest
@@ -363,6 +459,72 @@ mod tests {
         let graph = PredicateGraph::new(&p);
         assert!(!graph.is_stratified());
         assert!(graph.stratification().is_none());
+    }
+
+    #[test]
+    fn even_negation_loop_has_empty_odd_core() {
+        // p :- not q.  q :- not p.  — a 2-cycle with two negative edges.
+        let mut p = Program::new();
+        p.add_rule(Rule::new(
+            vec![atom("p", &[] as &[&str])],
+            vec![BodyItem::Naf(atom("q", &[] as &[&str]))],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("q", &[] as &[&str])],
+            vec![BodyItem::Naf(atom("p", &[] as &[&str]))],
+        ));
+        let graph = PredicateGraph::new(&p);
+        let loops = graph.negation_loops();
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].predicates, vec!["p".to_string(), "q".to_string()]);
+        assert!(loops[0].odd_core.is_empty());
+    }
+
+    #[test]
+    fn odd_negation_loop_is_detected_with_its_core() {
+        // p :- not p.  — the canonical odd loop (one negative edge).
+        let mut p = Program::new();
+        p.add_rule(Rule::new(
+            vec![atom("p", &[] as &[&str])],
+            vec![BodyItem::Naf(atom("p", &[] as &[&str]))],
+        ));
+        let graph = PredicateGraph::new(&p);
+        let loops = graph.negation_loops();
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].odd_core, vec!["p".to_string()]);
+    }
+
+    #[test]
+    fn odd_loop_through_a_positive_edge() {
+        // p :- q.  q :- not p.  — cycle with exactly one negative edge.
+        let mut p = Program::new();
+        p.add_rule(Rule::new(
+            vec![atom("p", &[] as &[&str])],
+            vec![BodyItem::Pos(atom("q", &[] as &[&str]))],
+        ));
+        p.add_rule(Rule::new(
+            vec![atom("q", &[] as &[&str])],
+            vec![BodyItem::Naf(atom("p", &[] as &[&str]))],
+        ));
+        let graph = PredicateGraph::new(&p);
+        let loops = graph.negation_loops();
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].odd_core, vec!["p".to_string(), "q".to_string()]);
+    }
+
+    #[test]
+    fn negation_loops_agree_with_stratification() {
+        let mut strat = Program::new();
+        strat.add_rule(Rule::new(
+            vec![atom("q", &["X"])],
+            vec![
+                BodyItem::Pos(atom("p", &["X"])),
+                BodyItem::Naf(atom("r", &["X"])),
+            ],
+        ));
+        let graph = PredicateGraph::new(&strat);
+        assert!(graph.is_stratified());
+        assert!(graph.negation_loops().is_empty());
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod solve;
 pub mod syntax;
 
 pub use error::DatalogError;
+pub use graph::{NegationLoop, PredicateGraph};
 pub use ground::{ground_relevant, GroundAtom, GroundProgram, Grounder};
 pub use incremental::{IncrementalGround, PatchStats};
 pub use reason::AnswerSets;

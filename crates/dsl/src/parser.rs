@@ -15,6 +15,11 @@ pub struct DslError {
     pub line: usize,
     /// Explanation.
     pub message: String,
+    /// When the failure is the construction-time form of a static-analyzer
+    /// finding (e.g. a constraint over an undeclared relation), its
+    /// diagnostic code ([`pdes_core::analyze::codes`]); `None` for plain
+    /// syntax errors.
+    pub code: Option<&'static str>,
 }
 
 impl fmt::Display for DslError {
@@ -57,6 +62,12 @@ pub fn parse(input: &str) -> Result<ParsedSystem, DslError> {
         let err = |message: String| DslError {
             line: line_no,
             message,
+            code: None,
+        };
+        let core_err = |e: pdes_core::CoreError| DslError {
+            line: line_no,
+            code: pdes_core::analyze::code_for_error(&e),
+            message: e.to_string(),
         };
         let (keyword, rest) = split_keyword(line);
         match keyword {
@@ -65,10 +76,7 @@ pub fn parse(input: &str) -> Result<ParsedSystem, DslError> {
                 if name.is_empty() {
                     return Err(err("expected a peer name".into()));
                 }
-                parsed
-                    .system
-                    .add_peer(name)
-                    .map_err(|e| err(e.to_string()))?;
+                parsed.system.add_peer(name).map_err(core_err)?;
             }
             "relation" => {
                 let (peer, decl) = split_keyword(rest.trim());
@@ -76,7 +84,7 @@ pub fn parse(input: &str) -> Result<ParsedSystem, DslError> {
                 parsed
                     .system
                     .add_relation(&PeerId::new(peer), RelationSchema::new(rel, &attrs))
-                    .map_err(|e| err(e.to_string()))?;
+                    .map_err(core_err)?;
             }
             "fact" => {
                 let (rel, args) = parse_atom_shape(rest.trim()).map_err(&err)?;
@@ -88,7 +96,7 @@ pub fn parse(input: &str) -> Result<ParsedSystem, DslError> {
                 parsed
                     .system
                     .insert(&owner, &rel, tuple)
-                    .map_err(|e| err(e.to_string()))?;
+                    .map_err(core_err)?;
             }
             "trust" => {
                 let parts: Vec<&str> = rest.split_whitespace().collect();
@@ -103,7 +111,7 @@ pub fn parse(input: &str) -> Result<ParsedSystem, DslError> {
                 parsed
                     .system
                     .set_trust(&PeerId::new(parts[0]), level, &PeerId::new(parts[2]))
-                    .map_err(|e| err(e.to_string()))?;
+                    .map_err(core_err)?;
             }
             "dec" | "ic" => {
                 // dec <name> <owner> [<other>]: body -> head
@@ -134,11 +142,11 @@ pub fn parse(input: &str) -> Result<ParsedSystem, DslError> {
                     Some(other) => parsed
                         .system
                         .add_dec(&constraint_owner, &other, constraint)
-                        .map_err(|e| err(e.to_string()))?,
+                        .map_err(core_err)?,
                     None => parsed
                         .system
                         .add_local_ic(&constraint_owner, constraint)
-                        .map_err(|e| err(e.to_string()))?,
+                        .map_err(core_err)?,
                 }
             }
             "query" => {

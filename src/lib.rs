@@ -22,13 +22,17 @@
 //!   artifacts (stale grounded slices are *patched* by
 //!   `datalog::incremental` rather than re-ground);
 //! * [`exec`] — the dependency-free scoped thread-pool executor behind the
-//!   engine's batched/parallel answering.
+//!   engine's batched/parallel answering;
+//! * [`analysis`] — static diagnostics over peer specifications
+//!   (stable-coded [`Diagnostic`]s, the `Strategy::Auto` explanation, and
+//!   the `pdes-lint` CLI).
 //!
 //! See `README.md` for a tour and `examples/` for runnable scenarios.
 
 pub use constraints;
 pub use datalog;
 pub use dsl;
+pub use pdes_analyze as analysis;
 pub use pdes_core as core;
 pub use pdes_exec as exec;
 pub use pdes_session as session;
@@ -40,6 +44,7 @@ pub use workload;
 // the engine facade, the system vocabulary, query building blocks and the
 // solver/repair knobs.
 pub use datalog::SolverConfig;
+pub use pdes_analyze::{Diagnostic, Report, Severity};
 pub use pdes_core::engine::{
     AnsweringStrategy, Answers, EngineStats, Provenance, Query, QueryEngine, QueryEngineBuilder,
     Strategy, StrategyKind,

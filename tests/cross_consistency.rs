@@ -3,16 +3,33 @@
 //! (naive solution enumeration), the first-order rewriting and the ASP
 //! specification — must return identical answer sets.
 
+use p2p_data_exchange::analysis::{classify_rewritability, RewriteVerdict};
 use p2p_data_exchange::{
     example1_system, vars, Formula, PeerId, QueryEngine, Strategy, StrategyKind,
 };
 use workload::{generate, Topology, TrustMix, WorkloadSpec};
 
 /// Answer one workload's canonical query under every applicable strategy on
-/// a single shared engine and assert the answer sets coincide.
+/// a single shared engine and assert the answer sets coincide. Also
+/// cross-checks that the static analyzer's rewritability verdict is the
+/// engine's `Strategy::Auto` decision on this workload.
 fn check_agreement(spec: &WorkloadSpec, include_rewriting: bool) {
     let w = generate(spec).expect("valid workload spec");
+    let rewritable = matches!(
+        classify_rewritability(&w.system, &w.queried_peer).unwrap(),
+        RewriteVerdict::Rewritable
+    );
     let engine = QueryEngine::new(w.system);
+    let resolved = engine.resolve(Strategy::Auto, &w.queried_peer, &w.query);
+    assert_eq!(
+        resolved,
+        if rewritable {
+            StrategyKind::Rewriting
+        } else {
+            StrategyKind::Asp
+        },
+        "analyzer verdict and Auto resolution disagree on {spec}"
+    );
     let naive = engine
         .answer_with(Strategy::Naive, &w.queried_peer, &w.query, &w.free_vars)
         .unwrap();
@@ -128,6 +145,8 @@ fn auto_selects_rewriting_exactly_on_rewritable_workloads() {
         )
         .unwrap();
     assert_eq!(auto.stats.strategy, StrategyKind::Rewriting);
+    // Rewritable per the analyzer too, so no fallback reason is attached.
+    assert_eq!(auto.stats.auto_reason, None);
     let asp = engine
         .answer_with(
             Strategy::Asp,

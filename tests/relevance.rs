@@ -29,6 +29,12 @@ fn assert_pruned_matches_full(
     queries: &[(Formula, Vec<String>)],
     context: &str,
 ) {
+    // Cross-check: the analyzer's rewritability verdict is the Auto
+    // decision on every system this suite exercises.
+    let rewritable = matches!(
+        p2p_data_exchange::analysis::classify_rewritability(system, peer).unwrap(),
+        p2p_data_exchange::analysis::RewriteVerdict::Rewritable
+    );
     for workers in POOLS {
         let pruned = QueryEngine::builder(system.clone())
             .workers(workers)
@@ -38,6 +44,19 @@ fn assert_pruned_matches_full(
             .relevance_pruning(false)
             .build();
         for (query, fv) in queries {
+            if rewritable && p2p_data_exchange::core::rewriting::supports_query(query) {
+                assert_eq!(
+                    pruned.resolve(Strategy::Auto, peer, query),
+                    p2p_data_exchange::StrategyKind::Rewriting,
+                    "{context}: Auto disagrees with the analyzer verdict"
+                );
+            } else {
+                assert_eq!(
+                    pruned.resolve(Strategy::Auto, peer, query),
+                    p2p_data_exchange::StrategyKind::Asp,
+                    "{context}: Auto disagrees with the analyzer verdict"
+                );
+            }
             for strategy in ALL_STRATEGIES {
                 let a = pruned.answer_with(strategy, peer, query, fv);
                 let b = full.answer_with(strategy, peer, query, fv);
