@@ -1,4 +1,4 @@
-//! Prints the B1–B11 experiment tables (see DESIGN.md and EXPERIMENTS.md),
+//! Prints the B1–B12 experiment tables (see DESIGN.md and EXPERIMENTS.md),
 //! or runs the CI perf-smoke gate.
 //!
 //! Usage:
@@ -6,16 +6,19 @@
 //! * `cargo run -p pdes-bench --release --bin harness [--quick]` — the
 //!   tables (`--quick` shrinks every sweep);
 //! * `cargo run -p pdes-bench --release --bin harness -- --smoke
-//!   [--out PATH] [--baseline PATH]` — run the small fixed smoke workload,
-//!   write the metrics to `BENCH_smoke.json` (or `--out`) and exit non-zero
-//!   if any metric tracked by the committed baseline regressed more than
-//!   2x. `--baseline` defaults to `crates/bench/baselines/BENCH_smoke.json`.
+//!   [--out PATH] [--baseline PATH] [--trace PATH]` — run the small fixed
+//!   smoke workload, write the metrics to `BENCH_smoke.json` (or `--out`),
+//!   optionally write the traced sub-workload's Chrome trace-event JSON to
+//!   `--trace` (open it in `chrome://tracing` / Perfetto), and exit
+//!   non-zero if any metric tracked by the committed baseline regressed
+//!   more than 2x. `--baseline` defaults to
+//!   `crates/bench/baselines/BENCH_smoke.json`.
 
 use pdes_bench::experiments;
-use pdes_bench::smoke::{run_smoke, SmokeReport};
+use pdes_bench::smoke::{run_smoke_traced, SmokeReport};
 use pdes_bench::{
-    render_grounding_table, render_incremental_table, render_live_table, render_parallel_table,
-    render_table,
+    render_grounding_table, render_incremental_table, render_live_table, render_obs_table,
+    render_parallel_table, render_table,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -154,6 +157,18 @@ fn main() -> ExitCode {
             &experiments::table_b11(&b11_peers)
         )
     );
+    let (b12_peers, b12_warm) = if quick {
+        (vec![2], 20)
+    } else {
+        (vec![2, 4], 100)
+    };
+    print!(
+        "{}",
+        render_obs_table(
+            "B12: per-phase span latency percentiles (TraceRecorder histograms)",
+            &pdes_bench::obs::table_b12(&b12_peers, b12_warm)
+        )
+    );
     ExitCode::SUCCESS
 }
 
@@ -176,13 +191,20 @@ fn smoke_gate(args: &[String]) -> ExitCode {
     });
 
     println!("perf-smoke: running the fixed smoke workload…");
-    let report = match run_smoke() {
-        Ok(report) => report,
+    let (report, trace_json) = match run_smoke_traced() {
+        Ok(pair) => pair,
         Err(e) => {
             eprintln!("perf-smoke: workload failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(trace_out) = flag_value(args, "--trace") {
+        if let Err(e) = std::fs::write(&trace_out, &trace_json) {
+            eprintln!("perf-smoke: cannot write {}: {e}", trace_out.display());
+            return ExitCode::FAILURE;
+        }
+        println!("perf-smoke: wrote trace {}", trace_out.display());
+    }
     for (name, value) in &report.metrics {
         println!("  {name} = {value:.3}");
     }

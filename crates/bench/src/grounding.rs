@@ -54,7 +54,7 @@ pub fn measure_grounding(
         mode: if pruned { "pruned" } else { "full" },
         grounded_rules: result.stats.grounded_rules,
         grounded_atoms: result.stats.grounded_atoms,
-        ground_ms: result.stats.ground_micros as f64 / 1e3,
+        ground_ms: result.stats.ground_time().as_secs_f64() * 1e3,
         answer_ms: start.elapsed().as_secs_f64() * 1e3,
         answers: result.len(),
     })

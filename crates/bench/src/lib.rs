@@ -31,16 +31,25 @@
 //! increasing peer count; the smoke gate additionally tracks exact
 //! grounded-rule/atom counters so grounding blow-ups fail CI
 //! deterministically.
+//!
+//! Table B12 ([`obs`]) decomposes query latency per engine phase: a
+//! [`pdes_obs::TraceRecorder`] on the workload engine feeds every span into
+//! the shared histogram registry, and the table reports per-label count /
+//! p50 / p99 — the same machinery behind the B8/B11 percentile columns and
+//! the smoke gate's exact `trace_span_count` / `trace_event_count`
+//! counters.
 
 pub mod experiments;
 pub mod grounding;
 pub mod live;
+pub mod obs;
 pub mod parallel;
 pub mod runners;
 pub mod smoke;
 
 pub use grounding::{render_grounding_table, GroundingMeasurement};
 pub use live::{render_incremental_table, render_live_table, LiveMeasurement, LiveMode};
+pub use obs::{render_obs_table, ObsMeasurement};
 pub use parallel::{render_parallel_table, ParallelMeasurement};
 pub use runners::{render_table, Measurement};
-pub use smoke::{run_smoke, SmokeReport};
+pub use smoke::{run_smoke, run_smoke_traced, SmokeReport};

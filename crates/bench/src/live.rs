@@ -29,6 +29,7 @@
 use pdes_core::engine::{QueryEngine, Strategy};
 use pdes_core::pca::vars;
 use pdes_core::system::PeerId;
+use pdes_obs::Histogram;
 use pdes_session::{Session, Update};
 use relalg::query::Formula;
 use std::time::Instant;
@@ -90,6 +91,16 @@ pub struct LiveMeasurement {
     pub millis: f64,
     /// Sustained throughput over the whole run.
     pub queries_per_sec: f64,
+    /// Median per-query latency in milliseconds (shared
+    /// [`pdes_obs::Histogram`] machinery — the same log-linear buckets the
+    /// engine's trace histograms use).
+    pub p50_ms: f64,
+    /// 99th-percentile per-query latency in milliseconds.
+    pub p99_ms: f64,
+    /// Preparation milliseconds the warm (cache-hit) queries *saved* — the
+    /// sum of [`pdes_core::engine::EngineStats::cached_prepare_time`] over
+    /// every hit.
+    pub warm_saved_ms: f64,
 }
 
 /// The per-peer canonical queries `T<i>(X, Y)` of a generated workload. The
@@ -139,6 +150,8 @@ pub fn run_live(
     let mut regrounded_rules = 0usize;
     let mut slice_rules = 0usize;
     let mut round_robin = 0usize;
+    let mut warm_saved = std::time::Duration::ZERO;
+    let latency = Histogram::new();
 
     let start = Instant::now();
     for batch in stream {
@@ -165,10 +178,13 @@ pub fn run_live(
         for _ in 0..queries_per_commit {
             let (peer, query) = &queries[round_robin % queries.len()];
             round_robin += 1;
+            let query_start = Instant::now();
             let answers = session.answer(peer, query, &fv).ok()?;
+            latency.record(pdes_obs::duration_nanos(query_start.elapsed()));
             answered += 1;
             if answers.stats.cache_hit {
                 cache_hits += 1;
+                warm_saved += answers.stats.cached_prepare_time().unwrap_or_default();
             } else {
                 regrounded_rules += answers.stats.regrounded_rules;
                 slice_rules = slice_rules.max(answers.stats.grounded_rules);
@@ -191,6 +207,9 @@ pub fn run_live(
         } else {
             f64::INFINITY
         },
+        p50_ms: latency.quantile(0.50) as f64 / 1e6,
+        p99_ms: latency.quantile(0.99) as f64 / 1e6,
+        warm_saved_ms: warm_saved.as_secs_f64() * 1e3,
     })
 }
 
@@ -200,7 +219,7 @@ pub fn render_incremental_table(title: &str, rows: &[LiveMeasurement]) -> String
     let mut out = String::new();
     out.push_str(&format!("\n== {title} ==\n"));
     out.push_str(&format!(
-        "{:<30} {:<18} {:>7} {:>6} {:>7} {:>10} {:>9} {:>11} {:>11}\n",
+        "{:<30} {:<18} {:>7} {:>6} {:>7} {:>10} {:>9} {:>11} {:>11} {:>9} {:>9}\n",
         "parameters",
         "mode",
         "commits",
@@ -209,11 +228,13 @@ pub fn render_incremental_table(title: &str, rows: &[LiveMeasurement]) -> String
         "rederived",
         "slice",
         "time (ms)",
-        "queries/s"
+        "queries/s",
+        "p50 (ms)",
+        "p99 (ms)"
     ));
     for row in rows {
         out.push_str(&format!(
-            "{:<30} {:<18} {:>7} {:>6} {:>7} {:>10} {:>9} {:>11.3} {:>11.1}\n",
+            "{:<30} {:<18} {:>7} {:>6} {:>7} {:>10} {:>9} {:>11.3} {:>11.1} {:>9.3} {:>9.3}\n",
             row.params,
             row.mode.label(),
             row.commits,
@@ -222,7 +243,9 @@ pub fn render_incremental_table(title: &str, rows: &[LiveMeasurement]) -> String
             row.regrounded_rules,
             row.slice_rules,
             row.millis,
-            row.queries_per_sec
+            row.queries_per_sec,
+            row.p50_ms,
+            row.p99_ms
         ));
     }
     out
@@ -233,19 +256,31 @@ pub fn render_live_table(title: &str, rows: &[LiveMeasurement]) -> String {
     let mut out = String::new();
     out.push_str(&format!("\n== {title} ==\n"));
     out.push_str(&format!(
-        "{:<34} {:<18} {:>8} {:>8} {:>6} {:>12} {:>12}\n",
-        "parameters", "mode", "commits", "queries", "warm", "time (ms)", "queries/s"
+        "{:<34} {:<18} {:>8} {:>8} {:>6} {:>12} {:>12} {:>9} {:>9} {:>11}\n",
+        "parameters",
+        "mode",
+        "commits",
+        "queries",
+        "warm",
+        "time (ms)",
+        "queries/s",
+        "p50 (ms)",
+        "p99 (ms)",
+        "saved (ms)"
     ));
     for row in rows {
         out.push_str(&format!(
-            "{:<34} {:<18} {:>8} {:>8} {:>6} {:>12.3} {:>12.1}\n",
+            "{:<34} {:<18} {:>8} {:>8} {:>6} {:>12.3} {:>12.1} {:>9.3} {:>9.3} {:>11.3}\n",
             row.params,
             row.mode.label(),
             row.commits,
             row.queries,
             row.cache_hits,
             row.millis,
-            row.queries_per_sec
+            row.queries_per_sec,
+            row.p50_ms,
+            row.p99_ms,
+            row.warm_saved_ms
         ));
     }
     out
@@ -331,8 +366,11 @@ mod tests {
         let table = render_live_table("B8", std::slice::from_ref(&m));
         assert!(table.contains("live-incremental"));
         assert!(table.contains("queries/s"));
+        assert!(table.contains("p50 (ms)"));
+        assert!(table.contains("saved (ms)"));
         let b11 = render_incremental_table("B11", &[m]);
         assert!(b11.contains("rederived"));
         assert!(b11.contains("slice"));
+        assert!(b11.contains("p99 (ms)"));
     }
 }

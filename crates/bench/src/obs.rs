@@ -1,0 +1,135 @@
+//! Table B12: per-phase span latency percentiles from the engine's
+//! observability subsystem.
+//!
+//! A [`pdes_obs::TraceRecorder`] is installed on a workload engine and a
+//! mixed cold/warm/batch query load is replayed; every span the engine emits
+//! (`query`, `prepare`, `ground`, `solve`, `eval`, …) lands in the
+//! recorder's shared [`pdes_obs::Histogram`] registry — the same log-linear
+//! bucket machinery the live tables' p50/p99 columns use — and the table
+//! reports per-phase count, p50, p99 and total. Unlike B1–B11, which time
+//! whole runs from the outside, B12 decomposes *where* a query's time goes,
+//! with percentiles instead of single samples.
+
+use pdes_core::engine::{Query, QueryEngine, Strategy};
+use pdes_obs::TraceRecorder;
+use std::sync::Arc;
+use workload::{generate, TrustMix, WorkloadSpec};
+
+/// One B12 row: the latency distribution of one span label.
+#[derive(Debug, Clone)]
+pub struct ObsMeasurement {
+    /// Workload parameters, rendered for the table.
+    pub params: String,
+    /// Span label (`query`, `prepare`, `solve`, …).
+    pub label: String,
+    /// Spans recorded under this label.
+    pub count: u64,
+    /// Median span duration in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile span duration in milliseconds.
+    pub p99_ms: f64,
+    /// Total time under this label in milliseconds.
+    pub total_ms: f64,
+}
+
+/// Run the B12 workload at each peer count: one traced engine per point,
+/// a cold query, `warm_repeats` warm repeats and one parallel batch, then
+/// one row per span label the engine emitted.
+pub fn table_b12(peer_counts: &[usize], warm_repeats: usize) -> Vec<ObsMeasurement> {
+    let mut rows = Vec::new();
+    for &peers in peer_counts {
+        let Ok(w) = generate(&WorkloadSpec {
+            peers,
+            tuples_per_relation: 10,
+            violations_per_dec: 1,
+            trust_mix: TrustMix::AllLess,
+            ..WorkloadSpec::default()
+        }) else {
+            continue;
+        };
+        let recorder = Arc::new(TraceRecorder::new());
+        let engine = QueryEngine::builder(w.system.clone())
+            .strategy(Strategy::Asp)
+            .workers(2)
+            .recorder(recorder.clone())
+            .build();
+        if engine
+            .answer(&w.queried_peer, &w.query, &w.free_vars)
+            .is_err()
+        {
+            continue;
+        }
+        for _ in 0..warm_repeats {
+            if engine
+                .answer(&w.queried_peer, &w.query, &w.free_vars)
+                .is_err()
+            {
+                continue;
+            }
+        }
+        let batch: Vec<Query> = (0..4)
+            .map(|_| Query::new(w.queried_peer.clone(), w.query.clone(), w.free_vars.clone()))
+            .collect();
+        let _ = engine.answer_batch(&batch);
+        let params = format!("peers={peers} warm={warm_repeats}");
+        for (label, summary) in recorder.registry().histograms() {
+            if summary.count == 0 {
+                continue;
+            }
+            rows.push(ObsMeasurement {
+                params: params.clone(),
+                label: label.to_string(),
+                count: summary.count,
+                p50_ms: summary.p50 as f64 / 1e6,
+                p99_ms: summary.p99 as f64 / 1e6,
+                total_ms: summary.sum as f64 / 1e6,
+            });
+        }
+    }
+    rows
+}
+
+/// Render B12 as an aligned text table.
+pub fn render_obs_table(title: &str, rows: &[ObsMeasurement]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<26} {:<18} {:>7} {:>10} {:>10} {:>11}\n",
+        "parameters", "span", "count", "p50 (ms)", "p99 (ms)", "total (ms)"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<26} {:<18} {:>7} {:>10.4} {:>10.4} {:>11.3}\n",
+            row.params, row.label, row.count, row.p50_ms, row.p99_ms, row.total_ms
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b12_reports_engine_phase_histograms() {
+        let rows = table_b12(&[2], 5);
+        assert!(!rows.is_empty());
+        let labels: Vec<&str> = rows.iter().map(|r| r.label.as_str()).collect();
+        for phase in ["query", "prepare", "ground", "solve", "eval"] {
+            assert!(labels.contains(&phase), "missing span histogram {phase}");
+        }
+        // 1 cold + 5 warm + 4 batched queries, every one recorded.
+        let query_row = rows.iter().find(|r| r.label == "query").unwrap();
+        assert_eq!(query_row.count, 10);
+        // The cold query prepared exactly once; warm repeats hit the cache.
+        let prepare_row = rows.iter().find(|r| r.label == "prepare").unwrap();
+        assert_eq!(prepare_row.count, 1);
+        for row in &rows {
+            assert!(row.p50_ms <= row.p99_ms, "{}: p50 > p99", row.label);
+            assert!(row.total_ms >= 0.0);
+        }
+        let table = render_obs_table("B12", &rows);
+        assert!(table.contains("p99 (ms)"));
+        assert!(table.contains("query"));
+    }
+}

@@ -30,6 +30,8 @@
 use crate::live::{run_live, LiveMode};
 use crate::parallel::{cluster_batch, cluster_system, run_batch};
 use pdes_core::engine::Strategy;
+use pdes_obs::{NullRecorder, TraceRecorder};
+use std::sync::Arc;
 use std::time::Instant;
 use workload::{generate, generate_updates, Topology, TrustMix, UpdateSpec, WorkloadSpec};
 
@@ -158,6 +160,13 @@ impl SmokeReport {
 /// big enough that a pathological slow-down in grounding, solving, batching
 /// or invalidation moves a metric well past 2x.
 pub fn run_smoke() -> Result<SmokeReport, String> {
+    run_smoke_traced().map(|(report, _)| report)
+}
+
+/// [`run_smoke`], additionally returning the Chrome trace-event JSON of the
+/// traced sub-workload (the artifact `harness --smoke --trace PATH` writes
+/// and CI uploads).
+pub fn run_smoke_traced() -> Result<(SmokeReport, String), String> {
     let mut metrics = Vec::new();
 
     // Batched answering over disjoint clusters, sequential vs. pooled.
@@ -262,6 +271,59 @@ pub fn run_smoke() -> Result<SmokeReport, String> {
         "asp_warm500_ms".to_string(),
         start.elapsed().as_secs_f64() * 1e3,
     ));
+
+    // Observability overhead + exact trace-shape counters. First the
+    // NullRecorder control: an engine with the default (null) recorder
+    // explicitly installed must stay within the ordinary 2x timing budget —
+    // a hot-path instrumentation regression shows up here even if the
+    // engine's own defaults change.
+    let null_engine = pdes_core::engine::QueryEngine::builder(w.system.clone())
+        .strategy(Strategy::Asp)
+        .recorder(Arc::new(NullRecorder))
+        .build();
+    let _ = null_engine
+        .answer(&w.queried_peer, &w.query, &w.free_vars)
+        .map_err(|e| e.to_string())?;
+    let start = Instant::now();
+    for _ in 0..500 {
+        let warm = null_engine
+            .answer(&w.queried_peer, &w.query, &w.free_vars)
+            .map_err(|e| e.to_string())?;
+        if warm.tuples != cold_tuples {
+            return Err("null-recorder warm answers diverged from cold".to_string());
+        }
+    }
+    metrics.push((
+        "obs_null_warm500_ms".to_string(),
+        start.elapsed().as_secs_f64() * 1e3,
+    ));
+    // Then the traced run: a deterministic cold + 20-warm sequence on a
+    // sequential engine. Span and event counts are *exact-match* metrics:
+    // an instrumentation point added or removed anywhere on the query path
+    // must come with a refreshed baseline.
+    let trace_recorder = Arc::new(TraceRecorder::new());
+    let traced_engine = pdes_core::engine::QueryEngine::builder(w.system.clone())
+        .strategy(Strategy::Asp)
+        .recorder(trace_recorder.clone())
+        .build();
+    for _ in 0..21 {
+        let traced = traced_engine
+            .answer(&w.queried_peer, &w.query, &w.free_vars)
+            .map_err(|e| e.to_string())?;
+        if traced.tuples != cold_tuples {
+            return Err("traced answers diverged from cold".to_string());
+        }
+    }
+    let trace = trace_recorder.trace();
+    if trace.malformed() > 0 {
+        return Err(format!(
+            "trace has {} malformed span events",
+            trace.malformed()
+        ));
+    }
+    metrics.push(("trace_span_count".to_string(), trace.span_count() as f64));
+    metrics.push(("trace_event_count".to_string(), trace.event_count() as f64));
+    let trace_json = trace.chrome_json();
 
     // Live throughput under a mutation stream with incremental invalidation.
     let live_w = generate(&WorkloadSpec {
@@ -407,7 +469,7 @@ pub fn run_smoke() -> Result<SmokeReport, String> {
     metrics.push(("analyzer_warnings".to_string(), analyzer_warnings as f64));
     metrics.push(("analyzer_infos".to_string(), analyzer_infos as f64));
 
-    Ok(SmokeReport { metrics })
+    Ok((SmokeReport { metrics }, trace_json))
 }
 
 #[cfg(test)]
@@ -479,6 +541,9 @@ mod tests {
             "batch_grounded_rules",
             "asp_cold10_ms",
             "asp_warm500_ms",
+            "obs_null_warm500_ms",
+            "trace_span_count",
+            "trace_event_count",
             "asp_grounded_rules",
             "asp_grounded_atoms",
             "asp_full_grounded_rules",
@@ -504,6 +569,13 @@ mod tests {
         );
         // The tiny-budget engine evicted (hard error inside the run).
         assert!(smoke.get("cache_evictions") > Some(0.0));
+        // The traced sub-workload produced a well-formed, non-empty trace
+        // with two events (enter + exit) per span.
+        assert!(smoke.get("trace_span_count") > Some(0.0));
+        assert_eq!(
+            smoke.get("trace_event_count"),
+            smoke.get("trace_span_count").map(|s| s * 2.0)
+        );
         // The smoke workloads are analyzer-error-free (hard error inside
         // the run); the warning/info counters are exact-match in the gate.
         assert_eq!(smoke.get("analyzer_errors"), Some(0.0));

@@ -127,11 +127,11 @@
 use crate::error::CoreError;
 use crate::pca::vars;
 use crate::rewriting;
-use crate::solution::{solutions_with_stats, SolutionOptions, SolutionStats};
+use crate::solution::{SolutionOptions, SolutionStats};
 use crate::system::{P2PSystem, PeerId};
 use crate::Result;
 use datalog::reason::AnswerSets;
-use datalog::solve::solve_ground_with;
+use datalog::solve::solve_ground_recorded;
 use datalog::{Grounder, SolverConfig};
 use pdes_exec::{ExecConfig, Executor};
 use relalg::query::{Formula, QueryEvaluator};
@@ -140,7 +140,9 @@ use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::time::Instant;
+use std::time::Duration;
+
+use pdes_obs::{duration_nanos, NullRecorder, Recorder, Span};
 
 thread_local! {
     /// Set on threads that are already batch-partition workers: per-query
@@ -203,6 +205,14 @@ impl StrategyKind {
 }
 
 /// Per-run statistics of one answered query.
+///
+/// Timings are stored as `u64` nanoseconds and exposed through
+/// [`Duration`]-returning accessors ([`EngineStats::prepare_time`] and
+/// friends) instead of ad-hoc `*_micros: u128` fields: every phase duration
+/// is the *exact* value the engine's [`pdes_obs::Recorder`] saw for the
+/// corresponding span, so a trace exported from a [`pdes_obs::TraceRecorder`]
+/// can never disagree with the stats (asserted by the observability
+/// integration tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[must_use = "engine statistics are only useful when inspected"]
 pub struct EngineStats {
@@ -211,14 +221,17 @@ pub struct EngineStats {
     /// Whether the per-peer preparation (solution enumeration / grounding +
     /// solving / global instance) was served from the engine cache.
     pub cache_hit: bool,
-    /// Total preparation time in microseconds (0 on a cache hit).
-    pub prepare_micros: u128,
-    /// Grounding time in microseconds (ASP strategies only).
-    pub ground_micros: u128,
-    /// Stable-model search time in microseconds (ASP strategies only).
-    pub solve_micros: u128,
-    /// Query evaluation time in microseconds.
-    pub eval_micros: u128,
+    /// Preparation nanoseconds spent *this run* (0 on a cache hit).
+    pub(crate) prepare_nanos: u64,
+    /// Grounding nanoseconds (ASP strategies only).
+    pub(crate) ground_nanos: u64,
+    /// Stable-model search nanoseconds (ASP strategies only).
+    pub(crate) solve_nanos: u64,
+    /// Query evaluation nanoseconds.
+    pub(crate) eval_nanos: u64,
+    /// Nanoseconds the *original* (memoized) preparation cost, reported on
+    /// cache hits; 0 on misses.
+    pub(crate) cached_prepare_nanos: u64,
     /// Number of worlds the answer is certain over: solutions (naive),
     /// answer sets (ASP), or 1 (rewriting).
     pub worlds: usize,
@@ -242,6 +255,47 @@ pub struct EngineStats {
     /// strategies, rewritable peers, and queries outside the peer's schema
     /// (where no mechanism-level verdict applies).
     pub auto_reason: Option<&'static str>,
+}
+
+impl EngineStats {
+    /// Preparation time spent by *this* run (solution enumeration /
+    /// grounding + solving / global-instance materialization). Zero on a
+    /// cache hit — see [`EngineStats::cached_prepare_time`] for what the hit
+    /// saved.
+    pub fn prepare_time(&self) -> Duration {
+        Duration::from_nanos(self.prepare_nanos)
+    }
+
+    /// Grounding time (ASP strategies only; a sub-phase of
+    /// [`EngineStats::prepare_time`]).
+    pub fn ground_time(&self) -> Duration {
+        Duration::from_nanos(self.ground_nanos)
+    }
+
+    /// Stable-model search time (ASP strategies only; a sub-phase of
+    /// [`EngineStats::prepare_time`]).
+    pub fn solve_time(&self) -> Duration {
+        Duration::from_nanos(self.solve_nanos)
+    }
+
+    /// Query evaluation time (per-world evaluation + intersection).
+    pub fn eval_time(&self) -> Duration {
+        Duration::from_nanos(self.eval_nanos)
+    }
+
+    /// On a cache hit, the preparation time of the *original* run that
+    /// populated the cache — what the hit saved. `None` on a miss, where
+    /// [`EngineStats::prepare_time`] already reports the cost paid.
+    pub fn cached_prepare_time(&self) -> Option<Duration> {
+        self.cache_hit
+            .then(|| Duration::from_nanos(self.cached_prepare_nanos))
+    }
+
+    /// Total engine time for this run: preparation (which contains grounding
+    /// and solving as sub-phases) plus evaluation.
+    pub fn total_time(&self) -> Duration {
+        self.prepare_time() + self.eval_time()
+    }
 }
 
 /// Mechanism-specific evidence attached to an [`Answers`] (the successor of
@@ -439,6 +493,7 @@ pub struct QueryEngineBuilder {
     incremental_reground: bool,
     cache_capacity: Option<usize>,
     strict_analysis: bool,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl QueryEngineBuilder {
@@ -524,6 +579,20 @@ impl QueryEngineBuilder {
         self
     }
 
+    /// Install an observability [`Recorder`]. Every query the engine answers
+    /// emits structured spans (`query`, `prepare`, `relevance`, `ground` /
+    /// `patch`, `solve`, `decode`, `eval`, …) and counters (`cache.hit`,
+    /// `cache.miss`, `solver.branch_nodes`, …) to it, and the recorder is
+    /// threaded into the executor so parallel solver subtrees and batch
+    /// partitions report too. Defaults to [`NullRecorder`], which keeps the
+    /// hot path free of any buffering or locking; install a
+    /// [`pdes_obs::TraceRecorder`] to collect a Chrome-traceable timeline
+    /// plus latency histograms.
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Finish the builder, running the static analyzer over the system.
     ///
     /// With [`QueryEngineBuilder::strict_analysis`] enabled, error-severity
@@ -537,13 +606,17 @@ impl QueryEngineBuilder {
                 report: report.render(),
             });
         }
+        let recorder: Arc<dyn Recorder> = self
+            .recorder
+            .unwrap_or_else(|| Arc::new(NullRecorder) as Arc<dyn Recorder>);
         Ok(QueryEngine {
             system: self.system,
             strategy: self.strategy,
             custom: self.custom,
             solver_config: self.solver_config,
             solution_options: self.solution_options,
-            exec: Executor::new(self.exec),
+            exec: Executor::new(self.exec).with_recorder(Arc::clone(&recorder)),
+            recorder,
             relevance_pruning: self.relevance_pruning,
             incremental_reground: self.incremental_reground,
             cache_capacity: self.cache_capacity,
@@ -627,9 +700,11 @@ struct EngineCache {
     /// Monotonically increasing per-peer versions (absent = 0, the
     /// construction-time instance).
     versions: BTreeMap<PeerId, u64>,
-    /// Materialized global instance (rewriting strategy). Maintained
+    /// Materialized global instance (rewriting strategy) plus the
+    /// nanoseconds its original materialization cost (reported as
+    /// [`EngineStats::cached_prepare_time`] on hits). Maintained
     /// incrementally across commits rather than invalidated.
-    global: Option<Arc<Database>>,
+    global: Option<(Arc<Database>, u64)>,
     /// Per-peer enumerated solutions, restricted to the peer (naive).
     naive: BTreeMap<PeerId, NaiveEntry>,
     /// Grounded + solved direct specification programs, keyed by peer plus
@@ -757,9 +832,9 @@ struct PreparedWorlds {
     databases: Vec<Database>,
     /// World count before deduplication (matches the legacy result structs).
     worlds: usize,
-    prepare_micros: u128,
-    ground_micros: u128,
-    solve_micros: u128,
+    prepare_nanos: u64,
+    ground_nanos: u64,
+    solve_nanos: u64,
     /// Ground rules / atoms instantiated for this entry (ASP strategies).
     grounded_rules: usize,
     grounded_atoms: usize,
@@ -795,6 +870,7 @@ pub struct QueryEngine {
     solver_config: SolverConfig,
     solution_options: SolutionOptions,
     exec: Executor,
+    recorder: Arc<dyn Recorder>,
     relevance_pruning: bool,
     incremental_reground: bool,
     cache_capacity: Option<usize>,
@@ -824,6 +900,7 @@ impl QueryEngine {
             incremental_reground: true,
             cache_capacity: None,
             strict_analysis: false,
+            recorder: None,
         }
     }
 
@@ -890,8 +967,15 @@ impl QueryEngine {
         if IN_BATCH_WORKER.with(|flag| flag.get()) {
             Executor::sequential()
         } else {
-            self.exec
+            self.exec.clone()
         }
+    }
+
+    /// The observability recorder every query reports to
+    /// ([`NullRecorder`] unless one was installed via
+    /// [`QueryEngineBuilder::recorder`]).
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
     }
 
     /// Resolve which mechanism a query would run under the given strategy
@@ -953,7 +1037,10 @@ impl QueryEngine {
                     custom.name()
                 )));
             }
-            return custom.answer(self, peer, query, free_vars);
+            let span = Span::enter(self.recorder.as_ref(), "query");
+            let result = custom.answer(self, peer, query, free_vars);
+            span.finish();
+            return result;
         }
         self.answer_with(self.strategy, peer, query, free_vars)
     }
@@ -976,7 +1063,17 @@ impl QueryEngine {
             StrategyKind::TransitiveAsp => &TransitiveAspStrategy,
             StrategyKind::Custom => unreachable!("resolve never yields Custom"),
         };
-        let mut answers = built_in.answer(self, peer, query, free_vars)?;
+        let span = Span::enter_with(
+            self.recorder.as_ref(),
+            "query",
+            &[
+                pdes_obs::Field::text("peer", peer.to_string()),
+                pdes_obs::Field::text("strategy", kind.label()),
+            ],
+        );
+        let result = built_in.answer(self, peer, query, free_vars);
+        span.finish();
+        let mut answers = result?;
         answers.stats.auto_reason = auto_reason;
         Ok(answers)
     }
@@ -1013,11 +1110,26 @@ impl QueryEngine {
     /// With a sequential [`ExecConfig`] (the default) this *is* the plain
     /// loop.
     pub fn answer_batch(&self, queries: &[Query]) -> Vec<Result<Answers>> {
+        let recorder = self.recorder.as_ref();
+        recorder.count("batch.queries", queries.len() as u64);
+        let batch_span = Span::enter_with(
+            recorder,
+            "batch",
+            &[pdes_obs::Field::u64("queries", queries.len() as u64)],
+        );
+        let out = self.answer_batch_inner(queries);
+        batch_span.finish();
+        out
+    }
+
+    fn answer_batch_inner(&self, queries: &[Query]) -> Vec<Result<Answers>> {
         let one = |q: &Query| self.answer(&q.peer, &q.query, &q.free_vars);
         if self.exec.config().is_sequential() || queries.len() <= 1 {
             return queries.iter().map(one).collect();
         }
+        let partition_span = Span::enter(self.recorder.as_ref(), "batch.partition");
         let partitions = self.partition_batch(queries);
+        partition_span.finish();
         if partitions.len() <= 1 {
             return queries.iter().map(one).collect();
         }
@@ -1136,6 +1248,18 @@ impl QueryEngine {
     /// constraints are the responsibility of the transactional layer
     /// (`pdes-session`), which checks them before calling this.
     pub fn commit_delta(&mut self, peer: &PeerId, delta: &relalg::Delta) -> Result<u64> {
+        let recorder = Arc::clone(&self.recorder);
+        let span = Span::enter_with(
+            recorder.as_ref(),
+            "commit",
+            &[pdes_obs::Field::text("peer", peer.to_string())],
+        );
+        let out = self.commit_delta_inner(peer, delta);
+        span.finish();
+        out
+    }
+
+    fn commit_delta_inner(&mut self, peer: &PeerId, delta: &relalg::Delta) -> Result<u64> {
         self.system.apply_delta(peer, delta)?;
         let cache = self
             .cache
@@ -1149,8 +1273,8 @@ impl QueryEngine {
         // Incremental maintenance of the materialized global instance:
         // relation names are globally unique (Definition 2(b)), so a
         // peer-local delta applies verbatim to the union of all instances.
-        if let Some(global) = cache.global.take() {
-            cache.global = Some(Arc::new(delta.apply(&global)?));
+        if let Some((global, nanos)) = cache.global.take() {
+            cache.global = Some((Arc::new(delta.apply(&global)?), nanos));
         }
         // Naive artifacts: no patchable state — drop the affected ones.
         let mut invalidated = 0u64;
@@ -1305,22 +1429,28 @@ impl QueryEngine {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    /// The materialized global instance, computed once per engine.
-    fn global_instance(&self) -> Result<(Arc<Database>, bool, u128)> {
-        if let Some(db) = &self.read_cache().global {
+    /// The materialized global instance, computed once per engine. Returns
+    /// `(instance, cache_hit, nanos_this_run, nanos_originally)` — on a hit
+    /// the run cost is 0 and the original materialization cost is reported
+    /// instead ([`EngineStats::cached_prepare_time`]).
+    fn global_instance(&self) -> Result<(Arc<Database>, bool, u64, u64)> {
+        if let Some((db, nanos)) = &self.read_cache().global {
             let db = Arc::clone(db);
+            let nanos = *nanos;
             self.metrics.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((db, true, 0));
+            self.recorder.count("cache.hit", 1);
+            return Ok((db, true, 0, nanos));
         }
         self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+        self.recorder.count("cache.miss", 1);
         // Materialize outside the lock; concurrent misses may duplicate the
         // work but never block each other on it.
-        let start = Instant::now();
+        let span = Span::enter(self.recorder.as_ref(), "prepare");
         let db = Arc::new(self.system.global_instance()?);
-        let micros = start.elapsed().as_micros();
+        let nanos = duration_nanos(span.finish());
         let mut cache = self.write_cache();
-        let entry = cache.global.get_or_insert_with(|| Arc::clone(&db));
-        Ok((Arc::clone(entry), false, micros))
+        let (entry, nanos) = cache.global.get_or_insert_with(|| (Arc::clone(&db), nanos));
+        Ok((Arc::clone(entry), false, *nanos, 0))
     }
 
     /// Enumerated solutions of `peer`, restricted to the peer's relations.
@@ -1337,6 +1467,7 @@ impl QueryEngine {
                     entry.last_used.store(self.tick(), Ordering::Relaxed);
                     let prepared = Arc::clone(&entry.prepared);
                     self.metrics.hits.fetch_add(1, Ordering::Relaxed);
+                    self.recorder.count("cache.hit", 1);
                     return Ok((prepared, true));
                 }
             }
@@ -1351,17 +1482,24 @@ impl QueryEngine {
                     entry.last_used.store(self.tick(), Ordering::Relaxed);
                     let prepared = Arc::clone(&entry.prepared);
                     self.metrics.hits.fetch_add(1, Ordering::Relaxed);
+                    self.recorder.count("cache.hit", 1);
                     return Ok((prepared, true));
                 }
                 cache.naive.remove(peer);
                 self.metrics.invalidated.fetch_add(1, Ordering::Relaxed);
             }
             self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+            self.recorder.count("cache.miss", 1);
             cache.stamp_for(self.system.peer_ids().cloned())
         };
         // Enumerate outside the lock (solution search can be expensive).
-        let start = Instant::now();
-        let (solutions, search) = solutions_with_stats(&self.system, peer, self.solution_options)?;
+        let span = Span::enter(self.recorder.as_ref(), "prepare");
+        let (solutions, search) = crate::solution::solutions_with_stats_recorded(
+            &self.system,
+            peer,
+            self.solution_options,
+            self.recorder.as_ref(),
+        )?;
         let mut databases = Vec::with_capacity(solutions.len());
         for solution in &solutions {
             databases.push(self.system.restrict_to_peer(&solution.database, peer)?);
@@ -1369,9 +1507,9 @@ impl QueryEngine {
         let prepared = Arc::new(PreparedWorlds {
             worlds: solutions.len(),
             databases,
-            prepare_micros: start.elapsed().as_micros(),
-            ground_micros: 0,
-            solve_micros: 0,
+            prepare_nanos: duration_nanos(span.finish()),
+            ground_nanos: 0,
+            solve_nanos: 0,
             grounded_rules: 0,
             grounded_atoms: 0,
             regrounded_rules: 0,
@@ -1483,6 +1621,7 @@ impl QueryEngine {
                         entry.last_used.store(self.tick(), Ordering::Relaxed);
                         let prepared = Arc::clone(&entry.prepared);
                         self.metrics.hits.fetch_add(1, Ordering::Relaxed);
+                        self.recorder.count("cache.hit", 1);
                         return Ok((prepared, true));
                     }
                 }
@@ -1492,7 +1631,8 @@ impl QueryEngine {
         // canonical fingerprint outside any lock (program construction is
         // cheap next to grounding and solving, which only run when the
         // canonical artifact is cold or stale).
-        let start = Instant::now();
+        let recorder = self.recorder.as_ref();
+        let prepare_span = Span::enter(recorder, "prepare");
         let spec = if transitive {
             SpecProgram::Transitive(crate::asp::transitive_program(&self.system, peer)?)
         } else {
@@ -1505,7 +1645,9 @@ impl QueryEngine {
         // The restricted program is only needed by the cold full-grounding
         // branches below; the stale-patch hot path repairs its retained
         // state instead, so the (slice-sized) clone is deferred.
+        let relevance_span = Span::enter(recorder, "relevance");
         let analysis = seeds.as_ref().map(|seeds| grounder.relevance(seeds));
+        relevance_span.finish();
         let fingerprint = analysis
             .as_ref()
             .map(|a| a.fingerprint())
@@ -1526,6 +1668,7 @@ impl QueryEngine {
                     entry.last_used.store(self.tick(), Ordering::Relaxed);
                     let prepared = Arc::clone(&entry.prepared);
                     self.metrics.hits.fetch_add(1, Ordering::Relaxed);
+                    self.recorder.count("cache.hit", 1);
                     return Ok((prepared, true));
                 }
             }
@@ -1544,11 +1687,15 @@ impl QueryEngine {
                 }
             }
             self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+            self.recorder.count("cache.miss", 1);
             (cache.stamp_for(self.system.dependencies_of(peer)), stale)
         };
         // Ground (or patch) and solve outside the lock: these are the
         // expensive phases and must not serialize unrelated queries.
-        let ground_start = Instant::now();
+        let ground_span = Span::enter(recorder, if stale.is_some() { "patch" } else { "ground" });
+        if stale.is_some() {
+            recorder.count("cache.stale_patch", 1);
+        }
         let (ground, state, regrounded_rules) = match stale {
             Some((mut state, pending)) => {
                 // Repair the stale grounding: translate the queued update
@@ -1581,16 +1728,18 @@ impl QueryEngine {
                 (ground, None, all)
             }
         };
-        let ground_micros = ground_start.elapsed().as_micros();
-        let solved = solve_prepared(ground, self.solver_config, &self.query_exec())?;
+        let ground_nanos = duration_nanos(ground_span.finish());
+        let solved = solve_prepared(ground, self.solver_config, &self.query_exec(), recorder)?;
+        let decode_span = Span::enter(recorder, "decode");
         let databases = spec.solution_databases(&self.system, &solved.sets)?;
+        decode_span.finish();
         let provenance = spec.provenance(&solved.sets);
         let prepared = Arc::new(PreparedWorlds {
             worlds: solved.sets.len(),
             databases,
-            prepare_micros: start.elapsed().as_micros(),
-            ground_micros,
-            solve_micros: solved.solve_micros,
+            prepare_nanos: duration_nanos(prepare_span.finish()),
+            ground_nanos,
+            solve_nanos: solved.solve_nanos,
             grounded_rules: solved.grounded_rules,
             grounded_atoms: solved.grounded_atoms,
             regrounded_rules,
@@ -1658,6 +1807,7 @@ impl QueryEngine {
                 None => break,
             }
             self.metrics.evictions.fetch_add(1, Ordering::Relaxed);
+            self.recorder.count("cache.evict", 1);
         }
     }
 
@@ -1671,17 +1821,19 @@ impl QueryEngine {
         query: &Formula,
         free_vars: &[String],
     ) -> Result<Answers> {
-        let start = Instant::now();
+        let span = Span::enter(self.recorder.as_ref(), "eval");
         let tuples = self.certain_answers(worlds, query, free_vars)?;
+        let eval_nanos = duration_nanos(span.finish());
         Ok(Answers {
             tuples,
             stats: EngineStats {
                 strategy: kind,
                 cache_hit,
-                prepare_micros: if cache_hit { 0 } else { worlds.prepare_micros },
-                ground_micros: if cache_hit { 0 } else { worlds.ground_micros },
-                solve_micros: if cache_hit { 0 } else { worlds.solve_micros },
-                eval_micros: start.elapsed().as_micros(),
+                prepare_nanos: if cache_hit { 0 } else { worlds.prepare_nanos },
+                ground_nanos: if cache_hit { 0 } else { worlds.ground_nanos },
+                solve_nanos: if cache_hit { 0 } else { worlds.solve_nanos },
+                eval_nanos,
+                cached_prepare_nanos: if cache_hit { worlds.prepare_nanos } else { 0 },
                 worlds: worlds.worlds,
                 grounded_rules: worlds.grounded_rules,
                 grounded_atoms: worlds.grounded_atoms,
@@ -1809,7 +1961,7 @@ impl SpecProgram {
 /// grounding-size counters the perf-smoke gate tracks.
 struct SolvedSpec {
     sets: AnswerSets,
-    solve_micros: u128,
+    solve_nanos: u64,
     grounded_rules: usize,
     grounded_atoms: usize,
 }
@@ -1821,14 +1973,15 @@ fn solve_prepared(
     ground: datalog::GroundProgram,
     config: SolverConfig,
     exec: &Executor,
+    recorder: &dyn Recorder,
 ) -> Result<SolvedSpec> {
     // Counters before solving: the HCF shift rewrites the ground program,
     // so `result.ground` would not reflect what the grounder instantiated.
     let grounded_rules = ground.rule_count();
     let grounded_atoms = ground.atom_count();
-    let start = Instant::now();
-    let result = solve_ground_with(ground, config, exec).map_err(CoreError::from)?;
-    let solve_micros = start.elapsed().as_micros();
+    let span = Span::enter(recorder, "solve");
+    let result = solve_ground_recorded(ground, config, exec, recorder).map_err(CoreError::from)?;
+    let solve_nanos = duration_nanos(span.finish());
     let sets = result
         .answer_sets
         .iter()
@@ -1840,7 +1993,7 @@ fn solve_prepared(
             branch_nodes: result.branch_nodes,
             used_shift: result.used_shift,
         },
-        solve_micros,
+        solve_nanos,
         grounded_rules,
         grounded_atoms,
     })
@@ -2020,23 +2173,26 @@ impl AnsweringStrategy for RewritingStrategy {
     ) -> Result<Answers> {
         check_free_vars_bound(query, free_vars)?;
         // Preparation is the (cached) global instance; the per-query rewrite
-        // is evaluation work, so `prepare_micros` stays 0 on a cache hit.
-        let (global, cache_hit, prepare_micros) = engine.global_instance()?;
-        let start = Instant::now();
+        // is evaluation work, so `prepare_time` stays 0 on a cache hit (the
+        // hit reports the original cost via `cached_prepare_time` instead).
+        let (global, cache_hit, prepare_nanos, cached_prepare_nanos) = engine.global_instance()?;
+        let span = Span::enter(engine.recorder().as_ref(), "eval");
         let rewritten = rewriting::rewrite_query(engine.system(), peer, query)?;
         let evaluator = QueryEvaluator::new(&global);
         let tuples = evaluator
             .answers(&rewritten, free_vars)
             .map_err(CoreError::from)?;
+        let eval_nanos = duration_nanos(span.finish());
         Ok(Answers {
             tuples,
             stats: EngineStats {
                 strategy: StrategyKind::Rewriting,
                 cache_hit,
-                prepare_micros,
-                ground_micros: 0,
-                solve_micros: 0,
-                eval_micros: start.elapsed().as_micros(),
+                prepare_nanos,
+                ground_nanos: 0,
+                solve_nanos: 0,
+                eval_nanos,
+                cached_prepare_nanos,
                 worlds: 1,
                 grounded_rules: 0,
                 grounded_atoms: 0,
@@ -2231,10 +2387,16 @@ mod tests {
         let (query, fv) = r1_query();
         let first = engine.answer(&p1, &query, &fv).unwrap();
         assert!(!first.stats.cache_hit);
-        assert!(first.stats.prepare_micros > 0);
+        assert!(first.stats.prepare_time() > Duration::ZERO);
+        assert!(first.stats.cached_prepare_time().is_none());
         let second = engine.answer(&p1, &query, &fv).unwrap();
         assert!(second.stats.cache_hit);
-        assert_eq!(second.stats.prepare_micros, 0);
+        assert_eq!(second.stats.prepare_time(), Duration::ZERO);
+        // The hit reports what it saved: the original preparation cost.
+        assert_eq!(
+            second.stats.cached_prepare_time(),
+            Some(first.stats.prepare_time())
+        );
         assert_eq!(first.tuples, second.tuples);
 
         // A different query against the same peer also skips preparation.
@@ -2273,7 +2435,8 @@ mod tests {
         let (query, fv) = r1_query();
         let answers = engine.answer(&p1, &query, &fv).unwrap();
         assert_eq!(answers.stats.worlds, 2);
-        assert!(answers.stats.ground_micros > 0);
+        assert!(answers.stats.ground_time() > Duration::ZERO);
+        assert!(answers.stats.total_time() >= answers.stats.prepare_time());
         match &answers.provenance {
             Provenance::Asp {
                 answer_set_count,
@@ -2437,10 +2600,11 @@ mod tests {
                     stats: EngineStats {
                         strategy: StrategyKind::Custom,
                         cache_hit: false,
-                        prepare_micros: 0,
-                        ground_micros: 0,
-                        solve_micros: 0,
-                        eval_micros: 0,
+                        prepare_nanos: 0,
+                        ground_nanos: 0,
+                        solve_nanos: 0,
+                        eval_nanos: 0,
+                        cached_prepare_nanos: 0,
                         worlds: 1,
                         grounded_rules: 0,
                         grounded_atoms: 0,
@@ -2500,7 +2664,8 @@ mod tests {
         let _ = engine.answer(&p1, &query, &fv).unwrap();
         let warm = engine.answer(&p1, &query, &fv).unwrap();
         assert!(warm.stats.cache_hit);
-        assert_eq!(warm.stats.prepare_micros, 0);
+        assert_eq!(warm.stats.prepare_time(), Duration::ZERO);
+        assert!(warm.stats.cached_prepare_time().is_some());
     }
 
     #[test]

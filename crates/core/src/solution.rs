@@ -78,6 +78,18 @@ pub fn solutions_with_stats(
     peer: &PeerId,
     options: SolutionOptions,
 ) -> Result<(Vec<Solution>, SolutionStats)> {
+    solutions_with_stats_recorded(system, peer, options, &pdes_obs::NullRecorder)
+}
+
+/// [`solutions_with_stats`] with both repair-search stages instrumented on
+/// `recorder` (one `repair.search` span per stage-1/stage-2 enumeration,
+/// plus the `repair.states` / `repair.repairs` counters).
+pub fn solutions_with_stats_recorded(
+    system: &P2PSystem,
+    peer: &PeerId,
+    options: SolutionOptions,
+    recorder: &dyn pdes_obs::Recorder,
+) -> Result<(Vec<Solution>, SolutionStats)> {
     let peer_data = system.peer(peer)?;
     let global = system.global_instance()?;
     let (less_decs, same_decs) = system.trusted_decs_of(peer);
@@ -104,7 +116,7 @@ pub fn solutions_with_stats(
         .with_protected(stage1_protected)
         .with_limits(limits)
         .with_domain(domain.iter().cloned());
-    let stage1_outcome = stage1.repairs(&global)?;
+    let stage1_outcome = stage1.repairs_recorded(&global, recorder)?;
     stats.stage1_repairs = stage1_outcome.repairs.len();
     stats.states_explored += stage1_outcome.states_explored;
 
@@ -125,7 +137,7 @@ pub fn solutions_with_stats(
 
     let mut candidates: Vec<Solution> = Vec::new();
     for r1 in &stage1_outcome.repairs {
-        let outcome = stage2.repairs(&r1.database)?;
+        let outcome = stage2.repairs_recorded(&r1.database, recorder)?;
         stats.states_explored += outcome.states_explored;
         for r2 in outcome.repairs {
             stats.stage2_candidates += 1;

@@ -70,5 +70,7 @@ pub use ground::{ground_relevant, GroundAtom, GroundProgram, Grounder};
 pub use incremental::{IncrementalGround, PatchStats};
 pub use reason::AnswerSets;
 pub use relevance::{QuerySeed, RelevanceAnalysis};
-pub use solve::{solve, solve_relevant_with, solve_with, SolveResult, SolverConfig};
+pub use solve::{
+    solve, solve_ground_recorded, solve_relevant_with, solve_with, SolveResult, SolverConfig,
+};
 pub use syntax::{Atom, BodyItem, Builtin, BuiltinOp, ChoiceAtom, Program, Rule, Term};

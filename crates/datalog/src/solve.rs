@@ -35,6 +35,7 @@ use crate::ground::{AtomId, GroundProgram, GroundRule, Grounder};
 use crate::shift::shift_ground;
 use crate::syntax::Program;
 use pdes_exec::Executor;
+use pdes_obs::{Recorder, Span};
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -129,9 +130,22 @@ pub fn solve_ground_with(
     config: SolverConfig,
     exec: &Executor,
 ) -> Result<SolveResult, DatalogError> {
+    solve_ground_recorded(ground, config, exec, &pdes_obs::NullRecorder)
+}
+
+/// [`solve_ground_with`], reporting search telemetry to `recorder`: every
+/// explored branch node counts towards the `solver.branch_nodes` counter,
+/// and each parallel search subtree runs under a `solve.subtree` span (so a
+/// trace shows the fan-out shape and per-subtree time).
+pub fn solve_ground_recorded(
+    ground: GroundProgram,
+    config: SolverConfig,
+    exec: &Executor,
+    recorder: &dyn Recorder,
+) -> Result<SolveResult, DatalogError> {
     if !ground.is_disjunctive() {
         let solver = NormalSolver::new(&ground, config);
-        let (answer_sets, branch_nodes) = solver.answer_sets_with(exec)?;
+        let (answer_sets, branch_nodes) = solver.answer_sets_recorded(exec, recorder)?;
         return Ok(SolveResult {
             ground,
             answer_sets,
@@ -142,7 +156,7 @@ pub fn solve_ground_with(
     if is_head_cycle_free(&ground) {
         let shifted = shift_ground(&ground);
         let solver = NormalSolver::new(&shifted, config);
-        let (answer_sets, branch_nodes) = solver.answer_sets_with(exec)?;
+        let (answer_sets, branch_nodes) = solver.answer_sets_recorded(exec, recorder)?;
         return Ok(SolveResult {
             ground: shifted,
             answer_sets,
@@ -152,6 +166,7 @@ pub fn solve_ground_with(
     }
     let solver = DisjunctiveSolver::new(&ground, config);
     let (answer_sets, branch_nodes) = solver.answer_sets()?;
+    recorder.count("solver.branch_nodes", branch_nodes as u64);
     Ok(SolveResult {
         ground,
         answer_sets,
@@ -247,6 +262,17 @@ impl<'a> NormalSolver<'a> {
         &self,
         exec: &Executor,
     ) -> Result<(Vec<BTreeSet<AtomId>>, usize), DatalogError> {
+        self.answer_sets_recorded(exec, &pdes_obs::NullRecorder)
+    }
+
+    /// [`Self::answer_sets_with`], reporting search telemetry to `recorder`
+    /// (`solver.branch_nodes` counter; one `solve.subtree` span per parallel
+    /// search subtree).
+    pub fn answer_sets_recorded(
+        &self,
+        exec: &Executor,
+        recorder: &dyn Recorder,
+    ) -> Result<(Vec<BTreeSet<AtomId>>, usize), DatalogError> {
         let counter = AtomicUsize::new(0);
         let budget = NodeBudget {
             counter: &counter,
@@ -262,9 +288,12 @@ impl<'a> NormalSolver<'a> {
             self.search(root, &mut models, &budget)?;
         } else {
             let seeds = self.expand_seeds(root, workers * 4, &mut models, &budget)?;
+            recorder.count("solver.subtrees", seeds.len() as u64);
             let found = exec.try_map(&seeds, |seed| {
+                let span = Span::enter(recorder, "solve.subtree");
                 let mut local = Vec::new();
                 self.search(seed.clone(), &mut local, &budget)?;
+                span.finish();
                 Ok::<_, DatalogError>(local)
             })?;
             models.extend(found.into_iter().flatten());
@@ -272,7 +301,9 @@ impl<'a> NormalSolver<'a> {
         // Deterministic order for reproducibility.
         models.sort();
         models.dedup();
-        Ok((models, counter.load(Ordering::Relaxed)))
+        let branch_nodes = counter.load(Ordering::Relaxed);
+        recorder.count("solver.branch_nodes", branch_nodes as u64);
+        Ok((models, branch_nodes))
     }
 
     /// Expand the search tree breadth-first until at least `target` open

@@ -36,8 +36,11 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
+use pdes_obs::{duration_nanos, Recorder};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Configuration of a parallel execution context: how many workers to use
 /// and whether scheduling must stay fully deterministic.
@@ -111,20 +114,51 @@ fn normalize_workers(workers: usize) -> usize {
 /// is what lets closures borrow from the caller's stack. Spawning a thread
 /// is ~10µs; every call site in this workspace amortizes that over solver
 /// search, query evaluation or constraint checking, all of which dominate.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// An executor may carry a [`pdes_obs::Recorder`]
+/// ([`Executor::with_recorder`]): parallel `map` calls then record each
+/// task's *claim latency* (time from fan-out start to the worker claiming
+/// the task — queueing delay plus upstream task time) in the
+/// `exec.claim_nanos` histogram and count claimed tasks in `exec.tasks`.
+/// The sequential path and recorder-less executors record nothing.
+#[derive(Clone, Default)]
 pub struct Executor {
     config: ExecConfig,
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("config", &self.config)
+            .field("recorder", &self.recorder.is_some())
+            .finish()
+    }
 }
 
 impl Executor {
     /// An executor over the given configuration.
     pub fn new(config: ExecConfig) -> Self {
-        Executor { config }
+        Executor {
+            config,
+            recorder: None,
+        }
     }
 
     /// A sequential executor (never spawns).
     pub fn sequential() -> Self {
         Executor::new(ExecConfig::sequential())
+    }
+
+    /// Attach a recorder for task claim/queue latency instrumentation.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<dyn Recorder>> {
+        self.recorder.as_ref()
     }
 
     /// The configuration.
@@ -173,6 +207,12 @@ impl Executor {
         // Workers claim indices from the shared cursor and collect
         // `(index, result)` pairs locally — no per-item synchronization;
         // the locals are merged into input-order slots after the join.
+        let recorder = self.recorder.as_deref().filter(|r| r.is_enabled());
+        let fanout_start = Instant::now();
+        if let Some(recorder) = recorder {
+            recorder.count("exec.maps", 1);
+            recorder.count("exec.tasks", items.len() as u64);
+        }
         let cursor = AtomicUsize::new(0);
         let collected: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -183,6 +223,12 @@ impl Executor {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= items.len() {
                                 break;
+                            }
+                            if let Some(recorder) = recorder {
+                                recorder.observe(
+                                    "exec.claim_nanos",
+                                    duration_nanos(fanout_start.elapsed()),
+                                );
                             }
                             local.push((i, f(i, &items[i])));
                         }
@@ -313,6 +359,28 @@ mod tests {
         assert_eq!(exec.workers_for(1), 1);
         assert!(exec.map(&[] as &[u8], |&b| b).is_empty());
         assert_eq!(exec.map(&[7u8], |&b| b + 1), vec![8]);
+    }
+
+    #[test]
+    fn recorder_counts_every_claimed_task() {
+        let recorder = Arc::new(pdes_obs::TraceRecorder::new());
+        let exec = Executor::new(ExecConfig::with_workers(4)).with_recorder(recorder.clone());
+        let items: Vec<u64> = (0..32).collect();
+        let out = exec.map(&items, |&n| n + 1);
+        assert_eq!(out.len(), 32);
+        let registry = recorder.registry();
+        assert_eq!(registry.counter_value("exec.maps"), 1);
+        assert_eq!(registry.counter_value("exec.tasks"), 32);
+        let histograms = registry.histograms();
+        let claims = histograms
+            .iter()
+            .find(|(name, _)| *name == "exec.claim_nanos")
+            .expect("claim latency histogram");
+        assert_eq!(claims.1.count, 32);
+        // Sequential fan-outs record nothing.
+        let seq = Executor::sequential().with_recorder(recorder.clone());
+        seq.map(&items, |&n| n + 1);
+        assert_eq!(registry.counter_value("exec.tasks"), 32);
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Observability primitives for the peer-to-peer data-exchange engine.
+//!
+//! The crate is dependency-free (like `pdes-exec`) and provides three
+//! layers that the rest of the workspace threads through its hot paths:
+//!
+//! - [`Recorder`]: the sink trait. The default [`NullRecorder`] keeps every
+//!   hook a no-op so instrumented code pays only an `Instant::now()` pair
+//!   per span; [`TraceRecorder`] buffers structured events per thread and
+//!   feeds a shared [`MetricsRegistry`].
+//! - [`Span`]: an RAII guard that measures a phase once and reports the
+//!   *same* [`std::time::Duration`] to both the caller (via
+//!   [`Span::finish`]) and the recorder — so engine statistics rebuilt from
+//!   span durations can never disagree with the exported trace.
+//! - Exporters: Chrome trace-event JSON ([`Trace::chrome_json`], loadable
+//!   in `chrome://tracing` / Perfetto), a flat self/total text profile
+//!   ([`Trace::text_profile`]), and a Prometheus-style text snapshot
+//!   ([`MetricsRegistry::prometheus_text`]).
+//!
+//! # Wiring example
+//!
+//! ```
+//! use pdes_obs::{NullRecorder, Recorder, Span, TraceRecorder};
+//!
+//! let recorder = TraceRecorder::new();
+//! {
+//!     let outer = Span::enter(&recorder, "query");
+//!     {
+//!         let inner = Span::enter(&recorder, "ground");
+//!         recorder.count("cache.miss", 1);
+//!         inner.finish();
+//!     }
+//!     outer.finish();
+//! }
+//! let trace = recorder.trace();
+//! assert_eq!(trace.span_count(), 2);
+//! assert_eq!(trace.malformed(), 0);
+//! // The same code instrumented with the null recorder records nothing.
+//! let span = Span::enter(&NullRecorder, "query");
+//! assert!(span.finish() >= std::time::Duration::ZERO);
+//! ```
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod recorder;
+pub mod trace;
+
+pub use metrics::{Counter, Histogram, HistogramSummary, MetricsRegistry};
+pub use recorder::{duration_nanos, Field, FieldValue, NullRecorder, Recorder, Span};
+pub use trace::{parse_chrome_trace, ChromeEvent, SpanRecord, Trace, TraceRecorder};

@@ -1,0 +1,434 @@
+//! Named counters and HDR-style histograms behind a [`MetricsRegistry`],
+//! plus the Prometheus-style text exporter.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `delta` to the counter.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of linear buckets per power-of-two range (2^4 sub-buckets keeps
+/// the relative quantile error at or below 1/16 = 6.25%).
+const SUB_BUCKETS: usize = 16;
+/// Values below `SUB_BUCKETS` get one exact bucket each.
+const LINEAR_CUTOFF: u64 = SUB_BUCKETS as u64;
+/// Total bucket count: 16 exact low buckets + 60 ranges × 16 sub-buckets
+/// (exponents 4..=63).
+const BUCKETS: usize = SUB_BUCKETS + 60 * SUB_BUCKETS;
+
+/// An HDR-style log-linear histogram of `u64` observations (the engine
+/// records durations as whole nanoseconds).
+///
+/// Values below 16 are exact; larger values land in one of 16 linear
+/// sub-buckets per power-of-two range, bounding the relative error of any
+/// reported quantile by 6.25%. Recording is a single relaxed atomic
+/// increment, so histograms can be shared freely across threads.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_index(value: u64) -> usize {
+    if value < LINEAR_CUTOFF {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros() as usize; // 4..=63
+    let mantissa = ((value >> (exp - 4)) & 0xF) as usize;
+    (exp - 4) * SUB_BUCKETS + SUB_BUCKETS + mantissa
+}
+
+/// Midpoint of the value range covered by `index` (exact below the linear
+/// cutoff).
+fn bucket_value(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let exp = (index - SUB_BUCKETS) / SUB_BUCKETS + 4;
+    let mantissa = ((index - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+    let lower = (LINEAR_CUTOFF + mantissa) << (exp - 4);
+    let width = 1u64 << (exp - 4);
+    lower + (width - 1) / 2
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded observation (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX {
+            0
+        } else {
+            v
+        }
+    }
+
+    /// Largest recorded observation (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of the recorded distribution, within
+    /// the histogram's 6.25% bucket resolution. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based: ceil(q * total), at least 1.
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_value(index).clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// A point-in-time summary (count/sum/min/max and the standard
+    /// percentiles).
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Arithmetic mean of the observations (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A registry of named [`Counter`]s and [`Histogram`]s.
+///
+/// Metrics are created on first use and shared via `Arc`, so hot paths can
+/// resolve a metric once and update it lock-free afterwards.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the named counter.
+    #[must_use]
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .expect("metrics registry poisoned")
+                .entry(name)
+                .or_default(),
+        )
+    }
+
+    /// Get or create the named histogram.
+    #[must_use]
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .expect("metrics registry poisoned")
+                .entry(name)
+                .or_default(),
+        )
+    }
+
+    /// Current value of the named counter (0 when it was never touched).
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .expect("metrics registry poisoned")
+            .get(name)
+            .map_or(0, |c| c.get())
+    }
+
+    /// Snapshot of every counter, sorted by name.
+    #[must_use]
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.counters
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(name, counter)| (*name, counter.get()))
+            .collect()
+    }
+
+    /// Snapshot of every histogram, sorted by name.
+    #[must_use]
+    pub fn histograms(&self) -> Vec<(&'static str, HistogramSummary)> {
+        self.histograms
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(name, histogram)| (*name, histogram.summary()))
+            .collect()
+    }
+
+    /// Render every metric as Prometheus text exposition format.
+    ///
+    /// Metric names have non-alphanumeric characters folded to `_` and get
+    /// a `pdes_` prefix; histograms render as summaries with
+    /// `quantile="0.5|0.95|0.99"` labels plus `_sum`/`_count` series.
+    #[must_use]
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.counters() {
+            let name = prometheus_name(name);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        for (name, s) in self.histograms() {
+            let name = prometheus_name(name);
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            out.push_str(&format!("{name}{{quantile=\"0.5\"}} {}\n", s.p50));
+            out.push_str(&format!("{name}{{quantile=\"0.95\"}} {}\n", s.p95));
+            out.push_str(&format!("{name}{{quantile=\"0.99\"}} {}\n", s.p99));
+            out.push_str(&format!("{name}_sum {}\n", s.sum));
+            out.push_str(&format!("{name}_count {}\n", s.count));
+        }
+        out
+    }
+}
+
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("pdes_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_round_trip_is_order_preserving_and_bounded() {
+        let mut last = 0usize;
+        for value in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            100,
+            1_000,
+            65_535,
+            1_000_000,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let index = bucket_index(value);
+            assert!(index < BUCKETS, "index {index} out of range for {value}");
+            assert!(index >= last, "bucketing must be monotone");
+            last = index;
+            // The representative value stays within 6.25% of the original.
+            let rep = bucket_value(index);
+            if value >= LINEAR_CUTOFF {
+                let err = rep.abs_diff(value) as f64 / value as f64;
+                assert!(err <= 0.0625, "value {value} rep {rep} err {err}");
+            } else {
+                assert_eq!(rep, value);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_quantiles_below_linear_cutoff() {
+        let h = Histogram::new();
+        for v in 1..=10u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 55);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10);
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(1.0), 10);
+        assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_on_wide_ranges() {
+        let h = Histogram::new();
+        for v in (1..=10_000u64).map(|v| v * 97) {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5) as f64;
+        let exact = 5_000.0 * 97.0;
+        assert!(
+            (p50 - exact).abs() / exact <= 0.0625,
+            "p50 {p50} vs {exact}"
+        );
+        let p99 = h.quantile(0.99) as f64;
+        let exact = 9_900.0 * 97.0;
+        assert!(
+            (p99 - exact).abs() / exact <= 0.0625,
+            "p99 {p99} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s, HistogramSummary::default());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn registry_shares_metrics_by_name() {
+        let registry = MetricsRegistry::new();
+        registry.counter("cache.hit").add(2);
+        registry.counter("cache.hit").add(3);
+        assert_eq!(registry.counter_value("cache.hit"), 5);
+        assert_eq!(registry.counter_value("never"), 0);
+        registry.histogram("span.query").record(7);
+        registry.histogram("span.query").record(9);
+        let histograms = registry.histograms();
+        assert_eq!(histograms.len(), 1);
+        assert_eq!(histograms[0].1.count, 2);
+        assert_eq!(registry.counters(), vec![("cache.hit", 5)]);
+    }
+
+    #[test]
+    fn prometheus_text_renders_counters_and_summaries() {
+        let registry = MetricsRegistry::new();
+        registry.counter("cache.hit").add(4);
+        registry.histogram("span.query_nanos").record(8);
+        let text = registry.prometheus_text();
+        assert!(text.contains("# TYPE pdes_cache_hit counter\npdes_cache_hit 4\n"));
+        assert!(text.contains("# TYPE pdes_span_query_nanos summary"));
+        assert!(text.contains("pdes_span_query_nanos{quantile=\"0.5\"} 8"));
+        assert!(text.contains("pdes_span_query_nanos_count 1"));
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact() {
+        let h = Arc::new(Histogram::new());
+        let c = Arc::new(Counter::default());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = Arc::clone(&h);
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    for v in 0..1_000u64 {
+                        h.record(v);
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4_000);
+        assert_eq!(c.get(), 4_000);
+    }
+}

@@ -1,0 +1,281 @@
+//! The [`Recorder`] sink trait, the zero-cost [`NullRecorder`], and the
+//! RAII [`Span`] guard that instrumented code creates around each phase.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A structured key/value payload attached to a span at enter time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name (a static label such as `"peer"` or `"worlds"`).
+    pub key: &'static str,
+    /// Field payload.
+    pub value: FieldValue,
+}
+
+/// The payload of a [`Field`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldValue {
+    /// An unsigned integral payload (counts, sizes, versions).
+    U64(u64),
+    /// A textual payload (peer names, strategy names, slice keys).
+    Text(String),
+}
+
+impl Field {
+    /// A numeric field.
+    #[must_use]
+    pub fn u64(key: &'static str, value: u64) -> Self {
+        Field {
+            key,
+            value: FieldValue::U64(value),
+        }
+    }
+
+    /// A textual field.
+    #[must_use]
+    pub fn text(key: &'static str, value: impl Into<String>) -> Self {
+        Field {
+            key,
+            value: FieldValue::Text(value.into()),
+        }
+    }
+}
+
+/// The sink every instrumented layer reports to.
+///
+/// All hooks default to no-ops, so a recorder only implements what it needs.
+/// The trait is object-safe and `Send + Sync`: engines store an
+/// `Arc<dyn Recorder>` and share it across worker threads.
+///
+/// Span timing protocol: [`Span`] reads the clock **once** at enter and
+/// hands that same [`Instant`] to both `span_enter` and `span_exit` (the
+/// exit additionally carries the measured duration). A recorder therefore
+/// derives `end = enter + duration` in one monotonic timebase, which makes
+/// child/parent containment exact rather than subject to clock-read skew.
+pub trait Recorder: Send + Sync {
+    /// Does this recorder want events at all?
+    ///
+    /// Instrumented code may use this to skip building field payloads; the
+    /// hooks below are safe to call regardless.
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    /// A span labelled `label` was entered at `at`.
+    fn span_enter(&self, label: &'static str, at: Instant, fields: &[Field]) {
+        let _ = (label, at, fields);
+    }
+
+    /// The span labelled `label` entered at `at` finished after `dur`.
+    ///
+    /// `at` is the *enter* instant (the one previously given to
+    /// [`Recorder::span_enter`]), not the exit time.
+    fn span_exit(&self, label: &'static str, at: Instant, dur: Duration) {
+        let _ = (label, at, dur);
+    }
+
+    /// Add `delta` to the named monotonic counter.
+    fn count(&self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Record one observation of `value` in the named histogram.
+    fn observe(&self, name: &'static str, value: u64) {
+        let _ = (name, value);
+    }
+}
+
+impl<R: Recorder + ?Sized> Recorder for &R {
+    fn is_enabled(&self) -> bool {
+        (**self).is_enabled()
+    }
+    fn span_enter(&self, label: &'static str, at: Instant, fields: &[Field]) {
+        (**self).span_enter(label, at, fields);
+    }
+    fn span_exit(&self, label: &'static str, at: Instant, dur: Duration) {
+        (**self).span_exit(label, at, dur);
+    }
+    fn count(&self, name: &'static str, delta: u64) {
+        (**self).count(name, delta);
+    }
+    fn observe(&self, name: &'static str, value: u64) {
+        (**self).observe(name, value);
+    }
+}
+
+impl<R: Recorder + ?Sized> Recorder for Arc<R> {
+    fn is_enabled(&self) -> bool {
+        (**self).is_enabled()
+    }
+    fn span_enter(&self, label: &'static str, at: Instant, fields: &[Field]) {
+        (**self).span_enter(label, at, fields);
+    }
+    fn span_exit(&self, label: &'static str, at: Instant, dur: Duration) {
+        (**self).span_exit(label, at, dur);
+    }
+    fn count(&self, name: &'static str, delta: u64) {
+        (**self).count(name, delta);
+    }
+    fn observe(&self, name: &'static str, value: u64) {
+        (**self).observe(name, value);
+    }
+}
+
+/// The default recorder: every hook is a no-op.
+///
+/// Instrumentation through a `NullRecorder` costs one pair of monotonic
+/// clock reads per span (the measurement the caller keeps) and nothing
+/// else — no allocation, no locking, no buffering. The smoke gate holds
+/// this path to the same wall-time budget as the uninstrumented engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {}
+
+/// An RAII guard measuring one phase.
+///
+/// Created by [`Span::enter`]; ended explicitly by [`Span::finish`] (which
+/// returns the measured [`Duration`], the *identical* value reported to the
+/// recorder) or implicitly on drop. The guard reads the clock exactly once
+/// at enter and once at exit.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct Span<'r> {
+    recorder: &'r dyn Recorder,
+    label: &'static str,
+    start: Instant,
+    active: bool,
+}
+
+impl<'r> Span<'r> {
+    /// Enter a span with no fields.
+    pub fn enter(recorder: &'r dyn Recorder, label: &'static str) -> Self {
+        Self::enter_with(recorder, label, &[])
+    }
+
+    /// Enter a span carrying structured fields.
+    pub fn enter_with(recorder: &'r dyn Recorder, label: &'static str, fields: &[Field]) -> Self {
+        let start = Instant::now();
+        recorder.span_enter(label, start, fields);
+        Span {
+            recorder,
+            label,
+            start,
+            active: true,
+        }
+    }
+
+    /// The instant the span was entered.
+    #[must_use]
+    pub fn started_at(&self) -> Instant {
+        self.start
+    }
+
+    /// Finish the span, returning the measured duration.
+    ///
+    /// The returned duration is bit-for-bit the one reported to the
+    /// recorder, so statistics built from it agree exactly with the trace.
+    pub fn finish(mut self) -> Duration {
+        let dur = self.start.elapsed();
+        self.active = false;
+        self.recorder.span_exit(self.label, self.start, dur);
+        dur
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if self.active {
+            let dur = self.start.elapsed();
+            self.recorder.span_exit(self.label, self.start, dur);
+        }
+    }
+}
+
+/// Narrow a [`Duration`] to whole nanoseconds in a `u64`.
+///
+/// Saturates at `u64::MAX` (≈584 years), which no real measurement reaches;
+/// the engine stores all phase timings in this form.
+#[must_use]
+pub fn duration_nanos(dur: Duration) -> u64 {
+    u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct Probe {
+        enters: AtomicU64,
+        exits: AtomicU64,
+        last: Mutex<Option<(&'static str, Instant, Duration)>>,
+    }
+
+    impl Recorder for Probe {
+        fn is_enabled(&self) -> bool {
+            true
+        }
+        fn span_enter(&self, _label: &'static str, _at: Instant, _fields: &[Field]) {
+            self.enters.fetch_add(1, Ordering::Relaxed);
+        }
+        fn span_exit(&self, label: &'static str, at: Instant, dur: Duration) {
+            self.exits.fetch_add(1, Ordering::Relaxed);
+            *self.last.lock().unwrap() = Some((label, at, dur));
+        }
+    }
+
+    #[test]
+    fn finish_reports_the_returned_duration() {
+        let probe = Probe::default();
+        let span = Span::enter(&probe, "phase");
+        let start = span.started_at();
+        let dur = span.finish();
+        let (label, at, reported) = probe.last.lock().unwrap().take().unwrap();
+        assert_eq!(label, "phase");
+        assert_eq!(at, start);
+        assert_eq!(reported, dur);
+        assert_eq!(probe.enters.load(Ordering::Relaxed), 1);
+        assert_eq!(probe.exits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drop_emits_exit_exactly_once() {
+        let probe = Probe::default();
+        {
+            let _span = Span::enter(&probe, "scoped");
+        }
+        assert_eq!(probe.exits.load(Ordering::Relaxed), 1);
+        let span = Span::enter(&probe, "finished");
+        span.finish();
+        assert_eq!(probe.exits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn null_recorder_spans_still_measure() {
+        let span = Span::enter(&NullRecorder, "anything");
+        assert!(!NullRecorder.is_enabled());
+        let dur = span.finish();
+        assert!(dur <= Duration::from_secs(60));
+    }
+
+    #[test]
+    fn forwarding_impls_delegate() {
+        let probe = Arc::new(Probe::default());
+        assert!(probe.is_enabled());
+        let as_dyn: Arc<dyn Recorder> = probe.clone();
+        as_dyn.count("noop", 1);
+        let span = Span::enter(&as_dyn, "via-arc");
+        span.finish();
+        assert_eq!(probe.exits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn duration_nanos_narrowing() {
+        assert_eq!(duration_nanos(Duration::from_nanos(1234)), 1234);
+        assert_eq!(duration_nanos(Duration::from_secs(2)), 2_000_000_000);
+        assert_eq!(duration_nanos(Duration::MAX), u64::MAX);
+    }
+}

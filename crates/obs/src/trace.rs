@@ -1,0 +1,865 @@
+//! The buffering [`TraceRecorder`], the replayed [`Trace`] snapshot, and
+//! the Chrome trace-event / text-profile exporters.
+
+use crate::metrics::MetricsRegistry;
+use crate::recorder::{duration_nanos, Field, FieldValue, Recorder};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One buffered raw event.
+#[derive(Debug, Clone)]
+enum Event {
+    Enter {
+        label: &'static str,
+        at_nanos: u64,
+        fields: Vec<Field>,
+    },
+    Exit {
+        label: &'static str,
+        dur_nanos: u64,
+    },
+}
+
+/// Per-thread event buffer. Only its owning thread appends, so the mutex
+/// is uncontended on the hot path; snapshots lock it briefly to copy.
+#[derive(Debug)]
+struct ThreadLog {
+    tid: u64,
+    events: Mutex<Vec<Event>>,
+}
+
+#[derive(Debug)]
+struct TraceShared {
+    /// Distinguishes recorders in the thread-local buffer cache even when
+    /// an allocation address is reused.
+    id: u64,
+    registry: MetricsRegistry,
+    threads: Mutex<Vec<Arc<ThreadLog>>>,
+}
+
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Cache of this thread's buffer per recorder id — each event then
+    /// locks only the calling thread's own (uncontended) buffer mutex.
+    static THREAD_LOGS: RefCell<Vec<(u64, Arc<ThreadLog>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A buffering [`Recorder`]: structured span events land in per-thread
+/// buffers stamped against one shared monotonic epoch, and every counter /
+/// histogram update feeds the recorder's [`MetricsRegistry`].
+///
+/// On span exit the recorder additionally observes the span's duration in a
+/// histogram named after the span label, so per-phase percentiles fall out
+/// of the same machinery as explicit [`Recorder::observe`] calls.
+///
+/// Cloning is cheap and shares all state; hand the engine an
+/// `Arc::new(recorder.clone())` and keep a clone to export from.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    epoch: Instant,
+    shared: Arc<TraceShared>,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceRecorder {
+    /// A fresh recorder; its epoch (trace time zero) is "now".
+    #[must_use]
+    pub fn new() -> Self {
+        TraceRecorder {
+            epoch: Instant::now(),
+            shared: Arc::new(TraceShared {
+                id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+                registry: MetricsRegistry::new(),
+                threads: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The metrics registry fed by this recorder's counter/histogram hooks.
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.shared.registry
+    }
+
+    fn log(&self) -> Arc<ThreadLog> {
+        let id = self.shared.id;
+        THREAD_LOGS.with(|cache| {
+            if let Some((_, log)) = cache.borrow().iter().find(|(k, _)| *k == id) {
+                return Arc::clone(log);
+            }
+            let mut threads = self.shared.threads.lock().expect("trace recorder poisoned");
+            let log = Arc::new(ThreadLog {
+                tid: threads.len() as u64,
+                events: Mutex::new(Vec::new()),
+            });
+            threads.push(Arc::clone(&log));
+            cache.borrow_mut().push((id, Arc::clone(&log)));
+            log
+        })
+    }
+
+    fn push(&self, event: Event) {
+        let log = self.log();
+        log.events
+            .lock()
+            .expect("trace buffer poisoned")
+            .push(event);
+    }
+
+    /// Replay the buffered events into a structured [`Trace`] snapshot.
+    ///
+    /// Non-destructive: recording may continue afterwards (spans still open
+    /// at snapshot time count as malformed in the snapshot).
+    #[must_use]
+    pub fn trace(&self) -> Trace {
+        let threads: Vec<Arc<ThreadLog>> = self
+            .shared
+            .threads
+            .lock()
+            .expect("trace recorder poisoned")
+            .clone();
+        let mut spans = Vec::new();
+        let mut malformed = 0usize;
+        let mut event_count = 0usize;
+        for log in threads {
+            let events = log.events.lock().expect("trace buffer poisoned").clone();
+            event_count += events.len();
+            // Stack replay: spans are RAII guards, so within one thread the
+            // exits must match the enters in LIFO order.
+            let mut stack: Vec<usize> = Vec::new();
+            for event in events {
+                match event {
+                    Event::Enter {
+                        label,
+                        at_nanos,
+                        fields,
+                    } => {
+                        let index = spans.len();
+                        spans.push(SpanRecord {
+                            label,
+                            tid: log.tid,
+                            start_nanos: at_nanos,
+                            dur_nanos: 0,
+                            depth: stack.len(),
+                            parent: stack.last().copied(),
+                            fields,
+                            closed: false,
+                        });
+                        stack.push(index);
+                    }
+                    Event::Exit { label, dur_nanos } => {
+                        match stack.last().copied() {
+                            Some(top) if spans[top].label == label => {
+                                stack.pop();
+                                spans[top].dur_nanos = dur_nanos;
+                                spans[top].closed = true;
+                            }
+                            _ => malformed += 1,
+                        };
+                    }
+                }
+            }
+            malformed += stack.len();
+        }
+        spans.sort_by_key(|s| (s.tid, s.start_nanos, s.depth));
+        Trace {
+            spans,
+            malformed,
+            event_count,
+        }
+    }
+
+    /// Drop all buffered events (the registry is left untouched).
+    pub fn clear(&self) {
+        let threads = self.shared.threads.lock().expect("trace recorder poisoned");
+        for log in threads.iter() {
+            log.events.lock().expect("trace buffer poisoned").clear();
+        }
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn span_enter(&self, label: &'static str, at: Instant, fields: &[Field]) {
+        self.push(Event::Enter {
+            label,
+            at_nanos: duration_nanos(at.duration_since(self.epoch)),
+            fields: fields.to_vec(),
+        });
+    }
+
+    fn span_exit(&self, label: &'static str, _at: Instant, dur: Duration) {
+        let dur_nanos = duration_nanos(dur);
+        self.push(Event::Exit { label, dur_nanos });
+        self.shared.registry.histogram(label).record(dur_nanos);
+    }
+
+    fn count(&self, name: &'static str, delta: u64) {
+        self.shared.registry.counter(name).add(delta);
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        self.shared.registry.histogram(name).record(value);
+    }
+}
+
+/// One completed (or, if `closed` is false, dangling) span in a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The label the span was entered with.
+    pub label: &'static str,
+    /// Recorder-local thread index the span ran on.
+    pub tid: u64,
+    /// Start offset from the recorder's epoch, in nanoseconds.
+    pub start_nanos: u64,
+    /// Measured duration in nanoseconds (0 for unclosed spans).
+    pub dur_nanos: u64,
+    /// Nesting depth on its thread (0 = root).
+    pub depth: usize,
+    /// Index (into [`Trace::spans`]) of the enclosing span, if any.
+    pub parent: Option<usize>,
+    /// Structured fields attached at enter time.
+    pub fields: Vec<Field>,
+    /// Whether a matching exit was seen.
+    pub closed: bool,
+}
+
+impl SpanRecord {
+    /// End offset from the recorder's epoch, in nanoseconds.
+    ///
+    /// Exact by construction: the recorder derives both the start and the
+    /// duration from the same enter [`Instant`], so a child's `end_nanos`
+    /// can never exceed its parent's.
+    #[must_use]
+    pub fn end_nanos(&self) -> u64 {
+        self.start_nanos + self.dur_nanos
+    }
+}
+
+/// A replayed snapshot of everything a [`TraceRecorder`] buffered.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// All spans, sorted by `(tid, start, depth)`.
+    pub spans: Vec<SpanRecord>,
+    malformed: usize,
+    event_count: usize,
+}
+
+impl Trace {
+    /// Number of spans in the snapshot (including unclosed ones).
+    #[must_use]
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Number of raw enter/exit events the recorder buffered.
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        self.event_count
+    }
+
+    /// Number of protocol violations seen during replay: exits that match
+    /// no open span plus spans still open at snapshot time.
+    #[must_use]
+    pub fn malformed(&self) -> usize {
+        self.malformed
+    }
+
+    /// All spans with the given label.
+    #[must_use]
+    pub fn spans_labelled(&self, label: &str) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.label == label).collect()
+    }
+
+    /// Render the snapshot as Chrome trace-event JSON (the "JSON array
+    /// format" with complete `ph:"X"` events), loadable in
+    /// `chrome://tracing` and Perfetto.
+    ///
+    /// Timestamps and durations are microseconds with three decimal places,
+    /// i.e. exact nanosecond precision survives the round trip through
+    /// [`parse_chrome_trace`].
+    #[must_use]
+    pub fn chrome_json(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        for (index, span) in self.spans.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"cat\":\"pdes\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}",
+                json_string(span.label),
+                micros_decimal(span.start_nanos),
+                micros_decimal(span.dur_nanos),
+                span.tid
+            );
+            if !span.fields.is_empty() {
+                out.push_str(",\"args\":{");
+                for (findex, field) in span.fields.iter().enumerate() {
+                    if findex > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{}:", json_string(field.key));
+                    match &field.value {
+                        FieldValue::U64(v) => {
+                            let _ = write!(out, "{v}");
+                        }
+                        FieldValue::Text(v) => out.push_str(&json_string(v)),
+                    }
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Render a flat per-label profile: call count, total (inclusive) time,
+    /// and self time (total minus direct children), sorted by self time.
+    #[must_use]
+    pub fn text_profile(&self) -> String {
+        #[derive(Default)]
+        struct Row {
+            count: u64,
+            total: u64,
+            child: u64,
+        }
+        let mut rows: BTreeMap<&'static str, Row> = BTreeMap::new();
+        for span in &self.spans {
+            let row = rows.entry(span.label).or_default();
+            row.count += 1;
+            row.total += span.dur_nanos;
+            if let Some(parent) = span.parent {
+                rows.entry(self.spans[parent].label).or_default().child += span.dur_nanos;
+            }
+        }
+        let mut sorted: Vec<(&'static str, Row)> = rows.into_iter().collect();
+        sorted.sort_by_key(|(label, row)| {
+            (
+                std::cmp::Reverse(row.total.saturating_sub(row.child)),
+                *label,
+            )
+        });
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>7} {:>12} {:>12}",
+            "span", "count", "total", "self"
+        );
+        for (label, row) in sorted {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>7} {:>12} {:>12}",
+                label,
+                row.count,
+                fmt_nanos(row.total),
+                fmt_nanos(row.total.saturating_sub(row.child))
+            );
+        }
+        out
+    }
+}
+
+/// Format nanoseconds for the text profile with a readable unit.
+fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.3}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3}ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3}us", nanos as f64 / 1e3)
+    }
+}
+
+/// Nanoseconds rendered as a decimal microsecond literal with exact
+/// thousandths (`1234567` → `"1234.567"`).
+fn micros_decimal(nanos: u64) -> String {
+    format!("{}.{:03}", nanos / 1_000, nanos % 1_000)
+}
+
+fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One event parsed back out of Chrome trace-event JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeEvent {
+    /// Event name (the span label).
+    pub name: String,
+    /// Phase — `"X"` for the complete events this crate emits.
+    pub ph: String,
+    /// Start offset in nanoseconds.
+    pub ts_nanos: u64,
+    /// Duration in nanoseconds.
+    pub dur_nanos: u64,
+    /// Process id.
+    pub pid: u64,
+    /// Thread id.
+    pub tid: u64,
+    /// `args` payload, stringified per value.
+    pub args: Vec<(String, String)>,
+}
+
+impl ChromeEvent {
+    /// End offset in nanoseconds.
+    #[must_use]
+    pub fn end_nanos(&self) -> u64 {
+        self.ts_nanos + self.dur_nanos
+    }
+}
+
+/// Parse Chrome trace-event JSON (either the bare event array or the
+/// `{"traceEvents": [...]}` object form) back into events.
+///
+/// Built for round-tripping [`Trace::chrome_json`] output in tests and
+/// tooling; it accepts any standard JSON but only extracts the fields
+/// [`ChromeEvent`] carries.
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<ChromeEvent>, String> {
+    let value = json::parse(text)?;
+    let events = match &value {
+        json::Value::Array(items) => items.clone(),
+        json::Value::Object(members) => match members.iter().find(|(k, _)| k == "traceEvents") {
+            Some((_, json::Value::Array(items))) => items.clone(),
+            _ => return Err("missing traceEvents array".to_string()),
+        },
+        _ => return Err("expected a trace object or event array".to_string()),
+    };
+    let mut out = Vec::with_capacity(events.len());
+    for event in events {
+        let json::Value::Object(members) = event else {
+            return Err("trace event is not an object".to_string());
+        };
+        let get = |key: &str| members.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let name = match get("name") {
+            Some(json::Value::String(s)) => s.clone(),
+            _ => return Err("trace event missing name".to_string()),
+        };
+        let ph = match get("ph") {
+            Some(json::Value::String(s)) => s.clone(),
+            _ => return Err("trace event missing ph".to_string()),
+        };
+        let micros = |key: &str| -> Result<u64, String> {
+            match get(key) {
+                Some(json::Value::Number(n)) => Ok((n * 1000.0).round() as u64),
+                None => Ok(0),
+                _ => Err(format!("trace event field {key} is not a number")),
+            }
+        };
+        let int = |key: &str| -> Result<u64, String> {
+            match get(key) {
+                Some(json::Value::Number(n)) => Ok(n.round() as u64),
+                None => Ok(0),
+                _ => Err(format!("trace event field {key} is not a number")),
+            }
+        };
+        let args = match get("args") {
+            Some(json::Value::Object(members)) => members
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_display_string()))
+                .collect(),
+            _ => Vec::new(),
+        };
+        out.push(ChromeEvent {
+            name,
+            ph,
+            ts_nanos: micros("ts")?,
+            dur_nanos: micros("dur")?,
+            pid: int("pid")?,
+            tid: int("tid")?,
+            args,
+        });
+    }
+    Ok(out)
+}
+
+/// A minimal JSON parser — just enough to round-trip the crate's own
+/// exports without external dependencies.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number.
+        Number(f64),
+        /// A string.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object, in source order.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Stringify a scalar for the `args` map.
+        pub fn to_display_string(&self) -> String {
+            match self {
+                Value::Null => "null".to_string(),
+                Value::Bool(b) => b.to_string(),
+                Value::Number(n) => {
+                    if n.fract() == 0.0 && n.abs() < 9e15 {
+                        format!("{}", *n as i64)
+                    } else {
+                        format!("{n}")
+                    }
+                }
+                Value::String(s) => s.clone(),
+                Value::Array(_) | Value::Object(_) => "<nested>".to_string(),
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&byte) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", byte as char, *pos))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+            Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+            Some(_) => parse_number(bytes, pos),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn parse_keyword(
+        bytes: &[u8],
+        pos: &mut usize,
+        word: &str,
+        value: Value,
+    ) -> Result<Value, String> {
+        if bytes[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", *pos))
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("invalid \\u escape at byte {}", *pos))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("invalid escape at byte {}", *pos)),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&bytes[*pos..])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    *pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'{')?;
+        let mut members = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            expect(bytes, pos, b':')?;
+            let value = parse_value(bytes, pos)?;
+            members.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Span;
+
+    #[test]
+    fn nested_spans_replay_with_parents_and_exact_containment() {
+        let recorder = TraceRecorder::new();
+        {
+            let outer = Span::enter_with(&recorder, "query", &[Field::text("peer", "p1")]);
+            {
+                let inner = Span::enter(&recorder, "ground");
+                inner.finish();
+            }
+            {
+                let inner = Span::enter(&recorder, "solve");
+                inner.finish();
+            }
+            outer.finish();
+        }
+        let trace = recorder.trace();
+        assert_eq!(trace.span_count(), 3);
+        assert_eq!(trace.event_count(), 6);
+        assert_eq!(trace.malformed(), 0);
+        let query = trace.spans_labelled("query")[0];
+        assert_eq!(query.depth, 0);
+        assert_eq!(query.fields, vec![Field::text("peer", "p1")]);
+        let mut child_total = 0;
+        for label in ["ground", "solve"] {
+            let child = trace.spans_labelled(label)[0];
+            assert!(child.closed);
+            assert!(child.start_nanos >= query.start_nanos);
+            assert!(child.end_nanos() <= query.end_nanos(), "exact containment");
+            assert_eq!(trace.spans[child.parent.unwrap()].label, "query");
+            child_total += child.dur_nanos;
+        }
+        assert!(child_total <= query.dur_nanos);
+    }
+
+    #[test]
+    fn exit_durations_feed_per_label_histograms() {
+        let recorder = TraceRecorder::new();
+        Span::enter(&recorder, "phase").finish();
+        Span::enter(&recorder, "phase").finish();
+        let histograms = recorder.registry().histograms();
+        assert_eq!(histograms.len(), 1);
+        assert_eq!(histograms[0].0, "phase");
+        assert_eq!(histograms[0].1.count, 2);
+    }
+
+    #[test]
+    fn dangling_spans_count_as_malformed() {
+        let recorder = TraceRecorder::new();
+        let span = Span::enter(&recorder, "open");
+        let trace = recorder.trace();
+        assert_eq!(trace.span_count(), 1);
+        assert_eq!(trace.malformed(), 1);
+        assert!(!trace.spans[0].closed);
+        span.finish();
+        assert_eq!(recorder.trace().malformed(), 0);
+    }
+
+    #[test]
+    fn clear_drops_events_but_keeps_metrics() {
+        let recorder = TraceRecorder::new();
+        recorder.count("cache.hit", 1);
+        Span::enter(&recorder, "phase").finish();
+        recorder.clear();
+        assert_eq!(recorder.trace().span_count(), 0);
+        assert_eq!(recorder.registry().counter_value("cache.hit"), 1);
+    }
+
+    #[test]
+    fn threads_get_distinct_buffers() {
+        let recorder = TraceRecorder::new();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let recorder = recorder.clone();
+                scope.spawn(move || {
+                    Span::enter(&recorder, "worker").finish();
+                });
+            }
+        });
+        Span::enter(&recorder, "main").finish();
+        let trace = recorder.trace();
+        assert_eq!(trace.span_count(), 4);
+        assert_eq!(trace.malformed(), 0);
+        let tids: std::collections::BTreeSet<u64> = trace.spans.iter().map(|s| s.tid).collect();
+        assert_eq!(tids.len(), 4, "each thread owns a buffer");
+    }
+
+    #[test]
+    fn distinct_recorders_do_not_share_thread_buffers() {
+        let a = TraceRecorder::new();
+        let b = TraceRecorder::new();
+        Span::enter(&a, "only-a").finish();
+        Span::enter(&b, "only-b").finish();
+        assert_eq!(a.trace().span_count(), 1);
+        assert_eq!(b.trace().span_count(), 1);
+        assert_eq!(a.trace().spans[0].label, "only-a");
+        assert_eq!(b.trace().spans[0].label, "only-b");
+    }
+
+    #[test]
+    fn chrome_json_round_trips_exact_nanos() {
+        let recorder = TraceRecorder::new();
+        {
+            let outer = Span::enter_with(
+                &recorder,
+                "query",
+                &[Field::text("peer", "p\"1\""), Field::u64("worlds", 3)],
+            );
+            Span::enter(&recorder, "eval").finish();
+            outer.finish();
+        }
+        let trace = recorder.trace();
+        let json = trace.chrome_json();
+        let events = parse_chrome_trace(&json).expect("parse own export");
+        assert_eq!(events.len(), trace.span_count());
+        for (event, span) in events.iter().zip(trace.spans.iter()) {
+            assert_eq!(event.name, span.label);
+            assert_eq!(event.ph, "X");
+            assert_eq!(event.ts_nanos, span.start_nanos, "exact ts round trip");
+            assert_eq!(event.dur_nanos, span.dur_nanos, "exact dur round trip");
+            assert_eq!(event.pid, 1);
+            assert_eq!(event.tid, span.tid);
+        }
+        let query = events.iter().find(|e| e.name == "query").unwrap();
+        assert_eq!(
+            query.args,
+            vec![
+                ("peer".to_string(), "p\"1\"".to_string()),
+                ("worlds".to_string(), "3".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn text_profile_accounts_self_vs_total() {
+        let recorder = TraceRecorder::new();
+        {
+            let outer = Span::enter(&recorder, "query");
+            Span::enter(&recorder, "solve").finish();
+            outer.finish();
+        }
+        let profile = recorder.trace().text_profile();
+        assert!(profile.contains("span"), "{profile}");
+        assert!(profile.contains("query"), "{profile}");
+        assert!(profile.contains("solve"), "{profile}");
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_chrome_trace("not json").is_err());
+        assert!(parse_chrome_trace("{\"other\":1}").is_err());
+        assert!(parse_chrome_trace("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err());
+    }
+}

@@ -57,13 +57,27 @@ pub fn consistent_answers_with(
     free_vars: &[String],
     exec: &Executor,
 ) -> Result<ConsistentAnswers, RepairError> {
+    consistent_answers_recorded(engine, db, query, free_vars, exec, &pdes_obs::NullRecorder)
+}
+
+/// [`consistent_answers_with`] with the repair search and per-repair query
+/// evaluation instrumented on `recorder` (`repair.search` and `eval` spans).
+pub fn consistent_answers_recorded(
+    engine: &RepairEngine,
+    db: &Database,
+    query: &Formula,
+    free_vars: &[String],
+    exec: &Executor,
+    recorder: &dyn pdes_obs::Recorder,
+) -> Result<ConsistentAnswers, RepairError> {
     let query_relations = query.relations();
     let restricted = engine.restrict_to_relevant(&query_relations);
     let engine = restricted.as_ref().unwrap_or(engine);
     let RepairOutcome {
         repairs,
         states_explored,
-    } = engine.repairs(db)?;
+    } = engine.repairs_recorded(db, recorder)?;
+    let eval_span = pdes_obs::Span::enter(recorder, "eval");
     // One streamed intersection per chunk of repairs: at most `workers`
     // partial answer sets are live at once (and exactly one on the
     // sequential path), never one per repair.
@@ -96,6 +110,7 @@ pub fn consistent_answers_with(
         }
         acc
     };
+    eval_span.finish();
     Ok(ConsistentAnswers {
         answers: answers.unwrap_or_default(),
         repair_count: repairs.len(),

@@ -211,6 +211,28 @@ impl RepairEngine {
 
     /// Enumerate the minimal repairs of `base`.
     pub fn repairs(&self, base: &Database) -> Result<RepairOutcome, RepairError> {
+        self.repairs_recorded(base, &pdes_obs::NullRecorder)
+    }
+
+    /// [`RepairEngine::repairs`] with the search instrumented on `recorder`:
+    /// one `repair.search` span over the whole enumeration, plus the
+    /// `repair.states` and `repair.repairs` counters.
+    pub fn repairs_recorded(
+        &self,
+        base: &Database,
+        recorder: &dyn pdes_obs::Recorder,
+    ) -> Result<RepairOutcome, RepairError> {
+        let span = pdes_obs::Span::enter(recorder, "repair.search");
+        let outcome = self.repairs_inner(base);
+        span.finish();
+        if let Ok(outcome) = &outcome {
+            recorder.count("repair.states", outcome.states_explored as u64);
+            recorder.count("repair.repairs", outcome.repairs.len() as u64);
+        }
+        outcome
+    }
+
+    fn repairs_inner(&self, base: &Database) -> Result<RepairOutcome, RepairError> {
         let mut candidates: Vec<(Database, Delta)> = Vec::new();
         let mut visited: BTreeSet<Vec<GroundAtom>> = BTreeSet::new();
         let mut states = 0usize;

@@ -26,5 +26,7 @@
 pub mod cqa;
 pub mod engine;
 
-pub use cqa::{consistent_answers, consistent_answers_with, ConsistentAnswers};
+pub use cqa::{
+    consistent_answers, consistent_answers_recorded, consistent_answers_with, ConsistentAnswers,
+};
 pub use engine::{Repair, RepairEngine, RepairError, RepairLimits, RepairOutcome};

@@ -395,9 +395,12 @@ impl Tx<'_> {
         // the lowest-indexed (= first in peer order) violation, matching
         // the sequential loop's error exactly.
         let staged_peers: Vec<(&PeerId, &Delta)> = effective.iter().collect();
+        let recorder = std::sync::Arc::clone(session.engine.recorder());
+        let validate_span = pdes_obs::Span::enter(recorder.as_ref(), "commit.validate");
         Executor::new(session.engine.exec_config()).try_map(&staged_peers, |(peer, delta)| {
             session.validate_local_ics(peer, delta)
         })?;
+        validate_span.finish();
         // 3. Apply.
         let touched: BTreeSet<PeerId> = effective.keys().cloned().collect();
         let affected = session.system().affected_by(&touched);

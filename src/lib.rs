@@ -23,6 +23,10 @@
 //!   `datalog::incremental` rather than re-ground);
 //! * [`exec`] — the dependency-free scoped thread-pool executor behind the
 //!   engine's batched/parallel answering;
+//! * [`obs`] — the dependency-free tracing + metrics subsystem: the
+//!   [`Recorder`] sink every layer reports spans and counters to, the
+//!   [`TraceRecorder`] with Chrome-trace / text-profile / Prometheus
+//!   exporters, and the shared fixed-bucket [`Histogram`];
 //! * [`analysis`] — static diagnostics over peer specifications
 //!   (stable-coded [`Diagnostic`]s, the `Strategy::Auto` explanation, and
 //!   the `pdes-lint` CLI).
@@ -35,6 +39,7 @@ pub use dsl;
 pub use pdes_analyze as analysis;
 pub use pdes_core as core;
 pub use pdes_exec as exec;
+pub use pdes_obs as obs;
 pub use pdes_session as session;
 pub use relalg;
 pub use repair;
@@ -52,6 +57,9 @@ pub use pdes_core::engine::{
 pub use pdes_core::pca::vars;
 pub use pdes_core::{CacheMetrics, P2PSystem, Peer, PeerId, SolutionOptions, TrustLevel};
 pub use pdes_exec::{ExecConfig, Executor};
+pub use pdes_obs::{
+    Histogram, HistogramSummary, MetricsRegistry, NullRecorder, Recorder, Span, TraceRecorder,
+};
 pub use pdes_session::{Session, Tx, Update, Version};
 pub use relalg::query::Formula;
 pub use relalg::Tuple;
