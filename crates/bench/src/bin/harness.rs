@@ -1,4 +1,4 @@
-//! Prints the B1–B12 experiment tables (see DESIGN.md and EXPERIMENTS.md),
+//! Prints the B1–B13 experiment tables (see DESIGN.md and EXPERIMENTS.md),
 //! or runs the CI perf-smoke gate.
 //!
 //! Usage:
@@ -18,7 +18,7 @@ use pdes_bench::experiments;
 use pdes_bench::smoke::{run_smoke_traced, SmokeReport};
 use pdes_bench::{
     render_grounding_table, render_incremental_table, render_live_table, render_obs_table,
-    render_parallel_table, render_table,
+    render_parallel_table, render_shard_table, render_table,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -167,6 +167,14 @@ fn main() -> ExitCode {
         render_obs_table(
             "B12: per-phase span latency percentiles (TraceRecorder histograms)",
             &pdes_bench::obs::table_b12(&b12_peers, b12_warm)
+        )
+    );
+    let b13_closures = if quick { vec![2, 4] } else { vec![2, 4, 8] };
+    print!(
+        "{}",
+        render_shard_table(
+            "B13: cross-shard query latency vs. closure size (sharded store)",
+            &pdes_bench::sharding::table_b13(&b13_closures, &[1, 2, 4])
         )
     );
     ExitCode::SUCCESS

@@ -38,6 +38,14 @@
 //! p50 / p99 — the same machinery behind the B8/B11 percentile columns and
 //! the smoke gate's exact `trace_span_count` / `trace_event_count`
 //! counters.
+//!
+//! Table B13 ([`sharding`]) measures the peer-sharded serving runtime:
+//! closure-fetch, full-snapshot and end-to-end cold-query latency against a
+//! [`pdes_store::ShardedStore`] over disjoint DEC chains, at shard counts
+//! 1/2/4, with the store's `local`/`remote` traffic split alongside; the
+//! smoke gate pins exact `shard_local_queries` / `shard_remote_queries`
+//! counts and hard-errors if the sharded answers diverge from the
+//! single-store oracle.
 
 pub mod experiments;
 pub mod grounding;
@@ -45,6 +53,7 @@ pub mod live;
 pub mod obs;
 pub mod parallel;
 pub mod runners;
+pub mod sharding;
 pub mod smoke;
 
 pub use grounding::{render_grounding_table, GroundingMeasurement};
@@ -52,4 +61,5 @@ pub use live::{render_incremental_table, render_live_table, LiveMeasurement, Liv
 pub use obs::{render_obs_table, ObsMeasurement};
 pub use parallel::{render_parallel_table, ParallelMeasurement};
 pub use runners::{render_table, Measurement};
+pub use sharding::{render_shard_table, ShardMeasurement};
 pub use smoke::{run_smoke, run_smoke_traced, SmokeReport};

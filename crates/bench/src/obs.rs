@@ -6,7 +6,7 @@
 //! (`query`, `prepare`, `ground`, `solve`, `eval`, …) lands in the
 //! recorder's shared [`pdes_obs::Histogram`] registry — the same log-linear
 //! bucket machinery the live tables' p50/p99 columns use — and the table
-//! reports per-phase count, p50, p99 and total. Unlike B1–B11, which time
+//! reports per-phase count, p50, p99 and total. Unlike B1–B12, which time
 //! whole runs from the outside, B12 decomposes *where* a query's time goes,
 //! with percentiles instead of single samples.
 

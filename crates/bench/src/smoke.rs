@@ -393,11 +393,13 @@ pub fn run_smoke_traced() -> Result<(SmokeReport, String), String> {
     // semantics; equality with a fresh engine over the mutated system is
     // the correctness bar.
     drop(cold);
-    let fresh = pdes_core::engine::QueryEngine::builder(engine.system().clone())
-        .strategy(Strategy::Asp)
-        .build()
-        .answer(&live_w.queried_peer, &live_w.query, &live_w.free_vars)
-        .map_err(|e| e.to_string())?;
+    let fresh = pdes_core::engine::QueryEngine::builder(
+        engine.snapshot_system().map_err(|e| e.to_string())?,
+    )
+    .strategy(Strategy::Asp)
+    .build()
+    .answer(&live_w.queried_peer, &live_w.query, &live_w.free_vars)
+    .map_err(|e| e.to_string())?;
     if repaired.tuples != fresh.tuples {
         return Err("patched answers diverged from a fresh engine".to_string());
     }
@@ -446,6 +448,82 @@ pub fn run_smoke_traced() -> Result<(SmokeReport, String), String> {
         return Err("tiny cache budget produced no evictions".to_string());
     }
     metrics.push(("cache_evictions".to_string(), evictions as f64));
+
+    // Sharded serving: the deterministic chain system (four disjoint
+    // chains of three peers) served through a 2-shard store must answer
+    // every peer query exactly like the single-store oracle — divergence is
+    // a hard error, not a tracked metric — and the store's local/remote
+    // traffic split is pinned *exactly* in the gate: one closure hydration
+    // per cold ASP peer stays on its owning shard, and the one naive query
+    // pays the one cross-shard snapshot fan-out.
+    let chain = crate::sharding::chain_system(3)?;
+    let store = Arc::new(
+        pdes_store::ShardedStore::builder(chain.clone())
+            .shards(2)
+            .build(),
+    );
+    let sharded_engine = pdes_core::engine::QueryEngine::builder(chain.clone())
+        .store(store.clone() as Arc<dyn pdes_core::store::PeerStore>)
+        .strategy(Strategy::Asp)
+        .build();
+    let oracle_engine = pdes_core::engine::QueryEngine::builder(chain.clone())
+        .strategy(Strategy::Asp)
+        .build();
+    let shard_fv = pdes_core::pca::vars(&["X", "Y"]);
+    let start = Instant::now();
+    for peer in chain.peer_ids().cloned().collect::<Vec<_>>() {
+        let relation = chain
+            .peer(&peer)
+            .map_err(|e| e.to_string())?
+            .schema
+            .relation_names()
+            .next()
+            .ok_or("chain peer owns no relation")?
+            .to_string();
+        let query = relalg::query::Formula::atom(&relation, vec!["X", "Y"]);
+        let sharded = sharded_engine
+            .answer(&peer, &query, &shard_fv)
+            .map_err(|e| e.to_string())?;
+        let oracle = oracle_engine
+            .answer(&peer, &query, &shard_fv)
+            .map_err(|e| e.to_string())?;
+        if sharded.tuples != oracle.tuples {
+            return Err(format!(
+                "sharded answers diverged from the single-store oracle at peer {peer}"
+            ));
+        }
+    }
+    metrics.push((
+        "shard_asp_cold_ms".to_string(),
+        start.elapsed().as_secs_f64() * 1e3,
+    ));
+    let naive_engine = pdes_core::engine::QueryEngine::builder(chain.clone())
+        .store(store.clone() as Arc<dyn pdes_core::store::PeerStore>)
+        .strategy(Strategy::Naive)
+        .build();
+    let head = pdes_core::system::PeerId::new("c0p0");
+    let head_query = relalg::query::Formula::atom("T0_0", vec!["X", "Y"]);
+    let naive = naive_engine
+        .answer(&head, &head_query, &shard_fv)
+        .map_err(|e| e.to_string())?;
+    let naive_oracle = oracle_engine
+        .answer_with(Strategy::Naive, &head, &head_query, &shard_fv)
+        .map_err(|e| e.to_string())?;
+    if naive.tuples != naive_oracle.tuples {
+        return Err("sharded naive answers diverged from the single-store oracle".to_string());
+    }
+    let shard_metrics = store.metrics();
+    if shard_metrics.remote == 0 {
+        return Err("the naive snapshot never fanned out across shards".to_string());
+    }
+    metrics.push((
+        "shard_local_queries".to_string(),
+        shard_metrics.local as f64,
+    ));
+    metrics.push((
+        "shard_remote_queries".to_string(),
+        shard_metrics.remote as f64,
+    ));
 
     // Static-analyzer counters over the two smoke systems (exact-match in
     // the gate). Errors on a generated workload are a hard failure — the
@@ -552,6 +630,9 @@ mod tests {
             "warm_after_commit_regrounded_rules",
             "warm_after_commit_slice_rules",
             "cache_evictions",
+            "shard_asp_cold_ms",
+            "shard_local_queries",
+            "shard_remote_queries",
             "analyzer_errors",
             "analyzer_warnings",
             "analyzer_infos",
@@ -576,6 +657,11 @@ mod tests {
             smoke.get("trace_event_count"),
             smoke.get("trace_span_count").map(|s| s * 2.0)
         );
+        // Sharded serving touched both shards: one cross-shard snapshot
+        // fan-out (the naive query), everything else shard-local (one
+        // closure hydration per cold ASP peer query).
+        assert_eq!(smoke.get("shard_remote_queries"), Some(1.0));
+        assert!(smoke.get("shard_local_queries") > Some(0.0));
         // The smoke workloads are analyzer-error-free (hard error inside
         // the run); the warning/info counters are exact-match in the gate.
         assert_eq!(smoke.get("analyzer_errors"), Some(0.0));

@@ -128,6 +128,7 @@ use crate::error::CoreError;
 use crate::pca::vars;
 use crate::rewriting;
 use crate::solution::{SolutionOptions, SolutionStats};
+use crate::store::{InProcessStore, PeerStore};
 use crate::system::{P2PSystem, PeerId};
 use crate::Result;
 use datalog::reason::AnswerSets;
@@ -155,7 +156,11 @@ thread_local! {
 }
 
 /// The strategy a [`QueryEngine`] uses to answer queries.
+///
+/// Marked `#[non_exhaustive]`: downstream matches need a wildcard arm so new
+/// answering mechanisms can be added without a breaking release.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
 pub enum Strategy {
     /// Pick per query: rewriting when the peer's DECs are statically
     /// rewritable and the query is positive existential, ASP otherwise.
@@ -345,7 +350,11 @@ pub enum Provenance {
 /// aggregate over the engine's lifetime, which is what the live-update
 /// benchmarks report. A snapshot of the engine's internal counters, which
 /// are atomics so that batch-parallel queries never under-count.
+///
+/// Marked `#[non_exhaustive]`: construct it via [`QueryEngine::metrics`] (or
+/// `Default`); new counters can be added without a breaking release.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct CacheMetrics {
     /// Preparations served from the cache.
     pub hits: u64,
@@ -483,7 +492,7 @@ pub trait AnsweringStrategy: Send + Sync {
 /// Builder for [`QueryEngine`].
 #[must_use = "a builder does nothing until `build` is called"]
 pub struct QueryEngineBuilder {
-    system: P2PSystem,
+    store: Arc<dyn PeerStore>,
     strategy: Strategy,
     custom: Option<Box<dyn AnsweringStrategy>>,
     solver_config: SolverConfig,
@@ -497,6 +506,26 @@ pub struct QueryEngineBuilder {
 }
 
 impl QueryEngineBuilder {
+    /// Answer over `store` — the peer-state access point shared by every
+    /// layer. Replaces the builder's current store; pass a
+    /// `pdes-store` `ShardedStore` here to serve queries over peers
+    /// partitioned across worker shards. [`QueryEngine::builder`] is the
+    /// single-system shorthand (it wraps the system into an
+    /// [`InProcessStore`]).
+    pub fn store(mut self, store: Arc<dyn PeerStore>) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Answer over an owned [`P2PSystem`].
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `QueryEngine::builder(system)` or `store(Arc::new(InProcessStore::new(system)))`"
+    )]
+    pub fn system(self, system: P2PSystem) -> Self {
+        self.store(Arc::new(InProcessStore::new(system)))
+    }
+
     /// The default answering strategy (defaults to [`Strategy::Auto`]).
     pub fn strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
@@ -599,7 +628,11 @@ impl QueryEngineBuilder {
     /// diagnostics make this fail with [`CoreError::AnalysisRejected`]
     /// carrying the rendered report. Without it, this never fails.
     pub fn try_build(self) -> Result<QueryEngine> {
-        let report = self.system.analyze();
+        // The analyzer is topology-only (schemas, DECs, trust — never
+        // instance data), so the store's local replica serves it without a
+        // transport round-trip.
+        let topology = self.store.topology().clone();
+        let report = topology.analyze();
         if self.strict_analysis && !report.is_clean() {
             return Err(CoreError::AnalysisRejected {
                 errors: report.error_count(),
@@ -610,7 +643,8 @@ impl QueryEngineBuilder {
             .recorder
             .unwrap_or_else(|| Arc::new(NullRecorder) as Arc<dyn Recorder>);
         Ok(QueryEngine {
-            system: self.system,
+            store: self.store,
+            topology,
             strategy: self.strategy,
             custom: self.custom,
             solver_config: self.solver_config,
@@ -864,7 +898,12 @@ impl PreparedWorlds {
 /// [`QueryEngine::answer`] (configured strategy) or
 /// [`QueryEngine::answer_with`] (explicit strategy, sharing the same cache).
 pub struct QueryEngine {
-    system: P2PSystem,
+    /// Peer-state access point: the only way the engine reaches instances
+    /// and applies deltas.
+    store: Arc<dyn PeerStore>,
+    /// Local topology replica (instances empty): closure queries, schema
+    /// checks and strategy resolution never pay a transport round-trip.
+    topology: P2PSystem,
     strategy: Strategy,
     custom: Option<Box<dyn AnsweringStrategy>>,
     solver_config: SolverConfig,
@@ -887,10 +926,12 @@ impl QueryEngine {
     /// intersection stays sequential (fan-out overhead dominates).
     const MIN_PARALLEL_WORLDS: usize = 8;
 
-    /// Start building an engine over `system`.
+    /// Start building an engine over `system`, served through the canonical
+    /// [`InProcessStore`]. To answer over a different [`PeerStore`] (e.g. a
+    /// sharded runtime), follow with [`QueryEngineBuilder::store`].
     pub fn builder(system: P2PSystem) -> QueryEngineBuilder {
         QueryEngineBuilder {
-            system,
+            store: Arc::new(InProcessStore::new(system)),
             strategy: Strategy::default(),
             custom: None,
             solver_config: SolverConfig::default(),
@@ -909,9 +950,35 @@ impl QueryEngine {
         QueryEngine::builder(system).build()
     }
 
-    /// The system the engine answers over.
-    pub fn system(&self) -> &P2PSystem {
-        &self.system
+    /// The store the engine answers over.
+    pub fn store(&self) -> &Arc<dyn PeerStore> {
+        &self.store
+    }
+
+    /// The engine's local topology replica: the system with every instance
+    /// *empty*. Schemas, DECs, trust and the relevant-peer closure are all
+    /// here; instance data is only reachable through
+    /// [`QueryEngine::store`] / [`QueryEngine::snapshot_system`].
+    pub fn topology(&self) -> &P2PSystem {
+        &self.topology
+    }
+
+    /// Materialize the full system (topology + every peer's current
+    /// instance) from the store. A transport round-trip per shard on a
+    /// sharded store — use for oracles and snapshots, not hot paths.
+    pub fn snapshot_system(&self) -> Result<P2PSystem> {
+        self.store.snapshot()
+    }
+
+    /// The topology replica hydrated with the *current* instances of
+    /// `peers`, fetched through the store in one batched read (every other
+    /// peer's instance stays empty).
+    fn hydrated(&self, peers: &BTreeSet<PeerId>) -> Result<P2PSystem> {
+        let mut system = self.topology.clone();
+        for (peer, instance) in self.store.instances(peers)? {
+            system.set_instance(&peer, instance)?;
+        }
+        Ok(system)
     }
 
     /// The configured default strategy.
@@ -1007,7 +1074,7 @@ impl QueryEngine {
                     // strategy's own answer will surface the error.
                     return (StrategyKind::Asp, None);
                 }
-                match crate::analyze::classify_rewritability(&self.system, peer) {
+                match crate::analyze::classify_rewritability(&self.topology, peer) {
                     Ok(crate::analyze::RewriteVerdict::Rewritable) => {
                         if rewriting::supports_query(query) {
                             (StrategyKind::Rewriting, None)
@@ -1196,7 +1263,7 @@ impl QueryEngine {
             };
             let closure = closures
                 .entry(&query.peer)
-                .or_insert_with(|| self.system.dependencies_of(&query.peer));
+                .or_insert_with(|| self.topology.dependencies_of(&query.peer));
             for peer in closure.iter() {
                 let token = format!("{peer}\u{1}{suffix}");
                 match owner_of_token.entry(token) {
@@ -1260,16 +1327,15 @@ impl QueryEngine {
     }
 
     fn commit_delta_inner(&mut self, peer: &PeerId, delta: &relalg::Delta) -> Result<u64> {
-        self.system.apply_delta(peer, delta)?;
+        // The store is the version authority: it validates, applies and
+        // stamps; the engine mirrors the returned stamp into its cache
+        // versions so memo artifacts key off store truth.
+        let version = self.store.apply_delta(peer, delta)?;
         let cache = self
             .cache
             .get_mut()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
-        let version = {
-            let v = cache.versions.entry(peer.clone()).or_insert(0);
-            *v += 1;
-            *v
-        };
+        cache.versions.insert(peer.clone(), version);
         // Incremental maintenance of the materialized global instance:
         // relation names are globally unique (Definition 2(b)), so a
         // peer-local delta applies verbatim to the union of all instances.
@@ -1366,7 +1432,7 @@ impl QueryEngine {
     /// The current per-peer versions of every peer in the system.
     pub fn versions(&self) -> BTreeMap<PeerId, u64> {
         let cache = self.read_cache();
-        self.system
+        self.topology
             .peer_ids()
             .map(|p| (p.clone(), cache.versions.get(p).copied().unwrap_or(0)))
             .collect()
@@ -1375,7 +1441,7 @@ impl QueryEngine {
     /// The relevant-peer closure of a peer — the peers whose commits
     /// invalidate this peer's memoized artifacts.
     pub fn relevant_peers(&self, peer: &PeerId) -> BTreeSet<PeerId> {
-        self.system.dependencies_of(peer)
+        self.topology.dependencies_of(peer)
     }
 
     /// Lifetime cache counters (hits, misses, invalidations, commits).
@@ -1446,7 +1512,7 @@ impl QueryEngine {
         // Materialize outside the lock; concurrent misses may duplicate the
         // work but never block each other on it.
         let span = Span::enter(self.recorder.as_ref(), "prepare");
-        let db = Arc::new(self.system.global_instance()?);
+        let db = Arc::new(self.store.snapshot()?.global_instance()?);
         let nanos = duration_nanos(span.finish());
         let mut cache = self.write_cache();
         let (entry, nanos) = cache.global.get_or_insert_with(|| (Arc::clone(&db), nanos));
@@ -1490,19 +1556,23 @@ impl QueryEngine {
             }
             self.metrics.misses.fetch_add(1, Ordering::Relaxed);
             self.recorder.count("cache.miss", 1);
-            cache.stamp_for(self.system.peer_ids().cloned())
+            cache.stamp_for(self.topology.peer_ids().cloned())
         };
         // Enumerate outside the lock (solution search can be expensive).
+        // The repair search needs every instance (it operates on the global
+        // instance), so a cold naive preparation is the one full-snapshot
+        // fetch in the engine.
         let span = Span::enter(self.recorder.as_ref(), "prepare");
+        let snapshot = self.store.snapshot()?;
         let (solutions, search) = crate::solution::solutions_with_stats_recorded(
-            &self.system,
+            &snapshot,
             peer,
             self.solution_options,
             self.recorder.as_ref(),
         )?;
         let mut databases = Vec::with_capacity(solutions.len());
         for solution in &solutions {
-            databases.push(self.system.restrict_to_peer(&solution.database, peer)?);
+            databases.push(self.topology.restrict_to_peer(&solution.database, peer)?);
         }
         let prepared = Arc::new(PreparedWorlds {
             worlds: solutions.len(),
@@ -1630,16 +1700,28 @@ impl QueryEngine {
         // Build the specification program, the restricted slice and the
         // canonical fingerprint outside any lock (program construction is
         // cheap next to grounding and solving, which only run when the
-        // canonical artifact is cold or stale).
+        // canonical artifact is cold or stale). The program embeds peer
+        // instances as facts; with relevance pruning on, only the peer's
+        // relevant-peer closure can influence its answers, so the slow path
+        // hydrates exactly that closure through the store — one batched
+        // fetch, never the whole system. With pruning off the legacy full
+        // grounding is reproduced verbatim (every peer's facts in the
+        // program), which needs the full snapshot.
         let recorder = self.recorder.as_ref();
         let prepare_span = Span::enter(recorder, "prepare");
-        let spec = if transitive {
-            SpecProgram::Transitive(crate::asp::transitive_program(&self.system, peer)?)
+        let closure = self.topology.dependencies_of(peer);
+        let hydrated = if self.relevance_pruning {
+            self.hydrated(&closure)?
         } else {
-            SpecProgram::Direct(crate::asp::annotated_program(&self.system, peer)?)
+            self.store.snapshot()?
+        };
+        let spec = if transitive {
+            SpecProgram::Transitive(crate::asp::transitive_program(&hydrated, peer)?)
+        } else {
+            SpecProgram::Direct(crate::asp::annotated_program(&hydrated, peer)?)
         };
         let seeds = self.query_seeds(query, &|relation| {
-            spec.solution_predicate(&self.system, relation)
+            spec.solution_predicate(&hydrated, relation)
         });
         let grounder = Grounder::new(spec.program());
         // The restricted program is only needed by the cold full-grounding
@@ -1688,7 +1770,7 @@ impl QueryEngine {
             }
             self.metrics.misses.fetch_add(1, Ordering::Relaxed);
             self.recorder.count("cache.miss", 1);
-            (cache.stamp_for(self.system.dependencies_of(peer)), stale)
+            (cache.stamp_for(closure.iter().cloned()), stale)
         };
         // Ground (or patch) and solve outside the lock: these are the
         // expensive phases and must not serialize unrelated queries.
@@ -1731,7 +1813,7 @@ impl QueryEngine {
         let ground_nanos = duration_nanos(ground_span.finish());
         let solved = solve_prepared(ground, self.solver_config, &self.query_exec(), recorder)?;
         let decode_span = Span::enter(recorder, "decode");
-        let databases = spec.solution_databases(&self.system, &solved.sets)?;
+        let databases = spec.solution_databases(&hydrated, &solved.sets)?;
         decode_span.finish();
         let provenance = spec.provenance(&solved.sets);
         let prepared = Arc::new(PreparedWorlds {
@@ -1846,7 +1928,7 @@ impl QueryEngine {
 
     /// Verify the query is expressed in the peer's own language `L(P)`.
     fn check_language(&self, peer: &PeerId, query: &Formula) -> Result<()> {
-        let peer_data = self.system.peer(peer)?;
+        let peer_data = self.topology.peer(peer)?;
         for relation in query.relations() {
             if !peer_data.schema.contains(&relation) {
                 return Err(CoreError::UnknownRelation {
@@ -2160,7 +2242,7 @@ impl AnsweringStrategy for RewritingStrategy {
 
     fn supports(&self, engine: &QueryEngine, peer: &PeerId, query: &Formula) -> bool {
         engine.check_language(peer, query).is_ok()
-            && rewriting::supports_peer(engine.system(), peer)
+            && rewriting::supports_peer(engine.topology(), peer)
             && rewriting::supports_query(query)
     }
 
@@ -2177,7 +2259,7 @@ impl AnsweringStrategy for RewritingStrategy {
         // hit reports the original cost via `cached_prepare_time` instead).
         let (global, cache_hit, prepare_nanos, cached_prepare_nanos) = engine.global_instance()?;
         let span = Span::enter(engine.recorder().as_ref(), "eval");
-        let rewritten = rewriting::rewrite_query(engine.system(), peer, query)?;
+        let rewritten = rewriting::rewrite_query(engine.topology(), peer, query)?;
         let evaluator = QueryEvaluator::new(&global);
         let tuples = evaluator
             .answers(&rewritten, free_vars)
@@ -2714,7 +2796,7 @@ mod tests {
         // The repaired answers include the imported new tuple and agree
         // with a fresh engine over the mutated system.
         assert!(recomputed.contains(&Tuple::strs(["x", "y"])));
-        let fresh = QueryEngine::builder(engine.system().clone())
+        let fresh = QueryEngine::builder(engine.snapshot_system().unwrap())
             .strategy(Strategy::Asp)
             .build();
         assert_eq!(

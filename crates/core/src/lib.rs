@@ -16,7 +16,11 @@
 //!   annotation-based generator (Section 4.2 / appendix style), the paper's
 //!   verbatim programs, and the transitive composition of Section 4.3;
 //! * [`engine`] — the unified [`engine::QueryEngine`] facade serving every
-//!   mechanism, with per-slice memoization and relevance-driven grounding.
+//!   mechanism, with per-slice memoization and relevance-driven grounding;
+//! * [`store`] — the [`store::PeerStore`] trait through which the engine and
+//!   every other layer reach peer state, with
+//!   [`store::InProcessStore`] as the canonical single-process
+//!   implementation (the sharded runtime lives in the `pdes-store` crate).
 //!
 //! ## Quickstart
 //!
@@ -45,6 +49,7 @@ pub mod error;
 pub mod pca;
 pub mod rewriting;
 pub mod solution;
+pub mod store;
 pub mod system;
 
 pub use analyze::{classify_rewritability, Diagnostic, Location, Report, RewriteVerdict, Severity};
@@ -55,6 +60,7 @@ pub use engine::{
 pub use error::CoreError;
 pub use rewriting::rewrite_query;
 pub use solution::{solutions_for, Solution, SolutionOptions, SolutionStats};
+pub use store::{InProcessStore, PeerStore, VersionMap};
 pub use system::{example1_system, Dec, P2PSystem, Peer, PeerId, TrustLevel, TrustRelation};
 
 /// Crate-wide result type.

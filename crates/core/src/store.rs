@@ -1,0 +1,299 @@
+//! Peer-state access behind a transport-shaped API: the [`PeerStore`] trait.
+//!
+//! The paper's model is a network of *autonomous* peers, but historically the
+//! whole reproduction poked at one in-process [`P2PSystem`] through direct
+//! struct access. `PeerStore` is the redesigned boundary: the engine, the
+//! session layer and the tooling reach peer state only through this trait, so
+//! an in-process system and a sharded multi-worker runtime (the `pdes-store`
+//! crate's `ShardedStore`) are interchangeable behind one API.
+//!
+//! The trait splits peer state along the replication boundary of a
+//! distributed deployment:
+//!
+//! * **Topology** — peers, schemas, DECs, the trust relation and local ICs —
+//!   is cheap, slow-changing metadata that every node replicates. It is
+//!   served locally by [`PeerStore::topology`] (a topology-only
+//!   [`P2PSystem`], instances empty), and every closure/ownership/trust
+//!   question is answered from that replica without a round-trip.
+//! * **Instances** — the per-peer data — live with their owning store (or
+//!   shard) and are fetched explicitly: [`PeerStore::instance_of`] /
+//!   [`PeerStore::instances`] for reads, [`PeerStore::snapshot`] for a full
+//!   materialization, [`PeerStore::apply_delta`] (and the
+//!   [`PeerStore::insert`] / [`PeerStore::delete`] conveniences) for writes.
+//!
+//! Writes return *version stamps*: every peer carries a monotonically
+//! increasing `u64` bumped by each effective mutation, and the store is the
+//! single authority for it. Cache layers (the engine's memo cache) key their
+//! artifacts by these stamps instead of maintaining private counters.
+
+use crate::system::{P2PSystem, PeerId};
+use crate::Result;
+use relalg::{Database, Delta, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Per-peer version stamps, as returned by [`PeerStore::versions`].
+pub type VersionMap = BTreeMap<PeerId, u64>;
+
+/// The single way engine, session and tooling reach peer state.
+///
+/// [`InProcessStore`] is the canonical single-process implementation;
+/// `pdes-store`'s `ShardedStore` serves the same API over an in-process
+/// loopback transport with peers partitioned across worker shards. Apart
+/// from latency and the transport-failure error surface
+/// ([`CoreError::Transport`](crate::error::CoreError::Transport)),
+/// implementations must be observationally
+/// equivalent: same answers, same version stamps for the same mutation
+/// sequence.
+pub trait PeerStore: Send + Sync {
+    /// The topology-only replica: every peer with its schema, DECs, trust
+    /// and local ICs, but *empty* instances. Served locally (no transport
+    /// round-trip); use it for closure queries
+    /// ([`P2PSystem::dependencies_of`]), ownership lookups, schema checks
+    /// and analysis.
+    fn topology(&self) -> &P2PSystem;
+
+    /// Fetch one peer's current instance.
+    fn instance_of(&self, peer: &PeerId) -> Result<Database>;
+
+    /// Fetch the instances of a set of peers. The default implementation
+    /// loops over [`PeerStore::instance_of`]; transports override it to
+    /// batch per destination.
+    fn instances(&self, peers: &BTreeSet<PeerId>) -> Result<BTreeMap<PeerId, Database>> {
+        peers
+            .iter()
+            .map(|p| Ok((p.clone(), self.instance_of(p)?)))
+            .collect()
+    }
+
+    /// Materialize the full system: the topology replica with every peer's
+    /// current instance installed. This is the expensive "fetch everything"
+    /// read — cold naive preparations and oracle comparisons use it; the
+    /// engine's warm paths never do.
+    fn snapshot(&self) -> Result<P2PSystem> {
+        let mut system = self.topology().clone();
+        let all: BTreeSet<PeerId> = system.peer_ids().cloned().collect();
+        for (peer, instance) in self.instances(&all)? {
+            system.set_instance(&peer, instance)?;
+        }
+        Ok(system)
+    }
+
+    /// Apply a validated update delta to one peer's instance and bump its
+    /// version. Validation happens before any change
+    /// ([`P2PSystem::apply_delta`]); a failed call leaves the store
+    /// untouched. Returns the peer's new version stamp.
+    fn apply_delta(&self, peer: &PeerId, delta: &Delta) -> Result<u64>;
+
+    /// Insert one tuple into a peer's relation, bumping the peer's version.
+    /// Returns the new version stamp.
+    fn insert(&self, peer: &PeerId, relation: &str, tuple: Tuple) -> Result<u64>;
+
+    /// Remove one tuple from a peer's relation. Returns whether the tuple
+    /// was present; the peer's version is bumped only when it was (a no-op
+    /// delete leaves every cache stamp valid). Takes the tuple by reference
+    /// — the unified mutation signature shared with [`P2PSystem::delete`].
+    fn delete(&self, peer: &PeerId, relation: &str, tuple: &Tuple) -> Result<bool>;
+
+    /// The current version stamp of one peer (0 until its first mutation).
+    fn version_of(&self, peer: &PeerId) -> Result<u64>;
+
+    /// The current version stamps of every peer.
+    fn versions(&self) -> Result<VersionMap>;
+}
+
+/// Mutable store state: the authoritative system plus per-peer versions.
+struct StoreState {
+    system: P2PSystem,
+    versions: VersionMap,
+}
+
+/// The canonical in-process [`PeerStore`]: the authoritative [`P2PSystem`]
+/// behind an `RwLock`, plus per-peer version counters. This is what
+/// `QueryEngine::builder(system)` wraps a plain system into.
+pub struct InProcessStore {
+    /// Immutable topology replica (instances stripped), shared by reference.
+    topology: P2PSystem,
+    state: RwLock<StoreState>,
+}
+
+impl InProcessStore {
+    /// Take ownership of a system and serve it through the store API.
+    pub fn new(system: P2PSystem) -> Self {
+        InProcessStore {
+            topology: system.topology_only(),
+            state: RwLock::new(StoreState {
+                system,
+                versions: VersionMap::new(),
+            }),
+        }
+    }
+
+    /// Read access, recovering from lock poisoning: every mutation validates
+    /// before applying, so the state is consistent even after a panicked
+    /// writer.
+    fn read(&self) -> RwLockReadGuard<'_, StoreState> {
+        self.state
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Write access; see [`InProcessStore::read`] for the poisoning
+    /// rationale.
+    fn write(&self) -> RwLockWriteGuard<'_, StoreState> {
+        self.state
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl From<P2PSystem> for InProcessStore {
+    fn from(system: P2PSystem) -> Self {
+        InProcessStore::new(system)
+    }
+}
+
+/// Bump and return a peer's version counter.
+fn bump(versions: &mut VersionMap, peer: &PeerId) -> u64 {
+    let v = versions.entry(peer.clone()).or_insert(0);
+    *v += 1;
+    *v
+}
+
+impl PeerStore for InProcessStore {
+    fn topology(&self) -> &P2PSystem {
+        &self.topology
+    }
+
+    fn instance_of(&self, peer: &PeerId) -> Result<Database> {
+        Ok(self.read().system.peer(peer)?.instance.clone())
+    }
+
+    fn instances(&self, peers: &BTreeSet<PeerId>) -> Result<BTreeMap<PeerId, Database>> {
+        let state = self.read();
+        peers
+            .iter()
+            .map(|p| Ok((p.clone(), state.system.peer(p)?.instance.clone())))
+            .collect()
+    }
+
+    fn snapshot(&self) -> Result<P2PSystem> {
+        Ok(self.read().system.clone())
+    }
+
+    fn apply_delta(&self, peer: &PeerId, delta: &Delta) -> Result<u64> {
+        let mut state = self.write();
+        state.system.apply_delta(peer, delta)?;
+        Ok(bump(&mut state.versions, peer))
+    }
+
+    fn insert(&self, peer: &PeerId, relation: &str, tuple: Tuple) -> Result<u64> {
+        let mut state = self.write();
+        state.system.insert(peer, relation, tuple)?;
+        Ok(bump(&mut state.versions, peer))
+    }
+
+    fn delete(&self, peer: &PeerId, relation: &str, tuple: &Tuple) -> Result<bool> {
+        let mut state = self.write();
+        let present = state.system.delete(peer, relation, tuple)?;
+        if present {
+            bump(&mut state.versions, peer);
+        }
+        Ok(present)
+    }
+
+    fn version_of(&self, peer: &PeerId) -> Result<u64> {
+        let state = self.read();
+        // An unknown peer is an error, not version 0.
+        let _ = state.system.peer(peer)?;
+        Ok(state.versions.get(peer).copied().unwrap_or(0))
+    }
+
+    fn versions(&self) -> Result<VersionMap> {
+        let state = self.read();
+        Ok(state
+            .system
+            .peer_ids()
+            .map(|p| (p.clone(), state.versions.get(p).copied().unwrap_or(0)))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::example1_system;
+    use relalg::database::GroundAtom;
+
+    #[test]
+    fn topology_is_instance_free_but_schema_complete() {
+        let store = InProcessStore::new(example1_system());
+        let topology = store.topology();
+        assert_eq!(topology.peer_count(), 3);
+        assert_eq!(topology.decs().len(), 2);
+        for peer in topology.peers() {
+            assert_eq!(peer.instance.tuple_count(), 0, "peer {}", peer.id);
+            // Declared relations survive (empty), so evaluation over the
+            // replica fails on unknown relations, not on missing ones.
+            for name in peer.schema.relation_names() {
+                assert!(peer.instance.contains_relation(name));
+            }
+        }
+        // The authoritative data is still served through the store.
+        let p1 = PeerId::new("P1");
+        assert_eq!(store.instance_of(&p1).unwrap().tuple_count(), 2);
+    }
+
+    #[test]
+    fn snapshot_round_trips_the_system() {
+        let system = example1_system();
+        let store = InProcessStore::new(system.clone());
+        assert_eq!(store.snapshot().unwrap(), system);
+        // The default (trait-level) snapshot agrees with the override.
+        let mut assembled = store.topology().clone();
+        let all: BTreeSet<PeerId> = assembled.peer_ids().cloned().collect();
+        for (peer, instance) in store.instances(&all).unwrap() {
+            assembled.set_instance(&peer, instance).unwrap();
+        }
+        assert_eq!(assembled, system);
+    }
+
+    #[test]
+    fn mutations_stamp_versions() {
+        let store = InProcessStore::new(example1_system());
+        let p1 = PeerId::new("P1");
+        let p2 = PeerId::new("P2");
+        assert_eq!(store.version_of(&p1).unwrap(), 0);
+        let v = store
+            .insert(&p1, "R1", Tuple::strs(["fresh", "row"]))
+            .unwrap();
+        assert_eq!(v, 1);
+        let delta = Delta::from_changes([GroundAtom::new("R1", Tuple::strs(["x", "y"]))], []);
+        assert_eq!(store.apply_delta(&p1, &delta).unwrap(), 2);
+        // Effective deletes bump; no-op deletes do not.
+        assert!(store.delete(&p1, "R1", &Tuple::strs(["x", "y"])).unwrap());
+        assert_eq!(store.version_of(&p1).unwrap(), 3);
+        assert!(!store.delete(&p1, "R1", &Tuple::strs(["x", "y"])).unwrap());
+        assert_eq!(store.version_of(&p1).unwrap(), 3);
+        // Other peers are untouched.
+        assert_eq!(store.version_of(&p2).unwrap(), 0);
+        let versions = store.versions().unwrap();
+        assert_eq!(versions[&p1], 3);
+        assert_eq!(versions[&p2], 0);
+    }
+
+    #[test]
+    fn failed_mutations_leave_state_and_versions_alone() {
+        let store = InProcessStore::new(example1_system());
+        let p1 = PeerId::new("P1");
+        // Foreign relation: validated before any change.
+        let bad = Delta::from_changes([GroundAtom::new("R2", Tuple::strs(["a", "b"]))], []);
+        assert!(store.apply_delta(&p1, &bad).is_err());
+        assert_eq!(store.version_of(&p1).unwrap(), 0);
+        assert!(store.insert(&p1, "Nope", Tuple::strs(["v"])).is_err());
+        assert!(store.delete(&p1, "Nope", &Tuple::strs(["v"])).is_err());
+        assert_eq!(store.version_of(&p1).unwrap(), 0);
+        assert!(store.version_of(&PeerId::new("ZZ")).is_err());
+        assert!(store.instance_of(&PeerId::new("ZZ")).is_err());
+    }
+}

@@ -590,6 +590,39 @@ impl P2PSystem {
         let names: Vec<String> = p.relation_names().into_iter().collect();
         Ok(db.restrict(names.iter().map(String::as_str)))
     }
+
+    /// A *topology-only* replica of this system: same peers, schemas, DECs,
+    /// trust relation and local ICs, but every peer instance emptied (each
+    /// declared relation is present with zero tuples). This is the part of a
+    /// system that is safe to replicate onto every node of a distributed
+    /// deployment — instances stay with their owning shard and are fetched
+    /// through a [`crate::store::PeerStore`].
+    pub fn topology_only(&self) -> P2PSystem {
+        let mut out = self.clone();
+        for peer in out.peers.values_mut() {
+            let mut instance = Database::new();
+            for name in peer.schema.relation_names() {
+                if let Some(schema) = peer.schema.relation(name) {
+                    instance.ensure_relation(schema);
+                }
+            }
+            peer.instance = instance;
+        }
+        out
+    }
+
+    /// Replace a peer's instance wholesale. Used by stores to install
+    /// instances fetched over a transport into a topology-only replica; the
+    /// peer must exist, but the instance is installed as-is (it is the
+    /// store's responsibility to hand over data matching the schema).
+    pub fn set_instance(&mut self, peer: &PeerId, instance: Database) -> Result<()> {
+        let p = self
+            .peers
+            .get_mut(peer)
+            .ok_or_else(|| CoreError::UnknownPeer(peer.to_string()))?;
+        p.instance = instance;
+        Ok(())
+    }
 }
 
 /// Build the system of Example 1 of the paper. Used by tests, examples and

@@ -36,7 +36,12 @@ impl Default for RepairLimits {
 }
 
 /// Errors raised by the repair engine.
+///
+/// Marked `#[non_exhaustive]`: downstream matches need a wildcard arm so new
+/// failure modes (e.g. transport-backed repair inputs) are not breaking
+/// changes.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RepairError {
     /// The search exceeded [`RepairLimits::max_states`].
     SearchSpaceExhausted { states: usize },

@@ -96,6 +96,10 @@ pub struct Session {
     engine: QueryEngine,
     /// The construction-time system, kept for [`Session::snapshot_at`].
     base: P2PSystem,
+    /// Live mirror of the engine's store: the base snapshot with every
+    /// committed delta applied. Serves [`Session::system`] and commit
+    /// validation without a store round-trip per read.
+    current: P2PSystem,
     log: Vec<CommittedTx>,
 }
 
@@ -113,13 +117,28 @@ impl Session {
     /// A session over a pre-configured engine (custom solver config,
     /// solution options or strategy). The engine's current system becomes
     /// the version-0 snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the engine's store cannot be snapshotted (a transport
+    /// failure on a sharded store); use [`Session::try_with_engine`] to
+    /// handle that case. Over the default in-process store this never
+    /// panics.
     pub fn with_engine(engine: QueryEngine) -> Self {
-        let base = engine.system().clone();
-        Session {
+        Session::try_with_engine(engine)
+            .unwrap_or_else(|e| panic!("session construction failed: {e}"))
+    }
+
+    /// [`Session::with_engine`], surfacing store snapshot failures instead
+    /// of panicking.
+    pub fn try_with_engine(engine: QueryEngine) -> Result<Self> {
+        let base = engine.snapshot_system()?;
+        Ok(Session {
             engine,
+            current: base.clone(),
             base,
             log: Vec::new(),
-        }
+        })
     }
 
     /// Begin a transaction. Updates staged on the [`Tx`] are not visible to
@@ -145,9 +164,10 @@ impl Session {
         &self.engine
     }
 
-    /// The current snapshot (the live system).
+    /// The current snapshot (the live system): the session's own mirror of
+    /// the engine's store, maintained delta-by-delta at each commit.
     pub fn system(&self) -> &P2PSystem {
-        self.engine.system()
+        &self.current
     }
 
     /// Answer a query against the current snapshot (engine's strategy).
@@ -296,8 +316,13 @@ impl Tx<'_> {
 
     /// Stage the deletion of one ground atom from a peer's relation. A
     /// staged insertion of the same atom is cancelled instead.
-    pub fn delete(&mut self, peer: &PeerId, relation: &str, tuple: Tuple) -> Result<&mut Self> {
-        let atom = self.checked_atom(peer, relation, tuple)?;
+    ///
+    /// Takes the tuple by reference — deletion identifies an existing tuple
+    /// rather than contributing a new one, the same signature as
+    /// [`pdes_core::PeerStore::delete`] and `P2PSystem::delete` (the three
+    /// historically disagreed).
+    pub fn delete(&mut self, peer: &PeerId, relation: &str, tuple: &Tuple) -> Result<&mut Self> {
+        let atom = self.checked_atom(peer, relation, tuple.clone())?;
         let delta = self.staged.entry(peer.clone()).or_default();
         if !delta.insertions.remove(&atom) {
             delta.deletions.insert(atom);
@@ -312,7 +337,7 @@ impl Tx<'_> {
             self.insert(peer, &atom.relation.clone(), atom.tuple)?;
         }
         for atom in delta.deletions {
-            self.delete(peer, &atom.relation.clone(), atom.tuple)?;
+            self.delete(peer, &atom.relation.clone(), &atom.tuple)?;
         }
         Ok(self)
     }
@@ -408,6 +433,8 @@ impl Tx<'_> {
         let mut versions = BTreeMap::new();
         for (peer, delta) in &effective {
             let version = session.engine.commit_delta(peer, delta)?;
+            // Keep the session's live mirror in lock-step with the store.
+            session.current.apply_delta(peer, delta)?;
             versions.insert(peer.clone(), Version(version));
         }
         let invalidated = session.engine.metrics().invalidated - before.invalidated;
@@ -462,7 +489,7 @@ mod tests {
         let p2 = PeerId::new("P2");
         let mut tx = session.begin();
         tx.insert(&p2, "R2", Tuple::strs(["x", "y"])).unwrap();
-        tx.delete(&p2, "R2", Tuple::strs(["c", "d"])).unwrap();
+        tx.delete(&p2, "R2", &Tuple::strs(["c", "d"])).unwrap();
         let receipt = tx.commit().unwrap();
         assert_eq!(receipt.seq, 1);
         assert_eq!(receipt.touched, BTreeSet::from([p2.clone()]));
@@ -483,7 +510,7 @@ mod tests {
         let mut tx = session.begin();
         // Insert-then-delete cancels out.
         tx.insert(&p2, "R2", Tuple::strs(["x", "y"])).unwrap();
-        tx.delete(&p2, "R2", Tuple::strs(["x", "y"])).unwrap();
+        tx.delete(&p2, "R2", &Tuple::strs(["x", "y"])).unwrap();
         // Inserting an already-present atom normalizes away at commit.
         tx.insert(&p2, "R2", Tuple::strs(["c", "d"])).unwrap();
         assert!(!tx.is_empty());
@@ -619,7 +646,7 @@ mod tests {
         tx.insert(&p2, "R2", Tuple::strs(["x", "y"])).unwrap();
         let _ = tx.commit().unwrap();
         let mut tx = session.begin();
-        tx.delete(&p3, "R3", Tuple::strs(["a", "f"])).unwrap();
+        tx.delete(&p3, "R3", &Tuple::strs(["a", "f"])).unwrap();
         let _ = tx.commit().unwrap();
 
         let at1 = session.snapshot_at(1).unwrap();

@@ -1,0 +1,714 @@
+//! # pdes-store — the peer-sharded serving runtime
+//!
+//! The paper models a network of *autonomous* peers; this crate makes the
+//! reproduction serve like one. It builds on the [`PeerStore`] trait (defined
+//! in `pdes-core`, re-exported here): the single API through which the
+//! engine, the session layer and the tooling reach peer state.
+//!
+//! * [`InProcessStore`] (re-exported) — the canonical single-process
+//!   implementation: one authoritative `P2PSystem` behind a lock.
+//! * [`ShardedStore`] — peers partitioned across N worker shards by
+//!   *closure-connected components*, served over an in-process loopback
+//!   transport ([`transport`]). Peers that never share a relevant-peer
+//!   closure never share a shard queue, so closure-disjoint reads and
+//!   commits execute on their owning shards concurrently; a query whose
+//!   closure spans shards fans out and reassembles deterministically.
+//!
+//! ## Partitioning
+//!
+//! Two peers belong to the same *closure-connected component* when a chain
+//! of DECs links them (direction ignored — the same union-find construction
+//! the engine's `answer_batch` uses to split independent queries). A
+//! component is the unit of placement: splitting one across shards would
+//! turn every query over it into a fan-out. Components are assigned
+//! round-robin, in order of their lexicographically smallest peer, so the
+//! assignment is deterministic and reproducible.
+//!
+//! ## Determinism
+//!
+//! Shard worker threads process their queues in order; the coordinator
+//! collects fan-out replies in shard-index order through
+//! [`pdes_exec::Executor::try_map_indexed`], so answers and version stamps
+//! are byte-identical across [`pdes_exec::ExecConfig`] pool sizes — the
+//! same contract the engine makes for parallel query answering.
+//!
+//! ## Observability
+//!
+//! With a recorder installed ([`ShardedStoreBuilder::recorder`]), every
+//! transport round-trip emits a `transport.roundtrip` span tagged with its
+//! shard, multi-shard fan-outs emit a `shard.dispatch` span, and the
+//! `shard.local` / `shard.remote` counters classify every store operation
+//! (single-shard vs. cross-shard). The same tallies are always available
+//! pull-style via [`ShardedStore::metrics`].
+
+#![warn(missing_docs)]
+
+pub use pdes_core::store::{InProcessStore, PeerStore, VersionMap};
+
+use pdes_core::system::{P2PSystem, PeerId};
+use pdes_core::{CoreError, Result};
+use pdes_exec::{ExecConfig, Executor};
+use pdes_obs::{Field, NullRecorder, Recorder, Span};
+use relalg::{Database, Delta, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+pub mod transport;
+
+use transport::{Envelope, ShardRequest, ShardResponse};
+
+/// A snapshot of a [`ShardedStore`]'s operation counters.
+///
+/// Marked `#[non_exhaustive]`: obtain it via [`ShardedStore::metrics`]; new
+/// counters can be added without a breaking release.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct StoreMetrics {
+    /// Store operations served by a single shard (the operation's peers all
+    /// lived on one shard — no cross-shard fan-out).
+    pub local: u64,
+    /// Store operations that fanned out across two or more shards.
+    pub remote: u64,
+}
+
+/// Live counters behind [`StoreMetrics`] (atomics: operations may be issued
+/// from concurrent batch workers).
+#[derive(Debug, Default)]
+struct Counters {
+    local: AtomicU64,
+    remote: AtomicU64,
+}
+
+/// One worker shard, as seen from the coordinator: its request queue and
+/// its thread (joined on drop).
+struct ShardHandle {
+    sender: Sender<Envelope>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// A [`PeerStore`] that partitions peers across worker shards by
+/// closure-connected components, served over an in-process loopback
+/// transport.
+///
+/// Construct with [`ShardedStore::builder`]. Observationally equivalent to
+/// [`InProcessStore`] over the same system — same answers, same version
+/// stamps — apart from [`CoreError::Transport`] surfacing transport
+/// failures; the workspace's `tests/sharding.rs` property-checks that
+/// equivalence across strategies, shard counts and live commits.
+pub struct ShardedStore {
+    /// Topology replica served locally (instances empty).
+    topology: P2PSystem,
+    /// Peer → shard index (total over the system's peers).
+    assignment: BTreeMap<PeerId, usize>,
+    shards: Vec<ShardHandle>,
+    exec: Executor,
+    recorder: Arc<dyn Recorder>,
+    counters: Counters,
+}
+
+/// Builder for [`ShardedStore`].
+#[must_use = "a builder does nothing until `build` is called"]
+pub struct ShardedStoreBuilder {
+    system: P2PSystem,
+    shards: usize,
+    exec: ExecConfig,
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl ShardedStoreBuilder {
+    /// Number of worker shards (clamped to at least 1). Components are
+    /// assigned round-robin, so shard counts beyond the component count
+    /// leave the extra shards empty (but running).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// The execution configuration for cross-shard fan-outs: round-trips to
+    /// distinct shards are collected through
+    /// [`pdes_exec::Executor::try_map_indexed`] under this configuration.
+    /// Defaults to [`ExecConfig::sequential`]; answers are identical for
+    /// every pool size.
+    pub fn exec(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Install an observability recorder for `transport.roundtrip` /
+    /// `shard.dispatch` spans and the `shard.{local,remote}` counters.
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Partition the system and spawn the shard workers.
+    pub fn build(self) -> ShardedStore {
+        let recorder = self
+            .recorder
+            .unwrap_or_else(|| Arc::new(NullRecorder) as Arc<dyn Recorder>);
+        let topology = self.system.topology_only();
+        let assignment = assign_components(&self.system, self.shards);
+        let mut shards = Vec::with_capacity(self.shards);
+        for shard in 0..self.shards {
+            // Each worker owns the topology replica plus the *real*
+            // instances of exactly its peers.
+            let mut state = topology.clone();
+            let mut versions = VersionMap::new();
+            for (peer, &owner) in &assignment {
+                if owner == shard {
+                    let instance = self
+                        .system
+                        .peer(peer)
+                        .expect("assignment only maps existing peers")
+                        .instance
+                        .clone();
+                    state
+                        .set_instance(peer, instance)
+                        .expect("replica shares the system's peers");
+                    versions.insert(peer.clone(), 0);
+                }
+            }
+            let (sender, receiver) = std::sync::mpsc::channel::<Envelope>();
+            let thread = std::thread::spawn(move || shard_worker(state, versions, receiver));
+            shards.push(ShardHandle {
+                sender,
+                thread: Some(thread),
+            });
+        }
+        ShardedStore {
+            topology,
+            assignment,
+            shards,
+            exec: Executor::new(self.exec),
+            recorder,
+            counters: Counters::default(),
+        }
+    }
+}
+
+impl ShardedStore {
+    /// Start building a sharded store over `system` (1 shard, sequential
+    /// fan-out, no recorder by default).
+    pub fn builder(system: P2PSystem) -> ShardedStoreBuilder {
+        ShardedStoreBuilder {
+            system,
+            shards: 1,
+            exec: ExecConfig::sequential(),
+            recorder: None,
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning a peer.
+    pub fn shard_of(&self, peer: &PeerId) -> Result<usize> {
+        self.assignment
+            .get(peer)
+            .copied()
+            .ok_or_else(|| CoreError::UnknownPeer(peer.to_string()))
+    }
+
+    /// The full peer → shard assignment (deterministic for a given system
+    /// and shard count).
+    pub fn assignment(&self) -> &BTreeMap<PeerId, usize> {
+        &self.assignment
+    }
+
+    /// Snapshot of the local/remote operation counters.
+    pub fn metrics(&self) -> StoreMetrics {
+        StoreMetrics {
+            local: self.counters.local.load(Ordering::Relaxed),
+            remote: self.counters.remote.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Count an operation that touched `shards_touched` distinct shards.
+    fn count_op(&self, shards_touched: usize) {
+        if shards_touched > 1 {
+            self.counters.remote.fetch_add(1, Ordering::Relaxed);
+            self.recorder.count("shard.remote", 1);
+        } else {
+            self.counters.local.fetch_add(1, Ordering::Relaxed);
+            self.recorder.count("shard.local", 1);
+        }
+    }
+
+    /// One send + receive against a shard, wrapped in a
+    /// `transport.roundtrip` span. Channel failures (a dead worker) surface
+    /// as [`CoreError::Transport`].
+    fn roundtrip(&self, shard: usize, request: ShardRequest) -> Result<ShardResponse> {
+        let span = Span::enter_with(
+            self.recorder.as_ref(),
+            "transport.roundtrip",
+            &[Field::u64("shard", shard as u64)],
+        );
+        let result = self.roundtrip_inner(shard, request);
+        span.finish();
+        result
+    }
+
+    fn roundtrip_inner(&self, shard: usize, request: ShardRequest) -> Result<ShardResponse> {
+        let handle = &self.shards[shard];
+        let (reply, response) = std::sync::mpsc::channel();
+        handle
+            .sender
+            .send(Envelope { request, reply })
+            .map_err(|_| CoreError::Transport {
+                shard,
+                source: "request channel disconnected (worker thread gone)".to_string(),
+            })?;
+        response.recv().map_err(|_| CoreError::Transport {
+            shard,
+            source: "reply channel disconnected before a response arrived".to_string(),
+        })
+    }
+
+    /// Group a peer set by owning shard (shard-index order — `BTreeMap`).
+    /// Unknown peers fail here, at the coordinator, before any transport.
+    fn group_by_shard(
+        &self,
+        peers: &BTreeSet<PeerId>,
+    ) -> Result<BTreeMap<usize, BTreeSet<PeerId>>> {
+        let mut groups: BTreeMap<usize, BTreeSet<PeerId>> = BTreeMap::new();
+        for peer in peers {
+            groups
+                .entry(self.shard_of(peer)?)
+                .or_default()
+                .insert(peer.clone());
+        }
+        Ok(groups)
+    }
+
+    /// Fan an instance fetch out to every owning shard and reassemble the
+    /// replies in shard-index order. The executor bounds the concurrency;
+    /// the output order never depends on it.
+    fn fetch_instances(&self, peers: &BTreeSet<PeerId>) -> Result<BTreeMap<PeerId, Database>> {
+        let groups: Vec<(usize, BTreeSet<PeerId>)> =
+            self.group_by_shard(peers)?.into_iter().collect();
+        self.count_op(groups.len());
+        let dispatch = (groups.len() > 1).then(|| {
+            Span::enter_with(
+                self.recorder.as_ref(),
+                "shard.dispatch",
+                &[Field::u64("shards", groups.len() as u64)],
+            )
+        });
+        let replies = self.exec.try_map_indexed(&groups, |_, (shard, group)| {
+            match self.roundtrip(*shard, ShardRequest::Instances(group.clone()))? {
+                ShardResponse::Instances(result) => result,
+                other => Err(unexpected_reply(*shard, &other)),
+            }
+        });
+        if let Some(span) = dispatch {
+            span.finish();
+        }
+        let mut out = BTreeMap::new();
+        for group in replies? {
+            out.extend(group);
+        }
+        Ok(out)
+    }
+}
+
+impl PeerStore for ShardedStore {
+    fn topology(&self) -> &P2PSystem {
+        &self.topology
+    }
+
+    fn instance_of(&self, peer: &PeerId) -> Result<Database> {
+        let shard = self.shard_of(peer)?;
+        self.count_op(1);
+        match self.roundtrip(shard, ShardRequest::InstanceOf(peer.clone()))? {
+            ShardResponse::Instance(result) => result,
+            other => Err(unexpected_reply(shard, &other)),
+        }
+    }
+
+    fn instances(&self, peers: &BTreeSet<PeerId>) -> Result<BTreeMap<PeerId, Database>> {
+        self.fetch_instances(peers)
+    }
+
+    fn snapshot(&self) -> Result<P2PSystem> {
+        let all: BTreeSet<PeerId> = self.topology.peer_ids().cloned().collect();
+        let mut system = self.topology.clone();
+        for (peer, instance) in self.fetch_instances(&all)? {
+            system.set_instance(&peer, instance)?;
+        }
+        Ok(system)
+    }
+
+    fn apply_delta(&self, peer: &PeerId, delta: &Delta) -> Result<u64> {
+        let shard = self.shard_of(peer)?;
+        self.count_op(1);
+        match self.roundtrip(shard, ShardRequest::ApplyDelta(peer.clone(), delta.clone()))? {
+            ShardResponse::Version(result) => result,
+            other => Err(unexpected_reply(shard, &other)),
+        }
+    }
+
+    fn insert(&self, peer: &PeerId, relation: &str, tuple: Tuple) -> Result<u64> {
+        let shard = self.shard_of(peer)?;
+        self.count_op(1);
+        match self.roundtrip(
+            shard,
+            ShardRequest::Insert(peer.clone(), relation.to_string(), tuple),
+        )? {
+            ShardResponse::Version(result) => result,
+            other => Err(unexpected_reply(shard, &other)),
+        }
+    }
+
+    fn delete(&self, peer: &PeerId, relation: &str, tuple: &Tuple) -> Result<bool> {
+        let shard = self.shard_of(peer)?;
+        self.count_op(1);
+        match self.roundtrip(
+            shard,
+            ShardRequest::Delete(peer.clone(), relation.to_string(), tuple.clone()),
+        )? {
+            ShardResponse::Deleted(result) => result,
+            other => Err(unexpected_reply(shard, &other)),
+        }
+    }
+
+    fn version_of(&self, peer: &PeerId) -> Result<u64> {
+        let shard = self.shard_of(peer)?;
+        self.count_op(1);
+        match self.roundtrip(shard, ShardRequest::VersionOf(peer.clone()))? {
+            ShardResponse::Version(result) => result,
+            other => Err(unexpected_reply(shard, &other)),
+        }
+    }
+
+    fn versions(&self) -> Result<VersionMap> {
+        let shards: Vec<usize> = (0..self.shards.len()).collect();
+        self.count_op(shards.len());
+        let replies = self.exec.try_map_indexed(&shards, |_, &shard| {
+            match self.roundtrip(shard, ShardRequest::Versions)? {
+                ShardResponse::Versions(result) => result,
+                other => Err(unexpected_reply(shard, &other)),
+            }
+        })?;
+        let mut out = VersionMap::new();
+        for versions in replies {
+            out.extend(versions);
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for ShardedStore {
+    fn drop(&mut self) {
+        for handle in &self.shards {
+            // A worker that already died just leaves a closed channel.
+            let _ = handle.sender.send(Envelope::shutdown());
+        }
+        for handle in &mut self.shards {
+            if let Some(thread) = handle.thread.take() {
+                let _ = thread.join();
+            }
+        }
+    }
+}
+
+/// A mismatched reply variant: a transport-level protocol violation, not a
+/// domain error.
+fn unexpected_reply(shard: usize, got: &ShardResponse) -> CoreError {
+    CoreError::Transport {
+        shard,
+        source: format!("unexpected reply variant {got:?}"),
+    }
+}
+
+/// Assign every peer to a shard: closure-connected components (union-find
+/// over undirected DEC edges), round-robin in order of each component's
+/// smallest peer.
+fn assign_components(system: &P2PSystem, shards: usize) -> BTreeMap<PeerId, usize> {
+    let peers: Vec<PeerId> = system.peer_ids().cloned().collect();
+    let index: BTreeMap<&PeerId, usize> = peers.iter().zip(0..).collect();
+    let mut parent: Vec<usize> = (0..peers.len()).collect();
+    fn find(parent: &mut [usize], i: usize) -> usize {
+        let mut root = i;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut walk = i;
+        while parent[walk] != root {
+            let next = parent[walk];
+            parent[walk] = root;
+            walk = next;
+        }
+        root
+    }
+    for dec in system.decs() {
+        let (Some(&a), Some(&b)) = (index.get(&dec.owner), index.get(&dec.other)) else {
+            continue;
+        };
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        // Union towards the smaller root, keeping each component labelled
+        // by its lexicographically smallest peer.
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        parent[hi] = lo;
+    }
+    // Components in root order = order of their smallest member (peer ids
+    // are sorted); round-robin them across the shards.
+    let mut component_shard: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut assignment = BTreeMap::new();
+    for (i, peer) in peers.iter().enumerate() {
+        let root = find(&mut parent, i);
+        let next = component_shard.len() % shards;
+        let shard = *component_shard.entry(root).or_insert(next);
+        assignment.insert(peer.clone(), shard);
+    }
+    assignment
+}
+
+/// The shard worker loop: owns the shard's slice of the system (topology
+/// replica + its peers' real instances + their version stamps, seeded at 0)
+/// and serves requests in queue order.
+fn shard_worker(mut state: P2PSystem, mut versions: VersionMap, receiver: Receiver<Envelope>) {
+    while let Ok(Envelope { request, reply }) = receiver.recv() {
+        let response = match request {
+            ShardRequest::InstanceOf(peer) => {
+                ShardResponse::Instance(state.peer(&peer).map(|p| p.instance.clone()))
+            }
+            ShardRequest::Instances(peers) => ShardResponse::Instances(
+                peers
+                    .iter()
+                    .map(|p| Ok((p.clone(), state.peer(p)?.instance.clone())))
+                    .collect(),
+            ),
+            ShardRequest::ApplyDelta(peer, delta) => {
+                ShardResponse::Version(state.apply_delta(&peer, &delta).map(|()| {
+                    let v = versions.entry(peer.clone()).or_insert(0);
+                    *v += 1;
+                    *v
+                }))
+            }
+            ShardRequest::Insert(peer, relation, tuple) => {
+                ShardResponse::Version(state.insert(&peer, &relation, tuple).map(|()| {
+                    let v = versions.entry(peer.clone()).or_insert(0);
+                    *v += 1;
+                    *v
+                }))
+            }
+            ShardRequest::Delete(peer, relation, tuple) => {
+                ShardResponse::Deleted(state.delete(&peer, &relation, &tuple).inspect(|&present| {
+                    if present {
+                        *versions.entry(peer.clone()).or_insert(0) += 1;
+                    }
+                }))
+            }
+            ShardRequest::VersionOf(peer) => ShardResponse::Version(
+                state
+                    .peer(&peer)
+                    .map(|_| versions.get(&peer).copied().unwrap_or(0)),
+            ),
+            ShardRequest::Versions => ShardResponse::Versions(Ok(versions.clone())),
+            ShardRequest::Shutdown => break,
+        };
+        // A dropped reply receiver means the coordinator gave up on this
+        // request; the worker keeps serving the queue.
+        let _ = reply.send(response);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdes_core::example1_system;
+    use relalg::database::GroundAtom;
+    use relalg::{Delta, RelationSchema, Tuple};
+
+    /// `n` peers, no DECs: every peer is its own closure-connected
+    /// component, so sharding has maximal freedom to spread them out.
+    fn disjoint_system(n: usize) -> P2PSystem {
+        let mut sys = P2PSystem::new();
+        for i in 1..=n {
+            let peer = PeerId::new(format!("P{i}"));
+            sys.add_peer(peer.clone()).unwrap();
+            sys.add_relation(&peer, RelationSchema::new(format!("R{i}"), &["x", "y"]))
+                .unwrap();
+            sys.insert(
+                &peer,
+                &format!("R{i}"),
+                Tuple::strs([format!("a{i}"), format!("b{i}")]),
+            )
+            .unwrap();
+        }
+        sys
+    }
+
+    fn peer(name: &str) -> PeerId {
+        PeerId::new(name)
+    }
+
+    #[test]
+    fn closure_connected_components_share_a_shard() {
+        // Example 1 is one connected component (P1—P2—P3 via DECs), so no
+        // shard count may split it.
+        let store = ShardedStore::builder(example1_system()).shards(4).build();
+        let shards: BTreeSet<usize> = store.assignment().values().copied().collect();
+        assert_eq!(shards.len(), 1, "one component must live on one shard");
+    }
+
+    #[test]
+    fn disjoint_components_round_robin_across_shards() {
+        let store = ShardedStore::builder(disjoint_system(4)).shards(2).build();
+        assert_eq!(store.shard_count(), 2);
+        assert_eq!(store.shard_of(&peer("P1")).unwrap(), 0);
+        assert_eq!(store.shard_of(&peer("P2")).unwrap(), 1);
+        assert_eq!(store.shard_of(&peer("P3")).unwrap(), 0);
+        assert_eq!(store.shard_of(&peer("P4")).unwrap(), 1);
+    }
+
+    #[test]
+    fn sharded_store_matches_in_process_store() {
+        for shards in [1, 2, 4] {
+            let oracle = InProcessStore::new(example1_system());
+            let sharded = ShardedStore::builder(example1_system())
+                .shards(shards)
+                .build();
+            assert_eq!(sharded.topology(), oracle.topology());
+            for p in ["P1", "P2", "P3"].map(peer) {
+                assert_eq!(
+                    sharded.instance_of(&p).unwrap(),
+                    oracle.instance_of(&p).unwrap(),
+                    "instance_of({p}) diverged at {shards} shards"
+                );
+                assert_eq!(sharded.version_of(&p).unwrap(), 0);
+            }
+            assert_eq!(sharded.snapshot().unwrap(), oracle.snapshot().unwrap());
+            assert_eq!(sharded.versions().unwrap(), oracle.versions().unwrap());
+        }
+    }
+
+    #[test]
+    fn mutations_stamp_versions_like_the_in_process_store() {
+        for shards in [1, 3] {
+            let oracle = InProcessStore::new(disjoint_system(3));
+            let sharded = ShardedStore::builder(disjoint_system(3))
+                .shards(shards)
+                .build();
+            let p1 = peer("P1");
+            for store in [&sharded as &dyn PeerStore, &oracle] {
+                assert_eq!(store.insert(&p1, "R1", Tuple::strs(["x", "y"])).unwrap(), 1);
+                assert!(store.delete(&p1, "R1", &Tuple::strs(["x", "y"])).unwrap());
+                // Deleting an absent tuple reports absence without a bump.
+                assert!(!store.delete(&p1, "R1", &Tuple::strs(["x", "y"])).unwrap());
+                let delta = Delta::from_changes(
+                    vec![GroundAtom::new("R1", Tuple::strs(["c", "d"]))],
+                    vec![],
+                );
+                assert_eq!(store.apply_delta(&p1, &delta).unwrap(), 3);
+                assert_eq!(store.version_of(&p1).unwrap(), 3);
+                // A failing delta leaves the stamp alone.
+                let bad = Delta::from_changes(
+                    vec![GroundAtom::new("NoSuch", Tuple::strs(["c", "d"]))],
+                    vec![],
+                );
+                assert!(store.apply_delta(&p1, &bad).is_err());
+                assert_eq!(store.version_of(&p1).unwrap(), 3);
+            }
+            assert_eq!(sharded.snapshot().unwrap(), oracle.snapshot().unwrap());
+        }
+    }
+
+    #[test]
+    fn answers_are_deterministic_across_fanout_pools() {
+        let baseline = ShardedStore::builder(disjoint_system(6))
+            .shards(3)
+            .exec(ExecConfig::sequential())
+            .build();
+        let pooled = ShardedStore::builder(disjoint_system(6))
+            .shards(3)
+            .exec(ExecConfig::with_workers(4))
+            .build();
+        assert_eq!(baseline.snapshot().unwrap(), pooled.snapshot().unwrap());
+        assert_eq!(baseline.versions().unwrap(), pooled.versions().unwrap());
+        let all: BTreeSet<PeerId> = (1..=6).map(|i| peer(&format!("P{i}"))).collect();
+        assert_eq!(
+            baseline.instances(&all).unwrap(),
+            pooled.instances(&all).unwrap()
+        );
+    }
+
+    #[test]
+    fn unknown_peers_fail_at_the_coordinator() {
+        let store = ShardedStore::builder(example1_system()).shards(2).build();
+        let ghost = peer("P9");
+        assert!(matches!(
+            store.instance_of(&ghost),
+            Err(CoreError::UnknownPeer(_))
+        ));
+        let before = store.metrics();
+        assert!(store.version_of(&ghost).is_err());
+        // Validation failures never reach the transport or the counters.
+        assert_eq!(store.metrics(), before);
+    }
+
+    #[test]
+    fn dead_worker_surfaces_as_transport_error() {
+        let store = ShardedStore::builder(example1_system()).shards(1).build();
+        // Kill the worker out from under the coordinator.
+        store.shards[0].sender.send(Envelope::shutdown()).unwrap();
+        // The worker drains the shutdown and exits; whether our request is
+        // enqueued before or after that, the round-trip must fail cleanly.
+        let err = loop {
+            match store.instance_of(&peer("P1")) {
+                Ok(_) => continue,
+                Err(err) => break err,
+            }
+        };
+        match err {
+            CoreError::Transport { shard, source } => {
+                assert_eq!(shard, 0);
+                assert!(source.contains("disconnected"), "source: {source}");
+            }
+            other => panic!("expected a transport error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_classify_local_and_remote_operations() {
+        let store = ShardedStore::builder(disjoint_system(4)).shards(2).build();
+        assert_eq!(store.metrics(), StoreMetrics::default());
+        // Single-peer read: one shard touched.
+        store.instance_of(&peer("P1")).unwrap();
+        assert_eq!(store.metrics().local, 1);
+        assert_eq!(store.metrics().remote, 0);
+        // A fan-out whose peers all live on shard 0 stays local.
+        let same_shard: BTreeSet<PeerId> = [peer("P1"), peer("P3")].into();
+        store.instances(&same_shard).unwrap();
+        assert_eq!(store.metrics().local, 2);
+        assert_eq!(store.metrics().remote, 0);
+        // Snapshot spans both shards: remote.
+        store.snapshot().unwrap();
+        assert_eq!(store.metrics().local, 2);
+        assert_eq!(store.metrics().remote, 1);
+        // With one shard, nothing is ever remote.
+        let single = ShardedStore::builder(disjoint_system(4)).shards(1).build();
+        single.snapshot().unwrap();
+        single.versions().unwrap();
+        assert_eq!(single.metrics().remote, 0);
+    }
+
+    #[test]
+    fn spans_and_counters_reach_the_recorder() {
+        let recorder = Arc::new(pdes_obs::TraceRecorder::new());
+        let store = ShardedStore::builder(disjoint_system(4))
+            .shards(2)
+            .recorder(recorder.clone())
+            .build();
+        store.snapshot().unwrap();
+        let trace = recorder.trace();
+        assert_eq!(trace.spans_labelled("shard.dispatch").len(), 1);
+        assert!(trace.spans_labelled("transport.roundtrip").len() >= 2);
+        assert_eq!(recorder.registry().counter_value("shard.remote"), 1);
+    }
+}

@@ -39,7 +39,7 @@ fn main() {
     let mut tx = session.begin();
     tx.insert(&p2, "R2", Tuple::strs(["x", "y"]))
         .expect("stage insert");
-    tx.delete(&p2, "R2", Tuple::strs(["c", "d"]))
+    tx.delete(&p2, "R2", &Tuple::strs(["c", "d"]))
         .expect("stage delete");
     let receipt = tx.commit().expect("commit");
     println!(

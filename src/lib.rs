@@ -16,6 +16,10 @@
 //! * [`dsl`] — a textual format for systems and queries;
 //! * [`workload`] — synthetic workload and update-stream generation for the
 //!   benchmarks;
+//! * [`store`] — the peer-sharded serving runtime: the
+//!   [`PeerStore`] transport API (re-exported from `core`), plus
+//!   [`ShardedStore`] partitioning peers across worker shards by
+//!   closure-connected components over an in-process loopback transport;
 //! * [`session`] — live, versioned systems: `Tx`/commit
 //!   updates validated against local ICs, an update log with snapshot
 //!   replay, and incremental invalidation of the engine's memoized
@@ -41,6 +45,7 @@ pub use pdes_core as core;
 pub use pdes_exec as exec;
 pub use pdes_obs as obs;
 pub use pdes_session as session;
+pub use pdes_store as store;
 pub use relalg;
 pub use repair;
 pub use workload;
@@ -61,6 +66,7 @@ pub use pdes_obs::{
     Histogram, HistogramSummary, MetricsRegistry, NullRecorder, Recorder, Span, TraceRecorder,
 };
 pub use pdes_session::{Session, Tx, Update, Version};
+pub use pdes_store::{InProcessStore, PeerStore, ShardedStore, StoreMetrics};
 pub use relalg::query::Formula;
 pub use relalg::Tuple;
 

@@ -38,7 +38,7 @@ fn commits_invalidate_the_closure_and_nothing_else() {
     // Commit a change to P2. P3 is outside P2's relevant-peer closure.
     let mut tx = session.begin();
     tx.insert(&p2, "R2", Tuple::strs(["x", "y"])).unwrap();
-    tx.delete(&p2, "R2", Tuple::strs(["c", "d"])).unwrap();
+    tx.delete(&p2, "R2", &Tuple::strs(["c", "d"])).unwrap();
     let receipt = tx.commit().unwrap();
     assert_eq!(receipt.versions[&p2], Version(1));
 

@@ -1,0 +1,259 @@
+//! Sharded-serving equivalence: an engine answering through a
+//! [`ShardedStore`] must be byte-identical to an engine over the in-process
+//! single-store oracle — for all four strategies, at shard counts 1/2/4,
+//! across live commits — and the store's local/remote counters must
+//! classify single-shard vs. cross-shard traffic as documented.
+//!
+//! The CI shard matrix narrows the grids through `PDES_SHARDS` /
+//! `PDES_POOLS` (comma-separated lists), so one matrix leg exercises one
+//! cell without rebuilding the suite.
+
+use p2p_data_exchange::{
+    vars, ExecConfig, Formula, InProcessStore, P2PSystem, PeerId, PeerStore, QueryEngine,
+    ShardedStore, Strategy, Tuple,
+};
+use relalg::database::GroundAtom;
+use relalg::{Delta, RelationSchema};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use workload::generator::GeneratedWorkload;
+use workload::{generate, Topology, TrustMix, WorkloadSpec};
+
+const ALL_STRATEGIES: [Strategy; 4] = [
+    Strategy::Naive,
+    Strategy::Rewriting,
+    Strategy::Asp,
+    Strategy::TransitiveAsp,
+];
+
+/// Shard counts exercised by default; `PDES_SHARDS=2` narrows to one.
+fn shard_counts() -> Vec<usize> {
+    matrix_from_env("PDES_SHARDS", &[1, 2, 4])
+}
+
+/// Fan-out pool sizes exercised by default; `PDES_POOLS=8` narrows to one.
+fn pool_sizes() -> Vec<usize> {
+    matrix_from_env("PDES_POOLS", &[1, 4])
+}
+
+fn matrix_from_env(var: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(var) {
+        Ok(list) => list
+            .split(',')
+            .map(|n| n.trim().parse().expect("matrix entries are integers"))
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
+/// A star workload (one closure-connected component) plus two isolated
+/// peers (components of their own), so shard counts above 1 actually
+/// spread peers and closure-spanning queries stay single-shard.
+fn sharded_workload() -> GeneratedWorkload {
+    let mut w = generate(&WorkloadSpec {
+        peers: 3,
+        tuples_per_relation: 4,
+        violations_per_dec: 1,
+        trust_mix: TrustMix::AllLess,
+        topology: Topology::Star,
+        ..WorkloadSpec::default()
+    })
+    .expect("valid workload spec");
+    for i in 1..=2 {
+        let peer = PeerId::new(format!("Q{i}"));
+        w.system.add_peer(peer.clone()).expect("fresh peer");
+        w.system
+            .add_relation(&peer, RelationSchema::new(format!("S{i}"), &["x", "y"]))
+            .expect("fresh relation");
+        w.system
+            .insert(
+                &peer,
+                &format!("S{i}"),
+                Tuple::strs([format!("q{i}"), "v".to_string()]),
+            )
+            .expect("tuple fits");
+    }
+    w
+}
+
+/// Every peer's canonical `R(X, Y)` query over its first relation.
+fn peer_queries(system: &P2PSystem) -> Vec<(PeerId, Formula)> {
+    system
+        .peers()
+        .map(|p| {
+            let relation = p
+                .schema
+                .relation_names()
+                .next()
+                .expect("every peer owns one relation");
+            (p.id.clone(), Formula::atom(relation, vec!["X", "Y"]))
+        })
+        .collect()
+}
+
+/// Answers for every peer query, with unsupported combinations recorded as
+/// `None` so both sides must fail alike.
+fn all_answers(
+    engine: &QueryEngine,
+    strategy: Strategy,
+    queries: &[(PeerId, Formula)],
+) -> Vec<Option<BTreeSet<Tuple>>> {
+    let fv = vars(&["X", "Y"]);
+    queries
+        .iter()
+        .map(|(peer, query)| {
+            engine
+                .answer_with(strategy, peer, query, &fv)
+                .ok()
+                .map(|a| a.tuples)
+        })
+        .collect()
+}
+
+/// An engine whose store is a `ShardedStore` over `system`.
+fn sharded_engine(
+    system: &P2PSystem,
+    strategy: Strategy,
+    shards: usize,
+    pool: usize,
+) -> (QueryEngine, Arc<ShardedStore>) {
+    let store = Arc::new(
+        ShardedStore::builder(system.clone())
+            .shards(shards)
+            .exec(ExecConfig::with_workers(pool))
+            .build(),
+    );
+    let engine = QueryEngine::builder(system.clone())
+        .store(store.clone() as Arc<dyn PeerStore>)
+        .strategy(strategy)
+        .build();
+    (engine, store)
+}
+
+/// The delta committed in round `round`: an insert into a round-robined
+/// peer (star peers and isolated peers both get mutated).
+fn round_update(system: &P2PSystem, round: usize) -> (PeerId, Delta) {
+    let peers: Vec<PeerId> = system.peer_ids().cloned().collect();
+    let peer = peers[round % peers.len()].clone();
+    let relation = system
+        .peer(&peer)
+        .expect("peer exists")
+        .schema
+        .relation_names()
+        .next()
+        .expect("one relation per peer")
+        .to_string();
+    let atom = GroundAtom::new(
+        relation,
+        Tuple::strs([format!("shard_k_{round}").as_str(), "shard_v"]),
+    );
+    (peer, Delta::from_changes([atom], []))
+}
+
+#[test]
+fn sharded_answers_match_the_single_store_oracle() {
+    let w = sharded_workload();
+    let queries = peer_queries(&w.system);
+    for shards in shard_counts() {
+        for pool in pool_sizes() {
+            for strategy in ALL_STRATEGIES {
+                let oracle = QueryEngine::builder(w.system.clone())
+                    .strategy(strategy)
+                    .build();
+                let (sharded, _store) = sharded_engine(&w.system, strategy, shards, pool);
+                assert_eq!(
+                    all_answers(&sharded, strategy, &queries),
+                    all_answers(&oracle, strategy, &queries),
+                    "{strategy:?} diverged from the oracle at shards={shards} pool={pool}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_answers_match_the_oracle_across_live_commits() {
+    let w = sharded_workload();
+    let queries = peer_queries(&w.system);
+    for shards in shard_counts() {
+        for pool in pool_sizes() {
+            for strategy in ALL_STRATEGIES {
+                let mut oracle = QueryEngine::builder(w.system.clone())
+                    .strategy(strategy)
+                    .build();
+                let (mut sharded, _store) = sharded_engine(&w.system, strategy, shards, pool);
+                // Warm both engines, then interleave commits and reads.
+                let _ = all_answers(&sharded, strategy, &queries);
+                let _ = all_answers(&oracle, strategy, &queries);
+                for round in 0..5 {
+                    let (peer, delta) = round_update(&w.system, round);
+                    let sharded_stamp = sharded.commit_delta(&peer, &delta).expect("commit");
+                    let oracle_stamp = oracle.commit_delta(&peer, &delta).expect("commit");
+                    assert_eq!(
+                        sharded_stamp, oracle_stamp,
+                        "version stamps diverged at round {round}"
+                    );
+                    assert_eq!(
+                        all_answers(&sharded, strategy, &queries),
+                        all_answers(&oracle, strategy, &queries),
+                        "{strategy:?} diverged after commit {round} \
+                         at shards={shards} pool={pool}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn single_shard_serving_is_never_remote() {
+    let w = sharded_workload();
+    let queries = peer_queries(&w.system);
+    let (engine, store) = sharded_engine(&w.system, Strategy::Asp, 1, 1);
+    let _ = all_answers(&engine, Strategy::Asp, &queries);
+    let metrics = store.metrics();
+    assert!(metrics.local > 0, "serving must reach the store");
+    assert_eq!(metrics.remote, 0, "one shard can never fan out");
+}
+
+#[test]
+fn closure_local_queries_stay_on_their_shard() {
+    // At 2+ shards the star component and the isolated peers live apart;
+    // an ASP query's closure hydration touches exactly its component's
+    // shard, so per-peer serving stays local while a full snapshot (the
+    // naive strategy's cold path) must go remote.
+    let w = sharded_workload();
+    let queries = peer_queries(&w.system);
+    let (engine, store) = sharded_engine(&w.system, Strategy::Asp, 2, 1);
+    let _ = all_answers(&engine, Strategy::Asp, &queries);
+    let after_asp = store.metrics();
+    assert!(after_asp.local > 0);
+    assert_eq!(
+        after_asp.remote, 0,
+        "closure hydration crossed shards on closure-local queries"
+    );
+    store.snapshot().expect("snapshot");
+    assert_eq!(store.metrics().remote, after_asp.remote + 1);
+}
+
+#[test]
+fn oracle_and_sharded_store_agree_directly() {
+    // Below the engine: raw store reads agree between the oracle and every
+    // shard count (the engine-level tests could in principle mask a store
+    // bug the cache papers over).
+    let w = sharded_workload();
+    let oracle = InProcessStore::new(w.system.clone());
+    for shards in shard_counts() {
+        let store = ShardedStore::builder(w.system.clone())
+            .shards(shards)
+            .build();
+        assert_eq!(
+            store.snapshot().expect("snapshot"),
+            oracle.snapshot().expect("snapshot")
+        );
+        assert_eq!(
+            store.versions().expect("versions"),
+            oracle.versions().expect("versions")
+        );
+    }
+}
