@@ -1,4 +1,4 @@
-//! Prints the B1–B13 experiment tables (see DESIGN.md and EXPERIMENTS.md),
+//! Prints the B1–B14 experiment tables (see DESIGN.md and EXPERIMENTS.md),
 //! or runs the CI perf-smoke gate.
 //!
 //! Usage:
@@ -17,8 +17,8 @@
 use pdes_bench::experiments;
 use pdes_bench::smoke::{run_smoke_traced, SmokeReport};
 use pdes_bench::{
-    render_grounding_table, render_incremental_table, render_live_table, render_obs_table,
-    render_parallel_table, render_shard_table, render_table,
+    render_grounding_table, render_incremental_table, render_live_table, render_mvcc_table,
+    render_obs_table, render_parallel_table, render_shard_table, render_table,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -175,6 +175,18 @@ fn main() -> ExitCode {
         render_shard_table(
             "B13: cross-shard query latency vs. closure size (sharded store)",
             &pdes_bench::sharding::table_b13(&b13_closures, &[1, 2, 4])
+        )
+    );
+    let (b14_readers, b14_window_ms) = if quick {
+        (vec![1, 4], 150)
+    } else {
+        (vec![1, 2, 4, 8], 400)
+    };
+    print!(
+        "{}",
+        render_mvcc_table(
+            "B14: reader latency/throughput under a sustained writer (MVCC epochs)",
+            &pdes_bench::mvcc::table_b14(&b14_readers, b14_window_ms)
         )
     );
     ExitCode::SUCCESS

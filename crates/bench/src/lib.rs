@@ -46,10 +46,20 @@
 //! smoke gate pins exact `shard_local_queries` / `shard_remote_queries`
 //! counts and hard-errors if the sharded answers diverge from the
 //! single-store oracle.
+//!
+//! Table B14 ([`mvcc`]) measures reader latency and throughput under a
+//! sustained writer: a closed loop of reader threads over cloned
+//! `ReadHandle`s, the single `Writer` committing back to back, p50/p99
+//! reader latency and aggregate queries/second alongside the store's
+//! epoch-publish and snapshot-pin counters; the smoke gate tracks
+//! `reader_qps_under_writes` (gated *downward* — losing half the
+//! throughput under writes fails CI) plus exact `mvcc_epochs_published` /
+//! `snapshot_pins` counts.
 
 pub mod experiments;
 pub mod grounding;
 pub mod live;
+pub mod mvcc;
 pub mod obs;
 pub mod parallel;
 pub mod runners;
@@ -58,6 +68,7 @@ pub mod smoke;
 
 pub use grounding::{render_grounding_table, GroundingMeasurement};
 pub use live::{render_incremental_table, render_live_table, LiveMeasurement, LiveMode};
+pub use mvcc::{render_mvcc_table, MvccMeasurement};
 pub use obs::{render_obs_table, ObsMeasurement};
 pub use parallel::{render_parallel_table, ParallelMeasurement};
 pub use runners::{render_table, Measurement};

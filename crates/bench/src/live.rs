@@ -26,9 +26,8 @@
 //! *re-derived rule* counters: how many ground rules the warm-after-commit
 //! preparations actually re-instantiated, versus the full slice size.
 
-use pdes_core::engine::{QueryEngine, Strategy};
+use pdes_core::engine::{Query, QueryEngine, Strategy};
 use pdes_core::pca::vars;
-use pdes_core::system::PeerId;
 use pdes_obs::Histogram;
 use pdes_session::{Session, Update};
 use relalg::query::Formula;
@@ -107,7 +106,8 @@ pub struct LiveMeasurement {
 /// relation name comes from each peer's own schema (peer ids sort
 /// lexicographically, so an enumeration index would mispair peers and
 /// relations beyond 10 peers).
-fn peer_queries(w: &GeneratedWorkload) -> Vec<(PeerId, Formula)> {
+pub(crate) fn peer_queries(w: &GeneratedWorkload) -> Vec<Query> {
+    let fv = vars(&["X", "Y"]);
     w.system
         .peers()
         .map(|p| {
@@ -116,7 +116,11 @@ fn peer_queries(w: &GeneratedWorkload) -> Vec<(PeerId, Formula)> {
                 .relation_names()
                 .next()
                 .expect("generated peers own one relation");
-            (p.id.clone(), Formula::atom(relation, vec!["X", "Y"]))
+            Query::new(
+                p.id.clone(),
+                Formula::atom(relation, vec!["X", "Y"]),
+                fv.clone(),
+            )
         })
         .collect()
 }
@@ -134,7 +138,6 @@ pub fn run_live(
     params: &str,
 ) -> Option<LiveMeasurement> {
     let queries = peer_queries(w);
-    let fv = vars(&["X", "Y"]);
     let build = |system| {
         QueryEngine::builder(system)
             .strategy(strategy)
@@ -158,28 +161,32 @@ pub fn run_live(
         match mode {
             LiveMode::Cold => {
                 // Mutate the system, then throw the whole engine away.
-                let mut system = session.system().clone();
+                let mut system = session.current_system().ok()?;
                 system.apply_delta(&batch.peer, &batch.delta).ok()?;
                 session = Session::with_engine(build(system));
             }
             LiveMode::FullFlush => {
                 let _ = session
+                    .writer()
+                    .ok()?
                     .apply(&[Update::new(batch.peer.clone(), batch.delta.clone())])
                     .ok()?;
                 let _ = session.engine().flush_cache();
             }
             LiveMode::Invalidate | LiveMode::Incremental => {
                 let _ = session
+                    .writer()
+                    .ok()?
                     .apply(&[Update::new(batch.peer.clone(), batch.delta.clone())])
                     .ok()?;
             }
         }
         commits += 1;
         for _ in 0..queries_per_commit {
-            let (peer, query) = &queries[round_robin % queries.len()];
+            let query = &queries[round_robin % queries.len()];
             round_robin += 1;
             let query_start = Instant::now();
-            let answers = session.answer(peer, query, &fv).ok()?;
+            let answers = session.query(query).ok()?;
             latency.record(pdes_obs::duration_nanos(query_start.elapsed()));
             answered += 1;
             if answers.stats.cache_hit {

@@ -17,10 +17,13 @@
 //! }
 //! ```
 //!
-//! Metrics come in two kinds, distinguished by name: `*_ms` metrics are
+//! Metrics come in three kinds, distinguished by name: `*_ms` metrics are
 //! wall-clock timings (lower is better; the gate fails when one exceeds
-//! twice its baseline), every other metric is a *count* (answers, worlds)
-//! and must match the baseline **exactly** — an output-count drift in
+//! twice its baseline), metrics with `_qps` in the name are throughputs
+//! (higher is better; the gate fails when one drops below half its
+//! baseline), every other
+//! metric is a *count* (answers, worlds) and must match the baseline
+//! **exactly** — an output-count drift in
 //! either direction is a behaviour change, not a perf result. Metrics added
 //! since the baseline was recorded pass with a note (commit a refreshed
 //! baseline alongside the change that adds them). Timings are sized to tens
@@ -102,10 +105,11 @@ impl SmokeReport {
     /// Compare this run against a baseline. Timing metrics (`*_ms`) must
     /// stay under `baseline * REGRESSION_FACTOR` (with a small absolute
     /// floor so a rounded-to-zero baseline cannot fail every future run);
-    /// every other metric is a *count* and must match the baseline exactly
-    /// — fewer answers than the baseline is a correctness bug, not a perf
-    /// win. Returns the human-readable verdict lines and whether the gate
-    /// passes.
+    /// throughput metrics (`_qps` in the name, higher is better) must stay *above*
+    /// `baseline / REGRESSION_FACTOR`; every other metric is a *count* and
+    /// must match the baseline exactly — fewer answers than the baseline is
+    /// a correctness bug, not a perf win. Returns the human-readable
+    /// verdict lines and whether the gate passes.
     pub fn compare(&self, baseline: &SmokeReport) -> (Vec<String>, bool) {
         /// Timing floor in milliseconds: baselines below it compare as if
         /// they were this large, so sub-rounding measurements never brick
@@ -125,6 +129,20 @@ impl SmokeReport {
                         pass = false;
                         lines.push(format!(
                             "FAIL {name}: {current:.3} > {REGRESSION_FACTOR}x baseline {base:.3}"
+                        ));
+                    } else {
+                        lines.push(format!("ok   {name}: {current:.3} (baseline {base:.3})"));
+                    }
+                }
+                Some(current) if name.contains("_qps") => {
+                    // Throughput: gate the *downward* direction only — a
+                    // faster run is a win, losing more than half the
+                    // baseline throughput is a concurrency regression.
+                    let required = base / REGRESSION_FACTOR;
+                    if current < required {
+                        pass = false;
+                        lines.push(format!(
+                            "FAIL {name}: {current:.3} < baseline {base:.3} / {REGRESSION_FACTOR}"
                         ));
                     } else {
                         lines.push(format!("ok   {name}: {current:.3} (baseline {base:.3})"));
@@ -359,7 +377,7 @@ pub fn run_smoke_traced() -> Result<(SmokeReport, String), String> {
     // leaf, and require the repaired preparation to re-derive strictly
     // fewer rules than the full slice — a patch that degenerates into a
     // full re-ground is a hard error, not a perf note.
-    let mut engine = pdes_core::engine::QueryEngine::builder(live_w.system.clone())
+    let engine = pdes_core::engine::QueryEngine::builder(live_w.system.clone())
         .strategy(Strategy::Asp)
         .build();
     let cold = engine
@@ -379,8 +397,10 @@ pub fn run_smoke_traced() -> Result<(SmokeReport, String), String> {
     let repaired = engine
         .answer(&live_w.queried_peer, &live_w.query, &live_w.free_vars)
         .map_err(|e| e.to_string())?;
-    if repaired.stats.cache_hit {
-        return Err("warm-after-commit query did not observe the commit".to_string());
+    if !repaired.stats.cache_hit {
+        return Err(
+            "warm-after-commit query was not served from the repaired artifact".to_string(),
+        );
     }
     if repaired.stats.regrounded_rules >= repaired.stats.grounded_rules {
         return Err(format!(
@@ -411,6 +431,16 @@ pub fn run_smoke_traced() -> Result<(SmokeReport, String), String> {
         "warm_after_commit_slice_rules".to_string(),
         repaired.stats.grounded_rules as f64,
     ));
+    // MVCC counters of the same fixed sequence (one cold preparation, one
+    // commit, one warm read): exact-match in the gate, so a read path that
+    // starts over- or under-pinning, or a commit path that stops
+    // publishing epochs, fails CI deterministically.
+    let mvcc = engine.mvcc_stats();
+    if mvcc.publishes == 0 {
+        return Err("the commit published no epoch".to_string());
+    }
+    metrics.push(("mvcc_epochs_published".to_string(), mvcc.publishes as f64));
+    metrics.push(("snapshot_pins".to_string(), mvcc.pins as f64));
 
     // Eviction counters: the same workload under a deliberately tiny byte
     // budget must evict (and still answer every query — the equivalence is
@@ -513,8 +543,13 @@ pub fn run_smoke_traced() -> Result<(SmokeReport, String), String> {
         return Err("sharded naive answers diverged from the single-store oracle".to_string());
     }
     let shard_metrics = store.metrics();
-    if shard_metrics.remote == 0 {
-        return Err("the naive snapshot never fanned out across shards".to_string());
+    // Engine reads pin an epoch from the coordinator mirror: they reach the
+    // store (local) but never fan out to a worker shard (remote).
+    if shard_metrics.local == 0 {
+        return Err("serving never reached the sharded store".to_string());
+    }
+    if shard_metrics.remote != 0 {
+        return Err("pinned reads must not fan out across shards".to_string());
     }
     metrics.push((
         "shard_local_queries".to_string(),
@@ -523,6 +558,19 @@ pub fn run_smoke_traced() -> Result<(SmokeReport, String), String> {
     metrics.push((
         "shard_remote_queries".to_string(),
         shard_metrics.remote as f64,
+    ));
+
+    // Closed-loop readers under a sustained writer (the B14 driver at a
+    // fixed small configuration): the throughput is gated *downward* in CI
+    // — a read path that starts blocking on commits loses most of it.
+    let under_writes =
+        crate::mvcc::run_readers_under_writes(4, 150, 4).ok_or("reader-under-writes run failed")?;
+    if under_writes.commits == 0 {
+        return Err("the writer made no progress under the reader storm".to_string());
+    }
+    metrics.push((
+        "reader_qps_under_writes".to_string(),
+        under_writes.reader_qps,
     ));
 
     // Static-analyzer counters over the two smoke systems (exact-match in
@@ -609,6 +657,21 @@ mod tests {
     }
 
     #[test]
+    fn qps_metrics_gate_the_downward_direction_only() {
+        let baseline = report(&[("reader_qps_under_writes", 1000.0)]);
+        // Faster is fine, even far beyond 2x.
+        let (_, pass) = report(&[("reader_qps_under_writes", 5000.0)]).compare(&baseline);
+        assert!(pass);
+        // Hovering just above half the baseline still passes…
+        let (_, pass) = report(&[("reader_qps_under_writes", 501.0)]).compare(&baseline);
+        assert!(pass);
+        // …but losing more than half the throughput fails.
+        let (lines, pass) = report(&[("reader_qps_under_writes", 499.0)]).compare(&baseline);
+        assert!(!pass);
+        assert!(lines.iter().any(|l| l.starts_with("FAIL")));
+    }
+
+    #[test]
     fn smoke_run_reports_every_tracked_metric() {
         let smoke = run_smoke().unwrap();
         for name in [
@@ -629,10 +692,13 @@ mod tests {
             "live_incremental_ms",
             "warm_after_commit_regrounded_rules",
             "warm_after_commit_slice_rules",
+            "mvcc_epochs_published",
+            "snapshot_pins",
             "cache_evictions",
             "shard_asp_cold_ms",
             "shard_local_queries",
             "shard_remote_queries",
+            "reader_qps_under_writes",
             "analyzer_errors",
             "analyzer_warnings",
             "analyzer_infos",
@@ -657,11 +723,15 @@ mod tests {
             smoke.get("trace_event_count"),
             smoke.get("trace_span_count").map(|s| s * 2.0)
         );
-        // Sharded serving touched both shards: one cross-shard snapshot
-        // fan-out (the naive query), everything else shard-local (one
-        // closure hydration per cold ASP peer query).
-        assert_eq!(smoke.get("shard_remote_queries"), Some(1.0));
+        // Engine reads pin epochs from the coordinator mirror: serving
+        // reaches the store but never fans out across worker shards.
+        assert_eq!(smoke.get("shard_remote_queries"), Some(0.0));
         assert!(smoke.get("shard_local_queries") > Some(0.0));
+        // The MVCC sub-workload pinned and published (hard errors inside
+        // the run back these up).
+        assert!(smoke.get("mvcc_epochs_published") > Some(0.0));
+        assert!(smoke.get("snapshot_pins") > Some(0.0));
+        assert!(smoke.get("reader_qps_under_writes") > Some(0.0));
         // The smoke workloads are analyzer-error-free (hard error inside
         // the run); the warning/info counters are exact-match in the gate.
         assert_eq!(smoke.get("analyzer_errors"), Some(0.0));

@@ -60,7 +60,7 @@ pub use engine::{
 pub use error::CoreError;
 pub use rewriting::rewrite_query;
 pub use solution::{solutions_for, Solution, SolutionOptions, SolutionStats};
-pub use store::{InProcessStore, PeerStore, VersionMap};
+pub use store::{InProcessStore, MvccStats, PeerStore, Snapshot, VersionMap};
 pub use system::{example1_system, Dec, P2PSystem, Peer, PeerId, TrustLevel, TrustRelation};
 
 /// Crate-wide result type.

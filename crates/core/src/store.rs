@@ -25,15 +25,183 @@
 //! increasing `u64` bumped by each effective mutation, and the store is the
 //! single authority for it. Cache layers (the engine's memo cache) key their
 //! artifacts by these stamps instead of maintaining private counters.
+//!
+//! # Epochs and snapshot isolation
+//!
+//! Stores publish their state as a sequence of immutable **epochs**. A
+//! reader calls [`PeerStore::pin`] and receives a [`Snapshot`] — a cheap,
+//! cloneable handle on one epoch whose relation pages are `Arc`-shared with
+//! the store. Writers build the successor epoch *outside* any lock (copying
+//! only the relation pages the delta touches — see
+//! [`Database::apply_changes_cow`]) and publish it with a single pointer
+//! swap, so a pinned reader never blocks on a concurrent commit and never
+//! observes a torn write. [`MvccStats`] counts pins, epoch publications and
+//! copied pages.
 
+use crate::error::CoreError;
 use crate::system::{P2PSystem, PeerId};
 use crate::Result;
 use relalg::{Database, Delta, Tuple};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 /// Per-peer version stamps, as returned by [`PeerStore::versions`].
 pub type VersionMap = BTreeMap<PeerId, u64>;
+
+/// MVCC observability counters of a store: how many snapshots were pinned,
+/// how many epochs were published, and how many shared relation pages the
+/// copy-on-write commits had to copy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MvccStats {
+    /// Snapshots handed out by [`PeerStore::pin`].
+    pub pins: u64,
+    /// Epochs published by effective mutations.
+    pub publishes: u64,
+    /// Relation pages copied because they were shared with a live epoch.
+    pub cow_pages: u64,
+}
+
+/// One published epoch: an immutable map from peers to their (page-shared)
+/// instances, plus the version stamps as of this epoch.
+#[derive(Debug)]
+struct EpochState {
+    /// Monotone epoch number: 0 for the initial state, +1 per publication.
+    epoch: u64,
+    /// Per-peer instances. The `Arc` is per *peer*; pages inside each
+    /// [`Database`] are additionally shared per *relation*.
+    instances: BTreeMap<PeerId, Arc<Database>>,
+    /// Version stamps as of this epoch.
+    versions: VersionMap,
+}
+
+/// An immutable, cheaply-cloneable handle on one published epoch.
+///
+/// A `Snapshot` is what [`PeerStore::pin`] returns: all reads against it are
+/// lock-free and stable — no concurrent commit can change what a pinned
+/// snapshot observes, because commits publish *new* epochs instead of
+/// mutating the pinned one. Cloning a snapshot is two `Arc` bumps.
+///
+/// `Snapshot` itself implements [`PeerStore`] (mutations fail with
+/// [`CoreError::Unsupported`]), so anything that answers queries through a
+/// store — including a whole [`QueryEngine`](crate::engine::QueryEngine) —
+/// can be pointed at a frozen epoch.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    topology: Arc<P2PSystem>,
+    state: Arc<EpochState>,
+}
+
+impl Snapshot {
+    /// Build a snapshot from a materialized system, version stamps and an
+    /// epoch number. Used by stores publishing their first epoch and by the
+    /// session log's historical replay (`snapshot_at`).
+    pub fn from_system(system: &P2PSystem, mut versions: VersionMap, epoch: u64) -> Snapshot {
+        // Normalize: every peer has a stamp (0 until its first mutation), so
+        // version maps compare bit-identically across store implementations.
+        for peer in system.peer_ids() {
+            versions.entry(peer.clone()).or_insert(0);
+        }
+        let instances = system
+            .peers()
+            .map(|p| (p.id.clone(), Arc::new(p.instance.clone())))
+            .collect();
+        Snapshot {
+            topology: Arc::new(system.topology_only()),
+            state: Arc::new(EpochState {
+                epoch,
+                instances,
+                versions,
+            }),
+        }
+    }
+
+    /// The epoch number this snapshot pins.
+    pub fn epoch(&self) -> u64 {
+        self.state.epoch
+    }
+
+    /// The topology replica (instances empty) backing this snapshot.
+    pub fn topology(&self) -> &P2PSystem {
+        &self.topology
+    }
+
+    /// The version stamps as of this epoch.
+    pub fn versions(&self) -> &VersionMap {
+        &self.state.versions
+    }
+
+    /// One peer's version stamp as of this epoch (0 until its first
+    /// mutation; unknown peers error).
+    pub fn version_of(&self, peer: &PeerId) -> Result<u64> {
+        let _ = self.topology.peer(peer)?;
+        Ok(self.state.versions.get(peer).copied().unwrap_or(0))
+    }
+
+    /// One peer's instance as of this epoch. The returned [`Database`] is a
+    /// shallow, page-shared copy — no tuple data moves.
+    pub fn instance_of(&self, peer: &PeerId) -> Result<Database> {
+        self.state
+            .instances
+            .get(peer)
+            .map(|db| db.as_ref().clone())
+            .ok_or_else(|| CoreError::UnknownPeer(peer.to_string()))
+    }
+
+    /// Materialize the full system as of this epoch: the topology replica
+    /// with every peer's pinned instance installed.
+    pub fn system(&self) -> Result<P2PSystem> {
+        let mut system = self.topology.as_ref().clone();
+        for (peer, instance) in &self.state.instances {
+            system.set_instance(peer, instance.as_ref().clone())?;
+        }
+        Ok(system)
+    }
+}
+
+impl PeerStore for Snapshot {
+    fn topology(&self) -> &P2PSystem {
+        Snapshot::topology(self)
+    }
+
+    fn instance_of(&self, peer: &PeerId) -> Result<Database> {
+        Snapshot::instance_of(self, peer)
+    }
+
+    fn snapshot(&self) -> Result<P2PSystem> {
+        self.system()
+    }
+
+    fn pin(&self) -> Result<Snapshot> {
+        Ok(self.clone())
+    }
+
+    fn apply_delta(&self, _peer: &PeerId, _delta: &Delta) -> Result<u64> {
+        Err(CoreError::Unsupported(
+            "a pinned snapshot is immutable; commit through the live store".into(),
+        ))
+    }
+
+    fn insert(&self, _peer: &PeerId, _relation: &str, _tuple: Tuple) -> Result<u64> {
+        Err(CoreError::Unsupported(
+            "a pinned snapshot is immutable; commit through the live store".into(),
+        ))
+    }
+
+    fn delete(&self, _peer: &PeerId, _relation: &str, _tuple: &Tuple) -> Result<bool> {
+        Err(CoreError::Unsupported(
+            "a pinned snapshot is immutable; commit through the live store".into(),
+        ))
+    }
+
+    fn version_of(&self, peer: &PeerId) -> Result<u64> {
+        Snapshot::version_of(self, peer)
+    }
+
+    fn versions(&self) -> Result<VersionMap> {
+        Ok(self.state.versions.clone())
+    }
+}
 
 /// The single way engine, session and tooling reach peer state.
 ///
@@ -41,7 +209,7 @@ pub type VersionMap = BTreeMap<PeerId, u64>;
 /// `pdes-store`'s `ShardedStore` serves the same API over an in-process
 /// loopback transport with peers partitioned across worker shards. Apart
 /// from latency and the transport-failure error surface
-/// ([`CoreError::Transport`](crate::error::CoreError::Transport)),
+/// ([`CoreError::Transport`]),
 /// implementations must be observationally
 /// equivalent: same answers, same version stamps for the same mutation
 /// sequence.
@@ -100,50 +268,126 @@ pub trait PeerStore: Send + Sync {
 
     /// The current version stamps of every peer.
     fn versions(&self) -> Result<VersionMap>;
+
+    /// Pin the current epoch: an immutable [`Snapshot`] whose reads are
+    /// lock-free, stable under concurrent commits, and consistent across
+    /// peers (no torn multi-peer reads). Pinning must be cheap — a handle on
+    /// already-published state, never a data copy — and must never wait for
+    /// an in-flight commit to finish.
+    fn pin(&self) -> Result<Snapshot>;
+
+    /// MVCC observability counters. The default reports zeros for stores
+    /// that predate epoch publication.
+    fn mvcc_stats(&self) -> MvccStats {
+        MvccStats::default()
+    }
 }
 
-/// Mutable store state: the authoritative system plus per-peer versions.
-struct StoreState {
-    system: P2PSystem,
-    versions: VersionMap,
+/// Shared atomic MVCC counters; snapshot with [`MvccCounters::stats`].
+#[derive(Debug, Default)]
+pub(crate) struct MvccCounters {
+    pins: AtomicU64,
+    publishes: AtomicU64,
+    cow_pages: AtomicU64,
 }
 
-/// The canonical in-process [`PeerStore`]: the authoritative [`P2PSystem`]
-/// behind an `RwLock`, plus per-peer version counters. This is what
-/// `QueryEngine::builder(system)` wraps a plain system into.
+impl MvccCounters {
+    pub(crate) fn count_pin(&self) {
+        self.pins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_publish(&self, cow_pages: u64) {
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        self.cow_pages.fetch_add(cow_pages, Ordering::Relaxed);
+    }
+
+    pub(crate) fn stats(&self) -> MvccStats {
+        MvccStats {
+            pins: self.pins.load(Ordering::Relaxed),
+            publishes: self.publishes.load(Ordering::Relaxed),
+            cow_pages: self.cow_pages.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The canonical in-process [`PeerStore`]: an epoch-publishing MVCC store.
+/// The current epoch lives behind an `RwLock<Arc<…>>` held only for the
+/// pointer read/swap; writers serialize on a commit mutex and build the
+/// successor epoch outside both locks, so readers (and pinners) never wait
+/// for a commit in flight. This is what `QueryEngine::builder(system)`
+/// wraps a plain system into.
 pub struct InProcessStore {
-    /// Immutable topology replica (instances stripped), shared by reference.
-    topology: P2PSystem,
-    state: RwLock<StoreState>,
+    /// Immutable topology replica (instances stripped), shared with every
+    /// snapshot this store pins.
+    topology: Arc<P2PSystem>,
+    /// The published epoch. Lock hold times are a pointer clone (readers) or
+    /// a pointer swap (the committer) — never the commit work itself.
+    current: RwLock<Arc<EpochState>>,
+    /// Serializes writers. Readers never take it.
+    commit: Mutex<()>,
+    counters: MvccCounters,
 }
 
 impl InProcessStore {
-    /// Take ownership of a system and serve it through the store API.
+    /// Take ownership of a system and serve it through the store API,
+    /// publishing it as epoch 0.
     pub fn new(system: P2PSystem) -> Self {
+        let versions: VersionMap = system.peer_ids().map(|p| (p.clone(), 0)).collect();
+        let instances = system
+            .peers()
+            .map(|p| (p.id.clone(), Arc::new(p.instance.clone())))
+            .collect();
         InProcessStore {
-            topology: system.topology_only(),
-            state: RwLock::new(StoreState {
-                system,
-                versions: VersionMap::new(),
-            }),
+            topology: Arc::new(system.topology_only()),
+            current: RwLock::new(Arc::new(EpochState {
+                epoch: 0,
+                instances,
+                versions,
+            })),
+            commit: Mutex::new(()),
+            counters: MvccCounters::default(),
         }
     }
 
-    /// Read access, recovering from lock poisoning: every mutation validates
-    /// before applying, so the state is consistent even after a panicked
-    /// writer.
-    fn read(&self) -> RwLockReadGuard<'_, StoreState> {
-        self.state
-            .read()
+    /// The current epoch pointer. Recovers from poisoning: the epoch behind
+    /// the lock is immutable, so a panicked holder cannot have corrupted it.
+    fn current(&self) -> Arc<EpochState> {
+        Arc::clone(
+            &self
+                .current
+                .read()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        )
+    }
+
+    /// The writer lock; see [`InProcessStore::current`] for the poisoning
+    /// rationale.
+    fn writer(&self) -> MutexGuard<'_, ()> {
+        self.commit
+            .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    /// Write access; see [`InProcessStore::read`] for the poisoning
-    /// rationale.
-    fn write(&self) -> RwLockWriteGuard<'_, StoreState> {
-        self.state
+    /// Publish `next` as the new current epoch (one pointer swap).
+    fn publish(&self, next: EpochState, cow_pages: u64) {
+        let mut slot = self
+            .current
             .write()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *slot = Arc::new(next);
+        drop(slot);
+        self.counters.count_publish(cow_pages);
+    }
+
+    /// Begin the successor of the current epoch: shallow-clone the instance
+    /// map (per-peer `Arc` bumps) and the version map.
+    fn successor(&self) -> (Arc<EpochState>, BTreeMap<PeerId, Arc<Database>>, VersionMap) {
+        let base = self.current();
+        (
+            Arc::clone(&base),
+            base.instances.clone(),
+            base.versions.clone(),
+        )
     }
 }
 
@@ -166,56 +410,144 @@ impl PeerStore for InProcessStore {
     }
 
     fn instance_of(&self, peer: &PeerId) -> Result<Database> {
-        Ok(self.read().system.peer(peer)?.instance.clone())
+        let state = self.current();
+        state
+            .instances
+            .get(peer)
+            .map(|db| db.as_ref().clone())
+            .ok_or_else(|| CoreError::UnknownPeer(peer.to_string()))
     }
 
     fn instances(&self, peers: &BTreeSet<PeerId>) -> Result<BTreeMap<PeerId, Database>> {
-        let state = self.read();
+        let state = self.current();
         peers
             .iter()
-            .map(|p| Ok((p.clone(), state.system.peer(p)?.instance.clone())))
+            .map(|p| {
+                state
+                    .instances
+                    .get(p)
+                    .map(|db| (p.clone(), db.as_ref().clone()))
+                    .ok_or_else(|| CoreError::UnknownPeer(p.to_string()))
+            })
             .collect()
     }
 
     fn snapshot(&self) -> Result<P2PSystem> {
-        Ok(self.read().system.clone())
+        Snapshot {
+            topology: Arc::clone(&self.topology),
+            state: self.current(),
+        }
+        .system()
     }
 
     fn apply_delta(&self, peer: &PeerId, delta: &Delta) -> Result<u64> {
-        let mut state = self.write();
-        state.system.apply_delta(peer, delta)?;
-        Ok(bump(&mut state.versions, peer))
+        let _writer = self.writer();
+        self.topology.validate_delta(peer, delta)?;
+        let (base, mut instances, mut versions) = self.successor();
+        let slot = instances
+            .get_mut(peer)
+            .ok_or_else(|| CoreError::UnknownPeer(peer.to_string()))?;
+        let mut instance = slot.as_ref().clone();
+        let cow = instance.apply_changes_cow(delta.insertions.iter(), delta.deletions.iter())?;
+        *slot = Arc::new(instance);
+        let version = bump(&mut versions, peer);
+        self.publish(
+            EpochState {
+                epoch: base.epoch + 1,
+                instances,
+                versions,
+            },
+            cow as u64,
+        );
+        Ok(version)
     }
 
     fn insert(&self, peer: &PeerId, relation: &str, tuple: Tuple) -> Result<u64> {
-        let mut state = self.write();
-        state.system.insert(peer, relation, tuple)?;
-        Ok(bump(&mut state.versions, peer))
+        let _writer = self.writer();
+        // Same validation as `P2PSystem::insert`: the peer must declare the
+        // relation (relation-level arity errors surface from the page).
+        let p = self.topology.peer(peer)?;
+        if !p.schema.contains(relation) {
+            return Err(CoreError::UnknownRelation {
+                peer: peer.to_string(),
+                relation: relation.to_string(),
+            });
+        }
+        let (base, mut instances, mut versions) = self.successor();
+        let slot = instances
+            .get_mut(peer)
+            .ok_or_else(|| CoreError::UnknownPeer(peer.to_string()))?;
+        let mut instance = slot.as_ref().clone();
+        let before = instance.shared_page_count();
+        instance.insert(relation, tuple)?;
+        let cow = before.saturating_sub(instance.shared_page_count());
+        *slot = Arc::new(instance);
+        let version = bump(&mut versions, peer);
+        self.publish(
+            EpochState {
+                epoch: base.epoch + 1,
+                instances,
+                versions,
+            },
+            cow as u64,
+        );
+        Ok(version)
     }
 
     fn delete(&self, peer: &PeerId, relation: &str, tuple: &Tuple) -> Result<bool> {
-        let mut state = self.write();
-        let present = state.system.delete(peer, relation, tuple)?;
-        if present {
-            bump(&mut state.versions, peer);
+        let _writer = self.writer();
+        let p = self.topology.peer(peer)?;
+        if !p.schema.contains(relation) {
+            return Err(CoreError::UnknownRelation {
+                peer: peer.to_string(),
+                relation: relation.to_string(),
+            });
         }
-        Ok(present)
+        let (base, mut instances, mut versions) = self.successor();
+        let slot = instances
+            .get_mut(peer)
+            .ok_or_else(|| CoreError::UnknownPeer(peer.to_string()))?;
+        let mut instance = slot.as_ref().clone();
+        let before = instance.shared_page_count();
+        let present = instance.remove(relation, tuple)?;
+        if !present {
+            // No effective change: no version bump, no epoch.
+            return Ok(false);
+        }
+        let cow = before.saturating_sub(instance.shared_page_count());
+        *slot = Arc::new(instance);
+        bump(&mut versions, peer);
+        self.publish(
+            EpochState {
+                epoch: base.epoch + 1,
+                instances,
+                versions,
+            },
+            cow as u64,
+        );
+        Ok(true)
     }
 
     fn version_of(&self, peer: &PeerId) -> Result<u64> {
-        let state = self.read();
         // An unknown peer is an error, not version 0.
-        let _ = state.system.peer(peer)?;
-        Ok(state.versions.get(peer).copied().unwrap_or(0))
+        let _ = self.topology.peer(peer)?;
+        Ok(self.current().versions.get(peer).copied().unwrap_or(0))
     }
 
     fn versions(&self) -> Result<VersionMap> {
-        let state = self.read();
-        Ok(state
-            .system
-            .peer_ids()
-            .map(|p| (p.clone(), state.versions.get(p).copied().unwrap_or(0)))
-            .collect())
+        Ok(self.current().versions.clone())
+    }
+
+    fn pin(&self) -> Result<Snapshot> {
+        self.counters.count_pin();
+        Ok(Snapshot {
+            topology: Arc::clone(&self.topology),
+            state: self.current(),
+        })
+    }
+
+    fn mvcc_stats(&self) -> MvccStats {
+        self.counters.stats()
     }
 }
 
@@ -280,6 +612,74 @@ mod tests {
         let versions = store.versions().unwrap();
         assert_eq!(versions[&p1], 3);
         assert_eq!(versions[&p2], 0);
+    }
+
+    #[test]
+    fn pinned_snapshots_are_stable_under_commits() {
+        let store = InProcessStore::new(example1_system());
+        let p1 = PeerId::new("P1");
+        let snap = store.pin().unwrap();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.version_of(&p1).unwrap(), 0);
+        let before = snap.instance_of(&p1).unwrap();
+
+        // Mutate the live store: the pinned epoch must not move.
+        store
+            .insert(&p1, "R1", Tuple::strs(["fresh", "row"]))
+            .unwrap();
+        assert_eq!(snap.version_of(&p1).unwrap(), 0);
+        assert_eq!(snap.instance_of(&p1).unwrap(), before);
+        assert!(!snap
+            .instance_of(&p1)
+            .unwrap()
+            .holds("R1", &Tuple::strs(["fresh", "row"])));
+
+        // A fresh pin observes the commit, on a later epoch.
+        let after = store.pin().unwrap();
+        assert_eq!(after.epoch(), 1);
+        assert_eq!(after.version_of(&p1).unwrap(), 1);
+        assert!(after
+            .instance_of(&p1)
+            .unwrap()
+            .holds("R1", &Tuple::strs(["fresh", "row"])));
+
+        // The pinned epoch materializes the pre-commit system exactly.
+        assert_eq!(snap.system().unwrap(), example1_system());
+    }
+
+    #[test]
+    fn snapshots_are_immutable_peer_stores() {
+        let store = InProcessStore::new(example1_system());
+        let snap = store.pin().unwrap();
+        let p1 = PeerId::new("P1");
+        // Reads work through the PeerStore surface…
+        assert_eq!(PeerStore::version_of(&snap, &p1).unwrap(), 0);
+        assert_eq!(PeerStore::snapshot(&snap).unwrap(), example1_system());
+        assert_eq!(snap.pin().unwrap().epoch(), snap.epoch());
+        // …and every mutation is refused.
+        assert!(snap.insert(&p1, "R1", Tuple::strs(["x", "y"])).is_err());
+        assert!(snap.delete(&p1, "R1", &Tuple::strs(["a", "b"])).is_err());
+        let delta = Delta::from_changes([GroundAtom::new("R1", Tuple::strs(["x", "y"]))], []);
+        assert!(PeerStore::apply_delta(&snap, &p1, &delta).is_err());
+    }
+
+    #[test]
+    fn commits_publish_epochs_and_count_cow_pages() {
+        let store = InProcessStore::new(example1_system());
+        let p1 = PeerId::new("P1");
+        assert_eq!(store.mvcc_stats(), MvccStats::default());
+        let _pin = store.pin().unwrap();
+        let delta = Delta::from_changes([GroundAtom::new("R1", Tuple::strs(["x", "y"]))], []);
+        store.apply_delta(&p1, &delta).unwrap();
+        let stats = store.mvcc_stats();
+        assert_eq!(stats.pins, 1);
+        assert_eq!(stats.publishes, 1);
+        // R1's page was shared with epoch 0 (held by `_pin`): one copy.
+        assert_eq!(stats.cow_pages, 1);
+        // A no-op delete publishes nothing.
+        assert!(!store.delete(&p1, "R1", &Tuple::strs(["zz", "zz"])).unwrap());
+        assert_eq!(store.mvcc_stats().publishes, 1);
+        assert_eq!(store.pin().unwrap().epoch(), 1);
     }
 
     #[test]

@@ -283,6 +283,23 @@ impl P2PSystem {
     /// before any change is applied, so a failed call leaves the system
     /// untouched.
     pub fn apply_delta(&mut self, peer: &PeerId, delta: &relalg::Delta) -> Result<()> {
+        self.validate_delta(peer, delta)?;
+        let p = self.peers.get_mut(peer).expect("validated above");
+        for atom in &delta.insertions {
+            p.instance.insert(&atom.relation, atom.tuple.clone())?;
+        }
+        for atom in &delta.deletions {
+            p.instance.remove(&atom.relation, &atom.tuple)?;
+        }
+        Ok(())
+    }
+
+    /// Validate a delta against a peer's declared schema without applying
+    /// it: every insertion and deletion must target a relation the peer
+    /// declares, with matching arity. [`P2PSystem::apply_delta`] runs this
+    /// first; epoch-publishing stores run it against their topology replica
+    /// before building the successor epoch.
+    pub fn validate_delta(&self, peer: &PeerId, delta: &relalg::Delta) -> Result<()> {
         let p = self
             .peers
             .get(peer)
@@ -305,13 +322,6 @@ impl P2PSystem {
                 }
                 .into());
             }
-        }
-        let p = self.peers.get_mut(peer).expect("validated above");
-        for atom in &delta.insertions {
-            p.instance.insert(&atom.relation, atom.tuple.clone())?;
-        }
-        for atom in &delta.deletions {
-            p.instance.remove(&atom.relation, &atom.tuple)?;
         }
         Ok(())
     }

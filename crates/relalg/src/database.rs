@@ -15,6 +15,7 @@ use crate::Result;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// Ground atom: a relation name plus a tuple. Used by [`crate::delta::Delta`]
 /// (the paper's `Σ(r)` of ground atomic formulas) and throughout the repair
@@ -44,9 +45,16 @@ impl fmt::Display for GroundAtom {
 }
 
 /// A database instance: relations keyed by name.
+///
+/// Relations are stored as `Arc`-shared *pages*: cloning a `Database` is a
+/// shallow copy that shares every relation with the original, and mutation
+/// goes through [`Arc::make_mut`], copying only the touched relation when
+/// (and only when) it is still shared. This is what makes MVCC epoch
+/// publication cheap — a new epoch clones the map, not the data — while
+/// single-owner databases mutate in place exactly as before.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Database {
-    relations: BTreeMap<String, Relation>,
+    relations: BTreeMap<String, Arc<Relation>>,
 }
 
 impl Database {
@@ -66,24 +74,26 @@ impl Database {
 
     /// Add (or replace) a relation instance.
     pub fn add_relation(&mut self, relation: Relation) {
-        self.relations.insert(relation.name().to_string(), relation);
+        self.relations
+            .insert(relation.name().to_string(), Arc::new(relation));
     }
 
     /// Declare an empty relation for the given schema if absent.
     pub fn ensure_relation(&mut self, schema: &RelationSchema) {
         self.relations
             .entry(schema.name().to_string())
-            .or_insert_with(|| Relation::new(schema.clone()));
+            .or_insert_with(|| Arc::new(Relation::new(schema.clone())));
     }
 
     /// Look up a relation by name.
     pub fn relation(&self, name: &str) -> Option<&Relation> {
-        self.relations.get(name)
+        self.relations.get(name).map(Arc::as_ref)
     }
 
-    /// Mutable lookup.
+    /// Mutable lookup. Copies the relation page first if it is shared with
+    /// another database (copy-on-write).
     pub fn relation_mut(&mut self, name: &str) -> Option<&mut Relation> {
-        self.relations.get_mut(name)
+        self.relations.get_mut(name).map(Arc::make_mut)
     }
 
     /// True if the database declares the relation.
@@ -93,7 +103,7 @@ impl Database {
 
     /// Iterate relations in name order.
     pub fn relations(&self) -> impl Iterator<Item = &Relation> {
-        self.relations.values()
+        self.relations.values().map(Arc::as_ref)
     }
 
     /// Relation names in order.
@@ -118,15 +128,21 @@ impl Database {
 
     /// Total number of tuples across all relations.
     pub fn tuple_count(&self) -> usize {
-        self.relations.values().map(Relation::len).sum()
+        self.relations.values().map(|r| r.len()).sum()
     }
 
-    /// Insert a tuple into a relation.
+    /// Insert a tuple into a relation. A no-op insert (tuple already
+    /// present) never copies a shared page.
     pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<bool> {
-        self.relations
+        let page = self
+            .relations
             .get_mut(relation)
-            .ok_or_else(|| RelalgError::UnknownRelation(relation.to_string()))?
-            .insert(tuple)
+            .ok_or_else(|| RelalgError::UnknownRelation(relation.to_string()))?;
+        if page.contains(&tuple) {
+            // Already present (hence already validated): nothing to write.
+            return Ok(false);
+        }
+        Arc::make_mut(page).insert(tuple)
     }
 
     /// Insert a ground atom, declaring the relation (with positional
@@ -142,13 +158,17 @@ impl Database {
     }
 
     /// Remove a tuple from a relation. Returns `Ok(false)` if the tuple was
-    /// absent; errors if the relation is unknown.
+    /// absent; errors if the relation is unknown. A no-op removal never
+    /// copies a shared page.
     pub fn remove(&mut self, relation: &str, tuple: &Tuple) -> Result<bool> {
-        Ok(self
+        let page = self
             .relations
             .get_mut(relation)
-            .ok_or_else(|| RelalgError::UnknownRelation(relation.to_string()))?
-            .remove(tuple))
+            .ok_or_else(|| RelalgError::UnknownRelation(relation.to_string()))?;
+        if !page.contains(tuple) {
+            return Ok(false);
+        }
+        Ok(Arc::make_mut(page).remove(tuple))
     }
 
     /// Membership test for a ground atom (false if the relation is unknown).
@@ -175,7 +195,7 @@ impl Database {
     pub fn active_domain(&self) -> BTreeSet<Value> {
         self.relations
             .values()
-            .flat_map(Relation::active_domain)
+            .flat_map(|r| r.active_domain())
             .collect()
     }
 
@@ -186,7 +206,9 @@ impl Database {
         let mut out = Database::new();
         for (name, rel) in &self.relations {
             if wanted.contains(name.as_str()) {
-                out.add_relation(rel.clone());
+                // Share the page: a restriction is a read-only view until
+                // someone writes through it.
+                out.relations.insert(name.clone(), Arc::clone(rel));
             }
         }
         out
@@ -231,6 +253,48 @@ impl Database {
             out.remove(&atom.relation, &atom.tuple)?;
         }
         Ok(out)
+    }
+
+    /// Apply insertions and deletions *in place*, reporting how many shared
+    /// relation pages had to be copied before mutation. A page counts once
+    /// no matter how many of its tuples changed; pages this database owns
+    /// exclusively mutate in place and do not count. This is the
+    /// copy-on-write cost an MVCC epoch publication pays (`mvcc.cow_pages`).
+    pub fn apply_changes_cow<'a, I, D>(&mut self, insertions: I, deletions: D) -> Result<usize>
+    where
+        I: IntoIterator<Item = &'a GroundAtom>,
+        D: IntoIterator<Item = &'a GroundAtom>,
+    {
+        let mut copied = BTreeSet::new();
+        let mut track = |relations: &BTreeMap<String, Arc<Relation>>, name: &str| {
+            if let Some(page) = relations.get(name) {
+                if Arc::strong_count(page) > 1 {
+                    copied.insert(name.to_string());
+                }
+            }
+        };
+        for atom in insertions {
+            if !self.holds(&atom.relation, &atom.tuple) {
+                track(&self.relations, &atom.relation);
+            }
+            self.insert_atom(atom)?;
+        }
+        for atom in deletions {
+            if self.holds(&atom.relation, &atom.tuple) {
+                track(&self.relations, &atom.relation);
+            }
+            self.remove(&atom.relation, &atom.tuple)?;
+        }
+        Ok(copied.len())
+    }
+
+    /// How many relation pages are currently shared with another database
+    /// (an `Arc` strong count above 1). Diagnostic hook for the COW tests.
+    pub fn shared_page_count(&self) -> usize {
+        self.relations
+            .values()
+            .filter(|page| Arc::strong_count(page) > 1)
+            .count()
     }
 }
 
@@ -354,5 +418,49 @@ mod tests {
         let schema = db.schema();
         assert!(schema.contains("R1"));
         assert_eq!(schema.relation("R2").unwrap().arity(), 2);
+    }
+
+    #[test]
+    fn clones_share_pages_until_written() {
+        let base = sample();
+        let mut copy = base.clone();
+        // The clone shares every page with the original.
+        assert_eq!(copy.shared_page_count(), 2);
+        // Writing one relation copies exactly that page.
+        copy.insert("R1", Tuple::strs(["new", "row"])).unwrap();
+        assert_eq!(copy.shared_page_count(), 1);
+        // The original never observes the write.
+        assert!(!base.holds("R1", &Tuple::strs(["new", "row"])));
+        assert!(copy.holds("R1", &Tuple::strs(["new", "row"])));
+        // Untouched relations are still literally the same allocation.
+        assert_eq!(base.relation("R2").unwrap(), copy.relation("R2").unwrap());
+    }
+
+    #[test]
+    fn no_op_writes_do_not_copy_shared_pages() {
+        let base = sample();
+        let mut copy = base.clone();
+        assert!(!copy.insert("R1", Tuple::strs(["a", "b"])).unwrap());
+        assert!(!copy.remove("R1", &Tuple::strs(["zz", "zz"])).unwrap());
+        assert_eq!(copy.shared_page_count(), 2, "no-ops must not unshare");
+    }
+
+    #[test]
+    fn apply_changes_cow_counts_copied_pages_once() {
+        let base = sample();
+        let mut epoch = base.clone();
+        let ins = [
+            GroundAtom::new("R1", Tuple::strs(["n1", "m1"])),
+            GroundAtom::new("R1", Tuple::strs(["n2", "m2"])),
+        ];
+        let del = [GroundAtom::new("R1", Tuple::strs(["a", "b"]))];
+        // Three changes, one touched page: one copy.
+        assert_eq!(epoch.apply_changes_cow(ins.iter(), del.iter()).unwrap(), 1);
+        // A second application to the now-exclusive page copies nothing.
+        let more = [GroundAtom::new("R1", Tuple::strs(["n3", "m3"]))];
+        assert_eq!(epoch.apply_changes_cow(more.iter(), [].iter()).unwrap(), 0);
+        // The base saw none of it.
+        assert_eq!(base.relation("R1").unwrap().len(), 2);
+        assert_eq!(epoch.relation("R1").unwrap().len(), 4);
     }
 }

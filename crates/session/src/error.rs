@@ -17,6 +17,9 @@ pub enum SessionError {
         /// Number of violating bindings found.
         violations: usize,
     },
+    /// `Session::writer` was called while another `Writer` handle is still
+    /// alive. Drop the existing writer to release the claim.
+    WriterClaimed,
     /// `snapshot_at` was asked for a commit sequence number beyond the log.
     UnknownSeq {
         /// The requested sequence number.
@@ -43,6 +46,11 @@ impl fmt::Display for SessionError {
                 f,
                 "commit rejected: local IC `{constraint}` of peer `{peer}` \
                  would be violated ({violations} violation(s))"
+            ),
+            SessionError::WriterClaimed => write!(
+                f,
+                "the session's writer is already claimed; drop the existing \
+                 `Writer` handle before claiming a new one"
             ),
             SessionError::UnknownSeq { seq, latest } => {
                 write!(f, "no snapshot at sequence {seq}: the log ends at {latest}")

@@ -12,61 +12,68 @@
 //!   [`pdes_core::P2PSystem`]) and assigns every peer a monotonically
 //!   increasing [`Version`], starting at 0 for the construction-time
 //!   instance.
-//! * An update is expressed as a [`relalg::Delta`] — the currency of change
+//! * Reads take `&self` and answer against pinned MVCC epochs
+//!   ([`pdes_core::Snapshot`]); clone cheap [`ReadHandle`]s with
+//!   [`Session::reader`] to query concurrently from any number of threads.
+//!   Readers never block on a committing writer.
+//! * Mutation goes through the session's single [`Writer`] handle
+//!   ([`Session::writer`]): updates are staged in a [`Tx`]
+//!   ([`Writer::begin`]) and applied atomically by [`Tx::commit`]. An
+//!   update is expressed as a [`relalg::Delta`] — the currency of change
 //!   the paper itself introduces in **Definition 1**, where the distance
 //!   between two instances is the symmetric difference `Δ(r1, r2)` of their
 //!   ground atoms, split here into insertions and deletions relative to the
 //!   peer's current instance. Committing a delta moves the peer from one
 //!   instance to another whose `Δ` is (at most) the committed one; the
 //!   per-peer [`Version`] counts these moves.
-//! * Updates are staged in a [`Tx`] ([`Session::begin`]) and applied
-//!   atomically by [`Tx::commit`]: every touched peer's *local* integrity
-//!   constraints `IC(P)` are validated against the post-commit instance
-//!   first, and nothing is applied unless every check passes. DECs are
-//!   deliberately **not** enforced at commit time — inter-peer
-//!   inconsistency is the paper's subject matter, resolved virtually at
-//!   query time, not an error state.
+//! * At commit, every touched peer's *local* integrity constraints `IC(P)`
+//!   are validated against the post-commit instance first, and nothing is
+//!   applied unless every check passes. DECs are deliberately **not**
+//!   enforced at commit time — inter-peer inconsistency is the paper's
+//!   subject matter, resolved virtually at query time, not an error state.
 //! * Every effective commit is appended to an update log of
 //!   [`CommittedTx`]s; [`Session::snapshot_at`] replays the log to
-//!   reconstruct the system as of any commit sequence number, which is also
-//!   how a fresh reference engine is built in the equivalence tests.
+//!   reconstruct the system as of any commit sequence number as an
+//!   immutable [`pdes_core::Snapshot`], which is also how a fresh reference
+//!   engine is built in the equivalence tests.
 //!
 //! On commit, the session hands each effective per-peer delta to
-//! [`pdes_core::QueryEngine::commit_delta`], which drives the engine's
-//! incremental invalidation: only memoized artifacts whose *relevant-peer
-//! closure* (the transitive closure of DEC ownership edges) intersects the
-//! touched peers are affected at all; queries against peers outside the
-//! closure keep their warm cache entries. Affected ASP artifacts are not
-//! recomputed from scratch either — the engine *stales* them with their
-//! saturation state and the next query repairs the grounding by re-deriving
-//! only the rules the delta touched (`datalog::incremental`;
-//! [`pdes_core::CacheMetrics`] counts the repairs in its `patched` field).
+//! [`pdes_core::QueryEngine::commit_delta`], which publishes a new store
+//! epoch and drives the engine's incremental invalidation: only memoized
+//! artifacts whose *relevant-peer closure* (the transitive closure of DEC
+//! ownership edges) intersects the touched peers are affected at all;
+//! queries against peers outside the closure keep their warm cache entries.
+//! Affected ASP artifacts are repaired *on the committing thread* — the
+//! grounding is patched by re-deriving only the rules the delta touched
+//! (`datalog::incremental`; [`pdes_core::CacheMetrics`] counts the repairs
+//! in its `patched` field), so post-commit reads are served warm.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use pdes_core::pca::vars;
 //! use pdes_core::system::{example1_system, PeerId};
+//! use pdes_core::Query;
 //! use pdes_session::Session;
 //! use relalg::query::Formula;
 //! use relalg::Tuple;
 //!
-//! let mut session = Session::new(example1_system());
-//! let p1 = PeerId::new("P1");
+//! let session = Session::new(example1_system());
 //! let p2 = PeerId::new("P2");
-//! let query = Formula::atom("R1", vec!["X", "Y"]);
+//! let query = Query::named("P1", Formula::atom("R1", vec!["X", "Y"]), &["X", "Y"]);
 //!
-//! // Warm query against the initial snapshot.
-//! let before = session.answer(&p1, &query, &vars(&["X", "Y"])).unwrap();
+//! // Warm query against the initial snapshot — reads take `&self`.
+//! let before = session.query(&query).unwrap();
 //! assert_eq!(before.len(), 3);
 //!
-//! // Commit an update to P2; P1 imports from P2, so its answers change.
-//! let mut tx = session.begin();
+//! // Claim the single writer and commit an update to P2; P1 imports from
+//! // P2, so its answers change.
+//! let mut writer = session.writer().unwrap();
+//! let mut tx = writer.begin();
 //! tx.insert(&p2, "R2", Tuple::strs(["x", "y"])).unwrap();
 //! let receipt = tx.commit().unwrap();
 //! assert_eq!(receipt.seq, 1);
 //!
-//! let after = session.answer(&p1, &query, &vars(&["X", "Y"])).unwrap();
+//! let after = session.query(&query).unwrap();
 //! assert_eq!(after.len(), 4);
 //! assert!(after.contains(&Tuple::strs(["x", "y"])));
 //! ```
@@ -75,7 +82,7 @@ pub mod error;
 pub mod session;
 
 pub use error::SessionError;
-pub use session::{CommitReceipt, CommittedTx, Session, Tx, Update, Version};
+pub use session::{CommitReceipt, CommittedTx, ReadHandle, Session, Tx, Update, Version, Writer};
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, SessionError>;

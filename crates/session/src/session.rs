@@ -1,22 +1,28 @@
-//! The [`Session`] / [`Tx`] surface: versioned peers, atomic update commits
-//! validated against local ICs, an update log, and snapshot replay.
+//! The [`Session`] / [`ReadHandle`] / [`Writer`] surface: versioned peers,
+//! atomic update commits validated against local ICs, an update log, and
+//! snapshot replay over MVCC epochs.
 //!
-//! See the crate docs for how [`Version`] and [`relalg::Delta`] map back to
-//! Definition 1 of the paper.
+//! Reads take `&self` and answer against pinned store epochs, so any number
+//! of threads can query through cloned [`ReadHandle`]s while the single
+//! [`Writer`] commits. See the crate docs for how [`Version`] and
+//! [`relalg::Delta`] map back to Definition 1 of the paper.
 
 use crate::error::SessionError;
 use crate::Result;
 use constraints::ConstraintChecker;
 use pdes_core::engine::{CacheMetrics, QueryEngine};
 use pdes_core::pca::vars;
+use pdes_core::store::Snapshot;
 use pdes_core::system::{P2PSystem, PeerId};
-use pdes_core::{Answers, Strategy};
+use pdes_core::{Answers, MvccStats, Query, Strategy, VersionMap};
 use pdes_exec::Executor;
 use relalg::database::GroundAtom;
 use relalg::query::Formula;
 use relalg::{Delta, Tuple};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A peer's version: the number of committed updates that touched it.
 /// Version 0 is the construction-time instance; each commit containing an
@@ -41,7 +47,7 @@ impl fmt::Display for Version {
 }
 
 /// One peer's worth of change: a [`Delta`] targeted at a peer. The unit the
-/// workload update-stream generator produces and [`Session::apply`]
+/// workload update-stream generator produces and [`Writer::apply`]
 /// consumes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Update {
@@ -89,18 +95,147 @@ pub struct CommitReceipt {
     pub invalidated: u64,
 }
 
+/// The shared state behind every [`Session`], [`ReadHandle`] and
+/// [`Writer`]: the engine, the version-0 snapshot, the update log, and the
+/// writer-claim flag.
+struct SessionCore {
+    engine: QueryEngine,
+    /// The construction-time system, kept for [`Session::snapshot_at`]
+    /// replay and for topology-level staging checks (schemas never change).
+    base: P2PSystem,
+    log: Mutex<Vec<CommittedTx>>,
+    writer_claimed: AtomicBool,
+}
+
+impl SessionCore {
+    fn query(&self, query: &Query) -> Result<Answers> {
+        Ok(self
+            .engine
+            .answer(&query.peer, &query.query, &query.free_vars)?)
+    }
+
+    fn query_with(&self, strategy: Strategy, query: &Query) -> Result<Answers> {
+        Ok(self
+            .engine
+            .answer_with(strategy, &query.peer, &query.query, &query.free_vars)?)
+    }
+
+    fn pin(&self) -> Result<Snapshot> {
+        Ok(self.engine.pin()?)
+    }
+
+    fn current_system(&self) -> Result<P2PSystem> {
+        Ok(self.engine.snapshot_system()?)
+    }
+
+    fn version_of(&self, peer: &PeerId) -> Version {
+        Version(self.engine.version_of(peer))
+    }
+
+    fn versions(&self) -> BTreeMap<PeerId, Version> {
+        self.engine
+            .versions()
+            .into_iter()
+            .map(|(p, v)| (p, Version(v)))
+            .collect()
+    }
+
+    fn current_seq(&self) -> u64 {
+        self.lock_log().len() as u64
+    }
+
+    fn log(&self) -> Vec<CommittedTx> {
+        self.lock_log().clone()
+    }
+
+    fn lock_log(&self) -> std::sync::MutexGuard<'_, Vec<CommittedTx>> {
+        self.log.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn metrics(&self) -> CacheMetrics {
+        self.engine.metrics()
+    }
+
+    fn mvcc_stats(&self) -> MvccStats {
+        self.engine.mvcc_stats()
+    }
+
+    /// Replay the log prefix `..seq` over the version-0 snapshot and wrap
+    /// the result in a [`Snapshot`] whose epoch is the commit sequence
+    /// number.
+    fn snapshot_at(&self, seq: u64) -> Result<Snapshot> {
+        let prefix: Vec<CommittedTx> = {
+            let log = self.lock_log();
+            let latest = log.len() as u64;
+            if seq > latest {
+                return Err(SessionError::UnknownSeq { seq, latest });
+            }
+            log[..seq as usize].to_vec()
+        };
+        let mut system = self.base.clone();
+        let mut versions: VersionMap = BTreeMap::new();
+        for tx in &prefix {
+            for (peer, delta) in &tx.changes {
+                system.apply_delta(peer, delta)?;
+            }
+            for (peer, version) in &tx.versions {
+                versions.insert(peer.clone(), version.get());
+            }
+        }
+        Ok(Snapshot::from_system(&system, versions, seq))
+    }
+}
+
+/// Validate one staged peer delta against the peer's local ICs, over the
+/// post-commit instance it would produce — reading the pinned commit-time
+/// snapshot, never the live store.
+///
+/// Only the ICs *touched by the delta* — those mentioning a relation the
+/// delta inserts into or deletes from — are re-evaluated: an IC over
+/// untouched relations reads exactly the same tuples before and after the
+/// commit, so its satisfaction cannot change. This is the relational mirror
+/// of the engine's relevance-driven grounding: commit validation cost
+/// scales with the delta, not with the peer's whole constraint set.
+fn validate_local_ics(snapshot: &Snapshot, peer: &PeerId, delta: &Delta) -> Result<()> {
+    let local_ics = &snapshot.topology().peer(peer)?.local_ics;
+    let touched: BTreeSet<String> = delta
+        .insertions
+        .iter()
+        .chain(delta.deletions.iter())
+        .map(|atom| atom.relation.clone())
+        .collect();
+    let relevant: Vec<_> = local_ics
+        .iter()
+        .filter(|ic| ic.relations().iter().any(|rel| touched.contains(rel)))
+        .collect();
+    if relevant.is_empty() {
+        return Ok(());
+    }
+    let candidate = delta.apply(&snapshot.instance_of(peer)?)?;
+    let checker = ConstraintChecker::new(&candidate);
+    for ic in relevant {
+        let violations = checker.violations(ic)?;
+        if !violations.is_empty() {
+            return Err(SessionError::IcViolation {
+                peer: peer.clone(),
+                constraint: ic.name.clone(),
+                violations: violations.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// A live, versioned P2P data exchange system: a [`QueryEngine`] whose
 /// system accepts update transactions, with per-peer versions, an update
 /// log, and incremental invalidation of the engine's memoized artifacts.
+///
+/// All reads take `&self` and answer against pinned MVCC epochs; mutation
+/// goes through the single [`Writer`] handle claimed with
+/// [`Session::writer`]. Clone cheap [`ReadHandle`]s with
+/// [`Session::reader`] to query from other threads.
 pub struct Session {
-    engine: QueryEngine,
-    /// The construction-time system, kept for [`Session::snapshot_at`].
-    base: P2PSystem,
-    /// Live mirror of the engine's store: the base snapshot with every
-    /// committed delta applied. Serves [`Session::system`] and commit
-    /// validation without a store round-trip per read.
-    current: P2PSystem,
-    log: Vec<CommittedTx>,
+    core: Arc<SessionCore>,
 }
 
 impl Session {
@@ -134,18 +269,234 @@ impl Session {
     pub fn try_with_engine(engine: QueryEngine) -> Result<Self> {
         let base = engine.snapshot_system()?;
         Ok(Session {
-            engine,
-            current: base.clone(),
-            base,
-            log: Vec::new(),
+            core: Arc::new(SessionCore {
+                engine,
+                base,
+                log: Mutex::new(Vec::new()),
+                writer_claimed: AtomicBool::new(false),
+            }),
         })
     }
 
+    /// A cheap, cloneable handle sharing this session's engine, cache and
+    /// log. Hand clones to reader threads; they never block on the writer.
+    pub fn reader(&self) -> ReadHandle {
+        ReadHandle {
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// Claim the session's single [`Writer`]. At most one writer is alive
+    /// at a time; a second claim fails with [`SessionError::WriterClaimed`]
+    /// until the first is dropped.
+    pub fn writer(&self) -> Result<Writer> {
+        if self
+            .core
+            .writer_claimed
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Err(SessionError::WriterClaimed);
+        }
+        Ok(Writer {
+            core: Arc::clone(&self.core),
+        })
+    }
+
+    /// The engine answering over the current snapshot.
+    pub fn engine(&self) -> &QueryEngine {
+        &self.core.engine
+    }
+
+    /// Answer a [`Query`] against the current snapshot (engine's
+    /// strategy).
+    pub fn query(&self, query: &Query) -> Result<Answers> {
+        self.core.query(query)
+    }
+
+    /// Answer with an explicit strategy, sharing the engine's cache.
+    pub fn query_with(&self, strategy: Strategy, query: &Query) -> Result<Answers> {
+        self.core.query_with(strategy, query)
+    }
+
+    /// Pin the store's current epoch: an immutable [`Snapshot`] that stays
+    /// readable (and bit-stable) while the writer publishes new epochs.
+    pub fn pin(&self) -> Result<Snapshot> {
+        self.core.pin()
+    }
+
+    /// The current snapshot as an owned system, hydrated from the pinned
+    /// epoch. Replaces the pre-MVCC `Session::system` mirror.
+    pub fn current_system(&self) -> Result<P2PSystem> {
+        self.core.current_system()
+    }
+
+    /// Answer a query against the current snapshot (engine's strategy).
+    #[deprecated(note = "use `Session::query` with a `Query` value")]
+    pub fn answer(&self, peer: &PeerId, query: &Formula, free_vars: &[String]) -> Result<Answers> {
+        self.query(&Query::new(peer.clone(), query.clone(), free_vars.to_vec()))
+    }
+
+    /// Answer with an explicit strategy, sharing the engine's cache.
+    #[deprecated(note = "use `Session::query_with` with a `Query` value")]
+    pub fn answer_with(
+        &self,
+        strategy: Strategy,
+        peer: &PeerId,
+        query: &Formula,
+        free_vars: &[String],
+    ) -> Result<Answers> {
+        self.query_with(
+            strategy,
+            &Query::new(peer.clone(), query.clone(), free_vars.to_vec()),
+        )
+    }
+
+    /// Convenience wrapper: answer variables by name.
+    #[deprecated(note = "use `Session::query` with `Query::named`")]
+    pub fn answer_named(
+        &self,
+        peer: &PeerId,
+        query: &Formula,
+        free_vars: &[&str],
+    ) -> Result<Answers> {
+        self.query(&Query::new(peer.clone(), query.clone(), vars(free_vars)))
+    }
+
+    /// A peer's current version.
+    pub fn version_of(&self, peer: &PeerId) -> Version {
+        self.core.version_of(peer)
+    }
+
+    /// Every peer's current version.
+    pub fn versions(&self) -> BTreeMap<PeerId, Version> {
+        self.core.versions()
+    }
+
+    /// The latest commit sequence number (0 before any commit).
+    pub fn current_seq(&self) -> u64 {
+        self.core.current_seq()
+    }
+
+    /// The update log, oldest first.
+    pub fn log(&self) -> Vec<CommittedTx> {
+        self.core.log()
+    }
+
+    /// Lifetime cache counters of the underlying engine.
+    pub fn metrics(&self) -> CacheMetrics {
+        self.core.metrics()
+    }
+
+    /// Lifetime MVCC counters of the underlying store (pins, epoch
+    /// publications, copied pages).
+    pub fn mvcc_stats(&self) -> MvccStats {
+        self.core.mvcc_stats()
+    }
+
+    /// Reconstruct the system as of commit `seq` by replaying the update
+    /// log over the version-0 snapshot, returned as an immutable
+    /// [`Snapshot`] whose epoch is `seq` (`seq` 0 is the snapshot itself;
+    /// `seq` equal to [`Session::current_seq`] reproduces the live system).
+    pub fn snapshot_at(&self, seq: u64) -> Result<Snapshot> {
+        self.core.snapshot_at(seq)
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("peers", &self.core.base.peer_count())
+            .field("seq", &self.current_seq())
+            .field("versions", &self.versions())
+            .finish()
+    }
+}
+
+/// A cloneable read-only handle onto a [`Session`]: queries, pins,
+/// versions, log access and metrics, all `&self`. Clones share the engine
+/// cache and never block on the writer's commits.
+#[derive(Clone)]
+pub struct ReadHandle {
+    core: Arc<SessionCore>,
+}
+
+impl ReadHandle {
+    /// Answer a [`Query`] against the current snapshot (engine's
+    /// strategy).
+    pub fn query(&self, query: &Query) -> Result<Answers> {
+        self.core.query(query)
+    }
+
+    /// Answer with an explicit strategy, sharing the engine's cache.
+    pub fn query_with(&self, strategy: Strategy, query: &Query) -> Result<Answers> {
+        self.core.query_with(strategy, query)
+    }
+
+    /// Pin the store's current epoch (see [`Session::pin`]).
+    pub fn pin(&self) -> Result<Snapshot> {
+        self.core.pin()
+    }
+
+    /// The current snapshot as an owned system (see
+    /// [`Session::current_system`]).
+    pub fn current_system(&self) -> Result<P2PSystem> {
+        self.core.current_system()
+    }
+
+    /// A peer's current version.
+    pub fn version_of(&self, peer: &PeerId) -> Version {
+        self.core.version_of(peer)
+    }
+
+    /// Every peer's current version.
+    pub fn versions(&self) -> BTreeMap<PeerId, Version> {
+        self.core.versions()
+    }
+
+    /// The latest commit sequence number (0 before any commit).
+    pub fn current_seq(&self) -> u64 {
+        self.core.current_seq()
+    }
+
+    /// Lifetime cache counters of the underlying engine.
+    pub fn metrics(&self) -> CacheMetrics {
+        self.core.metrics()
+    }
+
+    /// Lifetime MVCC counters of the underlying store.
+    pub fn mvcc_stats(&self) -> MvccStats {
+        self.core.mvcc_stats()
+    }
+
+    /// Replay the log to the given commit (see [`Session::snapshot_at`]).
+    pub fn snapshot_at(&self, seq: u64) -> Result<Snapshot> {
+        self.core.snapshot_at(seq)
+    }
+}
+
+impl fmt::Debug for ReadHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReadHandle")
+            .field("seq", &self.current_seq())
+            .finish()
+    }
+}
+
+/// The session's single mutation handle: owns [`Writer::begin`] /
+/// [`Tx::commit`]. Claimed with [`Session::writer`]; dropping it releases
+/// the claim so a new writer can be taken.
+pub struct Writer {
+    core: Arc<SessionCore>,
+}
+
+impl Writer {
     /// Begin a transaction. Updates staged on the [`Tx`] are not visible to
-    /// queries (or anyone else) until [`Tx::commit`].
+    /// queries (or anyone else) until [`Tx::commit`]. The transaction
+    /// borrows the writer exclusively, so at most one is open at a time.
     pub fn begin(&mut self) -> Tx<'_> {
         Tx {
-            session: self,
+            core: &self.core,
             staged: BTreeMap::new(),
         }
     }
@@ -158,138 +509,18 @@ impl Session {
         }
         tx.commit()
     }
+}
 
-    /// The engine answering over the current snapshot.
-    pub fn engine(&self) -> &QueryEngine {
-        &self.engine
-    }
-
-    /// The current snapshot (the live system): the session's own mirror of
-    /// the engine's store, maintained delta-by-delta at each commit.
-    pub fn system(&self) -> &P2PSystem {
-        &self.current
-    }
-
-    /// Answer a query against the current snapshot (engine's strategy).
-    pub fn answer(&self, peer: &PeerId, query: &Formula, free_vars: &[String]) -> Result<Answers> {
-        Ok(self.engine.answer(peer, query, free_vars)?)
-    }
-
-    /// Answer with an explicit strategy, sharing the engine's cache.
-    pub fn answer_with(
-        &self,
-        strategy: Strategy,
-        peer: &PeerId,
-        query: &Formula,
-        free_vars: &[String],
-    ) -> Result<Answers> {
-        Ok(self.engine.answer_with(strategy, peer, query, free_vars)?)
-    }
-
-    /// Convenience wrapper: answer variables by name.
-    pub fn answer_named(
-        &self,
-        peer: &PeerId,
-        query: &Formula,
-        free_vars: &[&str],
-    ) -> Result<Answers> {
-        self.answer(peer, query, &vars(free_vars))
-    }
-
-    /// A peer's current version.
-    pub fn version_of(&self, peer: &PeerId) -> Version {
-        Version(self.engine.version_of(peer))
-    }
-
-    /// Every peer's current version.
-    pub fn versions(&self) -> BTreeMap<PeerId, Version> {
-        self.engine
-            .versions()
-            .into_iter()
-            .map(|(p, v)| (p, Version(v)))
-            .collect()
-    }
-
-    /// The latest commit sequence number (0 before any commit).
-    pub fn current_seq(&self) -> u64 {
-        self.log.len() as u64
-    }
-
-    /// The update log, oldest first.
-    pub fn log(&self) -> &[CommittedTx] {
-        &self.log
-    }
-
-    /// Lifetime cache counters of the underlying engine.
-    pub fn metrics(&self) -> CacheMetrics {
-        self.engine.metrics()
-    }
-
-    /// Reconstruct the system as of commit `seq` by replaying the update
-    /// log over the version-0 snapshot (`seq` 0 is the snapshot itself;
-    /// `seq` equal to [`Session::current_seq`] reproduces the live system).
-    pub fn snapshot_at(&self, seq: u64) -> Result<P2PSystem> {
-        let latest = self.current_seq();
-        if seq > latest {
-            return Err(SessionError::UnknownSeq { seq, latest });
-        }
-        let mut system = self.base.clone();
-        for tx in &self.log[..seq as usize] {
-            for (peer, delta) in &tx.changes {
-                system.apply_delta(peer, delta)?;
-            }
-        }
-        Ok(system)
-    }
-
-    /// Validate one staged peer delta against the peer's local ICs, over
-    /// the post-commit instance it would produce.
-    ///
-    /// Only the ICs *touched by the delta* — those mentioning a relation the
-    /// delta inserts into or deletes from — are re-evaluated: an IC over
-    /// untouched relations reads exactly the same tuples before and after
-    /// the commit, so its satisfaction cannot change. This is the
-    /// relational mirror of the engine's relevance-driven grounding: commit
-    /// validation cost scales with the delta, not with the peer's whole
-    /// constraint set.
-    fn validate_local_ics(&self, peer: &PeerId, delta: &Delta) -> Result<()> {
-        let peer_data = self.system().peer(peer)?;
-        let touched: BTreeSet<String> = delta
-            .insertions
-            .iter()
-            .chain(delta.deletions.iter())
-            .map(|atom| atom.relation.clone())
-            .collect();
-        let relevant: Vec<_> = peer_data
-            .local_ics
-            .iter()
-            .filter(|ic| ic.relations().iter().any(|rel| touched.contains(rel)))
-            .collect();
-        if relevant.is_empty() {
-            return Ok(());
-        }
-        let candidate = delta.apply(&peer_data.instance)?;
-        let checker = ConstraintChecker::new(&candidate);
-        for ic in relevant {
-            let violations = checker.violations(ic)?;
-            if !violations.is_empty() {
-                return Err(SessionError::IcViolation {
-                    peer: peer.clone(),
-                    constraint: ic.name.clone(),
-                    violations: violations.len(),
-                });
-            }
-        }
-        Ok(())
+impl Drop for Writer {
+    fn drop(&mut self) {
+        self.core.writer_claimed.store(false, Ordering::Release);
     }
 }
 
-impl fmt::Debug for Session {
+impl fmt::Debug for Writer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Session")
-            .field("peers", &self.system().peer_count())
-            .field("seq", &self.current_seq())
-            .field("versions", &self.versions())
+        f.debug_struct("Writer")
+            .field("seq", &self.core.current_seq())
             .finish()
     }
 }
@@ -297,8 +528,8 @@ impl fmt::Debug for Session {
 /// An open transaction: staged insertions/deletions per peer. Dropping a
 /// `Tx` without committing discards the staged changes.
 #[must_use = "a transaction does nothing until `commit` is called"]
-pub struct Tx<'s> {
-    session: &'s mut Session,
+pub struct Tx<'w> {
+    core: &'w SessionCore,
     staged: BTreeMap<PeerId, Delta>,
 }
 
@@ -362,27 +593,31 @@ impl Tx<'_> {
 
     /// Atomically validate and apply the staged changes.
     ///
-    /// 1. Each staged delta is *normalized* against the peer's current
+    /// 1. The current epoch is pinned; normalization and validation read
+    ///    that immutable snapshot, never the live store.
+    /// 2. Each staged delta is *normalized* against the peer's pinned
     ///    instance: already-present insertions and already-absent deletions
     ///    are dropped, so the logged delta is exact (`Δ(before, after)`
     ///    restricted to the peer — Definition 1).
-    /// 2. Every touched peer's local ICs are checked against the instance
+    /// 3. Every touched peer's local ICs are checked against the instance
     ///    the commit would produce; the first violation aborts the whole
     ///    commit with [`SessionError::IcViolation`] and nothing is applied.
-    /// 3. The deltas are applied through
-    ///    [`QueryEngine::commit_delta`], which bumps each touched peer's
-    ///    version and invalidates exactly the memoized artifacts whose
-    ///    relevant-peer closure intersects the touched peers.
+    /// 4. The deltas are applied through
+    ///    [`QueryEngine::commit_delta`], which publishes a new store epoch,
+    ///    bumps each touched peer's version and invalidates exactly the
+    ///    memoized artifacts whose relevant-peer closure intersects the
+    ///    touched peers. Readers pinned to earlier epochs are unaffected.
     ///
     /// A commit whose staged changes normalize to nothing is a no-op: the
     /// log and versions are untouched and the receipt reports no touched
     /// peers.
     pub fn commit(self) -> Result<CommitReceipt> {
-        let session = self.session;
-        // 1. Normalize.
+        let core = self.core;
+        let snapshot = core.pin()?;
+        // 1 + 2. Normalize against the pinned epoch.
         let mut effective: BTreeMap<PeerId, Delta> = BTreeMap::new();
         for (peer, staged) in &self.staged {
-            let instance = &session.system().peer(peer)?.instance;
+            let instance = snapshot.instance_of(peer)?;
             let insertions: BTreeSet<GroundAtom> = staged
                 .insertions
                 .iter()
@@ -407,39 +642,38 @@ impl Tx<'_> {
         }
         if effective.is_empty() {
             return Ok(CommitReceipt {
-                seq: session.current_seq(),
+                seq: core.current_seq(),
                 touched: BTreeSet::new(),
                 affected: BTreeSet::new(),
                 versions: BTreeMap::new(),
                 invalidated: 0,
             });
         }
-        // 2. Validate all peers before applying anything. Each touched
-        // peer's check reads only that peer's instance and ICs, so the
-        // checks fan out across the engine's worker pool; `try_map` reports
-        // the lowest-indexed (= first in peer order) violation, matching
-        // the sequential loop's error exactly.
+        // 3. Validate all peers before applying anything. Each touched
+        // peer's check reads only that peer's pinned instance and ICs, so
+        // the checks fan out across the engine's worker pool; `try_map`
+        // reports the lowest-indexed (= first in peer order) violation,
+        // matching the sequential loop's error exactly.
         let staged_peers: Vec<(&PeerId, &Delta)> = effective.iter().collect();
-        let recorder = std::sync::Arc::clone(session.engine.recorder());
+        let recorder = Arc::clone(core.engine.recorder());
         let validate_span = pdes_obs::Span::enter(recorder.as_ref(), "commit.validate");
-        Executor::new(session.engine.exec_config()).try_map(&staged_peers, |(peer, delta)| {
-            session.validate_local_ics(peer, delta)
+        Executor::new(core.engine.exec_config()).try_map(&staged_peers, |(peer, delta)| {
+            validate_local_ics(&snapshot, peer, delta)
         })?;
         validate_span.finish();
-        // 3. Apply.
+        // 4. Apply.
         let touched: BTreeSet<PeerId> = effective.keys().cloned().collect();
-        let affected = session.system().affected_by(&touched);
-        let before = session.engine.metrics();
+        let affected = snapshot.topology().affected_by(&touched);
+        let before = core.engine.metrics();
         let mut versions = BTreeMap::new();
         for (peer, delta) in &effective {
-            let version = session.engine.commit_delta(peer, delta)?;
-            // Keep the session's live mirror in lock-step with the store.
-            session.current.apply_delta(peer, delta)?;
+            let version = core.engine.commit_delta(peer, delta)?;
             versions.insert(peer.clone(), Version(version));
         }
-        let invalidated = session.engine.metrics().invalidated - before.invalidated;
-        let seq = session.current_seq() + 1;
-        session.log.push(CommittedTx {
+        let invalidated = core.engine.metrics().invalidated - before.invalidated;
+        let mut log = core.lock_log();
+        let seq = log.len() as u64 + 1;
+        log.push(CommittedTx {
             seq,
             changes: effective,
             versions: versions.clone(),
@@ -453,9 +687,10 @@ impl Tx<'_> {
         })
     }
 
-    /// Validate peer, relation ownership and arity; build the ground atom.
+    /// Validate peer, relation ownership and arity against the topology
+    /// (schemas never change after construction); build the ground atom.
     fn checked_atom(&self, peer: &PeerId, relation: &str, tuple: Tuple) -> Result<GroundAtom> {
-        let peer_data = self.session.system().peer(peer)?;
+        let peer_data = self.core.base.peer(peer)?;
         let schema = peer_data.schema.relation(relation).ok_or_else(|| {
             pdes_core::CoreError::UnknownRelation {
                 peer: peer.to_string(),
@@ -479,15 +714,16 @@ mod tests {
     use super::*;
     use pdes_core::system::example1_system;
 
-    fn r1_query() -> (Formula, Vec<String>) {
-        (Formula::atom("R1", vec!["X", "Y"]), vars(&["X", "Y"]))
+    fn r1_query() -> Query {
+        Query::named("P1", Formula::atom("R1", vec!["X", "Y"]), &["X", "Y"])
     }
 
     #[test]
     fn commit_applies_changes_and_bumps_versions() {
-        let mut session = Session::new(example1_system());
+        let session = Session::new(example1_system());
         let p2 = PeerId::new("P2");
-        let mut tx = session.begin();
+        let mut writer = session.writer().unwrap();
+        let mut tx = writer.begin();
         tx.insert(&p2, "R2", Tuple::strs(["x", "y"])).unwrap();
         tx.delete(&p2, "R2", &Tuple::strs(["c", "d"])).unwrap();
         let receipt = tx.commit().unwrap();
@@ -496,7 +732,7 @@ mod tests {
         assert_eq!(receipt.versions[&p2], Version(1));
         assert_eq!(session.version_of(&p2), Version(1));
         assert_eq!(session.version_of(&PeerId::new("P1")), Version::ZERO);
-        let inst = &session.system().peer(&p2).unwrap().instance;
+        let inst = session.pin().unwrap().instance_of(&p2).unwrap();
         assert!(inst.holds("R2", &Tuple::strs(["x", "y"])));
         assert!(!inst.holds("R2", &Tuple::strs(["c", "d"])));
         assert_eq!(session.current_seq(), 1);
@@ -504,10 +740,59 @@ mod tests {
     }
 
     #[test]
+    fn writer_claim_is_exclusive_until_dropped() {
+        let session = Session::new(example1_system());
+        let writer = session.writer().unwrap();
+        assert!(matches!(session.writer(), Err(SessionError::WriterClaimed)));
+        // Dropping the handle releases the claim.
+        drop(writer);
+        let mut again = session.writer().unwrap();
+        let tx = again.begin();
+        tx.rollback();
+    }
+
+    #[test]
+    fn read_handles_share_the_engine_and_never_need_mut() {
+        let session = Session::with_strategy(example1_system(), Strategy::Asp);
+        let reader = session.reader();
+        let sibling = reader.clone();
+        let query = r1_query();
+        let cold = reader.query(&query).unwrap();
+        assert!(!cold.stats.cache_hit);
+        // The clone shares the cache: same query is a warm hit.
+        let warm = sibling.query(&query).unwrap();
+        assert!(warm.stats.cache_hit);
+        assert_eq!(cold.tuples, warm.tuples);
+        assert_eq!(reader.current_seq(), 0);
+        // Handles are Send + Sync: usable from spawned reader threads.
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        assert_send_sync(&reader);
+        assert_send_sync(&session);
+    }
+
+    #[test]
+    fn deprecated_forwarders_still_answer() {
+        #![allow(deprecated)]
+        let session = Session::new(example1_system());
+        let p1 = PeerId::new("P1");
+        let formula = Formula::atom("R1", vec!["X", "Y"]);
+        let via_query = session.query(&r1_query()).unwrap();
+        let via_answer = session.answer(&p1, &formula, &vars(&["X", "Y"])).unwrap();
+        let via_named = session.answer_named(&p1, &formula, &["X", "Y"]).unwrap();
+        let via_with = session
+            .answer_with(Strategy::Auto, &p1, &formula, &vars(&["X", "Y"]))
+            .unwrap();
+        assert_eq!(via_query.tuples, via_answer.tuples);
+        assert_eq!(via_query.tuples, via_named.tuples);
+        assert_eq!(via_query.tuples, via_with.tuples);
+    }
+
+    #[test]
     fn staging_cancels_and_normalizes() {
-        let mut session = Session::new(example1_system());
+        let session = Session::new(example1_system());
         let p2 = PeerId::new("P2");
-        let mut tx = session.begin();
+        let mut writer = session.writer().unwrap();
+        let mut tx = writer.begin();
         // Insert-then-delete cancels out.
         tx.insert(&p2, "R2", Tuple::strs(["x", "y"])).unwrap();
         tx.delete(&p2, "R2", &Tuple::strs(["x", "y"])).unwrap();
@@ -523,9 +808,10 @@ mod tests {
 
     #[test]
     fn staging_validates_ownership_and_arity() {
-        let mut session = Session::new(example1_system());
+        let session = Session::new(example1_system());
         let p2 = PeerId::new("P2");
-        let mut tx = session.begin();
+        let mut writer = session.writer().unwrap();
+        let mut tx = writer.begin();
         // R1 belongs to P1.
         assert!(tx.insert(&p2, "R1", Tuple::strs(["x", "y"])).is_err());
         // Wrong arity.
@@ -548,8 +834,9 @@ mod tests {
                 constraints::builders::key_denial("fd_r1", "R1").unwrap(),
             )
             .unwrap();
-        let mut session = Session::new(system);
-        let mut tx = session.begin();
+        let session = Session::new(system);
+        let mut writer = session.writer().unwrap();
+        let mut tx = writer.begin();
         // R1 already holds (a, b); (a, z) violates the key denial.
         tx.insert(&p1, "R1", Tuple::strs(["a", "z"])).unwrap();
         tx.insert(&p2, "R2", Tuple::strs(["new", "row"])).unwrap();
@@ -565,10 +852,10 @@ mod tests {
         }
         // Atomicity: neither peer changed, no versions bumped, no log entry.
         assert!(!session
-            .system()
-            .peer(&p2)
+            .pin()
             .unwrap()
-            .instance
+            .instance_of(&p2)
+            .unwrap()
             .holds("R2", &Tuple::strs(["new", "row"])));
         assert_eq!(session.version_of(&p1), Version::ZERO);
         assert_eq!(session.version_of(&p2), Version::ZERO);
@@ -599,16 +886,17 @@ mod tests {
                 constraints::builders::key_denial("fd_rk", "RK").unwrap(),
             )
             .unwrap();
-        let mut session = Session::new(system);
+        let session = Session::new(system);
+        let mut writer = session.writer().unwrap();
 
         // Touching RO commits fine despite the stale RK violation …
-        let mut tx = session.begin();
+        let mut tx = writer.begin();
         tx.insert(&p, "RO", Tuple::strs(["new"])).unwrap();
         let receipt = tx.commit().unwrap();
         assert_eq!(receipt.versions[&p], Version(1));
 
         // … while touching RK still trips the (now relevant) IC.
-        let mut tx = session.begin();
+        let mut tx = writer.begin();
         tx.insert(&p, "RK", Tuple::strs(["b", "1"])).unwrap();
         assert!(matches!(
             tx.commit(),
@@ -626,8 +914,9 @@ mod tests {
                 constraints::builders::key_denial("fd_r1", "R1").unwrap(),
             )
             .unwrap();
-        let mut session = Session::new(system);
-        let mut tx = session.begin();
+        let session = Session::new(system);
+        let mut writer = session.writer().unwrap();
+        let mut tx = writer.begin();
         tx.insert(&p1, "R1", Tuple::strs(["fresh", "value"]))
             .unwrap();
         let receipt = tx.commit().unwrap();
@@ -636,32 +925,34 @@ mod tests {
 
     #[test]
     fn snapshot_at_replays_the_log() {
-        let mut session = Session::new(example1_system());
+        let session = Session::new(example1_system());
         let p2 = PeerId::new("P2");
         let p3 = PeerId::new("P3");
         let base = session.snapshot_at(0).unwrap();
-        assert_eq!(&base, &example1_system());
+        assert_eq!(base.epoch(), 0);
+        assert_eq!(&base.system().unwrap(), &example1_system());
 
-        let mut tx = session.begin();
+        let mut writer = session.writer().unwrap();
+        let mut tx = writer.begin();
         tx.insert(&p2, "R2", Tuple::strs(["x", "y"])).unwrap();
         let _ = tx.commit().unwrap();
-        let mut tx = session.begin();
+        let mut tx = writer.begin();
         tx.delete(&p3, "R3", &Tuple::strs(["a", "f"])).unwrap();
         let _ = tx.commit().unwrap();
 
         let at1 = session.snapshot_at(1).unwrap();
+        assert_eq!(at1.epoch(), 1);
+        assert_eq!(at1.version_of(&p2).unwrap(), 1);
         assert!(at1
-            .peer(&p2)
+            .instance_of(&p2)
             .unwrap()
-            .instance
             .holds("R2", &Tuple::strs(["x", "y"])));
         assert!(at1
-            .peer(&p3)
+            .instance_of(&p3)
             .unwrap()
-            .instance
             .holds("R3", &Tuple::strs(["a", "f"])));
         let at2 = session.snapshot_at(2).unwrap();
-        assert_eq!(&at2, session.system());
+        assert_eq!(at2.system().unwrap(), session.current_system().unwrap());
         assert!(matches!(
             session.snapshot_at(3),
             Err(SessionError::UnknownSeq { seq: 3, latest: 2 })
@@ -670,17 +961,17 @@ mod tests {
 
     #[test]
     fn queries_track_commits_and_keep_unrelated_peers_warm() {
-        let mut session = Session::with_strategy(example1_system(), Strategy::Asp);
+        let session = Session::with_strategy(example1_system(), Strategy::Asp);
         let p1 = PeerId::new("P1");
         let p2 = PeerId::new("P2");
-        let p3 = PeerId::new("P3");
-        let (query, fv) = r1_query();
-        let q3 = Formula::atom("R3", vec!["X", "Y"]);
+        let query = r1_query();
+        let q3 = Query::named("P3", Formula::atom("R3", vec!["X", "Y"]), &["X", "Y"]);
 
-        let before = session.answer(&p1, &query, &fv).unwrap();
-        let _ = session.answer(&p3, &q3, &fv).unwrap();
+        let before = session.query(&query).unwrap();
+        let _ = session.query(&q3).unwrap();
 
-        let mut tx = session.begin();
+        let mut writer = session.writer().unwrap();
+        let mut tx = writer.begin();
         tx.insert(&p2, "R2", Tuple::strs(["x", "y"])).unwrap();
         let receipt = tx.commit().unwrap();
         assert!(receipt.invalidated >= 1);
@@ -689,11 +980,12 @@ mod tests {
         assert_eq!(receipt.affected, BTreeSet::from([p1.clone(), p2.clone()]));
 
         // P3 is outside P2's relevant-peer closure: still warm.
-        let warm = session.answer(&p3, &q3, &fv).unwrap();
+        let warm = session.query(&q3).unwrap();
         assert!(warm.stats.cache_hit);
-        // P1 imports from P2: recomputed, sees the new tuple.
-        let after = session.answer(&p1, &query, &fv).unwrap();
-        assert!(!after.stats.cache_hit);
+        // P1 imports from P2: its artifact was repaired on the committing
+        // thread, so the post-commit query is served warm and sees the new
+        // tuple.
+        let after = session.query(&query).unwrap();
         assert_eq!(after.len(), before.len() + 1);
     }
 
@@ -728,8 +1020,9 @@ mod tests {
         };
         let mut outcomes = Vec::new();
         for workers in [1, 4] {
-            let mut session = build(workers);
-            let mut tx = session.begin();
+            let session = build(workers);
+            let mut writer = session.writer().unwrap();
+            let mut tx = writer.begin();
             // Both staged deltas violate their peer's key IC.
             tx.insert(&PeerId::new("P1"), "R1", Tuple::strs(["a", "zzz"]))
                 .unwrap();
@@ -748,8 +1041,9 @@ mod tests {
         assert_eq!(outcomes[0].0, PeerId::new("P1"));
 
         // And a valid multi-peer commit passes under a parallel pool.
-        let mut session = build(4);
-        let mut tx = session.begin();
+        let session = build(4);
+        let mut writer = session.writer().unwrap();
+        let mut tx = writer.begin();
         tx.insert(&PeerId::new("P1"), "R1", Tuple::strs(["new1", "v"]))
             .unwrap();
         tx.insert(&PeerId::new("P2"), "R2", Tuple::strs(["new2", "v"]))
@@ -761,13 +1055,14 @@ mod tests {
     #[test]
     fn apply_commits_update_batches() {
         use relalg::database::GroundAtom;
-        let mut session = Session::new(example1_system());
+        let session = Session::new(example1_system());
         let p2 = PeerId::new("P2");
         let updates = vec![Update::new(
             p2.clone(),
             Delta::from_changes([GroundAtom::new("R2", Tuple::strs(["u", "v"]))], []),
         )];
-        let receipt = session.apply(&updates).unwrap();
+        let mut writer = session.writer().unwrap();
+        let receipt = writer.apply(&updates).unwrap();
         assert_eq!(receipt.touched, BTreeSet::from([p2.clone()]));
         assert_eq!(session.version_of(&p2), Version(1));
     }

@@ -43,7 +43,7 @@
 
 #![warn(missing_docs)]
 
-pub use pdes_core::store::{InProcessStore, PeerStore, VersionMap};
+pub use pdes_core::store::{InProcessStore, MvccStats, PeerStore, Snapshot, VersionMap};
 
 use pdes_core::system::{P2PSystem, PeerId};
 use pdes_core::{CoreError, Result};
@@ -53,7 +53,7 @@ use relalg::{Database, Delta, Tuple};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 pub mod transport;
@@ -107,6 +107,16 @@ pub struct ShardedStore {
     exec: Executor,
     recorder: Arc<dyn Recorder>,
     counters: Counters,
+    /// Coordinator-side epoch mirror: an [`InProcessStore`] over the same
+    /// system, replaying every worker-confirmed mutation. [`PeerStore::pin`]
+    /// serves snapshots from it without a transport round-trip, and because
+    /// the mirror sees the identical mutation sequence, its epochs and
+    /// version stamps are bit-identical to a single-store oracle (checked by
+    /// `tests/sharding.rs`).
+    mirror: InProcessStore,
+    /// Serializes mutations across shards so the mirror replays them in the
+    /// exact order the workers applied them. Reads and pins never take it.
+    commit: Mutex<()>,
 }
 
 /// Builder for [`ShardedStore`].
@@ -185,6 +195,8 @@ impl ShardedStoreBuilder {
             exec: Executor::new(self.exec),
             recorder,
             counters: Counters::default(),
+            mirror: InProcessStore::new(self.system),
+            commit: Mutex::new(()),
         }
     }
 }
@@ -345,35 +357,50 @@ impl PeerStore for ShardedStore {
 
     fn apply_delta(&self, peer: &PeerId, delta: &Delta) -> Result<u64> {
         let shard = self.shard_of(peer)?;
+        let _commit = self.commit.lock().unwrap_or_else(|p| p.into_inner());
         self.count_op(1);
-        match self.roundtrip(shard, ShardRequest::ApplyDelta(peer.clone(), delta.clone()))? {
-            ShardResponse::Version(result) => result,
-            other => Err(unexpected_reply(shard, &other)),
-        }
+        let version =
+            match self.roundtrip(shard, ShardRequest::ApplyDelta(peer.clone(), delta.clone()))? {
+                ShardResponse::Version(result) => result?,
+                other => return Err(unexpected_reply(shard, &other)),
+            };
+        // Replay the worker-confirmed mutation on the epoch mirror; identical
+        // validation means the stamps cannot diverge.
+        let mirrored = self.mirror.apply_delta(peer, delta)?;
+        debug_assert_eq!(mirrored, version, "mirror diverged from shard {shard}");
+        Ok(version)
     }
 
     fn insert(&self, peer: &PeerId, relation: &str, tuple: Tuple) -> Result<u64> {
         let shard = self.shard_of(peer)?;
+        let _commit = self.commit.lock().unwrap_or_else(|p| p.into_inner());
         self.count_op(1);
-        match self.roundtrip(
+        let version = match self.roundtrip(
             shard,
-            ShardRequest::Insert(peer.clone(), relation.to_string(), tuple),
+            ShardRequest::Insert(peer.clone(), relation.to_string(), tuple.clone()),
         )? {
-            ShardResponse::Version(result) => result,
-            other => Err(unexpected_reply(shard, &other)),
-        }
+            ShardResponse::Version(result) => result?,
+            other => return Err(unexpected_reply(shard, &other)),
+        };
+        let mirrored = self.mirror.insert(peer, relation, tuple)?;
+        debug_assert_eq!(mirrored, version, "mirror diverged from shard {shard}");
+        Ok(version)
     }
 
     fn delete(&self, peer: &PeerId, relation: &str, tuple: &Tuple) -> Result<bool> {
         let shard = self.shard_of(peer)?;
+        let _commit = self.commit.lock().unwrap_or_else(|p| p.into_inner());
         self.count_op(1);
-        match self.roundtrip(
+        let present = match self.roundtrip(
             shard,
             ShardRequest::Delete(peer.clone(), relation.to_string(), tuple.clone()),
         )? {
-            ShardResponse::Deleted(result) => result,
-            other => Err(unexpected_reply(shard, &other)),
-        }
+            ShardResponse::Deleted(result) => result?,
+            other => return Err(unexpected_reply(shard, &other)),
+        };
+        let mirrored = self.mirror.delete(peer, relation, tuple)?;
+        debug_assert_eq!(mirrored, present, "mirror diverged from shard {shard}");
+        Ok(present)
     }
 
     fn version_of(&self, peer: &PeerId) -> Result<u64> {
@@ -399,6 +426,18 @@ impl PeerStore for ShardedStore {
             out.extend(versions);
         }
         Ok(out)
+    }
+
+    fn pin(&self) -> Result<Snapshot> {
+        // Served from the coordinator's epoch mirror: no transport
+        // round-trip, no waiting on an in-flight commit. Still a store
+        // operation — counted local, since it never fans out to a shard.
+        self.count_op(1);
+        self.mirror.pin()
+    }
+
+    fn mvcc_stats(&self) -> MvccStats {
+        self.mirror.mvcc_stats()
     }
 }
 
@@ -616,6 +655,36 @@ mod tests {
                 assert_eq!(store.version_of(&p1).unwrap(), 3);
             }
             assert_eq!(sharded.snapshot().unwrap(), oracle.snapshot().unwrap());
+        }
+    }
+
+    #[test]
+    fn pinned_epochs_match_the_in_process_oracle() {
+        for shards in [1, 2] {
+            let oracle = InProcessStore::new(example1_system());
+            let sharded = ShardedStore::builder(example1_system())
+                .shards(shards)
+                .build();
+            let p1 = peer("P1");
+            let pinned = sharded.pin().unwrap();
+            for store in [&sharded as &dyn PeerStore, &oracle] {
+                store.insert(&p1, "R1", Tuple::strs(["x", "y"])).unwrap();
+                assert!(store.delete(&p1, "R1", &Tuple::strs(["x", "y"])).unwrap());
+                // No-op delete: no epoch published on either side.
+                assert!(!store.delete(&p1, "R1", &Tuple::strs(["x", "y"])).unwrap());
+            }
+            // The pre-commit pin is stable; fresh pins agree bit-identically
+            // with the oracle's epoch, stamps and materialized instances.
+            assert_eq!(pinned.epoch(), 0);
+            assert_eq!(pinned.system().unwrap(), example1_system());
+            let (a, b) = (sharded.pin().unwrap(), oracle.pin().unwrap());
+            assert_eq!(a.epoch(), b.epoch());
+            assert_eq!(a.versions(), b.versions());
+            assert_eq!(a.system().unwrap(), b.system().unwrap());
+            assert_eq!(
+                sharded.mvcc_stats().publishes,
+                oracle.mvcc_stats().publishes
+            );
         }
     }
 

@@ -20,11 +20,13 @@
 //!   [`PeerStore`] transport API (re-exported from `core`), plus
 //!   [`ShardedStore`] partitioning peers across worker shards by
 //!   closure-connected components over an in-process loopback transport;
-//! * [`session`] — live, versioned systems: `Tx`/commit
-//!   updates validated against local ICs, an update log with snapshot
-//!   replay, and incremental invalidation of the engine's memoized
-//!   artifacts (stale grounded slices are *patched* by
-//!   `datalog::incremental` rather than re-ground);
+//! * [`session`] — live, versioned systems: snapshot-isolated `&self`
+//!   reads over MVCC epochs (cloneable [`ReadHandle`]s), a single
+//!   [`Writer`] handle owning `Tx`/commit updates validated against local
+//!   ICs, an update log with snapshot replay, and incremental invalidation
+//!   of the engine's memoized artifacts (stale grounded slices are
+//!   *patched* on the committing thread by `datalog::incremental` rather
+//!   than re-ground);
 //! * [`exec`] — the dependency-free scoped thread-pool executor behind the
 //!   engine's batched/parallel answering;
 //! * [`obs`] — the dependency-free tracing + metrics subsystem: the
@@ -60,12 +62,15 @@ pub use pdes_core::engine::{
     Strategy, StrategyKind,
 };
 pub use pdes_core::pca::vars;
-pub use pdes_core::{CacheMetrics, P2PSystem, Peer, PeerId, SolutionOptions, TrustLevel};
+pub use pdes_core::{
+    CacheMetrics, MvccStats, P2PSystem, Peer, PeerId, Snapshot, SolutionOptions, TrustLevel,
+    VersionMap,
+};
 pub use pdes_exec::{ExecConfig, Executor};
 pub use pdes_obs::{
     Histogram, HistogramSummary, MetricsRegistry, NullRecorder, Recorder, Span, TraceRecorder,
 };
-pub use pdes_session::{Session, Tx, Update, Version};
+pub use pdes_session::{ReadHandle, Session, Tx, Update, Version, Writer};
 pub use pdes_store::{InProcessStore, PeerStore, ShardedStore, StoreMetrics};
 pub use relalg::query::Formula;
 pub use relalg::Tuple;

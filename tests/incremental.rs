@@ -131,7 +131,7 @@ fn incremental_after_commit_matches_a_fresh_engine() {
     ] {
         for workers in POOLS {
             for strategy in ALL_STRATEGIES {
-                let mut session = Session::with_engine(
+                let session = Session::with_engine(
                     QueryEngine::builder(w.system.clone())
                         .strategy(strategy)
                         .workers(workers)
@@ -139,12 +139,13 @@ fn incremental_after_commit_matches_a_fresh_engine() {
                 );
                 // Warm every peer's artifact before the commits.
                 let _ = all_answers(session.engine(), strategy, &queries);
+                let mut writer = session.writer().expect("writer claim");
                 for round in 0..2 {
-                    let _ = session
+                    let _ = writer
                         .apply(&round_updates(&w, kind, round))
                         .expect("commit applies");
                     let live = all_answers(session.engine(), strategy, &queries);
-                    let fresh_engine = QueryEngine::builder(session.system().clone())
+                    let fresh_engine = QueryEngine::builder(session.current_system().unwrap())
                         .strategy(strategy)
                         .workers(workers)
                         .build();
@@ -167,18 +168,19 @@ fn repeated_commits_keep_patching_the_same_slice() {
     // (not silently falling back to full re-grounds).
     let w = star_workload();
     let queries = peer_queries(&w);
-    let mut session = Session::with_engine(
+    let session = Session::with_engine(
         QueryEngine::builder(w.system.clone())
             .strategy(Strategy::Asp)
             .build(),
     );
     let _ = all_answers(session.engine(), Strategy::Asp, &queries);
+    let mut writer = session.writer().expect("writer claim");
     for round in 0..4 {
-        let _ = session
+        let _ = writer
             .apply(&round_updates(&w, DeltaKind::InsertOnly, round))
             .expect("commit applies");
         let live = all_answers(session.engine(), Strategy::Asp, &queries);
-        let fresh_engine = QueryEngine::builder(session.system().clone())
+        let fresh_engine = QueryEngine::builder(session.current_system().unwrap())
             .strategy(Strategy::Asp)
             .build();
         assert_eq!(live, all_answers(&fresh_engine, Strategy::Asp, &queries));
@@ -197,7 +199,7 @@ fn disabling_incremental_reground_still_matches_fresh_answers() {
     // engine and the incremental path.
     let w = star_workload();
     let queries = peer_queries(&w);
-    let mut session = Session::with_engine(
+    let session = Session::with_engine(
         QueryEngine::builder(w.system.clone())
             .strategy(Strategy::Asp)
             .incremental_reground(false)
@@ -205,10 +207,12 @@ fn disabling_incremental_reground_still_matches_fresh_answers() {
     );
     let _ = all_answers(session.engine(), Strategy::Asp, &queries);
     let _ = session
+        .writer()
+        .expect("writer claim")
         .apply(&round_updates(&w, DeltaKind::Mixed, 0))
         .expect("commit applies");
     let live = all_answers(session.engine(), Strategy::Asp, &queries);
-    let fresh_engine = QueryEngine::builder(session.system().clone())
+    let fresh_engine = QueryEngine::builder(session.current_system().unwrap())
         .strategy(Strategy::Asp)
         .build();
     assert_eq!(live, all_answers(&fresh_engine, Strategy::Asp, &queries));
@@ -222,11 +226,11 @@ fn eviction_pressure_keeps_answers_correct() {
     // commit, and evictions must actually have happened.
     let w = star_workload();
     let queries = peer_queries(&w);
-    let mut bounded = QueryEngine::builder(w.system.clone())
+    let bounded = QueryEngine::builder(w.system.clone())
         .strategy(Strategy::Asp)
         .cache_capacity(6_000)
         .build();
-    let mut unbounded = QueryEngine::builder(w.system.clone())
+    let unbounded = QueryEngine::builder(w.system.clone())
         .strategy(Strategy::Asp)
         .build();
     for _ in 0..3 {

@@ -3,14 +3,14 @@
 //! * the ISSUE acceptance criterion — after a commit touching peer `P`, a
 //!   repeat query on a peer outside `P`'s relevant-peer closure is served
 //!   from the memoized artifacts (observable via `EngineStats.cache_hit`),
-//!   while a query inside the closure recomputes and agrees with a fresh
-//!   engine built on the mutated snapshot;
+//!   while a query inside the closure is repaired on the committing thread
+//!   and agrees with a fresh engine built on the mutated snapshot;
 //! * equivalence under mutation — after N random committed update batches,
 //!   every strategy's answers equal those of a fresh engine built on the
 //!   final snapshot (live invalidation never changes semantics, only work).
 
 use p2p_data_exchange::{
-    example1_system, vars, Formula, PeerId, QueryEngine, Session, Strategy, Tuple, Update, Version,
+    example1_system, Formula, PeerId, Query, QueryEngine, Session, Strategy, Tuple, Update, Version,
 };
 use proptest::prelude::*;
 use workload::{generate, generate_updates, TrustMix, UpdateSpec, WorkloadSpec};
@@ -20,48 +20,48 @@ fn commits_invalidate_the_closure_and_nothing_else() {
     let engine = QueryEngine::builder(example1_system())
         .strategy(Strategy::Asp)
         .build();
-    let mut session = Session::with_engine(engine);
-    let p1 = PeerId::new("P1");
+    let session = Session::with_engine(engine);
     let p2 = PeerId::new("P2");
-    let p3 = PeerId::new("P3");
-    let q1 = Formula::atom("R1", vec!["X", "Y"]);
-    let q3 = Formula::atom("R3", vec!["X", "Y"]);
-    let fv = vars(&["X", "Y"]);
+    let q1 = Query::named("P1", Formula::atom("R1", vec!["X", "Y"]), &["X", "Y"]);
+    let q3 = Query::named("P3", Formula::atom("R3", vec!["X", "Y"]), &["X", "Y"]);
 
     // Warm the artifacts of P1 (closure {P1, P2, P3}) and P3 (closure {P3}).
-    let cold1 = session.answer(&p1, &q1, &fv).unwrap();
-    let cold3 = session.answer(&p3, &q3, &fv).unwrap();
+    let cold1 = session.query(&q1).unwrap();
+    let cold3 = session.query(&q3).unwrap();
     assert!(!cold1.stats.cache_hit && !cold3.stats.cache_hit);
-    let warm3 = session.answer(&p3, &q3, &fv).unwrap();
+    let warm3 = session.query(&q3).unwrap();
     assert!(warm3.stats.cache_hit);
 
     // Commit a change to P2. P3 is outside P2's relevant-peer closure.
-    let mut tx = session.begin();
+    let mut writer = session.writer().unwrap();
+    let mut tx = writer.begin();
     tx.insert(&p2, "R2", Tuple::strs(["x", "y"])).unwrap();
     tx.delete(&p2, "R2", &Tuple::strs(["c", "d"])).unwrap();
     let receipt = tx.commit().unwrap();
     assert_eq!(receipt.versions[&p2], Version(1));
 
     // Outside the closure: still served from the cache, same answers.
-    let still_warm = session.answer(&p3, &q3, &fv).unwrap();
+    let still_warm = session.query(&q3).unwrap();
     assert!(still_warm.stats.cache_hit, "P3 must stay warm");
     assert_eq!(still_warm.tuples, cold3.tuples);
 
-    // Inside the closure: recomputed, identical to a fresh engine over the
-    // mutated snapshot.
-    let recomputed = session.answer(&p1, &q1, &fv).unwrap();
-    assert!(!recomputed.stats.cache_hit, "P1 must recompute");
-    let fresh = QueryEngine::builder(session.system().clone())
+    // Inside the closure: the artifact was repaired on the committing
+    // thread, so the next read is warm AND identical to a fresh engine
+    // over the mutated snapshot.
+    let repaired = session.query(&q1).unwrap();
+    assert!(repaired.stats.cache_hit, "P1 must be repaired on commit");
+    let fresh = QueryEngine::builder(session.current_system().unwrap())
         .strategy(Strategy::Asp)
         .build();
-    let reference = fresh.answer(&p1, &q1, &fv).unwrap();
-    assert_eq!(recomputed.tuples, reference.tuples);
-    assert!(recomputed.contains(&Tuple::strs(["x", "y"])));
-    assert!(!recomputed.contains(&Tuple::strs(["c", "d"])));
+    let reference = fresh.answer(&q1.peer, &q1.query, &q1.free_vars).unwrap();
+    assert_eq!(repaired.tuples, reference.tuples);
+    assert!(repaired.contains(&Tuple::strs(["x", "y"])));
+    assert!(!repaired.contains(&Tuple::strs(["c", "d"])));
 
-    // And the cumulative metrics saw the invalidation.
+    // And the cumulative metrics saw the invalidation and the repair.
     let metrics = session.metrics();
     assert!(metrics.commits == 1 && metrics.invalidated >= 1);
+    assert!(metrics.patched >= 1, "commit-thread repair must be counted");
 }
 
 #[test]
@@ -69,18 +69,17 @@ fn rewriting_queries_survive_commits_via_incremental_global_maintenance() {
     let engine = QueryEngine::builder(example1_system())
         .strategy(Strategy::Rewriting)
         .build();
-    let mut session = Session::with_engine(engine);
-    let p1 = PeerId::new("P1");
+    let session = Session::with_engine(engine);
     let p2 = PeerId::new("P2");
-    let q1 = Formula::atom("R1", vec!["X", "Y"]);
-    let fv = vars(&["X", "Y"]);
-    let _ = session.answer(&p1, &q1, &fv).unwrap();
-    let mut tx = session.begin();
+    let q1 = Query::named("P1", Formula::atom("R1", vec!["X", "Y"]), &["X", "Y"]);
+    let _ = session.query(&q1).unwrap();
+    let mut writer = session.writer().unwrap();
+    let mut tx = writer.begin();
     tx.insert(&p2, "R2", Tuple::strs(["x", "y"])).unwrap();
     let _ = tx.commit().unwrap();
     // The materialized global instance is maintained in place: warm AND
     // already reflecting the commit.
-    let warm = session.answer(&p1, &q1, &fv).unwrap();
+    let warm = session.query(&q1).unwrap();
     assert!(warm.stats.cache_hit);
     assert!(warm.contains(&Tuple::strs(["x", "y"])));
 }
@@ -114,9 +113,10 @@ proptest! {
             seed,
         }).unwrap();
 
-        let mut session = Session::new(w.system.clone());
+        let session = Session::new(w.system.clone());
+        let mut writer = session.writer().unwrap();
         for batch in &stream {
-            let receipt = session
+            let receipt = writer
                 .apply(&[Update::new(batch.peer.clone(), batch.delta.clone())])
                 .unwrap();
             prop_assert!(!receipt.touched.is_empty());
@@ -125,28 +125,29 @@ proptest! {
 
         // Replaying the log reproduces the live system.
         let replayed = session.snapshot_at(session.current_seq()).unwrap();
-        prop_assert_eq!(&replayed, session.system());
+        prop_assert_eq!(replayed.epoch(), session.current_seq());
+        let replayed_system = replayed.system().unwrap();
+        prop_assert_eq!(&replayed_system, &session.current_system().unwrap());
 
-        let fresh = QueryEngine::new(replayed);
-        let p1 = PeerId::new("P1");
-        let q1 = Formula::atom("T1", vec!["X", "Y"]);
-        let fv = vars(&["X", "Y"]);
+        let fresh = QueryEngine::new(replayed_system);
+        let live_q = Query::new(w.queried_peer.clone(), w.query.clone(), w.free_vars.clone());
+        let hot_q = Query::named("P1", Formula::atom("T1", vec!["X", "Y"]), &["X", "Y"]);
         for strategy in [
             Strategy::Naive,
             Strategy::Rewriting,
             Strategy::Asp,
             Strategy::TransitiveAsp,
         ] {
-            let live = session
-                .answer_with(strategy, &w.queried_peer, &w.query, &w.free_vars)
-                .unwrap();
+            let live = session.query_with(strategy, &live_q).unwrap();
             let reference = fresh
                 .answer_with(strategy, &w.queried_peer, &w.query, &w.free_vars)
                 .unwrap();
             prop_assert_eq!(&live.tuples, &reference.tuples, "strategy {:?}", strategy);
             // The mutated (hot) peer itself.
-            let live_hot = session.answer_with(strategy, &p1, &q1, &fv).unwrap();
-            let reference_hot = fresh.answer_with(strategy, &p1, &q1, &fv).unwrap();
+            let live_hot = session.query_with(strategy, &hot_q).unwrap();
+            let reference_hot = fresh
+                .answer_with(strategy, &hot_q.peer, &hot_q.query, &hot_q.free_vars)
+                .unwrap();
             prop_assert_eq!(&live_hot.tuples, &reference_hot.tuples, "strategy {:?}", strategy);
         }
     }

@@ -125,14 +125,15 @@ proptest! {
     }
 }
 
-/// 8 reader threads hammer a shared engine while a writer thread commits
-/// session transactions. Checks liveness (no deadlock between the session
-/// lock and the engine's cache lock), answer sanity across invalidations,
-/// and that the atomic hit/miss counters account for every single query.
+/// 8 reader threads hammer a shared session through cloned [`ReadHandle`]s
+/// while the single [`Writer`] commits transactions — no lock around the
+/// session at all, the point of the MVCC read/write split. Checks liveness
+/// (no deadlock between the commit path and the engine's cache lock),
+/// answer sanity across invalidations, and that the atomic hit/miss
+/// counters account for every single query.
 #[test]
 fn stress_shared_engine_during_session_commits() {
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::RwLock;
 
     const CLUSTERS: usize = 4;
     const READERS: usize = 8;
@@ -140,26 +141,28 @@ fn stress_shared_engine_during_session_commits() {
     const COMMITS: usize = 10;
 
     let system = cluster_system(CLUSTERS, 6, 2);
-    let session = RwLock::new(Session::with_engine(
+    let session = Session::with_engine(
         QueryEngine::builder(system)
             .strategy(Strategy::Asp)
             .workers(2)
             .build(),
-    ));
+    );
     let answered = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for reader in 0..READERS {
-            let session = &session;
+            let handle = session.reader();
             let answered = &answered;
             scope.spawn(move || {
                 for round in 0..QUERIES_PER_READER {
                     let i = (reader + round) % CLUSTERS;
-                    let peer = PeerId::new(format!("A{i}"));
-                    let query = Formula::atom(format!("RA{i}"), vec!["X", "Y"]);
-                    let guard = session.read().unwrap();
-                    let answers = guard
-                        .answer_named(&peer, &query, &["X", "Y"])
+                    let query = Query::named(
+                        PeerId::new(format!("A{i}")),
+                        Formula::atom(format!("RA{i}"), vec!["X", "Y"]),
+                        &["X", "Y"],
+                    );
+                    let answers = handle
+                        .query(&query)
                         .expect("query must survive concurrent commits");
                     // Two planted conflicts per cluster: always 4 worlds,
                     // and the non-conflicting tuples are always certain.
@@ -169,13 +172,13 @@ fn stress_shared_engine_during_session_commits() {
                 }
             });
         }
-        scope.spawn(|| {
+        let mut writer = session.writer().unwrap();
+        scope.spawn(move || {
             for round in 0..COMMITS {
                 let i = round % CLUSTERS;
                 let peer = PeerId::new(format!("B{i}"));
                 let relation = format!("RB{i}");
-                let mut guard = session.write().unwrap();
-                let mut tx = guard.begin();
+                let mut tx = writer.begin();
                 tx.insert(
                     &peer,
                     &relation,
@@ -190,9 +193,8 @@ fn stress_shared_engine_during_session_commits() {
 
     let total = answered.load(std::sync::atomic::Ordering::Relaxed);
     assert_eq!(total, READERS * QUERIES_PER_READER);
-    let session = session.into_inner().unwrap();
     let metrics = session.metrics();
-    // Every answer() performs exactly one preparation lookup; with atomic
+    // Every query() performs exactly one preparation lookup; with atomic
     // counters none may be lost, even under contention.
     assert_eq!(
         metrics.hits + metrics.misses,

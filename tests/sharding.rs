@@ -178,10 +178,10 @@ fn sharded_answers_match_the_oracle_across_live_commits() {
     for shards in shard_counts() {
         for pool in pool_sizes() {
             for strategy in ALL_STRATEGIES {
-                let mut oracle = QueryEngine::builder(w.system.clone())
+                let oracle = QueryEngine::builder(w.system.clone())
                     .strategy(strategy)
                     .build();
-                let (mut sharded, _store) = sharded_engine(&w.system, strategy, shards, pool);
+                let (sharded, _store) = sharded_engine(&w.system, strategy, shards, pool);
                 // Warm both engines, then interleave commits and reads.
                 let _ = all_answers(&sharded, strategy, &queries);
                 let _ = all_answers(&oracle, strategy, &queries);
@@ -218,10 +218,10 @@ fn single_shard_serving_is_never_remote() {
 
 #[test]
 fn closure_local_queries_stay_on_their_shard() {
-    // At 2+ shards the star component and the isolated peers live apart;
-    // an ASP query's closure hydration touches exactly its component's
-    // shard, so per-peer serving stays local while a full snapshot (the
-    // naive strategy's cold path) must go remote.
+    // Engine reads pin an epoch from the coordinator's mirror — a store
+    // operation that never fans out to a shard, so serving stays local at
+    // any shard count, while a full store snapshot (which hydrates every
+    // shard's instances) must go remote at 2+ shards.
     let w = sharded_workload();
     let queries = peer_queries(&w.system);
     let (engine, store) = sharded_engine(&w.system, Strategy::Asp, 2, 1);
@@ -234,6 +234,64 @@ fn closure_local_queries_stay_on_their_shard() {
     );
     store.snapshot().expect("snapshot");
     assert_eq!(store.metrics().remote, after_asp.remote + 1);
+}
+
+#[test]
+fn sharded_epoch_publication_matches_the_single_store_oracle() {
+    // The acceptance bar for the MVCC redesign: the epochs a `ShardedStore`
+    // publishes (through its coordinator mirror) are bit-identical to the
+    // epochs an `InProcessStore` oracle publishes for the same commit
+    // sequence — same epoch numbers, same version stamps, same hydrated
+    // instances — and pins taken before the commits stay frozen on both
+    // sides.
+    let w = sharded_workload();
+    for shards in shard_counts() {
+        let oracle = InProcessStore::new(w.system.clone());
+        let store = ShardedStore::builder(w.system.clone())
+            .shards(shards)
+            .build();
+        let pinned_oracle = oracle.pin().expect("oracle pin");
+        let pinned_sharded = store.pin().expect("sharded pin");
+        assert_eq!(pinned_sharded.epoch(), pinned_oracle.epoch());
+        for round in 0..6 {
+            let (peer, delta) = round_update(&w.system, round);
+            let sharded_stamp = store.apply_delta(&peer, &delta).expect("sharded commit");
+            let oracle_stamp = oracle.apply_delta(&peer, &delta).expect("oracle commit");
+            assert_eq!(
+                sharded_stamp, oracle_stamp,
+                "version stamps diverged at round {round} (shards={shards})"
+            );
+            let sharded_pin = store.pin().expect("sharded pin");
+            let oracle_pin = oracle.pin().expect("oracle pin");
+            assert_eq!(
+                sharded_pin.epoch(),
+                oracle_pin.epoch(),
+                "epoch numbers diverged at round {round} (shards={shards})"
+            );
+            assert_eq!(
+                sharded_pin.versions(),
+                oracle_pin.versions(),
+                "version maps diverged at round {round} (shards={shards})"
+            );
+            assert_eq!(
+                sharded_pin.system().expect("hydrate sharded"),
+                oracle_pin.system().expect("hydrate oracle"),
+                "hydrated epochs diverged at round {round} (shards={shards})"
+            );
+        }
+        assert_eq!(
+            store.mvcc_stats().publishes,
+            oracle.mvcc_stats().publishes,
+            "publish counts diverged (shards={shards})"
+        );
+        // The pre-commit pins were isolated from all six commits.
+        assert_eq!(pinned_sharded.versions(), pinned_oracle.versions());
+        assert_eq!(
+            pinned_sharded.system().expect("hydrate sharded pin"),
+            pinned_oracle.system().expect("hydrate oracle pin")
+        );
+        assert_eq!(pinned_sharded.system().expect("hydrate"), w.system);
+    }
 }
 
 #[test]
