@@ -65,6 +65,26 @@ pub fn lint_system(system: &P2PSystem) -> Report {
 /// [`codes::PARSE`] otherwise — so `pdes-lint` reports eager-validation
 /// failures and batch-analysis findings uniformly.
 ///
+/// The library entry point behind `pdes-lint FILE.pds`:
+///
+/// ```
+/// use pdes_analyze::lint_source;
+///
+/// let report = lint_source(
+///     "peer P0\n\
+///      peer P1\n\
+///      relation P0 T0(k, v)\n\
+///      relation P1 T1(k, v)\n\
+///      fact T1(1, a)\n\
+///      trust P0 less P1\n\
+///      dec d01 P0 P1: T1(X, Y) -> T0(X, Y)\n",
+/// );
+/// assert!(report.is_clean());
+///
+/// let broken = lint_source("peer P0\nfact Ghost(1)\n");
+/// assert!(broken.error_count() > 0);
+/// ```
+///
 /// [`DslError::code`]: dsl::DslError
 pub fn lint_source(source: &str) -> Report {
     match dsl::parse(source) {

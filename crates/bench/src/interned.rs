@@ -1,0 +1,183 @@
+//! Table B15: the interned, columnar data plane vs. the legacy string path.
+//!
+//! Both modes answer the *same* generated workload through the same
+//! [`QueryEngine`] facade; the only difference is
+//! [`QueryEngineBuilder::interned_data_plane`](pdes_core::engine::QueryEngine).
+//! On (the default), prepared worlds carry a columnar `u32` index against
+//! the store's [`SymbolTable`](relalg::SymbolTable), conjunctive queries run
+//! the hash-join / semi-join kernels over ids, and the memo cache budgets
+//! the *exact* interned artifact sizes. Off reproduces the pre-interning
+//! engine: string tuples re-walked per warm query and element-count byte
+//! estimates in the cache.
+//!
+//! Per mode the table reports the cold preparation time, the warm per-query
+//! time (amortized over a fixed repetition count — the hot path the columnar
+//! kernels accelerate), the engine's resident cache bytes after warm-up
+//! (exact on the interned path, the legacy estimate otherwise) and the
+//! symbol count of the store's table. The smoke gate pins
+//! `interned_cached_bytes` / `legacy_cached_bytes` exactly and hard-errors
+//! when interning stops shrinking the cache; `asp_warm500_ms` (interned, the
+//! default) and `legacy_warm500_ms` ride the ordinary 2x timing gate.
+
+use pdes_core::engine::{QueryEngine, Strategy};
+use std::time::Instant;
+use workload::generator::GeneratedWorkload;
+
+/// Warm repetitions per measured point (amortizes timer noise; matches the
+/// smoke gate's `asp_warm500_ms` rep count).
+pub const WARM_OPS: usize = 500;
+
+/// One B15 row: one data-plane mode on one workload.
+#[derive(Debug, Clone)]
+pub struct InternedMeasurement {
+    /// Workload parameters, rendered for the table.
+    pub params: String,
+    /// `"interned"` or `"legacy"`.
+    pub mode: &'static str,
+    /// Cold preparation + first answer, milliseconds.
+    pub cold_ms: f64,
+    /// Warm per-query time, microseconds (amortized over [`WARM_OPS`]).
+    pub warm_per_op_us: f64,
+    /// Engine cache resident bytes after warm-up
+    /// ([`QueryEngine::cached_bytes`]): exact interned sizes on the
+    /// interned path, the legacy element-count estimate otherwise.
+    pub cached_bytes: usize,
+    /// Distinct symbols in the store's table after the run.
+    pub symbols: usize,
+    /// Peer consistent answers (must agree across modes).
+    pub answers: usize,
+}
+
+/// Run one mode on one workload. Returns `None` if the engine errors (the
+/// callers turn that into a skipped row / failed smoke run).
+pub fn run_interned_point(
+    w: &GeneratedWorkload,
+    strategy: Strategy,
+    interned: bool,
+    params: &str,
+) -> Option<InternedMeasurement> {
+    let engine = QueryEngine::builder(w.system.clone())
+        .strategy(strategy)
+        .interned_data_plane(interned)
+        .build();
+    let start = Instant::now();
+    let cold = engine
+        .answer(&w.queried_peer, &w.query, &w.free_vars)
+        .ok()?;
+    let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+    let answers = cold.len();
+    let start = Instant::now();
+    for _ in 0..WARM_OPS {
+        let warm = engine
+            .answer(&w.queried_peer, &w.query, &w.free_vars)
+            .ok()?;
+        if warm.tuples != cold.tuples {
+            return None;
+        }
+    }
+    let warm_per_op_us = start.elapsed().as_secs_f64() * 1e6 / WARM_OPS as f64;
+    Some(InternedMeasurement {
+        params: params.to_string(),
+        mode: if interned { "interned" } else { "legacy" },
+        cold_ms,
+        warm_per_op_us,
+        cached_bytes: engine.cached_bytes(),
+        symbols: engine.store().symbols().len(),
+        answers,
+    })
+}
+
+/// Run the B15 pair (interned and legacy) on one workload, hard-failing on
+/// answer divergence between the two data planes.
+pub fn run_interned_pair(
+    w: &GeneratedWorkload,
+    strategy: Strategy,
+    params: &str,
+) -> Result<(InternedMeasurement, InternedMeasurement), String> {
+    let interned = run_interned_point(w, strategy, true, params)
+        .ok_or_else(|| format!("B15 interned run failed on {params}"))?;
+    let legacy = run_interned_point(w, strategy, false, params)
+        .ok_or_else(|| format!("B15 legacy run failed on {params}"))?;
+    if interned.answers != legacy.answers {
+        return Err(format!(
+            "interned data plane diverged from the legacy path on {params}: \
+             {} vs {} answers",
+            interned.answers, legacy.answers
+        ));
+    }
+    Ok((interned, legacy))
+}
+
+/// Run the B15 sweep over the four built-in strategies on one workload.
+pub fn table_b15(w: &GeneratedWorkload, params: &str) -> Vec<InternedMeasurement> {
+    let mut rows = Vec::new();
+    for strategy in [
+        Strategy::Naive,
+        Strategy::Rewriting,
+        Strategy::Asp,
+        Strategy::TransitiveAsp,
+    ] {
+        if let Ok((interned, legacy)) =
+            run_interned_pair(w, strategy, &format!("{params} strategy={strategy:?}"))
+        {
+            rows.push(interned);
+            rows.push(legacy);
+        }
+    }
+    rows
+}
+
+/// Render B15 as an aligned text table.
+pub fn render_interned_table(title: &str, rows: &[InternedMeasurement]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<44} {:>9} {:>10} {:>13} {:>12} {:>9} {:>8}\n",
+        "parameters", "mode", "cold (ms)", "warm op (us)", "cache bytes", "symbols", "answers"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<44} {:>9} {:>10.3} {:>13.2} {:>12} {:>9} {:>8}\n",
+            row.params,
+            row.mode,
+            row.cold_ms,
+            row.warm_per_op_us,
+            row.cached_bytes,
+            row.symbols,
+            row.answers
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::{generate, TrustMix, WorkloadSpec};
+
+    #[test]
+    fn b15_interned_cache_is_smaller_and_answers_agree() {
+        let w = generate(&WorkloadSpec {
+            peers: 2,
+            tuples_per_relation: 12,
+            violations_per_dec: 1,
+            trust_mix: TrustMix::AllLess,
+            ..WorkloadSpec::default()
+        })
+        .unwrap();
+        let (interned, legacy) = run_interned_pair(&w, Strategy::Asp, "smoke").unwrap();
+        assert_eq!(interned.answers, legacy.answers);
+        assert!(
+            interned.cached_bytes < legacy.cached_bytes,
+            "exact interned sizing must come in under the legacy estimate: \
+             {} vs {}",
+            interned.cached_bytes,
+            legacy.cached_bytes
+        );
+        assert!(interned.symbols > 0);
+        let table = render_interned_table("B15", &[interned, legacy]);
+        assert!(table.contains("cache bytes"));
+        assert!(table.contains("interned"));
+        assert!(table.contains("legacy"));
+    }
+}

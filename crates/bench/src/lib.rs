@@ -47,6 +47,13 @@
 //! counts and hard-errors if the sharded answers diverge from the
 //! single-store oracle.
 //!
+//! Table B15 ([`interned`]) compares the interned, columnar data plane
+//! against the legacy string path on the same workload: cold preparation,
+//! warm per-query time, resident cache bytes (exact interned sizes vs. the
+//! element-count estimate) and symbol counts, per strategy; the smoke gate
+//! pins `interned_cached_bytes` / `legacy_cached_bytes` exactly and
+//! hard-errors when interning stops shrinking the cache.
+//!
 //! Table B14 ([`mvcc`]) measures reader latency and throughput under a
 //! sustained writer: a closed loop of reader threads over cloned
 //! `ReadHandle`s, the single `Writer` committing back to back, p50/p99
@@ -58,6 +65,7 @@
 
 pub mod experiments;
 pub mod grounding;
+pub mod interned;
 pub mod live;
 pub mod mvcc;
 pub mod obs;
@@ -67,6 +75,7 @@ pub mod sharding;
 pub mod smoke;
 
 pub use grounding::{render_grounding_table, GroundingMeasurement};
+pub use interned::{render_interned_table, InternedMeasurement};
 pub use live::{render_incremental_table, render_live_table, LiveMeasurement, LiveMode};
 pub use mvcc::{render_mvcc_table, MvccMeasurement};
 pub use obs::{render_obs_table, ObsMeasurement};

@@ -11,7 +11,9 @@ pub enum ConstraintError {
     /// A constraint's consequent uses a variable that is neither universally
     /// quantified (in the body) nor existential in a relational atom.
     UnsafeHeadVariable {
+        /// Name of the offending constraint.
         constraint: String,
+        /// The head variable with no binding occurrence.
         variable: String,
     },
     /// Propagated evaluation error from the relational layer.

@@ -25,6 +25,8 @@
 //! which is what both the repair engine and the specification-program
 //! generators consume.
 
+#![warn(missing_docs)]
+
 pub mod atom;
 pub mod builders;
 pub mod check;

@@ -106,6 +106,18 @@ impl AnnotatedSpec {
 
 /// Generate the annotated specification program for `peer`.
 pub fn annotated_program(system: &P2PSystem, peer: &PeerId) -> Result<AnnotatedSpec> {
+    annotated_program_with(system, peer, None)
+}
+
+/// [`annotated_program`] with the instance facts encoded through the
+/// store's symbol table when one is supplied: every occurrence of an
+/// interned constant aliases one shared `Arc<str>` instead of re-rendering
+/// (the interned data plane's fact encoding).
+pub fn annotated_program_with(
+    system: &P2PSystem,
+    peer: &PeerId,
+    symbols: Option<&relalg::SymbolTable>,
+) -> Result<AnnotatedSpec> {
     let peer_data = system.peer(peer)?;
     let namespace = peer.name().to_string();
     let (less_decs, same_decs) = system.trusted_decs_of(peer);
@@ -155,7 +167,12 @@ pub fn annotated_program(system: &P2PSystem, peer: &PeerId) -> Result<AnnotatedS
 
     // Facts for every peer instance (only relevant relations are ever read,
     // extra facts are harmless and keep the generator simple).
-    facts_for_system(system, &mut gen.program);
+    match symbols {
+        Some(symbols) => {
+            crate::asp::encode::facts_for_system_shared(system, &mut gen.program, symbols)
+        }
+        None => facts_for_system(system, &mut gen.program),
+    }
 
     // Annotation scaffolding for flexible relations.
     for rel in &flexible {

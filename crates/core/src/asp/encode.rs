@@ -10,8 +10,9 @@
 
 use crate::system::P2PSystem;
 use datalog::{Atom, Program, Rule, Term};
-use relalg::{Database, Tuple, Value};
+use relalg::{Database, SymbolTable, Tuple, Value};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Encode a value as a constant symbol.
 pub fn encode_value(value: &Value) -> String {
@@ -21,6 +22,27 @@ pub fn encode_value(value: &Value) -> String {
 /// Encode a tuple as a vector of constant terms.
 pub fn encode_tuple(tuple: &Tuple) -> Vec<Term> {
     tuple.iter().map(|v| Term::cnst(encode_value(v))).collect()
+}
+
+/// Encode a value as a constant symbol sharing the store's interned text:
+/// every occurrence of an already-interned constant aliases one `Arc<str>`
+/// ([`SymbolTable::resolve_text`]) instead of re-allocating its rendering
+/// per tuple occurrence. Values the table has never seen (program-introduced
+/// constants) fall back to a fresh allocation.
+pub fn encode_value_shared(value: &Value, symbols: &SymbolTable) -> Arc<str> {
+    match symbols.lookup(value) {
+        Some(symbol) => symbols.resolve_text(symbol),
+        None => Arc::from(encode_value(value).as_str()),
+    }
+}
+
+/// [`encode_tuple`] through the shared interned text of
+/// [`encode_value_shared`].
+pub fn encode_tuple_shared(tuple: &Tuple, symbols: &SymbolTable) -> Vec<Term> {
+    tuple
+        .iter()
+        .map(|v| Term::Const(encode_value_shared(v, symbols)))
+        .collect()
 }
 
 /// Decodes constant symbols back into the values of a system's domain.
@@ -105,10 +127,31 @@ pub fn facts_for_database(db: &Database, program: &mut Program) {
     }
 }
 
+/// [`facts_for_database`] with constant terms aliased through the store's
+/// symbol table (the interned data plane's fact encoding).
+pub fn facts_for_database_shared(db: &Database, program: &mut Program, symbols: &SymbolTable) {
+    for relation in db.relations() {
+        for tuple in relation.iter() {
+            program.add_fact(Atom::from_terms(
+                relation.name(),
+                encode_tuple_shared(tuple, symbols),
+            ));
+        }
+    }
+}
+
 /// Emit the facts of every peer of the system.
 pub fn facts_for_system(system: &P2PSystem, program: &mut Program) {
     for peer in system.peers() {
         facts_for_database(&peer.instance, program);
+    }
+}
+
+/// [`facts_for_system`] with constant terms aliased through the store's
+/// symbol table; see [`encode_value_shared`].
+pub fn facts_for_system_shared(system: &P2PSystem, program: &mut Program, symbols: &SymbolTable) {
+    for peer in system.peers() {
+        facts_for_database_shared(&peer.instance, program, symbols);
     }
 }
 

@@ -23,5 +23,5 @@ pub mod encode;
 pub mod paper;
 pub mod transitive;
 
-pub use annotated::{annotated_program, AnnotatedSpec};
-pub use transitive::{transitive_program, TransitiveSpec};
+pub use annotated::{annotated_program, annotated_program_with, AnnotatedSpec};
+pub use transitive::{transitive_program, transitive_program_with, TransitiveSpec};

@@ -16,7 +16,7 @@
 //! program to read a neighbour's flexible relations through that neighbour's
 //! `tss` predicates.
 
-use crate::asp::annotated::{annotated_program, AnnotatedSpec};
+use crate::asp::annotated::AnnotatedSpec;
 use crate::asp::encode::ValueDecoder;
 use crate::system::{P2PSystem, PeerId};
 use crate::Result;
@@ -96,6 +96,17 @@ impl TransitiveSpec {
 /// Build the combined specification program for `peer`, including every peer
 /// transitively reachable through trusted DECs.
 pub fn transitive_program(system: &P2PSystem, peer: &PeerId) -> Result<TransitiveSpec> {
+    transitive_program_with(system, peer, None)
+}
+
+/// [`transitive_program`] with the per-peer instance facts encoded through
+/// the store's symbol table when one is supplied (shared `Arc<str>`
+/// constants; see [`crate::asp::encode::encode_value_shared`]).
+pub fn transitive_program_with(
+    system: &P2PSystem,
+    peer: &PeerId,
+    symbols: Option<&relalg::SymbolTable>,
+) -> Result<TransitiveSpec> {
     // Reachable peers through trusted DECs (BFS).
     let mut reachable: BTreeSet<PeerId> = BTreeSet::new();
     let mut queue = vec![peer.clone()];
@@ -114,7 +125,10 @@ pub fn transitive_program(system: &P2PSystem, peer: &PeerId) -> Result<Transitiv
     // Per-peer specifications.
     let mut specs: BTreeMap<PeerId, AnnotatedSpec> = BTreeMap::new();
     for p in &reachable {
-        specs.insert(p.clone(), annotated_program(system, p)?);
+        specs.insert(
+            p.clone(),
+            crate::asp::annotated::annotated_program_with(system, p, symbols)?,
+        );
     }
 
     // For every peer X, relations that are fixed in X's spec but flexible in

@@ -136,7 +136,7 @@ use datalog::solve::solve_ground_recorded;
 use datalog::{Grounder, SolverConfig};
 use pdes_exec::{ExecConfig, Executor};
 use relalg::query::{Formula, QueryEvaluator};
-use relalg::{Database, Tuple};
+use relalg::{CqPlan, Database, Tuple};
 use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -436,7 +436,22 @@ impl Answers {
 
 /// One query of a batch: the queried peer, the formula posed in the peer's
 /// own language, and the answer variables. The unit consumed by
-/// [`QueryEngine::answer_batch`].
+/// [`QueryEngine::answer_batch`] and `pdes_session::Session::query`.
+///
+/// ```
+/// use pdes_core::engine::{Query, QueryEngine};
+/// use pdes_core::system::example1_system;
+/// use relalg::query::Formula;
+///
+/// let engine = QueryEngine::builder(example1_system()).build();
+/// let batch = vec![
+///     Query::named("P1", Formula::atom("R1", vec!["X", "Y"]), &["X", "Y"]),
+///     Query::named("P2", Formula::atom("R2", vec!["X", "Y"]), &["X", "Y"]),
+/// ];
+/// let answers = engine.answer_batch(&batch);
+/// assert_eq!(answers.len(), 2);
+/// assert!(answers.iter().all(|a| a.is_ok()));
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Query {
     /// The peer the query is posed to.
@@ -490,6 +505,26 @@ pub trait AnsweringStrategy: Send + Sync {
 }
 
 /// Builder for [`QueryEngine`].
+///
+/// Every knob has a production-ready default; `build` cannot fail for the
+/// built-in strategies:
+///
+/// ```
+/// use pdes_core::engine::{QueryEngine, Strategy};
+/// use pdes_core::pca::vars;
+/// use pdes_core::system::{example1_system, PeerId};
+/// use relalg::query::Formula;
+///
+/// let engine = QueryEngine::builder(example1_system())
+///     .strategy(Strategy::Asp)          // pin one mechanism (default: Auto)
+///     .cache_capacity(1 << 20)          // bound the memo cache to 1 MiB
+///     .interned_data_plane(true)        // columnar id kernels (the default)
+///     .build();
+/// let answers = engine
+///     .answer(&PeerId::new("P1"), &Formula::atom("R1", vec!["X", "Y"]), &vars(&["X", "Y"]))
+///     .unwrap();
+/// assert_eq!(answers.len(), 3);
+/// ```
 #[must_use = "a builder does nothing until `build` is called"]
 pub struct QueryEngineBuilder {
     store: Arc<dyn PeerStore>,
@@ -500,6 +535,7 @@ pub struct QueryEngineBuilder {
     exec: ExecConfig,
     relevance_pruning: bool,
     incremental_reground: bool,
+    interned_data_plane: bool,
     cache_capacity: Option<usize>,
     strict_analysis: bool,
     recorder: Option<Arc<dyn Recorder>>,
@@ -579,11 +615,29 @@ impl QueryEngineBuilder {
         self
     }
 
-    /// Cap the memo cache at (approximately) `bytes` bytes of prepared
-    /// artifacts, evicting least-recently-used entries on overflow
-    /// (counted in [`CacheMetrics::evictions`]). Unbounded by default. The
-    /// estimate is deterministic and platform-independent (element counts,
-    /// not allocator sizes), so eviction behaviour is reproducible in CI.
+    /// Enable or disable the interned, columnar data plane. On (the
+    /// default), prepared worlds are additionally indexed as columnar
+    /// `u32` blocks against the store's [`SymbolTable`]
+    /// ([`PeerStore::symbols`]): conjunctive queries evaluate with
+    /// hash-join / semi-join kernels over ids (strings materialize only at
+    /// the [`Answers`] boundary), ASP fact encoding aliases one shared
+    /// `Arc<str>` per distinct constant, and the memo cache budgets
+    /// *exact* interned-table sizes instead of element-count estimates.
+    /// Off reproduces the legacy string path (the B15 benchmark's
+    /// comparison baseline).
+    pub fn interned_data_plane(mut self, enabled: bool) -> Self {
+        self.interned_data_plane = enabled;
+        self
+    }
+
+    /// Cap the memo cache at `bytes` bytes of prepared artifacts, evicting
+    /// least-recently-used entries on overflow (counted in
+    /// [`CacheMetrics::evictions`]). Unbounded by default. With the
+    /// interned data plane on (the default) the budgeted quantity is the
+    /// *exact* size of the interned columnar artifacts — deterministic and
+    /// platform-independent (4 bytes per stored id plus fixed per-relation
+    /// overheads), so eviction behaviour is reproducible in CI; the legacy
+    /// path keeps the element-count estimate.
     pub fn cache_capacity(mut self, bytes: usize) -> Self {
         self.cache_capacity = Some(bytes);
         self
@@ -633,6 +687,7 @@ impl QueryEngineBuilder {
         let recorder: Arc<dyn Recorder> = self
             .recorder
             .unwrap_or_else(|| Arc::new(NullRecorder) as Arc<dyn Recorder>);
+        let symbols = self.store.symbols();
         Ok(QueryEngine {
             store: self.store,
             topology,
@@ -644,6 +699,8 @@ impl QueryEngineBuilder {
             recorder,
             relevance_pruning: self.relevance_pruning,
             incremental_reground: self.incremental_reground,
+            interned_data_plane: self.interned_data_plane,
+            symbols,
             cache_capacity: self.cache_capacity,
             analysis: report,
             cache: RwLock::new(EngineCache::default()),
@@ -876,11 +933,18 @@ struct PreparedWorlds {
     regrounded_rules: usize,
     /// Evidence template cloned into every answer served from this entry.
     provenance: Provenance,
+    /// Interned columnar index of `databases` (one [`ColumnarDatabase`] per
+    /// world, same order), built once per preparation when the engine's
+    /// interned data plane is on. Conjunctive queries intersect over these
+    /// id blocks instead of re-walking string tuples, and the memo cache
+    /// budgets their *exact* size. `None` on the legacy path.
+    columnar: Option<Vec<relalg::ColumnarDatabase>>,
 }
 
 impl PreparedWorlds {
     /// Deterministic, platform-independent size estimate (element counts
-    /// only), mirroring [`datalog::IncrementalGround::approx_bytes`].
+    /// only), mirroring [`datalog::IncrementalGround::approx_bytes`]. The
+    /// legacy sizing, kept for `interned_data_plane(false)`.
     fn approx_bytes(&self) -> usize {
         let db_bytes = |db: &Database| -> usize {
             db.relations()
@@ -888,6 +952,17 @@ impl PreparedWorlds {
                 .sum()
         };
         256 + self.databases.iter().map(db_bytes).sum::<usize>()
+    }
+
+    /// Bytes this entry charges against [`QueryEngineBuilder::cache_capacity`]:
+    /// the *exact* interned columnar size when the columnar index exists
+    /// ([`ColumnarDatabase::exact_bytes`] — 4 bytes per stored id plus fixed
+    /// per-relation overheads), the legacy element-count estimate otherwise.
+    fn bytes(&self) -> usize {
+        match &self.columnar {
+            Some(worlds) => 256 + worlds.iter().map(|db| db.exact_bytes()).sum::<usize>(),
+            None => self.approx_bytes(),
+        }
     }
 }
 
@@ -911,6 +986,11 @@ pub struct QueryEngine {
     recorder: Arc<dyn Recorder>,
     relevance_pruning: bool,
     incremental_reground: bool,
+    interned_data_plane: bool,
+    /// The store's symbol table ([`PeerStore::symbols`]): the single
+    /// interning authority the columnar fast path and shared-text ASP
+    /// encoding resolve against.
+    symbols: Arc<relalg::SymbolTable>,
     cache_capacity: Option<usize>,
     /// The construction-time static-analysis report over the system.
     analysis: crate::analyze::Report,
@@ -951,6 +1031,7 @@ impl QueryEngine {
             exec: ExecConfig::sequential(),
             relevance_pruning: true,
             incremental_reground: true,
+            interned_data_plane: true,
             cache_capacity: None,
             strict_analysis: false,
             recorder: None,
@@ -1505,7 +1586,8 @@ impl QueryEngine {
         let mut insertions = Vec::new();
         let mut deletions = Vec::new();
         for delta in pending.values() {
-            let (ins, del) = program_delta_atoms(delta);
+            let (ins, del) =
+                program_delta_atoms(delta, self.interned_data_plane.then(|| &*self.symbols));
             insertions.extend(ins);
             deletions.extend(del);
         }
@@ -1525,6 +1607,7 @@ impl QueryEngine {
             return;
         };
         let provenance = spec.provenance(&solved.sets);
+        let columnar = self.columnar_worlds(&databases);
         let prepared = Arc::new(PreparedWorlds {
             worlds: solved.sets.len(),
             databases,
@@ -1535,12 +1618,13 @@ impl QueryEngine {
             grounded_atoms: solved.grounded_atoms,
             regrounded_rules: patch.reinstantiated_rules,
             provenance,
+            columnar,
         });
         self.metrics.patched.fetch_add(1, Ordering::Relaxed);
-        let state_bytes = state.approx_bytes();
+        let state_bytes = self.state_bytes(&state);
         let mut cache = self.write_cache();
         if let Some(entry) = cache.asp_slot(transitive).get_mut(key) {
-            entry.bytes = prepared.approx_bytes() + state_bytes;
+            entry.bytes = prepared.bytes() + state_bytes;
             entry.prepared = prepared;
             entry.state = Some(state);
             entry.pending.clear();
@@ -1737,6 +1821,7 @@ impl QueryEngine {
         for solution in &solutions {
             databases.push(self.topology.restrict_to_peer(&solution.database, peer)?);
         }
+        let columnar = self.columnar_worlds(&databases);
         let prepared = Arc::new(PreparedWorlds {
             worlds: solutions.len(),
             databases,
@@ -1750,6 +1835,7 @@ impl QueryEngine {
                 solution_count: solutions.len(),
                 search,
             },
+            columnar,
         });
         let mut cache = self.write_cache();
         let entry = cache
@@ -1757,7 +1843,7 @@ impl QueryEngine {
             .entry(peer.clone())
             .or_insert_with(|| NaiveEntry {
                 stamp,
-                bytes: prepared.approx_bytes(),
+                bytes: prepared.bytes(),
                 last_used: AtomicU64::new(0),
                 prepared,
             });
@@ -1781,7 +1867,8 @@ impl QueryEngine {
         }
         use std::fmt::Write as _;
         let mut out = String::new();
-        for (relation, bindings) in query_binding_patterns(query) {
+        let symbols = self.interned_data_plane.then(|| &*self.symbols);
+        for (relation, bindings) in query_binding_patterns(query, symbols) {
             let _ = write!(out, "r{}:{};", relation.len(), relation);
             for binding in &bindings {
                 match binding {
@@ -1808,7 +1895,7 @@ impl QueryEngine {
             return None;
         }
         Some(
-            query_binding_patterns(query)
+            query_binding_patterns(query, self.interned_data_plane.then(|| &*self.symbols))
                 .into_iter()
                 .map(|(relation, bindings)| {
                     datalog::QuerySeed::with_bindings(solution_predicate(&relation), bindings)
@@ -1898,10 +1985,18 @@ impl QueryEngine {
         } else {
             self.pin()?.system()?
         };
+        // With the interned data plane on, fact constants alias the store's
+        // interned text (one shared `Arc<str>` per distinct constant)
+        // instead of re-rendering per tuple occurrence.
+        let symbols = self.interned_data_plane.then(|| &*self.symbols);
         let spec = Arc::new(if transitive {
-            SpecProgram::Transitive(crate::asp::transitive_program(&hydrated, peer)?)
+            SpecProgram::Transitive(crate::asp::transitive_program_with(
+                &hydrated, peer, symbols,
+            )?)
         } else {
-            SpecProgram::Direct(crate::asp::annotated_program(&hydrated, peer)?)
+            SpecProgram::Direct(crate::asp::annotated_program_with(
+                &hydrated, peer, symbols,
+            )?)
         });
         let seeds = self.query_seeds(query, &|relation| {
             spec.solution_predicate(&hydrated, relation)
@@ -1969,7 +2064,10 @@ impl QueryEngine {
                 let mut insertions = Vec::new();
                 let mut deletions = Vec::new();
                 for delta in pending.values() {
-                    let (ins, del) = program_delta_atoms(delta);
+                    let (ins, del) = program_delta_atoms(
+                        delta,
+                        self.interned_data_plane.then(|| &*self.symbols),
+                    );
                     insertions.extend(ins);
                     deletions.extend(del);
                 }
@@ -1999,6 +2097,7 @@ impl QueryEngine {
         let databases = spec.solution_databases(&hydrated, &solved.sets)?;
         decode_span.finish();
         let provenance = spec.provenance(&solved.sets);
+        let columnar = self.columnar_worlds(&databases);
         let prepared = Arc::new(PreparedWorlds {
             worlds: solved.sets.len(),
             databases,
@@ -2009,15 +2108,16 @@ impl QueryEngine {
             grounded_atoms: solved.grounded_atoms,
             regrounded_rules,
             provenance,
+            columnar,
         });
-        let state_bytes = state.as_ref().map(|s| s.approx_bytes()).unwrap_or(0);
+        let state_bytes = state.as_ref().map(|s| self.state_bytes(s)).unwrap_or(0);
         let mut cache = self.write_cache();
         let entry = cache
             .asp_slot(transitive)
             .entry(canonical)
             .or_insert_with(|| AspEntry {
                 stamp,
-                bytes: prepared.approx_bytes() + state_bytes,
+                bytes: prepared.bytes() + state_bytes,
                 state,
                 pending: BTreeMap::new(),
                 spec: self.incremental_reground.then(|| Arc::clone(&spec)),
@@ -2157,6 +2257,17 @@ impl QueryEngine {
         query: &Formula,
         free_vars: &[String],
     ) -> Result<BTreeSet<Tuple>> {
+        // Interned fast path: conjunctive queries (with disjunction) run the
+        // hash-join / semi-join kernels over the columnar id blocks and
+        // materialize strings once, at the end. Plans that don't compile
+        // (negation, nested quantifiers, …) fall through to the legacy
+        // string evaluator on the same worlds — answers are identical either
+        // way (property-tested in `tests/interned.rs`).
+        if let Some(columnar) = &worlds.columnar {
+            if let Some(plan) = CqPlan::compile(query, free_vars) {
+                return self.certain_answers_columnar(columnar, &plan);
+            }
+        }
         // One streamed intersection over a slice of worlds: peak memory is
         // one answer set plus the accumulator, never all worlds at once.
         let intersect = |dbs: &[Database]| -> Result<Option<BTreeSet<Tuple>>> {
@@ -2196,6 +2307,80 @@ impl QueryEngine {
             });
         }
         Ok(certain.unwrap_or_default())
+    }
+
+    /// The columnar twin of the legacy intersection in
+    /// [`QueryEngine::certain_answers`]: the same chunked parallel fold, but
+    /// each per-world answer set is a `BTreeSet<Vec<u32>>` of symbol rows.
+    /// Only the final certain set pays string materialization
+    /// ([`CqPlan::materialize`]).
+    fn certain_answers_columnar(
+        &self,
+        worlds: &[relalg::ColumnarDatabase],
+        plan: &CqPlan,
+    ) -> Result<BTreeSet<Tuple>> {
+        let intersect = |dbs: &[relalg::ColumnarDatabase]| -> Result<Option<BTreeSet<Vec<u32>>>> {
+            let mut certain: Option<BTreeSet<Vec<u32>>> = None;
+            for db in dbs {
+                let these = plan.answers(db).map_err(CoreError::from)?;
+                certain = Some(match certain {
+                    None => these,
+                    Some(acc) => acc.intersection(&these).cloned().collect(),
+                });
+            }
+            Ok(certain)
+        };
+        let exec = if worlds.len() >= Self::MIN_PARALLEL_WORLDS {
+            self.query_exec()
+        } else {
+            Executor::sequential()
+        };
+        let workers = exec.workers_for(worlds.len());
+        let certain = if workers <= 1 {
+            intersect(worlds)?
+        } else {
+            let chunks: Vec<&[relalg::ColumnarDatabase]> =
+                worlds.chunks(worlds.len().div_ceil(workers)).collect();
+            let per_chunk = exec.try_map(&chunks, |chunk| intersect(chunk))?;
+            let mut certain: Option<BTreeSet<Vec<u32>>> = None;
+            for partial in per_chunk.into_iter().flatten() {
+                certain = Some(match certain {
+                    None => partial,
+                    Some(acc) => acc.intersection(&partial).cloned().collect(),
+                });
+            }
+            certain
+        };
+        Ok(CqPlan::materialize(
+            &certain.unwrap_or_default(),
+            &self.symbols,
+        ))
+    }
+
+    /// Bytes a retained grounding state charges against the cache budget:
+    /// exact pointer-identity accounting
+    /// ([`datalog::IncrementalGround::exact_bytes`]) on the interned data
+    /// plane, the legacy element-count estimate otherwise.
+    fn state_bytes(&self, state: &datalog::IncrementalGround) -> usize {
+        if self.interned_data_plane {
+            state.exact_bytes()
+        } else {
+            state.approx_bytes()
+        }
+    }
+
+    /// Index freshly decoded worlds as columnar id blocks against the
+    /// store's symbol table — `None` on the legacy path
+    /// ([`QueryEngineBuilder::interned_data_plane`] off). Solver-introduced
+    /// constants the store has never seen are interned here, so the table
+    /// stays total over everything the cache holds.
+    fn columnar_worlds(&self, databases: &[Database]) -> Option<Vec<relalg::ColumnarDatabase>> {
+        self.interned_data_plane.then(|| {
+            databases
+                .iter()
+                .map(|db| relalg::ColumnarDatabase::from_database(db, &self.symbols))
+                .collect()
+        })
     }
 }
 
@@ -2290,17 +2475,28 @@ fn solve_prepared(
 /// names are the fact predicates of the specification programs
 /// ([`crate::asp::encode::facts_for_system`]) and values encode through
 /// [`crate::asp::encode::encode_value`], so a relational delta is also a
-/// logic-program delta verbatim.
+/// logic-program delta verbatim. With a symbol table (the interned data
+/// plane), constant arguments alias the store's shared text
+/// ([`crate::asp::encode::encode_value_shared`]) instead of allocating per
+/// atom.
 fn program_delta_atoms(
     delta: &relalg::Delta,
+    symbols: Option<&relalg::SymbolTable>,
 ) -> (Vec<datalog::GroundAtom>, Vec<datalog::GroundAtom>) {
     let encode = |atom: &relalg::database::GroundAtom| {
-        let args: Vec<String> = atom
+        let args: Vec<Arc<str>> = atom
             .tuple
             .iter()
-            .map(crate::asp::encode::encode_value)
+            .map(|v| match symbols {
+                Some(symbols) => crate::asp::encode::encode_value_shared(v, symbols),
+                None => Arc::from(crate::asp::encode::encode_value(v).as_str()),
+            })
             .collect();
-        datalog::GroundAtom::new(atom.relation.as_str(), &args)
+        datalog::GroundAtom {
+            predicate: atom.relation.to_string(),
+            strong_neg: false,
+            args,
+        }
     };
     (
         delta.insertions.iter().map(encode).collect(),
@@ -2313,8 +2509,12 @@ fn program_delta_atoms(
 /// formula carries the constant `c` (encoded as a program symbol) at
 /// position `i`. Restricting a relation's extension to such a pattern
 /// preserves the answers of every atom occurrence, which makes the pattern
-/// safe to hand to the grounder as a [`datalog::QuerySeed`].
-fn query_binding_patterns(query: &Formula) -> BTreeMap<String, Vec<Option<Arc<str>>>> {
+/// safe to hand to the grounder as a [`datalog::QuerySeed`]. Constants the
+/// store has interned alias its shared text when `symbols` is given.
+fn query_binding_patterns(
+    query: &Formula,
+    symbols: Option<&relalg::SymbolTable>,
+) -> BTreeMap<String, Vec<Option<Arc<str>>>> {
     fn meet(
         out: &mut BTreeMap<String, Vec<Option<Arc<str>>>>,
         relation: &str,
@@ -2339,34 +2539,40 @@ fn query_binding_patterns(query: &Formula) -> BTreeMap<String, Vec<Option<Arc<st
             }
         }
     }
-    fn walk(query: &Formula, out: &mut BTreeMap<String, Vec<Option<Arc<str>>>>) {
+    fn walk(
+        query: &Formula,
+        symbols: Option<&relalg::SymbolTable>,
+        out: &mut BTreeMap<String, Vec<Option<Arc<str>>>>,
+    ) {
         match query {
             Formula::Atom { relation, terms } => {
                 let pattern = terms
                     .iter()
                     .map(|t| {
-                        t.as_const()
-                            .map(|v| Arc::from(crate::asp::encode::encode_value(v).as_str()))
+                        t.as_const().map(|v| match symbols {
+                            Some(symbols) => crate::asp::encode::encode_value_shared(v, symbols),
+                            None => Arc::from(crate::asp::encode::encode_value(v).as_str()),
+                        })
                     })
                     .collect();
                 meet(out, relation, pattern);
             }
             Formula::And(parts) | Formula::Or(parts) => {
                 for part in parts {
-                    walk(part, out);
+                    walk(part, symbols, out);
                 }
             }
-            Formula::Not(inner) => walk(inner, out),
+            Formula::Not(inner) => walk(inner, symbols, out),
             Formula::Implies(a, b) => {
-                walk(a, out);
-                walk(b, out);
+                walk(a, symbols, out);
+                walk(b, symbols, out);
             }
-            Formula::Exists(_, inner) | Formula::Forall(_, inner) => walk(inner, out),
+            Formula::Exists(_, inner) | Formula::Forall(_, inner) => walk(inner, symbols, out),
             Formula::Compare { .. } | Formula::True | Formula::False => {}
         }
     }
     let mut out = BTreeMap::new();
-    walk(query, &mut out);
+    walk(query, symbols, &mut out);
     out
 }
 

@@ -41,7 +41,7 @@
 use crate::error::CoreError;
 use crate::system::{P2PSystem, PeerId};
 use crate::Result;
-use relalg::{Database, Delta, Tuple};
+use relalg::{Database, Delta, SymbolTable, Tuple};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
@@ -90,6 +90,9 @@ struct EpochState {
 pub struct Snapshot {
     topology: Arc<P2PSystem>,
     state: Arc<EpochState>,
+    /// The store's symbol table, shared so ids minted against one epoch stay
+    /// valid against every other (the table is append-only).
+    symbols: Arc<SymbolTable>,
 }
 
 impl Snapshot {
@@ -113,6 +116,7 @@ impl Snapshot {
                 instances,
                 versions,
             }),
+            symbols: Arc::new(intern_system(system)),
         }
     }
 
@@ -146,6 +150,12 @@ impl Snapshot {
             .get(peer)
             .map(|db| db.as_ref().clone())
             .ok_or_else(|| CoreError::UnknownPeer(peer.to_string()))
+    }
+
+    /// The symbol table shared with the originating store (see
+    /// [`PeerStore::symbols`]).
+    pub fn symbols(&self) -> Arc<SymbolTable> {
+        Arc::clone(&self.symbols)
     }
 
     /// Materialize the full system as of this epoch: the topology replica
@@ -200,6 +210,41 @@ impl PeerStore for Snapshot {
 
     fn versions(&self) -> Result<VersionMap> {
         Ok(self.state.versions.clone())
+    }
+
+    fn symbols(&self) -> Arc<SymbolTable> {
+        Snapshot::symbols(self)
+    }
+}
+
+/// Build a symbol table covering everything a system mentions: every
+/// relation and attribute name of every peer's schema, and every constant of
+/// every instance. Called once at store construction ([`InProcessStore::new`]
+/// and [`Snapshot::from_system`]); mutations extend the table incrementally.
+fn intern_system(system: &P2PSystem) -> SymbolTable {
+    let table = SymbolTable::new();
+    for peer in system.peers() {
+        table.intern_name(&peer.id.0);
+        for schema in peer.schema.relations() {
+            table.intern_name(schema.name());
+            for attr in schema.attributes() {
+                table.intern_name(attr);
+            }
+        }
+        table.intern_database(&peer.instance);
+    }
+    table
+}
+
+/// Intern the constants a delta introduces (insertions only: deletions
+/// cannot mention values the table has not already seen, and interning is
+/// idempotent anyway).
+fn intern_delta(symbols: &SymbolTable, delta: &Delta) {
+    for atom in &delta.insertions {
+        symbols.intern_name(&atom.relation);
+        for value in atom.tuple.iter() {
+            symbols.intern(value);
+        }
     }
 }
 
@@ -274,6 +319,22 @@ pub trait PeerStore: Send + Sync {
     /// peers (no torn multi-peer reads). Pinning must be cheap — a handle on
     /// already-published state, never a data copy — and must never wait for
     /// an in-flight commit to finish.
+    ///
+    /// ```
+    /// use pdes_core::store::{InProcessStore, PeerStore};
+    /// use pdes_core::system::{example1_system, PeerId};
+    /// use relalg::Tuple;
+    ///
+    /// let store = InProcessStore::new(example1_system());
+    /// let p1 = PeerId::new("P1");
+    /// let snapshot = store.pin().unwrap();
+    /// let before = snapshot.instance_of(&p1).unwrap();
+    ///
+    /// // Commits after the pin do not disturb the snapshot's reads.
+    /// store.insert(&p1, "R1", Tuple::strs(["new", "row"])).unwrap();
+    /// assert_eq!(snapshot.instance_of(&p1).unwrap(), before);
+    /// assert_ne!(store.pin().unwrap().instance_of(&p1).unwrap(), before);
+    /// ```
     fn pin(&self) -> Result<Snapshot>;
 
     /// MVCC observability counters. The default reports zeros for stores
@@ -281,6 +342,16 @@ pub trait PeerStore: Send + Sync {
     fn mvcc_stats(&self) -> MvccStats {
         MvccStats::default()
     }
+
+    /// The store's [`SymbolTable`]: constants and relation/attribute names
+    /// interned to dense `u32` ids at store construction and extended
+    /// (append-only) by every committed insertion. Snapshots pinned from the
+    /// store share the same table, so symbol ids are stable across epochs
+    /// and cached columnar artifacts never need re-interning.
+    ///
+    /// *Added in the interned data plane redesign (0.x breaking change for
+    /// `PeerStore` implementors — see the README migration guide).*
+    fn symbols(&self) -> Arc<SymbolTable>;
 }
 
 /// Shared atomic MVCC counters; snapshot with [`MvccCounters::stats`].
@@ -326,6 +397,9 @@ pub struct InProcessStore {
     /// Serializes writers. Readers never take it.
     commit: Mutex<()>,
     counters: MvccCounters,
+    /// Append-only intern table fronting the data plane; built at
+    /// construction, extended under the writer lock by effective insertions.
+    symbols: Arc<SymbolTable>,
 }
 
 impl InProcessStore {
@@ -337,6 +411,7 @@ impl InProcessStore {
             .peers()
             .map(|p| (p.id.clone(), Arc::new(p.instance.clone())))
             .collect();
+        let symbols = Arc::new(intern_system(&system));
         InProcessStore {
             topology: Arc::new(system.topology_only()),
             current: RwLock::new(Arc::new(EpochState {
@@ -346,6 +421,7 @@ impl InProcessStore {
             })),
             commit: Mutex::new(()),
             counters: MvccCounters::default(),
+            symbols,
         }
     }
 
@@ -436,6 +512,7 @@ impl PeerStore for InProcessStore {
         Snapshot {
             topology: Arc::clone(&self.topology),
             state: self.current(),
+            symbols: Arc::clone(&self.symbols),
         }
         .system()
     }
@@ -450,6 +527,7 @@ impl PeerStore for InProcessStore {
         let mut instance = slot.as_ref().clone();
         let cow = instance.apply_changes_cow(delta.insertions.iter(), delta.deletions.iter())?;
         *slot = Arc::new(instance);
+        intern_delta(&self.symbols, delta);
         let version = bump(&mut versions, peer);
         self.publish(
             EpochState {
@@ -479,7 +557,13 @@ impl PeerStore for InProcessStore {
             .ok_or_else(|| CoreError::UnknownPeer(peer.to_string()))?;
         let mut instance = slot.as_ref().clone();
         let before = instance.shared_page_count();
+        let interned = tuple.clone();
         instance.insert(relation, tuple)?;
+        // Intern only after a successful insert, so failed mutations leave
+        // the table exactly as they found it.
+        for value in interned.iter() {
+            self.symbols.intern(value);
+        }
         let cow = before.saturating_sub(instance.shared_page_count());
         *slot = Arc::new(instance);
         let version = bump(&mut versions, peer);
@@ -543,11 +627,16 @@ impl PeerStore for InProcessStore {
         Ok(Snapshot {
             topology: Arc::clone(&self.topology),
             state: self.current(),
+            symbols: Arc::clone(&self.symbols),
         })
     }
 
     fn mvcc_stats(&self) -> MvccStats {
         self.counters.stats()
+    }
+
+    fn symbols(&self) -> Arc<SymbolTable> {
+        Arc::clone(&self.symbols)
     }
 }
 

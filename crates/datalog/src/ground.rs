@@ -158,6 +158,37 @@ impl GroundProgram {
     pub fn decode(&self, ids: &BTreeSet<AtomId>) -> BTreeSet<GroundAtom> {
         ids.iter().map(|&id| self.atoms[id].clone()).collect()
     }
+
+    /// Exact size accounting for interned ground programs: rules are 24
+    /// bytes plus 8 per atom id; each distinct atom charges its predicate
+    /// text, 8 bytes per constant-argument reference, and each `Arc<str>`
+    /// payload *once per distinct allocation* (shared interned text
+    /// deduplicates by pointer identity — the atom `index` shares its
+    /// argument allocations with `atoms`, so it adds only fixed per-entry
+    /// overhead). Deterministic for a given grounding.
+    pub fn exact_bytes(&self) -> usize {
+        let mut seen: std::collections::HashSet<*const u8> = std::collections::HashSet::new();
+        let atoms: usize = self
+            .atoms
+            .iter()
+            .map(|a| {
+                let mut bytes = 24 + a.predicate.len() + 8 * a.args.len();
+                for arg in &a.args {
+                    if seen.insert(arg.as_ptr()) {
+                        bytes += arg.len();
+                    }
+                }
+                bytes
+            })
+            .sum();
+        let index = self.index.len() * 48;
+        let rules: usize = self
+            .rules
+            .iter()
+            .map(|r| 24 + 8 * (r.heads.len() + r.pos.len() + r.neg.len()))
+            .sum();
+        atoms + index + rules
+    }
 }
 
 impl fmt::Display for GroundProgram {
@@ -715,5 +746,32 @@ mod tests {
         let text = g.to_string();
         assert!(text.contains("p(a)."));
         assert!(text.contains("q(a) :- p(a)."));
+    }
+
+    #[test]
+    fn exact_bytes_deduplicates_shared_argument_text() {
+        let mut g = GroundProgram::default();
+        let shared: std::sync::Arc<str> = std::sync::Arc::from("shared-constant");
+        let a = GroundAtom {
+            predicate: "p".to_string(),
+            strong_neg: false,
+            args: vec![std::sync::Arc::clone(&shared)],
+        };
+        let b = GroundAtom {
+            predicate: "q".to_string(),
+            strong_neg: false,
+            args: vec![std::sync::Arc::clone(&shared)],
+        };
+        let ha = g.intern(a);
+        let hb = g.intern(b);
+        g.add_rule(GroundRule {
+            heads: vec![hb],
+            pos: vec![ha],
+            neg: vec![],
+        });
+        // Two atoms (24 + 1 + 8 each), one shared 15-byte payload charged
+        // once, two index entries, one rule with two atom ids.
+        let expected = 2 * (24 + 1 + 8) + 15 + 2 * 48 + (24 + 8 * 2);
+        assert_eq!(g.exact_bytes(), expected);
     }
 }

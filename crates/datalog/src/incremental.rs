@@ -198,6 +198,46 @@ impl IncrementalGround {
         possible + support + groups + facts
     }
 
+    /// Exact interned-size accounting for the byte-budgeted cache, the
+    /// interned data plane's replacement for
+    /// [`IncrementalGround::approx_bytes`]. The atom stores (`possible` and
+    /// the base facts) charge each atom its predicate text, 8 bytes per
+    /// constant-argument reference and each `Arc<str>` payload *once per
+    /// distinct allocation* (shared interned text deduplicates by pointer
+    /// identity, so the figure reflects what sharing actually saves); rule
+    /// instantiations charge 8 bytes per atom reference — the interned-id
+    /// form [`IncrementalGround::to_ground`] materializes, whose atoms the
+    /// stores above already carry. Deterministic for a given grounding:
+    /// which arguments share an allocation is fixed by how the program was
+    /// built, never by the allocator.
+    pub fn exact_bytes(&self) -> usize {
+        let mut seen: std::collections::HashSet<*const u8> = std::collections::HashSet::new();
+        let mut atom_bytes = |a: &GroundAtom| -> usize {
+            let mut bytes = 24 + a.predicate.len() + 8 * a.args.len();
+            for arg in &a.args {
+                if seen.insert(arg.as_ptr()) {
+                    bytes += arg.len();
+                }
+            }
+            bytes
+        };
+        let possible: usize = self
+            .possible
+            .values()
+            .flat_map(|set| set.iter())
+            .map(&mut atom_bytes)
+            .sum();
+        let support = self.support.len() * 48;
+        let groups: usize = self
+            .groups
+            .iter()
+            .flat_map(|g| g.iter())
+            .map(|r| 48 + 8 * (r.heads.len() + r.pos.len() + r.neg.len()))
+            .sum();
+        let facts: usize = self.facts.iter().map(&mut atom_bytes).sum();
+        possible + support + groups + facts
+    }
+
     /// Patch the state for a base-fact delta. Insertions already present and
     /// deletions already absent are ignored. Returns what was re-derived.
     pub fn apply_delta(
@@ -997,5 +1037,46 @@ mod tests {
         assert!(before > 0);
         state.apply_delta(&[ga("edge", &["c", "d"]), ga("edge", &["d", "e"])], &[]);
         assert!(state.approx_bytes() > before);
+    }
+
+    #[test]
+    fn exact_bytes_grows_with_the_state() {
+        let p = base_program();
+        let mut state = IncrementalGround::new(&p).unwrap();
+        let before = state.exact_bytes();
+        assert!(before > 0);
+        state.apply_delta(&[ga("edge", &["c", "d"]), ga("edge", &["d", "e"])], &[]);
+        assert!(state.exact_bytes() > before);
+    }
+
+    #[test]
+    fn exact_bytes_charges_shared_payloads_once() {
+        let p = base_program();
+        let state = IncrementalGround::new(&p).unwrap();
+        // Upper bound with every argument's payload charged per reference:
+        // what the accounting would report if nothing were shared. The
+        // saturated sets and facts carry copies of the same constants, so
+        // the exact figure must come in strictly below it.
+        let mut references = 0usize;
+        let mut flat = 0usize;
+        let mut charge = |a: &GroundAtom| {
+            flat += 24 + a.predicate.len() + 8 * a.args.len();
+            for arg in &a.args {
+                references += 1;
+                flat += arg.len();
+            }
+        };
+        for set in state.possible.values() {
+            set.iter().for_each(&mut charge);
+        }
+        state.facts.iter().for_each(&mut charge);
+        for group in &state.groups {
+            for r in group {
+                flat += 48 + 8 * (r.heads.len() + r.pos.len() + r.neg.len());
+            }
+        }
+        let flat = flat + state.support.len() * 48;
+        assert!(references > 1);
+        assert!(state.exact_bytes() <= flat);
     }
 }

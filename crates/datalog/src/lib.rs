@@ -53,6 +53,8 @@
 //! assert_eq!(sets.cautious_tuples("r1p").len(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod choice;
 pub mod error;
 pub mod graph;

@@ -25,6 +25,8 @@
 //! Identifiers starting with an uppercase letter are variables, everything
 //! else is a constant (the same convention the rest of the workspace uses).
 
+#![warn(missing_docs)]
+
 pub mod parser;
 pub mod printer;
 

@@ -1,0 +1,727 @@
+//! Columnar relation storage and join kernels over interned symbols.
+//!
+//! A [`ColumnarRelation`] stores one `Vec<u32>` block per attribute — each
+//! value replaced by its [`Symbol`] id from a shared [`SymbolTable`] — so a
+//! conjunctive query can be answered entirely with integer comparisons and
+//! dense hashing; strings are materialized only at the answer boundary
+//! ([`CqPlan::materialize`]). Row order matches the source
+//! [`Relation`]'s deterministic `BTreeSet` iteration order, so two columnar
+//! snapshots of equal relations are bit-identical.
+//!
+//! [`CqPlan`] compiles the conjunctive fragment of [`Formula`] (atoms,
+//! conjunction, disjunction, existentials, comparisons over bound
+//! variables) into a pipeline of hash-join and semi-join kernel steps. Any
+//! formula outside the fragment simply fails to compile
+//! ([`CqPlan::compile`] returns `None`) and callers fall back to the
+//! general active-domain [`QueryEvaluator`](crate::query::QueryEvaluator) —
+//! the plan is a fast path, never a semantic fork.
+
+use crate::database::Database;
+use crate::error::RelalgError;
+use crate::intern::{Symbol, SymbolTable};
+use crate::query::ast::{CompareOp, Formula, Term};
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+/// One relation stored column-wise as interned symbol ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnarRelation {
+    name: String,
+    /// One block per attribute; all blocks have `rows` entries.
+    columns: Vec<Vec<u32>>,
+    rows: usize,
+}
+
+impl ColumnarRelation {
+    /// Intern a relation into column blocks. Row order is the relation's
+    /// own deterministic iteration order.
+    pub fn from_relation(relation: &Relation, symbols: &SymbolTable) -> Self {
+        let arity = relation.arity();
+        let mut columns = vec![Vec::with_capacity(relation.len()); arity];
+        for tuple in relation.iter() {
+            for (col, value) in columns.iter_mut().zip(tuple.iter()) {
+                col.push(symbols.intern(value).id());
+            }
+        }
+        ColumnarRelation {
+            name: relation.name().to_string(),
+            columns,
+            rows: relation.len(),
+        }
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The id at (row, column).
+    fn id_at(&self, row: usize, col: usize) -> u32 {
+        self.columns[col][row]
+    }
+
+    /// Exact resident bytes of the column blocks: 4 bytes per id plus the
+    /// relation name. Deterministic across platforms — this is the number
+    /// the engine's memo cache budgets against.
+    pub fn exact_bytes(&self) -> usize {
+        self.name.len() + 4 * self.rows * self.arity()
+    }
+}
+
+/// A database instance interned into columnar blocks, sharing one
+/// [`SymbolTable`] with its store.
+#[derive(Debug, Clone)]
+pub struct ColumnarDatabase {
+    relations: BTreeMap<String, ColumnarRelation>,
+    symbols: Arc<SymbolTable>,
+}
+
+impl ColumnarDatabase {
+    /// Intern every relation of `db` into column blocks.
+    pub fn from_database(db: &Database, symbols: &Arc<SymbolTable>) -> Self {
+        let relations = db
+            .relations()
+            .map(|rel| {
+                (
+                    rel.name().to_string(),
+                    ColumnarRelation::from_relation(rel, symbols),
+                )
+            })
+            .collect();
+        ColumnarDatabase {
+            relations,
+            symbols: Arc::clone(symbols),
+        }
+    }
+
+    /// The shared symbol table the blocks are interned against.
+    pub fn symbols(&self) -> &Arc<SymbolTable> {
+        &self.symbols
+    }
+
+    /// Look a relation up by name.
+    pub fn relation(&self, name: &str) -> Option<&ColumnarRelation> {
+        self.relations.get(name)
+    }
+
+    /// Iterate relations in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &ColumnarRelation> {
+        self.relations.values()
+    }
+
+    /// Exact resident bytes of all column blocks (excluding the shared
+    /// symbol table, which is owned by the store and amortized across every
+    /// snapshot and cache entry).
+    pub fn exact_bytes(&self) -> usize {
+        32 + self
+            .relations
+            .values()
+            .map(|r| 16 + r.exact_bytes())
+            .sum::<usize>()
+    }
+}
+
+/// A term position in a compiled atom: a constant (matched by symbol id) or
+/// a variable slot in the plan's binding row.
+#[derive(Debug, Clone)]
+enum PlanTerm {
+    /// Constant: matched against column ids. The value is looked up in the
+    /// table lazily at evaluation time (a constant the table has never
+    /// minted cannot match any stored tuple).
+    Const(Value),
+    /// Variable: index into the plan's variable list.
+    Var(usize),
+}
+
+/// One relational atom step of a conjunct.
+#[derive(Debug, Clone)]
+struct AtomStep {
+    relation: String,
+    terms: Vec<PlanTerm>,
+}
+
+/// One comparison filter applied once both sides are bound.
+#[derive(Debug, Clone)]
+struct FilterStep {
+    op: CompareOp,
+    left: PlanTerm,
+    right: PlanTerm,
+}
+
+/// One conjunctive block: atoms joined left to right, then filters.
+#[derive(Debug, Clone)]
+struct Conjunct {
+    atoms: Vec<AtomStep>,
+    filters: Vec<FilterStep>,
+}
+
+/// A compiled conjunctive plan: a union of conjuncts, each evaluated with
+/// hash-join / semi-join kernels over interned ids, projected onto the
+/// query's free variables.
+///
+/// # Examples
+///
+/// ```
+/// use relalg::{ColumnarDatabase, Database, Relation, RelationSchema, SymbolTable, Tuple};
+/// use relalg::columnar::CqPlan;
+/// use relalg::query::Formula;
+/// use std::sync::Arc;
+///
+/// let mut db = Database::new();
+/// db.add_relation(Relation::new(RelationSchema::new("R", &["a", "b"])));
+/// db.insert("R", Tuple::strs(["x", "y"])).unwrap();
+///
+/// let symbols = Arc::new(SymbolTable::new());
+/// let columnar = ColumnarDatabase::from_database(&db, &symbols);
+///
+/// let q = Formula::exists(vec!["Y"], Formula::atom("R", vec!["X", "Y"]));
+/// let plan = CqPlan::compile(&q, &["X".to_string()]).expect("conjunctive");
+/// let rows = plan.answers(&columnar).unwrap();
+/// let tuples = CqPlan::materialize(&rows, &symbols);
+/// assert_eq!(tuples.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CqPlan {
+    /// All variables of the plan, in first-seen order.
+    vars: Vec<String>,
+    /// Positions of the query's free variables inside `vars`.
+    output: Vec<usize>,
+    /// Union of conjunctive blocks (one for a plain conjunctive query).
+    disjuncts: Vec<Conjunct>,
+}
+
+impl CqPlan {
+    /// Compile the conjunctive fragment: outer existentials, a top-level
+    /// disjunction of conjunctive blocks (each binding every free
+    /// variable), atoms, and comparisons whose variables the atoms bind.
+    /// Returns `None` for anything else — negation, universals,
+    /// implications, unsafe comparisons — which callers evaluate on the
+    /// legacy path.
+    pub fn compile(query: &Formula, free_vars: &[String]) -> Option<CqPlan> {
+        let mut vars: Vec<String> = Vec::new();
+        let mut var_index: HashMap<String, usize> = HashMap::new();
+        for v in free_vars {
+            if !var_index.contains_key(v) {
+                var_index.insert(v.clone(), vars.len());
+                vars.push(v.clone());
+            }
+        }
+        // Strip outer existentials; their variables must not shadow free
+        // variables (the evaluator would scope them, the flat plan cannot).
+        let mut scope: HashSet<String> = free_vars.iter().cloned().collect();
+        let mut inner = query;
+        while let Formula::Exists(qvars, f) = inner {
+            for v in qvars {
+                if !scope.insert(v.clone()) {
+                    return None;
+                }
+            }
+            inner = f;
+        }
+        let blocks: Vec<&Formula> = match inner {
+            Formula::Or(parts) => parts.iter().collect(),
+            other => vec![other],
+        };
+        let mut disjuncts = Vec::with_capacity(blocks.len());
+        for block in blocks {
+            let conjunct =
+                Self::compile_conjunct(block, free_vars, &mut vars, &mut var_index, &scope)?;
+            disjuncts.push(conjunct);
+        }
+        let output = free_vars.iter().map(|v| var_index[v]).collect();
+        Some(CqPlan {
+            vars,
+            output,
+            disjuncts,
+        })
+    }
+
+    /// Compile one conjunctive block, flattening nested `And`/`Exists`.
+    fn compile_conjunct(
+        block: &Formula,
+        free_vars: &[String],
+        vars: &mut Vec<String>,
+        var_index: &mut HashMap<String, usize>,
+        outer_scope: &HashSet<String>,
+    ) -> Option<Conjunct> {
+        let mut atoms = Vec::new();
+        let mut filters = Vec::new();
+        let mut scope = outer_scope.clone();
+        Self::flatten(block, vars, var_index, &mut scope, &mut atoms, &mut filters)?;
+        // Safety: every free variable and every filter variable must be
+        // bound by some atom of this block.
+        let bound: HashSet<usize> = atoms
+            .iter()
+            .flat_map(|a| a.terms.iter())
+            .filter_map(|t| match t {
+                PlanTerm::Var(i) => Some(*i),
+                PlanTerm::Const(_) => None,
+            })
+            .collect();
+        for v in free_vars {
+            if !bound.contains(&var_index[v]) {
+                return None;
+            }
+        }
+        for f in &filters {
+            for side in [&f.left, &f.right] {
+                if let PlanTerm::Var(i) = side {
+                    if !bound.contains(i) {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(Conjunct { atoms, filters })
+    }
+
+    /// Recursive flattening of a conjunctive block into atom and filter
+    /// steps. Bails (returns `None`) on any construct outside the fragment.
+    fn flatten(
+        f: &Formula,
+        vars: &mut Vec<String>,
+        var_index: &mut HashMap<String, usize>,
+        scope: &mut HashSet<String>,
+        atoms: &mut Vec<AtomStep>,
+        filters: &mut Vec<FilterStep>,
+    ) -> Option<()> {
+        let plan_term =
+            |t: &Term, vars: &mut Vec<String>, var_index: &mut HashMap<String, usize>| match t {
+                Term::Const(v) => PlanTerm::Const(v.clone()),
+                Term::Var(name) => {
+                    let idx = *var_index.entry(name.clone()).or_insert_with(|| {
+                        vars.push(name.clone());
+                        vars.len() - 1
+                    });
+                    PlanTerm::Var(idx)
+                }
+            };
+        match f {
+            Formula::True => Some(()),
+            Formula::Atom { relation, terms } => {
+                let terms = terms
+                    .iter()
+                    .map(|t| plan_term(t, vars, var_index))
+                    .collect();
+                atoms.push(AtomStep {
+                    relation: relation.clone(),
+                    terms,
+                });
+                Some(())
+            }
+            Formula::Compare { op, left, right } => {
+                filters.push(FilterStep {
+                    op: *op,
+                    left: plan_term(left, vars, var_index),
+                    right: plan_term(right, vars, var_index),
+                });
+                Some(())
+            }
+            Formula::And(parts) => {
+                for p in parts {
+                    Self::flatten(p, vars, var_index, scope, atoms, filters)?;
+                }
+                Some(())
+            }
+            Formula::Exists(qvars, inner) => {
+                for v in qvars {
+                    if !scope.insert(v.clone()) {
+                        return None; // shadowing: fall back to the evaluator
+                    }
+                }
+                Self::flatten(inner, vars, var_index, scope, atoms, filters)
+            }
+            // Outside the conjunctive fragment.
+            Formula::False
+            | Formula::Not(_)
+            | Formula::Or(_)
+            | Formula::Implies(..)
+            | Formula::Forall(..) => None,
+        }
+    }
+
+    /// All variables of the plan, in first-seen binding order (free
+    /// variables first).
+    pub fn variables(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// Evaluate the plan over a columnar instance: per-disjunct hash joins
+    /// and semi-joins over interned ids, unioned and projected onto the
+    /// free variables. Rows come back as id vectors; materialize them with
+    /// [`CqPlan::materialize`] only at the answer boundary.
+    pub fn answers(&self, db: &ColumnarDatabase) -> Result<BTreeSet<Vec<u32>>> {
+        let mut out = BTreeSet::new();
+        for conjunct in &self.disjuncts {
+            self.eval_conjunct(conjunct, db, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Evaluate one conjunct, projecting onto the output variables into
+    /// `out`.
+    fn eval_conjunct(
+        &self,
+        conjunct: &Conjunct,
+        db: &ColumnarDatabase,
+        out: &mut BTreeSet<Vec<u32>>,
+    ) -> Result<()> {
+        let symbols = db.symbols();
+        // Binding rows over the subset of plan variables bound so far.
+        let mut bound: Vec<usize> = Vec::new();
+        let mut rows: Vec<Vec<u32>> = vec![Vec::new()];
+        for atom in &conjunct.atoms {
+            let Some(rel) = db.relation(&atom.relation) else {
+                // Undeclared relations are empty (mirrors the evaluator).
+                return Ok(());
+            };
+            if rel.arity() != atom.terms.len() {
+                return Err(RelalgError::ArityMismatch {
+                    relation: atom.relation.clone(),
+                    expected: rel.arity(),
+                    found: atom.terms.len(),
+                });
+            }
+            // Resolve constants: a constant the table never minted cannot
+            // match any stored id, so the atom (and the conjunct) is empty.
+            let mut consts: Vec<(usize, u32)> = Vec::new();
+            let mut atom_vars: Vec<(usize, usize)> = Vec::new(); // (column, var)
+            let mut unseen_const = false;
+            for (col, term) in atom.terms.iter().enumerate() {
+                match term {
+                    PlanTerm::Const(value) => match symbols.lookup(value) {
+                        Some(sym) => consts.push((col, sym.id())),
+                        None => unseen_const = true,
+                    },
+                    PlanTerm::Var(v) => atom_vars.push((col, *v)),
+                }
+            }
+            if unseen_const {
+                return Ok(());
+            }
+            // Split the atom's variables into join keys (already bound) and
+            // fresh columns, keeping the first column of a repeated fresh
+            // variable as its binding site and the rest as intra-atom
+            // equality checks.
+            let mut keys: Vec<(usize, usize)> = Vec::new(); // (column, pos in `bound`)
+            let mut fresh: Vec<(usize, usize)> = Vec::new(); // (column, var)
+            let mut repeats: Vec<(usize, usize)> = Vec::new(); // (column, earlier column)
+            let mut first_col: HashMap<usize, usize> = HashMap::new();
+            for (col, var) in &atom_vars {
+                if let Some(earlier) = first_col.get(var) {
+                    repeats.push((*col, *earlier));
+                } else {
+                    first_col.insert(*var, *col);
+                    if let Some(pos) = bound.iter().position(|b| b == var) {
+                        keys.push((*col, pos));
+                    } else {
+                        fresh.push((*col, *var));
+                    }
+                }
+            }
+            let row_matches = |r: usize| -> bool {
+                consts.iter().all(|(col, id)| rel.id_at(r, *col) == *id)
+                    && repeats
+                        .iter()
+                        .all(|(col, earlier)| rel.id_at(r, *col) == rel.id_at(r, *earlier))
+            };
+            if fresh.is_empty() {
+                // Semi-join kernel: the atom introduces no new variables, so
+                // it only filters existing binding rows by key membership
+                // (an all-constant atom has the empty key: it keeps every
+                // row iff some stored row matches).
+                let mut present: HashSet<Vec<u32>> = HashSet::new();
+                for r in 0..rel.rows() {
+                    if row_matches(r) {
+                        present.insert(keys.iter().map(|(col, _)| rel.id_at(r, *col)).collect());
+                    }
+                }
+                rows.retain(|row| {
+                    let probe: Vec<u32> = keys.iter().map(|(_, pos)| row[*pos]).collect();
+                    present.contains(&probe)
+                });
+            } else {
+                // Hash-join kernel: index matching relation rows by their
+                // join-key projection, probe with every binding row, emit
+                // rows extended with the fresh columns.
+                let mut index: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+                for r in 0..rel.rows() {
+                    if row_matches(r) {
+                        let key: Vec<u32> =
+                            keys.iter().map(|(col, _)| rel.id_at(r, *col)).collect();
+                        index.entry(key).or_default().push(r);
+                    }
+                }
+                let mut next = Vec::new();
+                for row in &rows {
+                    let probe: Vec<u32> = keys.iter().map(|(_, pos)| row[*pos]).collect();
+                    if let Some(matches) = index.get(&probe) {
+                        for &r in matches {
+                            let mut extended = row.clone();
+                            extended.extend(fresh.iter().map(|(col, _)| rel.id_at(r, *col)));
+                            next.push(extended);
+                        }
+                    }
+                }
+                bound.extend(fresh.iter().map(|(_, var)| *var));
+                rows = next;
+            }
+            if rows.is_empty() {
+                return Ok(());
+            }
+        }
+        // Filters: ids decide equality directly; ordered comparisons
+        // resolve to values (rare in the hot path).
+        for filter in &conjunct.filters {
+            let side = |term: &PlanTerm, row: &[u32]| -> Option<u32> {
+                match term {
+                    PlanTerm::Const(v) => symbols.lookup(v).map(Symbol::id),
+                    PlanTerm::Var(v) => {
+                        let pos = bound.iter().position(|b| b == v).expect("filter var bound");
+                        Some(row[pos])
+                    }
+                }
+            };
+            rows.retain(|row| {
+                let left = side(&filter.left, row);
+                let right = side(&filter.right, row);
+                match (filter.op, left, right) {
+                    (CompareOp::Eq, Some(l), Some(r)) => l == r,
+                    (CompareOp::Eq, _, _) => false, // unseen const equals nothing stored
+                    (CompareOp::Neq, Some(l), Some(r)) => l != r,
+                    (CompareOp::Neq, _, _) => true,
+                    (op, l, r) => {
+                        // Ordered comparison: fall back to value order. An
+                        // unseen constant resolves from the filter itself.
+                        let resolve = |term: &PlanTerm, id: Option<u32>| -> Value {
+                            match (term, id) {
+                                (_, Some(id)) => symbols.resolve(Symbol::from_id(id)),
+                                (PlanTerm::Const(v), None) => v.clone(),
+                                (PlanTerm::Var(_), None) => unreachable!("vars always resolve"),
+                            }
+                        };
+                        op.apply(&resolve(&filter.left, l), &resolve(&filter.right, r))
+                    }
+                }
+            });
+        }
+        // Project onto the output variables.
+        for row in rows {
+            out.insert(
+                self.output
+                    .iter()
+                    .map(|var| {
+                        let pos = bound.iter().position(|b| b == var).expect("output bound");
+                        row[pos]
+                    })
+                    .collect(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Materialize id rows back into tuples — the single point where the
+    /// columnar plane touches strings again.
+    pub fn materialize(rows: &BTreeSet<Vec<u32>>, symbols: &SymbolTable) -> BTreeSet<Tuple> {
+        rows.iter()
+            .map(|row| {
+                Tuple::from(
+                    row.iter()
+                        .map(|id| symbols.resolve(Symbol::from_id(*id)))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryEvaluator;
+    use crate::schema::RelationSchema;
+
+    fn fixture() -> (Database, Arc<SymbolTable>, ColumnarDatabase) {
+        let mut db = Database::new();
+        db.add_relation(Relation::new(RelationSchema::new("R", &["a", "b"])));
+        db.add_relation(Relation::new(RelationSchema::new("S", &["b", "c"])));
+        for (x, y) in [("a", "b"), ("b", "c"), ("c", "c"), ("d", "d")] {
+            db.insert("R", Tuple::strs([x, y])).unwrap();
+        }
+        for (x, y) in [("b", "1"), ("c", "2"), ("z", "3")] {
+            db.insert("S", Tuple::strs([x, y])).unwrap();
+        }
+        let symbols = Arc::new(SymbolTable::new());
+        let columnar = ColumnarDatabase::from_database(&db, &symbols);
+        (db, symbols, columnar)
+    }
+
+    fn check_matches_evaluator(q: &Formula, free: &[&str]) {
+        let (db, symbols, columnar) = fixture();
+        let free: Vec<String> = free.iter().map(|s| s.to_string()).collect();
+        let plan = CqPlan::compile(q, &free).expect("plan should compile");
+        let rows = plan.answers(&columnar).unwrap();
+        let got = CqPlan::materialize(&rows, &symbols);
+        let want = QueryEvaluator::new(&db).answers(q, &free).unwrap();
+        assert_eq!(got, want, "query {q}");
+    }
+
+    #[test]
+    fn single_atom_scan() {
+        check_matches_evaluator(&Formula::atom("R", vec!["X", "Y"]), &["X", "Y"]);
+    }
+
+    #[test]
+    fn projection_via_exists() {
+        let q = Formula::exists(vec!["Y"], Formula::atom("R", vec!["X", "Y"]));
+        check_matches_evaluator(&q, &["X"]);
+    }
+
+    #[test]
+    fn hash_join_across_relations() {
+        // R(X, Y) ∧ S(Y, Z)
+        let q = Formula::and(vec![
+            Formula::atom("R", vec!["X", "Y"]),
+            Formula::atom("S", vec!["Y", "Z"]),
+        ]);
+        check_matches_evaluator(&q, &["X", "Y", "Z"]);
+    }
+
+    #[test]
+    fn semi_join_filters_bound_rows() {
+        // ∃Z: R(X, Y) ∧ S(Y, Z) projected to X — second atom partly fresh;
+        // ∃: R(X, Y) ∧ S(X, Y) — second atom fully bound (semi-join).
+        let q = Formula::exists(
+            vec!["Z"],
+            Formula::and(vec![
+                Formula::atom("R", vec!["X", "Y"]),
+                Formula::atom("S", vec!["Y", "Z"]),
+            ]),
+        );
+        check_matches_evaluator(&q, &["X"]);
+        let q2 = Formula::and(vec![
+            Formula::atom("R", vec!["X", "Y"]),
+            Formula::atom("S", vec!["X", "Y"]),
+        ]);
+        check_matches_evaluator(&q2, &["X", "Y"]);
+    }
+
+    #[test]
+    fn repeated_variables_and_constants() {
+        // R(X, X) — intra-atom repeat.
+        check_matches_evaluator(&Formula::atom("R", vec!["X", "X"]), &["X"]);
+        // R(c, Y) — constant position.
+        let q = Formula::atom_terms("R", vec![Term::cnst("c"), Term::var("Y")]);
+        check_matches_evaluator(&q, &["Y"]);
+    }
+
+    #[test]
+    fn unseen_constant_matches_nothing() {
+        let (_, symbols, columnar) = fixture();
+        let q = Formula::atom_terms("R", vec![Term::cnst("never-stored"), Term::var("Y")]);
+        let plan = CqPlan::compile(&q, &["Y".to_string()]).unwrap();
+        assert!(plan.answers(&columnar).unwrap().is_empty());
+        // The query constant must not leak into the store's table.
+        assert_eq!(symbols.lookup(&Value::str("never-stored")), None);
+    }
+
+    #[test]
+    fn comparison_filters() {
+        let neq = Formula::and(vec![
+            Formula::atom("R", vec!["X", "Y"]),
+            Formula::compare(CompareOp::Neq, Term::var("X"), Term::var("Y")),
+        ]);
+        check_matches_evaluator(&neq, &["X", "Y"]);
+        let lt = Formula::and(vec![
+            Formula::atom("R", vec!["X", "Y"]),
+            Formula::compare(CompareOp::Lt, Term::var("X"), Term::cnst("c")),
+        ]);
+        check_matches_evaluator(&lt, &["X", "Y"]);
+    }
+
+    #[test]
+    fn union_of_conjuncts() {
+        let q = Formula::Or(vec![
+            Formula::atom("R", vec!["X", "Y"]),
+            Formula::atom("S", vec!["X", "Y"]),
+        ]);
+        check_matches_evaluator(&q, &["X", "Y"]);
+    }
+
+    #[test]
+    fn missing_relation_is_empty() {
+        let (_, _, columnar) = fixture();
+        let q = Formula::atom("Elsewhere", vec!["X"]);
+        let plan = CqPlan::compile(&q, &["X".to_string()]).unwrap();
+        assert!(plan.answers(&columnar).unwrap().is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_errors_like_the_evaluator() {
+        let (_, _, columnar) = fixture();
+        let q = Formula::atom("R", vec!["X"]);
+        let plan = CqPlan::compile(&q, &["X".to_string()]).unwrap();
+        assert!(matches!(
+            plan.answers(&columnar),
+            Err(RelalgError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_fragment_formulas_do_not_compile() {
+        let x = "X".to_string();
+        // Negation.
+        assert!(CqPlan::compile(
+            &Formula::not(Formula::atom("R", vec!["X", "Y"])),
+            std::slice::from_ref(&x)
+        )
+        .is_none());
+        // Unbound free variable in a disjunct.
+        let q = Formula::Or(vec![
+            Formula::atom("R", vec!["X", "Y"]),
+            Formula::atom("S", vec!["Z", "W"]),
+        ]);
+        assert!(CqPlan::compile(&q, &[x.clone(), "Y".to_string()]).is_none());
+        // Filter over a variable no atom binds.
+        let q = Formula::and(vec![
+            Formula::atom("R", vec!["X", "Y"]),
+            Formula::compare(CompareOp::Eq, Term::var("Free"), Term::cnst("v")),
+        ]);
+        assert!(CqPlan::compile(&q, &[x]).is_none());
+    }
+
+    #[test]
+    fn exact_bytes_counts_ids() {
+        let (_, _, columnar) = fixture();
+        let r = columnar.relation("R").unwrap();
+        // 4 rows × 2 columns × 4 bytes + name
+        assert_eq!(r.exact_bytes(), 1 + 32);
+        assert_eq!(columnar.exact_bytes(), 32 + (16 + 1 + 32) + (16 + 1 + 24));
+    }
+
+    #[test]
+    fn columnar_rows_follow_relation_order() {
+        let (db, symbols, columnar) = fixture();
+        let rel = db.relation("R").unwrap();
+        let col = columnar.relation("R").unwrap();
+        for (row, tuple) in rel.iter().enumerate() {
+            for (c, value) in tuple.iter().enumerate() {
+                assert_eq!(symbols.resolve(Symbol::from_id(col.id_at(row, c))), *value);
+            }
+        }
+    }
+}

@@ -9,21 +9,32 @@ pub enum RelalgError {
     UnknownRelation(String),
     /// A tuple's arity does not match its relation's arity.
     ArityMismatch {
+        /// The relation whose arity was violated.
         relation: String,
+        /// The arity the relation declares.
         expected: usize,
+        /// The arity of the offending tuple or atom.
         found: usize,
     },
     /// Two different signatures were declared for the same relation name.
     SchemaConflict {
+        /// The relation declared twice.
         relation: String,
+        /// The signature already registered.
         existing: String,
+        /// The conflicting new signature.
         new: String,
     },
     /// A query used a variable in a position where it is not bound
     /// (e.g. a free variable of a negated subformula in an unsafe position).
     UnboundVariable(String),
     /// A query referenced an attribute position outside a relation's arity.
-    PositionOutOfRange { relation: String, position: usize },
+    PositionOutOfRange {
+        /// The relation being indexed.
+        relation: String,
+        /// The out-of-range attribute position.
+        position: usize,
+    },
     /// Generic evaluation failure with a human-readable explanation.
     Evaluation(String),
 }

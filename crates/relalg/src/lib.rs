@@ -11,7 +11,12 @@
 //!   together with the `≤_r` comparison used to define repairs and solutions;
 //! * [`query`] — first-order queries and their active-domain evaluation;
 //! * [`algebra`] — a small relational-algebra evaluator used as a fast path
-//!   for conjunctive queries.
+//!   for conjunctive queries;
+//! * [`intern`], [`columnar`] — the interned, columnar data plane: a
+//!   [`SymbolTable`] mapping distinct values and names to dense `u32`
+//!   [`Symbol`]s, column-block relation storage, and hash-join / semi-join
+//!   kernels ([`CqPlan`]) operating on ids with string materialization only
+//!   at the answer boundary.
 //!
 //! The crate is deliberately free of any peer-to-peer notions: it only knows
 //! about relations, instances and queries. Constraints live in the
@@ -37,19 +42,25 @@
 //! assert_eq!(answers.len(), 2);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod algebra;
+pub mod columnar;
 pub mod database;
 pub mod delta;
 pub mod error;
+pub mod intern;
 pub mod query;
 pub mod relation;
 pub mod schema;
 pub mod tuple;
 pub mod value;
 
+pub use columnar::{ColumnarDatabase, ColumnarRelation, CqPlan};
 pub use database::Database;
 pub use delta::{Delta, DeltaOrdering};
 pub use error::RelalgError;
+pub use intern::{Symbol, SymbolTable};
 pub use relation::Relation;
 pub use schema::{RelationSchema, Schema};
 pub use tuple::Tuple;

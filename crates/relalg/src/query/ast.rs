@@ -154,11 +154,19 @@ pub enum Formula {
     /// The constant false.
     False,
     /// A relational atom `R(t1, …, tn)`.
-    Atom { relation: String, terms: Vec<Term> },
+    Atom {
+        /// The relation name `R`.
+        relation: String,
+        /// The argument terms `t1, …, tn`.
+        terms: Vec<Term>,
+    },
     /// A built-in comparison `t1 op t2`.
     Compare {
+        /// The comparison operator.
         op: CompareOp,
+        /// Left operand.
         left: Term,
+        /// Right operand.
         right: Term,
     },
     /// Negation.

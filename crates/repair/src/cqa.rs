@@ -9,8 +9,9 @@
 use crate::engine::{RepairEngine, RepairError, RepairOutcome};
 use pdes_exec::Executor;
 use relalg::query::{Formula, QueryEvaluator};
-use relalg::{Database, Tuple};
+use relalg::{ColumnarDatabase, CqPlan, Database, SymbolTable, Tuple};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Result of a consistent-query-answering run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,6 +79,55 @@ pub fn consistent_answers_recorded(
         states_explored,
     } = engine.repairs_recorded(db, recorder)?;
     let eval_span = pdes_obs::Span::enter(recorder, "eval");
+    // Interned fast path: conjunctive queries compile to a columnar plan
+    // once and evaluate over per-repair `u32` column blocks against one
+    // shared symbol table (every repair is a subset of `db` plus
+    // constraint-introduced tuples, so the table is built once from the
+    // dirty instance and extended only by what a repair actually adds);
+    // only the final certain set materializes strings. Plans the compiler
+    // rejects (negation, nested quantifiers, …) take the legacy evaluator
+    // below — answers are identical either way.
+    if let Some(plan) = CqPlan::compile(query, free_vars) {
+        let symbols = Arc::new(SymbolTable::new());
+        symbols.intern_database(db);
+        let intersect =
+            |chunk: &[crate::Repair]| -> Result<Option<BTreeSet<Vec<u32>>>, RepairError> {
+                let mut acc: Option<BTreeSet<Vec<u32>>> = None;
+                for repair in chunk {
+                    let columnar = ColumnarDatabase::from_database(&repair.database, &symbols);
+                    let these = plan.answers(&columnar).map_err(|e| {
+                        RepairError::Constraint(constraints::ConstraintError::Relalg(e))
+                    })?;
+                    acc = Some(match acc {
+                        None => these,
+                        Some(previous) => previous.intersection(&these).cloned().collect(),
+                    });
+                }
+                Ok(acc)
+            };
+        let workers = exec.workers_for(repairs.len());
+        let answers = if workers <= 1 {
+            intersect(&repairs)?
+        } else {
+            let chunks: Vec<&[crate::Repair]> =
+                repairs.chunks(repairs.len().div_ceil(workers)).collect();
+            let per_chunk = exec.try_map(&chunks, |chunk| intersect(chunk))?;
+            let mut acc: Option<BTreeSet<Vec<u32>>> = None;
+            for partial in per_chunk.into_iter().flatten() {
+                acc = Some(match acc {
+                    None => partial,
+                    Some(previous) => previous.intersection(&partial).cloned().collect(),
+                });
+            }
+            acc
+        };
+        eval_span.finish();
+        return Ok(ConsistentAnswers {
+            answers: CqPlan::materialize(&answers.unwrap_or_default(), &symbols),
+            repair_count: repairs.len(),
+            states_explored,
+        });
+    }
     // One streamed intersection per chunk of repairs: at most `workers`
     // partial answer sets are live at once (and exactly one on the
     // sequential path), never one per repair.
@@ -204,6 +254,38 @@ mod tests {
                 consistent_answers_with(&engine, &db, &q, &vars(&["X", "Y"]), &exec).unwrap();
             assert_eq!(parallel, sequential, "{workers} workers");
         }
+    }
+
+    #[test]
+    fn negated_queries_fall_back_to_the_legacy_evaluator() {
+        // Negation defeats the columnar plan compiler, so this exercises the
+        // legacy per-repair evaluator behind the same entry point — and
+        // pins the expected certain answers for both routes: `bob` is the
+        // only tuple satisfying Emp(X, Y) ∧ ¬Emp(X, "200") in *every*
+        // repair ("ann" fails it in the repair that keeps her 200 salary).
+        let mut db = Database::new();
+        db.add_relation(Relation::new(RelationSchema::new(
+            "Emp",
+            &["name", "salary"],
+        )));
+        db.insert("Emp", Tuple::strs(["ann", "100"])).unwrap();
+        db.insert("Emp", Tuple::strs(["ann", "200"])).unwrap();
+        db.insert("Emp", Tuple::strs(["bob", "150"])).unwrap();
+        let engine = RepairEngine::new(vec![key_denial("key", "Emp").unwrap()]);
+        let q = Formula::and(vec![
+            Formula::atom("Emp", vec!["X", "Y"]),
+            Formula::not(Formula::atom_terms(
+                "Emp",
+                vec![
+                    relalg::query::Term::var("X"),
+                    relalg::query::Term::cnst("200"),
+                ],
+            )),
+        ]);
+        assert!(relalg::CqPlan::compile(&q, &vars(&["X", "Y"])).is_none());
+        let out = consistent_answers(&engine, &db, &q, &vars(&["X", "Y"])).unwrap();
+        assert_eq!(out.repair_count, 2);
+        assert_eq!(out.answers, BTreeSet::from([Tuple::strs(["bob", "150"])]));
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl Default for RepairLimits {
 #[non_exhaustive]
 pub enum RepairError {
     /// The search exceeded [`RepairLimits::max_states`].
-    SearchSpaceExhausted { states: usize },
+    SearchSpaceExhausted {
+        /// Number of search states explored before giving up.
+        states: usize,
+    },
     /// Propagated constraint-checking error.
     Constraint(constraints::ConstraintError),
 }

@@ -23,6 +23,8 @@
 //! head tuples for some witness), never undo a change already made, and
 //! filter the consistent leaves down to the `⊆`-minimal deltas.
 
+#![warn(missing_docs)]
+
 pub mod cqa;
 pub mod engine;
 

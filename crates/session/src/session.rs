@@ -234,6 +234,18 @@ fn validate_local_ics(snapshot: &Snapshot, peer: &PeerId, delta: &Delta) -> Resu
 /// goes through the single [`Writer`] handle claimed with
 /// [`Session::writer`]. Clone cheap [`ReadHandle`]s with
 /// [`Session::reader`] to query from other threads.
+///
+/// ```
+/// use pdes_core::system::example1_system;
+/// use pdes_core::Query;
+/// use pdes_session::Session;
+/// use relalg::query::Formula;
+///
+/// let session = Session::new(example1_system());
+/// let query = Query::named("P1", Formula::atom("R1", vec!["X", "Y"]), &["X", "Y"]);
+/// assert_eq!(session.query(&query).unwrap().len(), 3);
+/// assert_eq!(session.current_seq(), 0); // no commits yet
+/// ```
 pub struct Session {
     core: Arc<SessionCore>,
 }
@@ -486,6 +498,24 @@ impl fmt::Debug for ReadHandle {
 /// The session's single mutation handle: owns [`Writer::begin`] /
 /// [`Tx::commit`]. Claimed with [`Session::writer`]; dropping it releases
 /// the claim so a new writer can be taken.
+///
+/// ```
+/// use pdes_core::system::{example1_system, PeerId};
+/// use pdes_session::Session;
+/// use relalg::Tuple;
+///
+/// let session = Session::new(example1_system());
+/// let mut writer = session.writer().unwrap();
+/// assert!(session.writer().is_err()); // single-writer: the claim is held
+///
+/// let mut tx = writer.begin();
+/// tx.insert(&PeerId::new("P2"), "R2", Tuple::strs(["x", "y"])).unwrap();
+/// let receipt = tx.commit().unwrap();
+/// assert_eq!(receipt.seq, 1);
+///
+/// drop(writer); // releasing the claim lets a new writer be taken
+/// assert!(session.writer().is_ok());
+/// ```
 pub struct Writer {
     core: Arc<SessionCore>,
 }

@@ -439,6 +439,12 @@ impl PeerStore for ShardedStore {
     fn mvcc_stats(&self) -> MvccStats {
         self.mirror.mvcc_stats()
     }
+
+    fn symbols(&self) -> Arc<relalg::SymbolTable> {
+        // The coordinator's epoch mirror replays every worker-confirmed
+        // mutation, so its table covers exactly what the shards store.
+        self.mirror.symbols()
+    }
 }
 
 impl Drop for ShardedStore {

@@ -16,6 +16,8 @@
 //! hot-peer skew) expressed as per-peer [`relalg::Delta`]s, ready to commit
 //! through a `pdes-session` session.
 
+#![warn(missing_docs)]
+
 pub mod error;
 pub mod generator;
 pub mod spec;

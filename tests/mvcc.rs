@@ -218,6 +218,10 @@ impl PeerStore for SlowCommitStore {
     fn mvcc_stats(&self) -> p2p_data_exchange::MvccStats {
         self.inner.mvcc_stats()
     }
+
+    fn symbols(&self) -> Arc<relalg::SymbolTable> {
+        self.inner.symbols()
+    }
 }
 
 /// The ISSUE acceptance criterion, verbatim: readers pinned to an epoch

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Link-check the repo's markdown docs without touching the network:
+# every relative link target `](path)` in the given files (default:
+# ARCHITECTURE.md and README.md) must exist on disk. http(s) links and
+# pure in-page anchors are skipped; `path#anchor` is checked as `path`.
+#
+# Usage: tools/check_doc_links.sh [FILE.md ...]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+files="${*:-ARCHITECTURE.md README.md}"
+status=0
+
+for file in $files; do
+    if [ ! -f "$file" ]; then
+        echo "check_doc_links: no such file: $file" >&2
+        status=1
+        continue
+    fi
+    dir=$(dirname "$file")
+    # One target per line: everything between `](` and the closing `)`.
+    targets=$(grep -o '](\([^)]*\))' "$file" | sed 's/^](//; s/)$//') || true
+    for target in $targets; do
+        case "$target" in
+            http://* | https://* | mailto:* | \#*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "check_doc_links: $file links to missing target: $target" >&2
+            status=1
+        fi
+    done
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "check_doc_links: all local links resolve"
+fi
+exit "$status"
